@@ -1,0 +1,184 @@
+"""Ablations over ICBM's heuristics (DESIGN.md's design-choice studies).
+
+Four sweeps on a representative subset (strcpy, cmp, wc, 099.go):
+
+* exit-weight threshold — how aggressively CPR blocks may accumulate
+  off-trace probability;
+* CPR blocking (``max_branches``) — the paper's Section 4.1 "blocking"
+  discussion;
+* taken variation on/off — the value of accelerating likely-taken exits;
+* predicate speculation on/off — without it, separability fails at almost
+  every block (paper Section 5.1), so ICBM should collapse to a no-op.
+
+Each bench prints a small table and records it under ``benchmarks/out/``.
+"""
+
+import pytest
+
+from benchmarks.conftest import ABLATION_WORKLOADS, write_output
+from repro.core import CPRConfig
+from repro.machine import MEDIUM, WIDE
+from repro.perf import estimate_program_cycles
+from repro.pipeline import PipelineOptions, build_workload
+from repro.workloads.registry import get_workload
+
+
+def build_with(name, config):
+    workload = get_workload(name)
+    return build_workload(
+        workload.name,
+        workload.compile(),
+        workload.inputs,
+        PipelineOptions(cpr=config),
+    )
+
+
+def speedup(build, machine):
+    base = estimate_program_cycles(
+        build.baseline, machine, build.baseline_profile
+    ).total
+    cpr = estimate_program_cycles(
+        build.transformed, machine, build.transformed_profile
+    ).total
+    return base / cpr if cpr else float("nan")
+
+
+def sweep(benchmark, title, filename, configs, machine=WIDE):
+    def run():
+        lines = [title, f"{'benchmark':<10}" + "".join(
+            f"{label:>12}" for label, _ in configs
+        )]
+        table = {}
+        for name in ABLATION_WORKLOADS:
+            row = f"{name:<10}"
+            for label, config in configs:
+                value = speedup(build_with(name, config), machine)
+                table[(name, label)] = value
+                row += f"{value:>12.2f}"
+            lines.append(row)
+        text = "\n".join(lines)
+        print("\n" + text)
+        write_output(filename, text)
+        return table
+
+    return benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_exit_weight(benchmark):
+    configs = [
+        (f"w={w}", CPRConfig(exit_weight_threshold=w))
+        for w in (0.05, 0.15, 0.35, 0.75)
+    ]
+    table = sweep(
+        benchmark,
+        "Ablation: exit-weight threshold (wide machine speedup)",
+        "ablation_exit_weight.txt",
+        configs,
+    )
+    # go must stay ~1.0 under every threshold (its branches are unbiased
+    # enough that even permissive thresholds find nothing worth keeping).
+    for label, _ in configs:
+        assert 0.9 <= table[("099.go", label)] <= 1.1
+
+
+def test_ablation_blocking(benchmark):
+    configs = [
+        (f"max={m}", CPRConfig(max_branches=m))
+        for m in (1, 2, 4, None)
+    ]
+    table = sweep(
+        benchmark,
+        "Ablation: CPR blocking via max_branches (wide machine speedup)",
+        "ablation_blocking.txt",
+        configs,
+    )
+    # max=1 means unit CPR blocks only: the identity transformation.
+    for name in ABLATION_WORKLOADS:
+        assert table[(name, "max=1")] == pytest.approx(1.0)
+    # Unbounded blocks must beat unit blocks on the biased workloads.
+    assert table[("cmp", "max=None")] > table[("cmp", "max=1")]
+
+
+def test_ablation_taken_variation(benchmark):
+    configs = [
+        ("taken=on", CPRConfig(enable_taken_variation=True)),
+        ("taken=off", CPRConfig(enable_taken_variation=False)),
+    ]
+    table = sweep(
+        benchmark,
+        "Ablation: taken-variation schema (wide machine speedup)",
+        "ablation_taken.txt",
+        configs,
+    )
+    # The taken variation is a height-versus-throughput tradeoff: folding
+    # the likely-taken latch into the CPR block makes every on-trace store
+    # wait on its condition too (costing height on wide machines) but
+    # saves the extra bypass branch. Assert the tradeoff's two sides:
+    # cycles stay in the same ballpark...
+    assert table[("strcpy", "taken=on")] >= (
+        table[("strcpy", "taken=off")] - 0.25
+    )
+    # ...and the branch-count claim holds: the taken variation executes
+    # strictly fewer branches (no bypass + compensation double hop).
+    from repro.perf import operation_counts
+
+    on = build_with("strcpy", CPRConfig(enable_taken_variation=True))
+    off = build_with("strcpy", CPRConfig(enable_taken_variation=False))
+    on_branches = operation_counts(
+        on.transformed, on.transformed_profile
+    ).dynamic_branches
+    off_branches = operation_counts(
+        off.transformed, off.transformed_profile
+    ).dynamic_branches
+    assert on_branches < off_branches
+
+
+def test_ablation_speculation(benchmark):
+    configs = [
+        ("spec=on", CPRConfig(enable_speculation=True)),
+        ("spec=off", CPRConfig(enable_speculation=False)),
+    ]
+    table = sweep(
+        benchmark,
+        "Ablation: predicate speculation (wide machine speedup)",
+        "ablation_speculation.txt",
+        configs,
+    )
+    # Paper Section 5.1: without speculation, separability fails at almost
+    # every block. CPR blocks shrink to fragments — at best the identity
+    # transformation, at worst chained per-fragment FRP initializations
+    # that *lose* performance. Either way, speculation must dominate.
+    for name in ("strcpy", "cmp"):
+        assert table[(name, "spec=off")] < table[(name, "spec=on")]
+        assert table[(name, "spec=off")] <= 1.02
+
+
+def test_ablation_branch_latency(benchmark):
+    """Exposed branch latency sweep: CPR's advantage grows with latency
+    (more delay-slot pressure per eliminated branch)."""
+
+    def run():
+        config = CPRConfig()
+        lines = [
+            "Ablation: exposed branch latency (medium machine speedup)",
+            f"{'benchmark':<10}" + "".join(
+                f"{f'lat={lat}':>12}" for lat in (1, 2, 3)
+            ),
+        ]
+        table = {}
+        for name in ABLATION_WORKLOADS:
+            build = build_with(name, config)
+            row = f"{name:<10}"
+            for latency in (1, 2, 3):
+                machine = MEDIUM.with_branch_latency(latency)
+                value = speedup(build, machine)
+                table[(name, latency)] = value
+                row += f"{value:>12.2f}"
+            lines.append(row)
+        text = "\n".join(lines)
+        print("\n" + text)
+        write_output("ablation_branch_latency.txt", text)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert table[("cmp", 3)] >= table[("cmp", 1)] - 0.02

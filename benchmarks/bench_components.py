@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the library's own components (compile-time cost).
+
+These are genuine pytest-benchmark timings (multiple rounds): the
+functional simulator's interpretation rate, dependence-graph construction,
+list scheduling, predicate-expression queries, and the mini-C frontend.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from conftest import build_strcpy_program  # noqa: E402
+
+from repro.analysis import (  # noqa: E402
+    AtomUniverse,
+    DependenceGraph,
+    LivenessAnalysis,
+    PredicateTracker,
+)
+from repro.frontend import compile_source  # noqa: E402
+from repro.machine import MEDIUM, PAPER_LATENCIES  # noqa: E402
+from repro.sched import schedule_block  # noqa: E402
+from repro.sim.interpreter import Interpreter  # noqa: E402
+from repro.workloads.registry import get_workload  # noqa: E402
+
+
+def test_interpreter_throughput(benchmark):
+    workload = get_workload("wc")
+    program = workload.compile()
+
+    def run():
+        interp = Interpreter(program)
+        args = tuple(workload.inputs[0](interp))
+        return interp.run(args=args).ops_executed
+
+    ops = benchmark(run)
+    assert ops > 10_000
+
+
+def test_dependence_graph_construction(benchmark):
+    program = build_strcpy_program(unroll=8)
+    proc = program.procedure("main")
+    block = proc.block("Loop")
+    liveness = LivenessAnalysis(proc)
+
+    def build():
+        return len(
+            DependenceGraph(
+                block, PAPER_LATENCIES, liveness=liveness
+            ).edges
+        )
+
+    edges = benchmark(build)
+    assert edges > 50
+
+
+def test_list_scheduler(benchmark):
+    program = build_strcpy_program(unroll=8)
+    proc = program.procedure("main")
+    block = proc.block("Loop")
+    liveness = LivenessAnalysis(proc)
+
+    length = benchmark(
+        lambda: schedule_block(block, MEDIUM, liveness=liveness).length
+    )
+    assert length > 0
+
+
+def test_predicate_tracker(benchmark):
+    program = build_strcpy_program(unroll=8)
+    block = program.procedure("main").block("Loop")
+
+    def track():
+        tracker = PredicateTracker(block)
+        branches = block.exit_branches()
+        return tracker.disjoint(branches[0], branches[-1])
+
+    benchmark(track)
+
+
+def test_predicate_expression_queries(benchmark):
+    def run():
+        universe = AtomUniverse()
+        atoms = [universe.atom() for _ in range(12)]
+        conjunction = universe.true()
+        disjunction = universe.false()
+        for atom in atoms:
+            conjunction = conjunction & ~atom
+            disjunction = disjunction | atom
+        return conjunction.disjoint_with(disjunction)
+
+    assert benchmark(run) is True
+
+
+def test_frontend_compilation(benchmark):
+    source = get_workload("085.cc1").source
+    program = benchmark(lambda: compile_source(source))
+    assert program.procedures

@@ -1,0 +1,136 @@
+"""Head-to-head: ICBM versus full (redundant) CPR — paper Section 4.
+
+The paper motivates ICBM against full CPR [SK95]: full CPR accelerates
+*every* path and needs no profile, but its compare count grows
+quadratically and every executed iteration pays all of the redundant
+lookahead work. ICBM is irredundant on-trace but bets on the profile.
+
+This bench builds both on the same baselines and reports wide-machine
+speedup plus static/dynamic op growth side by side.
+"""
+
+from benchmarks.conftest import write_output
+from repro.analysis import LivenessAnalysis
+from repro.core import apply_full_cpr, speculate_block
+from repro.ir import verify_program
+from repro.machine import SEQUENTIAL, WIDE
+from repro.opt import frp_convert_procedure
+from repro.perf import estimate_program_cycles, operation_counts
+from repro.pipeline import apply_control_cpr, build_baseline
+from repro.sim.profiler import profile_program
+from repro.workloads.registry import get_workload
+
+WORKLOADS = ["strcpy", "cmp", "grep", "099.go"]
+
+
+def build_full_cpr(baseline, inputs):
+    transformed = baseline.clone()
+    for proc in transformed.procedures.values():
+        frp_convert_procedure(proc)
+        for block in proc.blocks:
+            if len(block.exit_branches()) >= 2:
+                speculate_block(proc, block, LivenessAnalysis(proc))
+        apply_full_cpr(proc)
+    verify_program(transformed)
+    profile = profile_program(transformed, inputs=inputs)
+    return transformed, profile
+
+
+def test_icbm_vs_full_cpr(benchmark):
+    def run():
+        lines = [
+            "ICBM vs full CPR (wide machine)",
+            f"{'benchmark':<10}{'ICBM spdup':>12}{'full spdup':>12}"
+            f"{'ICBM Stot':>11}{'full Stot':>11}"
+            f"{'ICBM Dtot':>11}{'full Dtot':>11}",
+        ]
+        table = {}
+        for name in WORKLOADS:
+            workload = get_workload(name)
+            baseline, base_profile = build_baseline(
+                workload.compile(), workload.inputs
+            )
+            base_cycles = estimate_program_cycles(
+                baseline, WIDE, base_profile
+            ).total
+            base_counts = operation_counts(baseline, base_profile)
+
+            icbm, icbm_profile, _ = apply_control_cpr(
+                baseline, workload.inputs
+            )
+            icbm_speedup = base_cycles / estimate_program_cycles(
+                icbm, WIDE, icbm_profile
+            ).total
+            icbm_ratios = operation_counts(
+                icbm, icbm_profile
+            ).ratios_against(base_counts)
+
+            full, full_profile = build_full_cpr(
+                baseline, workload.inputs
+            )
+            full_speedup = base_cycles / estimate_program_cycles(
+                full, WIDE, full_profile
+            ).total
+            full_ratios = operation_counts(
+                full, full_profile
+            ).ratios_against(base_counts)
+
+            table[name] = (icbm_speedup, full_speedup,
+                           icbm_ratios, full_ratios)
+            lines.append(
+                f"{name:<10}{icbm_speedup:>12.2f}{full_speedup:>12.2f}"
+                f"{icbm_ratios[0]:>11.2f}{full_ratios[0]:>11.2f}"
+                f"{icbm_ratios[2]:>11.2f}{full_ratios[2]:>11.2f}"
+            )
+        text = "\n".join(lines)
+        print("\n" + text)
+        write_output("icbm_vs_fullcpr.txt", text)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name in ("strcpy", "cmp"):
+        icbm_speedup, full_speedup, icbm_ratios, full_ratios = table[name]
+        # Full CPR executes its redundant lookaheads on every iteration:
+        # ICBM must be leaner both statically and dynamically...
+        assert icbm_ratios[0] < full_ratios[0]
+        assert icbm_ratios[2] < full_ratios[2]
+        # ...and faster: the redundant work eats the height win even on
+        # the wide machine (exactly the paper's argument for ICBM).
+        assert icbm_speedup > full_speedup
+        assert icbm_speedup > 1.05 and full_speedup > 0.9
+
+
+def test_full_cpr_dynamic_redundancy(benchmark):
+    """Sequential machine: full CPR's executed-op overhead is visible as a
+    direct slowdown, while ICBM (irredundant) speeds up — the paper's
+    motivation for ICBM on minimal-parallelism processors."""
+
+    def run():
+        workload = get_workload("cmp")
+        baseline, base_profile = build_baseline(
+            workload.compile(), workload.inputs
+        )
+        base = estimate_program_cycles(
+            baseline, SEQUENTIAL, base_profile
+        ).total
+        icbm, icbm_profile, _ = apply_control_cpr(
+            baseline, workload.inputs
+        )
+        full, full_profile = build_full_cpr(baseline, workload.inputs)
+        return (
+            base / estimate_program_cycles(
+                icbm, SEQUENTIAL, icbm_profile
+            ).total,
+            base / estimate_program_cycles(
+                full, SEQUENTIAL, full_profile
+            ).total,
+        )
+
+    icbm_speedup, full_speedup = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\nsequential machine: ICBM {icbm_speedup:.2f} vs "
+        f"full CPR {full_speedup:.2f}"
+    )
+    assert icbm_speedup > full_speedup

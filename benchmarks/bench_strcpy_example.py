@@ -1,0 +1,95 @@
+"""The paper's Section 6 worked example as a bench: structure numbers plus
+the raw transformation throughput of the ICBM implementation itself."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from conftest import build_strcpy_program  # noqa: E402
+
+from benchmarks.conftest import write_output  # noqa: E402
+from repro.analysis import LivenessAnalysis  # noqa: E402
+from repro.core import CPRConfig, apply_icbm  # noqa: E402
+from repro.machine import INFINITE  # noqa: E402
+from repro.opt import frp_convert_procedure  # noqa: E402
+from repro.sched import schedule_block  # noqa: E402
+from repro.sim.profiler import profile_program  # noqa: E402
+
+
+def strcpy_profile(program):
+    def setup(interp):
+        data = [(i % 9) + 1 for i in range(41)] + [0]
+        interp.poke_array("A", data)
+        return (interp.segment_base("A"), interp.segment_base("B"))
+
+    return profile_program(program, inputs=[setup])
+
+
+def transform_once():
+    program = build_strcpy_program(unroll=4)
+    proc = program.procedure("main")
+    frp_convert_procedure(proc)
+    profile = strcpy_profile(program)
+    apply_icbm(
+        proc, profile,
+        CPRConfig(exit_weight_threshold=0.5, max_branches=2),
+    )
+    return program
+
+
+def test_section6_numbers(benchmark):
+    """Reproduce the worked example's summary metrics."""
+    program = benchmark.pedantic(transform_once, rounds=1, iterations=1)
+    proc = program.procedure("main")
+    baseline = build_strcpy_program(unroll=4)
+    base_proc = baseline.procedure("main")
+
+    base_ops = len(base_proc.block("Loop").ops)
+    on_trace = len(proc.block("Loop").ops)
+    compensation = sum(
+        len(block.ops)
+        for block in proc.blocks
+        if block.label.name.startswith("Cmp")
+    )
+    base_height = schedule_block(
+        base_proc.block("Loop"), INFINITE,
+        liveness=LivenessAnalysis(base_proc),
+    ).length
+    cpr_height = schedule_block(
+        proc.block("Loop"), INFINITE, liveness=LivenessAnalysis(proc)
+    ).length
+
+    lines = [
+        "Section 6 worked example (ours | paper)",
+        f"on-trace loop ops:    {base_ops} -> {on_trace}  | 30 -> 28",
+        f"compensation ops:     {compensation}  | 11",
+        f"dependence height:    {base_height} -> {cpr_height}  | 8 -> 7",
+        f"on-trace branches:    4 -> {len(proc.block('Loop').exit_branches())}",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_output("section6.txt", text)
+
+    assert base_height == 8        # exact match with the paper
+    assert on_trace <= base_ops + 2
+    assert 0 < compensation <= 20
+
+
+def test_icbm_transformation_throughput(benchmark):
+    """How fast is the transformation itself (compile-time cost)?
+
+    Measures FRP conversion + speculation + match + restructure + motion
+    + DCE over a fresh 8x-unrolled superblock each round.
+    """
+
+    def run_transform():
+        program = build_strcpy_program(unroll=8)
+        proc = program.procedure("main")
+        frp_convert_procedure(proc)
+        profile = strcpy_profile(program)
+        apply_icbm(proc, profile, CPRConfig())
+        return proc.op_count()
+
+    ops = benchmark(run_transform)
+    assert ops > 0

@@ -1,0 +1,99 @@
+"""Regenerate the paper's Table 3: operation-count ratios (medium machine).
+
+Columns: S tot / S br (static total / branch op ratio) and D tot / D br
+(dynamic ratios), transformed over baseline. Reuses the builds cached by
+the Table 2 bench when both run in one session.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_WORKLOADS,
+    cached_results,
+    evaluate_cached,
+    write_output,
+)
+from repro.perf.report import Table3, geometric_mean
+
+#: Paper Table 3 (S tot, S br, D tot, D br) for the output's reference.
+PAPER_TABLE3 = {
+    "008.espresso": (1.10, 1.06, 0.98, 0.39),
+    "022.li": (1.03, 1.01, 0.99, 0.63),
+    "023.eqntott": (1.11, 1.04, 1.04, 0.54),
+    "026.compress": (1.14, 1.06, 1.06, 0.61),
+    "056.ear": (1.06, 1.03, 0.94, 0.35),
+    "072.sc": (1.05, 1.02, 0.92, 0.52),
+    "085.cc1": (1.05, 1.02, 0.97, 0.63),
+    "099.go": (1.08, 1.04, 1.04, 0.86),
+    "124.m88ksim": (1.03, 1.02, 0.99, 0.44),
+    "126.gcc": (1.05, 1.02, 1.01, 0.81),
+    "129.compress": (1.19, 1.08, 0.99, 0.53),
+    "130.li": (1.04, 1.02, 1.02, 0.66),
+    "132.ijpeg": (1.07, 1.05, 0.93, 0.51),
+    "134.perl": (1.01, 1.01, 0.97, 0.66),
+    "147.vortex": (1.02, 1.01, 0.91, 0.62),
+    "cccp": (1.10, 1.06, 0.88, 0.39),
+    "cmp": (1.08, 1.01, 0.71, 0.13),
+    "eqn": (1.03, 1.01, 0.91, 0.48),
+    "grep": (1.12, 1.03, 0.85, 0.15),
+    "lex": (1.12, 1.04, 0.83, 0.20),
+    "strcpy": (1.16, 1.00, 0.61, 0.07),
+    "tbl": (1.06, 1.03, 1.00, 0.65),
+    "wc": (1.20, 1.08, 0.94, 0.40),
+    "yacc": (1.15, 1.07, 0.95, 0.36),
+}
+
+
+@pytest.mark.parametrize("name", BENCH_WORKLOADS)
+def test_table3_row(benchmark, name):
+    result = benchmark.pedantic(
+        evaluate_cached, args=(name,), rounds=1, iterations=1
+    )
+    s_tot, s_br, d_tot, d_br = result.count_ratios()
+    assert s_tot >= 1.0 - 1e-9      # CPR only adds static code
+    assert d_br <= 1.0 + 1e-9       # never more dynamic branches
+    assert d_tot <= 1.15            # irredundancy (small tolerance for
+    #                                 untransformed-region noise)
+
+
+def test_table3_render(benchmark):
+    results = cached_results()
+    rows = [results[name] for name in BENCH_WORKLOADS if name in results]
+
+    def render():
+        lines = [
+            "Table 3 — operation-count ratios, CPR/baseline "
+            "(ours | paper)",
+            f"{'benchmark':<14}"
+            + "".join(
+                f"{c:>14}" for c in ("S tot", "S br", "D tot", "D br")
+            ),
+        ]
+        for result in rows:
+            ratios = result.count_ratios()
+            paper = PAPER_TABLE3.get(result.name)
+            cells = []
+            for i in range(4):
+                ref = f"{paper[i]:.2f}" if paper else "  - "
+                cells.append(f"{ratios[i]:>6.2f} |{ref:>5}")
+            lines.append(f"{result.name:<14}" + " ".join(cells))
+        table = Table3(rows=rows)
+        for label, category in (
+            ("Gmean-spec95", "spec95"), ("Gmean-all", None)
+        ):
+            gmeans = table.gmean_row(category)
+            cells = [f"{v:>6.2f} |  -  " for v in gmeans]
+            lines.append(f"{label:<14}" + " ".join(cells))
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    print("\n" + text)
+    write_output("table3.txt", text)
+
+    if len(rows) >= 20:
+        table = Table3(rows=rows)
+        s_tot, s_br, d_tot, d_br = table.gmean_row(None)
+        # Paper gmeans: 1.08 / 1.03 / 0.93 / 0.42.
+        assert 1.0 <= s_tot <= 1.3
+        assert d_tot <= 1.02
+        assert d_br <= 0.8

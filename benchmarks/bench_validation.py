@@ -1,0 +1,81 @@
+"""Estimator validation: compiler estimation versus cycle simulation.
+
+The paper justifies its methodology by noting that the block-length x
+frequency estimate "accurately determines the performance obtained via
+simulation of an equivalent, statically-scheduled processor where dynamic
+effects are ignored". We built that simulator
+(:mod:`repro.sim.cycle_sim`), so the claim is testable: for a set of
+workloads, both baseline and CPR builds, the exit-aware estimate must
+match the cycle-by-cycle execution of the scheduled code.
+"""
+
+from benchmarks.conftest import write_output
+from repro.machine import MEDIUM, WIDE
+from repro.perf import estimate_program_cycles
+from repro.pipeline import build_workload
+from repro.sim import simulate_scheduled
+from repro.workloads.registry import get_workload
+
+WORKLOADS = ["strcpy", "cmp", "wc", "grep", "099.go", "132.ijpeg"]
+
+
+def test_estimation_matches_simulation(benchmark):
+    def run():
+        lines = [
+            "Estimator validation (medium machine): estimate vs simulated",
+            f"{'benchmark':<12}{'build':>10}{'estimated':>12}"
+            f"{'simulated':>12}{'error %':>9}",
+        ]
+        worst = 0.0
+        for name in WORKLOADS:
+            workload = get_workload(name)
+            build = build_workload(
+                workload.name, workload.compile(), workload.inputs
+            )
+            setup = workload.inputs[0]
+            for label, program, profile in (
+                ("baseline", build.baseline, build.baseline_profile),
+                ("cpr", build.transformed, build.transformed_profile),
+            ):
+                estimated = estimate_program_cycles(
+                    program, MEDIUM, profile, mode="exit-aware"
+                ).total
+                # Scale single-run simulation up to the profile's run count.
+                runs = max(profile.runs, 1)
+                simulated = simulate_scheduled(
+                    program, MEDIUM, setup=setup
+                ).total_cycles * runs
+                error = abs(estimated - simulated) / simulated * 100
+                worst = max(worst, error)
+                lines.append(
+                    f"{name:<12}{label:>10}{estimated:>12.0f}"
+                    f"{simulated:>12}{error:>9.3f}"
+                )
+        lines.append(f"\nworst-case error: {worst:.3f}%")
+        text = "\n".join(lines)
+        print("\n" + text)
+        write_output("validation.txt", text)
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert worst < 0.5  # estimation is essentially exact
+
+
+def test_wide_machine_validation(benchmark):
+    def run():
+        workload = get_workload("cmp")
+        build = build_workload(
+            workload.name, workload.compile(), workload.inputs
+        )
+        setup = workload.inputs[0]
+        estimated = estimate_program_cycles(
+            build.transformed, WIDE, build.transformed_profile,
+            mode="exit-aware",
+        ).total
+        simulated = simulate_scheduled(
+            build.transformed, WIDE, setup=setup
+        ).total_cycles
+        return estimated, simulated
+
+    estimated, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert abs(estimated - simulated) / simulated < 0.005

@@ -1,0 +1,61 @@
+"""Shared infrastructure for the experiment benches.
+
+Workload evaluations are expensive (each runs the functional simulator
+four times plus five scheduling passes), so results are cached at session
+scope and shared between the Table 2 and Table 3 benches.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — input-size multiplier (default 1);
+* ``REPRO_BENCH_SUBSET`` — comma-separated workload names to restrict the
+  tables to (default: the full 24-benchmark suite).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf.report import evaluate_workload
+from repro.workloads.registry import all_names, get_workload
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+_subset = os.environ.get("REPRO_BENCH_SUBSET", "")
+BENCH_WORKLOADS = (
+    [name.strip() for name in _subset.split(",") if name.strip()]
+    if _subset
+    else all_names()
+)
+
+#: Small representative subset used by the ablation benches.
+ABLATION_WORKLOADS = ["strcpy", "cmp", "wc", "099.go"]
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "out"
+
+_result_cache = {}
+
+
+def evaluate_cached(name: str):
+    """Evaluate one workload (full methodology), memoized per session."""
+    if name not in _result_cache:
+        _result_cache[name] = evaluate_workload(
+            get_workload(name, scale=SCALE)
+        )
+    return _result_cache[name]
+
+
+def cached_results():
+    return dict(_result_cache)
+
+
+def write_output(filename: str, text: str):
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / filename).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    return list(BENCH_WORKLOADS)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: evaluate control CPR on custom mini-C code.
+
+Shows the intended downstream-user workflow: write a kernel in the mini-C
+language, wrap it as a Workload with an input generator, and let
+``evaluate_workload`` run the paper's whole methodology (baseline build,
+ICBM build, differential verification, per-machine estimation).
+
+The kernel here is a saturating histogram — runs of biased branches
+(bounds checks that never fire) around memory traffic, a shape control CPR
+likes.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro.perf import evaluate_workload
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int SAMPLES[2100];
+int HIST[64];
+
+int main(int n) {
+    int clipped = 0;
+    int i = 0;
+    while (i < n) {
+        int s = SAMPLES[i];
+        if (s < 0) { return 0 - 1; }
+        int bucket = s >> 4;
+        if (bucket > 63) { bucket = 63; clipped += 1; }
+        int count = HIST[bucket];
+        if (count < 1000000) {
+            HIST[bucket] = count + 1;
+        }
+        i += 1;
+    }
+    return clipped;
+}
+"""
+
+
+def make_workload():
+    rng = Lcg(seed=777)
+    samples = rng.ints(2000, 0, 1023)
+
+    def setup(interp):
+        interp.poke_array("SAMPLES", samples)
+        return (len(samples),)
+
+    return Workload(
+        name="histogram",
+        source=SOURCE,
+        inputs=[setup],
+        description="saturating histogram with never-failing checks",
+    )
+
+
+def main():
+    result = evaluate_workload(make_workload())
+    print("Per-machine estimated speedup from control CPR:")
+    for name in ("sequential", "narrow", "medium", "wide", "infinite"):
+        print(f"  {name:<12} {result.speedup(name):6.2f}")
+    s_tot, s_br, d_tot, d_br = result.count_ratios()
+    print("\nOperation-count ratios (transformed / baseline):")
+    print(f"  static ops      {s_tot:6.2f}")
+    print(f"  static branches {s_br:6.2f}")
+    print(f"  dynamic ops     {d_tot:6.2f}")
+    print(f"  dynamic branches{d_br:6.2f}")
+    report = result.build.icbm_report
+    print(
+        f"\nICBM: {report.transformed_cpr_blocks}/"
+        f"{report.total_cpr_blocks} CPR blocks transformed; every build "
+        "stage was differentially verified against the original program."
+    )
+    print(
+        "\nNote the paper's Section 7 effect: the histogram's critical "
+        "path is the\nload-increment-store recurrence, so removing "
+        "branches pays off on the\n1-wide sequential machine (every op "
+        "saved is a cycle saved) but not on\nmachines whose branch units "
+        "were never saturated."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""ICBM versus full (redundant) CPR, side by side on one kernel.
+
+The paper's Section 4 frames ICBM against full CPR [SK95]: both collapse
+the branch chain's height, but full CPR computes every branch's
+fully-resolved predicate with its own quadratic wired-and tree (no
+profile, all paths fast) while ICBM keeps exactly one path fast and pays a
+compensation block. This example transforms the same unrolled scan loop
+both ways and prints the resulting code and costs.
+
+Run:  python examples/icbm_vs_fullcpr.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from conftest import build_strcpy_program  # noqa: E402
+
+from repro.analysis import LivenessAnalysis  # noqa: E402
+from repro.core import (  # noqa: E402
+    CPRConfig,
+    apply_full_cpr,
+    apply_icbm,
+    speculate_block,
+)
+from repro.ir import verify_procedure  # noqa: E402
+from repro.machine import SEQUENTIAL, WIDE  # noqa: E402
+from repro.opt import frp_convert_procedure  # noqa: E402
+from repro.perf import estimate_program_cycles, operation_counts  # noqa: E402
+from repro.sim.profiler import profile_program  # noqa: E402
+
+
+def make_setup():
+    def setup(target):
+        data = [(i % 9) + 1 for i in range(41)] + [0]
+        target.poke_array("A", data)
+        return (target.segment_base("A"), target.segment_base("B"))
+
+    return setup
+
+
+def measure(tag, program, baseline, base_profile):
+    profile = profile_program(program, inputs=[make_setup()])
+    counts = operation_counts(program, profile)
+    base_counts = operation_counts(baseline, base_profile)
+    s_tot, _, d_tot, d_br = counts.ratios_against(base_counts)
+    row = f"{tag:<10}"
+    for machine in (SEQUENTIAL, WIDE):
+        base = estimate_program_cycles(
+            baseline, machine, base_profile
+        ).total
+        ours = estimate_program_cycles(program, machine, profile).total
+        row += f"{base / ours:>10.2f}"
+    row += f"{s_tot:>10.2f}{d_tot:>10.2f}{d_br:>10.2f}"
+    print(row)
+
+
+def main():
+    baseline = build_strcpy_program(unroll=8)
+    base_profile = profile_program(baseline, inputs=[make_setup()])
+
+    # ICBM build.
+    icbm = build_strcpy_program(unroll=8)
+    proc = icbm.procedure("main")
+    frp_convert_procedure(proc)
+    icbm_profile = profile_program(icbm, inputs=[make_setup()])
+    apply_icbm(proc, icbm_profile, CPRConfig())
+    verify_procedure(proc)
+
+    # Full CPR build.
+    full = build_strcpy_program(unroll=8)
+    full_proc = full.procedure("main")
+    frp_convert_procedure(full_proc)
+    for block in full_proc.blocks:
+        if block.exit_branches():
+            speculate_block(
+                full_proc, block, LivenessAnalysis(full_proc)
+            )
+    report = apply_full_cpr(full_proc)
+    verify_procedure(full_proc)
+
+    print("8x-unrolled strcpy loop, transformed both ways:\n")
+    print(
+        f"{'scheme':<10}{'seq spdup':>10}{'wide spdup':>10}"
+        f"{'S tot':>10}{'D tot':>10}{'D br':>10}"
+    )
+    measure("ICBM", icbm, baseline, base_profile)
+    measure("full CPR", full, baseline, base_profile)
+    print(
+        f"\nfull CPR added {report.added_compares} lookahead compares "
+        f"(n(n+1)/2 for n=8 branches: 36) —\nthe quadratic growth the "
+        "paper cites as its reason to prefer ICBM, which keeps\n"
+        "the executed-op count *below* the baseline (irredundancy) "
+        "instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

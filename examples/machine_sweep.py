@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Sensitivity of control CPR to the machine: width and branch latency.
+
+The paper's central claim is that control CPR pays off more the more
+parallel the machine is (Table 2's left-to-right growth) and the longer
+the exposed branch latency is. This example evaluates three benchmark
+proxies across the paper's five machines *and* a branch-latency sweep on
+the medium machine.
+
+Run:  python examples/machine_sweep.py
+"""
+
+from repro import (
+    MEDIUM,
+    PAPER_PROCESSORS,
+    estimate_program_cycles,
+    get_workload,
+)
+from repro.pipeline import build_workload
+
+WORKLOADS = ["cmp", "wc", "099.go"]
+
+
+def speedup(build, machine):
+    base = estimate_program_cycles(
+        build.baseline, machine, build.baseline_profile
+    ).total
+    cpr = estimate_program_cycles(
+        build.transformed, machine, build.transformed_profile
+    ).total
+    return base / cpr
+
+
+def main():
+    builds = {}
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        builds[name] = build_workload(
+            workload.name, workload.compile(), workload.inputs
+        )
+
+    print("Speedup vs machine width (paper Table 2 shape):")
+    header = f"{'benchmark':<10}" + "".join(
+        f"{m.name:>12}" for m in PAPER_PROCESSORS
+    )
+    print(header)
+    for name in WORKLOADS:
+        row = f"{name:<10}"
+        for machine in PAPER_PROCESSORS:
+            row += f"{speedup(builds[name], machine):>12.2f}"
+        print(row)
+
+    print("\nSpeedup vs exposed branch latency (medium machine):")
+    print(f"{'benchmark':<10}" + "".join(
+        f"{f'lat={lat}':>12}" for lat in (1, 2, 3)
+    ))
+    for name in WORKLOADS:
+        row = f"{name:<10}"
+        for latency in (1, 2, 3):
+            machine = MEDIUM.with_branch_latency(latency)
+            row += f"{speedup(builds[name], machine):>12.2f}"
+        print(row)
+    print(
+        "\nReading: biased branch-bound code (cmp, wc) gains with width"
+        "\nand with branch latency; unbiased code (go) stays flat — the"
+        "\nexit-weight heuristic correctly refuses to transform it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's Section 6 worked example, step by step.
+
+Reproduces Figures 6-7: the 4x-unrolled string copy loop through FRP
+conversion, predicate speculation, match (two CPR blocks: fall-through then
+taken variation), restructure, off-trace motion, and dead-code elimination
+— printing the IR after each phase, then the paper's summary numbers
+(on-trace/compensation op counts and the dependence height on the
+infinite-resource machine).
+
+Run:  python examples/strcpy_walkthrough.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from conftest import build_strcpy_program  # noqa: E402
+
+from repro.analysis import LivenessAnalysis  # noqa: E402
+from repro.core import CPRConfig, apply_icbm, speculate_block  # noqa: E402
+from repro.ir import verify_procedure  # noqa: E402
+from repro.machine import INFINITE  # noqa: E402
+from repro.opt import frp_convert_block  # noqa: E402
+from repro.sched import schedule_block  # noqa: E402
+from repro.sim.profiler import profile_program  # noqa: E402
+
+
+def banner(title):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main():
+    program = build_strcpy_program(unroll=4)
+    proc = program.procedure("main")
+    loop = proc.block("Loop")
+    baseline_ops = len(loop.ops)
+
+    banner("Figure 6(b): unrolled superblock (baseline)")
+    print(loop.format())
+    base_height = schedule_block(
+        loop, INFINITE, liveness=LivenessAnalysis(proc)
+    ).length
+    print(f"\n[{baseline_ops} ops; dependence height {base_height} cycles"
+          f" on the infinite machine]")
+
+    banner("Figure 6(c): after FRP conversion")
+    frp_convert_block(proc, loop)
+    print(loop.format())
+
+    banner("Figure 7(a): after predicate speculation")
+    speculate_block(proc, loop, LivenessAnalysis(proc))
+    print(loop.format())
+
+    banner("Figures 7(b)-(c): after match + restructure + off-trace motion")
+
+    def setup(interp):
+        data = [(i % 9) + 1 for i in range(41)] + [0]
+        interp.poke_array("A", data)
+        return (interp.segment_base("A"), interp.segment_base("B"))
+
+    profile = profile_program(program, inputs=[setup])
+    # The paper blocks this example into two 2-branch CPR blocks so both
+    # restructure variations appear; max_branches=2 reproduces that.
+    config = CPRConfig(
+        exit_weight_threshold=0.5,
+        max_branches=2,
+        enable_speculation=False,  # already applied above
+    )
+    report = apply_icbm(proc, profile, config)
+    verify_procedure(proc)
+    print(proc.format())
+
+    banner("Summary (paper Section 6)")
+    on_trace = len(proc.block("Loop").ops)
+    compensation = sum(
+        len(block.ops)
+        for block in proc.blocks
+        if block.label.name.startswith("Cmp")
+    )
+    height = schedule_block(
+        proc.block("Loop"), INFINITE, liveness=LivenessAnalysis(proc)
+    ).length
+    (block_report,) = report.blocks
+    print(f"CPR blocks formed:      {len(block_report.cpr_blocks)} "
+          f"(taken variations: {block_report.taken_variations})")
+    print(f"on-trace loop ops:      {baseline_ops} -> {on_trace} "
+          f"(paper: 30 -> 28)")
+    print(f"compensation ops:       {compensation} (paper: 11)")
+    print(f"dependence height:      {base_height} -> {height} "
+          f"(paper: 8 -> 7)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Everything lives in pyproject.toml; this file exists so fully offline
+environments (no `wheel` package available for PEP 660 editable builds)
+can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

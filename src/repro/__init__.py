@@ -1,0 +1,99 @@
+"""repro — a from-scratch reproduction of
+
+    Schlansker, Mahlke, Johnson.
+    "Control CPR: A Branch Height Reduction Optimization for EPIC
+    Architectures." PLDI 1999 (HPL-1999-34).
+
+The package implements the complete system described in the paper: a
+PlayDoh-style predicated EPIC intermediate representation, Elcor-style
+predicate-cognizant analyses, profile-driven superblock formation, FRP
+conversion, the ICBM control CPR transformation (the paper's primary
+contribution), an EPIC list scheduler, the paper's compiler-estimation
+performance methodology, and a suite of workloads proxying the paper's
+benchmarks.
+
+Quick start::
+
+    from repro import get_workload, evaluate_workload
+
+    result = evaluate_workload(get_workload("strcpy"))
+    print(result.speedup("wide"))
+
+See README.md for the architecture overview, DESIGN.md for the full system
+inventory, and EXPERIMENTS.md for the paper-versus-measured record.
+"""
+
+from repro.core import CPRConfig, apply_icbm, apply_icbm_to_program
+from repro.frontend import compile_source
+from repro.ir import (
+    Block,
+    Cond,
+    IRBuilder,
+    Opcode,
+    Procedure,
+    Program,
+    parse_program,
+    verify_program,
+)
+from repro.machine import (
+    INFINITE,
+    MEDIUM,
+    NARROW,
+    PAPER_PROCESSORS,
+    ProcessorConfig,
+    SEQUENTIAL,
+    WIDE,
+)
+from repro.perf import (
+    build_table2,
+    build_table3,
+    estimate_program_cycles,
+    evaluate_workload,
+    operation_counts,
+)
+from repro.pipeline import (
+    PipelineOptions,
+    apply_control_cpr,
+    build_baseline,
+    build_workload,
+)
+from repro.sim import profile_program, run_program
+from repro.workloads.registry import all_names, all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "CPRConfig",
+    "Cond",
+    "INFINITE",
+    "IRBuilder",
+    "MEDIUM",
+    "NARROW",
+    "Opcode",
+    "PAPER_PROCESSORS",
+    "PipelineOptions",
+    "Procedure",
+    "ProcessorConfig",
+    "Program",
+    "SEQUENTIAL",
+    "WIDE",
+    "all_names",
+    "all_workloads",
+    "apply_control_cpr",
+    "apply_icbm",
+    "apply_icbm_to_program",
+    "build_baseline",
+    "build_table2",
+    "build_table3",
+    "build_workload",
+    "compile_source",
+    "estimate_program_cycles",
+    "evaluate_workload",
+    "get_workload",
+    "operation_counts",
+    "parse_program",
+    "profile_program",
+    "run_program",
+    "verify_program",
+]

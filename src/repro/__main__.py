@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the workload registry (paper Table 2 order);
+* ``evaluate NAME [...]`` — run the full methodology for one or more
+  workloads and print per-machine speedups and count ratios;
+* ``table2`` / ``table3`` — regenerate the paper's tables
+  (``--subset a,b,c`` restricts, ``--scale N`` grows inputs);
+* ``show NAME --stage {source,ir,baseline,cpr}`` — inspect a workload at
+  any pipeline stage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.report import build_table2, build_table3, evaluate_workload
+from repro.pipeline import PipelineOptions, build_workload
+from repro.workloads.registry import all_names, get_workload
+
+MACHINES = ("sequential", "narrow", "medium", "wide", "infinite")
+
+
+def _selected(args) -> list:
+    if getattr(args, "subset", None):
+        return [name.strip() for name in args.subset.split(",")]
+    return all_names()
+
+
+def cmd_list(args) -> int:
+    for name in all_names():
+        workload = get_workload(name)
+        print(f"{name:<14} [{workload.category:<6}] "
+              f"{workload.description}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    for name in args.names:
+        result = evaluate_workload(get_workload(name, scale=args.scale))
+        speedups = "  ".join(
+            f"{machine[:3]}={result.speedup(machine):.2f}"
+            for machine in MACHINES
+        )
+        s_tot, s_br, d_tot, d_br = result.count_ratios()
+        print(f"{name:<14} {speedups}")
+        print(
+            f"{'':<14} Stot={s_tot:.2f}  Sbr={s_br:.2f}  "
+            f"Dtot={d_tot:.2f}  Dbr={d_br:.2f}"
+        )
+    return 0
+
+
+def cmd_table2(args) -> int:
+    workloads = [get_workload(n, scale=args.scale) for n in _selected(args)]
+    print(build_table2(workloads).render())
+    return 0
+
+
+def cmd_table3(args) -> int:
+    workloads = [get_workload(n, scale=args.scale) for n in _selected(args)]
+    print(build_table3(workloads).render())
+    return 0
+
+
+def cmd_show(args) -> int:
+    workload = get_workload(args.name, scale=args.scale)
+    if args.stage == "source":
+        print(workload.source)
+        return 0
+    program = workload.compile()
+    if args.stage == "ir":
+        print(program.format())
+        return 0
+    build = build_workload(
+        workload.name, program, workload.inputs, PipelineOptions()
+    )
+    chosen = build.baseline if args.stage == "baseline" else (
+        build.transformed
+    )
+    print(chosen.format())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Control CPR: A Branch Height Reduction "
+            "Optimization for EPIC Architectures' (PLDI 1999)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload registry")
+
+    p_eval = sub.add_parser("evaluate", help="evaluate workloads")
+    p_eval.add_argument("names", nargs="+", choices=all_names())
+    p_eval.add_argument("--scale", type=int, default=1)
+
+    for table in ("table2", "table3"):
+        p_table = sub.add_parser(table, help=f"regenerate {table}")
+        p_table.add_argument("--subset", default="")
+        p_table.add_argument("--scale", type=int, default=1)
+
+    p_show = sub.add_parser("show", help="inspect a workload's code")
+    p_show.add_argument("name", choices=all_names())
+    p_show.add_argument(
+        "--stage",
+        choices=("source", "ir", "baseline", "cpr"),
+        default="ir",
+    )
+    p_show.add_argument("--scale", type=int, default=1)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "evaluate": cmd_evaluate,
+        "table2": cmd_table2,
+        "table3": cmd_table3,
+        "show": cmd_show,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Predicate-cognizant program analyses (Elcor-style, per [JS96])."""
+
+from repro.analysis.defuse import (
+    DefUseChains,
+    branch_compare_map,
+    guarding_compare,
+)
+from repro.analysis.dependence import DepEdge, DependenceGraph
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.liveness import (
+    LivenessAnalysis,
+    liveness_expressions,
+    promotion_is_legal,
+)
+from repro.analysis.loops import Loop, find_loops
+from repro.analysis.predexpr import (
+    AtomUniverse,
+    MAX_ATOMS,
+    PredicateExpr,
+    conservative_disjoint,
+    conservative_implies,
+)
+from repro.analysis.predtrack import PredicateTracker
+
+__all__ = [
+    "AtomUniverse",
+    "DefUseChains",
+    "DepEdge",
+    "DependenceGraph",
+    "DominatorTree",
+    "LivenessAnalysis",
+    "Loop",
+    "MAX_ATOMS",
+    "PredicateExpr",
+    "PredicateTracker",
+    "branch_compare_map",
+    "conservative_disjoint",
+    "conservative_implies",
+    "find_loops",
+    "guarding_compare",
+    "liveness_expressions",
+    "promotion_is_legal",
+]

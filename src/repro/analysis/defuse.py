@@ -1,0 +1,150 @@
+"""In-block def-use chains and branch/compare association.
+
+The match phase needs, "for every branch or compare operation, the unique
+compare-to-predicate operation that computes the guarding predicate, if such
+an operation exists within the region" (paper Section 5.2). Definitions in
+predicated code are usually *guarded*, so the analysis tracks **may-reaching
+definitions**: every definition since the last unguarded, unconditional
+(killing) write. A register with exactly one may-reaching definition has a
+unique computing op; uses link to all may-reaching definitions, giving the
+def-use chains that off-trace motion and speculation traverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import PredReg, TRUE_PRED
+from repro.ir.operation import Operation
+
+
+@dataclass
+class DefUseChains:
+    """May-reaching definitions and uses, from one forward scan."""
+
+    block: Block
+    # reaching[i][r]: list of ops that may define r at op i (empty list is
+    # never stored; absence means "defined before the block").
+    reaching: List[Dict] = field(default_factory=list)
+    # uses[uid]: (user op, operand) pairs reading each op's results.
+    uses: Dict[int, List[Tuple[Operation, object]]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def build(cls, block: Block) -> "DefUseChains":
+        chains = cls(block)
+        current: Dict = {}
+        for op in block.ops:
+            chains.reaching.append({r: list(v) for r, v in current.items()})
+            for reg in op.source_registers():
+                for definition in current.get(reg, ()):
+                    chains.uses.setdefault(definition.uid, []).append(
+                        (op, reg)
+                    )
+            always = set(op.always_writes())
+            for reg in op.unconditional_writes():
+                if reg in always:
+                    current[reg] = [op]  # killing definition
+                else:
+                    current.setdefault(reg, []).append(op)
+            for target in op.pred_targets():
+                if target.action.kind != "U":
+                    current.setdefault(target.reg, []).append(op)
+        return chains
+
+    # ------------------------------------------------------------------
+    def may_defs(self, index: int, reg) -> List[Operation]:
+        """All ops that may define *reg* as seen by op *index*."""
+        return list(self.reaching[index].get(reg, ()))
+
+    def reaching_def(self, index: int, reg) -> Optional[Operation]:
+        """The *unique* in-block op computing *reg* at op *index*, or None
+        when there is no in-block definition or it is not unique."""
+        defs = self.reaching[index].get(reg)
+        if defs and len(defs) == 1:
+            return defs[0]
+        return None
+
+    def users_of(self, op: Operation) -> List[Operation]:
+        """Ops reading any value *op* may define (deduplicated, in order)."""
+        seen = set()
+        result = []
+        for user, _ in self.uses.get(op.uid, []):
+            if user.uid not in seen:
+                seen.add(user.uid)
+                result.append(user)
+        return result
+
+
+def guarding_compare(
+    block: Block, chains: DefUseChains, op: Operation
+) -> Optional[Operation]:
+    """The cmpp computing *op*'s controlling predicate, if unique in-block.
+
+    For a branch, the controlling predicate is its source predicate
+    (``srcs[0]``); for other guarded ops it is the guard itself.
+    """
+    index = block.index_of(op)
+    if op.opcode is Opcode.BRANCH and isinstance(op.srcs[0], PredReg):
+        pred = op.srcs[0]
+    elif op.guard != TRUE_PRED:
+        pred = op.guard
+    else:
+        return None
+    definition = chains.reaching_def(index, pred)
+    if definition is not None and definition.opcode is Opcode.CMPP:
+        return definition
+    return None
+
+
+def branch_source_action(compare: Operation, branch: Operation):
+    """The cmpp action computing the branch's source predicate, or None."""
+    from repro.ir.semantics import Action
+
+    source = branch.srcs[0]
+    for target in compare.pred_targets():
+        if target.reg == source and target.action in (Action.UN, Action.UC):
+            return target.action
+    return None
+
+
+def branch_complement_pred(compare: Operation, branch: Operation):
+    """The fall-through predicate: the compare's *other* U-kind target.
+
+    For an UN-sourced branch this is the UC target and vice versa (branch
+    inversion during superblock formation produces UC-sourced branches).
+    """
+    from repro.ir.semantics import Action
+
+    source = branch.srcs[0]
+    for target in compare.pred_targets():
+        if target.reg != source and target.action in (
+            Action.UN, Action.UC
+        ):
+            return target.reg
+    return None
+
+
+def branch_taken_cond(compare: Operation, branch: Operation):
+    """The comparison condition under which the branch *takes* (the
+    compare's own condition, negated for a UC-sourced branch)."""
+    from repro.ir.semantics import Action
+
+    action = branch_source_action(compare, branch)
+    if action is Action.UC:
+        return compare.cond.negate()
+    return compare.cond
+
+
+def branch_compare_map(block: Block) -> Dict[int, Optional[Operation]]:
+    """Map each branch uid to its guarding cmpp (or None)."""
+    chains = DefUseChains.build(block)
+    result: Dict[int, Optional[Operation]] = {}
+    for op in block.ops:
+        if op.opcode is Opcode.BRANCH:
+            result[op.uid] = guarding_compare(block, chains, op)
+    return result

@@ -1,0 +1,385 @@
+"""Predicate-aware dependence graph over one block.
+
+Nodes are the block's operations (by position); edges carry a *kind* and a
+*latency* (minimum cycle distance for the scheduler). Construction follows
+the EPIC scheduling model of the paper:
+
+* register flow/anti/output dependences, pruned when the two operations'
+  execution conditions are provably disjoint (Elcor's predicate-cognizant
+  analysis); wired-or / wired-and cmpp writes to the same predicate are
+  mutually unordered (the paper's Section 3), each ordered only against the
+  initializing definition and against readers;
+* memory dependences with a simple region-based alias test (operations
+  tagged with distinct ``region`` attrs never alias);
+* control dependences: a non-speculative operation may not move above a
+  branch (edge latency = branch latency) nor may a branch take before a
+  preceding non-speculative operation has issued (latency 0); two branches
+  are serialized by the branch latency. Every such edge is *omitted* when
+  the branch's taken condition is disjoint from the other operation's
+  execution condition — this is exactly what makes FRP-converted branches
+  freely reorderable and lets guarded stores float;
+* restricted speculation: a speculative operation writing a register that is
+  live into some earlier branch's off-trace target may not be hoisted above
+  that branch (unless guard-disjoint), keeping estimated schedules honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.liveness import LivenessAnalysis
+from repro.analysis.memaddr import AddressResolver, may_alias_forms
+from repro.analysis.predtrack import PredicateTracker
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import TRUE_PRED
+from repro.machine.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A scheduling constraint: dst issues >= src issue + latency."""
+
+    src: int
+    dst: int
+    kind: str
+    latency: int
+
+    def __repr__(self):
+        return f"{self.src} -{self.kind}({self.latency})-> {self.dst}"
+
+
+class DependenceGraph:
+    """Dependences among ``block.ops``; indices are op positions."""
+
+    def __init__(
+        self,
+        block: Block,
+        latencies: LatencyModel,
+        tracker: Optional[PredicateTracker] = None,
+        liveness: Optional[LivenessAnalysis] = None,
+    ):
+        self.block = block
+        self.ops = list(block.ops)
+        self.latencies = latencies
+        self.tracker = tracker or PredicateTracker(block)
+        self.liveness = liveness
+        self.edges: List[DepEdge] = []
+        self.preds: Dict[int, List[DepEdge]] = {
+            i: [] for i in range(len(self.ops))
+        }
+        self.succs: Dict[int, List[DepEdge]] = {
+            i: [] for i in range(len(self.ops))
+        }
+        self._edge_set: Set = set()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Predicate-awareness helpers
+    # ------------------------------------------------------------------
+    def _disjoint(self, op_a, op_b) -> bool:
+        return self.tracker.disjoint(op_a, op_b)
+
+    def _taken_disjoint_from(self, branch, other) -> bool:
+        """Can *branch* provably never take while *other* is effective?"""
+        taken = self.tracker.taken_expr.get(branch.uid)
+        exec_expr = self.tracker.exec_expr(other)
+        if taken is None or exec_expr is None:
+            return False
+        return taken.disjoint_with(exec_expr)
+
+    # ------------------------------------------------------------------
+    # Edge management
+    # ------------------------------------------------------------------
+    def _add(self, src: int, dst: int, kind: str, latency: int):
+        if src == dst:
+            return
+        key = (src, dst, kind)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        edge = DepEdge(src, dst, kind, latency)
+        self.edges.append(edge)
+        self.succs[src].append(edge)
+        self.preds[dst].append(edge)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self):
+        self._build_register_deps()
+        self._build_memory_deps()
+        self._build_control_deps()
+        self._build_terminator_deps()
+
+    def _build_register_deps(self):
+        # For each register: the last ordinary definition, the wired (O/A)
+        # accumulations since it, and the readers since it. A definition is
+        # *guard-conditional* unless it happens regardless of the guard
+        # (unguarded ops, and U-kind cmpp targets per Table 1) — only
+        # guard-conditional accesses may be pruned by guard disjointness.
+        last_def: Dict = {}          # reg -> index of last ordinary def
+        conditional_def: Dict = {}   # reg -> was that def guard-conditional?
+        accumulators: Dict = {}      # reg -> [indices] of O/A writes
+        readers: Dict = {}           # reg -> [indices] since last def
+
+        for index, op in enumerate(self.ops):
+            always = set(op.always_writes())
+
+            # Flow edges: a read sees the last ordinary def plus every
+            # wired accumulation since it. Flow edges are never pruned by
+            # disjointness: even a nullified producer leaves the register
+            # holding the value the reader would observe, so ordering is
+            # required to read the architecturally correct value.
+            for reg in op.source_registers():
+                if reg in last_def:
+                    def_index = last_def[reg]
+                    producer = self.ops[def_index]
+                    self._add(
+                        def_index, index, "flow",
+                        self.latencies.latency(producer.opcode),
+                    )
+                for acc_index in accumulators.get(reg, ()):
+                    producer = self.ops[acc_index]
+                    self._add(
+                        acc_index, index, "flow",
+                        self.latencies.latency(producer.opcode),
+                    )
+                readers.setdefault(reg, []).append(index)
+
+            # Wired (O/A) writes: unordered among themselves, ordered after
+            # the initializing def and after prior readers.
+            for target in op.pred_targets():
+                if target.action.kind == "U":
+                    continue
+                reg = target.reg
+                if reg in last_def:
+                    self._add(last_def[reg], index, "output", 1)
+                for reader_index in readers.get(reg, ()):
+                    reader = self.ops[reader_index]
+                    if not self._disjoint(reader, op):
+                        self._add(reader_index, index, "anti", 0)
+                accumulators.setdefault(reg, []).append(index)
+
+            # Ordinary writes.
+            for reg in op.unconditional_writes():
+                conditional = reg not in always
+                if reg in last_def:
+                    prunable = conditional and conditional_def.get(reg, True)
+                    previous = self.ops[last_def[reg]]
+                    if not (prunable and self._disjoint(previous, op)):
+                        self._add(last_def[reg], index, "output", 1)
+                for acc_index in accumulators.get(reg, ()):
+                    self._add(acc_index, index, "output", 1)
+                for reader_index in readers.get(reg, ()):
+                    reader = self.ops[reader_index]
+                    if reader_index == index:
+                        continue
+                    if conditional and self._disjoint(reader, op):
+                        continue
+                    self._add(reader_index, index, "anti", 0)
+                last_def[reg] = index
+                conditional_def[reg] = conditional
+                accumulators[reg] = []
+                readers[reg] = []
+
+    # ------------------------------------------------------------------
+    def _may_alias(self, index_a: int, index_b: int) -> bool:
+        op_a, op_b = self.ops[index_a], self.ops[index_b]
+        region_a = op_a.attrs.get("region")
+        region_b = op_b.attrs.get("region")
+        if (
+            region_a is not None
+            and region_b is not None
+            and region_a != region_b
+        ):
+            return False
+        form_a = self._address_form(index_a)
+        form_b = self._address_form(index_b)
+        return may_alias_forms(form_a, form_b)
+
+    def _address_form(self, index: int):
+        form = self._address_forms.get(index)
+        if form is None:
+            form = self._resolver.form_for(index, self.ops[index].srcs[0])
+            self._address_forms[index] = form
+        return form
+
+    def _build_memory_deps(self):
+        self._resolver = AddressResolver(self.block)
+        self._address_forms: Dict[int, object] = {}
+        stores: List[int] = []
+        loads: List[int] = []
+        for index, op in enumerate(self.ops):
+            if op.opcode is Opcode.CALL:
+                # Calls are memory barriers.
+                for prior in stores + loads:
+                    self._add(prior, index, "mem", 1)
+                stores = [index]
+                loads = [index]
+                continue
+            if op.opcode is Opcode.LOAD:
+                for store_index in stores:
+                    store = self.ops[store_index]
+                    if self._may_alias(store_index, index) and not (
+                        self._disjoint(store, op)
+                    ):
+                        self._add(
+                            store_index, index, "mem",
+                            self.latencies.latency(store.opcode),
+                        )
+                loads.append(index)
+            elif op.opcode is Opcode.STORE:
+                for store_index in stores:
+                    store = self.ops[store_index]
+                    if self._may_alias(store_index, index) and not (
+                        self._disjoint(store, op)
+                    ):
+                        self._add(store_index, index, "mem", 1)
+                for load_index in loads:
+                    load = self.ops[load_index]
+                    if self._may_alias(load_index, index) and not (
+                        self._disjoint(load, op)
+                    ):
+                        self._add(load_index, index, "mem", 0)
+                stores.append(index)
+
+    # ------------------------------------------------------------------
+    def _build_control_deps(self):
+        branch_latency = self.latencies.branch
+        branches: List[int] = []
+        nonspec_since: List[int] = []  # non-speculative ops seen so far
+        live_at_target: Dict[int, Set] = {}
+
+        for index, op in enumerate(self.ops):
+            if op.opcode is Opcode.BRANCH:
+                branch = op
+                # Serialize against earlier branches unless mutually
+                # exclusive (FRP-converted branches overlap freely).
+                for prior_index in branches:
+                    prior = self.ops[prior_index]
+                    if not self._taken_disjoint_from(prior, branch):
+                        self._add(
+                            prior_index, index, "control", branch_latency
+                        )
+                # A branch must not take before earlier non-speculative ops
+                # have issued.
+                for ns_index in nonspec_since:
+                    other = self.ops[ns_index]
+                    if not self._taken_disjoint_from(branch, other):
+                        self._add(ns_index, index, "control", 0)
+                if self.liveness is not None:
+                    target = branch.branch_target()
+                    live = (
+                        self.liveness.live_in(target)
+                        if target is not None
+                        else None
+                    )
+                    live_at_target[index] = live
+                else:
+                    live = None
+                # Downward-motion restriction: an earlier op whose result
+                # is live at this branch's taken target must issue before
+                # the branch takes effect (the dual of restricted upward
+                # speculation) — otherwise the off-trace path would read a
+                # value the schedule never produced.
+                for prior_index in range(index):
+                    prior = self.ops[prior_index]
+                    written = prior.unconditional_writes()
+                    if not written:
+                        continue
+                    if live is not None and not any(
+                        reg in live for reg in written
+                    ):
+                        continue
+                    if self._taken_disjoint_from(branch, prior):
+                        continue
+                    self._add(prior_index, index, "control", 0)
+                branches.append(index)
+                nonspec_since.append(index)
+                continue
+
+            if not op.opcode.is_speculable():
+                # Store/call: may not move above any prior branch that might
+                # take while this op would be effective.
+                for branch_index in branches:
+                    branch = self.ops[branch_index]
+                    if not self._taken_disjoint_from(branch, op):
+                        self._add(
+                            branch_index, index, "control", branch_latency
+                        )
+                nonspec_since.append(index)
+                continue
+
+            # Speculative op: free to hoist above branches unless it would
+            # clobber a register live on some branch's off-trace path.
+            written = op.unconditional_writes()
+            if not written:
+                continue
+            for branch_index in branches:
+                live = live_at_target.get(branch_index)
+                if self.liveness is None:
+                    clobbers = True  # no liveness info: be conservative
+                elif live is None:
+                    clobbers = True
+                else:
+                    clobbers = any(reg in live for reg in written)
+                if clobbers:
+                    branch = self.ops[branch_index]
+                    if not self._taken_disjoint_from(branch, op):
+                        self._add(
+                            branch_index, index, "control", branch_latency
+                        )
+
+    def _build_terminator_deps(self):
+        if not self.ops:
+            return
+        last = self.ops[-1]
+        if last.opcode in (Opcode.JUMP, Opcode.RETURN):
+            terminator_index = len(self.ops) - 1
+            for index in range(terminator_index):
+                self._add(index, terminator_index, "control", 0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def predecessors(self, index: int) -> List[DepEdge]:
+        return self.preds[index]
+
+    def successors(self, index: int) -> List[DepEdge]:
+        return self.succs[index]
+
+    def transitive_successors(
+        self, start: int, skip_edge=None
+    ) -> Set[int]:
+        """Indices reachable from *start* via dependence edges.
+
+        *skip_edge*, when given, is a predicate ``f(edge) -> bool``; edges
+        for which it returns True are not traversed (used by the
+        separability test's fall-through-guard exemption).
+        """
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for edge in self.succs[current]:
+                if skip_edge is not None and skip_edge(edge):
+                    continue
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+        return seen
+
+    def critical_path_height(self) -> Dict[int, int]:
+        """Longest-path height (cycles to region end) per op, ignoring
+        resources — the scheduler's priority function."""
+        heights: Dict[int, int] = {}
+        for index in range(len(self.ops) - 1, -1, -1):
+            op = self.ops[index]
+            base = self.latencies.latency(op.opcode)
+            best = base
+            for edge in self.succs[index]:
+                best = max(best, edge.latency + heights[edge.dst])
+            heights[index] = best
+        return heights

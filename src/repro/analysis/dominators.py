@@ -1,0 +1,62 @@
+"""Dominator computation over the CFG (Cooper-Harvey-Kennedy iterative)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.operands import Label
+
+
+class DominatorTree:
+    """Immediate dominators for every reachable block."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.order: List[Label] = cfg.reverse_postorder()
+        self._index = {label: i for i, label in enumerate(self.order)}
+        self.idom: Dict[Label, Optional[Label]] = {}
+        self._solve()
+
+    def _solve(self):
+        entry = self.cfg.entry
+        self.idom = {label: None for label in self.order}
+        self.idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for label in self.order:
+                if label == entry:
+                    continue
+                processed = [
+                    p
+                    for p in self.cfg.predecessors(label)
+                    if p in self._index and self.idom.get(p) is not None
+                ]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for pred in processed[1:]:
+                    new_idom = self._intersect(pred, new_idom)
+                if self.idom[label] != new_idom:
+                    self.idom[label] = new_idom
+                    changed = True
+
+    def _intersect(self, a: Label, b: Label) -> Label:
+        while a != b:
+            while self._index[a] > self._index[b]:
+                a = self.idom[a]
+            while self._index[b] > self._index[a]:
+                b = self.idom[b]
+        return a
+
+    def dominates(self, a: Label, b: Label) -> bool:
+        """True when *a* dominates *b* (reflexive)."""
+        if a == b:
+            return True
+        current = b
+        while current is not None and current != self.cfg.entry:
+            current = self.idom.get(current)
+            if current == a:
+                return True
+        return a == self.cfg.entry

@@ -1,0 +1,232 @@
+"""Liveness analyses for predicated code ([JS96]-style).
+
+Boolean block-boundary liveness would be uselessly conservative on
+predicated code: a guarded definition never *definitely* kills, so in
+FRP-converted loops every guarded temporary looks live around the back
+edge and predicate speculation could never promote anything. Instead, the
+in-block transfer runs on predicate *expressions*: for each register the
+analysis tracks the condition under which its current value is still
+needed. A use under guard ``g`` contributes ``g``; a definition under
+guard ``g`` kills ``g``'s share (``needed &= !g``); a definition that
+writes regardless of its guard (unguarded ops, U-kind cmpp targets — see
+Table 1) kills outright; a side exit contributes its taken condition for
+every register live into the target.
+
+Block boundaries remain boolean (a register is live-in when its needed
+expression is satisfiable), so the fixpoint is the classic backward one.
+
+:func:`liveness_expressions` exposes the same transfer with per-point
+snapshots for predicate speculation, and :func:`promotion_is_legal`
+implements the paper's Section 5.1 promotion test: promoting a definition
+of ``r`` from guard ``p`` to true is legal iff ``needed_after(r) AND NOT
+p`` is unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.predtrack import PredicateTracker
+from repro.ir.block import Block
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Label, is_register
+from repro.ir.procedure import Procedure
+
+
+class _ExprState:
+    """Mutable map register -> needed expression (None = unknown/any)."""
+
+    __slots__ = ("needed",)
+
+    def __init__(self):
+        self.needed: Dict = {}
+
+    def add(self, reg, expr):
+        """needed[reg] |= expr (None absorbs)."""
+        if reg in self.needed:
+            existing = self.needed[reg]
+            if existing is None or expr is None:
+                self.needed[reg] = None
+            else:
+                self.needed[reg] = existing | expr
+        else:
+            self.needed[reg] = expr
+
+    def kill_always(self, reg):
+        self.needed.pop(reg, None)
+
+    def kill_under(self, reg, guard_expr):
+        """needed[reg] &= ~guard (guard None = unknown: no kill)."""
+        if reg not in self.needed:
+            return
+        existing = self.needed[reg]
+        if existing is None or guard_expr is None:
+            return  # cannot refine
+        survived = existing & ~guard_expr
+        if survived.is_false():
+            del self.needed[reg]
+        else:
+            self.needed[reg] = survived
+
+    def live_registers(self) -> Set:
+        return set(self.needed)
+
+
+def _transfer_op(op, state: _ExprState, tracker: PredicateTracker,
+                 live_in_of, true_expr):
+    """Apply one op's backward liveness transfer to *state*."""
+    guard = tracker.guard_expr.get(op.uid)
+
+    # Side exits: the target's live-in is needed under the taken condition.
+    if op.opcode in (Opcode.BRANCH, Opcode.JUMP):
+        target = op.branch_target()
+        if target is not None:
+            taken = (
+                tracker.taken_expr.get(op.uid)
+                if op.opcode is Opcode.BRANCH
+                else true_expr
+            )
+            for reg in live_in_of(target):
+                state.add(reg, taken)
+
+    # Kills.
+    always = set(op.always_writes())
+    for reg in op.unconditional_writes():
+        if reg in always:
+            state.kill_always(reg)
+        else:
+            state.kill_under(reg, guard)
+
+    # Uses. The guard register itself is read whenever the op is reached
+    # (its being false is what nullifies), so it is needed unconditionally.
+    # A branch's target register only matters when the branch takes.
+    if op.is_guarded:
+        state.add(op.guard, true_expr)
+    branch_btr = (
+        op.srcs[1]
+        if op.opcode is Opcode.BRANCH and len(op.srcs) == 2
+        else None
+    )
+    for reg in op.srcs:
+        if not is_register(reg):
+            continue
+        if reg is branch_btr:
+            state.add(reg, tracker.taken_expr.get(op.uid))
+        else:
+            state.add(reg, guard)
+
+
+class LivenessAnalysis:
+    """Predicate-aware liveness over a whole procedure."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.cfg = ControlFlowGraph(proc)
+        self._trackers: Dict[Label, PredicateTracker] = {}
+        self._live_in: Dict[Label, Set] = {b.label: set() for b in proc}
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def tracker(self, block: Block) -> PredicateTracker:
+        existing = self._trackers.get(block.label)
+        if existing is None:
+            existing = PredicateTracker(block)
+            self._trackers[block.label] = existing
+        return existing
+
+    def live_in(self, label) -> Set:
+        if isinstance(label, str):
+            label = Label(label)
+        return self._live_in.get(label, set())
+
+    def live_out(self, label) -> Set:
+        if isinstance(label, str):
+            label = Label(label)
+        result: Set = set()
+        for succ in set(self.cfg.successors(label)):
+            result |= self._live_in.get(succ, set())
+        return result
+
+    # ------------------------------------------------------------------
+    def _initial_state(self, block: Block, tracker) -> _ExprState:
+        state = _ExprState()
+        if block.terminator() is None and block.fallthrough is not None:
+            true_expr = tracker.universe.true()
+            for reg in self._live_in.get(block.fallthrough, set()):
+                state.add(reg, true_expr)
+        return state
+
+    def _scan_block(self, block: Block) -> Set:
+        tracker = self.tracker(block)
+        true_expr = tracker.universe.true()
+        state = self._initial_state(block, tracker)
+        live_in_of = lambda label: self._live_in.get(label, set())  # noqa: E731
+        for op in reversed(block.ops):
+            _transfer_op(op, state, tracker, live_in_of, true_expr)
+        return state.live_registers()
+
+    def _solve(self):
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(self.proc.blocks):
+                new_in = self._scan_block(block)
+                if new_in != self._live_in[block.label]:
+                    self._live_in[block.label] = new_in
+                    changed = True
+
+
+def liveness_expressions(
+    block: Block,
+    tracker: PredicateTracker,
+    liveness: Optional[LivenessAnalysis] = None,
+) -> List[Dict]:
+    """Per-op maps ``register -> needed-later expression`` (just *after*
+    each op). Registers absent from a map are dead at that point; a None
+    expression means "needed under unknown conditions".
+    """
+    true_expr = tracker.universe.true()
+    state = _ExprState()
+    if liveness is not None:
+        if block.terminator() is None and block.fallthrough is not None:
+            for reg in liveness.live_in(block.fallthrough):
+                state.add(reg, true_expr)
+
+    def live_in_of(label):
+        if liveness is None:
+            return ()
+        return liveness.live_in(label)
+
+    after_points: List[Dict] = [dict()] * len(block.ops)
+    for index in range(len(block.ops) - 1, -1, -1):
+        after_points[index] = dict(state.needed)
+        _transfer_op(
+            block.ops[index], state, tracker, live_in_of, true_expr
+        )
+    return after_points
+
+
+def promotion_is_legal(op, after_needed: Dict, tracker: PredicateTracker):
+    """May *op*'s guard be promoted to TRUE without clobbering live values?
+
+    Legal iff for every unconditional destination ``r``, the value of ``r``
+    just after the op is never needed under conditions where the op would
+    *not* originally have executed (``needed_after(r) AND NOT guard``
+    unsatisfiable).
+    """
+    guard = tracker.guard_expr.get(op.uid)
+    if guard is None:
+        return False
+    for reg in op.unconditional_writes():
+        if reg not in after_needed:
+            continue  # dead after op: promotion cannot hurt
+        needed = after_needed[reg]
+        if needed is None:
+            return False
+        # The promoted op overwrites r always; the overwrite is harmful
+        # exactly when the old value would have survived (guard false in
+        # the original program) yet is still needed.
+        if not (needed & ~guard).is_false():
+            return False
+    return True

@@ -1,0 +1,56 @@
+"""Natural loop detection via back edges of the dominator tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.operands import Label
+from repro.ir.procedure import Procedure
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the body block set."""
+
+    header: Label
+    body: Set[Label] = field(default_factory=set)
+    back_edges: List[Label] = field(default_factory=list)  # latch blocks
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self.body
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.body == {self.header}
+
+
+def find_loops(proc: Procedure) -> List[Loop]:
+    """All natural loops, one per header (merged bodies), outermost first."""
+    cfg = ControlFlowGraph(proc)
+    dom = DominatorTree(cfg)
+    reachable = cfg.reachable()
+    loops = {}
+    for edge in cfg.edges:
+        if edge.src not in reachable:
+            continue
+        if dom.dominates(edge.dst, edge.src):
+            loop = loops.setdefault(
+                edge.dst, Loop(header=edge.dst, body={edge.dst})
+            )
+            loop.back_edges.append(edge.src)
+            _collect_body(cfg, loop, edge.src)
+    ordered = sorted(loops.values(), key=lambda lp: len(lp.body), reverse=True)
+    return ordered
+
+
+def _collect_body(cfg: ControlFlowGraph, loop: Loop, latch: Label):
+    stack = [latch]
+    while stack:
+        label = stack.pop()
+        if label in loop.body:
+            continue
+        loop.body.add(label)
+        stack.extend(cfg.predecessors(label))

@@ -1,0 +1,135 @@
+"""Symbolic memory disambiguation via linear address forms.
+
+Unrolled kernels address memory as ``base + index + constant``; without
+disambiguation every store to an array serializes behind the previous one
+and the schedules the paper relies on are unattainable. This module
+resolves each memory operand, through the block's def-use chains, into a
+*linear form*: a mapping ``symbol -> coefficient`` plus a constant, where a
+symbol is either a block input register or the operation that produced an
+unanalyzable value. Two accesses with identical symbol parts and different
+constants provably never alias; identical constants always alias; anything
+else stays conservative.
+
+Soundness: symbols represent fixed (per block execution) values, so equal
+symbol parts mean the addresses differ exactly by the constant difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.defuse import DefUseChains
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, Label, Reg
+
+#: A linear form: (immutable symbol->coefficient part, constant part).
+LinearForm = Tuple[Tuple, int]
+
+_MAX_DEPTH = 16
+
+
+class AddressResolver:
+    """Resolves memory-operand addresses of one block to linear forms."""
+
+    def __init__(self, block: Block, chains: Optional[DefUseChains] = None):
+        self.block = block
+        self.chains = chains or DefUseChains.build(block)
+        self._cache: Dict = {}
+
+    # ------------------------------------------------------------------
+    def form_for(self, index: int, operand) -> LinearForm:
+        """Linear form of *operand* as read by the op at *index*."""
+        terms: Dict = {}
+        const = self._accumulate(index, operand, 1, terms, _MAX_DEPTH)
+        clean = tuple(
+            sorted((sym, coef) for sym, coef in terms.items() if coef)
+        )
+        return clean, const
+
+    def _accumulate(self, index, operand, scale, terms, depth) -> int:
+        """Add ``scale * operand`` into *terms*; returns the constant part."""
+        if isinstance(operand, Imm) and isinstance(operand.value, int):
+            return scale * operand.value
+        if isinstance(operand, Label):
+            _bump(terms, ("label", operand.name), scale)
+            return 0
+        if not isinstance(operand, Reg) or depth <= 0:
+            _bump(terms, ("opaque", id(operand)), scale)
+            return 0
+
+        definition = self.chains.reaching_def(index, operand)
+        if definition is None:
+            # Block input (or ambiguous): the register itself is a symbol.
+            _bump(terms, ("entry", operand), scale)
+            return 0
+        def_index = self._position(definition)
+        if def_index is None:
+            _bump(terms, ("entry", operand), scale)
+            return 0
+        if definition.is_guarded:
+            # A guarded producer may have been nullified; its destination
+            # still names a consistent per-execution value (the definition
+            # is the unique reaching one), but we must not decompose it.
+            _bump(terms, ("def", definition.uid), scale)
+            return 0
+
+        opcode = definition.opcode
+        srcs = definition.srcs
+        if opcode is Opcode.MOV:
+            return self._accumulate(
+                def_index, srcs[0], scale, terms, depth - 1
+            )
+        if opcode is Opcode.ADD:
+            c1 = self._accumulate(def_index, srcs[0], scale, terms, depth - 1)
+            c2 = self._accumulate(def_index, srcs[1], scale, terms, depth - 1)
+            return c1 + c2
+        if opcode is Opcode.SUB:
+            c1 = self._accumulate(def_index, srcs[0], scale, terms, depth - 1)
+            c2 = self._accumulate(
+                def_index, srcs[1], -scale, terms, depth - 1
+            )
+            return c1 + c2
+        if opcode is Opcode.MUL:
+            factor = _const_of(srcs[0]) or _const_of(srcs[1])
+            if factor is not None:
+                other = srcs[1] if _const_of(srcs[0]) else srcs[0]
+                return self._accumulate(
+                    def_index, other, scale * factor, terms, depth - 1
+                )
+        if opcode is Opcode.SHL:
+            factor = _const_of(srcs[1])
+            if factor is not None and 0 <= factor < 31:
+                return self._accumulate(
+                    def_index, srcs[0], scale * (1 << factor), terms,
+                    depth - 1,
+                )
+        # Unanalyzable producer: its result is an opaque symbol.
+        _bump(terms, ("def", definition.uid), scale)
+        return 0
+
+    def _position(self, op) -> Optional[int]:
+        cache = self._cache.get("positions")
+        if cache is None:
+            cache = {o.uid: i for i, o in enumerate(self.block.ops)}
+            self._cache["positions"] = cache
+        return cache.get(op.uid)
+
+
+def _bump(terms: Dict, symbol, scale: int):
+    terms[symbol] = terms.get(symbol, 0) + scale
+
+
+def _const_of(operand) -> Optional[int]:
+    if isinstance(operand, Imm) and isinstance(operand.value, int):
+        return operand.value
+    return None
+
+
+def may_alias_forms(a: LinearForm, b: LinearForm) -> bool:
+    """Conservative alias test between two resolved address forms."""
+    terms_a, const_a = a
+    terms_b, const_b = b
+    if terms_a == terms_b:
+        return const_a == const_b
+    return True

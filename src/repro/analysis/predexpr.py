@@ -1,0 +1,161 @@
+"""Symbolic predicate expressions with exact truth-table evaluation.
+
+The Elcor compiler the paper builds on has a family of "predicate cognizant"
+analysis tools [JS96]. The queries those tools answer — *can these two
+predicates be simultaneously true?* (disjointness), *does p imply q?*
+(subset) — drive branch reordering legality, predicate-aware dependence
+construction, and predicate speculation.
+
+We answer the queries exactly for regions of bounded complexity: every
+opaque boolean input (a compare result, or a predicate value flowing in at
+region entry) becomes an *atom*, and each expression is a truth table over
+the atoms, stored as a Python int bitmask (bit ``i`` holds the expression's
+value under assignment ``i``, where atom ``j``'s value is bit ``j`` of
+``i``). Boolean connectives are single int operations. Beyond
+:data:`MAX_ATOMS` atoms we degrade to conservative "unknown" answers rather
+than approximate ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+#: Tables stay exact up to this many atoms (2**16-bit ints; fast in CPython).
+MAX_ATOMS = 16
+
+
+class PredicateExpr:
+    """An immutable boolean function over a :class:`AtomUniverse`."""
+
+    __slots__ = ("universe", "table", "width")
+
+    def __init__(self, universe: "AtomUniverse", table: int, width: int):
+        self.universe = universe
+        self.table = table
+        self.width = width  # number of atoms the table currently spans
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+    def _extended(self, width: int) -> int:
+        """Table widened to *width* atoms by duplication."""
+        table = self.table
+        current = self.width
+        while current < width:
+            table |= table << (1 << current)
+            current += 1
+        return table
+
+    @staticmethod
+    def _pair(a: "PredicateExpr", b: "PredicateExpr"):
+        width = max(a.width, b.width)
+        return a._extended(width), b._extended(width), width
+
+    def _mask(self, width: int) -> int:
+        return (1 << (1 << width)) - 1
+
+    # ------------------------------------------------------------------
+    # Connectives
+    # ------------------------------------------------------------------
+    def __and__(self, other: "PredicateExpr") -> "PredicateExpr":
+        ta, tb, width = self._pair(self, other)
+        return PredicateExpr(self.universe, ta & tb, width)
+
+    def __or__(self, other: "PredicateExpr") -> "PredicateExpr":
+        ta, tb, width = self._pair(self, other)
+        return PredicateExpr(self.universe, ta | tb, width)
+
+    def __invert__(self) -> "PredicateExpr":
+        return PredicateExpr(
+            self.universe, ~self.table & self._mask(self.width), self.width
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_false(self) -> bool:
+        return self.table == 0
+
+    def is_true(self) -> bool:
+        return self.table == self._mask(self.width)
+
+    def disjoint_with(self, other: "PredicateExpr") -> bool:
+        ta, tb, _ = self._pair(self, other)
+        return (ta & tb) == 0
+
+    def implies(self, other: "PredicateExpr") -> bool:
+        ta, tb, _ = self._pair(self, other)
+        return (ta & ~tb) == 0
+
+    def equivalent_to(self, other: "PredicateExpr") -> bool:
+        ta, tb, _ = self._pair(self, other)
+        return ta == tb
+
+    def __repr__(self):
+        if self.is_true():
+            return "<expr TRUE>"
+        if self.is_false():
+            return "<expr FALSE>"
+        return f"<expr width={self.width} table={self.table:#x}>"
+
+
+class AtomUniverse:
+    """Allocates atoms and builds expressions over them.
+
+    One universe serves one analysis region (typically one block). When atom
+    allocation exceeds :data:`MAX_ATOMS` the universe is *saturated*:
+    :meth:`atom` returns None and clients must fall back to conservative
+    answers (see :class:`MaybeExpr` helpers below).
+    """
+
+    def __init__(self, max_atoms: int = MAX_ATOMS):
+        self.max_atoms = max_atoms
+        self.count = 0
+        self.saturated = False
+
+    # ------------------------------------------------------------------
+    # Expression constructors
+    # ------------------------------------------------------------------
+    def true(self) -> PredicateExpr:
+        # Width 0 means a 1-row table (no atoms); row value 1 is TRUE.
+        return PredicateExpr(self, 1, 0)
+
+    def false(self) -> PredicateExpr:
+        return PredicateExpr(self, 0, 0)
+
+    def constant(self, value: bool) -> PredicateExpr:
+        return self.true() if value else self.false()
+
+    def atom(self) -> Optional[PredicateExpr]:
+        """A fresh independent boolean variable, or None when saturated."""
+        if self.count >= self.max_atoms:
+            self.saturated = True
+            return None
+        index = self.count
+        self.count += 1
+        width = index + 1
+        # Atom index's table: bit i set iff bit `index` of i is set.
+        period = 1 << index
+        block = ((1 << period) - 1) << period  # 'period' zeros then ones
+        table = 0
+        for chunk in range(1 << (width - index - 1)):
+            table |= block << (chunk * 2 * period)
+        return PredicateExpr(self, table, width)
+
+
+def conservative_disjoint(
+    a: Optional[PredicateExpr], b: Optional[PredicateExpr]
+) -> bool:
+    """Disjointness with unknown handling: unknown means 'cannot prove'."""
+    if a is None or b is None:
+        return False
+    return a.disjoint_with(b)
+
+
+def conservative_implies(
+    a: Optional[PredicateExpr], b: Optional[PredicateExpr]
+) -> bool:
+    if a is None or b is None:
+        return False
+    return a.implies(b)

@@ -1,0 +1,230 @@
+"""Per-block symbolic predicate tracking.
+
+:class:`PredicateTracker` walks a block's operation list once, maintaining a
+symbolic environment mapping each predicate register to a
+:class:`~repro.analysis.predexpr.PredicateExpr` over compare-result atoms.
+Predicates read before any in-block definition get fresh entry atoms
+(unknown inputs), so all answers are sound for a single traversal of the
+block.
+
+Outputs, keyed by operation uid:
+
+* ``guard_expr`` — the op's guard value as an expression (None = unknown);
+* ``taken_expr`` — for ``branch`` ops, guard AND source predicate: the
+  condition under which the branch *takes* wherever it is scheduled;
+* ``def_expr``  — for cmpp/pred ops, each written predicate's value *after*
+  the op;
+* ``cmpp_atom`` — the fresh atom standing for a cmpp's compare result.
+
+These drive predicate-aware dependence pruning, legal branch overlap in the
+scheduler, speculation legality, and ICBM's suitability reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.predexpr import AtomUniverse, PredicateExpr
+from repro.ir.block import Block
+from repro.ir.opcodes import Cond, Opcode
+from repro.ir.operands import Imm, Label, PredReg, Reg, TRUE_PRED
+
+
+def _and(a, b):
+    if a is None or b is None:
+        return None
+    return a & b
+
+
+def _or(a, b):
+    if a is None or b is None:
+        return None
+    return a | b
+
+
+def _not(a):
+    if a is None:
+        return None
+    return ~a
+
+
+class PredicateTracker:
+    """Symbolic predicate analysis of one block."""
+
+    def __init__(self, block: Block, max_atoms: Optional[int] = None):
+        self.block = block
+        self.universe = (
+            AtomUniverse(max_atoms) if max_atoms else AtomUniverse()
+        )
+        self.guard_expr: Dict[int, Optional[PredicateExpr]] = {}
+        self.taken_expr: Dict[int, Optional[PredicateExpr]] = {}
+        self.def_expr: Dict[int, Dict[PredReg, Optional[PredicateExpr]]] = {}
+        self.cmpp_atom: Dict[int, Optional[PredicateExpr]] = {}
+        self.entry_expr: Dict[PredReg, Optional[PredicateExpr]] = {}
+        self._final_env: Dict[PredReg, Optional[PredicateExpr]] = {}
+        self._analyze()
+
+    # ------------------------------------------------------------------
+    def _lookup(self, env, pred: PredReg):
+        if pred == TRUE_PRED:
+            return self.universe.true()
+        if pred in env:
+            return env[pred]
+        # Unknown block input: give it a fresh atom (or None if saturated).
+        atom = self.universe.atom()
+        self.entry_expr[pred] = atom
+        env[pred] = atom
+        return atom
+
+    # ------------------------------------------------------------------
+    # Atom unification: two compares computing the same comparison of the
+    # same values (identified by reaching definitions of their sources)
+    # share one atom — negated/swapped conditions map to its complement.
+    # ICBM lookaheads and full-CPR terms duplicate the original compares,
+    # and without unification their mutual exclusion would be unprovable.
+    # ------------------------------------------------------------------
+    def _operand_key(self, defs, operand):
+        if isinstance(operand, Imm):
+            return ("imm", operand.value)
+        if isinstance(operand, Label):
+            return ("label", operand.name)
+        if isinstance(operand, (Reg, PredReg)):
+            producers = defs.get(operand)
+            if producers is None:
+                return ("entry", operand)
+            return ("defs", operand, tuple(sorted(producers)))
+        return ("opaque", id(operand))
+
+    def _compare_atom(self, defs, op):
+        cond = op.cond
+        srcs = list(op.srcs)
+        if cond in (Cond.GT, Cond.GE):
+            cond = cond.swap()
+            srcs.reverse()
+        negated = cond in (Cond.NE, Cond.GT, Cond.GE)
+        if cond is Cond.NE:
+            cond = Cond.EQ
+        keys = [self._operand_key(defs, src) for src in srcs]
+        if cond is Cond.EQ:
+            keys = sorted(keys)
+        cache_key = (cond, tuple(keys))
+        atom = self._atom_cache.get(cache_key)
+        if atom is None:
+            atom = self.universe.atom()
+            if atom is None:
+                return None
+            self._atom_cache[cache_key] = atom
+        return _not(atom) if negated else atom
+
+    def _analyze(self):
+        env: Dict[PredReg, Optional[PredicateExpr]] = {}
+        self._atom_cache: Dict = {}
+        defs: Dict = {}  # register -> frozen tuple of may-def uids
+
+        def record_defs(op):
+            always = set(op.always_writes())
+            for reg in op.unconditional_writes():
+                if reg in always:
+                    defs[reg] = (op.uid,)
+                else:
+                    defs[reg] = tuple(defs.get(reg, ())) + (op.uid,)
+            for target in op.pred_targets():
+                if target.action.kind != "U":
+                    defs[target.reg] = tuple(
+                        defs.get(target.reg, ())
+                    ) + (op.uid,)
+
+        for op in self.block.ops:
+            guard = self._lookup(env, op.guard)
+            self.guard_expr[op.uid] = guard
+            opcode = op.opcode
+
+            if opcode is Opcode.CMPP:
+                atom = self._compare_atom(defs, op)
+                self.cmpp_atom[op.uid] = atom
+                written: Dict[PredReg, Optional[PredicateExpr]] = {}
+                for target in op.dests:
+                    effective = (
+                        _not(atom) if target.action.complemented else atom
+                    )
+                    kind = target.action.kind
+                    if kind == "U":
+                        new = _and(guard, effective)
+                    else:
+                        old = self._lookup(env, target.reg)
+                        term = _and(guard, effective)
+                        if kind == "O":
+                            new = _or(old, term)
+                        else:  # 'A': clears when guard true and cond fails
+                            new = _and(old, _or(_not(guard), effective))
+                    env[target.reg] = new
+                    written[target.reg] = new
+                self.def_expr[op.uid] = written
+                record_defs(op)
+                continue
+
+            if opcode is Opcode.PRED_CLEAR:
+                dest = op.dests[0]
+                env[dest] = self.universe.false()
+                self.def_expr[op.uid] = {dest: env[dest]}
+                record_defs(op)
+                continue
+
+            if opcode is Opcode.PRED_SET:
+                dest = op.dests[0]
+                src = op.srcs[0]
+                if isinstance(src, PredReg):
+                    value = self._lookup(env, src)
+                elif isinstance(src, Imm):
+                    value = self.universe.constant(bool(src.value))
+                else:
+                    value = self.universe.atom()
+                # A guarded pred_set only updates under the guard.
+                if op.guard == TRUE_PRED:
+                    env[dest] = value
+                else:
+                    old = self._lookup(env, dest)
+                    env[dest] = _or(_and(guard, value),
+                                    _and(_not(guard), old))
+                self.def_expr[op.uid] = {dest: env[dest]}
+                record_defs(op)
+                continue
+
+            if opcode is Opcode.BRANCH:
+                source = op.srcs[0]
+                if isinstance(source, PredReg):
+                    pred_value = self._lookup(env, source)
+                else:
+                    pred_value = None
+                self.taken_expr[op.uid] = _and(guard, pred_value)
+                continue  # branches define nothing
+
+            # Any other op that writes a predicate makes it unknown.
+            for dest in op.dest_registers():
+                if isinstance(dest, PredReg):
+                    env[dest] = self.universe.atom()
+                    self.def_expr.setdefault(op.uid, {})[dest] = env[dest]
+            record_defs(op)
+        self._final_env = env
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def exec_expr(self, op) -> Optional[PredicateExpr]:
+        """Condition under which *op*'s effect happens wherever scheduled:
+        its guard, conjoined with the source predicate for branches."""
+        if op.opcode is Opcode.BRANCH:
+            return self.taken_expr.get(op.uid)
+        return self.guard_expr.get(op.uid)
+
+    def disjoint(self, op_a, op_b) -> bool:
+        """Provably never simultaneously effective."""
+        ea, eb = self.exec_expr(op_a), self.exec_expr(op_b)
+        if ea is None or eb is None:
+            return False
+        return ea.disjoint_with(eb)
+
+    def final_value(self, pred: PredReg) -> Optional[PredicateExpr]:
+        if pred == TRUE_PRED:
+            return self.universe.true()
+        return self._final_env.get(pred)

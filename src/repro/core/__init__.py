@@ -1,0 +1,46 @@
+"""Control CPR via the Irredundant Consecutive Branch Method (ICBM) —
+the paper's primary contribution."""
+
+from repro.core.config import CPRConfig, DEFAULT_CONFIG
+from repro.core.fullcpr import (
+    FullCPRReport,
+    apply_full_cpr,
+    full_cpr_block,
+)
+from repro.core.icbm import (
+    BlockCPRReport,
+    ICBMReport,
+    apply_icbm,
+    apply_icbm_to_block,
+    apply_icbm_to_program,
+)
+from repro.core.match import CPRBlock, match_cpr_blocks
+from repro.core.offtrace import MotionReport, move_off_trace
+from repro.core.restructure import RestructureContext, restructure_cpr_block
+from repro.core.speculation import (
+    SpeculationReport,
+    speculate_block,
+    speculate_procedure,
+)
+
+__all__ = [
+    "BlockCPRReport",
+    "CPRBlock",
+    "CPRConfig",
+    "DEFAULT_CONFIG",
+    "FullCPRReport",
+    "ICBMReport",
+    "MotionReport",
+    "apply_full_cpr",
+    "full_cpr_block",
+    "RestructureContext",
+    "SpeculationReport",
+    "apply_icbm",
+    "apply_icbm_to_block",
+    "apply_icbm_to_program",
+    "match_cpr_blocks",
+    "move_off_trace",
+    "restructure_cpr_block",
+    "speculate_block",
+    "speculate_procedure",
+]

@@ -1,0 +1,52 @@
+"""Tunable parameters of the ICBM transformation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CPRConfig:
+    """Heuristic thresholds and feature switches for control CPR.
+
+    * ``exit_weight_threshold`` — a candidate branch is rejected when the
+      CPR block's cumulative exit frequency divided by its entry frequency
+      would exceed this (paper Section 5.2, exit-weight test).
+    * ``predict_taken_threshold`` — a candidate whose taken ratio meets
+      this is a likely exit; it terminates the CPR block and selects the
+      taken variation (predict-taken test).
+    * ``min_branches`` — CPR blocks shorter than this are left untouched
+      ("the middle (unit length) CPR block remains unchanged", Figure 3).
+    * ``max_branches`` — optional cap on CPR block length (None = unlimited),
+      exposed for the blocking ablation.
+    * ``enable_taken_variation`` — when False, likely-taken branches simply
+      terminate CPR blocks without the taken restructure schema.
+    * ``enable_speculation`` — run the predicate speculation phase.
+    * ``min_profile_weight`` — branches executed fewer times than this in
+      the profile are treated as unpredictable (their blocks still form,
+      but growth uses the conservative exit-weight path).
+    """
+
+    exit_weight_threshold: float = 0.35
+    predict_taken_threshold: float = 0.75
+    min_branches: int = 2
+    max_branches: Optional[int] = None
+    enable_taken_variation: bool = True
+    enable_speculation: bool = True
+    enable_demotion: bool = False
+    min_profile_weight: int = 1
+
+    def __post_init__(self):
+        if not 0.0 < self.exit_weight_threshold <= 1.0:
+            raise ValueError("exit_weight_threshold must be in (0, 1]")
+        if not 0.0 < self.predict_taken_threshold <= 1.0:
+            raise ValueError("predict_taken_threshold must be in (0, 1]")
+        if self.min_branches < 1:
+            raise ValueError("min_branches must be >= 1")
+        if self.max_branches is not None and self.max_branches < 1:
+            raise ValueError("max_branches must be >= 1 or None")
+
+
+#: Defaults tuned (like the paper's) for the medium processor.
+DEFAULT_CONFIG = CPRConfig()

@@ -1,0 +1,167 @@
+"""Full (redundant) control CPR — the [SK95] scheme ICBM is contrasted
+against.
+
+Where ICBM accelerates only the predicted path (moving the original
+branches off-trace and paying a compensation block), *full CPR* computes
+every branch's fully-resolved taken predicate independently from the
+region entry::
+
+    q_i  =  not c_1  AND  ...  AND  not c_{i-1}  AND  c_i
+
+using a private wired-and accumulation per branch. Every branch then
+depends only on its own height-reduced compare tree: all paths are
+accelerated, no profile is needed, and no code moves — at the cost of a
+quadratic number of static compare operations (the paper's Section 4:
+"aggressively accelerates all paths within a region at the cost of a
+quadratic growth in the number of compares").
+
+Implemented for FRP-converted (or plain suitable) superblocks so the two
+schemes can be compared head-to-head; see
+``benchmarks/bench_icbm_vs_fullcpr.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.defuse import (
+    DefUseChains,
+    branch_complement_pred,
+    branch_source_action,
+    branch_taken_cond,
+    guarding_compare,
+)
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, TRUE_PRED
+from repro.ir.operation import Operation, PredTarget
+from repro.ir.procedure import Procedure
+from repro.ir.semantics import Action
+from repro.opt.dce import eliminate_dead_code
+
+
+@dataclass
+class FullCPRReport:
+    chains: int = 0
+    rewired_branches: int = 0
+    added_compares: int = 0
+    dce_removed: int = 0
+
+
+def _chain_is_computable(block, chains, compare) -> bool:
+    """Every source of *compare* must come from an unguarded producer (or
+    a block input): the lookaheads execute unconditionally and must read
+    architecturally valid values."""
+    index = block.index_of(compare)
+    for reg in compare.srcs:
+        if not hasattr(reg, "index"):
+            continue
+        for producer in chains.may_defs(index, reg):
+            if producer.guard != TRUE_PRED:
+                return False
+    return True
+
+
+def _suitable_chains(block: Block) -> List[List[Operation]]:
+    """Maximal runs of consecutive branches satisfying the suitability
+    induction (root predicate + fall-through chain), as in ICBM's match."""
+    chains = DefUseChains.build(block)
+    branches = block.exit_branches()
+    runs: List[List[Operation]] = []
+    index = 0
+    while index < len(branches):
+        seed = branches[index]
+        compare = guarding_compare(block, chains, seed)
+        if (
+            compare is None
+            or compare.guard != TRUE_PRED
+            or branch_source_action(compare, seed) is None
+            or not _chain_is_computable(block, chains, compare)
+        ):
+            index += 1
+            continue
+        run = [(seed, compare)]
+        suitable = {TRUE_PRED, branch_complement_pred(compare, seed)}
+        index += 1
+        while index < len(branches):
+            candidate = branches[index]
+            cand_compare = guarding_compare(block, chains, candidate)
+            if (
+                cand_compare is None
+                or branch_source_action(cand_compare, candidate) is None
+                or cand_compare.guard not in suitable
+                or not _chain_is_computable(block, chains, cand_compare)
+            ):
+                break
+            run.append((candidate, cand_compare))
+            suitable.add(
+                branch_complement_pred(cand_compare, candidate)
+            )
+            index += 1
+        if len(run) >= 2:
+            runs.append(run)
+    return runs
+
+
+def full_cpr_block(proc: Procedure, block: Block) -> FullCPRReport:
+    """Apply full CPR to every suitable chain of *block*, in place."""
+    report = FullCPRReport()
+    for run in _suitable_chains(block):
+        report.chains += 1
+        branches = [branch for branch, _ in run]
+        compares = [compare for _, compare in run]
+        taken_conds = [
+            branch_taken_cond(compare, branch)
+            for branch, compare in run
+        ]
+        # One private wired-and accumulation per branch.
+        new_preds = [proc.new_pred() for _ in run]
+        first_compare = compares[0]
+        for q in new_preds:
+            init = Operation(Opcode.PRED_SET, dests=[q], srcs=[Imm(1)])
+            init.attrs["full_cpr"] = True
+            block.insert_before(first_compare, init)
+        for j, compare in enumerate(compares):
+            # Branch j's own term uses the taken condition directly (an
+            # AC of the *negated* condition); branches after j accumulate
+            # the fall-through term (AC of the condition itself).
+            own = Operation(
+                Opcode.CMPP,
+                dests=[PredTarget(new_preds[j], Action.AC)],
+                srcs=list(compare.srcs),
+                cond=taken_conds[j].negate(),
+            )
+            own.attrs["full_cpr"] = True
+            block.insert_after(compare, own)
+            report.added_compares += 1
+            for i in range(j + 1, len(run)):
+                term = Operation(
+                    Opcode.CMPP,
+                    dests=[PredTarget(new_preds[i], Action.AC)],
+                    srcs=list(compare.srcs),
+                    cond=taken_conds[j],
+                )
+                term.attrs["full_cpr"] = True
+                block.insert_after(compare, term)
+                report.added_compares += 1
+        for branch, q in zip(branches, new_preds):
+            branch.srcs[0] = q
+            report.rewired_branches += 1
+    return report
+
+
+def apply_full_cpr(
+    proc: Procedure, min_branches: int = 2
+) -> FullCPRReport:
+    """Full CPR over every multi-branch block of *proc*, plus DCE."""
+    combined = FullCPRReport()
+    for block in list(proc.blocks):
+        if len(block.exit_branches()) < min_branches:
+            continue
+        partial = full_cpr_block(proc, block)
+        combined.chains += partial.chains
+        combined.rewired_branches += partial.rewired_branches
+        combined.added_compares += partial.added_compares
+    combined.dce_removed = eliminate_dead_code(proc)
+    return combined

@@ -1,0 +1,148 @@
+"""ICBM driver: the complete control CPR transformation (paper Section 5).
+
+``apply_icbm`` runs the four-phase schema over every multi-branch block of a
+procedure:
+
+1. predicate speculation (:mod:`repro.core.speculation`);
+2. match (:mod:`repro.core.match`) — CPR block identification under the
+   suitability / separability / exit-weight / predict-taken tests;
+3. restructure (:mod:`repro.core.restructure`) — lookahead compares, FRP
+   initialization, bypass branch, compensation block, guard rewiring;
+4. off-trace motion (:mod:`repro.core.offtrace`) — move/split redundant
+   operations into the compensation block;
+
+followed by a pass of predicate-aware dead-code elimination.
+
+Trivial CPR blocks (fewer than ``config.min_branches`` branches) are left
+untouched, exactly as the unit-length CPR block in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.dependence import DependenceGraph
+from repro.analysis.liveness import LivenessAnalysis
+from repro.core.config import CPRConfig, DEFAULT_CONFIG
+from repro.core.match import CPRBlock, match_cpr_blocks
+from repro.core.offtrace import move_off_trace
+from repro.core.restructure import restructure_cpr_block
+from repro.core.speculation import speculate_block
+from repro.ir.block import Block
+from repro.ir.procedure import Procedure, Program
+from repro.machine.latency import LatencyModel, PAPER_LATENCIES
+from repro.opt.dce import eliminate_dead_code
+from repro.sim.profiler import ProfileData
+
+
+@dataclass
+class BlockCPRReport:
+    """What ICBM did to one hyperblock."""
+
+    label: str
+    proc_name: str = ""
+    cpr_blocks: List[CPRBlock] = field(default_factory=list)
+    transformed: int = 0
+    taken_variations: int = 0
+    moved_ops: int = 0
+    split_ops: int = 0
+    promoted: int = 0
+    demoted: int = 0
+
+
+@dataclass
+class ICBMReport:
+    """Aggregate transformation report for a procedure or program."""
+
+    blocks: List[BlockCPRReport] = field(default_factory=list)
+    dce_removed: int = 0
+
+    @property
+    def transformed_cpr_blocks(self) -> int:
+        return sum(b.transformed for b in self.blocks)
+
+    @property
+    def total_cpr_blocks(self) -> int:
+        return sum(len(b.cpr_blocks) for b in self.blocks)
+
+
+def apply_icbm_to_block(
+    proc: Procedure,
+    block: Block,
+    profile: Optional[ProfileData],
+    config: CPRConfig,
+    latencies: LatencyModel,
+    liveness: LivenessAnalysis,
+) -> BlockCPRReport:
+    report = BlockCPRReport(label=block.label.name, proc_name=proc.name)
+
+    if config.enable_speculation:
+        spec = speculate_block(
+            proc, block, liveness, demote=config.enable_demotion
+        )
+        report.promoted = spec.promoted
+        report.demoted = spec.demoted
+
+    graph = DependenceGraph(block, latencies, liveness=liveness)
+    cprs = match_cpr_blocks(proc.name, block, graph, profile, config)
+    report.cpr_blocks = cprs
+
+    # A mid-hyperblock taken variation moves the tail (including any later
+    # CPR blocks' operations) into its compensation block; subsequent CPR
+    # blocks are transformed there.
+    current_block = block
+    for cpr in cprs:
+        if cpr.is_trivial(config) or not cpr.compares:
+            continue
+        if cpr.branches and not any(
+            op is cpr.branches[0] for op in current_block.ops
+        ):
+            continue  # displaced by an earlier failure; leave untouched
+        context = restructure_cpr_block(proc, current_block, cpr)
+        # Liveness changed (new blocks/ops); recompute for motion.
+        motion_liveness = LivenessAnalysis(proc)
+        motion = move_off_trace(context, motion_liveness)
+        report.transformed += 1
+        report.moved_ops += motion.moved
+        report.split_ops += motion.split
+        if cpr.taken_variation:
+            report.taken_variations += 1
+            current_block = context.comp_block
+    return report
+
+
+def apply_icbm(
+    proc: Procedure,
+    profile: Optional[ProfileData] = None,
+    config: Optional[CPRConfig] = None,
+    latencies: LatencyModel = PAPER_LATENCIES,
+) -> ICBMReport:
+    """Run ICBM over every candidate block of *proc*, then clean up."""
+    config = config or DEFAULT_CONFIG
+    report = ICBMReport()
+    for block in list(proc.blocks):
+        if len(block.exit_branches()) < 2:
+            continue
+        liveness = LivenessAnalysis(proc)
+        report.blocks.append(
+            apply_icbm_to_block(
+                proc, block, profile, config, latencies, liveness
+            )
+        )
+    report.dce_removed = eliminate_dead_code(proc)
+    return report
+
+
+def apply_icbm_to_program(
+    program: Program,
+    profile: Optional[ProfileData] = None,
+    config: Optional[CPRConfig] = None,
+    latencies: LatencyModel = PAPER_LATENCIES,
+) -> ICBMReport:
+    combined = ICBMReport()
+    for proc in program.procedures.values():
+        partial = apply_icbm(proc, profile, config, latencies)
+        combined.blocks.extend(partial.blocks)
+        combined.dce_removed += partial.dce_removed
+    return combined

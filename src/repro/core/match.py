@@ -1,0 +1,287 @@
+"""Phase 2 of ICBM: match — CPR block identification (paper Section 5.2).
+
+Match grows a list of CPR blocks covering all conditional exit branches of a
+hyperblock, following the paper's Figure 5 pseudo-code. Growth of a CPR
+block past a candidate branch is controlled by four tests:
+
+* **suitability** (correctness) — the candidate's guarding cmpp must compute
+  the branch predicate with an unconditional (UN) action, and the cmpp's
+  own guard must be in the *suitable predicate set* SP seeded with the CPR
+  block's root predicate and grown with each compare's UC fall-through
+  predicate. This guarantees the schema's simplified off-trace FRP
+  ``root AND (bc1 OR ... OR bcn)`` is true exactly when some branch takes.
+* **separability** (correctness) — no dependence may run from a compare
+  that ICBM will move off-trace into a lookahead compare that must stay
+  on-trace. Implemented via the dependence graph: the candidate's guarding
+  compare must not be a (transitive) dependence successor of any compare
+  already in the CPR block, where chains passing merely through a
+  fall-through-guard use on a later branch-controlling compare are exempt.
+* **exit-weight** (profile heuristic) — cumulative exit frequency of the
+  CPR block over its entry frequency must stay below a threshold.
+* **predict-taken** (profile heuristic) — a likely-taken candidate is
+  appended, flags the CPR block for the taken variation, and ends growth.
+
+One guard beyond the paper (needed because our ICBM may be handed arbitrary
+regions): growing past a branch requires every non-speculative operation
+between it and the candidate to be guarded — an *unguarded* store between
+branches cannot be left on-trace nor moved off, so the CPR block ends
+there. FRP-converted input always satisfies this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.defuse import (
+    DefUseChains,
+    branch_complement_pred,
+    branch_source_action,
+    guarding_compare,
+)
+from repro.analysis.dependence import DependenceGraph
+from repro.core.config import CPRConfig
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import PredReg, TRUE_PRED
+from repro.ir.operation import Operation
+from repro.ir.semantics import Action
+from repro.sim.profiler import ProfileData
+
+
+@dataclass
+class CPRBlock:
+    """One identified CPR block: a run of consecutive exit branches."""
+
+    branches: List[Operation] = field(default_factory=list)
+    compares: List[Operation] = field(default_factory=list)
+    root_pred: PredReg = TRUE_PRED
+    taken_variation: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.branches)
+
+    def is_trivial(self, config: CPRConfig) -> bool:
+        return self.size < config.min_branches
+
+    def __repr__(self):
+        kind = "taken" if self.taken_variation else "fall-through"
+        return f"<CPRBlock {self.size} branches, {kind}>"
+
+
+class _Matcher:
+    """State for growing CPR blocks over one hyperblock."""
+
+    def __init__(
+        self,
+        proc_name: str,
+        block: Block,
+        graph: DependenceGraph,
+        profile: Optional[ProfileData],
+        config: CPRConfig,
+    ):
+        self.proc_name = proc_name
+        self.block = block
+        self.graph = graph
+        self.profile = profile
+        self.config = config
+        self.chains = DefUseChains.build(block)
+        self.position = {op.uid: i for i, op in enumerate(block.ops)}
+        self.branches = block.exit_branches()
+        self.compare_of: Dict[int, Optional[Operation]] = {
+            b.uid: guarding_compare(block, self.chains, b)
+            for b in self.branches
+        }
+        self.branch_of_compare: Dict[int, Operation] = {}
+        for branch in self.branches:
+            compare = self.compare_of[branch.uid]
+            if compare is not None:
+                self.branch_of_compare.setdefault(compare.uid, branch)
+        # Suitability/separability state (re-seeded per CPR block).
+        self.sp: Set[PredReg] = set()
+        self.succ: Set[int] = set()
+        self.entry_weight = 0
+        self.exit_weight = 0
+
+    # ------------------------------------------------------------------
+    # Per-branch profile helpers
+    # ------------------------------------------------------------------
+    def _branch_stats(self, branch: Operation):
+        if self.profile is None:
+            return 0, 0
+        stats = self.profile.branch_profile(self.proc_name, branch)
+        return stats.taken, stats.executed
+
+    # ------------------------------------------------------------------
+    # Test initialization (CPR block of length one)
+    # ------------------------------------------------------------------
+    def seed(self, branch: Operation) -> Optional[CPRBlock]:
+        compare = self.compare_of[branch.uid]
+        if compare is None:
+            return None
+        if branch_source_action(compare, branch) is None:
+            return None
+        cpr = CPRBlock(
+            branches=[branch],
+            compares=[compare],
+            root_pred=compare.guard,
+        )
+        self.sp = {compare.guard}
+        fall = branch_complement_pred(compare, branch)
+        if fall is not None:
+            self.sp.add(fall)
+        self.succ = set(self._compare_successors(compare))
+        taken, executed = self._branch_stats(branch)
+        self.entry_weight = executed
+        self.exit_weight = taken
+        return cpr
+
+    # ------------------------------------------------------------------
+    # Growth tests
+    # ------------------------------------------------------------------
+    def suitability_ok(self, candidate: Operation) -> bool:
+        compare = self.compare_of[candidate.uid]
+        if compare is None:
+            return False
+        if branch_source_action(compare, candidate) is None:
+            return False
+        return compare.guard in self.sp
+
+    def separability_ok(self, candidate: Operation) -> bool:
+        compare = self.compare_of[candidate.uid]
+        if compare is None:
+            return False
+        return self.position[compare.uid] not in self.succ
+
+    def guarded_region_ok(
+        self, last_branch: Operation, candidate: Operation
+    ) -> bool:
+        """No unguarded non-speculative op between the branches."""
+        start = self.position[last_branch.uid] + 1
+        end = self.position[candidate.uid]
+        for index in range(start, end):
+            op = self.block.ops[index]
+            if op.opcode in (Opcode.STORE, Opcode.CALL) and (
+                op.guard == TRUE_PRED
+            ):
+                return False
+            if op.opcode in (Opcode.JUMP, Opcode.RETURN):
+                return False
+        return True
+
+    def predict_taken(self, candidate: Operation) -> bool:
+        taken, executed = self._branch_stats(candidate)
+        if executed < self.config.min_profile_weight:
+            return False
+        return taken / executed >= self.config.predict_taken_threshold
+
+    def exit_weight_ok(self, candidate: Operation) -> bool:
+        taken, executed = self._branch_stats(candidate)
+        if self.entry_weight < self.config.min_profile_weight:
+            # No meaningful profile: be conservative, stop growth.
+            return False
+        ratio = (self.exit_weight + taken) / self.entry_weight
+        return ratio <= self.config.exit_weight_threshold
+
+    # ------------------------------------------------------------------
+    def append(self, cpr: CPRBlock, candidate: Operation):
+        compare = self.compare_of[candidate.uid]
+        cpr.branches.append(candidate)
+        cpr.compares.append(compare)
+        fall = branch_complement_pred(compare, candidate)
+        if fall is not None:
+            self.sp.add(fall)
+        self.succ |= self._compare_successors(compare)
+        taken, _ = self._branch_stats(candidate)
+        self.exit_weight += taken
+
+    def _compare_successors(self, compare: Operation) -> Set[int]:
+        """append-successors: transitive dependence successors of *compare*,
+        exempting chains that exist only through the use of its fall-through
+        predicate as the guard of a later branch-controlling compare."""
+        index = self.position[compare.uid]
+        branch_compare_uids = {
+            c.uid for c in self.compare_of.values() if c is not None
+        }
+
+        def skip(edge):
+            src_op = self.block.ops[edge.src]
+            dst_op = self.block.ops[edge.dst]
+            if edge.kind != "flow":
+                return False
+            if src_op.opcode is not Opcode.CMPP:
+                return False
+            if dst_op.opcode is not Opcode.CMPP:
+                return False
+            if dst_op.uid not in branch_compare_uids:
+                return False
+            src_branch = self.branch_of_compare.get(src_op.uid)
+            if src_branch is None:
+                return False
+            fall = branch_complement_pred(src_op, src_branch)
+            return fall is not None and dst_op.guard == fall
+
+        return self.graph.transitive_successors(index, skip_edge=skip)
+
+
+def match_cpr_blocks(
+    proc_name: str,
+    block: Block,
+    graph: DependenceGraph,
+    profile: Optional[ProfileData],
+    config: CPRConfig,
+) -> List[CPRBlock]:
+    """Partition the hyperblock's exit branches into CPR blocks
+    (the paper's Figure 5 algorithm)."""
+    matcher = _Matcher(proc_name, block, graph, profile, config)
+    branches = matcher.branches
+    result: List[CPRBlock] = []
+    index = 0
+    total = len(branches)
+    while index < total:
+        seed_branch = branches[index]
+        cpr = matcher.seed(seed_branch)
+        if cpr is None:
+            # Unsuitable seed: it forms an untransformable unit block.
+            result.append(
+                CPRBlock(branches=[seed_branch], compares=[])
+            )
+            index += 1
+            continue
+        pred_taken_flag = (
+            config.enable_taken_variation
+            and matcher.predict_taken(seed_branch)
+        )
+        if pred_taken_flag:
+            cpr.taken_variation = True
+        index += 1
+        while not pred_taken_flag and index < total:
+            candidate = branches[index]
+            if (
+                config.max_branches is not None
+                and cpr.size >= config.max_branches
+            ):
+                break
+            if not matcher.suitability_ok(candidate):
+                break
+            if not matcher.separability_ok(candidate):
+                break
+            if not matcher.guarded_region_ok(cpr.branches[-1], candidate):
+                break
+            is_likely_taken = matcher.predict_taken(candidate)
+            if is_likely_taken:
+                # Predict-taken takes priority over exit-weight: the likely
+                # exit joins the CPR block as its final branch and selects
+                # the taken restructure variation.
+                if config.enable_taken_variation:
+                    matcher.append(cpr, candidate)
+                    cpr.taken_variation = True
+                    index += 1
+                break
+            if not matcher.exit_weight_ok(candidate):
+                break
+            matcher.append(cpr, candidate)
+            index += 1
+        result.append(cpr)
+    return result

@@ -1,0 +1,195 @@
+"""Phase 4 of ICBM: off-trace motion (paper Section 5.4).
+
+After restructure, the original compares and branches of a CPR block are
+redundant on-trace. Three op sets are identified over the hyperblock and
+then moved/split:
+
+* **set 1** — the original compares, the branches displaced by the bypass,
+  and all their transitive data-dependence successors (operations guarded
+  by or reading the predicates they compute, and everything downstream). In
+  the taken variation, the hyperblock tail past the bypass also belongs to
+  the off-trace path wholesale.
+* **set 2** — the subset of set 1 whose results are also needed on-trace:
+  stores whose guard lies on the fall-through chain (they would have
+  executed when every exit falls through), and value-producing operations
+  feeding on-trace ops or live out of the block. These are *split*: a clone
+  guarded by the on-trace FRP stays on-trace (after the bypass in the
+  fall-through variation, before it in the taken variation — the bypass
+  transfers control away on-trace there).
+* **set 3** — operations outside set 1 whose results are used *only* by
+  moved operations (classically the pbr feeding a moved branch); moving
+  them benefits the on-trace path.
+
+Set 1 and set 3 ops are moved to the compensation block in original program
+order, preserving sequential semantics on the off-trace path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis.defuse import DefUseChains
+from repro.analysis.liveness import LivenessAnalysis
+from repro.core.restructure import RestructureContext
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import TRUE_PRED
+from repro.ir.operation import Operation
+
+
+@dataclass
+class MotionReport:
+    moved: int = 0
+    split: int = 0
+
+
+def move_off_trace(
+    context: RestructureContext,
+    liveness: LivenessAnalysis,
+) -> MotionReport:
+    """Perform off-trace motion for one restructured CPR block."""
+    block = context.block
+    cpr = context.cpr
+    report = MotionReport()
+    chains = DefUseChains.build(block)
+    position = {op.uid: i for i, op in enumerate(block.ops)}
+    live_out = liveness.live_out(block.label)
+
+    # ------------------------------------------------------------------
+    # Set 1: seeds plus transitive data-dependence successors.
+    #
+    # Users positioned past the bypass stay on-trace (the values they read
+    # from moved producers are re-supplied by set-2 split clones) unless
+    # their guard is one of the CPR block's taken predicates — those are
+    # dynamically dead past the bypass and ride along off-trace.
+    # ------------------------------------------------------------------
+    taken_preds = {branch.srcs[0] for branch in cpr.branches}
+    bypass_position = position[context.bypass.uid]
+    seeds: List[Operation] = list(cpr.compares) + list(
+        context.moved_branches
+    )
+    set1: Set[int] = set()
+    worklist = list(seeds)
+    while worklist:
+        op = worklist.pop()
+        if op.uid in set1:
+            continue
+        set1.add(op.uid)
+        for user in chains.users_of(op):
+            if user.uid in context.inserted_uids:
+                continue  # lookaheads/bypass/init must remain on-trace
+            if user is context.bypass:
+                continue
+            if (
+                not cpr.taken_variation
+                and position[user.uid] > bypass_position
+                and user.guard not in taken_preds
+            ):
+                continue
+            if user.uid not in set1:
+                worklist.append(user)
+
+    if cpr.taken_variation:
+        for op in block.ops[bypass_position + 1:]:
+            set1.add(op.uid)
+
+    # ------------------------------------------------------------------
+    # Set 2: the subset of set 1 needed on-trace (fixpoint: a moved
+    # producer feeding a split clone is itself needed on-trace).
+    # ------------------------------------------------------------------
+    ops_by_uid: Dict[int, Operation] = {op.uid: op for op in block.ops}
+    on_trace_guards = context.sp_preds | {TRUE_PRED}
+    set2: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for uid in set1:
+            if uid in set2:
+                continue
+            op = ops_by_uid[uid]
+            if op.is_branch:
+                continue
+            if op.guard not in on_trace_guards:
+                continue  # guarded by a taken predicate: off-trace only
+            if cpr.taken_variation and position[uid] > bypass_position:
+                # The tail past a taken-variation bypass is off-trace only.
+                continue
+            if op.opcode is Opcode.STORE:
+                needed = True
+            else:
+                needed = _value_needed_on_trace(
+                    op, chains, set1, set2, live_out
+                )
+            if needed:
+                set2.add(uid)
+                changed = True
+
+    # ------------------------------------------------------------------
+    # Set 3: ops used only off-trace (e.g. the pbr of a moved branch).
+    # ------------------------------------------------------------------
+    set3: Set[int] = set()
+    for op in block.ops:
+        if op.uid in set1 or op.uid in context.inserted_uids:
+            continue
+        if not op.opcode.is_speculable() or op.is_branch:
+            continue
+        dests = op.dest_registers()
+        if not dests or any(reg in live_out for reg in dests):
+            continue
+        users = chains.users_of(op)
+        if not users:
+            continue
+        if all(user.uid in set1 and user.uid not in set2 for user in users):
+            set3.add(op.uid)
+
+    # ------------------------------------------------------------------
+    # Motion and splitting.
+    # ------------------------------------------------------------------
+    move_set = set1 | set3
+    clones: List[Operation] = []
+    survivors: List[Operation] = []
+    moved_ops: List[Operation] = []
+    for op in block.ops:
+        if op.uid in move_set:
+            moved_ops.append(op)
+            if op.uid in set2:
+                clone = op.clone()
+                clone.guard = context.on_pred
+                clone.attrs["cpr_split"] = True
+                clones.append(clone)
+                report.split += 1
+            report.moved += 1
+        else:
+            survivors.append(op)
+    block.ops = survivors
+    context.comp_block.ops = moved_ops + context.comp_block.ops
+
+    if clones:
+        new_bypass_position = block.index_of(context.bypass)
+        if cpr.taken_variation:
+            insert_at = new_bypass_position  # before the branch-away
+        else:
+            insert_at = new_bypass_position + 1
+        block.ops[insert_at:insert_at] = clones
+    return report
+
+
+def _value_needed_on_trace(
+    op: Operation,
+    chains: DefUseChains,
+    set1: Set[int],
+    set2: Set[int],
+    live_out: Set,
+) -> bool:
+    dests = op.dest_registers()
+    if any(reg in live_out for reg in dests):
+        return True
+    for user in chains.users_of(op):
+        if user.uid not in set1:
+            return True  # read by an op that stays on-trace
+        if user.uid in set2 and any(reg in user.srcs for reg in dests):
+            # Read as a *data* source by a split clone. (A use as the
+            # clone's guard does not count: clones are re-guarded by the
+            # on-trace FRP.)
+            return True
+    return False

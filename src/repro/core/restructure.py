@@ -1,0 +1,191 @@
+"""Phase 3 of ICBM: restructure (paper Section 5.3).
+
+For each non-trivial CPR block, insert the height-reducing machinery:
+
+1. initialize the on-trace FRP (wired-and) to the CPR block's root
+   predicate and the off-trace FRP (wired-or) to zero;
+2. after each original compare, insert a *lookahead compare* with the same
+   condition and sources, guarded by the root predicate, accumulating into
+   the on-trace FRP with an AC action and the off-trace FRP with an ON
+   action (the last compare's sense is inverted in the taken variation);
+3. fall-through variation: insert the *bypass branch* — a pbr/branch pair
+   to a fresh compensation block — right after the CPR block's final
+   branch; taken variation: the final branch itself becomes the bypass, its
+   source predicate rewired to the on-trace FRP, and the compensation block
+   is the hyperblock's own tail (placed on the fall-through path);
+4. rewire: operations after the bypass point whose guards are fall-through
+   predicates computed by the original compares are re-guarded by the
+   on-trace FRP (safe because at those program points the two are
+   equivalent — execution past the CPR block implies no exit was taken).
+
+The root predicate is read *live* from the first compare's current guard,
+so restructuring earlier CPR blocks (whose rewiring retargets later
+compares' guards onto their on-trace FRP) chains root predicates exactly as
+in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.analysis.defuse import branch_complement_pred, branch_taken_cond
+from repro.core.match import CPRBlock
+from repro.errors import TransformError
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, Label, PredReg, TRUE_PRED
+from repro.ir.operation import Operation, PredTarget
+from repro.ir.procedure import Procedure
+from repro.ir.semantics import Action
+
+
+@dataclass
+class RestructureContext:
+    """Everything off-trace motion needs about one restructured CPR block."""
+
+    cpr: CPRBlock
+    block: Block
+    comp_block: Block
+    on_pred: PredReg
+    off_pred: PredReg
+    root_pred: PredReg
+    bypass: Operation
+    moved_branches: List[Operation] = field(default_factory=list)
+    lookaheads: List[Operation] = field(default_factory=list)
+    sp_preds: Set[PredReg] = field(default_factory=set)
+    inserted_uids: Set[int] = field(default_factory=set)
+
+
+def restructure_cpr_block(
+    proc: Procedure, block: Block, cpr: CPRBlock
+) -> RestructureContext:
+    """Apply the restructure schema to one CPR block, in place."""
+    if cpr.size < 2:
+        raise TransformError("restructure requires a non-trivial CPR block")
+    if len(cpr.compares) != cpr.size:
+        raise TransformError("CPR block is missing guarding compares")
+
+    root = cpr.compares[0].guard  # read live; see module docstring
+    on_pred = proc.new_pred()
+    off_pred = proc.new_pred()
+
+    # Fall-through predicates of the CPR block's compares, plus the root:
+    # exactly the suitable-predicate set match grew (recomputed here so the
+    # rewiring below is self-contained).
+    sp: Set[PredReg] = {root}
+    for compare, branch in zip(cpr.compares, cpr.branches):
+        fall = branch_complement_pred(compare, branch)
+        if fall is not None:
+            sp.add(fall)
+
+    context = RestructureContext(
+        cpr=cpr,
+        block=block,
+        comp_block=None,
+        on_pred=on_pred,
+        off_pred=off_pred,
+        root_pred=root,
+        bypass=None,
+        sp_preds=sp,
+    )
+
+    # ------------------------------------------------------------------
+    # 1. FRP initialization, right before the first compare.
+    # ------------------------------------------------------------------
+    init_source = Imm(1) if root == TRUE_PRED else root
+    on_init = Operation(
+        Opcode.PRED_SET, dests=[on_pred], srcs=[init_source]
+    )
+    off_init = Operation(Opcode.PRED_CLEAR, dests=[off_pred], srcs=[])
+    first_compare = cpr.compares[0]
+    block.insert_before(first_compare, on_init)
+    block.insert_before(first_compare, off_init)
+    context.inserted_uids.update((on_init.uid, off_init.uid))
+
+    # ------------------------------------------------------------------
+    # 2. Lookahead compares after each original compare.
+    # ------------------------------------------------------------------
+    for position, compare in enumerate(cpr.compares):
+        is_last = position == cpr.size - 1
+        # The ON term is the branch's *taken* condition (the compare's own
+        # condition, negated when the branch is sourced from a UC target).
+        cond = branch_taken_cond(compare, cpr.branches[position])
+        if cpr.taken_variation and is_last:
+            cond = cond.negate()  # accelerate the taken direction
+        lookahead = Operation(
+            Opcode.CMPP,
+            dests=[
+                PredTarget(on_pred, Action.AC),
+                PredTarget(off_pred, Action.ON),
+            ],
+            srcs=list(compare.srcs),
+            guard=root,
+            cond=cond,
+        )
+        lookahead.attrs["cpr_lookahead"] = True
+        block.insert_after(compare, lookahead)
+        context.lookaheads.append(lookahead)
+        context.inserted_uids.add(lookahead.uid)
+
+    final_branch = cpr.branches[-1]
+
+    # ------------------------------------------------------------------
+    # 3. Bypass branch and compensation block.
+    # ------------------------------------------------------------------
+    if cpr.taken_variation:
+        # The final branch becomes the bypass; its taken direction is the
+        # accelerated on-trace path and the fall-through goes off-trace.
+        final_branch.srcs[0] = on_pred
+        context.bypass = final_branch
+        context.moved_branches = list(cpr.branches[:-1])
+        comp_label = proc.new_label("Cmp")
+        comp_block = Block(label=comp_label, fallthrough=block.fallthrough)
+        proc.add_block(comp_block, after=block)
+        block.fallthrough = comp_label
+    else:
+        comp_label = proc.new_label("Cmp")
+        comp_block = Block(label=comp_label, fallthrough=None)
+        proc.add_block(comp_block)  # cold section: end of the procedure
+        # Falling off the compensation block is impossible (suitability
+        # guarantees some moved branch takes), but the block still needs a
+        # structural terminator; the sentinel return makes any suitability
+        # violation loudly visible in differential tests.
+        trap = Operation(Opcode.RETURN, srcs=[Imm(-57005)])
+        trap.attrs["cpr_trap"] = True
+        comp_block.append(trap)
+        btr = proc.new_btr()
+        pbr = Operation(Opcode.PBR, dests=[btr], srcs=[comp_label])
+        bypass = Operation(Opcode.BRANCH, srcs=[off_pred, btr])
+        bypass.attrs["target"] = comp_label
+        bypass.attrs["cpr_bypass"] = True
+        block.insert_after(final_branch, pbr)
+        block.insert_after(pbr, bypass)
+        context.bypass = bypass
+        context.moved_branches = list(cpr.branches)
+        context.inserted_uids.update((pbr.uid, bypass.uid))
+    context.comp_block = comp_block
+
+    # ------------------------------------------------------------------
+    # 4. Rewire fall-through-predicate guards after the bypass point.
+    #
+    # Fall-through variation only: past the bypass, execution implies no
+    # CPR-block exit was taken, so a fall-through predicate is equivalent
+    # to the on-trace FRP there. In the taken variation everything after
+    # the bypass is the off-trace path itself; it keeps its guards and is
+    # moved wholesale by off-trace motion.
+    # ------------------------------------------------------------------
+    if not cpr.taken_variation:
+        fall_preds = {
+            pred for pred in (
+                branch_complement_pred(compare, branch)
+                for compare, branch in zip(cpr.compares, cpr.branches)
+            ) if pred is not None
+        }
+        bypass_index = block.index_of(context.bypass)
+        for op in block.ops[bypass_index + 1:]:
+            if op.guard in fall_preds:
+                op.guard = on_pred
+            # Branch source predicates are never in fall_preds (they are
+            # UN targets), so sources need no rewiring here.
+    return context

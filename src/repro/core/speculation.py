@@ -1,0 +1,174 @@
+"""Phase 1 of ICBM: predicate speculation (paper Section 5.1).
+
+Two bottom-up concerns realized as two passes over each hyperblock:
+
+* **Promotion** — each guarded operation's predicate is promoted to TRUE
+  when the [JS96]-style liveness check passes: the value the operation
+  overwrites is never needed under conditions where the operation would not
+  originally have executed. Promotion both shortens dependence chains and —
+  critically for ICBM — removes the dependences that would make the
+  separability test fail at nearly every basic block of FRP-converted code
+  (the block predicate guards the operations computing the next block's
+  predicate).
+
+  Candidates exclude compare-to-predicate operations (the paper's explicit
+  exception) and non-speculative operations (stores, branches, calls):
+  promoting a store is exactly the case the paper's second pass always
+  demotes back, so we skip the round trip.
+
+* **Demotion** — promotion that cannot reduce dependence height is undone.
+  Our test mirrors the paper's example: when the operation's original guard
+  is available no later than its last data input (so re-guarding adds no
+  height), the original guard is restored, recovering nullification's
+  second-order benefits (fewer executed ops, cleaner predicate usage)
+  for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.defuse import DefUseChains
+from repro.analysis.liveness import (
+    LivenessAnalysis,
+    liveness_expressions,
+    promotion_is_legal,
+)
+from repro.analysis.predtrack import PredicateTracker
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import TRUE_PRED
+from repro.ir.procedure import Procedure
+
+_NEVER_PROMOTE = frozenset(
+    {
+        Opcode.CMPP,
+        Opcode.PRED_CLEAR,
+        Opcode.PRED_SET,
+        Opcode.STORE,
+        Opcode.BRANCH,
+        Opcode.JUMP,
+        Opcode.CALL,
+        Opcode.RETURN,
+    }
+)
+
+
+@dataclass
+class SpeculationReport:
+    promoted: int = 0
+    demoted: int = 0
+    original_guards: Dict[int, object] = field(default_factory=dict)
+
+
+def speculate_block(
+    proc: Procedure,
+    block: Block,
+    liveness: LivenessAnalysis,
+    demote: bool = True,
+) -> SpeculationReport:
+    """Run promotion (and optionally demotion) on one block, in place.
+
+    Demotion recovers nullification for promotions that bought no height,
+    but re-guarding address arithmetic hides it from memory disambiguation
+    and forces extra split copies during off-trace motion, so the ICBM
+    driver disables it by default (see ``CPRConfig.enable_demotion``).
+    """
+    report = SpeculationReport()
+    tracker = PredicateTracker(block)
+    needed_after = liveness_expressions(block, tracker, liveness)
+
+    # ------------------------------------------------------------------
+    # Pass 1: promotion.
+    # ------------------------------------------------------------------
+    promoted_ops: List = []
+    for index, op in enumerate(block.ops):
+        if op.opcode in _NEVER_PROMOTE:
+            continue
+        if op.guard == TRUE_PRED:
+            continue
+        if not promotion_is_legal(op, needed_after[index], tracker):
+            continue
+        report.original_guards[op.uid] = op.guard
+        op.guard = TRUE_PRED
+        report.promoted += 1
+        promoted_ops.append(op)
+
+    if not demote:
+        return report
+
+    # ------------------------------------------------------------------
+    # Pass 2: selective demotion.
+    #
+    # A promotion is kept when it can shorten the region's critical
+    # compare chains — i.e. when the operation (transitively) feeds some
+    # cmpp. Otherwise, if re-guarding adds no height (the guard's producer
+    # is available no later than the operation's last data input), the
+    # original guard is restored.
+    # ------------------------------------------------------------------
+    chains = DefUseChains.build(block)
+    position = {op.uid: i for i, op in enumerate(block.ops)}
+    feeds_compare = _compare_feeders(block, chains, position)
+    for op in promoted_ops:
+        if op.uid in feeds_compare:
+            continue  # promotion breaks a compare chain: keep it
+        original = report.original_guards[op.uid]
+        index = position[op.uid]
+        guard_def = chains.reaching_def(index, original)
+        if guard_def is None:
+            guard_position = -1  # guard available at block entry
+        else:
+            guard_position = position.get(guard_def.uid, -1)
+        input_positions = [
+            position[d.uid]
+            for d in (
+                chains.reaching_def(index, reg)
+                for reg in op.source_registers()
+                if reg != original
+            )
+            if d is not None and d.uid in position
+        ]
+        latest_input = max(input_positions, default=-1)
+        if guard_position <= latest_input:
+            # Restoring the guard costs no height: demote.
+            op.guard = original
+            del report.original_guards[op.uid]
+            report.promoted -= 1
+            report.demoted += 1
+    return report
+
+
+def _compare_feeders(block, chains: DefUseChains, position) -> set:
+    """Uids of ops on some data-dependence chain into a cmpp's sources."""
+    feeders = set()
+    worklist = []
+    for op in block.ops:
+        if op.opcode is Opcode.CMPP:
+            index = position[op.uid]
+            for src in op.srcs:
+                producer = chains.reaching_def(index, src)
+                if producer is not None:
+                    worklist.append(producer)
+    while worklist:
+        producer = worklist.pop()
+        if producer.uid in feeders:
+            continue
+        feeders.add(producer.uid)
+        index = position.get(producer.uid)
+        if index is None:
+            continue
+        for reg in producer.source_registers():
+            upstream = chains.reaching_def(index, reg)
+            if upstream is not None and upstream.uid not in feeders:
+                worklist.append(upstream)
+    return feeders
+
+
+def speculate_procedure(proc: Procedure) -> List[SpeculationReport]:
+    liveness = LivenessAnalysis(proc)
+    return [
+        speculate_block(proc, block, liveness)
+        for block in proc.blocks
+        if block.exit_branches()
+    ]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad operands, unknown opcodes, broken invariants."""
+
+
+class VerificationError(IRError):
+    """The IR verifier found a structural violation.
+
+    Carries the list of individual problem strings in :attr:`problems`.
+    """
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        summary = "; ".join(self.problems[:5])
+        if len(self.problems) > 5:
+            summary += f" ... ({len(self.problems)} problems total)"
+        super().__init__(summary)
+
+
+class ParseError(ReproError):
+    """Raised by the frontend lexer/parser and the IR assembly parser."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class SemanticError(ReproError):
+    """Raised by frontend semantic analysis (undefined names, type misuse)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the functional simulator (bad memory access, fuel expiry)."""
+
+
+class FuelExhausted(SimulationError):
+    """The interpreter hit its operation budget; likely an infinite loop."""
+
+
+class SchedulingError(ReproError):
+    """Raised by the list scheduler (unschedulable op, resource misconfig)."""
+
+
+class TransformError(ReproError):
+    """Raised by an optimization pass when its precondition is violated."""
+
+
+class MachineConfigError(ReproError):
+    """Raised for inconsistent processor descriptions."""

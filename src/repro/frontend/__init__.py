@@ -1,0 +1,14 @@
+"""Mini-C frontend: the language the workload kernels are written in."""
+
+from repro.frontend.lexer import tokenize
+from repro.frontend.lower import compile_source, lower_unit
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import check_unit
+
+__all__ = [
+    "check_unit",
+    "compile_source",
+    "lower_unit",
+    "parse_source",
+    "tokenize",
+]

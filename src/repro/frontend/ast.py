@@ -1,0 +1,160 @@
+"""Abstract syntax tree for the mini-C language.
+
+The language is a small C subset sufficient to express the workload
+kernels: global int arrays, functions with int parameters, local int
+variables, the usual expression operators (including short-circuit ``&&``
+and ``||``), array indexing, assignments (``=``, ``+=``, ``-=``, ``++``,
+``--``), ``if``/``else``, ``while``, ``do-while``, ``for``, ``break``,
+``continue``, ``goto``/labels, and ``return``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    array: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-', '!', '~'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # + - * / % & | ^ << >> == != < <= > >= && ||
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Optional[Expr] = None  # VarRef or ArrayRef
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class GotoStmt(Stmt):
+    label: str = ""
+
+
+@dataclass
+class LabelStmt(Stmt):
+    label: str = ""
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass
+class ArrayDecl:
+    name: str = ""
+    size: int = 0
+    initial: List[int] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class FunctionDecl:
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    returns_value: bool = True
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)

@@ -1,0 +1,155 @@
+"""Hand-written lexer for the mini-C language."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParseError
+from repro.frontend.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "<<": TokenKind.SHL,
+    ">>": TokenKind.SHR,
+    "&&": TokenKind.AND_AND,
+    "||": TokenKind.OR_OR,
+    "+=": TokenKind.PLUS_EQ,
+    "-=": TokenKind.MINUS_EQ,
+    "++": TokenKind.PLUS_PLUS,
+    "--": TokenKind.MINUS_MINUS,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.BANG,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex *source* into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message):
+        raise ParseError(message, line=line, column=column)
+
+    while index < length:
+        ch = source[index]
+        # Whitespace.
+        if ch == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        # Comments.
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = source[index:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+        # Character literals become int literals ('a' -> 97).
+        if ch == "'":
+            end = index + 1
+            if end < length and source[end] == "\\":
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                if end + 1 >= length or source[end + 1] not in escapes:
+                    error("bad escape in character literal")
+                value = escapes[source[end + 1]]
+                end += 2
+            elif end < length:
+                value = ord(source[end])
+                end += 1
+            else:
+                error("unterminated character literal")
+            if end >= length or source[end] != "'":
+                error("unterminated character literal")
+            text = source[index:end + 1]
+            tokens.append(Token(TokenKind.INT, text, line, column, value))
+            column += len(text)
+            index = end + 1
+            continue
+        # Numbers.
+        if ch.isdigit():
+            end = index
+            while end < length and (
+                source[end].isalnum() or source[end] == "x"
+            ):
+                end += 1
+            text = source[index:end]
+            try:
+                value = int(text, 0)
+            except ValueError:
+                error(f"bad integer literal {text!r}")
+            tokens.append(Token(TokenKind.INT, text, line, column, value))
+            column += len(text)
+            index = end
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            end = index
+            while end < length and (
+                source[end].isalnum() or source[end] == "_"
+            ):
+                end += 1
+            text = source[index:end]
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            tokens.append(Token(kind, text, line, column, text))
+            column += len(text)
+            index = end
+            continue
+        # Operators and punctuation.
+        two = source[index:index + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, line, column))
+            index += 2
+            column += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, line, column))
+            index += 1
+            column += 1
+            continue
+        error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

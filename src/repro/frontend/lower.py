@@ -1,0 +1,454 @@
+"""Lowering: mini-C AST to PlayDoh-style IR.
+
+Each function lowers to one :class:`~repro.ir.procedure.Procedure`; global
+arrays become data segments. Lowering choices that matter downstream:
+
+* loops are shaped so each iteration is one linear block (condition, body
+  and latch together) — the natural seed for superblock formation;
+* comparisons feeding branches lower straight to ``cmpp``/``pbr``/``branch``
+  triples with a single UN target (FRP conversion later adds the UC
+  complement);
+* ``&&``/``||`` lower to short-circuit control flow in condition context;
+* array accesses compute ``base + index`` where the base register is a
+  ``mov`` from the segment label (resolved to the segment's address by the
+  simulator loader), and each load/store is tagged with its ``region`` so
+  the dependence analysis can disambiguate distinct arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import check_unit
+from repro.ir.block import Block
+from repro.ir.builder import IRBuilder
+from repro.ir.opcodes import Cond, Opcode
+from repro.ir.operands import Imm, Label, Reg
+from repro.ir.operation import Operation
+from repro.ir.procedure import DataSegment, Procedure, Program
+
+_COMPARISONS = {
+    "==": Cond.EQ,
+    "!=": Cond.NE,
+    "<": Cond.LT,
+    "<=": Cond.LE,
+    ">": Cond.GT,
+    ">=": Cond.GE,
+}
+
+_ARITHMETIC = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.REM,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+}
+
+
+def compile_source(source: str, name: str = "program") -> Program:
+    """Parse, check, and lower a mini-C source string to an IR program."""
+    unit = parse_source(source)
+    check_unit(unit)
+    return lower_unit(unit, name)
+
+
+def lower_unit(unit: ast.TranslationUnit, name: str = "program") -> Program:
+    program = Program(name)
+    for array in unit.arrays:
+        program.add_segment(
+            DataSegment(
+                name=array.name, size=array.size, initial=list(array.initial)
+            )
+        )
+    for function in unit.functions:
+        program.add_procedure(_FunctionLowerer(function).lower())
+    return program
+
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+
+def _fold(expr: ast.Expr) -> ast.Expr:
+    """Constant-fold literal arithmetic (one level; operands fold first)."""
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        operand = _fold(expr.operand)
+        if isinstance(operand, ast.IntLit):
+            return ast.IntLit(value=-operand.value, line=expr.line)
+    if isinstance(expr, ast.Binary) and expr.op in _FOLDABLE:
+        left = _fold(expr.left)
+        right = _fold(expr.right)
+        if isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit):
+            return ast.IntLit(
+                value=_FOLDABLE[expr.op](left.value, right.value),
+                line=expr.line,
+            )
+    return expr
+
+
+class _LoopContext:
+    def __init__(self, break_label: Label, continue_label: Label):
+        self.break_label = break_label
+        self.continue_label = continue_label
+
+
+class _FunctionLowerer:
+    def __init__(self, function: ast.FunctionDecl):
+        self.function = function
+        self.proc = Procedure(function.name)
+        self.builder = IRBuilder(self.proc)
+        self.variables: Dict[str, Reg] = {}
+        self.array_bases: Dict[str, Reg] = {}
+        self.loops: List[_LoopContext] = []
+        self.goto_blocks: Dict[str, Label] = {}
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Block plumbing
+    # ------------------------------------------------------------------
+    def _fresh_label(self, stem: str) -> Label:
+        self._label_counter += 1
+        return Label(f"{stem}{self._label_counter}")
+
+    def _start(self, label: Label) -> Block:
+        """Seal the current block (fall through to *label*) and open it."""
+        current = self.builder.block
+        if current is not None and current.terminator() is None:
+            if current.fallthrough is None:
+                current.fallthrough = label
+        return self.builder.start_block(label)
+
+    def _goto_block_label(self, name: str) -> Label:
+        if name not in self.goto_blocks:
+            self.goto_blocks[name] = Label(f"usr_{name}")
+        return self.goto_blocks[name]
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def lower(self) -> Procedure:
+        for param in self.function.params:
+            reg = self.proc.new_reg()
+            self.proc.params.append(reg)
+            self.variables[param] = reg
+        self.entry = self.builder.start_block("entry")
+        self._lower_body(self.function.body)
+        current = self.builder.block
+        if current is not None and current.terminator() is None \
+                and not current.has_return() and current.fallthrough is None:
+            if self.function.returns_value:
+                self.builder.ret(0)
+            else:
+                self.builder.ret()
+        return self.proc
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _lower_body(self, body: List[ast.Stmt]):
+        for stmt in body:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt):
+        if isinstance(stmt, ast.DeclStmt):
+            reg = self.proc.new_reg()
+            self.variables[stmt.name] = reg
+            if stmt.init is not None:
+                self._lower_expr_into(stmt.init, reg)
+            else:
+                self.builder.mov(0, dest=reg)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            self.builder.jump(self.loops[-1].break_label)
+            self._start(self._fresh_label("dead"))
+        elif isinstance(stmt, ast.ContinueStmt):
+            self.builder.jump(self.loops[-1].continue_label)
+            self._start(self._fresh_label("dead"))
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.builder.ret(self._lower_expr(stmt.value))
+            else:
+                self.builder.ret()
+            self._start(self._fresh_label("dead"))
+        elif isinstance(stmt, ast.GotoStmt):
+            self.builder.jump(self._goto_block_label(stmt.label))
+            self._start(self._fresh_label("dead"))
+        elif isinstance(stmt, ast.LabelStmt):
+            self._start(self._goto_block_label(stmt.label))
+        else:
+            raise SemanticError(f"cannot lower {type(stmt).__name__}")
+
+    def _lower_assign(self, stmt: ast.AssignStmt):
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            self._lower_expr_into(stmt.value, self.variables[target.name])
+        else:
+            address = self._array_address(target)
+            value = self._lower_expr(stmt.value)
+            self.builder.store(address, value, region=target.array)
+
+    def _lower_if(self, stmt: ast.IfStmt):
+        # `if (c) break/continue/goto;` lowers to a single conditional
+        # branch with the common path falling through — the shape
+        # superblock formation wants (no inversion needed later).
+        if not stmt.else_body and len(stmt.then_body) == 1:
+            only = stmt.then_body[0]
+            target: Optional[Label] = None
+            if isinstance(only, ast.BreakStmt):
+                target = self.loops[-1].break_label
+            elif isinstance(only, ast.ContinueStmt):
+                target = self.loops[-1].continue_label
+            elif isinstance(only, ast.GotoStmt):
+                target = self._goto_block_label(only.label)
+            if target is not None:
+                self._lower_cond(stmt.cond, target, branch_when=True)
+                return
+        end_label = self._fresh_label("endif")
+        if stmt.else_body:
+            # Classic diamond: [cond][then][else][end] with the branch as
+            # the cond block's final op — so superblock formation can
+            # follow (and invert onto) either arm.
+            else_label = self._fresh_label("else")
+            then_label = self._fresh_label("then")
+            self._lower_cond(stmt.cond, else_label, branch_when=False)
+            head = self.builder.block
+            head.fallthrough = then_label
+            self.builder.start_block(then_label)
+            self._lower_body(stmt.then_body)
+            current = self.builder.block
+            if current.terminator() is None and not current.has_return():
+                self.builder.jump(end_label)
+            self._start(else_label)
+            self._lower_body(stmt.else_body)
+            self._start(end_label)
+        else:
+            # Out-of-line then-body: the main path falls straight through
+            # to the continuation; the body sits in its own block branched
+            # to when the condition holds and jumps back. This keeps
+            # superblock traces free of branches into their own middle.
+            body_label = self._fresh_label("then")
+            self._lower_cond(stmt.cond, body_label, branch_when=True)
+            head = self.builder.block
+            head.fallthrough = end_label
+            self.builder.start_block(body_label)
+            self._lower_body(stmt.then_body)
+            current = self.builder.block
+            if current.terminator() is None and not current.has_return():
+                self.builder.jump(end_label)
+            block = Block(label=end_label)
+            self.proc.add_block(block)
+            self.builder.use_block(block)
+
+    def _lower_while(self, stmt: ast.WhileStmt):
+        head = self._fresh_label("loop")
+        exit_label = self._fresh_label("endloop")
+        self.loops.append(_LoopContext(exit_label, head))
+        self._start(head)
+        self._lower_cond(stmt.cond, exit_label, branch_when=False)
+        self._lower_body(stmt.body)
+        current = self.builder.block
+        if current.terminator() is None and not current.has_return():
+            self.builder.jump(head)
+        self.loops.pop()
+        self._start(exit_label)
+
+    def _lower_do_while(self, stmt: ast.DoWhileStmt):
+        head = self._fresh_label("loop")
+        latch = self._fresh_label("latch")
+        exit_label = self._fresh_label("endloop")
+        self.loops.append(_LoopContext(exit_label, latch))
+        self._start(head)
+        self._lower_body(stmt.body)
+        self._start(latch)
+        self._lower_cond(stmt.cond, head, branch_when=True)
+        self.loops.pop()
+        self._start(exit_label)
+
+    def _lower_for(self, stmt: ast.ForStmt):
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head = self._fresh_label("for")
+        step_label = self._fresh_label("step")
+        exit_label = self._fresh_label("endfor")
+        self.loops.append(_LoopContext(exit_label, step_label))
+        self._start(head)
+        if stmt.cond is not None:
+            self._lower_cond(stmt.cond, exit_label, branch_when=False)
+        self._lower_body(stmt.body)
+        self._start(step_label)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        current = self.builder.block
+        if current.terminator() is None and not current.has_return():
+            self.builder.jump(head)
+        self.loops.pop()
+        self._start(exit_label)
+
+    # ------------------------------------------------------------------
+    # Conditions (short-circuit control flow)
+    # ------------------------------------------------------------------
+    def _lower_cond(self, expr: ast.Expr, target: Label, branch_when: bool):
+        """Branch to *target* when *expr* evaluates to *branch_when*; fall
+        through otherwise."""
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._lower_cond(expr.operand, target, not branch_when)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+            is_and = expr.op == "&&"
+            if is_and != branch_when:
+                # (a && b) branching on false, or (a || b) branching on
+                # true: both subconditions branch the same way.
+                self._lower_cond(expr.left, target, branch_when)
+                self._lower_cond(expr.right, target, branch_when)
+            else:
+                # (a && b) branching on true (or || on false): short-circuit
+                # around the second test.
+                skip = self._fresh_label("skip")
+                self._lower_cond(expr.left, skip, not branch_when)
+                self._lower_cond(expr.right, target, branch_when)
+                self._start(skip)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARISONS:
+            cond = _COMPARISONS[expr.op]
+            if not branch_when:
+                cond = cond.negate()
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            pred = self.builder.cmpp1(cond, left, right)
+            self.builder.branch_to(target, pred)
+            return
+        if isinstance(expr, ast.IntLit):
+            truthy = expr.value != 0
+            if truthy == branch_when:
+                self.builder.jump(target)
+                self._start(self._fresh_label("dead"))
+            return
+        value = self._lower_expr(expr)
+        cond = Cond.NE if branch_when else Cond.EQ
+        pred = self.builder.cmpp1(cond, value, 0)
+        self.builder.branch_to(target, pred)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _lower_expr(self, expr: ast.Expr) -> Union[Reg, Imm]:
+        expr = _fold(expr)
+        if isinstance(expr, ast.IntLit):
+            return Imm(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return self.variables[expr.name]
+        return self._lower_expr_into(expr, None)
+
+    def _lower_expr_into(
+        self, expr: ast.Expr, dest: Optional[Reg]
+    ) -> Union[Reg, Imm]:
+        """Lower *expr*; when *dest* is given the final value lands there."""
+        expr = _fold(expr)
+        if isinstance(expr, ast.IntLit):
+            if dest is None:
+                return Imm(expr.value)
+            return self.builder.mov(expr.value, dest=dest)
+        if isinstance(expr, ast.VarRef):
+            reg = self.variables[expr.name]
+            if dest is None or dest == reg:
+                return reg
+            return self.builder.mov(reg, dest=dest)
+        if isinstance(expr, ast.ArrayRef):
+            address = self._array_address(expr)
+            return self.builder.load(address, dest=dest, region=expr.array)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "-":
+                operand = self._lower_expr(expr.operand)
+                return self.builder.sub(0, operand, dest=dest)
+            if expr.op == "!":
+                operand = self._lower_expr(expr.operand)
+                pred = self.builder.cmpp1(Cond.EQ, operand, 0)
+                return self.builder.mov(pred, dest=dest)
+            raise SemanticError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.Binary):
+            if expr.op in _ARITHMETIC:
+                left = self._lower_expr(expr.left)
+                right = self._lower_expr(expr.right)
+                opcode = _ARITHMETIC[expr.op]
+                dest = dest or self.proc.new_reg()
+                self.builder.emit(
+                    Operation(opcode, dests=[dest], srcs=[left, right])
+                )
+                return dest
+            if expr.op in _COMPARISONS:
+                left = self._lower_expr(expr.left)
+                right = self._lower_expr(expr.right)
+                pred = self.builder.cmpp1(
+                    _COMPARISONS[expr.op], left, right
+                )
+                return self.builder.mov(pred, dest=dest)
+            if expr.op in ("&&", "||"):
+                return self._lower_logical_value(expr, dest)
+            raise SemanticError(f"unknown binary operator {expr.op!r}")
+        if isinstance(expr, ast.Call):
+            args = [self._lower_expr(arg) for arg in expr.args]
+            dest = dest or self.proc.new_reg()
+            self.builder.call(expr.callee, args, dest=dest)
+            return dest
+        raise SemanticError(f"cannot lower {type(expr).__name__}")
+
+    def _lower_logical_value(
+        self, expr: ast.Binary, dest: Optional[Reg]
+    ) -> Reg:
+        """Short-circuit && / || in value context via control flow."""
+        dest = dest or self.proc.new_reg()
+        is_and = expr.op == "&&"
+        done = self._fresh_label("logic")
+        self.builder.mov(0 if is_and else 1, dest=dest)
+        # Branch to done with the default value on short-circuit.
+        self._lower_cond(expr.left, done, branch_when=not is_and)
+        value = self._lower_expr(expr.right)
+        pred = self.builder.cmpp1(Cond.NE, value, 0)
+        self.builder.mov(pred, dest=dest)
+        self._start(done)
+        return dest
+
+    # ------------------------------------------------------------------
+    def _array_address(self, ref: ast.ArrayRef) -> Reg:
+        base = self.array_bases.get(ref.array)
+        if base is None:
+            base = self.proc.new_reg()
+            self.array_bases[ref.array] = base
+            # Materialize the base at function entry so it dominates uses.
+            self.entry.ops.insert(
+                0,
+                Operation(
+                    Opcode.MOV, dests=[base], srcs=[Label(ref.array)]
+                ),
+            )
+        index = self._lower_expr(ref.index)
+        if isinstance(index, Imm) and index.value == 0:
+            return base
+        return self.builder.add(base, index)

@@ -1,0 +1,413 @@
+"""Recursive-descent parser for the mini-C language."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenKind
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_BINOP_TOKENS = {
+    TokenKind.OR_OR: "||",
+    TokenKind.AND_AND: "&&",
+    TokenKind.PIPE: "|",
+    TokenKind.CARET: "^",
+    TokenKind.AMP: "&",
+    TokenKind.EQ: "==",
+    TokenKind.NE: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+    TokenKind.SHL: "<<",
+    TokenKind.SHR: ">>",
+    TokenKind.PLUS: "+",
+    TokenKind.MINUS: "-",
+    TokenKind.STAR: "*",
+    TokenKind.SLASH: "/",
+    TokenKind.PERCENT: "%",
+}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def check(self, kind: TokenKind) -> bool:
+        return self.current.kind is kind
+
+    def accept(self, kind: TokenKind) -> Optional[Token]:
+        if self.check(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind) -> Token:
+        if not self.check(kind):
+            raise ParseError(
+                f"expected {kind.value!r}, found {self.current.text!r}",
+                line=self.current.line,
+                column=self.current.column,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self.check(TokenKind.EOF):
+            returns_value = True
+            if self.accept(TokenKind.KW_VOID):
+                returns_value = False
+            else:
+                self.expect(TokenKind.KW_INT)
+            name = self.expect(TokenKind.IDENT)
+            if self.check(TokenKind.LBRACKET):
+                if not returns_value:
+                    raise ParseError(
+                        "arrays must be declared 'int'", line=name.line
+                    )
+                unit.arrays.append(self._parse_array_decl(name))
+            else:
+                unit.functions.append(
+                    self._parse_function(name, returns_value)
+                )
+        return unit
+
+    def _parse_array_decl(self, name: Token) -> ast.ArrayDecl:
+        self.expect(TokenKind.LBRACKET)
+        size = self.expect(TokenKind.INT)
+        self.expect(TokenKind.RBRACKET)
+        initial: List[int] = []
+        if self.accept(TokenKind.ASSIGN):
+            self.expect(TokenKind.LBRACE)
+            while not self.check(TokenKind.RBRACE):
+                negative = self.accept(TokenKind.MINUS) is not None
+                literal = self.expect(TokenKind.INT)
+                initial.append(-literal.value if negative else literal.value)
+                if not self.accept(TokenKind.COMMA):
+                    break
+            self.expect(TokenKind.RBRACE)
+        self.expect(TokenKind.SEMI)
+        return ast.ArrayDecl(
+            name=name.value, size=size.value, initial=initial,
+            line=name.line,
+        )
+
+    def _parse_function(
+        self, name: Token, returns_value: bool
+    ) -> ast.FunctionDecl:
+        self.expect(TokenKind.LPAREN)
+        params: List[str] = []
+        while not self.check(TokenKind.RPAREN):
+            self.expect(TokenKind.KW_INT)
+            params.append(self.expect(TokenKind.IDENT).value)
+            if not self.accept(TokenKind.COMMA):
+                break
+        self.expect(TokenKind.RPAREN)
+        body = self._parse_block()
+        return ast.FunctionDecl(
+            name=name.value,
+            params=params,
+            body=body,
+            returns_value=returns_value,
+            line=name.line,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> List[ast.Stmt]:
+        self.expect(TokenKind.LBRACE)
+        statements: List[ast.Stmt] = []
+        while not self.check(TokenKind.RBRACE):
+            statements.append(self._parse_statement())
+        self.expect(TokenKind.RBRACE)
+        return statements
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind is TokenKind.KW_INT:
+            return self._parse_declaration()
+        if token.kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if token.kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if token.kind is TokenKind.KW_DO:
+            return self._parse_do_while()
+        if token.kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if token.kind is TokenKind.KW_BREAK:
+            self.advance()
+            self.expect(TokenKind.SEMI)
+            return ast.BreakStmt(line=token.line)
+        if token.kind is TokenKind.KW_CONTINUE:
+            self.advance()
+            self.expect(TokenKind.SEMI)
+            return ast.ContinueStmt(line=token.line)
+        if token.kind is TokenKind.KW_RETURN:
+            self.advance()
+            value = None
+            if not self.check(TokenKind.SEMI):
+                value = self._parse_expr()
+            self.expect(TokenKind.SEMI)
+            return ast.ReturnStmt(value=value, line=token.line)
+        if token.kind is TokenKind.KW_GOTO:
+            self.advance()
+            label = self.expect(TokenKind.IDENT)
+            self.expect(TokenKind.SEMI)
+            return ast.GotoStmt(label=label.value, line=token.line)
+        if (
+            token.kind is TokenKind.IDENT
+            and self.peek().kind is TokenKind.COLON
+        ):
+            self.advance()
+            self.advance()
+            return ast.LabelStmt(label=token.value, line=token.line)
+        if token.kind is TokenKind.LBRACE:
+            # Anonymous block: flatten (no new scope; sema handles shadowing
+            # by rejecting redeclaration).
+            body = self._parse_block()
+            wrapper = ast.IfStmt(
+                cond=ast.IntLit(value=1, line=token.line),
+                then_body=body,
+                line=token.line,
+            )
+            return wrapper
+        return self._parse_simple_statement(expect_semi=True)
+
+    def _parse_declaration(self) -> ast.Stmt:
+        token = self.expect(TokenKind.KW_INT)
+        name = self.expect(TokenKind.IDENT)
+        init = None
+        if self.accept(TokenKind.ASSIGN):
+            init = self._parse_expr()
+        self.expect(TokenKind.SEMI)
+        return ast.DeclStmt(name=name.value, init=init, line=token.line)
+
+    def _parse_simple_statement(self, expect_semi: bool) -> ast.Stmt:
+        """Assignment, compound assignment, ++/--, call, or bare expr."""
+        token = self.current
+        expr = self._parse_expr()
+        statement: ast.Stmt
+        if self.check(TokenKind.ASSIGN):
+            self.advance()
+            value = self._parse_expr()
+            self._require_lvalue(expr)
+            statement = ast.AssignStmt(
+                target=expr, value=value, line=token.line
+            )
+        elif self.current.kind in (TokenKind.PLUS_EQ, TokenKind.MINUS_EQ):
+            op = "+" if self.advance().kind is TokenKind.PLUS_EQ else "-"
+            value = self._parse_expr()
+            self._require_lvalue(expr)
+            statement = ast.AssignStmt(
+                target=expr,
+                value=ast.Binary(
+                    op=op, left=expr, right=value, line=token.line
+                ),
+                line=token.line,
+            )
+        elif self.current.kind in (
+            TokenKind.PLUS_PLUS, TokenKind.MINUS_MINUS
+        ):
+            op = "+" if self.advance().kind is TokenKind.PLUS_PLUS else "-"
+            self._require_lvalue(expr)
+            statement = ast.AssignStmt(
+                target=expr,
+                value=ast.Binary(
+                    op=op,
+                    left=expr,
+                    right=ast.IntLit(value=1, line=token.line),
+                    line=token.line,
+                ),
+                line=token.line,
+            )
+        else:
+            statement = ast.ExprStmt(expr=expr, line=token.line)
+        if expect_semi:
+            self.expect(TokenKind.SEMI)
+        return statement
+
+    def _require_lvalue(self, expr: ast.Expr):
+        if not isinstance(expr, (ast.VarRef, ast.ArrayRef)):
+            raise ParseError(
+                "assignment target must be a variable or array element",
+                line=expr.line,
+            )
+
+    def _parse_if(self) -> ast.IfStmt:
+        token = self.expect(TokenKind.KW_IF)
+        self.expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self.expect(TokenKind.RPAREN)
+        then_body = self._parse_body()
+        else_body: List[ast.Stmt] = []
+        if self.accept(TokenKind.KW_ELSE):
+            if self.check(TokenKind.KW_IF):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_body()
+        return ast.IfStmt(
+            cond=cond, then_body=then_body, else_body=else_body,
+            line=token.line,
+        )
+
+    def _parse_while(self) -> ast.WhileStmt:
+        token = self.expect(TokenKind.KW_WHILE)
+        self.expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self.expect(TokenKind.RPAREN)
+        body = self._parse_body()
+        return ast.WhileStmt(cond=cond, body=body, line=token.line)
+
+    def _parse_do_while(self) -> ast.DoWhileStmt:
+        token = self.expect(TokenKind.KW_DO)
+        body = self._parse_body()
+        self.expect(TokenKind.KW_WHILE)
+        self.expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.SEMI)
+        return ast.DoWhileStmt(body=body, cond=cond, line=token.line)
+
+    def _parse_for(self) -> ast.ForStmt:
+        token = self.expect(TokenKind.KW_FOR)
+        self.expect(TokenKind.LPAREN)
+        init: Optional[ast.Stmt] = None
+        if not self.check(TokenKind.SEMI):
+            if self.check(TokenKind.KW_INT):
+                init = self._parse_declaration()
+            else:
+                init = self._parse_simple_statement(expect_semi=True)
+        else:
+            self.expect(TokenKind.SEMI)
+        cond: Optional[ast.Expr] = None
+        if not self.check(TokenKind.SEMI):
+            cond = self._parse_expr()
+        self.expect(TokenKind.SEMI)
+        step: Optional[ast.Stmt] = None
+        if not self.check(TokenKind.RPAREN):
+            step = self._parse_simple_statement(expect_semi=False)
+        self.expect(TokenKind.RPAREN)
+        body = self._parse_body()
+        return ast.ForStmt(
+            init=init, cond=cond, step=step, body=body, line=token.line
+        )
+
+    def _parse_body(self) -> List[ast.Stmt]:
+        if self.check(TokenKind.LBRACE):
+            return self._parse_block()
+        return [self._parse_statement()]
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expr(self, min_precedence: int = 1) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            op = _BINOP_TOKENS.get(self.current.kind)
+            if op is None or _PRECEDENCE[op] < min_precedence:
+                return left
+            token = self.advance()
+            right = self._parse_expr(_PRECEDENCE[op] + 1)
+            left = ast.Binary(
+                op=op, left=left, right=right, line=token.line
+            )
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.MINUS:
+            self.advance()
+            return ast.Unary(
+                op="-", operand=self._parse_unary(), line=token.line
+            )
+        if token.kind is TokenKind.BANG:
+            self.advance()
+            return ast.Unary(
+                op="!", operand=self._parse_unary(), line=token.line
+            )
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(value=token.value, line=token.line)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            expr = self._parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            if self.check(TokenKind.LBRACKET):
+                self.advance()
+                index = self._parse_expr()
+                self.expect(TokenKind.RBRACKET)
+                return ast.ArrayRef(
+                    array=token.value, index=index, line=token.line
+                )
+            if self.check(TokenKind.LPAREN):
+                self.advance()
+                args: List[ast.Expr] = []
+                while not self.check(TokenKind.RPAREN):
+                    args.append(self._parse_expr())
+                    if not self.accept(TokenKind.COMMA):
+                        break
+                self.expect(TokenKind.RPAREN)
+                return ast.Call(
+                    callee=token.value, args=args, line=token.line
+                )
+            return ast.VarRef(name=token.value, line=token.line)
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression",
+            line=token.line,
+            column=token.column,
+        )
+
+
+def parse_source(source: str) -> ast.TranslationUnit:
+    """Lex and parse a mini-C source string."""
+    return Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,186 @@
+"""Semantic analysis for mini-C.
+
+Checks performed before lowering:
+
+* every variable is declared before use and not redeclared;
+* array references name declared global arrays, plain variable references
+  do not name arrays (arrays are not first-class values);
+* calls target declared functions with matching arity; functions used in
+  value position must return a value;
+* ``break``/``continue`` appear inside loops;
+* ``goto`` targets exist within the same function, labels are unique;
+* array initializers fit the declared size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+
+
+def check_unit(unit: ast.TranslationUnit):
+    """Raise :class:`SemanticError` on the first problem found."""
+    arrays: Dict[str, ast.ArrayDecl] = {}
+    for array in unit.arrays:
+        if array.name in arrays:
+            raise SemanticError(f"array {array.name!r} redeclared")
+        if array.size <= 0:
+            raise SemanticError(f"array {array.name!r} has size {array.size}")
+        if len(array.initial) > array.size:
+            raise SemanticError(
+                f"array {array.name!r}: too many initializers"
+            )
+        arrays[array.name] = array
+
+    functions: Dict[str, ast.FunctionDecl] = {}
+    for function in unit.functions:
+        if function.name in functions:
+            raise SemanticError(f"function {function.name!r} redeclared")
+        if function.name in arrays:
+            raise SemanticError(
+                f"{function.name!r} declared as both array and function"
+            )
+        functions[function.name] = function
+
+    for function in unit.functions:
+        _FunctionChecker(function, arrays, functions).check()
+
+
+class _FunctionChecker:
+    def __init__(self, function, arrays, functions):
+        self.function = function
+        self.arrays = arrays
+        self.functions = functions
+        self.variables: Set[str] = set(function.params)
+        self.labels: Set[str] = set()
+        self.gotos: List[str] = []
+        self.loop_depth = 0
+        if len(set(function.params)) != len(function.params):
+            raise SemanticError(
+                f"{function.name}: duplicate parameter names"
+            )
+
+    def error(self, message: str, line: int):
+        raise SemanticError(f"{self.function.name}:{line}: {message}")
+
+    def check(self):
+        self._collect_labels(self.function.body)
+        self._check_body(self.function.body)
+        for label in self.gotos:
+            if label not in self.labels:
+                self.error(f"goto to unknown label {label!r}", 0)
+
+    def _collect_labels(self, body):
+        for stmt in body:
+            if isinstance(stmt, ast.LabelStmt):
+                if stmt.label in self.labels:
+                    self.error(f"duplicate label {stmt.label!r}", stmt.line)
+                self.labels.add(stmt.label)
+            for attr in ("then_body", "else_body", "body"):
+                inner = getattr(stmt, attr, None)
+                if inner:
+                    self._collect_labels(inner)
+
+    # ------------------------------------------------------------------
+    def _check_body(self, body):
+        for stmt in body:
+            self._check_stmt(stmt)
+
+    def _check_stmt(self, stmt):
+        if isinstance(stmt, ast.DeclStmt):
+            if stmt.name in self.variables:
+                self.error(f"variable {stmt.name!r} redeclared", stmt.line)
+            if stmt.name in self.arrays:
+                self.error(
+                    f"{stmt.name!r} shadows a global array", stmt.line
+                )
+            if stmt.init is not None:
+                self._check_expr(stmt.init)
+            self.variables.add(stmt.name)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._check_expr(stmt.target)
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, value_needed=False)
+        elif isinstance(stmt, ast.IfStmt):
+            self._check_expr(stmt.cond)
+            self._check_body(stmt.then_body)
+            self._check_body(stmt.else_body)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            self._check_expr(stmt.cond)
+            self.loop_depth += 1
+            self._check_body(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond)
+            self.loop_depth += 1
+            self._check_body(stmt.body)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.BreakStmt):
+            if self.loop_depth == 0:
+                self.error("break outside loop", stmt.line)
+        elif isinstance(stmt, ast.ContinueStmt):
+            if self.loop_depth == 0:
+                self.error("continue outside loop", stmt.line)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._check_expr(stmt.value)
+            elif self.function.returns_value:
+                self.error("return without value in int function", stmt.line)
+        elif isinstance(stmt, ast.GotoStmt):
+            self.gotos.append(stmt.label)
+        elif isinstance(stmt, ast.LabelStmt):
+            pass
+        else:
+            self.error(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    # ------------------------------------------------------------------
+    def _check_expr(self, expr, value_needed: bool = True):
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.VarRef):
+            if expr.name in self.arrays:
+                self.error(
+                    f"array {expr.name!r} used without an index", expr.line
+                )
+            if expr.name not in self.variables:
+                self.error(f"undeclared variable {expr.name!r}", expr.line)
+            return
+        if isinstance(expr, ast.ArrayRef):
+            if expr.array not in self.arrays:
+                self.error(f"unknown array {expr.array!r}", expr.line)
+            self._check_expr(expr.index)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Binary):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+            return
+        if isinstance(expr, ast.Call):
+            target = self.functions.get(expr.callee)
+            if target is None:
+                self.error(f"unknown function {expr.callee!r}", expr.line)
+            if len(expr.args) != len(target.params):
+                self.error(
+                    f"{expr.callee} expects {len(target.params)} args, "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            if value_needed and not target.returns_value:
+                self.error(
+                    f"void function {expr.callee!r} used as a value",
+                    expr.line,
+                )
+            for arg in expr.args:
+                self._check_expr(arg)
+            return
+        self.error(f"unknown expression {type(expr).__name__}", expr.line)

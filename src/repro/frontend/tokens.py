@@ -1,0 +1,88 @@
+"""Token definitions for the mini-C frontend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+class TokenKind(enum.Enum):
+    # Literals and identifiers.
+    INT = "int-literal"
+    IDENT = "identifier"
+    # Keywords.
+    KW_INT = "int"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_FOR = "for"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_RETURN = "return"
+    KW_GOTO = "goto"
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    COLON = ":"
+    # Operators.
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    SHL = "<<"
+    SHR = ">>"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND_AND = "&&"
+    OR_OR = "||"
+    BANG = "!"
+    PLUS_EQ = "+="
+    MINUS_EQ = "-="
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+    EOF = "<eof>"
+
+
+KEYWORDS = {
+    "int": TokenKind.KW_INT,
+    "void": TokenKind.KW_VOID,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "for": TokenKind.KW_FOR,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "return": TokenKind.KW_RETURN,
+    "goto": TokenKind.KW_GOTO,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: Optional[Union[int, str]] = None
+
+    def __repr__(self):
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"

@@ -1,0 +1,58 @@
+"""PlayDoh-style predicated EPIC intermediate representation.
+
+Public surface re-exported here: operand kinds, opcodes, cmpp action
+semantics (the paper's Table 1), operations, blocks, procedures, programs,
+the fluent builder, the textual parser, the CFG view, and the verifier.
+"""
+
+from repro.ir.block import Block
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import ControlFlowGraph, Edge
+from repro.ir.cloning import clone_procedure, clone_program
+from repro.ir.opcodes import Cond, Opcode
+from repro.ir.operands import (
+    BTR,
+    FReg,
+    Imm,
+    Label,
+    PredReg,
+    Reg,
+    TRUE_PRED,
+    is_register,
+)
+from repro.ir.operation import Operation, PredTarget
+from repro.ir.parser import parse_procedure, parse_program
+from repro.ir.procedure import DataSegment, Procedure, Program
+from repro.ir.semantics import Action, parse_action
+from repro.ir.verify import check_procedure, verify_procedure, verify_program
+
+__all__ = [
+    "Action",
+    "BTR",
+    "Block",
+    "Cond",
+    "ControlFlowGraph",
+    "DataSegment",
+    "Edge",
+    "FReg",
+    "IRBuilder",
+    "Imm",
+    "Label",
+    "Opcode",
+    "Operation",
+    "PredReg",
+    "PredTarget",
+    "Procedure",
+    "Program",
+    "Reg",
+    "TRUE_PRED",
+    "check_procedure",
+    "clone_procedure",
+    "clone_program",
+    "is_register",
+    "parse_action",
+    "parse_procedure",
+    "parse_program",
+    "verify_procedure",
+    "verify_program",
+]

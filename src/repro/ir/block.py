@@ -1,0 +1,128 @@
+"""Blocks: single-entry, multi-exit linear operation regions.
+
+Following the superblock/hyperblock view of the paper (and the IMPACT/Elcor
+compilers it builds on), a :class:`Block` is *not* restricted to a single
+terminator. It is a linear list of operations that may contain several exit
+branches in the middle (superblock side exits) and optionally ends with an
+unconditional ``jump``; otherwise control falls through to the block named by
+``fallthrough``.
+
+This representation makes FRP conversion and control CPR local rewrites of a
+single block's operation list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Label
+from repro.ir.operation import Operation
+
+
+@dataclass
+class Block:
+    """A labeled linear code region with embedded exit branches."""
+
+    label: Label
+    ops: List[Operation] = field(default_factory=list)
+    fallthrough: Optional[Label] = None
+    # Profile annotations (filled by repro.sim.profiler / transforms).
+    entry_count: int = 0
+
+    def __post_init__(self):
+        if isinstance(self.label, str):
+            self.label = Label(self.label)
+        if isinstance(self.fallthrough, str):
+            self.fallthrough = Label(self.fallthrough)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def branches(self) -> List[Operation]:
+        """All control-transfer operations, in program order."""
+        return [op for op in self.ops if op.is_branch]
+
+    def exit_branches(self) -> List[Operation]:
+        """Conditional exits only (``branch`` ops, not the final jump)."""
+        return [op for op in self.ops if op.opcode is Opcode.BRANCH]
+
+    def terminator(self) -> Optional[Operation]:
+        """The trailing unconditional transfer, if any."""
+        if self.ops and self.ops[-1].opcode in (
+            Opcode.JUMP,
+            Opcode.RETURN,
+        ):
+            return self.ops[-1]
+        return None
+
+    def successor_labels(self) -> List[Label]:
+        """Every label control may transfer to from this block, in order:
+        each conditional exit target, then the jump target or fallthrough."""
+        labels = []
+        for op in self.ops:
+            if op.opcode is Opcode.BRANCH:
+                target = op.branch_target()
+                if target is not None:
+                    labels.append(target)
+            elif op.opcode is Opcode.JUMP:
+                labels.append(op.branch_target())
+        terminator = self.terminator()
+        if terminator is None and self.fallthrough is not None:
+            labels.append(self.fallthrough)
+        return labels
+
+    def has_return(self) -> bool:
+        return any(op.opcode is Opcode.RETURN for op in self.ops)
+
+    def index_of(self, op: Operation) -> int:
+        """Position of *op* (by identity) in the operation list."""
+        for i, candidate in enumerate(self.ops):
+            if candidate is op:
+                return i
+        raise ValueError(f"operation uid={op.uid} not in block {self.label}")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, op: Operation) -> Operation:
+        self.ops.append(op)
+        return op
+
+    def insert_after(self, anchor: Operation, op: Operation) -> Operation:
+        self.ops.insert(self.index_of(anchor) + 1, op)
+        return op
+
+    def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        self.ops.insert(self.index_of(anchor), op)
+        return op
+
+    def remove(self, op: Operation):
+        self.ops.pop(self.index_of(op))
+
+    def clone(self, new_label: Label) -> "Block":
+        """Copy with fresh operation uids under a new label.
+
+        The fallthrough is preserved; callers retarget as needed.
+        """
+        copy = Block(label=new_label, fallthrough=self.fallthrough)
+        copy.ops = [op.clone() for op in self.ops]
+        copy.entry_count = self.entry_count
+        return copy
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self):
+        return f"<Block {self.label} ({len(self.ops)} ops)>"
+
+    def format(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {op.format()}" for op in self.ops)
+        if self.fallthrough is not None and self.terminator() is None:
+            lines.append(f"  # falls through to {self.fallthrough}")
+        return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Fluent construction helpers for IR procedures.
+
+:class:`IRBuilder` keeps a current insertion block and exposes one method per
+opcode; each returns the destination register (or the operation itself for
+void ops) so code reads like straight-line assembly::
+
+    builder = IRBuilder(proc)
+    entry = builder.start_block("Loop")
+    value = builder.load(addr)
+    taken, fall = builder.cmpp2(Cond.EQ, value, 0)
+    builder.branch_to("Exit", taken)
+
+Branches are built PlayDoh-style: ``branch_to`` emits the ``pbr`` (prepare to
+branch) and the guarded ``branch`` pair, recording the resolved target on the
+branch operation for CFG construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.block import Block
+from repro.ir.opcodes import Cond, Opcode
+from repro.ir.operands import (
+    BTR,
+    FReg,
+    Imm,
+    Label,
+    PredReg,
+    Reg,
+    TRUE_PRED,
+)
+from repro.ir.operation import Operation, PredTarget
+from repro.ir.procedure import Procedure
+from repro.ir.semantics import Action
+
+Value = Union[Reg, FReg, PredReg, Imm, int, float]
+
+
+def _lift(value: Value):
+    """Wrap bare Python numbers as immediates."""
+    if isinstance(value, bool):
+        return Imm(int(value))
+    if isinstance(value, (int, float)):
+        return Imm(value)
+    return value
+
+
+class IRBuilder:
+    """Builds operations into the blocks of one procedure."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.block: Optional[Block] = None
+
+    # ------------------------------------------------------------------
+    # Block control
+    # ------------------------------------------------------------------
+    def start_block(
+        self, label: Union[str, Label], fallthrough: Optional[str] = None
+    ) -> Block:
+        if isinstance(label, str):
+            label = Label(label)
+        block = Block(label=label, fallthrough=fallthrough)
+        self.proc.add_block(block)
+        self.block = block
+        return block
+
+    def use_block(self, block: Block) -> Block:
+        self.block = block
+        return block
+
+    def emit(self, op: Operation) -> Operation:
+        if self.block is None:
+            raise IRError("no current block; call start_block first")
+        self.block.append(op)
+        return op
+
+    # ------------------------------------------------------------------
+    # Arithmetic and moves
+    # ------------------------------------------------------------------
+    def _binop(self, opcode: Opcode, a, b, guard, dest=None):
+        dest = dest or self.proc.new_reg()
+        self.emit(
+            Operation(
+                opcode,
+                dests=[dest],
+                srcs=[_lift(a), _lift(b)],
+                guard=guard or TRUE_PRED,
+            )
+        )
+        return dest
+
+    def add(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.ADD, a, b, guard, dest)
+
+    def sub(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.SUB, a, b, guard, dest)
+
+    def mul(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.MUL, a, b, guard, dest)
+
+    def div(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.DIV, a, b, guard, dest)
+
+    def rem(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.REM, a, b, guard, dest)
+
+    def and_(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.AND, a, b, guard, dest)
+
+    def or_(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.OR, a, b, guard, dest)
+
+    def xor(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.XOR, a, b, guard, dest)
+
+    def shl(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.SHL, a, b, guard, dest)
+
+    def shr(self, a, b, guard=None, dest=None):
+        return self._binop(Opcode.SHR, a, b, guard, dest)
+
+    def mov(self, a, guard=None, dest=None):
+        dest = dest or self.proc.new_reg()
+        self.emit(
+            Operation(
+                Opcode.MOV, dests=[dest], srcs=[_lift(a)],
+                guard=guard or TRUE_PRED,
+            )
+        )
+        return dest
+
+    def fadd(self, a, b, guard=None, dest=None):
+        dest = dest or self.proc.new_freg()
+        return self._binop(Opcode.FADD, a, b, guard, dest)
+
+    def fsub(self, a, b, guard=None, dest=None):
+        dest = dest or self.proc.new_freg()
+        return self._binop(Opcode.FSUB, a, b, guard, dest)
+
+    def fmul(self, a, b, guard=None, dest=None):
+        dest = dest or self.proc.new_freg()
+        return self._binop(Opcode.FMUL, a, b, guard, dest)
+
+    def fdiv(self, a, b, guard=None, dest=None):
+        dest = dest or self.proc.new_freg()
+        return self._binop(Opcode.FDIV, a, b, guard, dest)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(self, addr, guard=None, dest=None, region=None):
+        dest = dest or self.proc.new_reg()
+        op = Operation(
+            Opcode.LOAD, dests=[dest], srcs=[_lift(addr)],
+            guard=guard or TRUE_PRED,
+        )
+        if region is not None:
+            op.attrs["region"] = region
+        self.emit(op)
+        return dest
+
+    def store(self, addr, value, guard=None, region=None):
+        op = Operation(
+            Opcode.STORE, srcs=[_lift(addr), _lift(value)],
+            guard=guard or TRUE_PRED,
+        )
+        if region is not None:
+            op.attrs["region"] = region
+        return self.emit(op)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def cmpp(
+        self,
+        cond: Cond,
+        a,
+        b,
+        targets: Sequence[PredTarget],
+        guard=None,
+    ) -> Operation:
+        return self.emit(
+            Operation(
+                Opcode.CMPP,
+                dests=list(targets),
+                srcs=[_lift(a), _lift(b)],
+                guard=guard or TRUE_PRED,
+                cond=cond,
+            )
+        )
+
+    def cmpp1(self, cond: Cond, a, b, action=Action.UN, guard=None, dest=None):
+        """Single-target cmpp; returns the destination predicate."""
+        dest = dest or self.proc.new_pred()
+        self.cmpp(cond, a, b, [PredTarget(dest, action)], guard=guard)
+        return dest
+
+    def cmpp2(
+        self,
+        cond: Cond,
+        a,
+        b,
+        actions=(Action.UN, Action.UC),
+        guard=None,
+        dests=None,
+    ):
+        """Two-target cmpp (e.g. UN/UC taken + fall-through pair)."""
+        if dests is None:
+            dests = (self.proc.new_pred(), self.proc.new_pred())
+        targets = [PredTarget(d, act) for d, act in zip(dests, actions)]
+        self.cmpp(cond, a, b, targets, guard=guard)
+        return dests
+
+    def pred_clear(self, dest=None, guard=None):
+        dest = dest or self.proc.new_pred()
+        self.emit(
+            Operation(
+                Opcode.PRED_CLEAR, dests=[dest], srcs=[],
+                guard=guard or TRUE_PRED,
+            )
+        )
+        return dest
+
+    def pred_set(self, source, dest=None, guard=None):
+        dest = dest or self.proc.new_pred()
+        self.emit(
+            Operation(
+                Opcode.PRED_SET, dests=[dest], srcs=[_lift(source)],
+                guard=guard or TRUE_PRED,
+            )
+        )
+        return dest
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def pbr(self, target: Union[str, Label], dest=None) -> BTR:
+        if isinstance(target, str):
+            target = Label(target)
+        dest = dest or self.proc.new_btr()
+        self.emit(Operation(Opcode.PBR, dests=[dest], srcs=[target]))
+        return dest
+
+    def branch(self, pred: PredReg, btr: BTR, target=None) -> Operation:
+        """Emit ``branch (pred, btr)``; *target* caches the resolved label."""
+        op = Operation(Opcode.BRANCH, srcs=[pred, btr])
+        if target is not None:
+            if isinstance(target, str):
+                target = Label(target)
+            op.attrs["target"] = target
+        return self.emit(op)
+
+    def branch_to(self, target: Union[str, Label], pred: PredReg):
+        """pbr + branch pair to *target*, taken when *pred* is true."""
+        btr = self.pbr(target)
+        if isinstance(target, str):
+            target = Label(target)
+        return self.branch(pred, btr, target=target)
+
+    def jump(self, target: Union[str, Label]) -> Operation:
+        if isinstance(target, str):
+            target = Label(target)
+        return self.emit(Operation(Opcode.JUMP, srcs=[target]))
+
+    def call(self, callee: str, args=(), dest=None):
+        """Direct call; *dest* receives the return value when provided."""
+        op = Operation(
+            Opcode.CALL,
+            dests=[dest] if dest is not None else [],
+            srcs=[_lift(a) for a in args],
+        )
+        op.attrs["callee"] = callee
+        self.emit(op)
+        return dest
+
+    def ret(self, value=None) -> Operation:
+        srcs = [] if value is None else [_lift(value)]
+        return self.emit(Operation(Opcode.RETURN, srcs=srcs))

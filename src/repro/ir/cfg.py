@@ -1,0 +1,125 @@
+"""Control-flow graph view over a procedure.
+
+The CFG is a derived, read-only index: nodes are block labels, edges are the
+possible transfers computed from each block's exit branches, terminator, and
+fall-through. Edges are tagged with their kind so profile attribution and
+superblock formation can distinguish side exits from fall-through flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Label
+from repro.ir.operation import Operation
+from repro.ir.procedure import Procedure
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One control-flow edge, tagged with its origin."""
+
+    src: Label
+    dst: Label
+    kind: str  # 'branch', 'jump', or 'fallthrough'
+    op_uid: Optional[int] = None  # uid of the branch/jump op, if any
+
+    def __repr__(self):
+        return f"{self.src} -[{self.kind}]-> {self.dst}"
+
+
+class ControlFlowGraph:
+    """Immutable snapshot of a procedure's control flow."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.entry = proc.entry.label
+        self.edges: List[Edge] = []
+        self._succs: Dict[Label, List[Edge]] = {b.label: [] for b in proc}
+        self._preds: Dict[Label, List[Edge]] = {b.label: [] for b in proc}
+        for block in proc:
+            for edge in _block_edges(block):
+                if edge.dst not in self._succs:
+                    # Target outside the procedure (verifier will flag it).
+                    continue
+                self.edges.append(edge)
+                self._succs[edge.src].append(edge)
+                self._preds[edge.dst].append(edge)
+
+    def successors(self, label: Label) -> List[Label]:
+        return [edge.dst for edge in self._succs[label]]
+
+    def predecessors(self, label: Label) -> List[Label]:
+        return [edge.src for edge in self._preds[label]]
+
+    def out_edges(self, label: Label) -> List[Edge]:
+        return list(self._succs[label])
+
+    def in_edges(self, label: Label) -> List[Edge]:
+        return list(self._preds[label])
+
+    def reachable(self) -> Set[Label]:
+        """Labels reachable from the entry block."""
+        seen: Set[Label] = set()
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.successors(label))
+        return seen
+
+    def reverse_postorder(self) -> List[Label]:
+        """Reverse postorder over reachable blocks (good dataflow order)."""
+        seen: Set[Label] = set()
+        order: List[Label] = []
+
+        def visit(label: Label):
+            stack = [(label, iter(self.successors(label)))]
+            seen.add(label)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.successors(succ))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+
+def _block_edges(block: Block) -> List[Edge]:
+    edges: List[Edge] = []
+    for op in block.ops:
+        if op.opcode is Opcode.BRANCH:
+            target = op.branch_target()
+            if target is not None:
+                edges.append(Edge(block.label, target, "branch", op.uid))
+        elif op.opcode is Opcode.JUMP:
+            target = op.branch_target()
+            if target is not None:
+                edges.append(Edge(block.label, target, "jump", op.uid))
+    if block.terminator() is None and block.fallthrough is not None:
+        edges.append(Edge(block.label, block.fallthrough, "fallthrough"))
+    return edges
+
+
+def branch_for_edge(block: Block, edge: Edge) -> Optional[Operation]:
+    """The branch operation realizing *edge*, or None for fall-through."""
+    if edge.op_uid is None:
+        return None
+    for op in block.ops:
+        if op.uid == edge.op_uid:
+            return op
+    return None

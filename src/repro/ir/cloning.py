@@ -1,0 +1,37 @@
+"""Structural deep-cloning of procedures and programs.
+
+Cloning preserves labels and register names but mints fresh operation uids,
+so a cloned procedure can be transformed independently while side tables
+keyed by uid never alias the original.
+"""
+
+from __future__ import annotations
+
+from repro.ir.procedure import DataSegment, Procedure, Program
+
+
+def clone_procedure(proc: Procedure) -> Procedure:
+    copy = Procedure(proc.name, params=list(proc.params))
+    for block in proc.blocks:
+        copy.add_block(block.clone(block.label))
+    copy._next_reg = proc._next_reg
+    copy._next_pred = proc._next_pred
+    copy._next_btr = proc._next_btr
+    copy._next_freg = proc._next_freg
+    copy._next_label = proc._next_label
+    return copy
+
+
+def clone_program(program: Program) -> Program:
+    copy = Program(program.name)
+    for segment in program.segments.values():
+        copy.add_segment(
+            DataSegment(
+                name=segment.name,
+                size=segment.size,
+                initial=list(segment.initial),
+            )
+        )
+    for proc in program.procedures.values():
+        copy.add_procedure(clone_procedure(proc))
+    return copy

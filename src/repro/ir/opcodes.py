@@ -1,0 +1,151 @@
+"""Opcode and condition enumerations for the PlayDoh-style IR.
+
+Opcode classes mirror the machine model of the paper's Section 7: integer
+ALU, floating point, multiply/divide, memory, compare-to-predicate, and
+branch-related operations. The resource class an opcode consumes and its
+latency come from :mod:`repro.machine`, keyed by :meth:`Opcode.unit_class`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Every operation kind the IR supports."""
+
+    # Integer ALU (latency "simple integer").
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MOV = "mov"
+    # Integer multiply/divide/remainder.
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FMOV = "fmov"
+    CVT_IF = "cvt_if"   # int -> float
+    CVT_FI = "cvt_fi"   # float -> int (truncating)
+    # Memory.
+    LOAD = "load"
+    STORE = "store"
+    # Predicate machinery.
+    CMPP = "cmpp"       # compare-to-predicate with up to two dest actions
+    PRED_CLEAR = "pred_clear"   # p = 0      (wired-or initialization)
+    PRED_SET = "pred_set"       # p = src    (wired-and initialization)
+    # Control flow.
+    PBR = "pbr"         # branch-target register = prepare-to-branch(label)
+    BRANCH = "branch"   # conditional branch through a BTR, guarded
+    JUMP = "jump"       # unconditional jump to a label
+    CALL = "call"       # direct call; interpreter-level frames
+    RETURN = "return"   # return (optionally with a value)
+
+    def is_branch(self) -> bool:
+        """True for operations that (may) transfer control."""
+        return self in _BRANCHES
+
+    def is_memory(self) -> bool:
+        return self in (Opcode.LOAD, Opcode.STORE)
+
+    def is_cmpp(self) -> bool:
+        return self is Opcode.CMPP
+
+    def is_speculable(self) -> bool:
+        """True when the op may be hoisted above a guarding branch.
+
+        Following the paper: stores, branches, and calls are non-speculative;
+        everything else (arithmetic, loads, compares) may execute
+        speculatively. Loads are speculable under PlayDoh's non-faulting
+        (dismissible) load support.
+        """
+        return self not in _NON_SPECULATIVE
+
+    def unit_class(self) -> str:
+        """Functional-unit class consumed: 'I', 'F', 'M', or 'B'."""
+        if self in _FLOAT_OPS:
+            return "F"
+        if self in (Opcode.LOAD, Opcode.STORE):
+            return "M"
+        if self in _BRANCHES:
+            return "B"
+        return "I"
+
+
+_BRANCHES = frozenset({Opcode.BRANCH, Opcode.JUMP, Opcode.CALL, Opcode.RETURN})
+
+_NON_SPECULATIVE = frozenset(
+    {Opcode.STORE, Opcode.BRANCH, Opcode.JUMP, Opcode.CALL, Opcode.RETURN}
+)
+
+_FLOAT_OPS = frozenset(
+    {
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.FMOV,
+        Opcode.CVT_IF,
+        Opcode.CVT_FI,
+    }
+)
+
+
+class Cond(enum.Enum):
+    """Comparison conditions for ``cmpp`` operations."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+    def evaluate(self, a, b) -> bool:
+        if self is Cond.EQ:
+            return a == b
+        if self is Cond.NE:
+            return a != b
+        if self is Cond.LT:
+            return a < b
+        if self is Cond.LE:
+            return a <= b
+        if self is Cond.GT:
+            return a > b
+        return a >= b
+
+    def negate(self) -> "Cond":
+        """The condition computing the complement result (used by the taken
+        variation of restructure, paper Section 5.3)."""
+        return _NEGATIONS[self]
+
+    def swap(self) -> "Cond":
+        """The condition equivalent under operand exchange (a?b == b?'a)."""
+        return _SWAPS[self]
+
+
+_NEGATIONS = {
+    Cond.EQ: Cond.NE,
+    Cond.NE: Cond.EQ,
+    Cond.LT: Cond.GE,
+    Cond.GE: Cond.LT,
+    Cond.GT: Cond.LE,
+    Cond.LE: Cond.GT,
+}
+
+_SWAPS = {
+    Cond.EQ: Cond.EQ,
+    Cond.NE: Cond.NE,
+    Cond.LT: Cond.GT,
+    Cond.GT: Cond.LT,
+    Cond.LE: Cond.GE,
+    Cond.GE: Cond.LE,
+}

@@ -1,0 +1,100 @@
+"""Operand kinds for the PlayDoh-style IR.
+
+The IR is a register machine with four register files plus immediates:
+
+* ``Reg``     — general-purpose integer registers (``r1``, ``r2``, ...)
+* ``FReg``    — floating-point registers (``f1``, ...)
+* ``PredReg`` — one-bit predicate registers (``p1``, ...); these guard
+  operations and are the destinations of ``cmpp`` operations
+* ``BTR``     — branch-target registers written by ``pbr`` (prepare-to-branch)
+  and read by ``branch`` operations, mirroring PlayDoh's two-step branches
+* ``Imm``     — integer or float immediates
+* ``Label``   — symbolic code label, used as the operand of ``pbr``/``jump``
+
+All operand objects are immutable and hashable so they can key dependence
+maps directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """General-purpose integer register ``r<index>``."""
+
+    index: int
+
+    def __repr__(self):
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class FReg:
+    """Floating-point register ``f<index>``."""
+
+    index: int
+
+    def __repr__(self):
+        return f"f{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class PredReg:
+    """One-bit predicate register ``p<index>``.
+
+    ``PredReg(0)`` is reserved by convention as the always-true predicate and
+    printed as ``T``; the builder exposes it as :data:`TRUE_PRED`.
+    """
+
+    index: int
+
+    def __repr__(self):
+        return "T" if self.index == 0 else f"p{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class BTR:
+    """Branch-target register ``b<index>`` (PlayDoh prepare-to-branch)."""
+
+    index: int
+
+    def __repr__(self):
+        return f"b{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate operand; value may be int or float."""
+
+    value: Union[int, float]
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+@dataclass(frozen=True, order=True)
+class Label:
+    """Symbolic code label naming a block (branch/pbr/jump target)."""
+
+    name: str
+
+    def __repr__(self):
+        return self.name
+
+
+#: The always-true guard predicate (printed ``T``).
+TRUE_PRED = PredReg(0)
+
+#: Every register-like operand kind (things that carry machine state).
+RegisterOperand = (Reg, FReg, PredReg, BTR)
+
+#: Anything that may appear as an operation source.
+Operand = Union[Reg, FReg, PredReg, BTR, Imm, Label]
+
+
+def is_register(operand) -> bool:
+    """Return True when *operand* names mutable machine state."""
+    return isinstance(operand, RegisterOperand)

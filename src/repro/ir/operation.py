@@ -1,0 +1,236 @@
+"""The :class:`Operation` — one guarded PlayDoh-style instruction.
+
+Every operation has the shape::
+
+    dests = opcode(srcs) if guard
+
+where *guard* is a predicate register (``TRUE_PRED`` when unguarded). A
+``cmpp`` additionally carries a comparison condition and, per destination,
+an :class:`~repro.ir.semantics.Action` specifier, so a single operation may
+read ``dests`` as ``[PredTarget(p, UN), PredTarget(q, UC)]``.
+
+Operations carry a process-unique ``uid`` so passes can key side tables by
+operation identity even across cloning, plus a free-form ``attrs`` dict used
+sparingly for pass-private annotations (e.g. ICBM tags operations it
+introduced).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import IRError
+from repro.ir.opcodes import Cond, Opcode
+from repro.ir.operands import (
+    BTR,
+    Imm,
+    Label,
+    PredReg,
+    Reg,
+    TRUE_PRED,
+    is_register,
+)
+from repro.ir.semantics import Action
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class PredTarget:
+    """A cmpp destination: predicate register plus its action specifier."""
+
+    reg: PredReg
+    action: Action
+
+    def __repr__(self):
+        return f"{self.reg}:{self.action.value}"
+
+
+@dataclass
+class Operation:
+    """One IR operation. Mutable: passes rewrite guards/operands in place."""
+
+    opcode: Opcode
+    dests: List[object] = field(default_factory=list)
+    srcs: List[object] = field(default_factory=list)
+    guard: PredReg = TRUE_PRED
+    cond: Optional[Cond] = None
+    attrs: dict = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    def __post_init__(self):
+        self._check_shape()
+
+    # ------------------------------------------------------------------
+    # Structure checks and accessors
+    # ------------------------------------------------------------------
+    def _check_shape(self):
+        if self.opcode is Opcode.CMPP:
+            if self.cond is None:
+                raise IRError("cmpp requires a comparison condition")
+            if not self.dests or len(self.dests) > 2:
+                raise IRError("cmpp takes one or two predicate targets")
+            for dest in self.dests:
+                if not isinstance(dest, PredTarget):
+                    raise IRError(f"cmpp dest must be PredTarget, got {dest!r}")
+            if len(self.srcs) != 2:
+                raise IRError("cmpp takes exactly two sources")
+        elif self.cond is not None:
+            raise IRError(f"{self.opcode.value} must not carry a condition")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode.is_branch()
+
+    @property
+    def is_guarded(self) -> bool:
+        """True when the guard is a real predicate (not the constant T)."""
+        return self.guard != TRUE_PRED
+
+    def dest_registers(self):
+        """All registers written, unwrapping cmpp PredTargets."""
+        regs = []
+        for dest in self.dests:
+            if isinstance(dest, PredTarget):
+                regs.append(dest.reg)
+            elif is_register(dest):
+                regs.append(dest)
+        return regs
+
+    def source_registers(self):
+        """All registers read, including the guard when it is not T."""
+        regs = [src for src in self.srcs if is_register(src)]
+        if self.is_guarded:
+            regs.append(self.guard)
+        return regs
+
+    def pred_targets(self):
+        """The PredTarget list of a cmpp (empty for other opcodes)."""
+        if self.opcode is not Opcode.CMPP:
+            return []
+        return list(self.dests)
+
+    def unconditional_writes(self):
+        """Registers this op writes on *every* execution where guard holds.
+
+        Wired-or/and targets only conditionally update, so they are excluded;
+        unconditional (U-kind) cmpp targets and all ordinary destinations are
+        included. Used by liveness/reaching analyses.
+        """
+        regs = []
+        for dest in self.dests:
+            if isinstance(dest, PredTarget):
+                if dest.action.kind == "U":
+                    regs.append(dest.reg)
+            elif is_register(dest):
+                regs.append(dest)
+        return regs
+
+    def always_writes(self):
+        """Registers written regardless of the guard value.
+
+        Per Table 1, a U-kind cmpp target is assigned even when the guard is
+        false (it receives 0); every other write is nullified by a false
+        guard. Analyses use this to decide which definitions *kill*.
+        """
+        regs = []
+        for dest in self.dests:
+            if isinstance(dest, PredTarget):
+                if dest.action.kind == "U":
+                    regs.append(dest.reg)
+            elif is_register(dest) and not self.is_guarded:
+                regs.append(dest)
+        return regs
+
+    # ------------------------------------------------------------------
+    # Branch helpers
+    # ------------------------------------------------------------------
+    def branch_target(self) -> Optional[Label]:
+        """The statically known target label of a control transfer.
+
+        ``branch`` ops record their resolved target (from the defining pbr) in
+        ``attrs['target']``; ``jump``/``pbr`` carry a Label source; ``call``
+        names the callee; ``return`` has no target.
+        """
+        if self.opcode in (Opcode.JUMP, Opcode.PBR):
+            for src in self.srcs:
+                if isinstance(src, Label):
+                    return src
+            return None
+        if self.opcode is Opcode.BRANCH:
+            return self.attrs.get("target")
+        return None
+
+    def set_branch_target(self, label: Label):
+        if self.opcode is Opcode.BRANCH:
+            self.attrs["target"] = label
+        elif self.opcode in (Opcode.JUMP, Opcode.PBR):
+            self.srcs = [
+                label if isinstance(src, Label) else src for src in self.srcs
+            ]
+        else:
+            raise IRError(f"{self.opcode.value} has no branch target")
+
+    # ------------------------------------------------------------------
+    # Cloning and rewriting
+    # ------------------------------------------------------------------
+    def clone(self) -> "Operation":
+        """Deep-enough copy with a fresh uid (operands are immutable)."""
+        return Operation(
+            opcode=self.opcode,
+            dests=list(self.dests),
+            srcs=list(self.srcs),
+            guard=self.guard,
+            cond=self.cond,
+            attrs=dict(self.attrs),
+        )
+
+    def replace_sources(self, mapping):
+        """Rewrite sources (and the guard) through ``mapping`` where present."""
+        self.srcs = [mapping.get(src, src) for src in self.srcs]
+        if self.guard in mapping:
+            self.guard = mapping[self.guard]
+
+    def replace_dests(self, mapping):
+        new_dests = []
+        for dest in self.dests:
+            if isinstance(dest, PredTarget) and dest.reg in mapping:
+                new_dests.append(PredTarget(mapping[dest.reg], dest.action))
+            else:
+                new_dests.append(mapping.get(dest, dest))
+        self.dests = new_dests
+
+    # ------------------------------------------------------------------
+    # Printing
+    # ------------------------------------------------------------------
+    def __repr__(self):
+        return self.format()
+
+    def format(self) -> str:
+        """Render in the paper's assembly style, e.g.::
+
+            p51, p61 = cmpp.un.uc eq (r31, 0) if T
+            store (r21, r34) if T
+            branch (p51, b41)
+        """
+        guard = f" if {self.guard}"
+        if self.opcode is Opcode.CMPP:
+            targets = ", ".join(str(t.reg) for t in self.dests)
+            actions = ".".join(t.action.value for t in self.dests)
+            srcs = ", ".join(str(s) for s in self.srcs)
+            return (
+                f"{targets} = cmpp.{actions} {self.cond.value} ({srcs}){guard}"
+            )
+        srcs = ", ".join(str(s) for s in self.srcs)
+        if self.opcode is Opcode.BRANCH:
+            text = f"branch ({srcs}){guard}"
+            target = self.attrs.get("target")
+            if target is not None:
+                text += f"  # -> {target}"
+            return text
+        if not self.dests:
+            return f"{self.opcode.value} ({srcs}){guard}"
+        dests = ", ".join(str(d) for d in self.dests)
+        return f"{dests} = {self.opcode.value} ({srcs}){guard}"

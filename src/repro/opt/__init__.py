@@ -1,0 +1,46 @@
+"""Classic profile-driven optimizations used to build the baseline code."""
+
+from repro.opt.copyprop import propagate_copies
+from repro.opt.dce import eliminate_dead_code, remove_unreachable_blocks
+from repro.opt.frp import FRPReport, frp_convert_block, frp_convert_procedure
+from repro.opt.ifconvert import (
+    IfConvertConfig,
+    IfConvertReport,
+    if_convert_procedure,
+)
+from repro.opt.rename import (
+    rename_block_registers,
+    rename_procedure_registers,
+)
+from repro.opt.superblock import (
+    SuperblockConfig,
+    SuperblockReport,
+    form_superblocks,
+)
+from repro.opt.unroll import (
+    UnrollReport,
+    is_superblock_loop,
+    unroll_hot_loops,
+    unroll_superblock_loop,
+)
+
+__all__ = [
+    "FRPReport",
+    "SuperblockConfig",
+    "SuperblockReport",
+    "UnrollReport",
+    "IfConvertConfig",
+    "IfConvertReport",
+    "eliminate_dead_code",
+    "form_superblocks",
+    "if_convert_procedure",
+    "rename_block_registers",
+    "rename_procedure_registers",
+    "frp_convert_block",
+    "frp_convert_procedure",
+    "is_superblock_loop",
+    "propagate_copies",
+    "remove_unreachable_blocks",
+    "unroll_hot_loops",
+    "unroll_superblock_loop",
+]

@@ -1,0 +1,49 @@
+"""Local copy propagation.
+
+Within each block, forwards unguarded ``mov`` results (register or
+immediate) into later source operands, invalidating entries when either
+side is redefined. Guards are never rewritten (they are predicate registers
+defined by cmpps, not movs). Dead movs are left for DCE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import FReg, Imm, Reg, TRUE_PRED
+from repro.ir.procedure import Procedure
+
+
+def propagate_copies(proc: Procedure) -> int:
+    """Rewrite uses of copied values; returns the number of rewrites."""
+    rewrites = 0
+    for block in proc.blocks:
+        env: Dict = {}
+        for op in block.ops:
+            # Use-rewriting first (the op reads pre-op values).
+            new_srcs = []
+            for src in op.srcs:
+                replacement = env.get(src, src)
+                if replacement is not src and replacement != src:
+                    rewrites += 1
+                new_srcs.append(replacement)
+            op.srcs = new_srcs
+
+            # Invalidate any mapping involving the written registers.
+            written = set(op.dest_registers())
+            if written:
+                for key in list(env):
+                    if key in written or env[key] in written:
+                        del env[key]
+
+            # Record fresh copies.
+            if (
+                op.opcode in (Opcode.MOV, Opcode.FMOV)
+                and op.guard == TRUE_PRED
+                and isinstance(op.dests[0], (Reg, FReg))
+                and isinstance(op.srcs[0], (Reg, FReg, Imm))
+                and op.dests[0] != op.srcs[0]
+            ):
+                env[op.dests[0]] = op.srcs[0]
+    return rewrites

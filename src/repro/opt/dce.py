@@ -1,0 +1,103 @@
+"""Predicate-aware dead-code elimination.
+
+Flow-insensitive, procedure-scoped: an operation is dead when it has no
+side effects and none of its destinations is ever read (as a source or as a
+guard) anywhere in the procedure, nor returned. cmpp operations additionally
+get *destination trimming*: individual dead predicate targets are dropped
+(the paper's worked example removes the second destination of op 13), and
+the whole cmpp goes away once all its targets are dead.
+
+Iterates to a fixpoint since removing one op may kill its producers.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import BTR, TRUE_PRED
+from repro.ir.procedure import Procedure
+
+def remove_unreachable_blocks(proc: Procedure) -> int:
+    """Drop blocks unreachable from the entry; returns how many."""
+    from repro.ir.cfg import ControlFlowGraph
+
+    reachable = ControlFlowGraph(proc).reachable()
+    victims = [b for b in proc.blocks if b.label not in reachable]
+    for block in victims:
+        proc.remove_block(block)
+    return len(victims)
+
+
+#: Opcodes that are never deleted regardless of result use.
+_EFFECTFUL = frozenset(
+    {
+        Opcode.STORE,
+        Opcode.BRANCH,
+        Opcode.JUMP,
+        Opcode.CALL,
+        Opcode.RETURN,
+    }
+)
+
+
+def _used_registers(proc: Procedure) -> Set:
+    used: Set = set()
+    for block in proc.blocks:
+        for op in block.ops:
+            used.update(op.source_registers())
+            if op.guard != TRUE_PRED:
+                used.add(op.guard)
+    return used
+
+
+def eliminate_dead_code(proc: Procedure) -> int:
+    """Remove dead operations; returns how many were deleted (targets
+    trimmed from a surviving cmpp count as a fraction of zero)."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        used = _used_registers(proc)
+        for block in proc.blocks:
+            # BTRs are block-local in this IR: a pbr is dead unless its
+            # branch-target register is read within the same block.
+            btrs_used_here = {
+                reg
+                for op in block.ops
+                for reg in op.source_registers()
+                if isinstance(reg, BTR)
+            }
+            survivors = []
+            for op in block.ops:
+                if op.opcode in _EFFECTFUL:
+                    survivors.append(op)
+                    continue
+                if op.opcode is Opcode.CMPP:
+                    live_targets = [
+                        t for t in op.dests if t.reg in used
+                    ]
+                    if not live_targets:
+                        removed += 1
+                        changed = True
+                        continue
+                    if len(live_targets) != len(op.dests):
+                        op.dests = live_targets
+                        changed = True
+                    survivors.append(op)
+                    continue
+                if op.opcode is Opcode.PBR and op.dests:
+                    if op.dests[0] not in btrs_used_here:
+                        removed += 1
+                        changed = True
+                        continue
+                    survivors.append(op)
+                    continue
+                dests = op.dest_registers()
+                if dests and not any(reg in used for reg in dests):
+                    removed += 1
+                    changed = True
+                    continue
+                survivors.append(op)
+            block.ops = survivors
+    return removed

@@ -1,0 +1,130 @@
+"""FRP conversion: if-conversion of superblocks onto fully-resolved
+predicates (paper Section 4.1 and Figure 6(c)).
+
+A superblock's chain of exit branches makes every later operation control
+dependent on every earlier branch. FRP conversion computes, for each
+internal "basic block" segment (the ops between consecutive exit branches),
+a *fully-resolved predicate*: true exactly when control reaches that
+segment. Each exit branch's guarding cmpp gains a complementary UC target
+computing the fall-through FRP, and all operations of later segments are
+guarded by their segment's FRP. Chains of branch dependences become chains
+of data dependences through the cmpps — which the scheduler may then
+height-reduce and reorder, since the resulting branch predicates are
+mutually exclusive.
+
+The conversion is applied in place to a single block and reports whether it
+fully succeeded; segments whose branch has no recognizable in-block
+guarding cmpp terminate the conversion early (everything before them is
+still converted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.defuse import (
+    DefUseChains,
+    branch_complement_pred,
+    branch_source_action,
+    guarding_compare,
+)
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import PredReg, TRUE_PRED
+from repro.ir.operation import PredTarget
+from repro.ir.procedure import Procedure
+from repro.ir.semantics import Action
+
+
+@dataclass
+class FRPReport:
+    """What FRP conversion did to one block."""
+
+    converted_branches: int = 0
+    total_branches: int = 0
+    added_uc_targets: int = 0
+    guarded_ops: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.converted_branches == self.total_branches
+
+
+def frp_convert_block(proc: Procedure, block: Block) -> FRPReport:
+    """Convert *block* in place; returns a report."""
+    report = FRPReport()
+    branches = block.exit_branches()
+    report.total_branches = len(branches)
+    if not branches:
+        return report
+
+    current_frp: PredReg = TRUE_PRED
+    chains = DefUseChains.build(block)
+    pending: List = []  # ops of the current segment awaiting guarding
+
+    for op in list(block.ops):
+        if op.opcode is Opcode.BRANCH:
+            compare = guarding_compare(block, chains, op)
+            source_action = (
+                branch_source_action(compare, op)
+                if compare is not None
+                else None
+            )
+            usable = (
+                source_action is not None
+                and compare.guard in (current_frp, TRUE_PRED)
+            )
+            if not usable:
+                # Cannot resolve this branch: guard what we have and stop.
+                _guard_ops(pending, current_frp, report)
+                return report
+            # Guard the segment's ops (including the compare itself) by the
+            # segment FRP.
+            _guard_ops(pending, current_frp, report)
+            if compare.guard == TRUE_PRED and current_frp != TRUE_PRED:
+                compare.guard = current_frp
+                report.guarded_ops += 1
+            fall_pred = branch_complement_pred(compare, op)
+            if fall_pred is None:
+                if len(compare.dests) >= 2:
+                    # No room for a complementary target: stop converting.
+                    return report
+                fall_pred = proc.new_pred()
+                complement = (
+                    Action.UC if source_action is Action.UN else Action.UN
+                )
+                compare.dests = list(compare.dests) + [
+                    PredTarget(fall_pred, complement)
+                ]
+                report.added_uc_targets += 1
+            current_frp = fall_pred
+            report.converted_branches += 1
+            pending = []
+            continue
+        pending.append(op)
+
+    _guard_ops(pending, current_frp, report)
+    return report
+
+
+def frp_convert_procedure(proc: Procedure) -> List[FRPReport]:
+    """FRP-convert every multi-exit block of *proc*."""
+    reports = []
+    for block in proc.blocks:
+        if len(block.exit_branches()) >= 1:
+            reports.append(frp_convert_block(proc, block))
+    return reports
+
+
+def _guard_ops(ops, frp: PredReg, report: FRPReport):
+    if frp == TRUE_PRED:
+        return
+    for op in ops:
+        if op.opcode is Opcode.JUMP:
+            continue  # unconditional control flow stays unguarded
+        if op.guard == TRUE_PRED:
+            op.guard = frp
+            report.guarded_ops += 1
+
+

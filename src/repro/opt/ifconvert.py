@@ -1,0 +1,230 @@
+"""Traditional if-conversion of small diamonds onto predicates.
+
+The paper's experiments deliberately exclude classic if-conversion ("no
+traditional if-conversion has been applied") but call it out as the way to
+"eliminate many unbiased branches and thus further improve the
+effectiveness of control CPR". This pass implements that future-work item:
+small if-then and if-then-else diamonds whose branch is *unbiased* (a bad
+CPR candidate and a bad superblock candidate) are collapsed into
+straight-line predicated code, turning their control dependence into a
+data dependence the scheduler can overlap — and leaving the surrounding
+region as a hyperblock for ICBM.
+
+Convertible patterns (as produced by the frontend's lowering):
+
+* if-then — ``H: ... branch body if p`` / ``body: ops; jump cont`` with
+  ``H`` falling through to ``cont``;
+* if-then-else — ``H: ... branch else if q`` falling through to ``then``,
+  both arms ending at the same join block.
+
+An arm is convertible when every operation can be guarded: no control
+transfers, no calls, no already-guarded operations (conjoining guards
+would need extra compares), and at most ``max_arm_ops`` operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.defuse import (
+    DefUseChains,
+    branch_complement_pred,
+    guarding_compare,
+)
+from repro.ir.block import Block
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Label, TRUE_PRED
+from repro.ir.operation import PredTarget
+from repro.ir.procedure import Procedure
+from repro.ir.semantics import Action
+from repro.sim.profiler import ProfileData
+
+
+@dataclass
+class IfConvertConfig:
+    """Heuristics for diamond selection."""
+
+    max_arm_ops: int = 12
+    #: Convert only branches whose taken ratio falls in this band (the
+    #: biased ones are better served by superblock formation + CPR).
+    min_taken_ratio: float = 0.15
+    max_taken_ratio: float = 0.85
+    #: With no profile data, convert every structurally eligible diamond.
+    convert_without_profile: bool = True
+
+
+@dataclass
+class IfConvertReport:
+    converted_diamonds: int = 0
+    predicated_ops: int = 0
+    removed_branches: int = 0
+
+
+def if_convert_procedure(
+    proc: Procedure,
+    profile: Optional[ProfileData] = None,
+    config: Optional[IfConvertConfig] = None,
+) -> IfConvertReport:
+    """Convert eligible diamonds in *proc*, in place."""
+    config = config or IfConvertConfig()
+    report = IfConvertReport()
+    changed = True
+    while changed:
+        changed = False
+        cfg = ControlFlowGraph(proc)
+        for head in list(proc.blocks):
+            if _try_convert(proc, cfg, head, profile, config, report):
+                changed = True
+                break  # CFG changed: recompute and rescan
+    return report
+
+
+# ----------------------------------------------------------------------
+def _arm_convertible(block: Block, config: IfConvertConfig) -> bool:
+    ops = block.ops
+    if block.terminator() is not None and block.terminator().opcode is \
+            Opcode.JUMP:
+        ops = ops[:-1]
+    if len(ops) > config.max_arm_ops:
+        return False
+    for op in ops:
+        if op.is_branch or op.opcode is Opcode.CALL:
+            return False
+        if op.guard != TRUE_PRED:
+            return False  # would need guard conjunction
+        if op.opcode in (Opcode.CMPP, Opcode.PRED_CLEAR, Opcode.PRED_SET):
+            return False  # predicate definitions must stay unconditional
+    return True
+
+
+def _arm_body(block: Block):
+    terminator = block.terminator()
+    if terminator is not None and terminator.opcode is Opcode.JUMP:
+        return block.ops[:-1]
+    return list(block.ops)
+
+
+def _arm_join(proc: Procedure, block: Block) -> Optional[Label]:
+    terminator = block.terminator()
+    if terminator is not None and terminator.opcode is Opcode.JUMP:
+        return terminator.branch_target()
+    if terminator is None and block.fallthrough is not None:
+        return block.fallthrough
+    return None
+
+
+def _bias_ok(profile, proc_name, branch, config) -> bool:
+    if profile is None:
+        return config.convert_without_profile
+    stats = profile.branch_profile(proc_name, branch)
+    if stats.executed == 0:
+        return config.convert_without_profile
+    return (
+        config.min_taken_ratio
+        <= stats.taken_ratio
+        <= config.max_taken_ratio
+    )
+
+
+def _single_predecessor(cfg: ControlFlowGraph, label: Label) -> bool:
+    return len(set(cfg.predecessors(label))) == 1
+
+
+def _try_convert(proc, cfg, head, profile, config, report) -> bool:
+    if not head.ops or head.ops[-1].opcode is not Opcode.BRANCH:
+        return False
+    branch = head.ops[-1]
+    target = branch.branch_target()
+    if target is None or head.fallthrough is None:
+        return False
+    if not proc.has_block(target):
+        return False
+    chains = DefUseChains.build(head)
+    compare = guarding_compare(head, chains, branch)
+    if compare is None or compare.guard != TRUE_PRED:
+        return False
+    if not _bias_ok(profile, proc.name, branch, config):
+        return False
+
+    taken_block = proc.block(target)
+    fall_label = head.fallthrough
+
+    # Pattern A: if-then — the taken block rejoins at the fall-through.
+    if (
+        _single_predecessor(cfg, target)
+        and _arm_join(proc, taken_block) == fall_label
+        and _arm_convertible(taken_block, config)
+    ):
+        taken_pred = branch.srcs[0]
+        _splice(proc, head, branch, [(taken_block, taken_pred)], fall_label)
+        report.converted_diamonds += 1
+        report.removed_branches += 1
+        report.predicated_ops += len(_arm_body(taken_block))
+        proc.remove_block(taken_block)
+        return True
+
+    # Pattern B: if-then-else — the fall-through arm and the taken arm
+    # both rejoin at a common label.
+    if not proc.has_block(fall_label):
+        return False
+    fall_block = proc.block(fall_label)
+    join = _arm_join(proc, fall_block)
+    if join is None or _arm_join(proc, taken_block) != join:
+        return False
+    if not (
+        _single_predecessor(cfg, target)
+        and _single_predecessor(cfg, fall_label)
+        and _arm_convertible(taken_block, config)
+        and _arm_convertible(fall_block, config)
+    ):
+        return False
+    taken_pred = branch.srcs[0]
+    fall_pred = branch_complement_pred(compare, branch)
+    if fall_pred is None:
+        if len(compare.dests) >= 2:
+            return False
+        fall_pred = proc.new_pred()
+        source_action = next(
+            t.action for t in compare.pred_targets()
+            if t.reg == taken_pred
+        )
+        complement = (
+            Action.UC if source_action is Action.UN else Action.UN
+        )
+        compare.dests = list(compare.dests) + [
+            PredTarget(fall_pred, complement)
+        ]
+    _splice(
+        proc,
+        head,
+        branch,
+        [(fall_block, fall_pred), (taken_block, taken_pred)],
+        join,
+    )
+    report.converted_diamonds += 1
+    report.removed_branches += 1
+    report.predicated_ops += len(_arm_body(taken_block)) + len(
+        _arm_body(fall_block)
+    )
+    proc.remove_block(taken_block)
+    proc.remove_block(fall_block)
+    return True
+
+
+def _splice(proc, head, branch, guarded_arms, continuation):
+    """Replace *branch* with the arms' operations guarded by their
+    predicates, and continue to *continuation*."""
+    head.remove(branch)
+    # Drop the branch's pbr if nothing else reads the BTR.
+    btr = branch.srcs[1] if len(branch.srcs) == 2 else None
+    if btr is not None and not any(btr in op.srcs for op in head.ops):
+        for op in list(head.ops):
+            if op.opcode is Opcode.PBR and op.dests and op.dests[0] == btr:
+                head.remove(op)
+    for arm_block, pred in guarded_arms:
+        for op in _arm_body(arm_block):
+            op.guard = pred
+            head.append(op)
+    head.fallthrough = continuation

@@ -1,0 +1,122 @@
+"""Per-block register renaming (web splitting).
+
+Source-level variable reuse (``c = A[i]; ...; c = A[i+1]``) maps several
+independent values onto one virtual register, chaining otherwise parallel
+code through anti/output dependences — and, downstream, breaking ICBM's
+separability (a compare reading the old value anti-depends on the load
+producing the next one). Elcor/IMPACT code is renamed (the paper's Figure 6
+uses a distinct register per unrolled load), so we do the same:
+
+within each block, every general register with multiple *unguarded*
+definitions has all but the last definition renamed to fresh registers
+(uses in between follow); the final definition keeps the original name so
+live-out and loop-carried values are untouched.
+
+Legality restrictions:
+
+* predicate registers are never renamed (wired-and/or accumulation is
+  already order-free) nor are registers with guarded definitions (a guarded
+  write merges with the old value; splitting the web would change meaning);
+* a register live into some side-exit target is not renamed when a branch
+  to that target sits between its first and last definitions — at that
+  branch the architected register must hold the latest value, which
+  renaming would leave in a temporary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.liveness import LivenessAnalysis
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import FReg, Reg, TRUE_PRED
+from repro.ir.procedure import Procedure
+
+
+def rename_block_registers(
+    proc: Procedure,
+    block: Block,
+    liveness: Optional[LivenessAnalysis] = None,
+) -> int:
+    """Split register webs in one block; returns renames performed."""
+    # Census: which Reg/FReg have only unguarded ordinary defs, how many,
+    # and where the first and last definitions sit.
+    def_counts: Dict = {}
+    first_def: Dict = {}
+    last_def: Dict = {}
+    blocked: Set = set()
+    exit_positions: List[int] = []
+    for index, op in enumerate(block.ops):
+        if op.opcode in (Opcode.BRANCH, Opcode.JUMP):
+            exit_positions.append(index)
+        unconditional = set(op.unconditional_writes())
+        always = set(op.always_writes())
+        for reg in unconditional:
+            if not isinstance(reg, (Reg, FReg)):
+                continue
+            def_counts[reg] = def_counts.get(reg, 0) + 1
+            first_def.setdefault(reg, index)
+            last_def[reg] = index
+            if reg not in always or op.guard != TRUE_PRED:
+                blocked.add(reg)  # guarded def: web must stay merged
+
+    # A register live into a side-exit target must not be renamed when the
+    # exit lies within its def range.
+    if liveness is not None:
+        for index in exit_positions:
+            target = block.ops[index].branch_target()
+            if target is None:
+                continue
+            live = liveness.live_in(target)
+            for reg in list(def_counts):
+                if reg in live and first_def[reg] <= index < last_def[reg]:
+                    blocked.add(reg)
+    else:
+        # Without liveness we must assume every exit needs every register.
+        for index in exit_positions:
+            for reg in list(def_counts):
+                if first_def[reg] <= index < last_def[reg]:
+                    blocked.add(reg)
+
+    renamable = {
+        reg
+        for reg, count in def_counts.items()
+        if count >= 2 and reg not in blocked
+    }
+    if not renamable:
+        return 0
+
+    remaining = {reg: def_counts[reg] for reg in renamable}
+    renames = 0
+    current: Dict = {}  # original reg -> current replacement name
+    for op in block.ops:
+        # Rewrite uses through the current web names.
+        if current:
+            op.replace_sources(current)
+        for reg in list(op.unconditional_writes()):
+            if reg not in renamable:
+                continue
+            remaining[reg] -= 1
+            if remaining[reg] == 0:
+                # Final definition keeps the original name: later uses and
+                # live-out values see the architected register.
+                current.pop(reg, None)
+            else:
+                fresh = (
+                    proc.new_freg()
+                    if isinstance(reg, FReg)
+                    else proc.new_reg()
+                )
+                current[reg] = fresh
+                op.replace_dests({reg: fresh})
+                renames += 1
+    return renames
+
+
+def rename_procedure_registers(proc: Procedure) -> int:
+    liveness = LivenessAnalysis(proc)
+    return sum(
+        rename_block_registers(proc, block, liveness)
+        for block in proc.blocks
+    )

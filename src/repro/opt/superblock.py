@@ -1,0 +1,382 @@
+"""Profile-driven superblock formation (trace selection + tail duplication).
+
+Implements the classic scheme of Hwu et al. that produced the paper's
+baseline code:
+
+1. *Trace selection.* Starting from the hottest unvisited block, a trace
+   grows forward along the most likely successor edge while the edge's
+   probability clears a threshold and the successor is a valid extension
+   (unvisited, single-context, not the trace head — closing back to the
+   head makes the trace a superblock loop).
+2. *Tail duplication.* Side entrances into the middle of a trace are
+   removed by duplicating the trace tail for the outside predecessors.
+3. *Merging.* The trace's blocks are concatenated into one single-entry,
+   multi-exit block. Internal unconditional jumps disappear; a conditional
+   branch onto the trace is inverted (its cmpp gains or reuses a
+   complementary target) so the trace continues on the fall-through path.
+
+Edge profiles come from :class:`~repro.sim.profiler.ProfileData`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.defuse import DefUseChains, guarding_compare
+from repro.ir.block import Block
+from repro.ir.cfg import ControlFlowGraph, Edge
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import BTR, Label, TRUE_PRED
+from repro.ir.operation import Operation, PredTarget
+from repro.ir.procedure import Procedure
+from repro.ir.semantics import Action
+from repro.sim.profiler import ProfileData
+
+
+@dataclass
+class SuperblockConfig:
+    """Trace-growing heuristics."""
+
+    min_edge_probability: float = 0.6
+    min_block_count: int = 1
+    max_trace_blocks: int = 64
+
+
+@dataclass
+class SuperblockReport:
+    traces: List[List[str]] = field(default_factory=list)
+    duplicated_blocks: int = 0
+    merged_blocks: int = 0
+
+
+def form_superblocks(
+    proc: Procedure,
+    profile: ProfileData,
+    config: Optional[SuperblockConfig] = None,
+) -> SuperblockReport:
+    """Restructure *proc* in place into superblocks."""
+    config = config or SuperblockConfig()
+    report = SuperblockReport()
+    traces = _select_traces(proc, profile, config)
+    for trace in traces:
+        if len(trace) < 2:
+            continue
+        report.traces.append([label.name for label in trace])
+        trace = _remove_side_entrances(proc, trace, report)
+        _merge_trace(proc, trace, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Trace selection
+# ----------------------------------------------------------------------
+def _edge_counts(
+    proc: Procedure, profile: ProfileData
+) -> Dict[Tuple[Label, Label], int]:
+    """Dynamic traversal counts per CFG edge."""
+    counts: Dict[Tuple[Label, Label], int] = {}
+    for block in proc.blocks:
+        remaining = profile.block_count(proc.name, block.label)
+        for op in block.ops:
+            if op.opcode is Opcode.BRANCH:
+                taken = profile.branch_profile(proc.name, op).taken
+                target = op.branch_target()
+                if target is not None:
+                    key = (block.label, target)
+                    counts[key] = counts.get(key, 0) + taken
+                remaining -= taken
+            elif op.opcode is Opcode.JUMP:
+                target = op.branch_target()
+                if target is not None:
+                    key = (block.label, target)
+                    counts[key] = counts.get(key, 0) + max(remaining, 0)
+        if block.terminator() is None and block.fallthrough is not None:
+            key = (block.label, block.fallthrough)
+            counts[key] = counts.get(key, 0) + max(remaining, 0)
+    return counts
+
+
+def _select_traces(
+    proc: Procedure, profile: ProfileData, config: SuperblockConfig
+) -> List[List[Label]]:
+    cfg = ControlFlowGraph(proc)
+    edge_counts = _edge_counts(proc, profile)
+    visited: Set[Label] = set()
+    traces: List[List[Label]] = []
+
+    blocks_by_heat = sorted(
+        proc.blocks,
+        key=lambda b: profile.block_count(proc.name, b.label),
+        reverse=True,
+    )
+    for seed in blocks_by_heat:
+        if seed.label in visited:
+            continue
+        count = profile.block_count(proc.name, seed.label)
+        if count < config.min_block_count:
+            continue
+        trace = [seed.label]
+        visited.add(seed.label)
+        current = seed.label
+        while len(trace) < config.max_trace_blocks:
+            best: Optional[Label] = None
+            best_count = 0
+            total = 0
+            for succ in cfg.successors(current):
+                edge_count = edge_counts.get((current, succ), 0)
+                total += edge_count
+                if edge_count > best_count:
+                    best_count = edge_count
+                    best = succ
+            if best is None or total == 0:
+                break
+            if best_count / total < config.min_edge_probability:
+                break
+            if best == trace[0]:
+                break  # loop closed: trace becomes a superblock loop
+            if best in visited:
+                break
+            # Require the candidate to receive most of its flow from the
+            # trace (the classic "best predecessor" check). Deduplicate
+            # predecessors: parallel edges (branch + fall-through to the
+            # same successor) share one count entry.
+            inflow = sum(
+                edge_counts.get((p, best), 0)
+                for p in set(cfg.predecessors(best))
+            )
+            if inflow > 0 and edge_counts.get((current, best), 0) / inflow \
+                    < config.min_edge_probability:
+                break
+            trace.append(best)
+            visited.add(best)
+            current = best
+        traces.append(trace)
+    return traces
+
+
+# ----------------------------------------------------------------------
+# Tail duplication
+# ----------------------------------------------------------------------
+def _remove_side_entrances(
+    proc: Procedure, trace: List[Label], report: SuperblockReport
+) -> List[Label]:
+    """Duplicate the trace tail for predecessors outside the trace."""
+    cfg = ControlFlowGraph(proc)
+    in_trace = set(trace)
+    for position in range(1, len(trace)):
+        label = trace[position]
+        # The legal entrance is the unique trace predecessor; anything else
+        # is a side entrance that must be redirected to a duplicate tail.
+        side = [
+            e for e in cfg.in_edges(label) if e.src != trace[position - 1]
+        ]
+        if not side:
+            continue
+        # Duplicate blocks trace[position:] under fresh labels.
+        mapping: Dict[Label, Label] = {}
+        clones: List[Block] = []
+        for tail_label in trace[position:]:
+            clone_label = proc.new_label(f"{tail_label.name}.dup")
+            mapping[tail_label] = clone_label
+            clone = proc.block(tail_label).clone(clone_label)
+            clones.append(clone)
+            report.duplicated_blocks += 1
+        previous = proc.blocks[-1]
+        for clone in clones:
+            proc.add_block(clone, after=previous)
+            previous = clone
+        # Retarget intra-tail control flow in the clones.
+        for clone in clones:
+            if clone.fallthrough in mapping:
+                clone.fallthrough = mapping[clone.fallthrough]
+            for op in clone.ops:
+                target = op.branch_target()
+                if target in mapping:
+                    op.set_branch_target(mapping[target])
+        # The last clone may fall through to code after the original trace;
+        # make that explicit with a jump if it currently relies on layout.
+        last_clone = clones[-1]
+        original_last = proc.block(trace[-1])
+        if (
+            last_clone.terminator() is None
+            and not last_clone.has_return()
+            and last_clone.fallthrough is None
+        ):
+            successor = _layout_successor(proc, original_last)
+            if successor is not None:
+                last_clone.fallthrough = successor
+        # Retarget the side entrances to the duplicate.
+        for edge in side:
+            src_block = proc.block(edge.src)
+            if edge.kind == "fallthrough":
+                src_block.fallthrough = mapping[label]
+            else:
+                for op in src_block.ops:
+                    if op.uid == edge.op_uid:
+                        op.set_branch_target(mapping[label])
+        cfg = ControlFlowGraph(proc)
+    return trace
+
+
+def _layout_successor(proc: Procedure, block: Block) -> Optional[Label]:
+    if block.fallthrough is not None:
+        return block.fallthrough
+    index = proc.blocks.index(block)
+    if block.terminator() is None and index + 1 < len(proc.blocks):
+        return proc.blocks[index + 1].label
+    return None
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+def _merge_trace(
+    proc: Procedure, trace: List[Label], report: SuperblockReport
+):
+    head = proc.block(trace[0])
+    for label in trace[1:]:
+        nxt = proc.block(label)
+        if not _flow_into(proc, head, nxt):
+            break
+        head.ops.extend(nxt.ops)
+        head.fallthrough = nxt.fallthrough
+        if (
+            head.fallthrough is None
+            and nxt.terminator() is None
+            and not nxt.has_return()
+        ):
+            head.fallthrough = _layout_successor(proc, nxt)
+        proc.remove_block(nxt)
+        report.merged_blocks += 1
+
+
+def _flow_into(proc: Procedure, head: Block, nxt: Block) -> bool:
+    """Make control flow from *head* continue into *nxt* by fall-through,
+    removing a trailing jump or inverting a conditional branch. Returns
+    False when that is not possible."""
+    # A non-final branch in `head` targeting `nxt` would dangle once the
+    # label is consumed by the merge (there are no mid-block labels).
+    for op in head.ops[:-1]:
+        if op.opcode is Opcode.BRANCH and op.branch_target() == nxt.label:
+            return False
+    terminator = head.terminator()
+    if terminator is not None and terminator.opcode is Opcode.JUMP:
+        if terminator.branch_target() == nxt.label:
+            head.ops.pop()
+            _drop_dead_pbr(head, terminator)
+            head.fallthrough = None
+            return True
+        return _invert_onto_trace(proc, head, nxt)
+    if terminator is not None:
+        return _invert_onto_trace(proc, head, nxt)
+    if head.fallthrough == nxt.label:
+        return True
+    if head.fallthrough is None:
+        if _layout_successor(proc, head) == nxt.label:
+            return True
+        return False
+    # Fall-through goes elsewhere: the trace follows a conditional branch
+    # that must be the final operation.
+    branch = head.ops[-1] if head.ops else None
+    if (
+        branch is None
+        or branch.opcode is not Opcode.BRANCH
+        or branch.branch_target() != nxt.label
+    ):
+        return False
+    old_fallthrough = head.fallthrough
+    if not _complement_branch(proc, head, branch, old_fallthrough):
+        return False
+    head.fallthrough = None  # caller merges `nxt` in
+    return True
+
+
+def _invert_onto_trace(proc: Procedure, head: Block, nxt: Block) -> bool:
+    """Handle ``[... branch -> nxt, jump/return]`` endings: invert the
+    branch onto the terminator's continuation and fall through to *nxt*."""
+    if len(head.ops) < 2:
+        return False
+    terminator = head.ops[-1]
+    branch = head.ops[-2]
+    if (
+        branch.opcode is not Opcode.BRANCH
+        or branch.branch_target() != nxt.label
+    ):
+        return False
+    if terminator.opcode is Opcode.JUMP:
+        new_target = terminator.branch_target()
+    elif terminator.opcode is Opcode.RETURN:
+        # Split the return into a cold stub block the inverted branch can
+        # target.
+        stub_label = proc.new_label(f"{head.label.name}.ret")
+        stub = Block(label=stub_label)
+        stub.append(terminator.clone())
+        proc.add_block(stub)
+        new_target = stub_label
+    else:
+        return False
+    if not _complement_branch(proc, head, branch, new_target):
+        return False
+    head.ops.pop()  # drop the old terminator
+    if terminator.opcode is Opcode.JUMP:
+        _drop_dead_pbr(head, terminator)
+    head.fallthrough = None
+    return True
+
+
+def _complement_branch(
+    proc: Procedure, head: Block, branch: Operation, new_target
+) -> bool:
+    """Invert *branch*'s sense (via its cmpp's complementary target) and
+    retarget it (and its pbr) to *new_target*."""
+    if new_target is None:
+        return False
+    chains = DefUseChains.build(head)
+    compare = guarding_compare(head, chains, branch)
+    if compare is None:
+        return False
+    source_pred = branch.srcs[0]
+    source_action = None
+    for target in compare.pred_targets():
+        if target.reg == source_pred:
+            source_action = target.action
+    if source_action not in (Action.UN, Action.UC):
+        return False
+    wanted = Action.UC if source_action is Action.UN else Action.UN
+    complement = None
+    for target in compare.pred_targets():
+        if target.action is wanted:
+            complement = target.reg
+    if complement is None:
+        if len(compare.dests) >= 2:
+            return False
+        complement = proc.new_pred()
+        compare.dests = list(compare.dests) + [
+            PredTarget(complement, wanted)
+        ]
+    branch.srcs[0] = complement
+    branch.set_branch_target(new_target)
+    # Also fix the feeding pbr so target metadata stays consistent.
+    for op in head.ops:
+        if (
+            op.opcode is Opcode.PBR
+            and op.dests
+            and op.dests[0] == branch.srcs[1]
+        ):
+            op.set_branch_target(new_target)
+    return True
+
+
+def _drop_dead_pbr(block: Block, branch: Operation):
+    """Remove the pbr feeding a deleted jump/branch when otherwise unused."""
+    if len(branch.srcs) < 2 or not isinstance(branch.srcs[-1], BTR):
+        return
+    btr = branch.srcs[-1]
+    for op in block.ops:
+        if btr in op.srcs:
+            return
+    for op in list(block.ops):
+        if op.opcode is Opcode.PBR and op.dests and op.dests[0] == btr:
+            block.remove(op)
+            return

@@ -1,0 +1,101 @@
+"""Superblock loop unrolling.
+
+A *superblock loop* is a block whose final control transfer returns to its
+own head: either a trailing ``jump <self>`` or a trailing conditional
+``branch <self>``. Unrolling replicates the body so each dynamic iteration
+of the unrolled loop performs several original iterations, amortizing the
+loop-back branch (paper Section 2: "loop unrolling has been used to reduce
+the number of executed branches").
+
+Replication is semantics-preserving and intentionally does *not* rename
+registers or re-associate induction chains — those effects come from how
+workloads are written (manually unrolled kernels, as IMPACT's aggressive
+preprocessing produced for the paper's baseline). This pass exists for
+generality and for the ablation benches.
+
+Two shapes are handled:
+
+* bottom-jump loops: ``L: body...; jump L`` — intermediate copies simply
+  drop the jump;
+* conditional-latch loops: ``L: body...; branch L if p`` — intermediate
+  copies keep the conditional latch branch... inverted logic is not needed
+  because a *taken* latch in a middle copy may legally restart the loop at
+  ``L`` (the original head): each copy is a complete iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import TransformError
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.procedure import Procedure
+
+
+@dataclass
+class UnrollReport:
+    label: str
+    factor: int
+    ops_before: int
+    ops_after: int
+
+
+def is_superblock_loop(block: Block) -> bool:
+    """Does control return from the end of *block* to its own head?"""
+    if not block.ops:
+        return False
+    last = block.ops[-1]
+    if last.opcode is Opcode.JUMP:
+        return last.branch_target() == block.label
+    if last.opcode is Opcode.BRANCH:
+        return last.branch_target() == block.label
+    return False
+
+
+def unroll_superblock_loop(
+    proc: Procedure, block: Block, factor: int
+) -> UnrollReport:
+    """Unroll *block* (a superblock loop) in place by *factor*."""
+    if factor < 2:
+        raise TransformError(f"unroll factor must be >= 2, got {factor}")
+    if not is_superblock_loop(block):
+        raise TransformError(f"{block.label} is not a superblock loop")
+    before = len(block.ops)
+    last = block.ops[-1]
+    bottom_jump = last.opcode is Opcode.JUMP
+
+    body = [op.clone() for op in block.ops]
+    new_ops = []
+    for copy_index in range(factor - 1):
+        iteration = [op.clone() for op in body]
+        if bottom_jump:
+            # Drop the trailing jump (and its pbr, if a branch used one);
+            # control falls into the next replica.
+            iteration.pop()
+        new_ops.extend(iteration)
+    new_ops.extend(op.clone() for op in body)
+    block.ops = new_ops
+    return UnrollReport(
+        label=block.label.name,
+        factor=factor,
+        ops_before=before,
+        ops_after=len(block.ops),
+    )
+
+
+def unroll_hot_loops(
+    proc: Procedure,
+    factor: int,
+    hot_labels: Optional[List] = None,
+) -> List[UnrollReport]:
+    """Unroll every superblock loop (or just *hot_labels*) by *factor*."""
+    reports = []
+    for block in list(proc.blocks):
+        if hot_labels is not None and block.label.name not in hot_labels \
+                and block.label not in hot_labels:
+            continue
+        if is_superblock_loop(block):
+            reports.append(unroll_superblock_loop(proc, block, factor))
+    return reports

@@ -1,0 +1,32 @@
+"""Performance estimation (the paper's Section 7 methodology)."""
+
+from repro.perf.estimator import (
+    CycleEstimate,
+    estimate_procedure_cycles,
+    estimate_program_cycles,
+)
+from repro.perf.counts import operation_counts, OperationCounts
+from repro.perf.report import (
+    Table2,
+    Table3,
+    WorkloadResult,
+    build_table2,
+    build_table3,
+    evaluate_workload,
+    geometric_mean,
+)
+
+__all__ = [
+    "CycleEstimate",
+    "OperationCounts",
+    "Table2",
+    "Table3",
+    "WorkloadResult",
+    "build_table2",
+    "build_table3",
+    "estimate_procedure_cycles",
+    "estimate_program_cycles",
+    "evaluate_workload",
+    "geometric_mean",
+    "operation_counts",
+]

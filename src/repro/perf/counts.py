@@ -1,0 +1,54 @@
+"""Static and dynamic operation counting (the paper's Table 3 metrics).
+
+``S tot`` / ``S br``: static operation / branch counts of a program build.
+``D tot`` / ``D br``: dynamic (executed) operation / branch counts under a
+profile. Table 3 reports transformed-to-baseline ratios of these four.
+
+Branch counting matches the paper's model: ``branch``, ``jump``, ``call``
+and ``return`` are branch-unit operations; ``pbr`` is not (it is the
+prepare-to-branch helper op and counts only toward the totals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.procedure import Program
+from repro.sim.profiler import ProfileData
+
+
+@dataclass
+class OperationCounts:
+    static_total: int = 0
+    static_branches: int = 0
+    dynamic_total: int = 0
+    dynamic_branches: int = 0
+
+    def ratios_against(self, baseline: "OperationCounts"):
+        """(S tot, S br, D tot, D br) ratios, transformed / baseline."""
+
+        def ratio(a, b):
+            return a / b if b else float("nan")
+
+        return (
+            ratio(self.static_total, baseline.static_total),
+            ratio(self.static_branches, baseline.static_branches),
+            ratio(self.dynamic_total, baseline.dynamic_total),
+            ratio(self.dynamic_branches, baseline.dynamic_branches),
+        )
+
+
+def operation_counts(
+    program: Program, profile: ProfileData
+) -> OperationCounts:
+    counts = OperationCounts()
+    for proc in program.procedures.values():
+        for block in proc.blocks:
+            for op in block.ops:
+                executed = profile.op_count(proc.name, op)
+                counts.static_total += 1
+                counts.dynamic_total += executed
+                if op.is_branch:
+                    counts.static_branches += 1
+                    counts.dynamic_branches += executed
+    return counts

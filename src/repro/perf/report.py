@@ -1,0 +1,206 @@
+"""Experiment drivers: regenerate the paper's Table 2 and Table 3.
+
+:func:`evaluate_workload` runs the full two-build methodology for one
+workload and collects per-processor cycle estimates plus operation counts;
+:func:`build_table2` / :func:`build_table3` aggregate those results into
+the paper's tables, including the SPEC-95 and overall geometric means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import CPRConfig
+from repro.machine.processor import PAPER_PROCESSORS, ProcessorConfig
+from repro.perf.counts import OperationCounts, operation_counts
+from repro.perf.estimator import estimate_program_cycles
+from repro.pipeline import PipelineOptions, WorkloadBuild, build_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class WorkloadResult:
+    """Everything measured for one workload."""
+
+    name: str
+    category: str
+    build: WorkloadBuild
+    baseline_cycles: Dict[str, float] = field(default_factory=dict)
+    transformed_cycles: Dict[str, float] = field(default_factory=dict)
+    baseline_counts: Optional[OperationCounts] = None
+    transformed_counts: Optional[OperationCounts] = None
+
+    def speedup(self, processor_name: str) -> float:
+        transformed = self.transformed_cycles[processor_name]
+        if transformed == 0:
+            return float("nan")
+        return self.baseline_cycles[processor_name] / transformed
+
+    def count_ratios(self):
+        """(S tot, S br, D tot, D br) transformed/baseline ratios."""
+        return self.transformed_counts.ratios_against(self.baseline_counts)
+
+
+def evaluate_workload(
+    workload: Workload,
+    processors: Sequence[ProcessorConfig] = PAPER_PROCESSORS,
+    options: Optional[PipelineOptions] = None,
+    estimate_mode: str = "exit-aware",
+) -> WorkloadResult:
+    """Build baseline + height-reduced code and measure both."""
+    build = build_workload(
+        workload.name, workload.compile(), workload.inputs,
+        options, entry=workload.entry,
+    )
+    result = WorkloadResult(
+        name=workload.name, category=workload.category, build=build
+    )
+    for processor in processors:
+        result.baseline_cycles[processor.name] = estimate_program_cycles(
+            build.baseline, processor, build.baseline_profile,
+            mode=estimate_mode,
+        ).total
+        result.transformed_cycles[processor.name] = estimate_program_cycles(
+            build.transformed, processor, build.transformed_profile,
+            mode=estimate_mode,
+        ).total
+    result.baseline_counts = operation_counts(
+        build.baseline, build.baseline_profile
+    )
+    result.transformed_counts = operation_counts(
+        build.transformed, build.transformed_profile
+    )
+    return result
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ----------------------------------------------------------------------
+# Table 2: speedups per benchmark x processor
+# ----------------------------------------------------------------------
+@dataclass
+class Table2:
+    """The paper's Table 2: ICBM speedup per benchmark and machine."""
+
+    processors: List[str]
+    rows: List[WorkloadResult]
+
+    def speedups(self, result: WorkloadResult) -> List[float]:
+        return [result.speedup(p) for p in self.processors]
+
+    def gmean_row(self, category: Optional[str] = None) -> List[float]:
+        rows = [
+            r for r in self.rows
+            if category is None or r.category == category
+        ]
+        return [
+            geometric_mean(r.speedup(p) for r in rows)
+            for p in self.processors
+        ]
+
+    def render(self) -> str:
+        headers = ["Benchmark", "Seq", "Nar", "Med", "Wid", "Inf"]
+        lines = [_format_row(headers)]
+        lines.append("-" * len(lines[0]))
+        for result in self.rows:
+            cells = [result.name] + [
+                f"{s:.2f}" for s in self.speedups(result)
+            ]
+            lines.append(_format_row(cells))
+        lines.append("-" * len(lines[0]))
+        spec95 = self.gmean_row("spec95")
+        overall = self.gmean_row(None)
+        lines.append(
+            _format_row(["Gmean-spec95"] + [f"{v:.2f}" for v in spec95])
+        )
+        lines.append(
+            _format_row(["Gmean-all"] + [f"{v:.2f}" for v in overall])
+        )
+        return "\n".join(lines)
+
+
+def build_table2(
+    workloads: Sequence[Workload],
+    processors: Sequence[ProcessorConfig] = PAPER_PROCESSORS,
+    options: Optional[PipelineOptions] = None,
+    estimate_mode: str = "exit-aware",
+) -> Table2:
+    rows = [
+        evaluate_workload(w, processors, options, estimate_mode)
+        for w in workloads
+    ]
+    return Table2(
+        processors=[p.name for p in processors], rows=rows
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 3: static/dynamic operation count ratios (medium processor)
+# ----------------------------------------------------------------------
+@dataclass
+class Table3:
+    """The paper's Table 3: operation-count ratios, transformed/baseline."""
+
+    rows: List[WorkloadResult]
+
+    def gmean_row(self, category: Optional[str] = None) -> List[float]:
+        rows = [
+            r for r in self.rows
+            if category is None or r.category == category
+        ]
+        columns = list(zip(*(r.count_ratios() for r in rows)))
+        return [geometric_mean(col) for col in columns]
+
+    def render(self) -> str:
+        headers = ["Benchmark", "S tot", "S br", "D tot", "D br"]
+        lines = [_format_row(headers)]
+        lines.append("-" * len(lines[0]))
+        for result in self.rows:
+            ratios = result.count_ratios()
+            lines.append(
+                _format_row(
+                    [result.name] + [f"{v:.2f}" for v in ratios]
+                )
+            )
+        lines.append("-" * len(lines[0]))
+        lines.append(
+            _format_row(
+                ["Gmean-spec95"]
+                + [f"{v:.2f}" for v in self.gmean_row("spec95")]
+            )
+        )
+        lines.append(
+            _format_row(
+                ["Gmean-all"] + [f"{v:.2f}" for v in self.gmean_row(None)]
+            )
+        )
+        return "\n".join(lines)
+
+
+def build_table3(
+    workloads: Sequence[Workload],
+    options: Optional[PipelineOptions] = None,
+) -> Table3:
+    """Table 3 only needs the builds and profiles (counts are
+    machine-independent); we evaluate with the medium processor alone to
+    match the paper's presentation."""
+    from repro.machine.processor import MEDIUM
+
+    rows = [
+        evaluate_workload(w, [MEDIUM], options) for w in workloads
+    ]
+    return Table3(rows=rows)
+
+
+def _format_row(cells: List[str]) -> str:
+    widths = [14, 7, 7, 7, 7, 7][: len(cells)]
+    return "  ".join(
+        cell.ljust(width) for cell, width in zip(cells, widths)
+    )

@@ -1,0 +1,214 @@
+"""End-to-end compilation pipelines (the experimental methodology).
+
+The paper compares two builds of each benchmark:
+
+* **baseline** — classically optimized superblock code (IMPACT-style):
+  profile, form superblocks with tail duplication, clean up;
+* **height-reduced** — the baseline with FRP conversion and the ICBM
+  control CPR schema applied.
+
+:func:`build_baseline` and :func:`apply_control_cpr` implement those two
+stages; :func:`build_workload` runs both and differentially verifies that
+every build computes the same store trace and return value on every input.
+Cycle estimation and operation counting live in :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.config import CPRConfig, DEFAULT_CONFIG
+from repro.core.icbm import ICBMReport, apply_icbm_to_program
+from repro.errors import TransformError
+from repro.ir.procedure import Program
+from repro.ir.verify import verify_program
+from repro.opt.copyprop import propagate_copies
+from repro.opt.dce import eliminate_dead_code, remove_unreachable_blocks
+from repro.opt.frp import frp_convert_procedure
+from repro.opt.ifconvert import IfConvertConfig, if_convert_procedure
+from repro.opt.rename import rename_procedure_registers
+from repro.opt.superblock import SuperblockConfig, form_superblocks
+from repro.sim.interpreter import DEFAULT_FUEL, Interpreter
+from repro.sim.profiler import ProfileData, profile_program
+
+
+@dataclass
+class PipelineOptions:
+    """Knobs for the full build pipeline.
+
+    ``if_convert`` enables traditional if-conversion of unbiased diamonds
+    before superblock formation — the paper's future-work suggestion,
+    disabled by default to match its experimental setup.
+    """
+
+    superblock: SuperblockConfig = field(default_factory=SuperblockConfig)
+    cpr: CPRConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+    if_convert: bool = False
+    if_convert_config: Optional[IfConvertConfig] = None
+    verify_equivalence: bool = True
+    fuel: int = DEFAULT_FUEL
+
+
+@dataclass
+class WorkloadBuild:
+    """Both builds of one workload plus their profiles."""
+
+    name: str
+    baseline: Program
+    baseline_profile: ProfileData
+    transformed: Program
+    transformed_profile: ProfileData
+    icbm_report: ICBMReport
+
+
+def _run_all(program: Program, inputs, entry: str, fuel: int):
+    """Execute *program* on each input; return the observable results."""
+    results = []
+    for item in inputs:
+        interp = Interpreter(program, fuel=fuel)
+        args = ()
+        if item is not None:
+            if callable(item):
+                returned = item(interp)
+                if returned is not None:
+                    args = tuple(returned)
+            else:
+                setup, args = item
+                if setup is not None:
+                    setup(interp)
+        results.append(interp.run(entry=entry, args=args))
+    return results
+
+
+def build_baseline(
+    program: Program,
+    inputs,
+    options: Optional[PipelineOptions] = None,
+    entry: str = "main",
+) -> Tuple[Program, ProfileData]:
+    """Produce the classically optimized superblock baseline."""
+    options = options or PipelineOptions()
+    reference = None
+    if options.verify_equivalence:
+        reference = _run_all(program, inputs, entry, options.fuel)
+
+    baseline = program.clone()
+    seed_profile = profile_program(
+        baseline, inputs=inputs, entry=entry, fuel=options.fuel
+    )
+    for proc in baseline.procedures.values():
+        if options.if_convert:
+            if_convert_procedure(
+                proc, seed_profile, options.if_convert_config
+            )
+        form_superblocks(proc, seed_profile, options.superblock)
+        rename_procedure_registers(proc)
+        propagate_copies(proc)
+        eliminate_dead_code(proc)
+        remove_unreachable_blocks(proc)
+    verify_program(baseline)
+
+    if options.verify_equivalence:
+        rebuilt = _run_all(baseline, inputs, entry, options.fuel)
+        _check_equivalent(reference, rebuilt, "superblock formation")
+
+    profile = profile_program(
+        baseline, inputs=inputs, entry=entry, fuel=options.fuel
+    )
+    return baseline, profile
+
+
+def apply_control_cpr(
+    baseline: Program,
+    inputs,
+    options: Optional[PipelineOptions] = None,
+    entry: str = "main",
+) -> Tuple[Program, ProfileData, ICBMReport]:
+    """FRP-convert the baseline and apply ICBM."""
+    options = options or PipelineOptions()
+    reference = None
+    if options.verify_equivalence:
+        reference = _run_all(baseline, inputs, entry, options.fuel)
+
+    transformed = baseline.clone()
+    # Snapshot every block so hyperblocks where ICBM ends up not firing can
+    # be restored: the paper measures the *unoptimized* code wherever
+    # control CPR is not applied (FRP conversion alone only adds
+    # dependences).
+    snapshots = {}
+    for proc in transformed.procedures.values():
+        for block in proc.blocks:
+            snapshots[(proc.name, block.label)] = (
+                [op.clone() for op in block.ops],
+                block.fallthrough,
+            )
+        frp_convert_procedure(proc)
+    verify_program(transformed)
+    # Profile the FRP-converted build: match's heuristics key on the branch
+    # operations of exactly this program.
+    frp_profile = profile_program(
+        transformed, inputs=inputs, entry=entry, fuel=options.fuel
+    )
+    report = apply_icbm_to_program(
+        transformed, profile=frp_profile, config=options.cpr
+    )
+    transformed_labels = {
+        (b.proc_name, b.label) for b in report.blocks if b.transformed > 0
+    }
+    for proc in transformed.procedures.values():
+        for block in proc.blocks:
+            key = (proc.name, block.label)
+            if key not in snapshots:
+                continue  # new (compensation) block
+            if (proc.name, block.label.name) in transformed_labels:
+                continue
+            ops, fallthrough = snapshots[key]
+            block.ops = [op.clone() for op in ops]
+            block.fallthrough = fallthrough
+    verify_program(transformed)
+
+    if options.verify_equivalence:
+        rebuilt = _run_all(transformed, inputs, entry, options.fuel)
+        _check_equivalent(reference, rebuilt, "control CPR")
+
+    final_profile = profile_program(
+        transformed, inputs=inputs, entry=entry, fuel=options.fuel
+    )
+    return transformed, final_profile, report
+
+
+def build_workload(
+    name: str,
+    program: Program,
+    inputs,
+    options: Optional[PipelineOptions] = None,
+    entry: str = "main",
+) -> WorkloadBuild:
+    """Run the full two-build methodology for one workload."""
+    options = options or PipelineOptions()
+    baseline, baseline_profile = build_baseline(
+        program, inputs, options, entry
+    )
+    transformed, transformed_profile, report = apply_control_cpr(
+        baseline, inputs, options, entry
+    )
+    return WorkloadBuild(
+        name=name,
+        baseline=baseline,
+        baseline_profile=baseline_profile,
+        transformed=transformed,
+        transformed_profile=transformed_profile,
+        icbm_report=report,
+    )
+
+
+def _check_equivalent(reference: List, rebuilt: List, stage: str):
+    for index, (before, after) in enumerate(zip(reference, rebuilt)):
+        if not before.equivalent_to(after):
+            raise TransformError(
+                f"{stage} changed observable behaviour on input {index}: "
+                f"return {before.return_value} -> {after.return_value}, "
+                f"{len(before.store_trace)} -> {len(after.store_trace)} "
+                "stores"
+            )

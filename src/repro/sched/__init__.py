@@ -1,0 +1,11 @@
+"""EPIC list scheduling."""
+
+from repro.sched.list_scheduler import schedule_block, schedule_procedure
+from repro.sched.schedule import BlockSchedule, ProcedureSchedule
+
+__all__ = [
+    "BlockSchedule",
+    "ProcedureSchedule",
+    "schedule_block",
+    "schedule_procedure",
+]

@@ -1,0 +1,119 @@
+"""Resource-constrained list scheduling for EPIC blocks.
+
+Classic cycle-driven list scheduling over the predicate-aware dependence
+graph: operations become *ready* once every dependence predecessor has been
+placed and its latency has elapsed; among ready operations, the scheduler
+greedily places the ones with the greatest critical-path height (ties broken
+by program order) into free functional units.
+
+Legality of overlapping branches, hoisting speculative operations above
+branches, and reordering guarded operations is entirely encoded in the
+dependence graph (see :mod:`repro.analysis.dependence`), so this module is a
+straightforward engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Optional
+
+from repro.analysis.dependence import DependenceGraph
+from repro.analysis.liveness import LivenessAnalysis
+from repro.errors import SchedulingError
+from repro.ir.block import Block
+from repro.ir.procedure import Procedure
+from repro.machine.processor import ProcessorConfig
+from repro.sched.schedule import BlockSchedule, ProcedureSchedule
+
+
+def schedule_block(
+    block: Block,
+    processor: ProcessorConfig,
+    liveness: Optional[LivenessAnalysis] = None,
+    graph: Optional[DependenceGraph] = None,
+) -> BlockSchedule:
+    """Schedule one block; returns per-op issue cycles and the length."""
+    latencies = processor.latencies
+    if graph is None:
+        graph = DependenceGraph(block, latencies, liveness=liveness)
+    ops = graph.ops
+    count = len(ops)
+    schedule = BlockSchedule(block=block, branch_latency=latencies.branch)
+    if count == 0:
+        schedule.length = 1
+        return schedule
+
+    heights = graph.critical_path_height()
+    unplaced_preds = {
+        i: len(graph.predecessors(i)) for i in range(count)
+    }
+    earliest = {i: 0 for i in range(count)}
+    resources = processor.resource_table()
+    placed: Dict[int, int] = {}
+
+    # Ready heap ordered by (-height, program order).
+    ready = []
+    for i in range(count):
+        if unplaced_preds[i] == 0:
+            heapq.heappush(ready, (-heights[i], i))
+
+    cycle = 0
+    pending = count
+    deferred = []
+    guard = 0
+    while pending > 0:
+        guard += 1
+        if guard > 1_000_000:
+            raise SchedulingError(
+                f"scheduler failed to converge on {block.label}"
+            )
+        progressed = False
+        deferred.clear()
+        while ready:
+            priority, index = heapq.heappop(ready)
+            if earliest[index] > cycle:
+                deferred.append((priority, index))
+                continue
+            unit = ops[index].opcode.unit_class()
+            if not resources.can_place(cycle, unit):
+                deferred.append((priority, index))
+                continue
+            resources.place(cycle, unit)
+            placed[index] = cycle
+            schedule.cycles[ops[index].uid] = cycle
+            pending -= 1
+            progressed = True
+            for edge in graph.successors(index):
+                earliest[edge.dst] = max(
+                    earliest[edge.dst], cycle + edge.latency
+                )
+                unplaced_preds[edge.dst] -= 1
+                if unplaced_preds[edge.dst] == 0:
+                    heapq.heappush(ready, (-heights[edge.dst], edge.dst))
+        for item in deferred:
+            heapq.heappush(ready, item)
+        cycle += 1
+        if not progressed and not ready and pending > 0:
+            raise SchedulingError(
+                f"deadlock scheduling {block.label}: {pending} ops stuck"
+            )
+
+    schedule.length = max(
+        placed[i] + latencies.latency(ops[i].opcode) for i in range(count)
+    )
+    return schedule
+
+
+def schedule_procedure(
+    proc: Procedure,
+    processor: ProcessorConfig,
+) -> ProcedureSchedule:
+    """Schedule every block of *proc* independently (hyperblock scheduling:
+    each block is its own scheduling region, as in the paper)."""
+    liveness = LivenessAnalysis(proc)
+    result = ProcedureSchedule()
+    for block in proc.blocks:
+        result.schedules[block.label.name] = schedule_block(
+            block, processor, liveness=liveness
+        )
+    return result

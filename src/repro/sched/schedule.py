@@ -1,0 +1,54 @@
+"""Schedule result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operation import Operation
+
+
+@dataclass
+class BlockSchedule:
+    """The outcome of scheduling one block on one processor."""
+
+    block: Block
+    cycles: Dict[int, int] = field(default_factory=dict)  # op uid -> cycle
+    length: int = 0          # cycles until the fall-through path completes
+    branch_latency: int = 1
+
+    def cycle_of(self, op: Operation) -> int:
+        return self.cycles[op.uid]
+
+    def exit_cycle(self, branch: Operation) -> int:
+        """Cycle at which control actually leaves through *branch* when it
+        takes (issue cycle plus the exposed branch latency)."""
+        return self.cycles[branch.uid] + self.branch_latency
+
+    def ops_at(self, cycle: int) -> List[Operation]:
+        return [op for op in self.block.ops if self.cycles[op.uid] == cycle]
+
+    def format(self) -> str:
+        lines = [f"schedule for {self.block.label} (length {self.length}):"]
+        for cycle in range(self.length):
+            ops = self.ops_at(cycle)
+            if ops:
+                rendered = " || ".join(op.format() for op in ops)
+                lines.append(f"  {cycle:3d}: {rendered}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ProcedureSchedule:
+    """Per-block schedules for a whole procedure."""
+
+    schedules: Dict[str, BlockSchedule] = field(default_factory=dict)
+
+    def for_block(self, label) -> BlockSchedule:
+        name = label.name if hasattr(label, "name") else str(label)
+        return self.schedules[name]
+
+    def total_static_length(self) -> int:
+        return sum(s.length for s in self.schedules.values())

@@ -1,0 +1,21 @@
+"""Functional simulation: IR interpreter, profiler, and execution traces."""
+
+from repro.sim.cycle_sim import (
+    CycleSimResult,
+    CycleSimulator,
+    simulate_scheduled,
+)
+from repro.sim.interpreter import ExecutionResult, Interpreter, run_program
+from repro.sim.profiler import BranchProfile, ProfileData, profile_program
+
+__all__ = [
+    "BranchProfile",
+    "CycleSimResult",
+    "CycleSimulator",
+    "ExecutionResult",
+    "Interpreter",
+    "ProfileData",
+    "profile_program",
+    "run_program",
+    "simulate_scheduled",
+]

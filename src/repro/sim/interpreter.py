@@ -1,0 +1,380 @@
+"""Functional interpreter for the predicated IR.
+
+Executes programs with architectural fidelity — guarded nullification,
+PlayDoh cmpp destination actions, prepare-to-branch registers, sparse word
+memory, and a call stack — while recording the observable behaviour needed
+for differential correctness checking:
+
+* the *store trace* (ordered list of (address, value) pairs), and
+* the return value of the entry procedure.
+
+Two transformed versions of a procedure are deemed architecturally
+equivalent when both observables match on the same inputs.
+
+The interpreter also doubles as the dynamic-profile collector: it counts
+block entries, per-operation executions, and per-branch taken/not-taken
+outcomes (see :mod:`repro.sim.profiler` for the aggregation layer).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FuelExhausted, SimulationError
+from repro.ir.opcodes import Cond, Opcode
+from repro.ir.operands import (
+    BTR,
+    FReg,
+    Imm,
+    Label,
+    PredReg,
+    Reg,
+    TRUE_PRED,
+)
+from repro.ir.operation import Operation
+from repro.ir.procedure import Procedure, Program
+
+#: Default operation budget; generous enough for every workload input.
+DEFAULT_FUEL = 20_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Observable outcome of one program run."""
+
+    return_value: Optional[int]
+    store_trace: List[Tuple[int, int]]
+    memory: Dict[int, int]
+    ops_executed: int
+    branches_executed: int
+    # Dynamic counters keyed by (procedure name, identifier).
+    block_counts: Counter = field(default_factory=Counter)
+    op_counts: Counter = field(default_factory=Counter)
+    branch_taken: Counter = field(default_factory=Counter)
+    branch_not_taken: Counter = field(default_factory=Counter)
+
+    def stores_equal(self, other: "ExecutionResult") -> bool:
+        return self.store_trace == other.store_trace
+
+    def equivalent_to(self, other: "ExecutionResult") -> bool:
+        """Architectural equivalence: same stores and return value."""
+        return (
+            self.return_value == other.return_value
+            and self.store_trace == other.store_trace
+        )
+
+
+class _Frame:
+    """One procedure activation: register files and resume point."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.regs: Dict[Reg, int] = {}
+        self.fregs: Dict[FReg, float] = {}
+        self.preds: Dict[PredReg, bool] = {}
+        self.btrs: Dict[BTR, Label] = {}
+        # Where to store the callee's return value on resume.
+        self.pending_dest = None
+
+
+class Interpreter:
+    """Executes a :class:`~repro.ir.procedure.Program`."""
+
+    def __init__(self, program: Program, fuel: int = DEFAULT_FUEL):
+        self.program = program
+        self.fuel = fuel
+        self.memory: Dict[int, int] = {}
+        self.store_trace: List[Tuple[int, int]] = []
+        self.block_counts: Counter = Counter()
+        self.op_counts: Counter = Counter()
+        self.branch_taken: Counter = Counter()
+        self.branch_not_taken: Counter = Counter()
+        self.ops_executed = 0
+        self.branches_executed = 0
+        self.segment_bases: Dict[str, int] = {}
+        self._load_segments()
+
+    # ------------------------------------------------------------------
+    # Memory image
+    # ------------------------------------------------------------------
+    def _load_segments(self):
+        base = 0x1000
+        for segment in self.program.segments.values():
+            segment.base = base
+            self.segment_bases[segment.name] = base
+            for offset, value in enumerate(segment.initial):
+                self.memory[base + offset] = value
+            base += segment.size + 16  # red zone between segments
+
+    def segment_base(self, name: str) -> int:
+        try:
+            return self.segment_bases[name]
+        except KeyError:
+            raise SimulationError(f"no data segment {name!r}") from None
+
+    def poke(self, address: int, value: int):
+        """Write memory directly (input setup; not part of the store trace)."""
+        self.memory[address] = value
+
+    def poke_array(self, name: str, values):
+        segment = self.program.segment(name)
+        if len(values) > segment.size:
+            raise SimulationError(
+                f"poke_array: {len(values)} values overflow segment "
+                f"{name!r} of size {segment.size}"
+            )
+        base = self.segment_base(name)
+        for offset, value in enumerate(values):
+            self.memory[base + offset] = value
+
+    def peek(self, address: int) -> int:
+        return self.memory.get(address, 0)
+
+    def peek_array(self, name: str, count: int) -> List[int]:
+        base = self.segment_base(name)
+        return [self.memory.get(base + i, 0) for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, entry: str = "main", args=()) -> ExecutionResult:
+        value = self._call(entry, list(args), depth=0)
+        return ExecutionResult(
+            return_value=value,
+            store_trace=list(self.store_trace),
+            memory=dict(self.memory),
+            ops_executed=self.ops_executed,
+            branches_executed=self.branches_executed,
+            block_counts=Counter(self.block_counts),
+            op_counts=Counter(self.op_counts),
+            branch_taken=Counter(self.branch_taken),
+            branch_not_taken=Counter(self.branch_not_taken),
+        )
+
+    def _call(self, name: str, args, depth: int) -> Optional[int]:
+        if depth > 200:
+            raise SimulationError(f"call depth exceeded calling {name}")
+        proc = self.program.procedure(name)
+        frame = _Frame(proc)
+        if len(args) != len(proc.params):
+            raise SimulationError(
+                f"{name} expects {len(proc.params)} args, got {len(args)}"
+            )
+        for param, arg in zip(proc.params, args):
+            frame.regs[param] = arg
+
+        block = proc.entry
+        while True:
+            self.block_counts[(proc.name, block.label.name)] += 1
+            transfer = self._run_block(frame, block, depth)
+            kind, payload = transfer
+            if kind == "return":
+                return payload
+            if kind == "goto":
+                block = proc.block(payload)
+                continue
+            if kind == "fallthrough":
+                if block.fallthrough is not None:
+                    block = proc.block(block.fallthrough)
+                    continue
+                index = proc.blocks.index(block)
+                if index + 1 >= len(proc.blocks):
+                    raise SimulationError(
+                        f"{proc.name}/{block.label}: fell off the procedure"
+                    )
+                block = proc.blocks[index + 1]
+
+    def _run_block(self, frame: _Frame, block, depth):
+        for op in block.ops:
+            self.fuel -= 1
+            if self.fuel <= 0:
+                raise FuelExhausted(
+                    f"fuel exhausted in {frame.proc.name}/{block.label}"
+                )
+            self.ops_executed += 1
+            self.op_counts[(frame.proc.name, op.uid)] += 1
+
+            guard = self._read_pred(frame, op.guard)
+            opcode = op.opcode
+
+            if opcode is Opcode.CMPP:
+                self._exec_cmpp(frame, op, guard)
+                continue
+            if opcode is Opcode.BRANCH:
+                self.branches_executed += 1
+                taken = guard and self._read_pred(frame, op.srcs[0])
+                key = (frame.proc.name, op.uid)
+                if taken:
+                    self.branch_taken[key] += 1
+                    target = frame.btrs.get(op.srcs[1])
+                    if target is None:
+                        target = op.branch_target()
+                    if target is None:
+                        raise SimulationError(
+                            f"branch uid={op.uid} through unset BTR"
+                        )
+                    return ("goto", target)
+                self.branch_not_taken[key] += 1
+                continue
+            if opcode is Opcode.JUMP:
+                self.branches_executed += 1
+                return ("goto", op.branch_target())
+            if opcode is Opcode.RETURN:
+                self.branches_executed += 1
+                value = (
+                    self._read(frame, op.srcs[0]) if op.srcs else None
+                )
+                return ("return", value)
+            if opcode is Opcode.CALL:
+                self.branches_executed += 1
+                if not guard:
+                    continue
+                args = [self._read(frame, src) for src in op.srcs]
+                result = self._call(op.attrs["callee"], args, depth + 1)
+                if op.dests:
+                    self._write(frame, op.dests[0], result)
+                continue
+
+            if not guard:
+                continue  # nullified
+            self._exec_simple(frame, op)
+        return ("fallthrough", None)
+
+    # ------------------------------------------------------------------
+    # Operation execution helpers
+    # ------------------------------------------------------------------
+    def _exec_cmpp(self, frame: _Frame, op: Operation, guard: bool):
+        a = self._read(frame, op.srcs[0])
+        b = self._read(frame, op.srcs[1])
+        result = op.cond.evaluate(a, b)
+        for target in op.dests:
+            written = target.action.apply(guard, result)
+            if written is not None:
+                frame.preds[target.reg] = written
+
+    def _exec_simple(self, frame: _Frame, op: Operation):
+        opcode = op.opcode
+        if opcode is Opcode.STORE:
+            address = self._read(frame, op.srcs[0])
+            value = self._read(frame, op.srcs[1])
+            self.memory[address] = value
+            self.store_trace.append((address, value))
+            return
+        if opcode is Opcode.LOAD:
+            address = self._read(frame, op.srcs[0])
+            self._write(frame, op.dests[0], self.memory.get(address, 0))
+            return
+        if opcode is Opcode.PBR:
+            frame.btrs[op.dests[0]] = op.srcs[0]
+            return
+        if opcode is Opcode.PRED_CLEAR:
+            frame.preds[op.dests[0]] = False
+            return
+        if opcode is Opcode.PRED_SET:
+            frame.preds[op.dests[0]] = bool(
+                self._read(frame, op.srcs[0])
+            )
+            return
+        if opcode in (Opcode.MOV, Opcode.FMOV):
+            value = self._read(frame, op.srcs[0])
+            if isinstance(value, Label):
+                # mov from a data label materializes the segment's address.
+                value = self.segment_base(value.name)
+            self._write(frame, op.dests[0], value)
+            return
+        if opcode is Opcode.CVT_IF:
+            self._write(frame, op.dests[0], float(self._read(frame, op.srcs[0])))
+            return
+        if opcode is Opcode.CVT_FI:
+            self._write(frame, op.dests[0], int(self._read(frame, op.srcs[0])))
+            return
+        a = self._read(frame, op.srcs[0])
+        b = self._read(frame, op.srcs[1])
+        self._write(frame, op.dests[0], _ALU[opcode](a, b))
+
+    # ------------------------------------------------------------------
+    # Register access
+    # ------------------------------------------------------------------
+    def _read(self, frame: _Frame, operand):
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Reg):
+            return frame.regs.get(operand, 0)
+        if isinstance(operand, FReg):
+            return frame.fregs.get(operand, 0.0)
+        if isinstance(operand, PredReg):
+            return int(self._read_pred(frame, operand))
+        if isinstance(operand, BTR):
+            return frame.btrs.get(operand)
+        if isinstance(operand, Label):
+            return operand
+        raise SimulationError(f"unreadable operand {operand!r}")
+
+    def _read_pred(self, frame: _Frame, pred: PredReg) -> bool:
+        if pred == TRUE_PRED:
+            return True
+        return frame.preds.get(pred, False)
+
+    def _write(self, frame: _Frame, dest, value):
+        if isinstance(dest, Reg):
+            frame.regs[dest] = value
+        elif isinstance(dest, FReg):
+            frame.fregs[dest] = value
+        elif isinstance(dest, PredReg):
+            frame.preds[dest] = bool(value)
+        elif isinstance(dest, BTR):
+            frame.btrs[dest] = value
+        else:
+            raise SimulationError(f"unwritable destination {dest!r}")
+
+
+def _int_div(a, b):
+    if b == 0:
+        raise SimulationError("integer division by zero")
+    # C-style truncation toward zero.
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _int_rem(a, b):
+    if b == 0:
+        raise SimulationError("integer remainder by zero")
+    return a - _int_div(a, b) * b
+
+
+_ALU = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _int_div,
+    Opcode.REM: _int_rem,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << b,
+    Opcode.SHR: lambda a, b: a >> b,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: lambda a, b: a / b,
+}
+
+
+def run_program(
+    program: Program,
+    entry: str = "main",
+    args=(),
+    setup=None,
+    fuel: int = DEFAULT_FUEL,
+) -> ExecutionResult:
+    """Convenience one-shot run.
+
+    *setup*, when given, is called with the interpreter before execution so
+    callers can poke input data into memory.
+    """
+    interp = Interpreter(program, fuel=fuel)
+    if setup is not None:
+        setup(interp)
+    return interp.run(entry=entry, args=args)

@@ -1,0 +1,136 @@
+"""Profile collection and aggregation.
+
+The paper's heuristics (exit-weight, predict-taken) and its performance
+estimator both consume *branch profiles*: taken / not-taken counts per
+branch, plus block entry frequencies. This module runs the functional
+interpreter over one or more inputs and aggregates the counters into a
+:class:`ProfileData` the rest of the pipeline queries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.ir.operation import Operation
+from repro.ir.procedure import Program
+from repro.sim.interpreter import DEFAULT_FUEL, Interpreter
+
+
+@dataclass
+class BranchProfile:
+    """Taken/not-taken statistics for a single branch operation."""
+
+    taken: int = 0
+    not_taken: int = 0
+
+    @property
+    def executed(self) -> int:
+        return self.taken + self.not_taken
+
+    @property
+    def taken_ratio(self) -> float:
+        if self.executed == 0:
+            return 0.0
+        return self.taken / self.executed
+
+    def merge(self, other: "BranchProfile"):
+        self.taken += other.taken
+        self.not_taken += other.not_taken
+
+
+@dataclass
+class ProfileData:
+    """Aggregated dynamic statistics for one program build.
+
+    Keys are (procedure name, op uid) for operations and (procedure name,
+    block label string) for blocks, matching the interpreter's counters.
+    """
+
+    block_counts: Counter = field(default_factory=Counter)
+    op_counts: Counter = field(default_factory=Counter)
+    branches: Dict[Tuple[str, int], BranchProfile] = field(
+        default_factory=dict
+    )
+    runs: int = 0
+    total_ops: int = 0
+    total_branches: int = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def block_count(self, proc_name: str, label) -> int:
+        name = label.name if hasattr(label, "name") else str(label)
+        return self.block_counts[(proc_name, name)]
+
+    def op_count(self, proc_name: str, op: Operation) -> int:
+        return self.op_counts[(proc_name, op.uid)]
+
+    def branch_profile(self, proc_name: str, op: Operation) -> BranchProfile:
+        return self.branches.get(
+            (proc_name, op.uid), BranchProfile()
+        )
+
+    def taken_ratio(self, proc_name: str, op: Operation) -> float:
+        return self.branch_profile(proc_name, op).taken_ratio
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def absorb_result(self, result):
+        self.runs += 1
+        self.block_counts.update(result.block_counts)
+        self.op_counts.update(result.op_counts)
+        self.total_ops += result.ops_executed
+        self.total_branches += result.branches_executed
+        for key, taken in result.branch_taken.items():
+            self.branches.setdefault(key, BranchProfile()).taken += taken
+        for key, not_taken in result.branch_not_taken.items():
+            self.branches.setdefault(
+                key, BranchProfile()
+            ).not_taken += not_taken
+
+
+def profile_program(
+    program: Program,
+    inputs: Optional[Iterable] = None,
+    entry: str = "main",
+    fuel: int = DEFAULT_FUEL,
+) -> ProfileData:
+    """Run *program* over each input and aggregate profiles.
+
+    Each input is either ``None`` (run with no setup), a callable
+    ``setup(interpreter)``, or a tuple ``(setup, args)`` where *args* are the
+    entry procedure's arguments. A bare callable may *return* the argument
+    tuple (e.g. computed segment base addresses).
+    """
+    profile = ProfileData()
+    if inputs is None:
+        inputs = [None]
+    for item in inputs:
+        setup, args = _normalize_input(item)
+        interp = Interpreter(program, fuel=fuel)
+        if setup is not None:
+            returned = setup(interp)
+            if returned is not None and not args:
+                args = tuple(returned)
+        result = interp.run(entry=entry, args=args)
+        profile.absorb_result(result)
+    return profile
+
+
+def annotate_blocks(program: Program, profile: ProfileData):
+    """Copy block entry counts from *profile* onto the IR blocks."""
+    for proc in program.procedures.values():
+        for block in proc.blocks:
+            block.entry_count = profile.block_count(proc.name, block.label)
+
+
+def _normalize_input(item):
+    if item is None:
+        return None, ()
+    if callable(item):
+        return item, ()
+    setup, args = item
+    return setup, tuple(args)

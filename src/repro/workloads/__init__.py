@@ -1,0 +1,11 @@
+"""Workload suite: mini-C proxies of the paper's 24 benchmarks.
+
+Each module recreates the characteristic inner-loop branch structure of
+one paper benchmark (see DESIGN.md section 4 for the substitution
+rationale). :mod:`repro.workloads.registry` enumerates them in the paper's
+Table 2 order.
+"""
+
+from repro.workloads.base import Lcg, Workload
+
+__all__ = ["Lcg", "Workload"]

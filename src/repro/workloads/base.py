@@ -1,0 +1,71 @@
+"""Workload infrastructure: definitions, inputs, deterministic data.
+
+A :class:`Workload` bundles a mini-C source, one or more profiling inputs,
+and metadata mapping it to the paper benchmark it stands in for. Inputs are
+callables ``setup(interpreter) -> args`` poking data into memory and
+returning the entry procedure's arguments.
+
+All pseudo-random data comes from :class:`Lcg`, a fixed-seed linear
+congruential generator, so every build and bench run is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.frontend import compile_source
+from repro.ir.procedure import Program
+
+
+class Lcg:
+    """Deterministic 31-bit linear congruential generator."""
+
+    def __init__(self, seed: int = 12345):
+        self.state = seed & 0x7FFFFFFF
+
+    def next(self) -> int:
+        self.state = (self.state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self.state
+
+    def below(self, bound: int) -> int:
+        """Uniform integer in [0, bound)."""
+        return self.next() % bound
+
+    def in_range(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return low + self.below(high - low + 1)
+
+    def choice(self, items):
+        return items[self.below(len(items))]
+
+    def ints(self, count: int, low: int, high: int) -> List[int]:
+        return [self.in_range(low, high) for _ in range(count)]
+
+
+@dataclass
+class Workload:
+    """One benchmark: source program plus inputs plus provenance."""
+
+    name: str
+    source: str
+    inputs: List[Callable] = field(default_factory=list)
+    description: str = ""
+    paper_benchmark: str = ""
+    category: str = "util"  # 'spec92', 'spec95', or 'util'
+    entry: str = "main"
+
+    def compile(self) -> Program:
+        """Lower the mini-C source to a fresh IR program."""
+        return compile_source(self.source, name=self.name)
+
+
+def poke_and_args(array_values: dict, args: tuple) -> Callable:
+    """Build an input callable writing *array_values* and passing *args*."""
+
+    def setup(interp):
+        for array_name, values in array_values.items():
+            interp.poke_array(array_name, values)
+        return args
+
+    return setup

@@ -1,0 +1,72 @@
+"""cccp — the GNU C preprocessor's copy-and-scan loop.
+
+The hot path copies characters while watching for rare trigger characters
+(directive hash after newline, comment start, macro-ish identifiers). The
+paper reports strong gains for cccp (1.36 medium, 1.50 wide).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int SRC[5400];
+int DST[5500];
+int STATS[4];
+
+int main(int n) {
+    int i = 0;
+    int j = 0;
+    int directives = 0;
+    int comments = 0;
+    int lines = 0;
+    while (i < n) {
+        int c = SRC[i];
+        DST[j] = c;
+        j += 1;
+        if (c == 10) {
+            lines += 1;
+            if (SRC[i + 1] == 35) { directives += 1; }
+        }
+        if (c == 47) {
+            if (SRC[i + 1] == 42) { comments += 1; }
+        }
+        i += 1;
+    }
+    STATS[0] = directives;
+    STATS[1] = comments;
+    STATS[2] = lines;
+    return j;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=909)
+    length = 2600 * scale
+    text = []
+    for _ in range(length):
+        roll = rng.below(100)
+        if roll < 3:
+            text.append(10)  # newline
+        elif roll < 4:
+            text.append(35)  # '#'
+        elif roll < 5:
+            text.append(47)  # '/'
+        elif roll < 20:
+            text.append(32)
+        else:
+            text.append(97 + rng.below(26))
+
+    def setup(interp):
+        interp.poke_array("SRC", text)
+        return (len(text),)
+
+    return Workload(
+        name="cccp",
+        source=SOURCE,
+        inputs=[setup],
+        description="preprocessor copy loop with rare directive triggers",
+        paper_benchmark="cccp",
+        category="util",
+    )

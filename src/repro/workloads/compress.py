@@ -1,0 +1,91 @@
+"""026.compress / 129.compress proxies — LZW hash-table probing.
+
+Per input byte: compute a code hash, probe an open-addressed table (first
+probe usually resolves), insert or count a hit. Branches are biased toward
+the no-collision path; the integer mix includes shifts and masks like the
+real compress inner loop.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+_SOURCE_TEMPLATE = """
+int TEXT[4200];
+int HKEY[{table}];
+int STATS[4];
+
+int main(int n) {{
+    int prev = 0;
+    int hits = 0;
+    int inserts = 0;
+    int collisions = 0;
+    int i = 0;
+    while (i < n) {{
+        int c = TEXT[i];
+        int code = ((prev << 5) ^ c) + 1;
+        int h = code & {mask};
+        int probes = 0;
+        while (HKEY[h] != 0 && HKEY[h] != code) {{
+            h = (h + 17) & {mask};
+            collisions += 1;
+            probes += 1;
+            if (probes > {table}) {{ return 0 - 1; }}
+        }}
+        if (HKEY[h] == 0) {{
+            HKEY[h] = code;
+            inserts += 1;
+        }} else {{
+            hits += 1;
+        }}
+        prev = c;
+        i += 1;
+    }}
+    STATS[0] = inserts;
+    STATS[1] = hits;
+    STATS[2] = collisions;
+    return hits;
+}}
+"""
+
+
+def _build(name: str, seed: int, table: int, length: int, alphabet: int,
+           paper: str, category: str) -> Workload:
+    rng = Lcg(seed=seed)
+    # Skewed byte distribution => repeated digrams => hash hits.
+    text = []
+    for _ in range(length):
+        if rng.below(100) < 60:
+            text.append(1 + rng.below(8))
+        else:
+            text.append(1 + rng.below(alphabet))
+
+    def setup(interp):
+        interp.poke_array("TEXT", text)
+        return (len(text),)
+
+    source = _SOURCE_TEMPLATE.format(table=table, mask=table - 1)
+    return Workload(
+        name=name,
+        source=source,
+        inputs=[setup],
+        description="LZW-style open-addressed hash probing",
+        paper_benchmark=paper,
+        category=category,
+    )
+
+
+def workload(scale: int = 1) -> Workload:
+    return _build(
+        name="026.compress", seed=1515, table=1024,
+        length=2000 * scale, alphabet=40,
+        paper="026.compress", category="spec92",
+    )
+
+
+def workload_129(scale: int = 1) -> Workload:
+    return _build(
+        name="129.compress", seed=1616, table=2048,
+        length=2000 * scale, alphabet=64,
+        paper="129.compress", category="spec95",
+    )

@@ -1,0 +1,59 @@
+"""056.ear proxy — cochlear-model filter bank (fixed point).
+
+ear is dominated by filter arithmetic with very few data-dependent
+branches: an unrolled 8-tap inner product per sample plus a rare
+saturation clamp. Speedup should come almost entirely on wide machines
+(the paper: 1.01 narrow -> 1.52 infinite).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int X[2300];
+int Y[2300];
+int H[8];
+
+int main(int n) {
+    int i = 0;
+    int clipped = 0;
+    while (i < n) {
+        int acc = H[0] * X[i]
+                + H[1] * X[i + 1]
+                + H[2] * X[i + 2]
+                + H[3] * X[i + 3]
+                + H[4] * X[i + 4]
+                + H[5] * X[i + 5]
+                + H[6] * X[i + 6]
+                + H[7] * X[i + 7];
+        acc = acc >> 6;
+        if (acc > 32767) { acc = 32767; clipped += 1; }
+        if (acc < 0 - 32768) { acc = 0 - 32768; clipped += 1; }
+        Y[i] = acc;
+        i += 1;
+    }
+    return clipped;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=1717)
+    samples = 1400 * scale
+    signal = [rng.in_range(-120, 120) for _ in range(samples + 8)]
+    taps = [3, -9, 21, 58, 58, 21, -9, 3]
+
+    def setup(interp):
+        interp.poke_array("X", signal)
+        interp.poke_array("H", taps)
+        return (samples,)
+
+    return Workload(
+        name="056.ear",
+        source=SOURCE,
+        inputs=[setup],
+        description="8-tap fixed-point filter with rare saturation",
+        paper_benchmark="056.ear",
+        category="spec92",
+    )

@@ -1,0 +1,78 @@
+"""eqn — equation-formatter token classification.
+
+A chain of character-class tests per input character, heavily skewed to the
+letter path (inline text), with rare special-character handling — the
+moderate-speedup profile the paper reports for eqn (1.15-1.26).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int TEXT[5200];
+int COUNTS[8];
+
+int main(int n) {
+    int i = 0;
+    int depth = 0;
+    int out = 0;
+    while (i < n) {
+        int c = TEXT[i];
+        if (c >= 97 && c <= 122) {
+            out += 1;
+        } else { if (c == 32) {
+            COUNTS[0] += 1;
+        } else { if (c == 94 || c == 95) {
+            COUNTS[1] += 1;
+            out += 2;
+        } else { if (c == 123) {
+            depth += 1;
+            COUNTS[2] += 1;
+        } else { if (c == 125) {
+            depth -= 1;
+            if (depth < 0) { return 0 - 1; }
+            COUNTS[3] += 1;
+        } else {
+            COUNTS[4] += 1;
+        } } } } }
+        i += 1;
+    }
+    COUNTS[5] = out;
+    return out + depth;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=707)
+    length = 2600 * scale
+    text = []
+    depth = 0
+    for _ in range(length):
+        roll = rng.below(100)
+        if roll < 70:
+            text.append(97 + rng.below(26))  # letters
+        elif roll < 85:
+            text.append(32)  # space
+        elif roll < 90:
+            text.append(94 if rng.below(2) else 95)  # ^ or _
+        elif roll < 95 or depth == 0:
+            text.append(123)  # {
+            depth += 1
+        else:
+            text.append(125)  # }
+            depth -= 1
+
+    def setup(interp):
+        interp.poke_array("TEXT", text)
+        return (len(text),)
+
+    return Workload(
+        name="eqn",
+        source=SOURCE,
+        inputs=[setup],
+        description="character-class dispatch for equation formatting",
+        paper_benchmark="eqn",
+        category="util",
+    )

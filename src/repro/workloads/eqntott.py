@@ -1,0 +1,63 @@
+"""023.eqntott proxy — the cmppt bit-vector comparison kernel.
+
+eqntott spends its time comparing pairs of PLA term vectors element by
+element inside a sort. The inner loop has short, data-dependent trip counts
+and its exits are not strongly biased — exactly the profile that made
+eqntott *lose* on the sequential/narrow machines in the paper (0.85/0.87)
+while gaining on wider ones (1.23 wide/infinite).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int VECS[4400];
+
+int main(int n) {
+    int swaps = 0;
+    int v = 0;
+    while (v < n) {
+        int base1 = v * 16;
+        int base2 = base1 + 16;
+        int r = 0;
+        int k = 0;
+        while (k < 16) {
+            int a = VECS[base1 + k];
+            int b = VECS[base2 + k];
+            if (a < b) { r = 0 - 1; break; }
+            if (a > b) { r = 1; break; }
+            k += 1;
+        }
+        if (r > 0) { swaps += 1; }
+        v += 1;
+    }
+    return swaps;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=1414)
+    vector_count = 260 * scale
+    words = []
+    base_vector = [rng.below(4) for _ in range(16)]
+    for _ in range(vector_count + 1):
+        vector = list(base_vector)
+        # Diverge at a random (often early-ish) position: short trip counts.
+        position = rng.below(16)
+        vector[position] = rng.below(4)
+        words.extend(vector)
+
+    def setup(interp):
+        interp.poke_array("VECS", words)
+        return (vector_count,)
+
+    return Workload(
+        name="023.eqntott",
+        source=SOURCE,
+        inputs=[setup],
+        description="PLA term vector comparison with short trip counts",
+        paper_benchmark="023.eqntott",
+        category="spec92",
+    )

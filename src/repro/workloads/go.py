@@ -1,0 +1,60 @@
+"""099.go proxy — board evaluation with unbiased branches.
+
+go is the paper's worst case (0.96-1.02): its branches are data dependent
+and close to 50/50, so profile-guided trace selection and CPR block growth
+both starve. The proxy evaluates pseudo-random board positions with
+several near-unbiased tests per point.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int BOARD[2100];
+int INFL[2100];
+
+int main(int n) {
+    int black = 0;
+    int white = 0;
+    int contested = 0;
+    int i = 0;
+    while (i < n) {
+        int v = BOARD[i];
+        if (v > 500) {
+            black += 1;
+        } else {
+            white += 1;
+        }
+        if ((v & 1) == 0) {
+            INFL[i] = v >> 1;
+        } else {
+            INFL[i] = v + 3;
+        }
+        if ((v & 12) == 4) {
+            contested += 1;
+        }
+        i += 1;
+    }
+    return black * 10000 + white + contested;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=2121)
+    points = 2000
+    board = rng.ints(points, 0, 999)
+
+    def setup(interp):
+        interp.poke_array("BOARD", board)
+        return (points,)
+
+    return Workload(
+        name="099.go",
+        source=SOURCE,
+        inputs=[setup] * max(1, scale),
+        description="board evaluation with ~50/50 data-dependent branches",
+        paper_benchmark="099.go",
+        category="spec95",
+    )

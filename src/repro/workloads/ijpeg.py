@@ -1,0 +1,55 @@
+"""132.ijpeg proxy — image transform with saturation clamps.
+
+A butterfly-style integer transform per pixel pair followed by range
+clamps that rarely fire: multiply-heavy arithmetic with biased branches,
+like ijpeg's DCT/quantization loops.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int PIX[2200];
+int OUT[2200];
+
+int main(int n) {
+    int i = 0;
+    int clamped = 0;
+    while (i < n) {
+        int a = PIX[i];
+        int b = PIX[i + 1];
+        int s = (a + b) * 181;
+        int d = (a - b) * 181;
+        int t0 = (s + 128) >> 8;
+        int t1 = (d + 128) >> 8;
+        if (t0 > 255) { t0 = 255; clamped += 1; }
+        if (t0 < 0) { t0 = 0; clamped += 1; }
+        if (t1 > 255) { t1 = 255; clamped += 1; }
+        if (t1 < 0 - 255) { t1 = 0 - 255; clamped += 1; }
+        OUT[i] = t0;
+        OUT[i + 1] = t1;
+        i += 2;
+    }
+    return clamped;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=2323)
+    pixels = 2000
+    data = rng.ints(pixels + 2, 0, 160)
+
+    def setup(interp):
+        interp.poke_array("PIX", data)
+        return (pixels,)
+
+    return Workload(
+        name="132.ijpeg",
+        source=SOURCE,
+        inputs=[setup] * max(1, scale),
+        description="butterfly transform with rare saturation clamps",
+        paper_benchmark="132.ijpeg",
+        category="spec95",
+    )

@@ -1,0 +1,103 @@
+"""lex — table-driven DFA scanner.
+
+Per character: a class lookup, a transition lookup, an accept test (rare)
+and an error test (never taken). Load-to-branch dependence chains make this
+branch-latency bound; the paper reports 1.97x on the wide machine.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int TEXT[5200];
+int CLASS[128];
+int DELTA[256];
+int COUNTS[16];
+
+int main(int n) {
+    int state = 0;
+    int tokens = 0;
+    int i = 0;
+    while (i < n) {
+        int c = TEXT[i];
+        int cls = CLASS[c];
+        state = DELTA[state * 16 + cls];
+        if (state == 15) {
+            COUNTS[cls] += 1;
+            tokens += 1;
+            state = 0;
+        }
+        if (state == 14) { return 0 - 1; }
+        i += 1;
+    }
+    return tokens;
+}
+"""
+
+
+def build_tables():
+    """A small scanner: identifiers, numbers, whitespace; 16 states.
+
+    State 15 is "accept" (rare: fires at token boundaries); state 14 is
+    "error" (never reached on well-formed input).
+    """
+    char_class = [3] * 128  # 'other'
+    for c in range(ord("a"), ord("z") + 1):
+        char_class[c] = 0  # letter
+    for c in range(ord("0"), ord("9") + 1):
+        char_class[c] = 1  # digit
+    for c in (32, 9, 10):
+        char_class[c] = 2  # whitespace
+
+    delta = [0] * 256
+    # state 0: start -> 1 on letter, 2 on digit, stay on ws/other.
+    delta[0 * 16 + 0] = 1
+    delta[0 * 16 + 1] = 2
+    delta[0 * 16 + 2] = 0
+    delta[0 * 16 + 3] = 0
+    # state 1: in identifier; letters/digits continue, ws/other accept.
+    delta[1 * 16 + 0] = 1
+    delta[1 * 16 + 1] = 1
+    delta[1 * 16 + 2] = 15
+    delta[1 * 16 + 3] = 15
+    # state 2: in number; digits continue, anything else accepts.
+    delta[2 * 16 + 0] = 15
+    delta[2 * 16 + 1] = 2
+    delta[2 * 16 + 2] = 15
+    delta[2 * 16 + 3] = 15
+    return char_class, delta
+
+
+def make_text(rng: Lcg, length: int):
+    """Identifier/number soup with whitespace separators."""
+    text = []
+    while len(text) < length:
+        word_length = rng.in_range(3, 9)
+        if rng.below(4) == 0:
+            text.extend(48 + rng.below(10) for _ in range(word_length))
+        else:
+            text.extend(97 + rng.below(26) for _ in range(word_length))
+        text.append(32)
+    return text[:length]
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=505)
+    char_class, delta = build_tables()
+    text = make_text(rng, 2600 * scale)
+
+    def setup(interp):
+        interp.poke_array("TEXT", text)
+        interp.poke_array("CLASS", char_class)
+        interp.poke_array("DELTA", delta)
+        return (len(text),)
+
+    return Workload(
+        name="lex",
+        source=SOURCE,
+        inputs=[setup],
+        description="table-driven DFA scanner over identifier/number soup",
+        paper_benchmark="lex",
+        category="util",
+    )

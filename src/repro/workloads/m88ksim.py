@@ -1,0 +1,85 @@
+"""124.m88ksim proxy — instruction decode and dispatch.
+
+The simulator's hot loop extracts opcode and register fields from each
+instruction word and dispatches through a compare chain skewed toward the
+common ALU opcodes, with rare trap/illegal checks that never fire.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int IMEM[2100];
+int REGS[32];
+int COUNTS[8];
+
+int main(int n) {
+    int pc = 0;
+    int executed = 0;
+    while (pc < n) {
+        int w = IMEM[pc];
+        int op = (w >> 26) & 63;
+        int rd = (w >> 21) & 31;
+        int rs1 = (w >> 16) & 31;
+        int rs2 = (w >> 11) & 31;
+        if (w < 0) { return 0 - 3; }
+        if (op > 31) { return 0 - 4; }
+        if (rd > 31) { return 0 - 5; }
+        if (op == 0) {
+            REGS[rd] = REGS[rs1] + REGS[rs2];
+        } else { if (op == 1) {
+            REGS[rd] = REGS[rs1] - REGS[rs2];
+        } else { if (op == 2) {
+            REGS[rd] = REGS[rs1] & REGS[rs2];
+        } else { if (op == 3) {
+            REGS[rd] = REGS[rs1] | REGS[rs2];
+        } else { if (op == 4) {
+            REGS[rd] = REGS[rs1] + (w & 2047);
+        } else {
+            COUNTS[op & 7] += 1;
+            if (op == 63) { return 0 - 1; }
+        } } } } }
+        executed += 1;
+        pc += 1;
+    }
+    REGS[0] = 0;
+    return executed;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=2222)
+    instructions = 2000
+    imem = []
+    for _ in range(instructions):
+        roll = rng.below(100)
+        if roll < 40:
+            op = 0
+        elif roll < 60:
+            op = 4
+        elif roll < 75:
+            op = 1
+        elif roll < 85:
+            op = 2
+        elif roll < 93:
+            op = 3
+        else:
+            op = 5 + rng.below(8)
+        word = (op << 26) | (rng.below(32) << 21) | (rng.below(32) << 16) \
+            | (rng.below(32) << 11) | rng.below(2048)
+        imem.append(word)
+
+    def setup(interp):
+        interp.poke_array("IMEM", imem)
+        return (instructions,)
+
+    return Workload(
+        name="124.m88ksim",
+        source=SOURCE,
+        inputs=[setup] * max(1, scale),
+        description="instruction decode/dispatch skewed to ALU opcodes",
+        paper_benchmark="124.m88ksim",
+        category="spec95",
+    )

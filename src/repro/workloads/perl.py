@@ -1,0 +1,70 @@
+"""134.perl proxy — string splitting and small-hash symbol counting.
+
+Scans a byte stream for delimiter-separated fields (delimiters are rare),
+hashing each field into a fixed-size symbol table: a blend of biased byte
+loops and hash-probe branches like perl's interpreter runtime.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int TEXT[5300];
+int HTAB[256];
+int STATS[4];
+
+int main(int n) {
+    int i = 0;
+    int fields = 0;
+    int symbols = 0;
+    int h = 0;
+    while (i < n) {
+        int c = TEXT[i];
+        if (c == 58 || c == 10) {
+            int slot = h & 255;
+            if (HTAB[slot] == 0) {
+                HTAB[slot] = h + 1;
+                symbols += 1;
+            } else {
+                if (HTAB[slot] != h + 1) { STATS[0] += 1; }
+            }
+            fields += 1;
+            h = 0;
+        } else {
+            h = h * 33 + c;
+            h = h & 65535;
+        }
+        i += 1;
+    }
+    STATS[1] = fields;
+    return symbols * 100 + fields;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=2424)
+    length = 2600 * scale
+    text = []
+    vocabulary = [
+        [97 + rng.below(26) for _ in range(rng.in_range(3, 8))]
+        for _ in range(40)
+    ]
+    while len(text) < length:
+        text.extend(rng.choice(vocabulary))
+        text.append(58 if rng.below(4) else 10)
+    text = text[:length]
+
+    def setup(interp):
+        interp.poke_array("TEXT", text)
+        return (len(text),)
+
+    return Workload(
+        name="134.perl",
+        source=SOURCE,
+        inputs=[setup],
+        description="field splitting plus symbol-table hashing",
+        paper_benchmark="134.perl",
+        category="spec95",
+    )

@@ -1,0 +1,86 @@
+"""Registry of all workloads, in the paper's Table 2 presentation order."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads import (
+    cc1,
+    cccp,
+    cmp,
+    compress,
+    ear,
+    eqn,
+    eqntott,
+    espresso,
+    go,
+    grep,
+    ijpeg,
+    lex,
+    li,
+    m88ksim,
+    perl,
+    sc,
+    strcpy,
+    tbl,
+    vortex,
+    wc,
+    yacc,
+)
+from repro.workloads.base import Workload
+
+#: Factory per benchmark name, ordered as in the paper's Table 2.
+FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "008.espresso": espresso.workload,
+    "022.li": li.workload,
+    "023.eqntott": eqntott.workload,
+    "026.compress": compress.workload,
+    "056.ear": ear.workload,
+    "072.sc": sc.workload,
+    "085.cc1": cc1.workload,
+    "099.go": go.workload,
+    "124.m88ksim": m88ksim.workload,
+    "126.gcc": cc1.workload_126,
+    "129.compress": compress.workload_129,
+    "130.li": li.workload_130,
+    "132.ijpeg": ijpeg.workload,
+    "134.perl": perl.workload,
+    "147.vortex": vortex.workload,
+    "cccp": cccp.workload,
+    "cmp": cmp.workload,
+    "eqn": eqn.workload,
+    "grep": grep.workload,
+    "lex": lex.workload,
+    "strcpy": strcpy.workload,
+    "tbl": tbl.workload,
+    "wc": wc.workload,
+    "yacc": yacc.workload,
+}
+
+SPEC92 = [name for name in FACTORIES if name[0].isdigit() and int(
+    name.split(".")[0]) < 99]
+SPEC95 = [
+    "099.go", "124.m88ksim", "126.gcc", "129.compress", "130.li",
+    "132.ijpeg", "134.perl", "147.vortex",
+]
+UTILITIES = [
+    "cccp", "cmp", "eqn", "grep", "lex", "strcpy", "tbl", "wc", "yacc",
+]
+
+
+def all_names() -> List[str]:
+    return list(FACTORIES)
+
+
+def get_workload(name: str, scale: int = 1) -> Workload:
+    try:
+        factory = FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(FACTORIES)}"
+        ) from None
+    return factory(scale=scale)
+
+
+def all_workloads(scale: int = 1) -> List[Workload]:
+    return [factory(scale=scale) for factory in FACTORIES.values()]

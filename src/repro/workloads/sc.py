@@ -1,0 +1,62 @@
+"""072.sc proxy — spreadsheet recalculation sweep.
+
+Scans the cell grid skipping empty cells (the common case), evaluating a
+small dependent-cell formula for occupied ones, with range and error
+checks that almost never fire.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int KIND[2100];
+int CELLV[2100];
+int DEP[2100];
+
+int main(int n) {
+    int evaluated = 0;
+    int errors = 0;
+    int i = 0;
+    while (i < n) {
+        int kind = KIND[i];
+        if (kind != 0) {
+            int dep = DEP[i];
+            if (dep < 0 || dep >= n) {
+                errors += 1;
+            } else {
+                int value = CELLV[dep] * 3 + kind;
+                if (value > 100000) { value = 100000; }
+                CELLV[i] = value;
+                evaluated += 1;
+            }
+        }
+        i += 1;
+    }
+    return evaluated * 10 + errors;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=1818)
+    cells = 2000
+    sweeps = max(1, scale)
+    kinds = [rng.below(4) if rng.below(100) < 25 else 0 for _ in range(cells)]
+    values = rng.ints(cells, 0, 99)
+    deps = [rng.below(cells) for _ in range(cells)]
+
+    def setup(interp):
+        interp.poke_array("KIND", kinds)
+        interp.poke_array("CELLV", values)
+        interp.poke_array("DEP", deps)
+        return (cells,)
+
+    return Workload(
+        name="072.sc",
+        source=SOURCE,
+        inputs=[setup] * sweeps,
+        description="spreadsheet sweep skipping empty cells",
+        paper_benchmark="072.sc",
+        category="spec92",
+    )

@@ -1,0 +1,67 @@
+"""tbl — table-formatter column scanning.
+
+Per-character separator detection (tabs rare, newlines rarer) with per-line
+column accounting; almost every character falls through both tests. The
+paper reports tbl as a low-gain benchmark (1.02-1.14).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int TEXT[5400];
+int WIDTHS[64];
+
+int main(int n) {
+    int i = 0;
+    int col = 0;
+    int width = 0;
+    int maxcols = 0;
+    while (i < n) {
+        int c = TEXT[i];
+        if (c == 9) {
+            if (width > WIDTHS[col]) { WIDTHS[col] = width; }
+            col += 1;
+            if (col > 63) { col = 63; }
+            width = 0;
+        } else { if (c == 10) {
+            if (width > WIDTHS[col]) { WIDTHS[col] = width; }
+            if (col > maxcols) { maxcols = col; }
+            col = 0;
+            width = 0;
+        } else {
+            width += 1;
+        } }
+        i += 1;
+    }
+    return maxcols;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=808)
+    length = 2800 * scale
+    text = []
+    for _ in range(length):
+        roll = rng.below(100)
+        if roll < 6:
+            text.append(9)  # tab
+        elif roll < 9:
+            text.append(10)  # newline
+        else:
+            text.append(97 + rng.below(26))
+
+    def setup(interp):
+        interp.poke_array("TEXT", text)
+        return (len(text),)
+
+    return Workload(
+        name="tbl",
+        source=SOURCE,
+        inputs=[setup],
+        description="column-width scanning with rare separators",
+        paper_benchmark="tbl",
+        category="util",
+    )

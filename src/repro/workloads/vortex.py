@@ -1,0 +1,66 @@
+"""147.vortex proxy — object-database record validation and copy.
+
+vortex is famously assertion-heavy: long runs of validity checks that
+essentially never fail, followed by field copies. Those always-fall-through
+branch runs are ideal CPR fodder, but the dominant memory traffic keeps the
+overall speedup moderate (1.08 medium / 1.14 wide in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int RID[1100];
+int RTYPE[1100];
+int RLEN[1100];
+int F1[1100];
+int F2[1100];
+int OUT1[1100];
+int OUT2[1100];
+
+int main(int n) {
+    int copied = 0;
+    int r = 0;
+    while (r < n) {
+        int id = RID[r];
+        if (id <= 0) { return 0 - 1; }
+        if (RTYPE[r] > 7) { return 0 - 2; }
+        if (RLEN[r] > 64) { return 0 - 3; }
+        if (RLEN[r] < 0) { return 0 - 4; }
+        if (F1[r] == 0 - 1) { return 0 - 5; }
+        OUT1[r] = F1[r];
+        OUT2[r] = F2[r] + id;
+        copied += 1;
+        r += 1;
+    }
+    return copied;
+}
+"""
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=2525)
+    records = 1000
+    rid = [1 + rng.below(100000) for _ in range(records)]
+    rtype = [rng.below(8) for _ in range(records)]
+    rlen = [rng.below(65) for _ in range(records)]
+    field1 = rng.ints(records, 0, 5000)
+    field2 = rng.ints(records, 0, 5000)
+
+    def setup(interp):
+        interp.poke_array("RID", rid)
+        interp.poke_array("RTYPE", rtype)
+        interp.poke_array("RLEN", rlen)
+        interp.poke_array("F1", field1)
+        interp.poke_array("F2", field2)
+        return (records,)
+
+    return Workload(
+        name="147.vortex",
+        source=SOURCE,
+        inputs=[setup] * max(1, 2 * scale),
+        description="record validation (never-failing asserts) and copy",
+        paper_benchmark="147.vortex",
+        category="spec95",
+    )

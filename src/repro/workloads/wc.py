@@ -1,0 +1,72 @@
+"""wc — line/word/character counting.
+
+Several branches per character: end-of-input (rare), newline (rare),
+whitespace classification (biased toward word characters), and the in-word
+state transition (rare). A classic branch-height-bound byte loop.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int TEXT[6200];
+int STATS[4];
+
+int main(int n) {
+    int i = 0;
+    int lines = 0;
+    int words = 0;
+    int chars = 0;
+    int inword = 0;
+    int c = TEXT[0];
+    while (c != 0) {
+        chars += 1;
+        if (c == 10) { lines += 1; }
+        if (c == 32 || c == 10 || c == 9) {
+            inword = 0;
+        } else {
+            if (inword == 0) { words += 1; inword = 1; }
+        }
+        i += 1;
+        c = TEXT[i];
+    }
+    STATS[0] = lines;
+    STATS[1] = words;
+    STATS[2] = chars;
+    return words;
+}
+"""
+
+
+def make_text(rng: Lcg, length: int):
+    """English-like byte stream: ~15% spaces, ~2% newlines, rest letters."""
+    text = []
+    for _ in range(length):
+        roll = rng.below(100)
+        if roll < 2:
+            text.append(10)  # '\n'
+        elif roll < 17:
+            text.append(32)  # ' '
+        else:
+            text.append(97 + rng.below(26))  # 'a'..'z'
+    text.append(0)
+    return text
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=303)
+    text = make_text(rng, 3000 * scale)
+
+    def setup(interp):
+        interp.poke_array("TEXT", text)
+        return (len(text) - 1,)
+
+    return Workload(
+        name="wc",
+        source=SOURCE,
+        inputs=[setup],
+        description="word counting over an English-like byte stream",
+        paper_benchmark="wc",
+        category="util",
+    )

@@ -1,0 +1,82 @@
+"""yacc — LR parser driver loop.
+
+Each step looks up an action for (state, token): shifts dominate (~80%),
+reduces are the cold path, and the stack-overflow guard never fires. The
+shift path is a run of biased branches around table loads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Lcg, Workload
+
+SOURCE = """
+int TOKENS[4200];
+int ACTION[64];
+int RLEN[8];
+int RGOTO[8];
+int STACK[1024];
+
+int main(int n) {
+    int sp = 0;
+    int state = 0;
+    int i = 0;
+    int reduces = 0;
+    while (i < n) {
+        int tok = TOKENS[i];
+        int act = ACTION[state * 8 + tok];
+        if (act < 64) {
+            STACK[sp] = state;
+            sp += 1;
+            state = act;
+            i += 1;
+        } else {
+            int rule = act - 64;
+            int len = RLEN[rule];
+            sp -= len;
+            if (sp < 0) { sp = 0; }
+            state = RGOTO[rule] + (STACK[sp] & 3);
+            if (state > 7) { state = 7; }
+            reduces += 1;
+            i += 1;
+        }
+        if (sp > 1000) { sp = 512; }
+    }
+    return reduces;
+}
+"""
+
+
+def build_tables(rng: Lcg):
+    """8 states x 8 tokens; ~80% of (state, token) cells shift."""
+    action = []
+    for state in range(8):
+        for token in range(8):
+            if rng.below(10) < 8:
+                action.append(rng.below(8))  # shift to a state
+            else:
+                action.append(64 + rng.below(8))  # reduce rule
+    rlen = [rng.in_range(1, 3) for _ in range(8)]
+    rgoto = [rng.below(4) for _ in range(8)]
+    return action, rlen, rgoto
+
+
+def workload(scale: int = 1) -> Workload:
+    rng = Lcg(seed=606)
+    action, rlen, rgoto = build_tables(rng)
+    tokens = [rng.below(8) for _ in range(2200 * scale)]
+
+    def setup(interp):
+        interp.poke_array("TOKENS", tokens)
+        interp.poke_array("ACTION", action)
+        interp.poke_array("RLEN", rlen)
+        interp.poke_array("RGOTO", rgoto)
+        return (len(tokens),)
+
+    return Workload(
+        name="yacc",
+        source=SOURCE,
+        inputs=[setup],
+        description="LR parser driver: shift-dominated action dispatch",
+        paper_benchmark="yacc",
+        category="util",
+    )

@@ -1,0 +1,217 @@
+"""Def-use chains, branch/compare association, and address resolution."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import DefUseChains, branch_compare_map
+from repro.analysis.defuse import (
+    branch_complement_pred,
+    branch_source_action,
+    branch_taken_cond,
+)
+from repro.analysis.memaddr import AddressResolver, may_alias_forms
+from repro.ir import (
+    Action,
+    Cond,
+    IRBuilder,
+    Opcode,
+    Procedure,
+    Reg,
+)
+from repro.sim.interpreter import Interpreter
+from repro.ir import DataSegment, Program
+
+
+def test_unique_reaching_def():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    r = b.add(Reg(1), 1)
+    use = b.add(r, 2)
+    b.ret()
+    block = proc.block("B")
+    chains = DefUseChains.build(block)
+    assert chains.reaching_def(1, r) is block.ops[0]
+    assert chains.users_of(block.ops[0]) == [block.ops[1]]
+
+
+def test_redefinition_breaks_uniqueness_backward():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    b.add(Reg(1), 1, dest=Reg(5))
+    b.add(Reg(1), 2, dest=Reg(5))
+    b.store(Reg(2), Reg(5))
+    b.ret()
+    block = proc.block("B")
+    chains = DefUseChains.build(block)
+    # The store sees only the second (killing) definition.
+    assert chains.reaching_def(2, Reg(5)) is block.ops[1]
+    assert chains.users_of(block.ops[0]) == []
+
+
+def test_guarded_defs_accumulate_as_may_defs():
+    from repro.ir import PredReg
+
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    b.add(Reg(1), 1, dest=Reg(5), guard=PredReg(7))
+    b.add(Reg(1), 2, dest=Reg(5), guard=PredReg(8))
+    b.store(Reg(2), Reg(5))
+    b.ret()
+    block = proc.block("B")
+    chains = DefUseChains.build(block)
+    assert chains.reaching_def(2, Reg(5)) is None  # two may-defs
+    assert len(chains.may_defs(2, Reg(5))) == 2
+    # The use links to both possible producers.
+    assert block.ops[2] in chains.users_of(block.ops[0])
+    assert block.ops[2] in chains.users_of(block.ops[1])
+
+
+def test_branch_compare_map_and_helpers():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.LT, Reg(1), Reg(2))
+    b.branch_to("Out", taken)
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("B")
+    branch = block.exit_branches()[0]
+    mapping = branch_compare_map(block)
+    compare = mapping[branch.uid]
+    assert compare.opcode is Opcode.CMPP
+    assert branch_source_action(compare, branch) is Action.UN
+    assert branch_complement_pred(compare, branch) == fall
+    assert branch_taken_cond(compare, branch) is Cond.LT
+
+
+def test_uc_sourced_branch_negates_taken_cond():
+    """Inverted branches (from superblock formation) source the UC target;
+    their taken condition is the compare's negation."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.LT, Reg(1), Reg(2))
+    b.branch_to("Out", fall)  # branch on the UC (complement) output
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("B")
+    branch = block.exit_branches()[0]
+    compare = branch_compare_map(block)[branch.uid]
+    assert branch_source_action(compare, branch) is Action.UC
+    assert branch_complement_pred(compare, branch) == taken
+    assert branch_taken_cond(compare, branch) is Cond.GE
+
+
+# ----------------------------------------------------------------------
+# Address resolution
+# ----------------------------------------------------------------------
+def test_base_plus_distinct_offsets():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    a0 = b.add(Reg(1), Reg(2))
+    a1_tmp = b.add(Reg(2), 1)
+    a1 = b.add(Reg(1), a1_tmp)
+    b.store(a0, Reg(3))
+    b.store(a1, Reg(4))
+    b.ret()
+    block = proc.block("B")
+    resolver = AddressResolver(block)
+    f0 = resolver.form_for(3, block.ops[3].srcs[0])
+    f1 = resolver.form_for(4, block.ops[4].srcs[0])
+    assert f0[0] == f1[0]          # same symbolic part (r1 + r2)
+    assert f1[1] - f0[1] == 1      # offsets differ by one
+    assert not may_alias_forms(f0, f1)
+
+
+def test_scaled_index_resolution():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    idx = b.mul(Reg(2), 16)
+    addr = b.add(Reg(1), idx)
+    b.store(addr, Reg(3))
+    b.ret()
+    block = proc.block("B")
+    resolver = AddressResolver(block)
+    terms, const = resolver.form_for(2, block.ops[2].srcs[0])
+    assert const == 0
+    assert dict(terms)[("entry", Reg(2))] == 16
+
+
+def test_redefined_base_distinguished():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    a0 = b.add(Reg(1), 0)
+    b.store(a0, Reg(3))
+    b.load(Reg(9), dest=Reg(1))      # r1 redefined opaquely
+    a1 = b.add(Reg(1), 0)
+    b.store(a1, Reg(4))
+    b.ret()
+    block = proc.block("B")
+    resolver = AddressResolver(block)
+    f0 = resolver.form_for(1, block.ops[1].srcs[0])
+    f1 = resolver.form_for(4, block.ops[4].srcs[0])
+    assert f0[0] != f1[0]
+    assert may_alias_forms(f0, f1)  # conservative: must stay ordered
+
+
+def test_guarded_producer_not_decomposed():
+    from repro.ir import PredReg
+
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    addr = b.add(Reg(1), 4, guard=PredReg(5))
+    b.store(addr, Reg(3))
+    b.ret()
+    block = proc.block("B")
+    resolver = AddressResolver(block)
+    terms, const = resolver.form_for(1, block.ops[1].srcs[0])
+    assert const == 0  # the +4 must NOT leak out of the guarded add
+    assert any(sym[0] == "def" for sym, _ in terms)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    offsets=st.lists(
+        st.integers(min_value=0, max_value=30), min_size=2, max_size=6
+    ),
+    base=st.integers(min_value=0, max_value=50),
+)
+def test_alias_judgements_sound_against_interpreter(offsets, base):
+    """If the resolver says two stores don't alias, their concrete
+    addresses must really differ (checked by executing the block)."""
+    program = Program("p")
+    program.add_segment(DataSegment("M", 128))
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("B")
+    store_ops = []
+    for i, offset in enumerate(offsets):
+        addr = b.add(Reg(1), offset)
+        store_ops.append(b.store(addr, 100 + i))
+    b.ret(0)
+    block = proc.block("B")
+    resolver = AddressResolver(block)
+    positions = {op.uid: i for i, op in enumerate(block.ops)}
+    forms = {
+        op.uid: resolver.form_for(positions[op.uid], op.srcs[0])
+        for op in store_ops
+    }
+    interp = Interpreter(program)
+    interp.run(args=[interp.segment_base("M") + base])
+    addresses = dict(interp.store_trace)  # addr -> last value
+    concrete = {}
+    for op, offset in zip(store_ops, offsets):
+        concrete[op.uid] = interp.segment_base("M") + base + offset
+    for op_a in store_ops:
+        for op_b in store_ops:
+            if op_a is op_b:
+                continue
+            if not may_alias_forms(forms[op_a.uid], forms[op_b.uid]):
+                assert concrete[op_a.uid] != concrete[op_b.uid]

@@ -1,0 +1,264 @@
+"""Predicate-aware dependence graph construction."""
+
+from repro.analysis import DependenceGraph, LivenessAnalysis
+from repro.ir import (
+    Cond,
+    IRBuilder,
+    Opcode,
+    Procedure,
+    Reg,
+)
+from repro.machine import PAPER_LATENCIES
+
+
+def edges_between(graph, src_opcode, dst_opcode, kind=None):
+    found = []
+    for edge in graph.edges:
+        if (
+            graph.ops[edge.src].opcode is src_opcode
+            and graph.ops[edge.dst].opcode is dst_opcode
+            and (kind is None or edge.kind == kind)
+        ):
+            found.append(edge)
+    return found
+
+
+def build_graph(proc, label="B"):
+    return DependenceGraph(
+        proc.block(label),
+        PAPER_LATENCIES,
+        liveness=LivenessAnalysis(proc),
+    )
+
+
+def test_flow_edge_latency_is_producer_latency():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    value = b.load(Reg(1))
+    b.add(value, 1)
+    b.ret()
+    graph = build_graph(proc)
+    (edge,) = edges_between(graph, Opcode.LOAD, Opcode.ADD, "flow")
+    assert edge.latency == PAPER_LATENCIES.load == 2
+
+
+def test_sequential_branches_chained_by_control():
+    """Baseline superblock branches (non-disjoint) serialize."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    p1 = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", p1)
+    p2 = b.cmpp1(Cond.EQ, Reg(2), 0)
+    b.branch_to("Out", p2)
+    b.start_block("Out")
+    b.ret()
+    graph = build_graph(proc)
+    chained = edges_between(graph, Opcode.BRANCH, Opcode.BRANCH, "control")
+    assert len(chained) == 1
+    assert chained[0].latency == PAPER_LATENCIES.branch
+
+
+def test_frp_branches_are_independent():
+    """Mutually exclusive (FRP) branch predicates remove the chain."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    t1, f1 = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", t1)
+    t2, f2 = b.cmpp2(Cond.EQ, Reg(2), 0, guard=f1)
+    b.branch_to("Out", t2)
+    b.start_block("Out")
+    b.ret()
+    graph = build_graph(proc)
+    assert not edges_between(graph, Opcode.BRANCH, Opcode.BRANCH, "control")
+
+
+def test_unguarded_store_control_dependent_on_branch():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", p)
+    b.store(Reg(2), Reg(3))
+    b.start_block("Out")
+    b.ret()
+    graph = build_graph(proc)
+    assert edges_between(graph, Opcode.BRANCH, Opcode.STORE, "control")
+
+
+def test_guarded_store_escapes_control_dependence():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", taken)
+    b.store(Reg(2), Reg(3), guard=fall)
+    b.start_block("Out")
+    b.ret()
+    graph = build_graph(proc)
+    assert not edges_between(graph, Opcode.BRANCH, Opcode.STORE, "control")
+
+
+def test_store_before_branch_orders_branch():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    b.store(Reg(2), Reg(3))
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", p)
+    b.start_block("Out")
+    b.ret()
+    graph = build_graph(proc)
+    (edge,) = edges_between(graph, Opcode.STORE, Opcode.BRANCH, "control")
+    assert edge.latency == 0
+
+
+def test_restricted_speculation_blocks_live_clobber():
+    """An op overwriting a register live at a branch's target may not be
+    hoisted above that branch."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Handler", p)
+    b.add(Reg(9), 1, dest=Reg(9))  # r9 live at Handler
+    b.start_block("Out")
+    b.ret()
+    b.start_block("Handler")
+    b.ret(Reg(9))
+    graph = build_graph(proc)
+    assert edges_between(graph, Opcode.BRANCH, Opcode.ADD, "control")
+
+
+def test_downward_motion_blocked_when_live_at_target():
+    """The dual of restricted speculation: an op whose result is live at
+    a later branch's taken target must not sink past the branch."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    b.add(Reg(9), 3, dest=Reg(9))   # r9 live at Handler
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Handler", p)
+    b.start_block("Out")
+    b.ret()
+    b.start_block("Handler")
+    b.ret(Reg(9))
+    graph = build_graph(proc)
+    sink_edges = edges_between(graph, Opcode.ADD, Opcode.BRANCH, "control")
+    assert sink_edges and sink_edges[0].latency == 0
+
+
+def test_downward_motion_allowed_when_dead_at_target():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    b.add(Reg(9), 3, dest=Reg(8))   # r8 dead at Handler
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Handler", p)
+    b.store(Reg(2), Reg(8))          # but used on the fall path
+    b.start_block("Out")
+    b.ret()
+    b.start_block("Handler")
+    b.ret(0)
+    graph = build_graph(proc)
+    assert not edges_between(graph, Opcode.ADD, Opcode.BRANCH, "control")
+
+
+def test_speculative_load_hoistable_above_branch():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", p)
+    b.load(Reg(2))  # dest dead at Out
+    b.start_block("Out")
+    b.ret()
+    graph = build_graph(proc)
+    assert not edges_between(graph, Opcode.BRANCH, Opcode.LOAD, "control")
+
+
+def test_memory_same_region_aliases_conservatively():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    b.store(Reg(1), Reg(2), region="A")
+    b.load(Reg(3), region="A")
+    b.ret()
+    graph = build_graph(proc)
+    assert edges_between(graph, Opcode.STORE, Opcode.LOAD, "mem")
+
+
+def test_memory_distinct_regions_independent():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    b.store(Reg(1), Reg(2), region="A")
+    b.load(Reg(3), region="B")
+    b.ret()
+    graph = build_graph(proc)
+    assert not edges_between(graph, Opcode.STORE, Opcode.LOAD, "mem")
+
+
+def test_distinct_constant_offsets_disambiguate():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    a1 = b.add(Reg(1), 1)
+    a2 = b.add(Reg(1), 2)
+    b.store(a1, Reg(2), region="A")
+    b.store(a2, Reg(3), region="A")
+    b.ret()
+    graph = build_graph(proc)
+    assert not edges_between(graph, Opcode.STORE, Opcode.STORE, "mem")
+
+
+def test_same_address_stores_stay_ordered():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    a1 = b.add(Reg(1), 1)
+    a2 = b.add(Reg(1), 1)
+    b.store(a1, Reg(2), region="A")
+    b.store(a2, Reg(3), region="A")
+    b.ret()
+    graph = build_graph(proc)
+    assert edges_between(graph, Opcode.STORE, Opcode.STORE, "mem")
+
+
+def test_wired_or_writers_unordered():
+    from repro.ir import Action, PredTarget
+
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    off = b.pred_clear()
+    b.cmpp(Cond.EQ, Reg(1), 0, [PredTarget(off, Action.ON)])
+    b.cmpp(Cond.EQ, Reg(2), 0, [PredTarget(off, Action.ON)])
+    b.ret()
+    graph = build_graph(proc)
+    cmpp_pairs = edges_between(graph, Opcode.CMPP, Opcode.CMPP)
+    assert not cmpp_pairs  # the two accumulators are unordered
+    init_edges = edges_between(graph, Opcode.PRED_CLEAR, Opcode.CMPP)
+    assert len(init_edges) == 2  # but both follow the initialization
+
+
+def test_critical_path_height_matches_chain():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    v = b.load(Reg(1))          # 2 cycles
+    p = b.cmpp1(Cond.EQ, v, 0)  # +1
+    b.branch_to("B", p)         # +1
+    b.ret()
+    graph = build_graph(proc)
+    heights = graph.critical_path_height()
+    # load(2) -> cmpp(1) -> branch(1) -> trailing return(1): the return is
+    # serialized after the conditional branch by the branch latency.
+    assert heights[0] == 5
+    cmpp_index = next(
+        i for i, op in enumerate(graph.ops)
+        if op.opcode is Opcode.CMPP
+    )
+    assert heights[cmpp_index] == 3

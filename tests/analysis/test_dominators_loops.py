@@ -1,0 +1,70 @@
+"""Dominator tree and natural-loop detection."""
+
+from repro.analysis import DominatorTree, find_loops
+from repro.ir import Cond, ControlFlowGraph, IRBuilder, Label, Procedure, Reg
+
+
+def build_nested_loops():
+    """entry -> outer { inner } -> exit."""
+    proc = Procedure("f")
+    b = IRBuilder(proc)
+    b.start_block("entry", fallthrough="outer")
+    b.mov(0, dest=Reg(1))
+    b.start_block("outer", fallthrough="inner")
+    b.add(Reg(1), 1, dest=Reg(1))
+    b.start_block("inner", fallthrough="outer_latch")
+    p = b.cmpp1(Cond.LT, Reg(2), 10)
+    b.branch_to("inner", p)
+    b.start_block("outer_latch", fallthrough="exit")
+    q = b.cmpp1(Cond.LT, Reg(1), 5)
+    b.branch_to("outer", q)
+    b.start_block("exit")
+    b.ret()
+    return proc
+
+
+def test_dominators_linear_chain():
+    proc = build_nested_loops()
+    dom = DominatorTree(ControlFlowGraph(proc))
+    assert dom.dominates(Label("entry"), Label("exit"))
+    assert dom.dominates(Label("outer"), Label("inner"))
+    assert not dom.dominates(Label("inner"), Label("outer"))
+    assert dom.dominates(Label("outer"), Label("outer"))  # reflexive
+
+
+def test_idom_assignments():
+    proc = build_nested_loops()
+    dom = DominatorTree(ControlFlowGraph(proc))
+    assert dom.idom[Label("outer")] == Label("entry")
+    assert dom.idom[Label("inner")] == Label("outer")
+    assert dom.idom[Label("exit")] == Label("outer_latch")
+
+
+def test_find_loops_nested():
+    proc = build_nested_loops()
+    loops = find_loops(proc)
+    headers = {loop.header.name for loop in loops}
+    assert headers == {"outer", "inner"}
+    outer = next(lp for lp in loops if lp.header.name == "outer")
+    inner = next(lp for lp in loops if lp.header.name == "inner")
+    assert Label("inner") in outer.body
+    assert Label("outer") not in inner.body
+    assert inner.is_self_loop
+
+
+def test_diamond_dominance():
+    proc = Procedure("f")
+    b = IRBuilder(proc)
+    b.start_block("top", fallthrough="left")
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("right", p)
+    b.start_block("left")
+    b.jump("join")
+    b.start_block("right", fallthrough="join")
+    b.add(Reg(1), 1)
+    b.start_block("join")
+    b.ret()
+    dom = DominatorTree(ControlFlowGraph(proc))
+    assert dom.idom[Label("join")] == Label("top")
+    assert not dom.dominates(Label("left"), Label("join"))
+    assert find_loops(proc) == []

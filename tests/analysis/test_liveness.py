@@ -1,0 +1,147 @@
+"""Predicate-aware liveness and the promotion legality test."""
+
+from repro.analysis import (
+    LivenessAnalysis,
+    PredicateTracker,
+    liveness_expressions,
+    promotion_is_legal,
+)
+from repro.ir import (
+    Cond,
+    IRBuilder,
+    Opcode,
+    Procedure,
+    Reg,
+)
+
+
+def test_straightline_liveness():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("E")
+    r = b.add(Reg(1), 1)
+    b.store(Reg(2), r)
+    b.ret()
+    live = LivenessAnalysis(proc)
+    live_in = live.live_in("E")
+    assert Reg(1) in live_in
+    assert Reg(2) in live_in
+    assert r not in live_in  # defined before use
+
+
+def test_loop_carried_value_is_live_at_header():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("L", fallthrough="Out")
+    b.store(Reg(2), Reg(9))           # uses loop-carried r9
+    b.load(Reg(1), dest=Reg(9))       # redefines it
+    p = b.cmpp1(Cond.NE, Reg(9), 0)
+    b.branch_to("L", p)
+    b.start_block("Out")
+    b.ret()
+    live = LivenessAnalysis(proc)
+    assert Reg(9) in live.live_in("L")
+    assert Reg(9) in live.live_out("L")
+
+
+def test_guarded_def_killed_by_matching_use_guard():
+    """A value defined and used under the same predicate chain is dead at
+    the loop header — the case boolean liveness cannot see (the guarded
+    def is a definite kill exactly on the paths that use it)."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("L", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", taken)
+    value = b.load(Reg(2), guard=fall)
+    b.store(Reg(3), value, guard=fall)
+    b.jump("L")
+    b.start_block("Out")
+    b.ret()
+    live = LivenessAnalysis(proc)
+    assert value not in live.live_in("L")
+
+
+def test_side_exit_merges_target_live_in():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Next")
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Handler", p)
+    b.mov(0, dest=Reg(5))
+    b.start_block("Next")
+    b.ret(Reg(5))
+    b.start_block("Handler")
+    b.ret(Reg(7))  # r7 needed only along the exit path
+    live = LivenessAnalysis(proc)
+    assert Reg(7) in live.live_in("E")
+    assert Reg(7) in live.live_in("Handler")
+
+
+def test_btr_needed_only_when_branch_takes():
+    """The pbr's target register matters only under the taken condition, so
+    a never-overlapping guard chain keeps it promotable."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    btr = b.pbr("Out")
+    b.branch(taken, btr, target="Out")
+    b.store(Reg(2), Reg(3), guard=fall)
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("E")
+    tracker = PredicateTracker(block)
+    live = LivenessAnalysis(proc)
+    points = liveness_expressions(block, tracker, live)
+    pbr_index = next(
+        i for i, op in enumerate(block.ops) if op.opcode is Opcode.PBR
+    )
+    needed = points[pbr_index][btr]
+    taken_expr = tracker.taken_expr[block.exit_branches()[0].uid]
+    assert needed.implies(taken_expr)
+
+
+def test_promotion_legal_for_frp_guarded_load():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", taken)
+    value = b.load(Reg(2), guard=fall)
+    b.store(Reg(3), value, guard=fall)
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("E")
+    tracker = PredicateTracker(block)
+    live = LivenessAnalysis(proc)
+    points = liveness_expressions(block, tracker, live)
+    load_index = next(
+        i for i, op in enumerate(block.ops) if op.opcode is Opcode.LOAD
+    )
+    assert promotion_is_legal(
+        block.ops[load_index], points[load_index], tracker
+    )
+
+
+def test_promotion_illegal_when_old_value_live_elsewhere():
+    """Promoting a guarded redefinition of a value consumed unguarded
+    later would clobber the fall-path value."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.mov(5, dest=Reg(9))
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.load(Reg(2), dest=Reg(9), guard=taken)  # overwrite only when taken
+    b.store(Reg(3), Reg(9))                    # reads either value
+    b.ret()
+    block = proc.block("E")
+    tracker = PredicateTracker(block)
+    live = LivenessAnalysis(proc)
+    points = liveness_expressions(block, tracker, live)
+    load_index = next(
+        i for i, op in enumerate(block.ops) if op.opcode is Opcode.LOAD
+    )
+    assert not promotion_is_legal(
+        block.ops[load_index], points[load_index], tracker
+    )

@@ -1,0 +1,126 @@
+"""Property-based checks of the truth-table boolean engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.predexpr import (
+    AtomUniverse,
+    conservative_disjoint,
+    conservative_implies,
+)
+
+
+def random_expr(universe, atoms, draw_structure):
+    """Build an expression from a nested-structure recipe."""
+    kind = draw_structure[0]
+    if kind == "atom":
+        return atoms[draw_structure[1] % len(atoms)]
+    if kind == "true":
+        return universe.true()
+    if kind == "false":
+        return universe.false()
+    if kind == "not":
+        return ~random_expr(universe, atoms, draw_structure[1])
+    left = random_expr(universe, atoms, draw_structure[1])
+    right = random_expr(universe, atoms, draw_structure[2])
+    return (left & right) if kind == "and" else (left | right)
+
+
+def structures(depth=3):
+    leaf = st.one_of(
+        st.tuples(st.just("atom"), st.integers(0, 7)),
+        st.tuples(st.just("true")),
+        st.tuples(st.just("false")),
+    )
+    return st.recursive(
+        leaf,
+        lambda inner: st.one_of(
+            st.tuples(st.just("not"), inner),
+            st.tuples(st.just("and"), inner, inner),
+            st.tuples(st.just("or"), inner, inner),
+        ),
+        max_leaves=8,
+    )
+
+
+def evaluate(structure, assignment):
+    kind = structure[0]
+    if kind == "atom":
+        return assignment[structure[1] % len(assignment)]
+    if kind == "true":
+        return True
+    if kind == "false":
+        return False
+    if kind == "not":
+        return not evaluate(structure[1], assignment)
+    left = evaluate(structure[1], assignment)
+    right = evaluate(structure[2], assignment)
+    return (left and right) if kind == "and" else (left or right)
+
+
+@settings(max_examples=150, deadline=None)
+@given(structures(), st.lists(st.booleans(), min_size=4, max_size=4))
+def test_expression_agrees_with_direct_evaluation(structure, assignment):
+    """The truth-table engine matches brute-force boolean evaluation."""
+    universe = AtomUniverse()
+    atoms = [universe.atom() for _ in range(4)]
+    expr = random_expr(universe, atoms, structure)
+    # The assignment picks a row: build the row index from atom values.
+    row = sum(1 << i for i, bit in enumerate(assignment) if bit)
+    table = expr._extended(4)
+    assert bool((table >> row) & 1) == evaluate(structure, assignment)
+
+
+@settings(max_examples=100, deadline=None)
+@given(structures(), structures())
+def test_boolean_algebra_laws(sa, sb):
+    universe = AtomUniverse()
+    atoms = [universe.atom() for _ in range(4)]
+    a = random_expr(universe, atoms, sa)
+    b = random_expr(universe, atoms, sb)
+    assert (a & b).equivalent_to(b & a)
+    assert (a | b).equivalent_to(b | a)
+    assert (~(a & b)).equivalent_to(~a | ~b)
+    assert (a & (a | b)).equivalent_to(a)
+    assert (a | (a & b)).equivalent_to(a)
+    assert (a & ~a).is_false()
+    assert (a | ~a).is_true()
+
+
+@settings(max_examples=100, deadline=None)
+@given(structures(), structures())
+def test_disjoint_and_implies_consistency(sa, sb):
+    universe = AtomUniverse()
+    atoms = [universe.atom() for _ in range(4)]
+    a = random_expr(universe, atoms, sa)
+    b = random_expr(universe, atoms, sb)
+    if a.disjoint_with(b):
+        assert (a & b).is_false()
+        assert a.implies(~b)
+    if a.implies(b):
+        assert (a & ~b).is_false()
+        assert (~b).implies(~a)  # contrapositive
+
+
+def test_cross_width_operations():
+    universe = AtomUniverse()
+    a = universe.atom()          # width 1
+    t = universe.true()          # width 0
+    b = universe.atom()          # width 2
+    assert (t & a).equivalent_to(a)
+    assert (a & b).implies(a)
+    assert (a & b).implies(b)
+    assert not a.equivalent_to(b)
+    assert not a.disjoint_with(b)  # independent atoms overlap
+
+
+def test_saturation_is_conservative():
+    universe = AtomUniverse(max_atoms=2)
+    a = universe.atom()
+    b = universe.atom()
+    assert universe.atom() is None
+    assert universe.saturated
+    assert not conservative_disjoint(a, None)
+    assert not conservative_disjoint(None, b)
+    assert not conservative_implies(None, a)
+    assert conservative_disjoint(a, ~a)
+    assert conservative_implies(a & b, a)

@@ -1,0 +1,144 @@
+"""Symbolic predicate tracking over blocks."""
+
+from repro.analysis import PredicateTracker
+from repro.ir import (
+    Action,
+    Cond,
+    IRBuilder,
+    Imm,
+    Opcode,
+    Operation,
+    PredReg,
+    PredTarget,
+    Procedure,
+    Reg,
+)
+
+
+def build_frp_chain():
+    """Two-branch FRP chain: p2 = c1 taken, p3 = !c1; p4 = p3 & c2, etc."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B", fallthrough="Out")
+    r1 = b.load(Reg(1))
+    p_taken1, p_fall1 = b.cmpp2(Cond.EQ, r1, 0)
+    b.branch_to("Out", p_taken1)
+    r2 = b.load(Reg(2))
+    p_taken2, p_fall2 = b.cmpp2(Cond.EQ, r2, 0, guard=p_fall1)
+    b.branch_to("Out", p_taken2)
+    b.store(Reg(3), r2, guard=p_fall2)
+    b.start_block("Out")
+    b.ret()
+    return proc, (p_taken1, p_fall1, p_taken2, p_fall2)
+
+
+def test_frp_branches_mutually_exclusive():
+    proc, _ = build_frp_chain()
+    block = proc.block("B")
+    tracker = PredicateTracker(block)
+    b1, b2 = block.exit_branches()
+    t1 = tracker.taken_expr[b1.uid]
+    t2 = tracker.taken_expr[b2.uid]
+    assert t1.disjoint_with(t2)
+
+
+def test_fall_pred_implies_not_taken():
+    proc, (p_taken1, p_fall1, _, p_fall2) = build_frp_chain()
+    block = proc.block("B")
+    tracker = PredicateTracker(block)
+    taken = tracker.final_value(p_taken1)
+    fall = tracker.final_value(p_fall1)
+    assert taken.disjoint_with(fall)
+    assert (taken | fall).is_true()  # UN/UC pair partitions under guard T
+    # The second fall-through predicate is a subset of the first.
+    assert tracker.final_value(p_fall2).implies(fall)
+
+
+def test_guarded_store_disjoint_from_taken():
+    proc, _ = build_frp_chain()
+    block = proc.block("B")
+    tracker = PredicateTracker(block)
+    store = [op for op in block.ops if op.opcode is Opcode.STORE][0]
+    for branch in block.exit_branches():
+        assert tracker.exec_expr(store).disjoint_with(
+            tracker.taken_expr[branch.uid]
+        )
+        assert tracker.disjoint(store, branch)
+
+
+def test_wired_or_accumulation():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    off = b.pred_clear()
+    b.cmpp(Cond.EQ, Reg(1), 0, [PredTarget(off, Action.ON)])
+    b.cmpp(Cond.EQ, Reg(2), 0, [PredTarget(off, Action.ON)])
+    b.ret()
+    tracker = PredicateTracker(proc.block("B"))
+    cmpps = [op for op in proc.block("B").ops if op.opcode is Opcode.CMPP]
+    a1 = tracker.cmpp_atom[cmpps[0].uid]
+    a2 = tracker.cmpp_atom[cmpps[1].uid]
+    assert tracker.final_value(off).equivalent_to(a1 | a2)
+
+
+def test_wired_and_accumulation_with_root():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    root = b.cmpp1(Cond.NE, Reg(9), 0)
+    on = b.pred_set(root)
+    b.cmpp(
+        Cond.EQ, Reg(1), 0, [PredTarget(on, Action.AC)], guard=root
+    )
+    b.cmpp(
+        Cond.EQ, Reg(2), 0, [PredTarget(on, Action.AC)], guard=root
+    )
+    b.ret()
+    tracker = PredicateTracker(proc.block("B"))
+    block = proc.block("B")
+    cmpps = [op for op in block.ops if op.opcode is Opcode.CMPP]
+    root_expr = tracker.def_expr[cmpps[0].uid][root]
+    a1 = tracker.cmpp_atom[cmpps[1].uid]
+    a2 = tracker.cmpp_atom[cmpps[2].uid]
+    # on-trace FRP: root AND not-c1 AND not-c2 (the ICBM wired-and form).
+    assert tracker.final_value(on).equivalent_to(root_expr & ~a1 & ~a2)
+
+
+def test_entry_predicates_get_fresh_atoms():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    b.add(Reg(1), 1, guard=PredReg(7))
+    b.add(Reg(2), 1, guard=PredReg(8))
+    b.ret()
+    tracker = PredicateTracker(proc.block("B"))
+    ops = proc.block("B").ops
+    g7 = tracker.guard_expr[ops[0].uid]
+    g8 = tracker.guard_expr[ops[1].uid]
+    # Unknown inputs: neither disjoint nor equivalent can be proven.
+    assert not g7.disjoint_with(g8)
+    assert not g7.equivalent_to(g8)
+
+
+def test_pred_clear_and_set_constants():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    p_clear = b.pred_clear()
+    p_one = b.pred_set(Imm(1))
+    b.ret()
+    tracker = PredicateTracker(proc.block("B"))
+    assert tracker.final_value(p_clear).is_false()
+    assert tracker.final_value(p_one).is_true()
+
+
+def test_saturation_degrades_to_unknown():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 12)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    preds = [b.cmpp1(Cond.EQ, Reg(i), 0) for i in range(1, 6)]
+    b.ret()
+    tracker = PredicateTracker(proc.block("B"), max_atoms=3)
+    values = [tracker.final_value(p) for p in preds]
+    assert values[0] is not None
+    assert values[-1] is None  # beyond the atom budget: unknown

@@ -1,0 +1,74 @@
+"""Shared fixtures and program-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    Cond,
+    DataSegment,
+    IRBuilder,
+    Procedure,
+    Program,
+    Reg,
+    verify_program,
+)
+from repro.sim.interpreter import Interpreter
+
+
+def build_strcpy_program(unroll: int = 4) -> Program:
+    """The paper's Figure 6(b) shape: an unrolled string-copy superblock.
+
+    One block holding `unroll` iterations, each a store / load / compare /
+    exit-branch group, ending with a conditional loop-back branch (the
+    predominantly taken latch the taken variation accelerates).
+    """
+    program = Program("strcpy")
+    program.add_segment(DataSegment("A", 128))
+    program.add_segment(DataSegment("B", 128))
+    proc = Procedure("main", params=[Reg(1), Reg(2)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Pre")
+    b.load(Reg(1), dest=Reg(100), region="A")
+    b.jump("Loop")
+    b.start_block("Loop", fallthrough="Exit")
+    prev = Reg(100)
+    for i in range(unroll):
+        addr_b = b.add(Reg(2), i)
+        b.store(addr_b, prev, region="B")
+        addr_a = b.add(Reg(1), i + 1)
+        if i == unroll - 1:
+            value = b.load(addr_a, dest=Reg(100), region="A")
+            b.add(Reg(1), unroll, dest=Reg(1))
+            b.add(Reg(2), unroll, dest=Reg(2))
+            taken = b.cmpp1(Cond.NE, Reg(100), 0)
+            b.branch_to("Loop", taken)
+        else:
+            value = b.load(addr_a, region="A")
+            taken = b.cmpp1(Cond.EQ, value, 0)
+            b.branch_to("Exit", taken)
+            prev = value
+    b.start_block("Exit")
+    b.ret(0)
+    verify_program(program)
+    return program
+
+
+def run_strcpy(program: Program, data):
+    """Run a strcpy-shaped program over *data* (NUL-terminated)."""
+    interp = Interpreter(program)
+    interp.poke_array("A", data)
+    return interp.run(
+        args=[interp.segment_base("A"), interp.segment_base("B")]
+    )
+
+
+@pytest.fixture
+def strcpy_program():
+    return build_strcpy_program()
+
+
+@pytest.fixture
+def strcpy_data():
+    return [(i % 9) + 1 for i in range(37)] + [0]

@@ -1,0 +1,86 @@
+"""Full (redundant) CPR — correctness and the quadratic-growth contrast."""
+
+from repro.analysis import LivenessAnalysis, PredicateTracker
+from repro.core import apply_full_cpr, speculate_block
+from repro.ir import Opcode, verify_procedure
+from repro.machine import INFINITE
+from repro.opt import frp_convert_procedure
+from repro.sched import schedule_block
+from tests.conftest import build_strcpy_program, run_strcpy
+
+
+def full_cpr_strcpy(unroll=4):
+    program = build_strcpy_program(unroll=unroll)
+    proc = program.procedure("main")
+    frp_convert_procedure(proc)
+    for block in proc.blocks:
+        if block.exit_branches():
+            speculate_block(proc, block, LivenessAnalysis(proc))
+    report = apply_full_cpr(proc)
+    verify_procedure(proc)
+    return program, proc, report
+
+
+def test_semantics_preserved(strcpy_data):
+    reference = run_strcpy(build_strcpy_program(), strcpy_data)
+    program, _, report = full_cpr_strcpy()
+    assert report.chains >= 1
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_semantics_across_exit_points():
+    for length in (0, 1, 2, 3, 5, 9, 13):
+        data = [((5 * i) % 7) + 1 for i in range(length)] + [0]
+        reference = run_strcpy(build_strcpy_program(), data)
+        program, _, _ = full_cpr_strcpy()
+        assert run_strcpy(program, data).equivalent_to(reference)
+
+
+def test_quadratic_compare_growth():
+    _, _, report4 = full_cpr_strcpy(unroll=4)
+    _, _, report8 = full_cpr_strcpy(unroll=8)
+    assert report4.added_compares == 4 * 5 // 2   # n(n+1)/2
+    assert report8.added_compares == 8 * 9 // 2
+    # Growth is superlinear (the paper's complaint about full CPR).
+    assert report8.added_compares > 2 * report4.added_compares
+
+
+def test_all_branches_kept_on_trace_but_mutually_exclusive():
+    program, proc, report = full_cpr_strcpy()
+    block = proc.block("Loop")
+    branches = block.exit_branches()
+    assert len(branches) == 4  # nothing moves off-trace in full CPR
+    assert report.rewired_branches == 4
+    tracker = PredicateTracker(block)
+    for i, first in enumerate(branches):
+        for second in branches[i + 1:]:
+            assert tracker.taken_expr[first.uid].disjoint_with(
+                tracker.taken_expr[second.uid]
+            )
+
+
+def test_height_reduced_like_icbm():
+    baseline = build_strcpy_program(unroll=8)
+    base_proc = baseline.procedure("main")
+    base_len = schedule_block(
+        base_proc.block("Loop"), INFINITE,
+        liveness=LivenessAnalysis(base_proc),
+    ).length
+    program, proc, _ = full_cpr_strcpy(unroll=8)
+    cpr_len = schedule_block(
+        proc.block("Loop"), INFINITE, liveness=LivenessAnalysis(proc)
+    ).length
+    assert cpr_len < base_len
+
+
+def test_no_compensation_blocks_created():
+    program, proc, _ = full_cpr_strcpy()
+    assert not any(
+        block.label.name.startswith("Cmp") for block in proc.blocks
+    )
+
+
+def test_works_without_profile_data():
+    # apply_full_cpr takes no profile at all — by design.
+    program, proc, report = full_cpr_strcpy()
+    assert report.chains == 1

@@ -1,0 +1,90 @@
+"""The ICBM driver: end-to-end transformation with DCE and config knobs."""
+
+import pytest
+
+from repro.core import CPRConfig, apply_icbm
+from repro.ir import Opcode, verify_procedure
+from repro.opt import frp_convert_procedure
+from repro.sim.profiler import profile_program
+from tests.conftest import build_strcpy_program, run_strcpy
+
+
+def icbm_strcpy(data, config=None, unroll=4):
+    program = build_strcpy_program(unroll=unroll)
+    proc = program.procedure("main")
+    frp_convert_procedure(proc)
+
+    def setup(interp):
+        interp.poke_array("A", data)
+        return (interp.segment_base("A"), interp.segment_base("B"))
+
+    profile = profile_program(program, inputs=[setup])
+    report = apply_icbm(proc, profile, config or CPRConfig())
+    verify_procedure(proc)
+    return program, report
+
+
+def test_driver_transforms_and_preserves_semantics(strcpy_data):
+    reference = run_strcpy(build_strcpy_program(), strcpy_data)
+    program, report = icbm_strcpy(strcpy_data)
+    assert report.transformed_cpr_blocks >= 1
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_driver_reports_taken_variation(strcpy_data):
+    # The loop-back latch of strcpy is predominantly taken.
+    program, report = icbm_strcpy(strcpy_data)
+    assert any(b.taken_variations for b in report.blocks)
+
+
+def test_dce_removes_dead_predicates(strcpy_data):
+    program, report = icbm_strcpy(strcpy_data)
+    assert report.dce_removed > 0
+
+
+def test_min_branches_two_leaves_unit_blocks_alone(strcpy_data):
+    config = CPRConfig(max_branches=1)  # every CPR block is unit length
+    program, report = icbm_strcpy(strcpy_data, config)
+    assert report.transformed_cpr_blocks == 0
+    # Code untouched apart from FRP conversion: all branches remain.
+    loop = program.procedure("main").block("Loop")
+    assert len(loop.exit_branches()) == 4
+
+
+def test_speculation_can_be_disabled(strcpy_data):
+    config = CPRConfig(enable_speculation=False)
+    reference = run_strcpy(build_strcpy_program(), strcpy_data)
+    program, report = icbm_strcpy(strcpy_data, config)
+    assert all(b.promoted == 0 for b in report.blocks)
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_single_branch_blocks_skipped():
+    program = build_strcpy_program(unroll=1)
+    proc = program.procedure("main")
+    frp_convert_procedure(proc)
+    report = apply_icbm(proc, None, CPRConfig())
+    assert report.transformed_cpr_blocks == 0
+
+
+def test_branch_count_reduced_dynamically(strcpy_data):
+    baseline = build_strcpy_program(unroll=8)
+    base_result = run_strcpy(baseline, strcpy_data + [0] * 10)
+    data = strcpy_data + [0] * 10
+    program, report = icbm_strcpy(data, unroll=8)
+    result = run_strcpy(program, data)
+    assert result.equivalent_to(base_result)
+    # 8 exit branches collapse to ~1 per iteration.
+    assert result.branches_executed < base_result.branches_executed * 0.55
+
+
+@pytest.mark.parametrize("bad_field, value", [
+    ("exit_weight_threshold", 0.0),
+    ("exit_weight_threshold", 1.5),
+    ("predict_taken_threshold", 0.0),
+    ("min_branches", 0),
+    ("max_branches", 0),
+])
+def test_config_validation(bad_field, value):
+    with pytest.raises(ValueError):
+        CPRConfig(**{bad_field: value})

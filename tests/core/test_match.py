@@ -1,0 +1,162 @@
+"""Phase 2: match — CPR block identification and its four tests."""
+
+import pytest
+
+from repro.analysis import DependenceGraph, LivenessAnalysis
+from repro.core import CPRConfig, match_cpr_blocks, speculate_block
+from repro.ir import (
+    Cond,
+    IRBuilder,
+    Procedure,
+    Reg,
+)
+from repro.machine import PAPER_LATENCIES
+from repro.opt import frp_convert_block
+from repro.sim.profiler import BranchProfile, ProfileData
+from tests.conftest import build_strcpy_program
+
+
+def prepare(program, label="Loop"):
+    proc = program.procedure("main")
+    block = proc.block(label)
+    frp_convert_block(proc, block)
+    liveness = LivenessAnalysis(proc)
+    speculate_block(proc, block, liveness)
+    graph = DependenceGraph(block, PAPER_LATENCIES, liveness=liveness)
+    return proc, block, graph
+
+
+def make_profile(proc_name, block, taken_ratios, executed=1000):
+    """Synthesize a branch profile assigning each exit branch a ratio."""
+    profile = ProfileData()
+    for branch, ratio in zip(block.exit_branches(), taken_ratios):
+        taken = int(executed * ratio)
+        profile.branches[(proc_name, branch.uid)] = BranchProfile(
+            taken=taken, not_taken=executed - taken
+        )
+    return profile
+
+
+def test_biased_branches_form_one_cpr_block():
+    program = build_strcpy_program(unroll=4)
+    proc, block, graph = prepare(program)
+    profile = make_profile("main", block, [0.01, 0.01, 0.01, 0.99])
+    cprs = match_cpr_blocks(
+        "main", block, graph, profile, CPRConfig()
+    )
+    assert len(cprs) == 1
+    assert cprs[0].size == 4
+    assert cprs[0].taken_variation  # final branch predominantly taken
+
+
+def test_exit_weight_threshold_truncates():
+    program = build_strcpy_program(unroll=4)
+    proc, block, graph = prepare(program)
+    # Second branch takes 30% of the time: cumulative weight exceeds 0.25.
+    profile = make_profile("main", block, [0.01, 0.30, 0.01, 0.01])
+    config = CPRConfig(
+        exit_weight_threshold=0.25, enable_taken_variation=False
+    )
+    cprs = match_cpr_blocks("main", block, graph, profile, config)
+    assert cprs[0].size == 1  # growth stopped before the heavy branch
+    assert len(cprs) >= 2
+
+
+def test_predict_taken_selects_taken_variation_and_ends_block():
+    program = build_strcpy_program(unroll=4)
+    proc, block, graph = prepare(program)
+    profile = make_profile("main", block, [0.01, 0.90, 0.01, 0.50])
+    cprs = match_cpr_blocks(
+        "main", block, graph, profile, CPRConfig()
+    )
+    assert cprs[0].size == 2
+    assert cprs[0].taken_variation
+
+
+def test_predict_taken_disabled_by_config():
+    program = build_strcpy_program(unroll=4)
+    proc, block, graph = prepare(program)
+    profile = make_profile("main", block, [0.01, 0.90, 0.01, 0.01])
+    config = CPRConfig(enable_taken_variation=False)
+    cprs = match_cpr_blocks("main", block, graph, profile, config)
+    assert all(not cpr.taken_variation for cpr in cprs)
+
+
+def test_max_branches_caps_block_size():
+    program = build_strcpy_program(unroll=8)
+    proc, block, graph = prepare(program)
+    profile = make_profile("main", block, [0.01] * 8)
+    config = CPRConfig(max_branches=3, enable_taken_variation=False)
+    cprs = match_cpr_blocks("main", block, graph, profile, config)
+    assert all(cpr.size <= 3 for cpr in cprs)
+    assert sum(cpr.size for cpr in cprs) == 8  # every branch covered
+
+
+def test_all_branches_covered_exactly_once():
+    program = build_strcpy_program(unroll=6)
+    proc, block, graph = prepare(program)
+    profile = make_profile("main", block, [0.05] * 6)
+    cprs = match_cpr_blocks(
+        "main", block, graph, profile, CPRConfig()
+    )
+    covered = [br.uid for cpr in cprs for br in cpr.branches]
+    assert sorted(covered) == sorted(
+        br.uid for br in block.exit_branches()
+    )
+    assert len(set(covered)) == len(covered)
+
+
+def test_separability_failure_truncates_block():
+    """A store feeding the next branch's condition through memory creates
+    the paper's separability violation (the op-16/18 alias example)."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("SB", fallthrough="Out")
+    # Branch 1.
+    t1, f1 = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", t1)
+    # A store and a subsequent possibly-aliasing load (no regions, same
+    # unknown addresses) that the next branch condition depends on.
+    b.store(Reg(2), Reg(3), guard=f1)
+    value = b.load(Reg(4), guard=f1)
+    t2, f2 = b.cmpp2(Cond.EQ, value, 0, guard=f1)
+    b.branch_to("Out", t2)
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("SB")
+    liveness = LivenessAnalysis(proc)
+    speculate_block(proc, block, liveness)
+    graph = DependenceGraph(block, PAPER_LATENCIES, liveness=liveness)
+    profile = make_profile("f", block, [0.01, 0.01])
+    cprs = match_cpr_blocks("f", block, graph, profile, CPRConfig())
+    assert len(cprs) == 2
+    assert all(cpr.size == 1 for cpr in cprs)
+
+
+def test_unguarded_store_between_branches_stops_growth():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("SB", fallthrough="Out")
+    t1, f1 = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", t1)
+    b.store(Reg(2), Reg(3))  # UNGUARDED: cannot ride the schema
+    t2, f2 = b.cmpp2(Cond.EQ, Reg(4), 0, guard=f1)
+    b.branch_to("Out", t2)
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("SB")
+    graph = DependenceGraph(
+        block, PAPER_LATENCIES, liveness=LivenessAnalysis(proc)
+    )
+    profile = make_profile("f", block, [0.01, 0.01])
+    config = CPRConfig(enable_speculation=False)
+    cprs = match_cpr_blocks("f", block, graph, profile, config)
+    assert all(cpr.size == 1 for cpr in cprs)
+
+
+def test_no_profile_is_conservative():
+    program = build_strcpy_program(unroll=4)
+    proc, block, graph = prepare(program)
+    empty = ProfileData()
+    cprs = match_cpr_blocks("main", block, graph, empty, CPRConfig())
+    assert all(cpr.size == 1 for cpr in cprs)

@@ -1,0 +1,161 @@
+"""Phases 3+4: restructure and off-trace motion (paper Figures 2, 4, 7)."""
+
+from repro.analysis import DependenceGraph, LivenessAnalysis, PredicateTracker
+from repro.core import (
+    CPRConfig,
+    match_cpr_blocks,
+    move_off_trace,
+    restructure_cpr_block,
+    speculate_block,
+)
+from repro.ir import Action, Opcode, verify_procedure
+from repro.machine import PAPER_LATENCIES
+from repro.opt import frp_convert_block
+from repro.sim.profiler import BranchProfile, ProfileData
+from tests.conftest import build_strcpy_program, run_strcpy
+
+
+def transform(program, taken_ratios, config=None):
+    """FRP-convert, speculate, match with a synthetic profile, restructure
+    and move each non-trivial CPR block of the Loop hyperblock."""
+    config = config or CPRConfig()
+    proc = program.procedure("main")
+    block = proc.block("Loop")
+    frp_convert_block(proc, block)
+    liveness = LivenessAnalysis(proc)
+    speculate_block(proc, block, liveness)
+    graph = DependenceGraph(block, PAPER_LATENCIES, liveness=liveness)
+    profile = ProfileData()
+    for branch, ratio in zip(block.exit_branches(), taken_ratios):
+        profile.branches[("main", branch.uid)] = BranchProfile(
+            taken=int(1000 * ratio), not_taken=1000 - int(1000 * ratio)
+        )
+    cprs = match_cpr_blocks("main", block, graph, profile, config)
+    contexts = []
+    current = block
+    for cpr in cprs:
+        if cpr.is_trivial(config) or not cpr.compares:
+            continue
+        context = restructure_cpr_block(proc, current, cpr)
+        move_off_trace(context, LivenessAnalysis(proc))
+        contexts.append(context)
+        if cpr.taken_variation:
+            current = context.comp_block
+    return proc, block, contexts
+
+
+def test_fall_through_variation_structure(strcpy_data):
+    program = build_strcpy_program(unroll=4)
+    reference = run_strcpy(build_strcpy_program(unroll=4), strcpy_data)
+    proc, block, contexts = transform(
+        program, [0.01, 0.01, 0.01, 0.01],
+        CPRConfig(enable_taken_variation=False),
+    )
+    assert len(contexts) == 1
+    context = contexts[0]
+    # On-trace: exactly one branch remains (the bypass).
+    on_trace_branches = block.exit_branches()
+    assert len(on_trace_branches) == 1
+    assert on_trace_branches[0] is context.bypass
+    assert context.bypass.attrs.get("cpr_bypass")
+    # Lookaheads accumulate with AC/ON dual targets under the root.
+    for lookahead in context.lookaheads:
+        actions = {t.action for t in lookahead.pred_targets()}
+        assert actions == {Action.AC, Action.ON}
+        assert lookahead.guard == context.root_pred
+    # The compensation block redispatches through the original branches.
+    comp_branches = [
+        op for op in context.comp_block.ops
+        if op.opcode is Opcode.BRANCH
+    ]
+    assert len(comp_branches) == 4
+    verify_procedure(proc)
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_taken_variation_structure(strcpy_data):
+    program = build_strcpy_program(unroll=4)
+    reference = run_strcpy(build_strcpy_program(unroll=4), strcpy_data)
+    proc, block, contexts = transform(
+        program, [0.01, 0.01, 0.01, 0.95]
+    )
+    assert len(contexts) == 1
+    context = contexts[0]
+    assert context.cpr.taken_variation
+    # The original final branch serves as the bypass: no new branch.
+    assert context.bypass is context.cpr.branches[-1]
+    assert context.bypass.srcs[0] == context.on_pred
+    # Its taken direction stays the loop back-edge.
+    assert context.bypass.branch_target().name == "Loop"
+    # The compensation block sits on the fall-through path.
+    assert block.fallthrough == context.comp_block.label
+    # The last lookahead's condition is inverted (NE vs the original EQ).
+    from repro.ir import Cond
+
+    assert context.lookaheads[-1].cond is Cond.EQ  # original latch was NE
+    verify_procedure(proc)
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_split_stores_appear_on_both_paths(strcpy_data):
+    program = build_strcpy_program(unroll=4)
+    proc, block, contexts = transform(
+        program, [0.01, 0.01, 0.01, 0.95]
+    )
+    context = contexts[0]
+    on_trace_stores = [
+        op for op in block.ops if op.opcode is Opcode.STORE
+    ]
+    off_trace_stores = [
+        op for op in context.comp_block.ops if op.opcode is Opcode.STORE
+    ]
+    # unroll=4: 1 A0 store + 3 guarded stores split into clones.
+    assert len(on_trace_stores) == 4
+    assert len(off_trace_stores) == 3
+    clones = [op for op in on_trace_stores if op.attrs.get("cpr_split")]
+    assert len(clones) == 3
+    assert all(op.guard == context.on_pred for op in clones)
+
+
+def test_irredundancy_on_trace_op_count(strcpy_data):
+    """Paper Section 4.2: on-trace code has no more operations than the
+    original (n branches collapse to one; compares become lookaheads)."""
+    baseline = build_strcpy_program(unroll=8)
+    original_ops = len(baseline.procedure("main").block("Loop").ops)
+    program = build_strcpy_program(unroll=8)
+    proc, block, contexts = transform(program, [0.005] * 8)
+    from repro.opt import eliminate_dead_code
+
+    eliminate_dead_code(proc)
+    assert len(block.ops) <= original_ops
+    # And dynamically: on-trace branches went from 8 to 1.
+    assert len(block.exit_branches()) == 1
+
+
+def test_compensation_block_order_is_program_order(strcpy_data):
+    program = build_strcpy_program(unroll=4)
+    proc, block, contexts = transform(
+        program, [0.01] * 4, CPRConfig(enable_taken_variation=False)
+    )
+    comp = contexts[0].comp_block
+    # compares and branches alternate in original sequence; each branch's
+    # guarding compare precedes it.
+    last_compare = None
+    for op in comp.ops:
+        if op.opcode is Opcode.CMPP:
+            last_compare = op
+        elif op.opcode is Opcode.BRANCH:
+            assert last_compare is not None
+            assert op.srcs[0] in [
+                t.reg for t in last_compare.pred_targets()
+            ]
+
+
+def test_differential_on_many_inputs():
+    for length in (0, 1, 3, 4, 5, 8, 16, 23):
+        data = [((7 * i) % 11) + 1 for i in range(length)] + [0]
+        reference = run_strcpy(build_strcpy_program(unroll=4), data)
+        program = build_strcpy_program(unroll=4)
+        proc, block, contexts = transform(program, [0.02] * 4)
+        result = run_strcpy(program, data)
+        assert result.equivalent_to(reference), f"length={length}"

@@ -1,0 +1,102 @@
+"""Phase 1: predicate speculation (promotion + demotion)."""
+
+from repro.analysis import LivenessAnalysis
+from repro.core import speculate_block
+from repro.ir import (
+    Cond,
+    IRBuilder,
+    Opcode,
+    Procedure,
+    Reg,
+    TRUE_PRED,
+)
+from repro.opt import frp_convert_block
+from tests.conftest import build_strcpy_program, run_strcpy
+
+
+def frp_strcpy():
+    program = build_strcpy_program()
+    proc = program.procedure("main")
+    frp_convert_block(proc, proc.block("Loop"))
+    return program, proc
+
+
+def test_loads_and_adds_promoted_stores_not():
+    program, proc = frp_strcpy()
+    block = proc.block("Loop")
+    report = speculate_block(proc, block, LivenessAnalysis(proc))
+    assert report.promoted > 0
+    for op in block.ops:
+        if op.opcode is Opcode.LOAD:
+            assert op.guard == TRUE_PRED, "loads must be promoted"
+        if op.opcode is Opcode.STORE and block.ops.index(op) > 3:
+            assert op.guard != TRUE_PRED, "stores must stay guarded"
+        if op.opcode is Opcode.CMPP:
+            pass  # compares are never candidates; guards form the chain
+
+
+def test_speculation_preserves_semantics(strcpy_data):
+    program, proc = frp_strcpy()
+    reference_program = build_strcpy_program()
+    reference = run_strcpy(reference_program, strcpy_data)
+    speculate_block(proc, proc.block("Loop"), LivenessAnalysis(proc))
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_promotion_blocked_by_live_conflict():
+    """A guarded def whose old value is needed on the other path must not
+    be promoted."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.mov(5, dest=Reg(9))
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.load(Reg(2), dest=Reg(9), guard=taken)
+    b.store(Reg(3), Reg(9))  # reads both possible values
+    b.ret(0)
+    block = proc.block("E")
+    report = speculate_block(proc, block, LivenessAnalysis(proc))
+    load = [op for op in block.ops if op.opcode is Opcode.LOAD][0]
+    assert load.guard == taken  # unchanged
+
+
+def test_demotion_restores_guard_without_height_cost():
+    """With demotion enabled, an op whose guard is available before its
+    last data input is demoted back (no height added)."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", taken)
+    late = b.load(Reg(2))                 # available late (2 cycles)
+    addr = b.add(late, 1, guard=fall)     # guard def earlier than input
+    b.store(addr, Reg(3), guard=fall)
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("E")
+    report = speculate_block(
+        proc, block, LivenessAnalysis(proc), demote=True
+    )
+    assert report.demoted >= 1
+    add_op = [op for op in block.ops if op.opcode is Opcode.ADD][0]
+    assert add_op.guard == fall
+
+
+def test_demotion_keeps_compare_feeders_promoted():
+    """Promotions that break compare chains (the separability enablers)
+    survive demotion."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Out")
+    taken1, fall1 = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", taken1)
+    value = b.load(Reg(2), guard=fall1)   # feeds the next compare
+    taken2, fall2 = b.cmpp2(Cond.EQ, value, 0, guard=fall1)
+    b.branch_to("Out", taken2)
+    b.store(Reg(3), value, guard=fall2)
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("E")
+    speculate_block(proc, block, LivenessAnalysis(proc), demote=True)
+    load = [op for op in block.ops if op.opcode is Opcode.LOAD][0]
+    assert load.guard == TRUE_PRED  # stays promoted

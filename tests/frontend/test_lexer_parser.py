@@ -1,0 +1,131 @@
+"""Mini-C lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast, parse_source, tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_tokenize_keywords_and_identifiers():
+    tokens = tokenize("int foo while whilex")
+    assert tokens[0].kind is TokenKind.KW_INT
+    assert tokens[1].kind is TokenKind.IDENT
+    assert tokens[2].kind is TokenKind.KW_WHILE
+    assert tokens[3].kind is TokenKind.IDENT  # not a keyword prefix
+
+
+def test_tokenize_two_char_operators():
+    source = "== != <= >= << >> && || += -= ++ --"
+    expected = [
+        TokenKind.EQ, TokenKind.NE, TokenKind.LE, TokenKind.GE,
+        TokenKind.SHL, TokenKind.SHR, TokenKind.AND_AND, TokenKind.OR_OR,
+        TokenKind.PLUS_EQ, TokenKind.MINUS_EQ, TokenKind.PLUS_PLUS,
+        TokenKind.MINUS_MINUS, TokenKind.EOF,
+    ]
+    assert kinds(source) == expected
+
+
+def test_tokenize_numbers_and_char_literals():
+    tokens = tokenize("42 0x1f 'a' '\\n' '\\0'")
+    values = [t.value for t in tokens[:-1]]
+    assert values == [42, 31, 97, 10, 0]
+
+
+def test_comments_skipped_and_lines_tracked():
+    tokens = tokenize("a // comment\nb /* multi\nline */ c")
+    names = [t.value for t in tokens if t.kind is TokenKind.IDENT]
+    assert names == ["a", "b", "c"]
+    assert tokens[2].line == 3  # 'c' after the multiline comment
+
+
+def test_lexer_rejects_garbage():
+    with pytest.raises(ParseError):
+        tokenize("int a = `b`;")
+
+
+def test_parse_array_and_function():
+    unit = parse_source(
+        """
+        int TAB[16] = {1, 2, -3};
+        int main(int n) { return n; }
+        void helper() { return; }
+        """
+    )
+    assert unit.arrays[0].name == "TAB"
+    assert unit.arrays[0].initial == [1, 2, -3]
+    assert unit.functions[0].params == ["n"]
+    assert unit.functions[0].returns_value
+    assert not unit.functions[1].returns_value
+
+
+def test_parse_precedence():
+    unit = parse_source("int f() { return 1 + 2 * 3 == 7 && 1 < 2; }")
+    expr = unit.functions[0].body[0].value
+    # top level is &&
+    assert isinstance(expr, ast.Binary) and expr.op == "&&"
+    left = expr.left
+    assert left.op == "=="
+    assert left.left.op == "+"
+    assert left.left.right.op == "*"
+
+
+def test_parse_statements_forms():
+    unit = parse_source(
+        """
+        int f(int n) {
+            int x = 0;
+            x += 2;
+            x++;
+            while (x < n) { x = x + 1; }
+            do { x--; } while (x > 0);
+            for (int i = 0; i < 3; i++) { x += i; }
+            if (x == 0) { return 1; } else { return 2; }
+        }
+        """
+    )
+    body = unit.functions[0].body
+    assert isinstance(body[0], ast.DeclStmt)
+    assert isinstance(body[1], ast.AssignStmt)
+    assert isinstance(body[2], ast.AssignStmt)  # ++ desugars
+    assert isinstance(body[3], ast.WhileStmt)
+    assert isinstance(body[4], ast.DoWhileStmt)
+    assert isinstance(body[5], ast.ForStmt)
+    assert isinstance(body[6], ast.IfStmt)
+
+
+def test_parse_goto_and_labels():
+    unit = parse_source(
+        "int f() { goto out; out: return 0; }"
+    )
+    body = unit.functions[0].body
+    assert isinstance(body[0], ast.GotoStmt)
+    assert isinstance(body[1], ast.LabelStmt)
+
+
+def test_parse_array_index_and_call():
+    unit = parse_source(
+        "int A[4];\nint g(int x) { return x; }\n"
+        "int f() { return g(A[2] + 1); }"
+    )
+    call = unit.functions[1].body[0].value
+    assert isinstance(call, ast.Call)
+    assert isinstance(call.args[0].left, ast.ArrayRef)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "int f() { 1 = 2; }",             # bad lvalue
+        "int f() { return 1 }",            # missing semicolon
+        "int f( { }",                      # bad params
+        "int A[]; ",                       # missing size
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(ParseError):
+        parse_source(bad)

@@ -1,0 +1,180 @@
+"""Mini-C lowering: compiled programs behave like Python oracles."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import verify_program
+from repro.sim.interpreter import Interpreter
+
+
+def run(source, arrays=None, args=(), entry="main"):
+    program = compile_source(source)
+    verify_program(program)
+    interp = Interpreter(program)
+    for name, values in (arrays or {}).items():
+        interp.poke_array(name, values)
+    return interp.run(entry=entry, args=args), interp
+
+
+@pytest.mark.parametrize(
+    "expr, expected",
+    [
+        ("2 + 3 * 4", 14),
+        ("(2 + 3) * 4", 20),
+        ("17 / 5", 3),
+        ("17 % 5", 2),
+        ("-17 / 5", -3),       # C truncation
+        ("1 << 5", 32),
+        ("40 >> 2", 10),
+        ("12 & 10", 8),
+        ("12 | 10", 14),
+        ("12 ^ 10", 6),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("3 < 4", 1),
+        ("!0", 1),
+        ("!7", 0),
+        ("-(3 + 4)", -7),
+    ],
+)
+def test_expression_evaluation(expr, expected):
+    result, _ = run(f"int main() {{ return {expr}; }}")
+    assert result.return_value == expected
+
+
+def test_short_circuit_and_or_value_context():
+    source = """
+    int main(int a, int b) {
+        int x = a && b;
+        int y = a || b;
+        return x * 10 + y;
+    }
+    """
+    assert run(source, args=(0, 5))[0].return_value == 1
+    assert run(source, args=(3, 0))[0].return_value == 1
+    assert run(source, args=(3, 5))[0].return_value == 11
+    assert run(source, args=(0, 0))[0].return_value == 0
+
+
+def test_short_circuit_skips_side_effect():
+    """`i < n && A[i]` must not read A[i] when the bound check fails —
+    verified by making the out-of-bounds slot a trap value."""
+    source = """
+    int A[4] = {1, 1, 1, 1};
+    int main() {
+        int count = 0;
+        int i = 0;
+        while (i < 8 && A[i] == 1) {
+            count += 1;
+            i += 1;
+        }
+        return count;
+    }
+    """
+    result, _ = run(source, arrays={"A": [1, 1, 1, 0]})
+    assert result.return_value == 3
+
+
+def test_loops_for_while_do():
+    source = """
+    int main(int n) {
+        int total = 0;
+        for (int i = 1; i <= n; i++) { total += i; }
+        int j = n;
+        while (j > 0) { total += 1; j--; }
+        int k = 0;
+        do { total += 100; k++; } while (k < 2);
+        return total;
+    }
+    """
+    result, _ = run(source, args=(4,))
+    assert result.return_value == 10 + 4 + 200
+
+
+def test_break_continue():
+    source = """
+    int main(int n) {
+        int total = 0;
+        for (int i = 0; i < n; i++) {
+            if (i == 5) { break; }
+            if (i % 2 == 0) { continue; }
+            total += i;
+        }
+        return total;
+    }
+    """
+    result, _ = run(source, args=(100,))
+    assert result.return_value == 1 + 3
+
+
+def test_goto():
+    source = """
+    int main(int n) {
+        int x = 0;
+      again:
+        x += 1;
+        if (x < n) { goto again; }
+        return x;
+    }
+    """
+    assert run(source, args=(5,))[0].return_value == 5
+
+
+def test_arrays_and_regions():
+    source = """
+    int A[8] = {1, 2, 3, 4};
+    int B[8];
+    int main(int n) {
+        for (int i = 0; i < n; i++) { B[i] = A[i] * 2; }
+        return B[n - 1];
+    }
+    """
+    result, interp = run(source, args=(4,))
+    assert result.return_value == 8
+    assert interp.peek_array("B", 4) == [2, 4, 6, 8]
+    # loads/stores carry region tags for the alias analysis
+    program = compile_source(source)
+    from repro.ir import Opcode
+
+    regions = {
+        op.attrs.get("region")
+        for proc in program.procedures.values()
+        for block in proc.blocks
+        for op in block.ops
+        if op.opcode in (Opcode.LOAD, Opcode.STORE)
+    }
+    assert regions == {"A", "B"}
+
+
+def test_function_calls():
+    source = """
+    int square(int x) { return x * x; }
+    int main(int n) { return square(n) + square(n + 1); }
+    """
+    assert run(source, args=(3,))[0].return_value == 9 + 16
+
+
+def test_nested_if_else_chain():
+    source = """
+    int main(int n) {
+        if (n < 0) { return -1; }
+        else if (n == 0) { return 0; }
+        else if (n < 10) { return 1; }
+        else { return 2; }
+    }
+    """
+    assert run(source, args=(-5,))[0].return_value == -1
+    assert run(source, args=(0,))[0].return_value == 0
+    assert run(source, args=(5,))[0].return_value == 1
+    assert run(source, args=(50,))[0].return_value == 2
+
+
+def test_constant_folding_applied():
+    program = compile_source("int main() { return 0 - 1; }")
+    ops = program.procedure("main").entry.ops
+    assert len(ops) == 1  # just the return of the folded literal
+    assert ops[0].srcs[0].value == -1
+
+
+def test_implicit_return_zero():
+    assert run("int main() { int x = 5; }")[0].return_value == 0

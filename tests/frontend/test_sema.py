@@ -1,0 +1,57 @@
+"""Mini-C semantic checks."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import parse_source
+from repro.frontend.sema import check_unit
+
+
+def check(source):
+    check_unit(parse_source(source))
+
+
+@pytest.mark.parametrize(
+    "good",
+    [
+        "int f() { return 0; }",
+        "int A[4];\nint f() { return A[0]; }",
+        "int f(int n) { int x = n; while (x > 0) { x--; break; } return x; }",
+        "int g() { return 1; }\nint f() { return g(); }",
+        "void f() { return; }",
+        "int f() { goto l; l: return 0; }",
+    ],
+)
+def test_valid_programs(good):
+    check(good)
+
+
+@pytest.mark.parametrize(
+    "bad, fragment",
+    [
+        ("int f() { return x; }", "undeclared"),
+        ("int f() { int x = 0; int x = 1; return x; }", "redeclared"),
+        ("int A[4];\nint f() { return A; }", "without an index"),
+        ("int f() { return B[0]; }", "unknown array"),
+        ("int f() { break; return 0; }", "break outside"),
+        ("int f() { continue; return 0; }", "continue outside"),
+        ("int g(int a) { return a; }\nint f() { return g(); }", "expects"),
+        ("int f() { return h(); }", "unknown function"),
+        ("void g() { return; }\nint f() { return g(); }", "void function"),
+        ("int f() { goto nowhere; return 0; }", "unknown label"),
+        ("int f() { return; }", "without value"),
+        ("int A[0];", "size"),
+        ("int A[2] = {1, 2, 3};", "initializers"),
+        ("int A[4];\nint A[4];", "redeclared"),
+        ("int A[4];\nint f() { int A = 0; return A; }", "shadows"),
+        ("int f(int a, int a) { return a; }", "duplicate parameter"),
+        (
+            "int f() { l: goto l2; l: return 0; l2: return 1; }",
+            "duplicate label",
+        ),
+    ],
+)
+def test_invalid_programs(bad, fragment):
+    with pytest.raises(SemanticError) as info:
+        check(bad)
+    assert fragment in str(info.value)

@@ -1,0 +1,122 @@
+"""End-to-end pipeline: baseline + control CPR, differentially verified.
+
+``build_workload`` already asserts architectural equivalence internally
+(store trace + return value across every transformation stage); these
+tests additionally check the paper's headline *shape* claims on a
+representative subset of the suite.
+"""
+
+import pytest
+
+from repro.core import CPRConfig
+from repro.machine import INFINITE, MEDIUM, SEQUENTIAL, WIDE
+from repro.perf import estimate_program_cycles, operation_counts
+from repro.pipeline import PipelineOptions, build_workload
+from repro.workloads.registry import get_workload
+
+FAST_SUBSET = ["strcpy", "cmp", "grep", "099.go", "023.eqntott"]
+
+
+@pytest.fixture(scope="module")
+def builds():
+    cache = {}
+    for name in FAST_SUBSET:
+        workload = get_workload(name)
+        cache[name] = build_workload(
+            workload.name, workload.compile(), workload.inputs
+        )
+    return cache
+
+
+def speedup(build, machine):
+    base = estimate_program_cycles(
+        build.baseline, machine, build.baseline_profile
+    ).total
+    cpr = estimate_program_cycles(
+        build.transformed, machine, build.transformed_profile
+    ).total
+    return base / cpr
+
+
+@pytest.mark.parametrize("name", FAST_SUBSET)
+def test_pipeline_differentially_verified(builds, name):
+    # build_workload raises TransformError on any behavioural divergence;
+    # reaching here means every stage was equivalence-checked.
+    build = builds[name]
+    assert build.baseline_profile.total_ops > 0
+    assert build.transformed_profile.total_ops > 0
+
+
+def test_biased_workloads_speed_up_on_wide_machines(builds):
+    for name in ("strcpy", "cmp", "grep"):
+        assert speedup(builds[name], WIDE) > 1.05, name
+        assert speedup(builds[name], INFINITE) > 1.1, name
+
+
+def test_unbiased_go_shows_no_gain(builds):
+    value = speedup(builds["099.go"], MEDIUM)
+    assert 0.95 <= value <= 1.05
+
+
+def test_speedup_grows_with_width_for_cmp(builds):
+    build = builds["cmp"]
+    medium = speedup(build, MEDIUM)
+    wide = speedup(build, WIDE)
+    infinite = speedup(build, INFINITE)
+    assert medium <= wide + 0.01 <= infinite + 0.02
+
+
+def test_dynamic_branches_greatly_reduced(builds):
+    for name in ("strcpy", "cmp"):
+        build = builds[name]
+        base = operation_counts(build.baseline, build.baseline_profile)
+        cpr = operation_counts(
+            build.transformed, build.transformed_profile
+        )
+        _, _, d_tot, d_br = cpr.ratios_against(base)
+        assert d_br < 0.5, name           # paper: 0.07-0.22 for these
+        assert d_tot <= 1.02, name        # irredundancy
+
+
+def test_static_growth_is_bounded(builds):
+    for name in FAST_SUBSET:
+        build = builds[name]
+        base = operation_counts(build.baseline, build.baseline_profile)
+        cpr = operation_counts(
+            build.transformed, build.transformed_profile
+        )
+        s_tot, _, _, _ = cpr.ratios_against(base)
+        assert s_tot < 1.5, name
+
+
+def test_untransformed_code_is_byte_identical(builds):
+    """Where ICBM does not fire (go), the 'transformed' build must fall
+    back to the baseline code, as the paper measures."""
+    build = builds["099.go"]
+    base_ops = [
+        op.format()
+        for proc in build.baseline.procedures.values()
+        for block in proc.blocks
+        for op in block.ops
+    ]
+    cpr_ops = [
+        op.format()
+        for proc in build.transformed.procedures.values()
+        for block in proc.blocks
+        for op in block.ops
+    ]
+    assert base_ops == cpr_ops
+
+
+def test_cpr_config_threads_through_pipeline():
+    workload = get_workload("strcpy")
+    options = PipelineOptions(cpr=CPRConfig(max_branches=2))
+    build = build_workload(
+        workload.name, workload.compile(), workload.inputs, options
+    )
+    report = build.icbm_report
+    assert all(
+        cpr.size <= 2
+        for block in report.blocks
+        for cpr in block.cpr_blocks
+    )

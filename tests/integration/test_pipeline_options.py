@@ -1,0 +1,97 @@
+"""Pipeline configuration paths: verification, fuel, if-conversion."""
+
+import pytest
+
+from repro.errors import FuelExhausted, TransformError
+from repro.ir import Opcode, TRUE_PRED
+from repro.pipeline import (
+    PipelineOptions,
+    _check_equivalent,
+    build_baseline,
+    build_workload,
+)
+from repro.workloads.registry import get_workload
+
+
+def test_verification_can_be_disabled():
+    workload = get_workload("strcpy")
+    options = PipelineOptions(verify_equivalence=False)
+    build = build_workload(
+        workload.name, workload.compile(), workload.inputs, options
+    )
+    assert build.transformed_profile.total_ops > 0
+
+
+def test_fuel_limit_propagates():
+    workload = get_workload("wc")
+    options = PipelineOptions(fuel=100)
+    with pytest.raises(FuelExhausted):
+        build_baseline(workload.compile(), workload.inputs, options)
+
+
+def test_check_equivalent_raises_with_details():
+    class FakeResult:
+        def __init__(self, value):
+            self.return_value = value
+            self.store_trace = []
+
+        def equivalent_to(self, other):
+            return self.return_value == other.return_value
+
+    with pytest.raises(TransformError) as info:
+        _check_equivalent([FakeResult(1)], [FakeResult(2)], "stage-x")
+    assert "stage-x" in str(info.value)
+    assert "input 0" in str(info.value)
+
+
+def test_if_convert_option_produces_predicated_baseline():
+    workload = get_workload("099.go")
+    options = PipelineOptions(if_convert=True)
+    build = build_workload(
+        workload.name, workload.compile(), workload.inputs, options
+    )
+    guarded = [
+        op
+        for proc in build.baseline.procedures.values()
+        for block in proc.blocks
+        for op in block.ops
+        if op.guard != TRUE_PRED and not op.is_branch
+        and op.opcode is not Opcode.CMPP
+    ]
+    assert guarded, "if-conversion must leave predicated ops"
+    # And it must pay: fewer dynamic branches than the plain baseline.
+    plain = build_workload(
+        workload.name,
+        get_workload("099.go").compile(),
+        workload.inputs,
+        PipelineOptions(if_convert=False),
+    )
+    from repro.perf import operation_counts
+
+    converted_branches = operation_counts(
+        build.baseline, build.baseline_profile
+    ).dynamic_branches
+    plain_branches = operation_counts(
+        plain.baseline, plain.baseline_profile
+    ).dynamic_branches
+    assert converted_branches < plain_branches
+
+
+def test_workload_build_is_reproducible():
+    workload = get_workload("cmp")
+    first = build_workload(
+        workload.name, workload.compile(), workload.inputs
+    )
+    second = build_workload(
+        workload.name,
+        get_workload("cmp").compile(),
+        get_workload("cmp").inputs,
+    )
+    assert (
+        first.transformed_profile.total_ops
+        == second.transformed_profile.total_ops
+    )
+    assert (
+        first.transformed_profile.total_branches
+        == second.transformed_profile.total_branches
+    )

@@ -1,0 +1,141 @@
+"""Blocks, procedures, programs: structure and mutation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Block,
+    Cond,
+    DataSegment,
+    IRBuilder,
+    Label,
+    Opcode,
+    Procedure,
+    Program,
+    Reg,
+)
+
+
+def build_two_exit_block():
+    proc = Procedure("f")
+    b = IRBuilder(proc)
+    block = b.start_block("Entry", fallthrough="Done")
+    r1 = b.load(Reg(1))
+    p = b.cmpp1(Cond.EQ, r1, 0)
+    b.branch_to("Done", p)
+    r2 = b.add(r1, 1)
+    q = b.cmpp1(Cond.LT, r2, 10)
+    b.branch_to("Done", q)
+    b.store(Reg(2), r2)
+    b.start_block("Done")
+    b.ret()
+    return proc, block
+
+
+def test_block_branch_queries():
+    proc, block = build_two_exit_block()
+    assert len(block.exit_branches()) == 2
+    assert len(block.branches()) == 2
+    assert block.terminator() is None
+    assert block.successor_labels() == [
+        Label("Done"), Label("Done"), Label("Done")
+    ]
+
+
+def test_block_insertion_and_removal():
+    proc, block = build_two_exit_block()
+    anchor = block.ops[0]
+    from repro.ir import Operation
+
+    new_op = Operation(Opcode.MOV, dests=[Reg(9)], srcs=[Reg(1)])
+    block.insert_after(anchor, new_op)
+    assert block.ops[1] is new_op
+    block.remove(new_op)
+    assert new_op not in block.ops
+    with pytest.raises(ValueError):
+        block.index_of(new_op)
+
+
+def test_block_clone_fresh_uids():
+    proc, block = build_two_exit_block()
+    clone = block.clone(Label("Copy"))
+    assert [op.opcode for op in clone.ops] == [
+        op.opcode for op in block.ops
+    ]
+    assert all(
+        c.uid != o.uid for c, o in zip(clone.ops, block.ops)
+    )
+    assert clone.fallthrough == block.fallthrough
+
+
+def test_procedure_block_registry():
+    proc, block = build_two_exit_block()
+    assert proc.block("Entry") is block
+    assert proc.has_block("Done")
+    assert not proc.has_block("Nope")
+    with pytest.raises(IRError):
+        proc.block("Nope")
+    with pytest.raises(IRError):
+        proc.add_block(Block(label=Label("Entry")))
+
+
+def test_procedure_fresh_names_do_not_collide():
+    proc, _ = build_two_exit_block()
+    existing = {
+        reg
+        for block in proc.blocks
+        for op in block.ops
+        for reg in op.dest_registers()
+    }
+    for _ in range(20):
+        assert proc.new_reg() not in existing
+        assert proc.new_pred() not in existing
+
+
+def test_note_used_names_bumps_allocators():
+    proc = Procedure("g")
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.add(Reg(50), 1, dest=Reg(51))
+    b.ret()
+    proc.note_used_names()
+    assert proc.new_reg().index >= 52
+
+
+def test_program_segments_and_procedures():
+    program = Program("p")
+    program.add_segment(DataSegment("A", 8, initial=[1, 2]))
+    with pytest.raises(IRError):
+        program.add_segment(DataSegment("A", 8))
+    with pytest.raises(IRError):
+        DataSegment("B", 2, initial=[1, 2, 3])
+    proc = Procedure("main")
+    program.add_procedure(proc)
+    with pytest.raises(IRError):
+        program.add_procedure(Procedure("main"))
+    assert program.procedure("main") is proc
+    with pytest.raises(IRError):
+        program.procedure("other")
+
+
+def test_program_clone_is_deep():
+    program = Program("p")
+    program.add_segment(DataSegment("A", 4, initial=[7]))
+    proc, _ = build_two_exit_block()
+    program.add_procedure(proc)
+    copy = program.clone()
+    copy.segment("A").initial[0] = 99
+    assert program.segment("A").initial[0] == 7
+    copy_block = copy.procedure("f").block("Entry")
+    orig_block = program.procedure("f").block("Entry")
+    assert copy_block.ops[0].uid != orig_block.ops[0].uid
+    copy_block.ops[0].srcs[0] = Reg(77)
+    assert orig_block.ops[0].srcs[0] == Reg(1)
+
+
+def test_op_count_and_format():
+    proc, _ = build_two_exit_block()
+    assert proc.op_count() == len(proc.block("Entry").ops) + 1
+    text = proc.format()
+    assert "proc f()" in text
+    assert "Entry:" in text and "Done:" in text

@@ -1,0 +1,119 @@
+"""The fluent IR builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Action,
+    BTR,
+    Cond,
+    FReg,
+    IRBuilder,
+    Imm,
+    Label,
+    Opcode,
+    PredReg,
+    Procedure,
+    Reg,
+    TRUE_PRED,
+)
+
+
+@pytest.fixture
+def builder():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 6)])
+    b = IRBuilder(proc)
+    b.start_block("E")
+    return b
+
+
+def test_emit_requires_block():
+    b = IRBuilder(Procedure("f"))
+    with pytest.raises(IRError):
+        b.add(1, 2)
+
+
+def test_binops_allocate_fresh_dests(builder):
+    x = builder.add(Reg(1), Reg(2))
+    y = builder.mul(x, 3)
+    assert isinstance(x, Reg) and isinstance(y, Reg)
+    assert x != y
+    ops = builder.block.ops
+    assert ops[0].opcode is Opcode.ADD
+    assert ops[1].opcode is Opcode.MUL
+    assert ops[1].srcs == [x, Imm(3)]
+
+
+def test_python_numbers_lift_to_immediates(builder):
+    op = builder.block.ops[builder.block.index_of(builder.store(5, True))]
+    assert op.srcs == [Imm(5), Imm(1)]
+
+
+def test_float_ops_use_fregs(builder):
+    f = builder.fadd(FReg(1), FReg(2))
+    assert isinstance(f, FReg)
+    assert builder.block.ops[-1].opcode is Opcode.FADD
+
+
+def test_guarded_emission(builder):
+    pred = PredReg(7)
+    builder.add(Reg(1), 1, guard=pred)
+    assert builder.block.ops[-1].guard == pred
+    builder.add(Reg(1), 1)
+    assert builder.block.ops[-1].guard == TRUE_PRED
+
+
+def test_cmpp2_default_un_uc(builder):
+    taken, fall = builder.cmpp2(Cond.LT, Reg(1), Reg(2))
+    op = builder.block.ops[-1]
+    assert [t.action for t in op.dests] == [Action.UN, Action.UC]
+    assert [t.reg for t in op.dests] == [taken, fall]
+
+
+def test_cmpp1_custom_action(builder):
+    dest = builder.cmpp1(Cond.EQ, Reg(1), 0, action=Action.ON)
+    op = builder.block.ops[-1]
+    assert op.dests[0].action is Action.ON
+    assert op.dests[0].reg == dest
+
+
+def test_branch_to_emits_pbr_pair(builder):
+    builder.proc.add_block(
+        __import__("repro.ir.block", fromlist=["Block"]).Block(
+            label=Label("T")
+        )
+    )
+    branch = builder.branch_to("T", PredReg(1))
+    pbr, br = builder.block.ops[-2:]
+    assert pbr.opcode is Opcode.PBR
+    assert isinstance(pbr.dests[0], BTR)
+    assert br is branch
+    assert br.srcs[1] == pbr.dests[0]
+    assert br.branch_target() == Label("T")
+
+
+def test_load_store_region_tags(builder):
+    builder.load(Reg(1), region="A")
+    builder.store(Reg(1), Reg(2), region="B")
+    load, store = builder.block.ops[-2:]
+    assert load.attrs["region"] == "A"
+    assert store.attrs["region"] == "B"
+
+
+def test_call_and_ret(builder):
+    result = builder.call("callee", [Reg(1), 7],
+                          dest=builder.proc.new_reg())
+    call = builder.block.ops[-1]
+    assert call.attrs["callee"] == "callee"
+    assert call.dests == [result]
+    builder.ret(result)
+    assert builder.block.ops[-1].opcode is Opcode.RETURN
+
+
+def test_pred_init_helpers(builder):
+    cleared = builder.pred_clear()
+    copied = builder.pred_set(cleared)
+    assert builder.block.ops[-2].opcode is Opcode.PRED_CLEAR
+    assert builder.block.ops[-1].opcode is Opcode.PRED_SET
+    assert builder.block.ops[-1].srcs == [cleared]
+    assert isinstance(copied, PredReg)

@@ -1,0 +1,70 @@
+"""Control-flow graph construction and traversal orders."""
+
+from repro.ir import (
+    Cond,
+    ControlFlowGraph,
+    IRBuilder,
+    Label,
+    Procedure,
+    Reg,
+)
+
+
+def build_diamond():
+    """entry -> (left | right) -> join, plus a self-loop on join."""
+    proc = Procedure("f")
+    b = IRBuilder(proc)
+    b.start_block("entry", fallthrough="left")
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("right", p)
+    b.start_block("left")
+    b.jump("join")
+    b.start_block("right", fallthrough="join")
+    b.add(Reg(1), 1)
+    b.start_block("join", fallthrough="done")
+    q = b.cmpp1(Cond.LT, Reg(2), 10)
+    b.branch_to("join", q)
+    b.start_block("done")
+    b.ret()
+    return proc
+
+
+def test_edges_and_kinds():
+    cfg = ControlFlowGraph(build_diamond())
+    kinds = {(e.src.name, e.dst.name): e.kind for e in cfg.edges}
+    assert kinds[("entry", "right")] == "branch"
+    assert kinds[("entry", "left")] == "fallthrough"
+    assert kinds[("left", "join")] == "jump"
+    assert kinds[("right", "join")] == "fallthrough"
+    assert kinds[("join", "join")] == "branch"
+    assert kinds[("join", "done")] == "fallthrough"
+
+
+def test_successors_predecessors():
+    cfg = ControlFlowGraph(build_diamond())
+    assert set(cfg.successors(Label("entry"))) == {
+        Label("left"), Label("right")
+    }
+    assert set(cfg.predecessors(Label("join"))) == {
+        Label("left"), Label("right"), Label("join")
+    }
+
+
+def test_reachability():
+    proc = build_diamond()
+    b = IRBuilder(proc)
+    b.start_block("orphan")
+    b.ret()
+    cfg = ControlFlowGraph(proc)
+    reachable = cfg.reachable()
+    assert Label("done") in reachable
+    assert Label("orphan") not in reachable
+
+
+def test_reverse_postorder_entry_first_join_after_preds():
+    cfg = ControlFlowGraph(build_diamond())
+    order = cfg.reverse_postorder()
+    position = {label: i for i, label in enumerate(order)}
+    assert order[0] == Label("entry")
+    assert position[Label("join")] > position[Label("left")]
+    assert position[Label("done")] > position[Label("join")]

@@ -1,0 +1,85 @@
+"""Exhaustive check of the paper's Table 1 cmpp action semantics."""
+
+import pytest
+
+from repro.ir.semantics import Action, parse_action
+
+# The paper's Table 1, verbatim: rows are (guard, result), cells are the
+# value written per action ('-' = untouched, encoded as None).
+TABLE_1 = {
+    (0, 0): {"un": 0, "uc": 0, "on": None, "oc": None, "an": None,
+             "ac": None},
+    (0, 1): {"un": 0, "uc": 0, "on": None, "oc": None, "an": None,
+             "ac": None},
+    (1, 0): {"un": 0, "uc": 1, "on": None, "oc": 1, "an": 0, "ac": None},
+    (1, 1): {"un": 1, "uc": 0, "on": 1, "oc": None, "an": None, "ac": 0},
+}
+
+
+@pytest.mark.parametrize("guard", [0, 1])
+@pytest.mark.parametrize("result", [0, 1])
+@pytest.mark.parametrize("action", list(Action))
+def test_table_1_exhaustive(guard, result, action):
+    expected = TABLE_1[(guard, result)][action.value]
+    written = action.apply(bool(guard), bool(result))
+    if expected is None:
+        assert written is None, f"{action} must not write"
+    else:
+        assert written == bool(expected), (
+            f"{action} guard={guard} result={result}"
+        )
+
+
+def test_unconditional_actions_always_write():
+    for action in (Action.UN, Action.UC):
+        for guard in (False, True):
+            for result in (False, True):
+                assert action.apply(guard, result) is not None
+
+
+def test_wired_or_only_sets_true():
+    for action in (Action.ON, Action.OC):
+        for guard in (False, True):
+            for result in (False, True):
+                written = action.apply(guard, result)
+                assert written in (None, True)
+
+
+def test_wired_and_only_clears():
+    for action in (Action.AN, Action.AC):
+        for guard in (False, True):
+            for result in (False, True):
+                written = action.apply(guard, result)
+                assert written in (None, False)
+
+
+def test_complement_mode_flips_result_not_guard():
+    # UC with result=1 behaves like UN with result=0, and vice versa.
+    for guard in (False, True):
+        for result in (False, True):
+            assert Action.UC.apply(guard, result) == Action.UN.apply(
+                guard, not result
+            )
+            assert Action.OC.apply(guard, result) == Action.ON.apply(
+                guard, not result
+            )
+            assert Action.AC.apply(guard, result) == Action.AN.apply(
+                guard, not result
+            )
+
+
+def test_action_metadata():
+    assert Action.UN.kind == "U" and not Action.UN.complemented
+    assert Action.OC.kind == "O" and Action.OC.complemented
+    assert Action.AC.kind == "A" and Action.AC.complemented
+
+
+def test_parse_action_round_trips():
+    for action in Action:
+        assert parse_action(action.value) is action
+        assert parse_action(action.value.upper()) is action
+
+
+def test_parse_action_rejects_unknown():
+    with pytest.raises(ValueError):
+        parse_action("xx")

@@ -1,0 +1,70 @@
+"""Opcode classification and comparison-condition algebra."""
+
+import pytest
+
+from repro.ir import Cond, Opcode
+
+
+def test_branch_classification():
+    for opcode in (Opcode.BRANCH, Opcode.JUMP, Opcode.CALL, Opcode.RETURN):
+        assert opcode.is_branch()
+    for opcode in (Opcode.ADD, Opcode.LOAD, Opcode.CMPP, Opcode.PBR):
+        assert not opcode.is_branch()
+
+
+def test_speculation_classification():
+    # Stores, branches, calls are non-speculative; loads and arithmetic
+    # may be hoisted above branches (paper Section 4.1).
+    assert not Opcode.STORE.is_speculable()
+    assert not Opcode.BRANCH.is_speculable()
+    assert not Opcode.CALL.is_speculable()
+    assert Opcode.LOAD.is_speculable()
+    assert Opcode.ADD.is_speculable()
+    assert Opcode.CMPP.is_speculable()
+    assert Opcode.PBR.is_speculable()
+
+
+def test_unit_classes():
+    assert Opcode.ADD.unit_class() == "I"
+    assert Opcode.CMPP.unit_class() == "I"
+    assert Opcode.PBR.unit_class() == "I"
+    assert Opcode.FMUL.unit_class() == "F"
+    assert Opcode.LOAD.unit_class() == "M"
+    assert Opcode.STORE.unit_class() == "M"
+    assert Opcode.BRANCH.unit_class() == "B"
+    assert Opcode.JUMP.unit_class() == "B"
+
+
+@pytest.mark.parametrize(
+    "cond, a, b, expected",
+    [
+        (Cond.EQ, 1, 1, True),
+        (Cond.EQ, 1, 2, False),
+        (Cond.NE, 1, 2, True),
+        (Cond.LT, 1, 2, True),
+        (Cond.LE, 2, 2, True),
+        (Cond.GT, 3, 2, True),
+        (Cond.GE, 2, 3, False),
+    ],
+)
+def test_cond_evaluate(cond, a, b, expected):
+    assert cond.evaluate(a, b) is expected
+
+
+@pytest.mark.parametrize("cond", list(Cond))
+def test_negation_is_complement(cond):
+    for a in range(-2, 3):
+        for b in range(-2, 3):
+            assert cond.evaluate(a, b) != cond.negate().evaluate(a, b)
+
+
+@pytest.mark.parametrize("cond", list(Cond))
+def test_negation_is_involution(cond):
+    assert cond.negate().negate() is cond
+
+
+@pytest.mark.parametrize("cond", list(Cond))
+def test_swap_mirrors_operands(cond):
+    for a in range(-2, 3):
+        for b in range(-2, 3):
+            assert cond.evaluate(a, b) == cond.swap().evaluate(b, a)

@@ -1,0 +1,38 @@
+"""Operand kinds: identity, hashing, printing."""
+
+from repro.ir import BTR, FReg, Imm, Label, PredReg, Reg, TRUE_PRED
+from repro.ir.operands import is_register
+
+
+def test_register_equality_and_hash():
+    assert Reg(3) == Reg(3)
+    assert Reg(3) != Reg(4)
+    assert Reg(3) != FReg(3)
+    assert len({Reg(1), Reg(1), Reg(2)}) == 2
+
+
+def test_true_pred_prints_as_t():
+    assert repr(TRUE_PRED) == "T"
+    assert repr(PredReg(5)) == "p5"
+
+
+def test_operand_reprs():
+    assert repr(Reg(7)) == "r7"
+    assert repr(FReg(2)) == "f2"
+    assert repr(BTR(1)) == "b1"
+    assert repr(Imm(42)) == "42"
+    assert repr(Label("Loop")) == "Loop"
+
+
+def test_is_register_classification():
+    assert is_register(Reg(1))
+    assert is_register(FReg(1))
+    assert is_register(PredReg(1))
+    assert is_register(BTR(1))
+    assert not is_register(Imm(0))
+    assert not is_register(Label("X"))
+
+
+def test_registers_are_ordered():
+    assert Reg(1) < Reg(2)
+    assert sorted([PredReg(3), PredReg(1)]) == [PredReg(1), PredReg(3)]

@@ -1,0 +1,138 @@
+"""Operation construction, accessors, cloning, and rewriting."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Action,
+    BTR,
+    Cond,
+    Imm,
+    Label,
+    Opcode,
+    Operation,
+    PredReg,
+    PredTarget,
+    Reg,
+    TRUE_PRED,
+)
+
+
+def make_cmpp(dests=None):
+    dests = dests or [
+        PredTarget(PredReg(1), Action.UN),
+        PredTarget(PredReg(2), Action.UC),
+    ]
+    return Operation(
+        Opcode.CMPP, dests=dests, srcs=[Reg(3), Imm(0)], cond=Cond.EQ
+    )
+
+
+def test_cmpp_requires_condition():
+    with pytest.raises(IRError):
+        Operation(
+            Opcode.CMPP,
+            dests=[PredTarget(PredReg(1), Action.UN)],
+            srcs=[Reg(1), Imm(0)],
+        )
+
+
+def test_cmpp_requires_pred_targets():
+    with pytest.raises(IRError):
+        Operation(
+            Opcode.CMPP, dests=[PredReg(1)], srcs=[Reg(1), Imm(0)],
+            cond=Cond.EQ,
+        )
+
+
+def test_non_cmpp_rejects_condition():
+    with pytest.raises(IRError):
+        Operation(
+            Opcode.ADD, dests=[Reg(1)], srcs=[Reg(2), Imm(1)], cond=Cond.EQ
+        )
+
+
+def test_dest_and_source_registers():
+    op = make_cmpp()
+    assert op.dest_registers() == [PredReg(1), PredReg(2)]
+    assert op.source_registers() == [Reg(3)]
+    guarded = Operation(
+        Opcode.ADD, dests=[Reg(1)], srcs=[Reg(2), Imm(3)],
+        guard=PredReg(9),
+    )
+    assert PredReg(9) in guarded.source_registers()
+
+
+def test_unconditional_vs_always_writes():
+    mixed = Operation(
+        Opcode.CMPP,
+        dests=[
+            PredTarget(PredReg(1), Action.UN),
+            PredTarget(PredReg(2), Action.ON),
+        ],
+        srcs=[Reg(3), Imm(0)],
+        cond=Cond.EQ,
+        guard=PredReg(5),
+    )
+    # UN writes regardless of the guard (Table 1); ON only conditionally.
+    assert mixed.unconditional_writes() == [PredReg(1)]
+    assert mixed.always_writes() == [PredReg(1)]
+
+    guarded_add = Operation(
+        Opcode.ADD, dests=[Reg(1)], srcs=[Reg(2), Imm(1)],
+        guard=PredReg(5),
+    )
+    assert guarded_add.unconditional_writes() == [Reg(1)]
+    assert guarded_add.always_writes() == []
+
+    plain_add = Operation(Opcode.ADD, dests=[Reg(1)], srcs=[Reg(2), Imm(1)])
+    assert plain_add.always_writes() == [Reg(1)]
+
+
+def test_clone_gets_fresh_uid():
+    op = make_cmpp()
+    clone = op.clone()
+    assert clone.uid != op.uid
+    assert clone.dests == op.dests
+    assert clone.srcs == op.srcs
+    clone.srcs[0] = Reg(99)
+    assert op.srcs[0] == Reg(3)  # no aliasing
+
+
+def test_replace_sources_and_guard():
+    op = Operation(
+        Opcode.ADD, dests=[Reg(1)], srcs=[Reg(2), Reg(3)],
+        guard=PredReg(4),
+    )
+    op.replace_sources({Reg(2): Reg(20), PredReg(4): PredReg(40)})
+    assert op.srcs == [Reg(20), Reg(3)]
+    assert op.guard == PredReg(40)
+
+
+def test_replace_dests_handles_pred_targets():
+    op = make_cmpp()
+    op.replace_dests({PredReg(1): PredReg(10)})
+    assert op.dests[0].reg == PredReg(10)
+    assert op.dests[0].action is Action.UN
+    assert op.dests[1].reg == PredReg(2)
+
+
+def test_branch_target_resolution():
+    branch = Operation(Opcode.BRANCH, srcs=[PredReg(1), BTR(1)])
+    assert branch.branch_target() is None
+    branch.set_branch_target(Label("Exit"))
+    assert branch.branch_target() == Label("Exit")
+
+    jump = Operation(Opcode.JUMP, srcs=[Label("Loop")])
+    assert jump.branch_target() == Label("Loop")
+    jump.set_branch_target(Label("Other"))
+    assert jump.branch_target() == Label("Other")
+
+
+def test_format_matches_paper_style():
+    op = make_cmpp()
+    text = op.format()
+    assert "cmpp.un.uc eq" in text
+    assert text.endswith("if T")
+    store = Operation(Opcode.STORE, srcs=[Reg(1), Reg(2)], guard=PredReg(6))
+    assert store.format() == "store (r1, r2) if p6"

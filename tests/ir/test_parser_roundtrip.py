@@ -1,0 +1,123 @@
+"""Textual IR: print/parse round trips and parse error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir import (
+    Action,
+    Cond,
+    Label,
+    Opcode,
+    PredReg,
+    Reg,
+    parse_procedure,
+    parse_program,
+    verify_program,
+)
+from tests.conftest import build_strcpy_program, run_strcpy
+
+
+def test_roundtrip_preserves_structure():
+    program = build_strcpy_program()
+    text = program.format()
+    reparsed = parse_program(text)
+    assert set(reparsed.procedures) == set(program.procedures)
+    assert set(reparsed.segments) == set(program.segments)
+    original = program.procedure("main")
+    parsed = original and reparsed.procedure("main")
+    assert [b.label for b in parsed.blocks] == [
+        b.label for b in original.blocks
+    ]
+    for pb, ob in zip(parsed.blocks, original.blocks):
+        assert len(pb.ops) == len(ob.ops)
+        for pop, oop in zip(pb.ops, ob.ops):
+            assert pop.opcode is oop.opcode
+            assert pop.guard == oop.guard
+
+
+def test_roundtrip_preserves_behaviour():
+    program = build_strcpy_program()
+    data = [5, 4, 3, 2, 1, 0]
+    reference = run_strcpy(program, data)
+    reparsed = parse_program(program.format())
+    verify_program(reparsed)
+    assert run_strcpy(reparsed, data).equivalent_to(reference)
+
+
+def test_parse_cmpp_actions_and_guard():
+    proc = parse_procedure(
+        """
+        Entry:
+          p1, p2 = cmpp.un.uc eq (r3, 0) if p9
+          return ()
+        """
+    )
+    op = proc.block("Entry").ops[0]
+    assert op.opcode is Opcode.CMPP
+    assert op.cond is Cond.EQ
+    assert op.guard == PredReg(9)
+    assert op.dests[0].action is Action.UN
+    assert op.dests[1].action is Action.UC
+
+
+def test_parse_branch_resolves_target_from_pbr():
+    proc = parse_procedure(
+        """
+        Entry:
+          b1 = pbr (Out)
+          branch (p1, b1)
+          # falls through to Out
+        Out:
+          return ()
+        """
+    )
+    branch = proc.block("Entry").ops[1]
+    assert branch.branch_target() == Label("Out")
+
+
+def test_parse_fallthrough_comment():
+    proc = parse_procedure(
+        """
+        A:
+          r1 = add (r2, 1)
+          # falls through to B
+        B:
+          return (r1)
+        """
+    )
+    assert proc.block("A").fallthrough == Label("B")
+
+
+def test_parse_data_segment_with_initializer():
+    program = parse_program("data T[8] = [1, 2, 3]\n\nproc main()\nE:\n  return ()")
+    segment = program.segment("T")
+    assert segment.size == 8
+    assert segment.initial == [1, 2, 3]
+
+
+def test_parse_negative_immediates():
+    proc = parse_procedure("E:\n  r1 = mov (-5)\n  return (r1)")
+    assert proc.block("E").ops[0].srcs[0].value == -5
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "E:\n  r1 = frobnicate (r2)\n  return ()",
+        "E:\n  p1 = cmpp.un (r1, r2)\n  return ()",      # missing condition
+        "E:\n  r1 = add (r2, 1) if r9\n  return ()",      # non-pred guard
+        "  r1 = add (r2, 1)",                              # op outside block
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(ParseError):
+        parse_procedure(bad)
+
+
+def test_parse_error_carries_line_number():
+    try:
+        parse_program("proc main()\nE:\n  zzz (r1)\n  return ()")
+    except ParseError as exc:
+        assert exc.line == 3
+    else:
+        pytest.fail("expected ParseError")

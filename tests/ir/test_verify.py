@@ -1,0 +1,119 @@
+"""The IR verifier: structural violations are reported, good IR passes."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import (
+    BTR,
+    Block,
+    IRBuilder,
+    Label,
+    Opcode,
+    Operation,
+    PredReg,
+    Procedure,
+    Program,
+    Reg,
+    check_procedure,
+    verify_procedure,
+    verify_program,
+)
+from tests.conftest import build_strcpy_program
+
+
+def minimal_proc():
+    proc = Procedure("f")
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.ret()
+    return proc
+
+
+def test_good_program_verifies(strcpy_program):
+    verify_program(strcpy_program)  # must not raise
+
+
+def test_empty_procedure_rejected():
+    proc = Procedure("f")
+    problems = check_procedure(proc)
+    assert any("no blocks" in p for p in problems)
+
+
+def test_branch_to_unknown_label():
+    proc = minimal_proc()
+    block = proc.block("E")
+    branch = Operation(Opcode.BRANCH, srcs=[PredReg(1), BTR(1)])
+    branch.attrs["target"] = Label("Nowhere")
+    block.ops.insert(0, branch)
+    problems = check_procedure(proc)
+    assert any("Nowhere" in p for p in problems)
+
+
+def test_branch_with_unresolved_target():
+    proc = minimal_proc()
+    branch = Operation(Opcode.BRANCH, srcs=[PredReg(1), BTR(1)])
+    proc.block("E").ops.insert(0, branch)
+    problems = check_procedure(proc)
+    assert any("unresolved" in p for p in problems)
+
+
+def test_branch_disagreeing_with_pbr():
+    proc = Procedure("f")
+    b = IRBuilder(proc)
+    b.start_block("E")
+    btr = b.pbr("Other")
+    b.branch(PredReg(1), btr, target="E")  # lies about the target
+    b.ret()
+    b.start_block("Other")
+    b.ret()
+    problems = check_procedure(proc)
+    assert any("disagrees" in p for p in problems)
+
+
+def test_jump_must_be_block_final():
+    proc = minimal_proc()
+    proc.block("E").ops.insert(
+        0, Operation(Opcode.JUMP, srcs=[Label("E")])
+    )
+    problems = check_procedure(proc)
+    assert any("not at end" in p for p in problems)
+
+
+def test_fall_off_procedure_end():
+    proc = Procedure("f")
+    proc.add_block(Block(label=Label("E")))
+    proc.block("E").append(
+        Operation(Opcode.MOV, dests=[Reg(1)], srcs=[Reg(2)])
+    )
+    problems = check_procedure(proc)
+    assert any("falls off" in p for p in problems)
+
+
+def test_missing_fallthrough_mid_procedure():
+    proc = Procedure("f")
+    proc.add_block(Block(label=Label("A")))
+    block_b = Block(label=Label("B"))
+    proc.add_block(block_b)
+    block_b.append(Operation(Opcode.RETURN, srcs=[]))
+    problems = check_procedure(proc)
+    assert any("no fallthrough" in p for p in problems)
+
+
+def test_call_to_unknown_procedure():
+    program = Program("p")
+    proc = minimal_proc()
+    program.add_procedure(proc)
+    call = Operation(Opcode.CALL, srcs=[])
+    call.attrs["callee"] = "missing"
+    proc.block("E").ops.insert(0, call)
+    with pytest.raises(VerificationError) as info:
+        verify_program(program)
+    assert "missing" in str(info.value)
+
+
+def test_verification_error_lists_problems():
+    proc = Procedure("f")
+    proc.add_block(Block(label=Label("E")))
+    with pytest.raises(VerificationError) as info:
+        verify_procedure(proc)
+    assert info.value.problems

@@ -1,0 +1,102 @@
+"""Machine models: latencies, resource tables, processor presets."""
+
+import pytest
+
+from repro.errors import MachineConfigError, SchedulingError
+from repro.ir import Opcode
+from repro.machine import (
+    INFINITE,
+    LatencyModel,
+    MEDIUM,
+    NARROW,
+    PAPER_LATENCIES,
+    PAPER_PROCESSORS,
+    ProcessorConfig,
+    ResourceTable,
+    SEQUENTIAL,
+    WIDE,
+)
+
+
+def test_paper_latencies_exact():
+    """Section 7: int 1, fp 3, load 2, store 1, mul 3, div 8, branch 1."""
+    lat = PAPER_LATENCIES
+    assert lat.latency(Opcode.ADD) == 1
+    assert lat.latency(Opcode.FADD) == 3
+    assert lat.latency(Opcode.LOAD) == 2
+    assert lat.latency(Opcode.STORE) == 1
+    assert lat.latency(Opcode.MUL) == 3
+    assert lat.latency(Opcode.FMUL) == 3
+    assert lat.latency(Opcode.DIV) == 8
+    assert lat.latency(Opcode.FDIV) == 8
+    assert lat.latency(Opcode.BRANCH) == 1
+    assert lat.latency(Opcode.CMPP) == 1
+    assert lat.latency(Opcode.PBR) == 1
+
+
+def test_latency_overrides_and_branch_sweep():
+    lat = LatencyModel(overrides={Opcode.LOAD: 5})
+    assert lat.latency(Opcode.LOAD) == 5
+    swept = PAPER_LATENCIES.with_branch_latency(3)
+    assert swept.latency(Opcode.BRANCH) == 3
+    assert PAPER_LATENCIES.latency(Opcode.BRANCH) == 1  # original intact
+
+
+def test_paper_processor_tuples():
+    """(I, F, M, B): narrow (2,1,1,1), medium (4,2,2,1), wide (8,4,4,2),
+    infinite (75,25,25,25); sequential issues one op per cycle."""
+    assert (NARROW.int_units, NARROW.float_units, NARROW.memory_units,
+            NARROW.branch_units) == (2, 1, 1, 1)
+    assert (MEDIUM.int_units, MEDIUM.float_units, MEDIUM.memory_units,
+            MEDIUM.branch_units) == (4, 2, 2, 1)
+    assert (WIDE.int_units, WIDE.float_units, WIDE.memory_units,
+            WIDE.branch_units) == (8, 4, 4, 2)
+    assert (INFINITE.int_units, INFINITE.float_units,
+            INFINITE.memory_units, INFINITE.branch_units) == (75, 25, 25, 25)
+    assert SEQUENTIAL.issue_width == 1
+    assert len(PAPER_PROCESSORS) == 5
+
+
+def test_resource_table_unit_limits():
+    table = MEDIUM.resource_table()
+    for _ in range(4):
+        table.place(0, "I")
+    assert not table.can_place(0, "I")
+    assert table.can_place(1, "I")
+    table.place(0, "B")
+    assert not table.can_place(0, "B")  # medium has one branch unit
+
+
+def test_resource_table_issue_width():
+    table = SEQUENTIAL.resource_table()
+    table.place(3, "I")
+    assert not table.can_place(3, "M")  # width cap, not unit count
+    assert table.can_place(4, "M")
+
+
+def test_resource_table_unlimited_units():
+    table = ResourceTable({"I": None, "F": 1, "M": 1, "B": 1})
+    for _ in range(100):
+        table.place(0, "I")
+    assert table.can_place(0, "I")
+
+
+def test_place_overflow_raises():
+    table = NARROW.resource_table()
+    table.place(0, "M")
+    with pytest.raises(SchedulingError):
+        table.place(0, "M")
+
+
+def test_bad_processor_configs_rejected():
+    with pytest.raises(MachineConfigError):
+        ProcessorConfig("bad", 0, 1, 1, 1)
+    with pytest.raises(MachineConfigError):
+        ProcessorConfig("bad", 1, 1, 1, 1, issue_width=0)
+
+
+def test_with_branch_latency_returns_new_config():
+    swept = MEDIUM.with_branch_latency(2)
+    assert swept.latencies.branch == 2
+    assert MEDIUM.latencies.branch == 1
+    assert swept.unit_counts == MEDIUM.unit_counts

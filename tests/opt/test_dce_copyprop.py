@@ -1,0 +1,156 @@
+"""Dead-code elimination and copy propagation."""
+
+from repro.ir import (
+    Action,
+    Cond,
+    IRBuilder,
+    Opcode,
+    PredTarget,
+    Procedure,
+    Reg,
+)
+from repro.opt import (
+    eliminate_dead_code,
+    propagate_copies,
+    remove_unreachable_blocks,
+)
+
+
+def fresh_proc():
+    return Procedure("f", params=[Reg(i) for i in range(1, 10)])
+
+
+def test_dead_arithmetic_removed():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.add(Reg(1), 1)            # dead
+    live = b.add(Reg(2), 2)
+    b.ret(live)
+    removed = eliminate_dead_code(proc)
+    assert removed == 1
+    assert len(proc.block("E").ops) == 2
+
+
+def test_dead_chain_removed_transitively():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    a = b.add(Reg(1), 1)
+    c = b.mul(a, 2)   # both dead once c is unused
+    b.ret(0)
+    removed = eliminate_dead_code(proc)
+    assert removed == 2
+
+
+def test_stores_branches_never_removed():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Out")
+    b.store(Reg(1), Reg(2))
+    p = b.cmpp1(Cond.EQ, Reg(3), 0)
+    b.branch_to("Out", p)
+    b.start_block("Out")
+    b.ret()
+    eliminate_dead_code(proc)
+    opcodes = [op.opcode for op in proc.block("E").ops]
+    assert Opcode.STORE in opcodes
+    assert Opcode.BRANCH in opcodes
+    assert Opcode.CMPP in opcodes  # feeds the branch
+
+
+def test_cmpp_dead_target_trimmed():
+    """The paper's example: DCE removes the dead second destination."""
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", taken)  # `fall` never used
+    b.start_block("Out")
+    b.ret()
+    eliminate_dead_code(proc)
+    compare = [
+        op for op in proc.block("E").ops if op.opcode is Opcode.CMPP
+    ][0]
+    assert len(compare.dests) == 1
+    assert compare.dests[0].reg == taken
+
+
+def test_fully_dead_cmpp_removed():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.ret(0)
+    assert eliminate_dead_code(proc) == 1
+
+
+def test_dead_pbr_removed_block_locally():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.pbr("E")  # no branch reads it
+    b.ret(0)
+    assert eliminate_dead_code(proc) == 1
+
+
+def test_unreachable_block_removal():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.ret(0)
+    b.start_block("orphan")
+    b.ret(1)
+    assert remove_unreachable_blocks(proc) == 1
+    assert not proc.has_block("orphan")
+
+
+def test_copy_propagation_forwards_values():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    copy = b.mov(Reg(1))
+    result = b.add(copy, 2)
+    b.ret(result)
+    rewrites = propagate_copies(proc)
+    assert rewrites == 1
+    add_op = proc.block("E").ops[1]
+    assert add_op.srcs[0] == Reg(1)
+
+
+def test_copy_propagation_stops_at_redefinition():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    copy = b.mov(Reg(1))
+    b.add(Reg(9), 1, dest=Reg(1))   # source redefined
+    use = b.add(copy, 2)
+    b.ret(use)
+    propagate_copies(proc)
+    add_op = proc.block("E").ops[2]
+    assert add_op.srcs[0] == copy  # must NOT be rewritten to r1
+
+
+def test_guarded_copy_not_propagated():
+    from repro.ir import PredReg
+
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    copy = b.mov(Reg(1), guard=PredReg(5))
+    use = b.add(copy, 2)
+    b.ret(use)
+    propagate_copies(proc)
+    assert proc.block("E").ops[1].srcs[0] == copy
+
+
+def test_copy_propagation_of_immediates():
+    proc = fresh_proc()
+    b = IRBuilder(proc)
+    b.start_block("E")
+    copy = b.mov(41)
+    b.ret(b.add(copy, 1))
+    propagate_copies(proc)
+    from repro.ir import Imm
+
+    assert proc.block("E").ops[1].srcs[0] == Imm(41)

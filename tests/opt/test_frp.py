@@ -1,0 +1,121 @@
+"""FRP conversion (paper Figure 1 / Figure 6(c))."""
+
+from repro.analysis import PredicateTracker
+from repro.ir import Action, Cond, IRBuilder, Opcode, Procedure, Reg, TRUE_PRED
+from repro.opt import frp_convert_block
+from tests.conftest import build_strcpy_program, run_strcpy
+
+
+def build_plain_superblock():
+    """Figure 1(a): three sequential branches guarding stores."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("SB", fallthrough="E4")
+    for i in range(3):
+        p = b.cmpp1(Cond.LT, Reg(i + 1), Reg(i + 4))
+        b.branch_to(f"E{i + 1}", p)
+        b.store(Reg(7), i, region="out")
+    for i in range(1, 5):
+        b.start_block(f"E{i}")
+        b.ret(i)
+    return proc
+
+
+def test_conversion_adds_uc_targets_and_guards():
+    proc = build_plain_superblock()
+    block = proc.block("SB")
+    report = frp_convert_block(proc, block)
+    assert report.complete
+    assert report.converted_branches == 3
+    assert report.added_uc_targets == 3
+    compares = [op for op in block.ops if op.opcode is Opcode.CMPP]
+    assert all(len(c.dests) == 2 for c in compares)
+    # First compare unguarded; later compares guarded by the previous
+    # fall-through predicate (Figure 6(c) structure).
+    assert compares[0].guard == TRUE_PRED
+    uc_of = {
+        c.uid: next(
+            t.reg for t in c.dests if t.action is Action.UC
+        )
+        for c in compares
+    }
+    assert compares[1].guard == uc_of[compares[0].uid]
+    assert compares[2].guard == uc_of[compares[1].uid]
+
+
+def test_converted_branches_mutually_exclusive():
+    proc = build_plain_superblock()
+    block = proc.block("SB")
+    frp_convert_block(proc, block)
+    tracker = PredicateTracker(block)
+    branches = block.exit_branches()
+    for i, first in enumerate(branches):
+        for second in branches[i + 1:]:
+            assert tracker.taken_expr[first.uid].disjoint_with(
+                tracker.taken_expr[second.uid]
+            )
+
+
+def test_stores_guarded_by_segment_frp():
+    proc = build_plain_superblock()
+    block = proc.block("SB")
+    frp_convert_block(proc, block)
+    stores = [op for op in block.ops if op.opcode is Opcode.STORE]
+    assert stores[0].guard != TRUE_PRED
+    tracker = PredicateTracker(block)
+    # Each store's guard must exclude every earlier branch's taken cond.
+    branches = block.exit_branches()
+    for i, store in enumerate(stores):
+        for branch in branches[: i + 1]:
+            assert tracker.guard_expr[store.uid].disjoint_with(
+                tracker.taken_expr[branch.uid]
+            )
+
+
+def test_conversion_preserves_semantics(strcpy_data):
+    program = build_strcpy_program()
+    reference = run_strcpy(program, strcpy_data)
+    proc = program.procedure("main")
+    report = frp_convert_block(proc, proc.block("Loop"))
+    assert report.complete
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_partial_conversion_stops_at_unresolvable_branch():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("SB", fallthrough="Out")
+    p1 = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", p1)
+    # Second branch sourced from an unknown predicate (no in-block cmpp).
+    from repro.ir import PredReg
+
+    btr = b.pbr("Out")
+    b.branch(PredReg(99), btr, target="Out")
+    b.store(Reg(2), Reg(3))
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("SB")
+    report = frp_convert_block(proc, block)
+    assert not report.complete
+    assert report.converted_branches == 1
+    # The trailing store must NOT have been guarded by anything.
+    store = [op for op in block.ops if op.opcode is Opcode.STORE][0]
+    assert store.guard == TRUE_PRED
+
+
+def test_uc_sourced_branch_converts():
+    """Branches inverted by superblock formation source the UC output."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("SB", fallthrough="Out")
+    taken, fall = b.cmpp2(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", fall)  # UC-sourced
+    b.store(Reg(2), Reg(3))
+    b.start_block("Out")
+    b.ret()
+    block = proc.block("SB")
+    report = frp_convert_block(proc, block)
+    assert report.complete
+    store = [op for op in block.ops if op.opcode is Opcode.STORE][0]
+    assert store.guard == taken  # complement of the UC source

@@ -1,0 +1,160 @@
+"""Traditional if-conversion of diamonds (the paper's future-work pass)."""
+
+from repro.frontend import compile_source
+from repro.ir import Opcode, TRUE_PRED, verify_program
+from repro.opt import IfConvertConfig, if_convert_procedure
+from repro.sim import profile_program
+from repro.sim.interpreter import Interpreter
+
+DIAMOND_SOURCE = """
+int A[64];
+int OUT[64];
+
+int main(int n) {
+    int i = 0;
+    int acc = 0;
+    while (i < n) {
+        int v = A[i];
+        if (v > 500) { acc += v; }
+        else { acc -= v; }
+        OUT[i] = acc;
+        i += 1;
+    }
+    return acc;
+}
+"""
+
+IF_THEN_SOURCE = """
+int A[64];
+
+int main(int n) {
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+        int v = A[i];
+        if (v > 500) { acc += 1; }
+        i += 1;
+    }
+    return acc;
+}
+"""
+
+
+def build_and_run(source, data, n, convert, config=None):
+    program = compile_source(source)
+
+    def setup(interp):
+        interp.poke_array("A", data)
+        return (n,)
+
+    profile = profile_program(program, inputs=[setup])
+    report = None
+    if convert:
+        for proc in program.procedures.values():
+            report = if_convert_procedure(proc, profile, config)
+        verify_program(program)
+    interp = Interpreter(program)
+    args = tuple(setup(interp))
+    return interp.run(args=args), report, program
+
+
+UNBIASED = [((i * 389) % 1000) for i in range(50)]  # ~50/50 around 500
+
+
+def test_if_then_else_converted_and_equivalent():
+    reference, _, _ = build_and_run(DIAMOND_SOURCE, UNBIASED, 50, False)
+    result, report, program = build_and_run(
+        DIAMOND_SOURCE, UNBIASED, 50, True
+    )
+    assert report.converted_diamonds == 1
+    assert report.removed_branches == 1
+    assert result.equivalent_to(reference)
+    # Both arms now live guarded in the loop block with opposite preds.
+    proc = program.procedure("main")
+    guarded = [
+        op
+        for block in proc.blocks
+        for op in block.ops
+        if op.guard != TRUE_PRED and not op.is_branch
+    ]
+    preds = {op.guard for op in guarded}
+    assert len(preds) == 2
+
+
+def test_if_then_converted_and_equivalent():
+    reference, _, _ = build_and_run(IF_THEN_SOURCE, UNBIASED, 50, False)
+    result, report, program = build_and_run(
+        IF_THEN_SOURCE, UNBIASED, 50, True
+    )
+    assert report.converted_diamonds == 1
+    assert result.equivalent_to(reference)
+
+
+def test_branch_count_drops():
+    plain, _, _ = build_and_run(DIAMOND_SOURCE, UNBIASED, 50, False)
+    converted, _, _ = build_and_run(DIAMOND_SOURCE, UNBIASED, 50, True)
+    assert converted.branches_executed < plain.branches_executed
+
+
+def test_biased_branches_left_alone():
+    biased = [100] * 50  # always the else path
+    _, report, _ = build_and_run(DIAMOND_SOURCE, biased, 50, True)
+    assert report.converted_diamonds == 0
+
+
+def test_biased_convertible_without_profile():
+    program = compile_source(DIAMOND_SOURCE)
+    for proc in program.procedures.values():
+        report = if_convert_procedure(proc, profile=None)
+    assert report.converted_diamonds == 1
+
+
+def test_large_arms_rejected():
+    config = IfConvertConfig(max_arm_ops=0)
+    _, report, _ = build_and_run(
+        DIAMOND_SOURCE, UNBIASED, 50, True, config
+    )
+    assert report.converted_diamonds == 0
+
+
+def test_arm_with_call_rejected():
+    source = """
+    int A[8];
+    int helper(int x) { return x + 1; }
+    int main(int n) {
+        int acc = 0;
+        if (n > 0) { acc = helper(n); }
+        else { acc = 2; }
+        return acc;
+    }
+    """
+    program = compile_source(source)
+    profile = profile_program(program, inputs=[(None, (1,))])
+    for proc in program.procedures.values():
+        report = if_convert_procedure(proc, profile)
+    # The call-bearing arm blocks conversion of its diamond.
+    main = program.procedure("main")
+    calls_guarded = [
+        op
+        for block in main.blocks
+        for op in block.ops
+        if op.opcode is Opcode.CALL and op.guard != TRUE_PRED
+    ]
+    assert not calls_guarded
+
+
+def test_converted_code_feeds_cpr_as_hyperblock():
+    """After if-conversion the loop is a predicated hyperblock; the full
+    CPR pipeline must still verify end to end."""
+    from repro.pipeline import PipelineOptions, build_workload
+
+    program = compile_source(DIAMOND_SOURCE)
+
+    def setup(interp):
+        interp.poke_array("A", UNBIASED)
+        return (50,)
+
+    build = build_workload(
+        "diamond", program, [setup], PipelineOptions(if_convert=True)
+    )
+    assert build.baseline_profile.total_ops > 0

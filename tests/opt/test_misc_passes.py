@@ -1,0 +1,96 @@
+"""Remaining pass surfaces: unroll_hot_loops, superblock config, cloning."""
+
+from repro.ir import (
+    Cond,
+    IRBuilder,
+    Procedure,
+    Reg,
+    clone_procedure,
+    verify_procedure,
+)
+from repro.opt import SuperblockConfig, unroll_hot_loops
+from repro.opt.superblock import form_superblocks
+from repro.sim.profiler import ProfileData
+from tests.conftest import build_strcpy_program, run_strcpy
+
+
+def test_unroll_hot_loops_targets_only_loops(strcpy_data):
+    program = build_strcpy_program(unroll=2)
+    reference = run_strcpy(build_strcpy_program(unroll=2), strcpy_data)
+    proc = program.procedure("main")
+    reports = unroll_hot_loops(proc, factor=2)
+    assert [r.label for r in reports] == ["Loop"]
+    assert reports[0].factor == 2
+    verify_procedure(proc)
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_unroll_hot_loops_label_filter():
+    program = build_strcpy_program(unroll=2)
+    proc = program.procedure("main")
+    assert unroll_hot_loops(proc, factor=2, hot_labels=["Other"]) == []
+    assert len(unroll_hot_loops(proc, factor=2, hot_labels=["Loop"])) == 1
+
+
+def test_superblock_respects_max_trace_blocks():
+    # A long fall-through chain; max_trace_blocks must cap the merge.
+    proc = Procedure("f", params=[Reg(1)])
+    b = IRBuilder(proc)
+    labels = [f"B{i}" for i in range(8)]
+    profile = ProfileData()
+    for i, label in enumerate(labels):
+        nxt = labels[i + 1] if i + 1 < len(labels) else None
+        b.start_block(label, fallthrough=nxt)
+        b.add(Reg(1), i, dest=Reg(1))
+        profile.block_counts[("f", label)] = 100
+    b.ret(Reg(1))
+    config = SuperblockConfig(max_trace_blocks=3)
+    report = form_superblocks(proc, profile, config)
+    assert report.traces
+    assert all(len(trace) <= 3 for trace in report.traces)
+    verify_procedure(proc)
+
+
+def test_clone_procedure_is_independent(strcpy_data):
+    program = build_strcpy_program()
+    proc = program.procedure("main")
+    copy = clone_procedure(proc)
+    copy.block("Loop").ops[0].srcs[0] = Reg(99)
+    assert proc.block("Loop").ops[0].srcs[0] != Reg(99)
+    # Fresh names in the clone do not collide with copied ones.
+    used = {
+        reg
+        for block in copy.blocks
+        for op in block.ops
+        for reg in op.dest_registers()
+    }
+    assert copy.new_reg() not in used
+    assert copy.new_pred() not in used
+
+
+def test_superblock_loop_closes_trace():
+    """A trace that reaches its own seed again becomes a superblock loop
+    rather than growing forever."""
+    proc = Procedure("f", params=[Reg(1)])
+    b = IRBuilder(proc)
+    b.start_block("H", fallthrough="T")
+    b.add(Reg(1), -1, dest=Reg(1))
+    b.start_block("T", fallthrough="Out")
+    p = b.cmpp1(Cond.GT, Reg(1), 0)
+    b.branch_to("H", p)
+    b.start_block("Out")
+    b.ret(Reg(1))
+    profile = ProfileData()
+    profile.block_counts[("f", "H")] = 100
+    profile.block_counts[("f", "T")] = 100
+    branch = proc.block("T").exit_branches()[0]
+    from repro.sim.profiler import BranchProfile
+
+    profile.branches[("f", branch.uid)] = BranchProfile(
+        taken=99, not_taken=1
+    )
+    report = form_superblocks(proc, profile, SuperblockConfig())
+    assert ["H", "T"] in report.traces
+    merged = proc.block("H")
+    assert merged.exit_branches()  # loop-back branch inside the block
+    verify_procedure(proc)

@@ -1,0 +1,136 @@
+"""Register renaming (web splitting) and superblock loop unrolling."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.ir import Cond, IRBuilder, Procedure, Reg, verify_program
+from repro.opt import (
+    is_superblock_loop,
+    unroll_superblock_loop,
+)
+from repro.opt.rename import rename_procedure_registers
+from tests.conftest import build_strcpy_program, run_strcpy
+
+
+def test_rename_splits_reused_register():
+    """A register redefined per unrolled iteration splits into fresh webs;
+    the final definition keeps the architected name (loop-carried)."""
+    from repro.ir import DataSegment, Program
+    from repro.sim.interpreter import Interpreter
+
+    program = Program("t")
+    program.add_segment(DataSegment("D", 64, initial=[3, 1, 4, 1, 5]))
+    proc = Procedure("main", params=[Reg(1), Reg(2)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("E")
+    total = Reg(9)
+    b.mov(0, dest=total)
+    for i in range(4):
+        b.load(b.add(Reg(1), i), dest=Reg(5), region="D")  # reused r5
+        b.add(total, Reg(5), dest=total)
+    b.ret(total)
+
+    def run(prog):
+        interp = Interpreter(prog)
+        return interp.run(args=[interp.segment_base("D"), 0])
+
+    reference = run(program)
+    assert reference.return_value == 3 + 1 + 4 + 1
+    renames = rename_procedure_registers(proc)
+    # r5 splits (3 of its 4 defs) and the accumulator web splits too.
+    assert renames >= 3
+    verify_program(program)
+    assert run(program).equivalent_to(reference)
+    defs_of_r5 = [
+        op
+        for op in proc.block("E").ops
+        if Reg(5) in op.dest_registers()
+    ]
+    assert len(defs_of_r5) == 1  # the last one kept the name
+
+
+def test_rename_leaves_guarded_webs_alone():
+    from repro.ir import PredReg
+
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.mov(1, dest=Reg(5))
+    b.mov(2, dest=Reg(5), guard=PredReg(3))  # guarded merge
+    b.store(Reg(1), Reg(5))
+    b.ret()
+    assert rename_procedure_registers(proc) == 0
+
+
+def test_rename_respects_side_exit_liveness():
+    """A register live into a side-exit target within its def range must
+    not be renamed (the exit path would read a stale temporary)."""
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Out")
+    b.mov(1, dest=Reg(5))
+    p = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Handler", p)       # r5 live at Handler
+    b.mov(2, dest=Reg(5))
+    b.store(Reg(2), Reg(5))
+    b.start_block("Out")
+    b.ret()
+    b.start_block("Handler")
+    b.ret(Reg(5))
+    assert rename_procedure_registers(proc) == 0
+
+
+def test_unroll_requires_loop_shape():
+    proc = Procedure("f")
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.ret()
+    assert not is_superblock_loop(proc.block("E"))
+    with pytest.raises(TransformError):
+        unroll_superblock_loop(proc, proc.block("E"), 2)
+
+
+def test_unroll_conditional_latch(strcpy_data):
+    program = build_strcpy_program(unroll=2)
+    reference = run_strcpy(program, strcpy_data)
+    proc = program.procedure("main")
+    loop = proc.block("Loop")
+    assert is_superblock_loop(loop)
+    before = len(loop.ops)
+    report = unroll_superblock_loop(proc, loop, 3)
+    assert report.ops_after == 3 * before
+    verify_program(program)
+    assert run_strcpy(program, strcpy_data).equivalent_to(reference)
+
+
+def test_unroll_bottom_jump_loop():
+    from repro.ir import DataSegment, Program
+    from repro.sim.interpreter import Interpreter
+
+    program = Program("t")
+    program.add_segment(DataSegment("D", 64))
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Loop", fallthrough="Loop")
+    b.store(b.add(Reg(2), Reg(10)), Reg(1), region="D")
+    b.add(Reg(1), -1, dest=Reg(1))
+    b.add(Reg(10), 1, dest=Reg(10))
+    p = b.cmpp1(Cond.LE, Reg(1), 0)
+    b.branch_to("Out", p)
+    b.jump("Loop")
+    b.start_block("Out")
+    b.ret(Reg(10))
+
+    def run(prog):
+        interp = Interpreter(prog)
+        return interp.run(args=[interp.segment_base("D") + 6])
+
+    # note: r2 defaults to 0; store address = r2 + r10 evolves per iter.
+    reference = run(program)
+    copy = program.clone()
+    proc2 = copy.procedure("main")
+    unroll_superblock_loop(proc2, proc2.block("Loop"), 4)
+    verify_program(copy)
+    assert run(copy).equivalent_to(reference)

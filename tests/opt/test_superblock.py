@@ -1,0 +1,117 @@
+"""Profile-driven superblock formation."""
+
+from repro.frontend import compile_source
+from repro.ir import Opcode, verify_program
+from repro.opt import SuperblockConfig, form_superblocks
+from repro.sim import profile_program
+from repro.sim.interpreter import Interpreter
+
+
+LOOP_SOURCE = """
+int A[64];
+int OUT[64];
+
+int main(int n) {
+    int total = 0;
+    int i = 0;
+    while (i < n) {
+        int v = A[i];
+        if (v < 0) { total -= v; }
+        total += v;
+        OUT[i] = total;
+        i += 1;
+    }
+    return total;
+}
+"""
+
+
+def build_and_profile(source, data, n):
+    program = compile_source(source)
+
+    def setup(interp):
+        interp.poke_array("A", data)
+        return (n,)
+
+    profile = profile_program(program, inputs=[setup])
+    return program, profile, setup
+
+
+def run(program, setup):
+    interp = Interpreter(program)
+    args = tuple(setup(interp))
+    return interp.run(args=args)
+
+
+def test_hot_loop_becomes_single_block():
+    data = [i % 7 for i in range(40)]  # never negative: biased branch
+    program, profile, setup = build_and_profile(LOOP_SOURCE, data, 40)
+    reference = run(program, setup)
+    for proc in program.procedures.values():
+        report = form_superblocks(proc, profile, SuperblockConfig())
+    verify_program(program)
+    assert report.merged_blocks > 0
+    assert report.traces  # a hot trace was selected
+    # The hot loop body is now one block with side exits.
+    proc = program.procedure("main")
+    loop_blocks = [
+        blk for blk in proc.blocks if len(blk.exit_branches()) >= 2
+    ]
+    assert loop_blocks, "expected a merged multi-exit superblock"
+    assert run(program, setup).equivalent_to(reference)
+
+
+def test_tail_duplication_removes_side_entrances():
+    # Mixed signs make the `then` path hot enough to rejoin mid-trace.
+    data = [(-1) ** i * (i % 5 + 1) for i in range(40)]
+    program, profile, setup = build_and_profile(LOOP_SOURCE, data, 40)
+    reference = run(program, setup)
+    for proc in program.procedures.values():
+        report = form_superblocks(proc, profile, SuperblockConfig())
+    verify_program(program)
+    assert run(program, setup).equivalent_to(reference)
+
+
+def test_branch_inversion_on_taken_trace():
+    """A trace following a mostly-taken branch inverts it (UC output)."""
+    source = """
+    int A[64];
+    int main(int n) {
+        int acc = 0;
+        int i = 0;
+        while (i < n) {
+            if (A[i] == 7) { acc += 1; }
+            else { acc += A[i]; }
+            i += 1;
+        }
+        return acc;
+    }
+    """
+    data = [3] * 40  # else-path always: the else branch edge is hot
+    program, profile, setup = build_and_profile(source, data, 40)
+    reference = run(program, setup)
+    for proc in program.procedures.values():
+        form_superblocks(proc, profile, SuperblockConfig())
+    verify_program(program)
+    assert run(program, setup).equivalent_to(reference)
+    # Some cmpp should now carry two targets (the added complement).
+    proc = program.procedure("main")
+    two_target = [
+        op
+        for blk in proc.blocks
+        for op in blk.ops
+        if op.opcode is Opcode.CMPP and len(op.dests) == 2
+    ]
+    assert two_target
+
+
+def test_cold_code_untouched():
+    data = [1] * 4
+    program, profile, setup = build_and_profile(LOOP_SOURCE, data, 4)
+    config = SuperblockConfig(min_block_count=1000)  # nothing is hot
+    before = {blk.label.name for blk in program.procedure("main").blocks}
+    for proc in program.procedures.values():
+        report = form_superblocks(proc, profile, config)
+    after = {blk.label.name for blk in program.procedure("main").blocks}
+    assert before == after
+    assert report.merged_blocks == 0

@@ -1,0 +1,115 @@
+"""The compiler-estimation performance model and operation counting."""
+
+import math
+
+import pytest
+
+from repro.machine import MEDIUM, SEQUENTIAL
+from repro.perf import (
+    estimate_program_cycles,
+    geometric_mean,
+    operation_counts,
+)
+from repro.perf.counts import OperationCounts
+from repro.sim.profiler import profile_program
+from tests.conftest import build_strcpy_program
+
+
+def profiled_strcpy(data):
+    program = build_strcpy_program()
+
+    def setup(interp):
+        interp.poke_array("A", data)
+        return (interp.segment_base("A"), interp.segment_base("B"))
+
+    profile = profile_program(program, inputs=[setup])
+    return program, profile
+
+
+def test_block_weighted_mode_matches_hand_computation():
+    data = [1, 2, 3, 4, 5, 6, 7, 8, 0]  # 2 full iterations + exit
+    program, profile = profiled_strcpy(data)
+    from repro.sched import schedule_procedure
+
+    proc = program.procedure("main")
+    schedules = schedule_procedure(proc, MEDIUM)
+    expected = 0.0
+    for block in proc.blocks:
+        count = profile.block_count("main", block.label)
+        expected += count * schedules.for_block(block.label).length
+    estimate = estimate_program_cycles(
+        program, MEDIUM, profile, mode="block-weighted"
+    )
+    assert estimate.total == pytest.approx(expected)
+
+
+def test_exit_aware_never_exceeds_block_weighted():
+    data = [1, 2, 0]  # early exit through a side branch
+    program, profile = profiled_strcpy(data)
+    exit_aware = estimate_program_cycles(
+        program, MEDIUM, profile, mode="exit-aware"
+    ).total
+    block_weighted = estimate_program_cycles(
+        program, MEDIUM, profile, mode="block-weighted"
+    ).total
+    assert exit_aware <= block_weighted
+
+
+def test_unknown_mode_rejected():
+    data = [1, 0]
+    program, profile = profiled_strcpy(data)
+    with pytest.raises(ValueError):
+        estimate_program_cycles(program, MEDIUM, profile, mode="bogus")
+
+
+def test_sequential_estimate_tracks_dynamic_ops():
+    data = [i % 5 + 1 for i in range(20)] + [0]
+    program, profile = profiled_strcpy(data)
+    estimate = estimate_program_cycles(
+        program, SEQUENTIAL, profile, mode="block-weighted"
+    ).total
+    # On a 1-wide machine, cycles are within a small factor of op count.
+    assert estimate >= profile.total_ops * 0.9
+
+
+def test_unexecuted_blocks_cost_nothing():
+    data = [0]  # loop never entered beyond the priming load
+    program, profile = profiled_strcpy(data)
+    estimate = estimate_program_cycles(program, MEDIUM, profile)
+    assert all(
+        "Loop" not in label or cycles > 0
+        for label, cycles in estimate.per_block.items()
+    )
+
+
+def test_operation_counts_static_and_dynamic():
+    data = [1, 2, 3, 4, 0]
+    program, profile = profiled_strcpy(data)
+    counts = operation_counts(program, profile)
+    static_total = sum(
+        len(block.ops)
+        for proc in program.procedures.values()
+        for block in proc.blocks
+    )
+    assert counts.static_total == static_total
+    assert counts.dynamic_total == profile.total_ops
+    assert counts.static_branches > 0
+    assert counts.dynamic_branches <= counts.dynamic_total
+
+
+def test_count_ratios():
+    base = OperationCounts(100, 10, 1000, 100)
+    other = OperationCounts(110, 10, 900, 40)
+    s_tot, s_br, d_tot, d_br = other.ratios_against(base)
+    assert s_tot == pytest.approx(1.1)
+    assert s_br == pytest.approx(1.0)
+    assert d_tot == pytest.approx(0.9)
+    assert d_br == pytest.approx(0.4)
+    nan_ratios = other.ratios_against(OperationCounts())
+    assert all(math.isnan(r) for r in nan_ratios)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+    assert math.isnan(geometric_mean([]))

@@ -1,0 +1,74 @@
+"""Table builders and rendering."""
+
+import pytest
+
+from repro.machine import MEDIUM, SEQUENTIAL
+from repro.perf.report import (
+    Table2,
+    Table3,
+    build_table2,
+    build_table3,
+    evaluate_workload,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        name: evaluate_workload(get_workload(name))
+        for name in ("strcpy", "099.go")
+    }
+
+
+def test_evaluate_workload_populates_everything(results):
+    result = results["strcpy"]
+    assert set(result.baseline_cycles) == {
+        "sequential", "narrow", "medium", "wide", "infinite"
+    }
+    assert result.baseline_counts is not None
+    assert result.speedup("infinite") > 1.0
+    assert len(result.count_ratios()) == 4
+
+
+def test_table2_render_contains_rows_and_gmeans(results):
+    table = Table2(
+        processors=["sequential", "medium"],
+        rows=list(results.values()),
+    )
+    text = table.render()
+    assert "strcpy" in text and "099.go" in text
+    assert "Gmean-all" in text and "Gmean-spec95" in text
+
+
+def test_table2_gmean_by_category(results):
+    table = Table2(
+        processors=["medium"], rows=list(results.values())
+    )
+    overall = table.gmean_row(None)[0]
+    spec95_only = table.gmean_row("spec95")[0]
+    # go is the only spec95 row here and it does not speed up.
+    assert spec95_only == pytest.approx(
+        results["099.go"].speedup("medium")
+    )
+    assert overall != spec95_only
+
+
+def test_table3_render(results):
+    table = Table3(rows=list(results.values()))
+    text = table.render()
+    assert "S tot" in text and "D br" in text
+    gmeans = table.gmean_row(None)
+    assert len(gmeans) == 4
+    assert gmeans[2] <= 1.02  # D tot: irredundancy
+
+
+def test_build_table_functions_end_to_end():
+    workloads = [get_workload("cmp")]
+    table2 = build_table2(workloads, processors=[SEQUENTIAL, MEDIUM])
+    assert table2.processors == ["sequential", "medium"]
+    assert len(table2.rows) == 1
+    table3 = build_table3(workloads)
+    assert len(table3.rows) == 1
+    ratios = table3.rows[0].count_ratios()
+    assert ratios[3] < 0.6  # cmp's dynamic branches collapse

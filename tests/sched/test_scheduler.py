@@ -1,0 +1,168 @@
+"""EPIC list scheduling: dependences, resources, branch overlap."""
+
+from repro.analysis import DependenceGraph, LivenessAnalysis
+from repro.ir import (
+    Cond,
+    IRBuilder,
+    Opcode,
+    Procedure,
+    Reg,
+)
+from repro.machine import (
+    INFINITE,
+    MEDIUM,
+    NARROW,
+    PAPER_LATENCIES,
+    SEQUENTIAL,
+    WIDE,
+)
+from repro.opt import frp_convert_block
+from repro.sched import schedule_block, schedule_procedure
+from tests.conftest import build_strcpy_program
+
+
+def assert_schedule_valid(block, schedule, processor, liveness=None):
+    """Invariant checker: every dependence and resource constraint holds."""
+    graph = DependenceGraph(
+        block, processor.latencies, liveness=liveness
+    )
+    cycles = schedule.cycles
+    for edge in graph.edges:
+        src_cycle = cycles[graph.ops[edge.src].uid]
+        dst_cycle = cycles[graph.ops[edge.dst].uid]
+        assert dst_cycle >= src_cycle + edge.latency, (
+            f"violated {edge}: {src_cycle} -> {dst_cycle}"
+        )
+    # Resource constraints.
+    from collections import Counter
+
+    per_cycle = Counter()
+    for op in block.ops:
+        per_cycle[(cycles[op.uid], op.opcode.unit_class())] += 1
+    for (cycle, unit), used in per_cycle.items():
+        capacity = processor.unit_counts[unit]
+        if capacity is not None:
+            assert used <= capacity, f"{unit} oversubscribed at {cycle}"
+    if processor.issue_width is not None:
+        totals = Counter()
+        for op in block.ops:
+            totals[cycles[op.uid]] += 1
+        assert all(v <= processor.issue_width for v in totals.values())
+
+
+def test_simple_chain_length():
+    proc = Procedure("f", params=[Reg(i) for i in range(1, 10)])
+    b = IRBuilder(proc)
+    b.start_block("B")
+    v = b.load(Reg(1))           # cycles 0-1
+    w = b.add(v, 1)              # cycle 2
+    b.store(Reg(2), w)           # cycle 3
+    b.ret(0)
+    schedule = schedule_block(proc.block("B"), INFINITE)
+    # load 0-1, add 2, store 3; the return co-issues with the store.
+    assert schedule.length == 4
+
+
+def test_sequential_machine_length_is_op_count():
+    program = build_strcpy_program(unroll=4)
+    proc = program.procedure("main")
+    block = proc.block("Loop")
+    schedule = schedule_block(
+        block, SEQUENTIAL, liveness=LivenessAnalysis(proc)
+    )
+    assert schedule.length >= len(block.ops)
+    assert_schedule_valid(
+        block, schedule, SEQUENTIAL, LivenessAnalysis(proc)
+    )
+
+
+def test_branch_chain_dominates_baseline():
+    """Sequential (non-FRP) branches serialize one per cycle even on the
+    infinite machine."""
+    program = build_strcpy_program(unroll=6)
+    proc = program.procedure("main")
+    block = proc.block("Loop")
+    liveness = LivenessAnalysis(proc)
+    schedule = schedule_block(block, INFINITE, liveness=liveness)
+    branches = block.exit_branches()
+    cycles = sorted(schedule.cycles[br.uid] for br in branches)
+    for earlier, later in zip(cycles, cycles[1:]):
+        assert later > earlier
+
+
+def test_frp_branches_freely_reorderable():
+    """FRP conversion removes branch-to-branch control dependences; the
+    residual serialization is the *data* chain through the compares (the
+    paper's Section 4.1 point), which ICBM then height-reduces."""
+    program = build_strcpy_program(unroll=6)
+    proc = program.procedure("main")
+    block = proc.block("Loop")
+    frp_convert_block(proc, block)
+    liveness = LivenessAnalysis(proc)
+    graph = DependenceGraph(block, PAPER_LATENCIES, liveness=liveness)
+    branch_positions = {
+        i for i, op in enumerate(graph.ops)
+        if op.opcode is Opcode.BRANCH
+    }
+    for edge in graph.edges:
+        if edge.src in branch_positions and edge.dst in branch_positions:
+            assert edge.kind != "control"
+    schedule = schedule_block(block, INFINITE, liveness=liveness)
+    assert_schedule_valid(block, schedule, INFINITE, liveness)
+
+
+def test_all_paper_machines_produce_valid_schedules():
+    program = build_strcpy_program(unroll=4)
+    proc = program.procedure("main")
+    liveness = LivenessAnalysis(proc)
+    for machine in (SEQUENTIAL, NARROW, MEDIUM, WIDE, INFINITE):
+        for block in proc.blocks:
+            schedule = schedule_block(block, machine, liveness=liveness)
+            assert_schedule_valid(block, schedule, machine, liveness)
+            assert schedule.length >= 1
+
+
+def test_narrower_machine_never_faster():
+    program = build_strcpy_program(unroll=4)
+    proc = program.procedure("main")
+    block = proc.block("Loop")
+    liveness = LivenessAnalysis(proc)
+    lengths = [
+        schedule_block(block, machine, liveness=liveness).length
+        for machine in (SEQUENTIAL, NARROW, MEDIUM, WIDE, INFINITE)
+    ]
+    for wider, narrower in zip(lengths[1:], lengths):
+        assert wider <= narrower
+
+
+def test_exit_cycle_includes_branch_latency():
+    program = build_strcpy_program(unroll=2)
+    proc = program.procedure("main")
+    block = proc.block("Loop")
+    schedule = schedule_block(
+        block, MEDIUM, liveness=LivenessAnalysis(proc)
+    )
+    branch = block.exit_branches()[0]
+    assert schedule.exit_cycle(branch) == (
+        schedule.cycles[branch.uid] + PAPER_LATENCIES.branch
+    )
+
+
+def test_schedule_procedure_covers_all_blocks():
+    program = build_strcpy_program()
+    proc = program.procedure("main")
+    schedules = schedule_procedure(proc, MEDIUM)
+    assert set(schedules.schedules) == {
+        b.label.name for b in proc.blocks
+    }
+    assert schedules.total_static_length() > 0
+
+
+def test_empty_block_schedules_to_unit_length():
+    from repro.ir import Block, Label
+
+    proc = Procedure("f")
+    block = Block(label=Label("E"))
+    proc.add_block(block)
+    schedule = schedule_block(block, MEDIUM)
+    assert schedule.length == 1

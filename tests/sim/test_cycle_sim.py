@@ -1,0 +1,167 @@
+"""Cycle-level simulation of scheduled code.
+
+Three cross-validations:
+
+1. scheduled execution is architecturally equivalent to the sequential
+   interpreter (same return value, same memory effect, same per-address
+   store order) — this is the semantic soundness check of the dependence
+   graph + scheduler, beyond their structural invariants;
+2. the simulated cycle count equals the exit-aware estimator's prediction
+   (the paper's claim that estimation matches ideal simulation);
+3. both hold for baseline AND control-CPR-transformed code on several
+   machines — i.e. the transformed schedules with overlapped branches and
+   delay-slot execution are actually executable.
+"""
+
+import pytest
+
+from repro.machine import INFINITE, MEDIUM, SEQUENTIAL, WIDE
+from repro.perf import estimate_program_cycles
+from repro.pipeline import build_workload
+from repro.sim import Interpreter, simulate_scheduled
+from repro.sim.profiler import profile_program
+from repro.workloads.registry import get_workload
+from tests.conftest import build_strcpy_program
+
+
+def per_address_orders(trace):
+    orders = {}
+    for address, value in trace:
+        orders.setdefault(address, []).append(value)
+    return orders
+
+
+def assert_store_compatible(sequential, scheduled):
+    """Same stores, same per-address order (global order may differ:
+    the scheduler legally reorders independent stores)."""
+    assert sorted(sequential) == sorted(scheduled)
+    assert per_address_orders(sequential) == per_address_orders(scheduled)
+
+
+def run_both(program, setup, machine):
+    interp = Interpreter(program)
+    args = tuple(setup(interp))
+    sequential = interp.run(args=args)
+    scheduled = simulate_scheduled(program, machine, setup=setup)
+    return sequential, scheduled
+
+
+def strcpy_setup(data):
+    def setup(target):
+        target.poke_array("A", data)
+        return (target.segment_base("A"), target.segment_base("B"))
+
+    return setup
+
+
+@pytest.mark.parametrize("machine", [SEQUENTIAL, MEDIUM, WIDE, INFINITE])
+def test_baseline_strcpy_equivalent_on_all_machines(machine):
+    data = [(i % 9) + 1 for i in range(21)] + [0]
+    program = build_strcpy_program(unroll=4)
+    sequential, scheduled = run_both(program, strcpy_setup(data), machine)
+    assert scheduled.return_value == sequential.return_value
+    assert_store_compatible(
+        sequential.store_trace, scheduled.store_trace
+    )
+
+
+@pytest.mark.parametrize("machine", [MEDIUM, WIDE])
+def test_cycle_count_matches_exit_aware_estimate(machine):
+    data = [(i % 9) + 1 for i in range(21)] + [0]
+    program = build_strcpy_program(unroll=4)
+    setup = strcpy_setup(data)
+    scheduled = simulate_scheduled(program, machine, setup=setup)
+    profile = profile_program(program, inputs=[setup])
+    estimate = estimate_program_cycles(
+        program, machine, profile, mode="exit-aware"
+    )
+    assert scheduled.total_cycles == pytest.approx(estimate.total)
+
+
+@pytest.mark.parametrize("name", ["strcpy", "cmp", "wc", "099.go"])
+@pytest.mark.parametrize("machine", [MEDIUM, WIDE])
+def test_cpr_transformed_workloads_execute_correctly(name, machine):
+    """The transformed code — overlapped branches, guarded split stores,
+    compensation blocks — must execute cycle-accurately to the same
+    result as its own sequential semantics."""
+    workload = get_workload(name)
+    build = build_workload(
+        workload.name, workload.compile(), workload.inputs
+    )
+    setup = workload.inputs[0]
+    interp = Interpreter(build.transformed)
+    args = tuple(setup(interp))
+    sequential = interp.run(args=args)
+    scheduled = simulate_scheduled(
+        build.transformed, machine, setup=setup
+    )
+    assert scheduled.return_value == sequential.return_value
+    assert_store_compatible(
+        sequential.store_trace, scheduled.store_trace
+    )
+
+
+@pytest.mark.parametrize("name", ["strcpy", "cmp"])
+def test_estimator_matches_simulation_for_cpr_code(name):
+    workload = get_workload(name)
+    build = build_workload(
+        workload.name, workload.compile(), workload.inputs
+    )
+    setup = workload.inputs[0]
+    scheduled = simulate_scheduled(
+        build.transformed, WIDE, setup=setup
+    )
+    estimate = estimate_program_cycles(
+        build.transformed, WIDE, build.transformed_profile,
+        mode="exit-aware",
+    )
+    # The profile covers exactly one run of the same input.
+    assert scheduled.total_cycles == pytest.approx(
+        estimate.total, rel=0.02
+    )
+
+
+def test_overlapping_taken_branches_detected():
+    """Hand-build an illegal schedule shape: two branches that both take
+    within each other's latency window must raise."""
+    from repro.ir import (
+        Cond,
+        IRBuilder,
+        Procedure,
+        Program,
+        Reg,
+    )
+    from repro.sim.cycle_sim import CycleSimulator
+    from repro.errors import SimulationError
+
+    program = Program("bad")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("E", fallthrough="Out")
+    # Both branches take on the same condition: NOT disjoint. The
+    # dependence graph serializes them (latency 1), so at branch latency 1
+    # they do not overlap; stretch the latency to force the overlap case.
+    p1 = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", p1)
+    p2 = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.branch_to("Out", p2)
+    b.start_block("Out")
+    b.ret(0)
+    machine = MEDIUM.with_branch_latency(3)
+    simulator = CycleSimulator(program, machine)
+    # With latency 3 the scheduler keeps them 3 cycles apart, so this
+    # executes fine (second branch never issues once the first takes)...
+    result = simulator.run(args=[0])
+    assert result.return_value == 0
+    # ...but forcing both into flight must be rejected: craft a schedule
+    # by shrinking the recorded cycles.
+    simulator2 = CycleSimulator(program, machine)
+    sched = simulator2._schedules["main"].for_block("E")
+    branches = [
+        op for op in sched.block.ops
+        if op.opcode.is_branch() and op.opcode.value == "branch"
+    ]
+    sched.cycles[branches[1].uid] = sched.cycles[branches[0].uid]
+    with pytest.raises(SimulationError):
+        simulator2.run(args=[0])

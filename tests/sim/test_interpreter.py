@@ -1,0 +1,195 @@
+"""The functional simulator: arithmetic, predication, memory, control."""
+
+import pytest
+
+from repro.errors import FuelExhausted, SimulationError
+from repro.ir import (
+    Action,
+    Cond,
+    DataSegment,
+    IRBuilder,
+    Imm,
+    PredReg,
+    PredTarget,
+    Procedure,
+    Program,
+    Reg,
+)
+from repro.sim.interpreter import Interpreter, run_program
+
+
+def make_program(build, params=(), segments=()):
+    program = Program("t")
+    for segment in segments:
+        program.add_segment(segment)
+    proc = Procedure("main", params=list(params))
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("E")
+    build(b)
+    return program
+
+
+def test_arithmetic_and_return():
+    def build(b):
+        r = b.add(6, 7)
+        r = b.mul(r, 2)
+        r = b.sub(r, 1)
+        b.ret(r)
+
+    assert run_program(make_program(build)).return_value == 25
+
+
+def test_division_truncates_toward_zero():
+    def build(b):
+        q = b.div(-7, 2)
+        r = b.rem(-7, 2)
+        b.ret(b.add(b.mul(q, 10), b.add(r, 5)))
+
+    # q = -3, r = -1 -> -30 + 4 = -26 (C semantics, not Python floor).
+    assert run_program(make_program(build)).return_value == -26
+
+
+def test_division_by_zero_raises():
+    def build(b):
+        b.ret(b.div(1, 0))
+
+    with pytest.raises(SimulationError):
+        run_program(make_program(build))
+
+
+def test_guarded_op_nullified():
+    def build(b):
+        b.mov(1, dest=Reg(1))
+        false_pred = b.pred_clear()
+        b.mov(99, dest=Reg(1), guard=false_pred)
+        b.ret(Reg(1))
+
+    assert run_program(make_program(build)).return_value == 1
+
+
+def test_cmpp_two_target_un_uc():
+    def build(b):
+        taken, fall = b.cmpp2(Cond.EQ, 5, 5)
+        b.mov(taken, dest=Reg(1))
+        b.mov(fall, dest=Reg(2))
+        b.ret(b.add(b.mul(Reg(1), 10), Reg(2)))
+
+    assert run_program(make_program(build)).return_value == 10
+
+
+def test_cmpp_un_writes_zero_under_false_guard():
+    """Table 1: U-kind targets write even when the guard is false."""
+
+    def build(b):
+        p = b.pred_set(Imm(1))
+        false_pred = b.pred_clear()
+        b.cmpp(
+            Cond.EQ, 1, 1, [PredTarget(p, Action.UN)], guard=false_pred
+        )
+        b.ret(b.mov(p))
+
+    assert run_program(make_program(build)).return_value == 0
+
+
+def test_wired_or_and_accumulation():
+    def build(b):
+        off = b.pred_clear()
+        on = b.pred_set(Imm(1))
+        b.cmpp(Cond.EQ, 1, 2, [PredTarget(off, Action.ON)])
+        b.cmpp(Cond.EQ, 3, 3, [PredTarget(off, Action.ON)])
+        b.cmpp(Cond.EQ, 4, 4, [PredTarget(on, Action.AC)])
+        b.cmpp(Cond.EQ, 5, 6, [PredTarget(on, Action.AC)])
+        b.ret(b.add(b.mul(b.mov(off), 10), b.mov(on)))
+
+    # off = (1==2)|(3==3) = 1; on = !(4==4) clears it -> 0... note AC
+    # clears when the condition HOLDS (complemented): 4==4 -> writes 0.
+    assert run_program(make_program(build)).return_value == 10
+
+
+def test_memory_store_load_and_trace():
+    segment = DataSegment("D", 16, initial=[11, 22])
+
+    def build(b):
+        base = b.mov(Imm(0))  # overwritten below via poke? use label mov
+        from repro.ir import Label
+
+        base = b.mov(Label("D"))
+        value = b.load(base)
+        b.store(b.add(base, 4), value)
+        b.ret(value)
+
+    program = make_program(build, segments=[segment])
+    interp = Interpreter(program)
+    result = interp.run()
+    assert result.return_value == 11
+    assert result.store_trace == [(interp.segment_base("D") + 4, 11)]
+    assert interp.peek_array("D", 5) == [11, 22, 0, 0, 11]
+
+
+def test_poke_array_bounds_checked():
+    program = make_program(lambda b: b.ret(0),
+                           segments=[DataSegment("D", 4)])
+    interp = Interpreter(program)
+    with pytest.raises(SimulationError):
+        interp.poke_array("D", [1, 2, 3, 4, 5])
+
+
+def test_branch_through_btr_and_loop():
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Loop", fallthrough="Out")
+    b.add(Reg(2), Reg(1), dest=Reg(2))
+    b.add(Reg(1), -1, dest=Reg(1))
+    p = b.cmpp1(Cond.GT, Reg(1), 0)
+    b.branch_to("Loop", p)
+    b.start_block("Out")
+    b.ret(Reg(2))
+    result = run_program(program, args=[5])
+    assert result.return_value == 15  # 5+4+3+2+1
+
+
+def test_calls_with_arguments_and_return():
+    program = Program("t")
+    callee = Procedure("double", params=[Reg(1)])
+    program.add_procedure(callee)
+    cb = IRBuilder(callee)
+    cb.start_block("E")
+    cb.ret(cb.mul(Reg(1), 2))
+    main = Procedure("main", params=[Reg(1)])
+    program.add_procedure(main)
+    mb = IRBuilder(main)
+    mb.start_block("E")
+    result = mb.call("double", [Reg(1)], dest=main.new_reg())
+    mb.ret(mb.add(result, 1))
+    assert run_program(program, args=[21]).return_value == 43
+
+
+def test_fuel_exhaustion_on_infinite_loop():
+    program = Program("t")
+    proc = Procedure("main")
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("L")
+    b.jump("L")
+    with pytest.raises(FuelExhausted):
+        run_program(program, fuel=1000)
+
+
+def test_block_and_branch_profiling_counters():
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Loop", fallthrough="Out")
+    b.add(Reg(1), -1, dest=Reg(1))
+    p = b.cmpp1(Cond.GT, Reg(1), 0)
+    branch = b.branch_to("Loop", p)
+    b.start_block("Out")
+    b.ret(0)
+    result = run_program(program, args=[4])
+    assert result.block_counts[("main", "Loop")] == 4
+    assert result.branch_taken[("main", branch.uid)] == 3
+    assert result.branch_not_taken[("main", branch.uid)] == 1

@@ -1,0 +1,122 @@
+"""Interpreter corners: floats, conversions, label moves, call limits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir import (
+    Cond,
+    DataSegment,
+    FReg,
+    IRBuilder,
+    Label,
+    Opcode,
+    Operation,
+    Procedure,
+    Program,
+    Reg,
+)
+from repro.sim.interpreter import run_program
+from repro.workloads.base import poke_and_args
+
+
+def simple_program(build, params=(), segments=()):
+    program = Program("t")
+    for segment in segments:
+        program.add_segment(segment)
+    proc = Procedure("main", params=list(params))
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("E")
+    build(b)
+    return program
+
+
+def test_float_arithmetic_and_conversions():
+    def build(b):
+        f = b.emit(
+            Operation(Opcode.CVT_IF, dests=[FReg(1)], srcs=[Reg(1)])
+        ).dests[0]
+        g = b.fmul(f, FReg(1))
+        h = b.fdiv(g, 2.0)
+        result = b.emit(
+            Operation(Opcode.CVT_FI, dests=[b.proc.new_reg()], srcs=[h])
+        ).dests[0]
+        b.ret(result)
+
+    result = run_program(simple_program(build, params=[Reg(1)]), args=[5])
+    assert result.return_value == 12  # 5*5/2 = 12.5 truncated
+
+
+def test_mov_from_label_resolves_segment_base():
+    def build(b):
+        base = b.mov(Label("DATA"))
+        b.ret(b.load(base))
+
+    program = simple_program(
+        build, segments=[DataSegment("DATA", 4, initial=[99])]
+    )
+    assert run_program(program).return_value == 99
+
+
+def test_call_depth_limit():
+    program = Program("t")
+    proc = Procedure("main")
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("E")
+    b.call("main", [])
+    b.ret(0)
+    with pytest.raises(SimulationError):
+        run_program(program)
+
+
+def test_guarded_call_nullified():
+    program = Program("t")
+    callee = Procedure("boom")
+    program.add_procedure(callee)
+    cb = IRBuilder(callee)
+    cb.start_block("E")
+    cb.store(1, 1)  # visible side effect
+    cb.ret(0)
+    main = Procedure("main")
+    program.add_procedure(main)
+    b = IRBuilder(main)
+    b.start_block("E")
+    never = b.cmpp1(Cond.EQ, 1, 2)
+    b.call("boom", [], dest=main.new_reg())
+    b.block.ops[-1].guard = never
+    b.ret(7)
+    result = run_program(program)
+    assert result.return_value == 7
+    assert result.store_trace == []
+
+
+def test_poke_and_args_helper():
+    def build(b):
+        base = b.mov(Label("DATA"))
+        b.ret(b.add(b.load(base), Reg(1)))
+
+    program = simple_program(
+        build, params=[Reg(1)], segments=[DataSegment("DATA", 4)]
+    )
+    from repro.sim.interpreter import Interpreter
+
+    interp = Interpreter(program)
+    setup = poke_and_args({"DATA": [40]}, (2,))
+    args = setup(interp)
+    assert interp.run(args=args).return_value == 42
+
+
+def test_shift_and_bitwise_oracle():
+    def build(b):
+        x = b.shl(Reg(1), 3)
+        y = b.shr(x, 1)
+        z = b.xor(y, Reg(1))
+        b.ret(b.and_(z, 255))
+
+    for n in (0, 1, 7, 100):
+        expected = (((n << 3) >> 1) ^ n) & 255
+        result = run_program(
+            simple_program(build, params=[Reg(1)]), args=[n]
+        )
+        assert result.return_value == expected

@@ -1,0 +1,59 @@
+"""Profile aggregation across inputs."""
+
+from repro.ir import Cond, IRBuilder, Procedure, Program, Reg
+from repro.sim import profile_program
+from repro.sim.profiler import BranchProfile, annotate_blocks
+
+
+def counting_loop():
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Loop", fallthrough="Out")
+    b.add(Reg(1), -1, dest=Reg(1))
+    p = b.cmpp1(Cond.GT, Reg(1), 0)
+    branch = b.branch_to("Loop", p)
+    b.start_block("Out")
+    b.ret(0)
+    return program, branch
+
+
+def test_branch_profile_ratio():
+    profile = BranchProfile(taken=3, not_taken=1)
+    assert profile.executed == 4
+    assert profile.taken_ratio == 0.75
+    profile.merge(BranchProfile(taken=1, not_taken=3))
+    assert profile.executed == 8
+    assert profile.taken_ratio == 0.5
+    assert BranchProfile().taken_ratio == 0.0
+
+
+def test_profile_program_aggregates_across_inputs():
+    program, branch = counting_loop()
+    profile = profile_program(
+        program, inputs=[(None, (3,)), (None, (5,))]
+    )
+    assert profile.runs == 2
+    stats = profile.branch_profile("main", branch)
+    assert stats.taken == 2 + 4
+    assert stats.not_taken == 2
+    assert profile.block_count("main", "Loop") == 8
+    assert profile.taken_ratio("main", branch) == 6 / 8
+
+
+def test_setup_callable_may_return_args():
+    program, branch = counting_loop()
+
+    def setup(interp):
+        return (4,)
+
+    profile = profile_program(program, inputs=[setup])
+    assert profile.block_count("main", "Loop") == 4
+
+
+def test_annotate_blocks_copies_counts():
+    program, _ = counting_loop()
+    profile = profile_program(program, inputs=[(None, (7,))])
+    annotate_blocks(program, profile)
+    assert program.procedure("main").block("Loop").entry_count == 7

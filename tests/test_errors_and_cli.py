@@ -1,0 +1,81 @@
+"""Error hierarchy and the command-line interface."""
+
+import pytest
+
+from repro import errors
+
+
+def test_error_hierarchy():
+    assert issubclass(errors.IRError, errors.ReproError)
+    assert issubclass(errors.VerificationError, errors.IRError)
+    assert issubclass(errors.ParseError, errors.ReproError)
+    assert issubclass(errors.SemanticError, errors.ReproError)
+    assert issubclass(errors.FuelExhausted, errors.SimulationError)
+    assert issubclass(errors.SchedulingError, errors.ReproError)
+    assert issubclass(errors.TransformError, errors.ReproError)
+    assert issubclass(errors.MachineConfigError, errors.ReproError)
+
+
+def test_verification_error_summarizes():
+    problems = [f"problem {i}" for i in range(8)]
+    error = errors.VerificationError(problems)
+    assert error.problems == problems
+    assert "8 problems total" in str(error)
+
+
+def test_parse_error_location_formatting():
+    error = errors.ParseError("bad token", line=3, column=7)
+    assert "line 3" in str(error) and "column 7" in str(error)
+    assert errors.ParseError("x").line is None
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_list(capsys):
+    from repro.__main__ import main
+
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "strcpy" in output and "099.go" in output
+    assert output.count("\n") == 24
+
+
+def test_cli_show_source(capsys):
+    from repro.__main__ import main
+
+    assert main(["show", "wc", "--stage", "source"]) == 0
+    assert "int main(int n)" in capsys.readouterr().out
+
+
+def test_cli_show_ir(capsys):
+    from repro.__main__ import main
+
+    assert main(["show", "cmp", "--stage", "ir"]) == 0
+    out = capsys.readouterr().out
+    assert "proc main(" in out
+    assert "cmpp" in out
+
+
+def test_cli_evaluate(capsys):
+    from repro.__main__ import main
+
+    assert main(["evaluate", "strcpy"]) == 0
+    out = capsys.readouterr().out
+    assert "Dbr=" in out and "wid=" in out
+
+
+def test_cli_table2_subset(capsys):
+    from repro.__main__ import main
+
+    assert main(["table2", "--subset", "strcpy,099.go"]) == 0
+    out = capsys.readouterr().out
+    assert "Gmean-all" in out
+    assert "strcpy" in out and "099.go" in out
+
+
+def test_cli_rejects_unknown_workload():
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["evaluate", "not-a-benchmark"])

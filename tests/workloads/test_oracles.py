@@ -1,0 +1,141 @@
+"""Workload oracles: Python reference implementations of several kernels,
+checked against the simulated mini-C programs (ensures the proxies compute
+what their docstrings claim, not just that they run)."""
+
+from repro.sim.interpreter import Interpreter
+from repro.workloads import cmp as cmp_mod
+from repro.workloads import eqntott, grep, lex, strcpy, tbl, wc
+from repro.workloads.base import Lcg
+
+
+def run(workload):
+    program = workload.compile()
+    interp = Interpreter(program)
+    args = tuple(workload.inputs[0](interp))
+    return interp.run(entry=workload.entry, args=args), interp
+
+
+# ----------------------------------------------------------------------
+# strcpy: B must equal A up to (excluding) the terminator.
+# ----------------------------------------------------------------------
+def test_strcpy_oracle():
+    workload = strcpy.workload()
+    result, interp = run(workload)
+    rng = Lcg(seed=101)
+    expected = rng.ints(2000, 1, 255)
+    copied = interp.peek_array("B", len(expected))
+    assert copied == expected
+    assert result.return_value >= len(expected) - 8  # unroll residue
+
+
+# ----------------------------------------------------------------------
+# cmp: first differing index of two byte streams.
+# ----------------------------------------------------------------------
+def test_cmp_oracle():
+    workload = cmp_mod.workload()
+    result, interp = run(workload)
+    file_a = interp.peek_array("FA", 2401)
+    file_b = interp.peek_array("FB", 2401)
+    expected = next(
+        i for i, (a, b) in enumerate(zip(file_a, file_b)) if a != b
+    )
+    assert result.return_value == expected
+
+
+# ----------------------------------------------------------------------
+# wc: line/word/char counts.
+# ----------------------------------------------------------------------
+def test_wc_oracle():
+    workload = wc.workload()
+    result, interp = run(workload)
+    rng = Lcg(seed=303)
+    text = wc.make_text(rng, 3000)
+    chars = 0
+    lines = 0
+    words = 0
+    in_word = False
+    for c in text:
+        if c == 0:
+            break
+        chars += 1
+        if c == 10:
+            lines += 1
+        if c in (32, 10, 9):
+            in_word = False
+        elif not in_word:
+            words += 1
+            in_word = True
+    assert result.return_value == words
+    assert interp.peek_array("STATS", 3) == [lines, words, chars]
+
+
+# ----------------------------------------------------------------------
+# grep: substring occurrence count (first-char-anchored scan).
+# ----------------------------------------------------------------------
+def test_grep_oracle():
+    workload = grep.workload()
+    result, interp = run(workload)
+    text = interp.peek_array("TEXT", 3601)
+    pattern = [122, 113, 122]
+    limit = (len(text) - 1) - 16
+    expected = sum(
+        1
+        for i in range(limit)
+        if text[i : i + 3] == pattern
+    )
+    assert result.return_value == expected
+    assert expected > 0
+
+
+# ----------------------------------------------------------------------
+# lex: token count from the DFA.
+# ----------------------------------------------------------------------
+def test_lex_oracle():
+    workload = lex.workload()
+    result, interp = run(workload)
+    rng = Lcg(seed=505)
+    char_class, delta = lex.build_tables()
+    text = lex.make_text(rng, 2600)
+    state = 0
+    tokens = 0
+    for c in text:
+        state = delta[state * 16 + char_class[c]]
+        if state == 15:
+            tokens += 1
+            state = 0
+    assert result.return_value == tokens
+    assert tokens > 100
+
+
+# ----------------------------------------------------------------------
+# eqntott: adjacent-vector comparison swap count.
+# ----------------------------------------------------------------------
+def test_eqntott_oracle():
+    workload = eqntott.workload()
+    result, interp = run(workload)
+    words = interp.peek_array("VECS", (260 + 1) * 16)
+    swaps = 0
+    for v in range(260):
+        first = words[v * 16:(v + 1) * 16]
+        second = words[(v + 1) * 16:(v + 2) * 16]
+        if first > second:  # lexicographic, like the element loop
+            swaps += 1
+    assert result.return_value == swaps
+
+
+# ----------------------------------------------------------------------
+# tbl: maximum column index seen on any line.
+# ----------------------------------------------------------------------
+def test_tbl_oracle():
+    workload = tbl.workload()
+    result, interp = run(workload)
+    text = interp.peek_array("TEXT", 2800)
+    col = 0
+    maxcols = 0
+    for c in text:
+        if c == 9:
+            col = min(col + 1, 63)
+        elif c == 10:
+            maxcols = max(maxcols, col)
+            col = 0
+    assert result.return_value == maxcols
