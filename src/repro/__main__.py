@@ -9,6 +9,16 @@ Commands:
   (``--subset a,b,c`` restricts, ``--scale N`` grows inputs);
 * ``show NAME --stage {source,ir,baseline,cpr}`` — inspect a workload at
   any pipeline stage.
+
+Build commands accept ``--strict`` to disable transactional per-procedure
+rollback (the first pass failure then aborts the build). In the default
+resilient mode, any incidents recovered during a build are summarized on
+stderr after the results.
+
+Library failures never surface as tracebacks: a one-line diagnostic goes to
+stderr and the process exits with a distinct code per failing subsystem —
+parse/semantic = 2, verify/IR = 3, transform/scheduling = 4,
+simulation = 5, any other library error = 1.
 """
 
 from __future__ import annotations
@@ -16,17 +26,51 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import errors
 from repro.perf.report import build_table2, build_table3, evaluate_workload
 from repro.pipeline import PipelineOptions, build_workload
+from repro.sim.interpreter import DEFAULT_FUEL
 from repro.workloads.registry import all_names, get_workload
 
 MACHINES = ("sequential", "narrow", "medium", "wide", "infinite")
+
+#: Exit codes per failing subsystem, checked in order (subclasses first).
+EXIT_CODES = (
+    (errors.ParseError, 2),
+    (errors.SemanticError, 2),
+    (errors.VerificationError, 3),
+    (errors.IRError, 3),
+    (errors.TransformError, 4),
+    (errors.SchedulingError, 4),
+    (errors.SimulationError, 5),
+)
+
+
+def exit_code_for(exc: errors.ReproError) -> int:
+    for klass, code in EXIT_CODES:
+        if isinstance(exc, klass):
+            return code
+    return 1
 
 
 def _selected(args) -> list:
     if getattr(args, "subset", None):
         return [name.strip() for name in args.subset.split(",")]
     return all_names()
+
+
+def _pipeline_options(args) -> PipelineOptions:
+    fuel = getattr(args, "fuel", None)
+    return PipelineOptions(
+        resilient=not getattr(args, "strict", False),
+        fuel=DEFAULT_FUEL if fuel is None else fuel,
+    )
+
+
+def _print_incidents(build_report):
+    """Summarize recovered incidents on stderr (silent for clean builds)."""
+    if build_report is not None and build_report.incidents:
+        print(build_report.summary(), file=sys.stderr)
 
 
 def cmd_list(args) -> int:
@@ -38,8 +82,11 @@ def cmd_list(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    options = _pipeline_options(args)
     for name in args.names:
-        result = evaluate_workload(get_workload(name, scale=args.scale))
+        result = evaluate_workload(
+            get_workload(name, scale=args.scale), options=options
+        )
         speedups = "  ".join(
             f"{machine[:3]}={result.speedup(machine):.2f}"
             for machine in MACHINES
@@ -50,18 +97,25 @@ def cmd_evaluate(args) -> int:
             f"{'':<14} Stot={s_tot:.2f}  Sbr={s_br:.2f}  "
             f"Dtot={d_tot:.2f}  Dbr={d_br:.2f}"
         )
+        _print_incidents(result.build.build_report)
     return 0
 
 
 def cmd_table2(args) -> int:
     workloads = [get_workload(n, scale=args.scale) for n in _selected(args)]
-    print(build_table2(workloads).render())
+    table = build_table2(workloads, options=_pipeline_options(args))
+    print(table.render())
+    for row in table.rows:
+        _print_incidents(row.build.build_report)
     return 0
 
 
 def cmd_table3(args) -> int:
     workloads = [get_workload(n, scale=args.scale) for n in _selected(args)]
-    print(build_table3(workloads).render())
+    table = build_table3(workloads, options=_pipeline_options(args))
+    print(table.render())
+    for row in table.rows:
+        _print_incidents(row.build.build_report)
     return 0
 
 
@@ -75,12 +129,13 @@ def cmd_show(args) -> int:
         print(program.format())
         return 0
     build = build_workload(
-        workload.name, program, workload.inputs, PipelineOptions()
+        workload.name, program, workload.inputs, _pipeline_options(args)
     )
     chosen = build.baseline if args.stage == "baseline" else (
         build.transformed
     )
     print(chosen.format())
+    _print_incidents(build.build_report)
     return 0
 
 
@@ -99,6 +154,10 @@ def main(argv=None) -> int:
     p_eval = sub.add_parser("evaluate", help="evaluate workloads")
     p_eval.add_argument("names", nargs="+", choices=all_names())
     p_eval.add_argument("--scale", type=int, default=1)
+    p_eval.add_argument(
+        "--fuel", type=int, default=None,
+        help="interpreter operation budget per run",
+    )
 
     for table in ("table2", "table3"):
         p_table = sub.add_parser(table, help=f"regenerate {table}")
@@ -114,6 +173,13 @@ def main(argv=None) -> int:
     )
     p_show.add_argument("--scale", type=int, default=1)
 
+    for p_build in sub.choices.values():
+        p_build.add_argument(
+            "--strict", action="store_true",
+            help="abort the build on the first pass failure instead of "
+                 "rolling back the affected procedure",
+        )
+
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -122,7 +188,11 @@ def main(argv=None) -> int:
         "table3": cmd_table3,
         "show": cmd_show,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except errors.ReproError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

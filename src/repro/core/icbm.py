@@ -29,8 +29,11 @@ from repro.core.match import CPRBlock, match_cpr_blocks
 from repro.core.offtrace import move_off_trace
 from repro.core.restructure import restructure_cpr_block
 from repro.core.speculation import speculate_block
+from repro.errors import ReproError
 from repro.ir.block import Block
+from repro.ir.cloning import restore_procedure, snapshot_procedure
 from repro.ir.procedure import Procedure, Program
+from repro.ir.verify import verify_procedure
 from repro.machine.latency import LatencyModel, PAPER_LATENCIES
 from repro.opt.dce import eliminate_dead_code
 from repro.sim.profiler import ProfileData
@@ -57,6 +60,9 @@ class ICBMReport:
 
     blocks: List[BlockCPRReport] = field(default_factory=list)
     dce_removed: int = 0
+    # Hyperblocks skipped by :func:`apply_icbm_isolated` after their
+    # transform failed and was rolled back, as "proc/label" strings.
+    skipped_blocks: List[str] = field(default_factory=list)
 
     @property
     def transformed_cpr_blocks(self) -> int:
@@ -130,6 +136,46 @@ def apply_icbm(
                 proc, block, profile, config, latencies, liveness
             )
         )
+    report.dce_removed = eliminate_dead_code(proc)
+    return report
+
+
+def apply_icbm_isolated(
+    proc: Procedure,
+    profile: Optional[ProfileData] = None,
+    config: Optional[CPRConfig] = None,
+    latencies: LatencyModel = PAPER_LATENCIES,
+    program: Optional[Program] = None,
+) -> ICBMReport:
+    """ICBM with per-hyperblock fault isolation.
+
+    The last retry rung of the pass manager's degradation ladder: each
+    candidate hyperblock is transformed inside its own procedure-level
+    transaction, so a match/restructure failure rolls back (and skips) only
+    that hyperblock while control CPR still lands on the others. Skipped
+    hyperblocks are listed in the report's ``skipped_blocks``.
+    """
+    config = config or DEFAULT_CONFIG
+    report = ICBMReport()
+    labels = [
+        block.label for block in proc.blocks
+        if len(block.exit_branches()) >= 2
+    ]
+    for label in labels:
+        if not proc.has_block(label):
+            continue  # displaced by an earlier taken-variation transform
+        snapshot = snapshot_procedure(proc)
+        try:
+            liveness = LivenessAnalysis(proc)
+            block_report = apply_icbm_to_block(
+                proc, proc.block(label), profile, config, latencies, liveness
+            )
+            verify_procedure(proc, program)
+        except ReproError:
+            restore_procedure(proc, snapshot)
+            report.skipped_blocks.append(f"{proc.name}/{label.name}")
+            continue
+        report.blocks.append(block_report)
     report.dce_removed = eliminate_dead_code(proc)
     return report
 

@@ -53,7 +53,19 @@ class SimulationError(ReproError):
 
 
 class FuelExhausted(SimulationError):
-    """The interpreter hit its operation budget; likely an infinite loop."""
+    """The interpreter hit its operation budget; likely an infinite loop.
+
+    Carries enough context to localize the runaway loop: the procedure and
+    block being executed when the budget expired (:attr:`proc` and
+    :attr:`block`, as strings) and the number of operations executed so far
+    (:attr:`ops_executed`). All three are ``None`` when unknown.
+    """
+
+    def __init__(self, message, proc=None, block=None, ops_executed=None):
+        self.proc = proc
+        self.block = block
+        self.ops_executed = ops_executed
+        super().__init__(message)
 
 
 class SchedulingError(ReproError):
@@ -62,6 +74,10 @@ class SchedulingError(ReproError):
 
 class TransformError(ReproError):
     """Raised by an optimization pass when its precondition is violated."""
+
+
+class BudgetExceeded(TransformError):
+    """A pass transaction blew through its step budget and was rolled back."""
 
 
 class MachineConfigError(ReproError):

@@ -101,13 +101,14 @@ class Block:
     def remove(self, op: Operation):
         self.ops.pop(self.index_of(op))
 
-    def clone(self, new_label: Label) -> "Block":
+    def clone(self, new_label: Label, preserve_uids: bool = False) -> "Block":
         """Copy with fresh operation uids under a new label.
 
         The fallthrough is preserved; callers retarget as needed.
+        ``preserve_uids=True`` keeps operation uids (snapshot/rollback use).
         """
         copy = Block(label=new_label, fallthrough=self.fallthrough)
-        copy.ops = [op.clone() for op in self.ops]
+        copy.ops = [op.clone(preserve_uid=preserve_uids) for op in self.ops]
         copy.entry_count = self.entry_count
         return copy
 

@@ -3,6 +3,12 @@
 Cloning preserves labels and register names but mints fresh operation uids,
 so a cloned procedure can be transformed independently while side tables
 keyed by uid never alias the original.
+
+:func:`snapshot_procedure` / :func:`restore_procedure` are the exception:
+they implement the pass manager's transactional rollback, where the restored
+procedure must be *indistinguishable* from the pre-pass original — same
+labels, same registers, and same operation uids, so profile data collected
+before the pass still applies after a rollback.
 """
 
 from __future__ import annotations
@@ -10,16 +16,45 @@ from __future__ import annotations
 from repro.ir.procedure import DataSegment, Procedure, Program
 
 
-def clone_procedure(proc: Procedure) -> Procedure:
+def clone_procedure(proc: Procedure, preserve_uids: bool = False) -> Procedure:
     copy = Procedure(proc.name, params=list(proc.params))
     for block in proc.blocks:
-        copy.add_block(block.clone(block.label))
+        copy.add_block(block.clone(block.label, preserve_uids=preserve_uids))
     copy._next_reg = proc._next_reg
     copy._next_pred = proc._next_pred
     copy._next_btr = proc._next_btr
     copy._next_freg = proc._next_freg
     copy._next_label = proc._next_label
     return copy
+
+
+def snapshot_procedure(proc: Procedure) -> Procedure:
+    """Take a frozen pre-pass copy of *proc* for transactional rollback.
+
+    Operation uids are preserved so that restoring the snapshot keeps every
+    uid-keyed side table (branch profiles, op counts) valid.
+    """
+    return clone_procedure(proc, preserve_uids=True)
+
+
+def restore_procedure(proc: Procedure, snapshot: Procedure) -> Procedure:
+    """Restore *proc* in place from *snapshot* and return it.
+
+    The restore is in place — ``proc`` keeps its object identity, so the
+    owning :class:`Program` and any pass-local references stay valid. The
+    snapshot itself is never installed (a fresh uid-preserving clone is),
+    so one snapshot supports any number of restores.
+    """
+    fresh = clone_procedure(snapshot, preserve_uids=True)
+    proc.params = fresh.params
+    proc.blocks = fresh.blocks
+    proc._by_label = fresh._by_label
+    proc._next_reg = fresh._next_reg
+    proc._next_pred = fresh._next_pred
+    proc._next_btr = fresh._next_btr
+    proc._next_freg = fresh._next_freg
+    proc._next_label = fresh._next_label
+    return proc
 
 
 def clone_program(program: Program) -> Program:

@@ -176,9 +176,14 @@ class Operation:
     # ------------------------------------------------------------------
     # Cloning and rewriting
     # ------------------------------------------------------------------
-    def clone(self) -> "Operation":
-        """Deep-enough copy with a fresh uid (operands are immutable)."""
-        return Operation(
+    def clone(self, preserve_uid: bool = False) -> "Operation":
+        """Deep-enough copy (operands are immutable).
+
+        Mints a fresh uid by default so side tables keyed by uid never alias
+        the original. ``preserve_uid=True`` is for snapshot/rollback copies:
+        restoring such a copy keeps profile data (keyed by uid) valid.
+        """
+        copy = Operation(
             opcode=self.opcode,
             dests=list(self.dests),
             srcs=list(self.srcs),
@@ -186,6 +191,9 @@ class Operation:
             cond=self.cond,
             attrs=dict(self.attrs),
         )
+        if preserve_uid:
+            copy.uid = self.uid
+        return copy
 
     def replace_sources(self, mapping):
         """Rewrite sources (and the guard) through ``mapping`` where present."""

@@ -1,0 +1,29 @@
+"""Transactional pass management: rollback, incidents, degradation ladders."""
+
+from repro.passes.incidents import (
+    ACTION_DEGRADED,
+    ACTION_RESTORED_BASELINE,
+    ACTION_ROLLED_BACK,
+    BuildReport,
+    Incident,
+)
+from repro.passes.manager import (
+    PassManager,
+    Rung,
+    TransactionPolicy,
+    check_equivalent,
+    run_inputs,
+)
+
+__all__ = [
+    "ACTION_DEGRADED",
+    "ACTION_RESTORED_BASELINE",
+    "ACTION_ROLLED_BACK",
+    "BuildReport",
+    "Incident",
+    "PassManager",
+    "Rung",
+    "TransactionPolicy",
+    "check_equivalent",
+    "run_inputs",
+]

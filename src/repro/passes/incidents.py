@@ -1,0 +1,111 @@
+"""Structured incident records for the transactional pass manager.
+
+Every recovered (or unrecoverable) pass failure becomes one
+:class:`Incident` — a machine-readable record of *which pass* failed on
+*which procedure*, with *what exception*, how many ladder rungs were
+attempted, and what the manager did about it. A :class:`BuildReport`
+aggregates the incidents of one workload build together with transaction
+counters, so callers (pipeline, CLI, tests, a future build service) can
+distinguish a clean build from a degraded-but-correct one at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Incident severities, mildest first.
+SEVERITIES = ("info", "warning", "error")
+
+#: What the manager did after the transaction settled.
+ACTION_DEGRADED = "degraded"          # a later ladder rung committed
+ACTION_ROLLED_BACK = "rolled-back"    # every rung failed; snapshot restored
+ACTION_RESTORED_BASELINE = "restored-baseline"  # stage-level fallback
+
+
+@dataclass
+class Incident:
+    """One recovered (or fatal-but-contained) pass failure."""
+
+    pass_name: str
+    proc_name: str
+    severity: str
+    error_type: str
+    message: str
+    action: str = ACTION_ROLLED_BACK
+    rung: str = "full"
+    retries: int = 1
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def format(self) -> str:
+        return (
+            f"[{self.severity}] {self.pass_name}/{self.proc_name}: "
+            f"{self.error_type}: {self.message} "
+            f"({self.action} after {self.retries} attempt(s), "
+            f"rung={self.rung})"
+        )
+
+
+@dataclass
+class BuildReport:
+    """Incidents plus transaction counters for one workload build."""
+
+    incidents: List[Incident] = field(default_factory=list)
+    transactions: int = 0
+    committed: int = 0
+    degraded: int = 0
+    rolled_back: int = 0
+
+    def record(self, incident: Incident) -> Incident:
+        self.incidents.append(incident)
+        return incident
+
+    def incidents_for(
+        self,
+        pass_name: Optional[str] = None,
+        proc_name: Optional[str] = None,
+    ) -> List[Incident]:
+        return [
+            incident
+            for incident in self.incidents
+            if (pass_name is None or incident.pass_name == pass_name)
+            and (proc_name is None or incident.proc_name == proc_name)
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when the build committed every transaction cleanly."""
+        return not self.incidents
+
+    def worst_severity(self) -> Optional[str]:
+        if not self.incidents:
+            return None
+        return max(
+            (incident.severity for incident in self.incidents),
+            key=SEVERITIES.index,
+        )
+
+    def merge(self, other: "BuildReport") -> "BuildReport":
+        self.incidents.extend(other.incidents)
+        self.transactions += other.transactions
+        self.committed += other.committed
+        self.degraded += other.degraded
+        self.rolled_back += other.rolled_back
+        return self
+
+    def summary(self) -> str:
+        if not self.incidents:
+            return (
+                f"build clean: {self.committed}/{self.transactions} "
+                "pass transactions committed"
+            )
+        lines = [
+            f"{len(self.incidents)} incident(s) across "
+            f"{self.transactions} pass transactions "
+            f"({self.degraded} degraded, {self.rolled_back} rolled back):"
+        ]
+        lines.extend("  " + incident.format() for incident in self.incidents)
+        return "\n".join(lines)

@@ -1,0 +1,292 @@
+"""Transactional pass manager: per-procedure rollback with incident capture.
+
+The paper's schema is explicitly a *safe* transformation — wherever control
+CPR is not applied, the unoptimized code ships. The pass manager generalizes
+that fallback discipline to the whole pipeline: every optimization pass runs
+as a per-procedure *transaction*:
+
+1. **snapshot** the procedure (uid-preserving deep clone, so profile side
+   tables stay valid after a rollback);
+2. **run** the pass — optionally wrapped by a fault-injection plan and
+   bounded by a step budget;
+3. **re-verify** IR well-formedness and, when configured, differentially
+   check observable behaviour against a pre-pass reference run;
+4. on any :class:`~repro.errors.ReproError`, **roll back** to the snapshot
+   and either try the next rung of a degradation ladder or record a
+   structured :class:`~repro.passes.incidents.Incident` and move on.
+
+A failing pass therefore degrades *performance* on one procedure, never
+*correctness* of the build. In ``resilient=False`` (strict) mode the manager
+propagates the first failure unchanged, reproducing the historical
+all-or-nothing behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import BudgetExceeded, ReproError, TransformError
+from repro.ir.cloning import restore_procedure, snapshot_procedure
+from repro.ir.procedure import Procedure, Program
+from repro.ir.verify import verify_procedure
+from repro.passes.incidents import (
+    ACTION_DEGRADED,
+    ACTION_ROLLED_BACK,
+    BuildReport,
+    Incident,
+)
+from repro.sim.interpreter import DEFAULT_FUEL, Interpreter
+
+#: Sentinel distinguishing "transaction failed on every rung" from a pass
+#: that legitimately returned ``None``.
+_FAILED = object()
+
+
+def run_inputs(program: Program, inputs, entry: str, fuel: int) -> List:
+    """Execute *program* on each input; return the observable results.
+
+    Each input is ``None`` (no setup), a callable ``setup(interp)`` that may
+    return the argument tuple, or a ``(setup, args)`` pair — the same input
+    protocol as :func:`repro.sim.profiler.profile_program`.
+    """
+    results = []
+    for item in inputs:
+        interp = Interpreter(program, fuel=fuel)
+        args = ()
+        if item is not None:
+            if callable(item):
+                returned = item(interp)
+                if returned is not None:
+                    args = tuple(returned)
+            else:
+                setup, args = item
+                if setup is not None:
+                    setup(interp)
+        results.append(interp.run(entry=entry, args=args))
+    return results
+
+
+def check_equivalent(reference: List, rebuilt: List, stage: str):
+    """Raise :class:`TransformError` when observable behaviour diverged.
+
+    The message localizes the divergence: differing return values, differing
+    trace lengths, and the *first mismatching store* (index plus both
+    (address, value) pairs), so rollback tests and incident records can
+    pinpoint what a broken transformation actually changed.
+    """
+    for index, (before, after) in enumerate(zip(reference, rebuilt)):
+        if before.equivalent_to(after):
+            continue
+        details = []
+        if before.return_value != after.return_value:
+            details.append(
+                f"return {before.return_value} -> {after.return_value}"
+            )
+        if before.store_trace != after.store_trace:
+            expected, actual = before.store_trace, after.store_trace
+            if len(expected) != len(actual):
+                details.append(f"{len(expected)} -> {len(actual)} stores")
+            position = next(
+                (
+                    i
+                    for i, (a, b) in enumerate(zip(expected, actual))
+                    if a != b
+                ),
+                min(len(expected), len(actual)),
+            )
+            want = (
+                expected[position]
+                if position < len(expected)
+                else "<end of trace>"
+            )
+            got = (
+                actual[position]
+                if position < len(actual)
+                else "<end of trace>"
+            )
+            details.append(
+                f"first divergent store at index {position}: "
+                f"expected {want}, got {got}"
+            )
+        raise TransformError(
+            f"{stage} changed observable behaviour on input {index}: "
+            + ", ".join(details)
+        )
+
+
+@dataclass
+class TransactionPolicy:
+    """Per-transaction safety knobs.
+
+    * ``verify`` — re-run the IR verifier after every rung;
+    * ``differential`` — re-execute the whole program after every rung and
+      compare observables against the manager's reference results (requires
+      the manager to have been given ``inputs`` and ``reference``);
+    * ``step_budget`` — optional cap on the transformed procedure's static
+      operation count; exceeding it raises :class:`BudgetExceeded` and rolls
+      the transaction back.
+    """
+
+    verify: bool = True
+    differential: bool = False
+    step_budget: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One step of a degradation ladder: a named pass variant."""
+
+    name: str
+    fn: Callable[[Procedure], Any]
+
+
+class PassManager:
+    """Runs optimization passes as per-procedure transactions."""
+
+    def __init__(
+        self,
+        program: Program,
+        report: Optional[BuildReport] = None,
+        resilient: bool = True,
+        policy: Optional[TransactionPolicy] = None,
+        fault_plan=None,
+        inputs=None,
+        entry: str = "main",
+        reference: Optional[List] = None,
+        fuel: int = DEFAULT_FUEL,
+    ):
+        self.program = program
+        self.report = report if report is not None else BuildReport()
+        self.resilient = resilient
+        self.policy = policy or TransactionPolicy()
+        self.fault_plan = fault_plan
+        self.inputs = inputs
+        self.entry = entry
+        self.reference = reference
+        self.fuel = fuel
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run_pass(
+        self,
+        name: str,
+        fn: Optional[Callable[[Procedure], Any]] = None,
+        ladder: Optional[Sequence[Rung]] = None,
+        procs: Optional[Sequence[str]] = None,
+        differential: Optional[bool] = None,
+    ) -> Dict[str, Any]:
+        """Run one pass over every procedure as independent transactions.
+
+        Either *fn* (a single implementation) or *ladder* (an ordered
+        sequence of :class:`Rung` fallbacks, most aggressive first) must be
+        given. Returns ``{proc_name: rung_result}`` with entries only for
+        procedures whose transaction committed; rolled-back procedures are
+        absent (their IR equals the pre-pass snapshot).
+        """
+        if ladder is None:
+            if fn is None:
+                raise ValueError("run_pass needs fn or ladder")
+            ladder = [Rung("full", fn)]
+        results: Dict[str, Any] = {}
+        names = list(procs) if procs is not None else list(
+            self.program.procedures
+        )
+        for proc_name in names:
+            outcome = self._transact(name, proc_name, ladder, differential)
+            if outcome is not _FAILED:
+                results[proc_name] = outcome
+        return results
+
+    # ------------------------------------------------------------------
+    # The transaction
+    # ------------------------------------------------------------------
+    def _transact(
+        self,
+        pass_name: str,
+        proc_name: str,
+        ladder: Sequence[Rung],
+        differential: Optional[bool],
+    ):
+        proc = self.program.procedures[proc_name]
+        snapshot = snapshot_procedure(proc)
+        do_differential = (
+            self.policy.differential if differential is None else differential
+        )
+        self.report.transactions += 1
+        failures = []
+        for rung in ladder:
+            fn = rung.fn
+            if self.fault_plan is not None:
+                fn = self.fault_plan.wrap(pass_name, proc_name, fn)
+            try:
+                result = fn(proc)
+                self._check(pass_name, proc)
+                if do_differential:
+                    self._differential_check(pass_name, proc_name)
+            except ReproError as exc:
+                if not self.resilient:
+                    raise
+                failures.append((rung, exc))
+                restore_procedure(proc, snapshot)
+                continue
+            # Committed. A commit on a fallback rung is still an incident —
+            # the build is degraded, just not incorrect.
+            self.report.committed += 1
+            if failures:
+                self.report.degraded += 1
+                _, first_error = failures[0]
+                self.report.record(
+                    Incident(
+                        pass_name=pass_name,
+                        proc_name=proc_name,
+                        severity="warning",
+                        error_type=type(first_error).__name__,
+                        message=str(first_error),
+                        action=ACTION_DEGRADED,
+                        rung=rung.name,
+                        retries=len(failures) + 1,
+                    )
+                )
+            return result
+        # Every rung failed: the procedure sits at its pre-pass snapshot.
+        self.report.rolled_back += 1
+        last_rung, last_error = failures[-1]
+        self.report.record(
+            Incident(
+                pass_name=pass_name,
+                proc_name=proc_name,
+                severity="error",
+                error_type=type(last_error).__name__,
+                message=str(last_error),
+                action=ACTION_ROLLED_BACK,
+                rung=last_rung.name,
+                retries=len(failures),
+            )
+        )
+        return _FAILED
+
+    def _check(self, pass_name: str, proc: Procedure):
+        if self.policy.verify:
+            verify_procedure(proc, self.program)
+        budget = self.policy.step_budget
+        if budget is not None and proc.op_count() > budget:
+            raise BudgetExceeded(
+                f"{pass_name} grew {proc.name} to {proc.op_count()} ops "
+                f"(step budget {budget})"
+            )
+
+    def _differential_check(self, pass_name: str, proc_name: str):
+        if self.reference is None or self.inputs is None:
+            return
+        # A safe pass never inflates the dynamic op count dramatically, so
+        # bound the re-execution by a multiple of the reference run: a pass
+        # that manufactured an infinite loop fails fast with FuelExhausted
+        # (and rolls back) instead of burning the full default budget.
+        reference_ops = max(
+            (result.ops_executed for result in self.reference), default=0
+        )
+        fuel = min(self.fuel, 4 * reference_ops + 10_000)
+        rebuilt = run_inputs(self.program, self.inputs, self.entry, fuel)
+        check_equivalent(self.reference, rebuilt, f"{pass_name} on {proc_name}")

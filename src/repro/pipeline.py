@@ -11,16 +11,31 @@ The paper compares two builds of each benchmark:
 stages; :func:`build_workload` runs both and differentially verifies that
 every build computes the same store trace and return value on every input.
 Cycle estimation and operation counting live in :mod:`repro.perf`.
+
+Every optimization pass runs through the transactional
+:class:`~repro.passes.manager.PassManager` (``options.resilient``, the
+default): a pass that fails on one procedure is rolled back to its pre-pass
+snapshot and recorded as a structured incident while the rest of the build
+proceeds — mirroring the paper's own fallback to unoptimized code wherever
+control CPR is not applied. ICBM additionally retries through a degradation
+ladder (full config → conservative blocking → per-hyperblock isolation →
+baseline restore), so a match/speculation bug degrades performance, never
+correctness. ``options.resilient=False`` restores the historical strict
+behaviour in which the first failure aborts the build.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from repro.core.config import CPRConfig, DEFAULT_CONFIG
-from repro.core.icbm import ICBMReport, apply_icbm_to_program
-from repro.errors import TransformError
+from repro.core.icbm import (
+    ICBMReport,
+    apply_icbm,
+    apply_icbm_isolated,
+)
+from repro.errors import ReproError
 from repro.ir.procedure import Program
 from repro.ir.verify import verify_program
 from repro.opt.copyprop import propagate_copies
@@ -29,7 +44,19 @@ from repro.opt.frp import frp_convert_procedure
 from repro.opt.ifconvert import IfConvertConfig, if_convert_procedure
 from repro.opt.rename import rename_procedure_registers
 from repro.opt.superblock import SuperblockConfig, form_superblocks
-from repro.sim.interpreter import DEFAULT_FUEL, Interpreter
+from repro.passes.incidents import (
+    ACTION_RESTORED_BASELINE,
+    BuildReport,
+    Incident,
+)
+from repro.passes.manager import (
+    PassManager,
+    Rung,
+    TransactionPolicy,
+    check_equivalent,
+    run_inputs,
+)
+from repro.sim.interpreter import DEFAULT_FUEL
 from repro.sim.profiler import ProfileData, profile_program
 
 
@@ -40,6 +67,15 @@ class PipelineOptions:
     ``if_convert`` enables traditional if-conversion of unbiased diamonds
     before superblock formation — the paper's future-work suggestion,
     disabled by default to match its experimental setup.
+
+    ``resilient`` selects transactional per-procedure rollback (the
+    default); when False, the first pass failure aborts the build with the
+    original exception. ``fault_plan`` threads a
+    :class:`~repro.robustness.faultinject.FaultPlan` into every pass
+    transaction for robustness testing; arming one also enables the
+    per-transaction differential check for ICBM so silent IR corruption is
+    caught and rolled back per procedure. ``transaction`` carries the
+    per-transaction verification/budget policy.
     """
 
     superblock: SuperblockConfig = field(default_factory=SuperblockConfig)
@@ -48,6 +84,9 @@ class PipelineOptions:
     if_convert_config: Optional[IfConvertConfig] = None
     verify_equivalence: bool = True
     fuel: int = DEFAULT_FUEL
+    resilient: bool = True
+    fault_plan: Optional[object] = None
+    transaction: TransactionPolicy = field(default_factory=TransactionPolicy)
 
 
 @dataclass
@@ -60,25 +99,60 @@ class WorkloadBuild:
     transformed: Program
     transformed_profile: ProfileData
     icbm_report: ICBMReport
+    build_report: BuildReport = field(default_factory=BuildReport)
 
 
 def _run_all(program: Program, inputs, entry: str, fuel: int):
     """Execute *program* on each input; return the observable results."""
-    results = []
-    for item in inputs:
-        interp = Interpreter(program, fuel=fuel)
-        args = ()
-        if item is not None:
-            if callable(item):
-                returned = item(interp)
-                if returned is not None:
-                    args = tuple(returned)
-            else:
-                setup, args = item
-                if setup is not None:
-                    setup(interp)
-        results.append(interp.run(entry=entry, args=args))
-    return results
+    return run_inputs(program, inputs, entry, fuel)
+
+
+def _check_equivalent(reference: List, rebuilt: List, stage: str):
+    """Raise TransformError naming the first divergent store, if any."""
+    check_equivalent(reference, rebuilt, stage)
+
+
+def _make_manager(
+    program: Program,
+    options: PipelineOptions,
+    report: BuildReport,
+    inputs,
+    entry: str,
+    reference,
+) -> PassManager:
+    return PassManager(
+        program,
+        report=report,
+        resilient=options.resilient,
+        policy=options.transaction,
+        fault_plan=options.fault_plan,
+        inputs=inputs,
+        entry=entry,
+        reference=reference,
+        fuel=options.fuel,
+    )
+
+
+def _stage_fallback(
+    report: BuildReport, stage: str, exc: ReproError
+) -> Incident:
+    """Record the stage-level catch-all incident (ship unoptimized code)."""
+    return report.record(
+        Incident(
+            pass_name=stage,
+            proc_name="*",
+            severity="error",
+            error_type=type(exc).__name__,
+            message=str(exc),
+            action=ACTION_RESTORED_BASELINE,
+        )
+    )
+
+
+def _dce_pass(proc) -> int:
+    removed = eliminate_dead_code(proc)
+    removed += remove_unreachable_blocks(proc)
+    return removed
 
 
 def build_baseline(
@@ -86,9 +160,11 @@ def build_baseline(
     inputs,
     options: Optional[PipelineOptions] = None,
     entry: str = "main",
+    report: Optional[BuildReport] = None,
 ) -> Tuple[Program, ProfileData]:
     """Produce the classically optimized superblock baseline."""
     options = options or PipelineOptions()
+    report = report if report is not None else BuildReport()
     reference = None
     if options.verify_equivalence:
         reference = _run_all(program, inputs, entry, options.fuel)
@@ -97,21 +173,36 @@ def build_baseline(
     seed_profile = profile_program(
         baseline, inputs=inputs, entry=entry, fuel=options.fuel
     )
-    for proc in baseline.procedures.values():
-        if options.if_convert:
-            if_convert_procedure(
+    manager = _make_manager(
+        baseline, options, report, inputs, entry, reference
+    )
+    if options.if_convert:
+        manager.run_pass(
+            "if-convert",
+            lambda proc: if_convert_procedure(
                 proc, seed_profile, options.if_convert_config
-            )
-        form_superblocks(proc, seed_profile, options.superblock)
-        rename_procedure_registers(proc)
-        propagate_copies(proc)
-        eliminate_dead_code(proc)
-        remove_unreachable_blocks(proc)
+            ),
+        )
+    manager.run_pass(
+        "superblock",
+        lambda proc: form_superblocks(proc, seed_profile, options.superblock),
+    )
+    manager.run_pass("rename", rename_procedure_registers)
+    manager.run_pass("copyprop", propagate_copies)
+    manager.run_pass("dce", _dce_pass)
     verify_program(baseline)
 
     if options.verify_equivalence:
-        rebuilt = _run_all(baseline, inputs, entry, options.fuel)
-        _check_equivalent(reference, rebuilt, "superblock formation")
+        try:
+            rebuilt = _run_all(baseline, inputs, entry, options.fuel)
+            _check_equivalent(reference, rebuilt, "superblock formation")
+        except ReproError as exc:
+            if not options.resilient:
+                raise
+            # Stage-level catch-all: a pass corrupted semantics without
+            # structural damage. Ship the unoptimized program instead.
+            _stage_fallback(report, "baseline-stage", exc)
+            baseline = program.clone()
 
     profile = profile_program(
         baseline, inputs=inputs, entry=entry, fuel=options.fuel
@@ -119,14 +210,27 @@ def build_baseline(
     return baseline, profile
 
 
+def _conservative_config(config: CPRConfig) -> CPRConfig:
+    """The degradation ladder's defensive ICBM configuration."""
+    return replace(
+        config,
+        max_branches=2,
+        enable_taken_variation=False,
+        enable_speculation=False,
+        enable_demotion=False,
+    )
+
+
 def apply_control_cpr(
     baseline: Program,
     inputs,
     options: Optional[PipelineOptions] = None,
     entry: str = "main",
+    report: Optional[BuildReport] = None,
 ) -> Tuple[Program, ProfileData, ICBMReport]:
     """FRP-convert the baseline and apply ICBM."""
     options = options or PipelineOptions()
+    report = report if report is not None else BuildReport()
     reference = None
     if options.verify_equivalence:
         reference = _run_all(baseline, inputs, entry, options.fuel)
@@ -143,18 +247,57 @@ def apply_control_cpr(
                 [op.clone() for op in block.ops],
                 block.fallthrough,
             )
-        frp_convert_procedure(proc)
+    manager = _make_manager(
+        transformed, options, report, inputs, entry, reference
+    )
+    frp_committed = manager.run_pass("frp", frp_convert_procedure)
     verify_program(transformed)
     # Profile the FRP-converted build: match's heuristics key on the branch
     # operations of exactly this program.
     frp_profile = profile_program(
         transformed, inputs=inputs, entry=entry, fuel=options.fuel
     )
-    report = apply_icbm_to_program(
-        transformed, profile=frp_profile, config=options.cpr
+    conservative = _conservative_config(options.cpr)
+    ladder = [
+        Rung(
+            "full",
+            lambda proc: apply_icbm(proc, frp_profile, options.cpr),
+        ),
+        Rung(
+            "conservative",
+            lambda proc: apply_icbm(proc, frp_profile, conservative),
+        ),
+        Rung(
+            "isolate-hyperblocks",
+            lambda proc: apply_icbm_isolated(
+                proc, frp_profile, conservative, program=transformed
+            ),
+        ),
+    ]
+    # The per-transaction differential check localizes silent semantic
+    # corruption (not just structural damage) to one procedure; it costs one
+    # interpreter sweep per procedure, so it is armed only for robustness
+    # runs (a fault plan present) or by explicit policy. The stage-level
+    # check below still guards every default build.
+    icbm_differential = options.verify_equivalence and (
+        options.fault_plan is not None or options.transaction.differential
     )
+    icbm_results = manager.run_pass(
+        "icbm",
+        ladder=ladder,
+        procs=[
+            name for name in transformed.procedures if name in frp_committed
+        ],
+        differential=icbm_differential,
+    )
+    combined = ICBMReport()
+    for partial in icbm_results.values():
+        combined.blocks.extend(partial.blocks)
+        combined.dce_removed += partial.dce_removed
+        combined.skipped_blocks.extend(partial.skipped_blocks)
+
     transformed_labels = {
-        (b.proc_name, b.label) for b in report.blocks if b.transformed > 0
+        (b.proc_name, b.label) for b in combined.blocks if b.transformed > 0
     }
     for proc in transformed.procedures.values():
         for block in proc.blocks:
@@ -169,13 +312,21 @@ def apply_control_cpr(
     verify_program(transformed)
 
     if options.verify_equivalence:
-        rebuilt = _run_all(transformed, inputs, entry, options.fuel)
-        _check_equivalent(reference, rebuilt, "control CPR")
+        try:
+            rebuilt = _run_all(transformed, inputs, entry, options.fuel)
+            _check_equivalent(reference, rebuilt, "control CPR")
+        except ReproError as exc:
+            if not options.resilient:
+                raise
+            # Stage-level catch-all: ship the baseline unchanged.
+            _stage_fallback(report, "cpr-stage", exc)
+            transformed = baseline.clone()
+            combined = ICBMReport()
 
     final_profile = profile_program(
         transformed, inputs=inputs, entry=entry, fuel=options.fuel
     )
-    return transformed, final_profile, report
+    return transformed, final_profile, combined
 
 
 def build_workload(
@@ -187,11 +338,12 @@ def build_workload(
 ) -> WorkloadBuild:
     """Run the full two-build methodology for one workload."""
     options = options or PipelineOptions()
+    report = BuildReport()
     baseline, baseline_profile = build_baseline(
-        program, inputs, options, entry
+        program, inputs, options, entry, report=report
     )
-    transformed, transformed_profile, report = apply_control_cpr(
-        baseline, inputs, options, entry
+    transformed, transformed_profile, icbm_report = apply_control_cpr(
+        baseline, inputs, options, entry, report=report
     )
     return WorkloadBuild(
         name=name,
@@ -199,16 +351,6 @@ def build_workload(
         baseline_profile=baseline_profile,
         transformed=transformed,
         transformed_profile=transformed_profile,
-        icbm_report=report,
+        icbm_report=icbm_report,
+        build_report=report,
     )
-
-
-def _check_equivalent(reference: List, rebuilt: List, stage: str):
-    for index, (before, after) in enumerate(zip(reference, rebuilt)):
-        if not before.equivalent_to(after):
-            raise TransformError(
-                f"{stage} changed observable behaviour on input {index}: "
-                f"return {before.return_value} -> {after.return_value}, "
-                f"{len(before.store_trace)} -> {len(after.store_trace)} "
-                "stores"
-            )

@@ -1,0 +1,10 @@
+"""Robustness tooling: deterministic fault injection for rollback testing."""
+
+from repro.robustness.faultinject import (
+    KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+__all__ = ["KINDS", "FaultPlan", "FaultSpec", "InjectedFault"]

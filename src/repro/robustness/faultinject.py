@@ -1,0 +1,174 @@
+"""Deterministic fault injection for the transactional pass manager.
+
+A :class:`FaultPlan` wraps pass invocations and, when a :class:`FaultSpec`
+matches the (pass, procedure) pair, sabotages the transaction in a
+reproducible (seeded) way:
+
+* ``raise`` — run the real pass to completion, *then* raise
+  :class:`InjectedFault`: the IR is already mutated, so this models a
+  mid-pass compiler bug whose partial work must be rolled back;
+* ``fuel`` — as above, but raises :class:`~repro.errors.FuelExhausted`,
+  modelling a pass (or its re-verification run) blowing its budget;
+* ``drop-branch`` — run the pass, then silently delete a seeded-random
+  control transfer, corrupting the IR so the verifier or the differential
+  check must catch it;
+* ``clobber-pred`` — run the pass, then rewire a seeded-random branch's
+  predicate source to a fresh (never-set) predicate register: structurally
+  valid IR whose behaviour changed, detectable only differentially.
+
+Fault selection is a pure function of the plan's seed, the pass name, the
+procedure name, and the per-spec firing count — no global randomness — so a
+failing injection test replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import FuelExhausted, TransformError
+from repro.ir.opcodes import Opcode
+from repro.ir.procedure import Procedure
+
+
+class InjectedFault(TransformError):
+    """Raised by a :class:`FaultPlan` to simulate a mid-pass compiler bug."""
+
+
+#: Recognized fault kinds.
+KINDS = ("raise", "fuel", "drop-branch", "clobber-pred")
+
+
+@dataclass
+class FaultSpec:
+    """One injection rule: where to strike and how.
+
+    ``pass_name`` / ``proc_name`` are exact names or ``"*"`` wildcards.
+    ``times`` bounds how often the spec fires (``None`` = every match, which
+    also defeats every retry rung of a degradation ladder and forces a full
+    rollback).
+    """
+
+    pass_name: str = "*"
+    proc_name: str = "*"
+    kind: str = "raise"
+    times: Optional[int] = None
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+
+    def matches(self, pass_name: str, proc_name: str) -> bool:
+        return (
+            self.pass_name in ("*", pass_name)
+            and self.proc_name in ("*", proc_name)
+            and (self.times is None or self.fired < self.times)
+        )
+
+
+class FaultPlan:
+    """A seeded collection of :class:`FaultSpec` rules plus a firing log."""
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0):
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+        #: Every fault actually fired, as (pass_name, proc_name, kind).
+        self.log: List[Tuple[str, str, str]] = []
+
+    def wrap(self, pass_name: str, proc_name: str, fn):
+        """Return *fn* wrapped to inject the first matching spec, if any."""
+        spec = next(
+            (s for s in self.specs if s.matches(pass_name, proc_name)), None
+        )
+        if spec is None:
+            return fn
+
+        def sabotaged(proc: Procedure):
+            spec.fired += 1
+            self.log.append((pass_name, proc_name, spec.kind))
+            rng = random.Random(
+                f"{self.seed}:{pass_name}:{proc_name}:{spec.fired}"
+            )
+            if spec.kind == "raise":
+                fn(proc)
+                raise InjectedFault(
+                    f"injected mid-pass exception in {pass_name} "
+                    f"on {proc_name}"
+                )
+            if spec.kind == "fuel":
+                fn(proc)
+                raise FuelExhausted(
+                    f"injected fuel exhaustion in {pass_name} "
+                    f"on {proc_name}",
+                    proc=proc_name,
+                )
+            result = fn(proc)
+            if spec.kind == "drop-branch":
+                _drop_random_branch(proc, rng, pass_name)
+            else:  # clobber-pred
+                _clobber_random_predicate(proc, rng, pass_name)
+            return result
+
+        return sabotaged
+
+
+def _loop_block_ops(proc: Procedure, opcodes):
+    """Control transfers inside self-loop blocks, preferred corruption
+    targets.
+
+    After superblock formation a hot loop is a single block whose back edge
+    targets its own label, so any control transfer in such a block executes
+    once per iteration — corrupting one is reliably *observable* on the
+    profiled inputs. A superblock's forward side exits, by contrast, are
+    rarely taken by construction; damage to them could go undetected on the
+    very inputs the differential check replays.
+    """
+    picks = []
+    for block in proc.blocks:
+        if not any(op.branch_target() == block.label for op in block.ops):
+            continue
+        picks.extend(
+            (block, op) for op in block.ops if op.opcode in opcodes
+        )
+    return picks
+
+
+def _drop_random_branch(proc: Procedure, rng: random.Random, pass_name: str):
+    """Delete one seeded-random control transfer (hot loops preferred)."""
+    candidates = _loop_block_ops(proc, (Opcode.BRANCH, Opcode.JUMP)) or [
+        (block, op)
+        for block in proc.blocks
+        for op in block.ops
+        if op.opcode in (Opcode.BRANCH, Opcode.JUMP)
+    ]
+    if not candidates:
+        raise InjectedFault(
+            f"injected drop-branch in {pass_name} on {proc.name}: "
+            "no branch to drop"
+        )
+    block, op = rng.choice(candidates)
+    block.remove(op)
+
+
+def _clobber_random_predicate(
+    proc: Procedure, rng: random.Random, pass_name: str
+):
+    """Point one seeded-random branch (hot loops preferred) at a never-set
+    predicate register."""
+    candidates = _loop_block_ops(proc, (Opcode.BRANCH,)) or [
+        (block, op)
+        for block in proc.blocks
+        for op in block.ops
+        if op.opcode is Opcode.BRANCH
+    ]
+    if not candidates:
+        raise InjectedFault(
+            f"injected clobber-pred in {pass_name} on {proc.name}: "
+            "no branch to clobber"
+        )
+    _, op = rng.choice(candidates)
+    op.srcs[0] = proc.new_pred()

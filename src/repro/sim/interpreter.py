@@ -191,7 +191,11 @@ class Interpreter:
             self.fuel -= 1
             if self.fuel <= 0:
                 raise FuelExhausted(
-                    f"fuel exhausted in {frame.proc.name}/{block.label}"
+                    f"fuel exhausted in {frame.proc.name}/{block.label} "
+                    f"after {self.ops_executed} operations",
+                    proc=frame.proc.name,
+                    block=block.label.name,
+                    ops_executed=self.ops_executed,
                 )
             self.ops_executed += 1
             self.op_counts[(frame.proc.name, op.uid)] += 1

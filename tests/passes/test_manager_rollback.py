@@ -1,0 +1,290 @@
+"""Transactional pass manager: snapshot/rollback, ladders, incidents.
+
+The central invariant: a failed pass transaction restores the procedure to
+a *byte-identical* pre-pass state — same formatted IR, same operation uids
+(so profile side tables stay valid) — while the rest of the build proceeds.
+"""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    TransformError,
+    VerificationError,
+)
+from repro.ir.cloning import restore_procedure, snapshot_procedure
+from repro.ir.opcodes import Opcode
+from repro.passes import BuildReport, PassManager, Rung, TransactionPolicy
+from repro.passes.manager import run_inputs
+from repro.pipeline import PipelineOptions, build_workload
+from repro.robustness import FaultPlan, FaultSpec
+from repro.sim.interpreter import DEFAULT_FUEL
+from repro.workloads.registry import get_workload
+
+
+def _ir(proc):
+    return proc.format()
+
+
+def _uids(proc):
+    return [op.uid for op in proc.all_ops()]
+
+
+def _program_ops(program):
+    return [
+        op.format()
+        for proc in program.procedures.values()
+        for block in proc.blocks
+        for op in block.ops
+    ]
+
+
+# ----------------------------------------------------------------------
+# Snapshot / restore primitive
+# ----------------------------------------------------------------------
+def test_snapshot_restore_is_byte_identical_including_uids():
+    program = get_workload("cmp").compile()
+    proc = program.procedures["main"]
+    before_ir, before_uids = _ir(proc), _uids(proc)
+    snapshot = snapshot_procedure(proc)
+
+    proc.blocks[0].ops.pop()
+    proc.blocks[-1].ops.clear()
+    assert _ir(proc) != before_ir
+
+    restored = restore_procedure(proc, snapshot)
+    assert restored is proc  # identity preserved: Program refs stay valid
+    assert _ir(proc) == before_ir
+    assert _uids(proc) == before_uids
+
+
+def test_snapshot_supports_repeated_restores():
+    program = get_workload("strcpy").compile()
+    proc = program.procedures["main"]
+    before = _ir(proc)
+    snapshot = snapshot_procedure(proc)
+    for _ in range(3):
+        proc.blocks[0].ops.pop()
+        restore_procedure(proc, snapshot)
+        assert _ir(proc) == before
+
+
+# ----------------------------------------------------------------------
+# Transactions
+# ----------------------------------------------------------------------
+def test_failed_pass_rolls_back_and_records_incident():
+    program = get_workload("cmp").compile()
+    proc = program.procedures["main"]
+    before_ir, before_uids = _ir(proc), _uids(proc)
+    report = BuildReport()
+    manager = PassManager(program, report=report)
+
+    def evil(proc):
+        proc.blocks[0].ops.pop()  # partial mutation that must be undone
+        raise TransformError("boom")
+
+    committed = manager.run_pass("evil", evil)
+    assert committed == {}
+    assert _ir(proc) == before_ir
+    assert _uids(proc) == before_uids
+    (incident,) = report.incidents_for("evil", "main")
+    assert incident.severity == "error"
+    assert incident.error_type == "TransformError"
+    assert incident.action == "rolled-back"
+    assert report.rolled_back == 1 and report.committed == 0
+
+
+def test_successful_pass_commits_without_incident():
+    program = get_workload("cmp").compile()
+    report = BuildReport()
+    manager = PassManager(program, report=report)
+    committed = manager.run_pass("count", lambda proc: proc.op_count())
+    assert committed["main"] > 0
+    assert report.ok
+    assert report.committed == report.transactions == 1
+
+
+def test_verifier_catches_structural_corruption():
+    program = get_workload("cmp").compile()
+    proc = program.procedures["main"]
+    before = _ir(proc)
+    report = BuildReport()
+    manager = PassManager(program, report=report)
+
+    def corrupt(proc):
+        # Drop the final block's terminator: the procedure now falls off
+        # the end, which only verify (not the pass itself) notices.
+        proc.blocks[-1].ops.pop()
+
+    manager.run_pass("corrupt", corrupt)
+    assert _ir(proc) == before
+    (incident,) = report.incidents_for("corrupt")
+    assert incident.error_type == "VerificationError"
+
+
+def test_step_budget_expiry_rolls_back():
+    program = get_workload("cmp").compile()
+    proc = program.procedures["main"]
+    before = _ir(proc)
+    report = BuildReport()
+    manager = PassManager(
+        program,
+        report=report,
+        policy=TransactionPolicy(step_budget=proc.op_count() + 2),
+    )
+
+    def bloat(proc):
+        block = proc.blocks[0]
+        for op in [op.clone() for op in block.ops[:3] if not op.is_branch]:
+            block.append(op)
+
+    manager.run_pass("bloat", bloat)
+    assert _ir(proc) == before
+    (incident,) = report.incidents_for("bloat")
+    assert incident.error_type == "BudgetExceeded"
+
+
+def test_strict_mode_propagates_first_failure():
+    program = get_workload("cmp").compile()
+    manager = PassManager(program, resilient=False)
+
+    def evil(proc):
+        raise TransformError("boom")
+
+    with pytest.raises(TransformError):
+        manager.run_pass("evil", evil)
+
+
+def test_differential_check_rolls_back_silent_corruption():
+    workload = get_workload("cmp")
+    program = workload.compile()
+    proc = program.procedures["main"]
+    before = _ir(proc)
+    reference = run_inputs(program, workload.inputs, "main", DEFAULT_FUEL)
+    report = BuildReport()
+    manager = PassManager(
+        program,
+        report=report,
+        policy=TransactionPolicy(differential=True),
+        inputs=workload.inputs,
+        reference=reference,
+    )
+
+    def clobber(proc):
+        # Point every conditional branch at a never-set predicate: the IR
+        # stays structurally valid (the verifier passes) but the loop's
+        # exits never fire, so only the differential check can convict.
+        for block in proc.blocks:
+            for op in block.ops:
+                if op.opcode is Opcode.BRANCH:
+                    op.srcs[0] = proc.new_pred()
+
+    manager.run_pass("clobber", clobber)
+    assert _ir(proc) == before
+    (incident,) = report.incidents_for("clobber")
+    assert incident.error_type in ("TransformError", "FuelExhausted")
+
+
+def test_degradation_ladder_commits_fallback_with_warning():
+    program = get_workload("cmp").compile()
+    report = BuildReport()
+    manager = PassManager(program, report=report)
+
+    def failing(proc):
+        raise TransformError("full rung broken")
+
+    committed = manager.run_pass(
+        "laddered",
+        ladder=[
+            Rung("full", failing),
+            Rung("conservative", lambda proc: "fallback-result"),
+        ],
+    )
+    assert committed == {"main": "fallback-result"}
+    (incident,) = report.incidents_for("laddered", "main")
+    assert incident.severity == "warning"
+    assert incident.action == "degraded"
+    assert incident.rung == "conservative"
+    assert incident.retries == 2
+    assert report.degraded == 1 and report.rolled_back == 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the pipeline on the manager, under injected faults
+# ----------------------------------------------------------------------
+def test_injected_icbm_fault_rolls_back_to_baseline():
+    """The acceptance scenario: a persistent mid-pass exception in ICBM on
+    one procedure must leave the build complete, differentially verified,
+    byte-identical to the baseline for the affected procedure, and reported
+    as exactly one incident for that (pass, procedure) pair."""
+    workload = get_workload("cmp")
+    plan = FaultPlan(
+        [FaultSpec(pass_name="icbm", proc_name="main", kind="raise")],
+        seed=7,
+    )
+    build = build_workload(
+        workload.name,
+        workload.compile(),
+        workload.inputs,
+        PipelineOptions(fault_plan=plan),
+    )
+    assert plan.log, "the fault must actually fire"
+    # build_workload ran its differential equivalence checks to completion.
+    assert _program_ops(build.transformed) == _program_ops(build.baseline)
+    incidents = build.build_report.incidents_for("icbm", "main")
+    assert len(incidents) == 1
+    assert incidents[0].severity == "error"
+    assert incidents[0].action == "rolled-back"
+
+
+@pytest.mark.parametrize("kind", ["drop-branch", "clobber-pred", "fuel"])
+def test_injected_corruption_restores_byte_identical_ir(kind):
+    workload = get_workload("strcpy")
+    plan = FaultPlan([FaultSpec(pass_name="icbm", kind=kind)], seed=3)
+    build = build_workload(
+        workload.name,
+        workload.compile(),
+        workload.inputs,
+        PipelineOptions(fault_plan=plan),
+    )
+    assert plan.log
+    assert build.build_report.incidents_for("icbm")
+    assert _program_ops(build.transformed) == _program_ops(build.baseline)
+
+
+def test_one_shot_fault_degrades_instead_of_rolling_back():
+    workload = get_workload("strcpy")
+    plan = FaultPlan(
+        [FaultSpec(pass_name="icbm", kind="raise", times=1)], seed=1
+    )
+    build = build_workload(
+        workload.name,
+        workload.compile(),
+        workload.inputs,
+        PipelineOptions(fault_plan=plan),
+    )
+    (incident,) = build.build_report.incidents_for("icbm")
+    assert incident.action == "degraded"
+    assert incident.rung == "conservative"
+
+
+def test_clean_build_report_is_ok():
+    workload = get_workload("strcpy")
+    build = build_workload(
+        workload.name, workload.compile(), workload.inputs
+    )
+    assert build.build_report.ok
+    assert build.build_report.committed == build.build_report.transactions
+    assert "build clean" in build.build_report.summary()
+
+
+def test_strict_pipeline_propagates_injected_fault():
+    workload = get_workload("strcpy")
+    plan = FaultPlan([FaultSpec(pass_name="icbm", kind="raise")], seed=1)
+    with pytest.raises(TransformError):
+        build_workload(
+            workload.name,
+            workload.compile(),
+            workload.inputs,
+            PipelineOptions(fault_plan=plan, resilient=False),
+        )

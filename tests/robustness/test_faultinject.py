@@ -1,0 +1,124 @@
+"""Fault-injection harness: spec matching, determinism, corruption kinds."""
+
+import pytest
+
+from repro.errors import FuelExhausted
+from repro.ir.opcodes import Opcode
+from repro.robustness import FaultPlan, FaultSpec, InjectedFault
+from repro.workloads.registry import get_workload
+
+
+def _proc(name="cmp"):
+    return get_workload(name).compile().procedures["main"]
+
+
+def _ir(proc):
+    return proc.format()
+
+
+# ----------------------------------------------------------------------
+# Spec matching
+# ----------------------------------------------------------------------
+def test_spec_wildcards_and_exact_names():
+    spec = FaultSpec(pass_name="icbm", proc_name="*")
+    assert spec.matches("icbm", "anything")
+    assert not spec.matches("superblock", "anything")
+    exact = FaultSpec(pass_name="*", proc_name="main")
+    assert exact.matches("dce", "main")
+    assert not exact.matches("dce", "helper")
+
+
+def test_spec_times_bounds_firing():
+    plan = FaultPlan([FaultSpec(kind="raise", times=1)], seed=0)
+    proc = _proc()
+    wrapped = plan.wrap("p", "main", lambda proc: None)
+    with pytest.raises(InjectedFault):
+        wrapped(proc)
+    # Spent: the next wrap is a pass-through.
+    assert plan.wrap("p", "main", _ir) is _ir
+    assert plan.log == [("p", "main", "raise")]
+
+
+def test_unmatched_pass_is_untouched():
+    plan = FaultPlan([FaultSpec(pass_name="icbm")], seed=0)
+    assert plan.wrap("superblock", "main", _ir) is _ir
+    assert plan.log == []
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="segfault")
+
+
+# ----------------------------------------------------------------------
+# Fault kinds
+# ----------------------------------------------------------------------
+def test_raise_fires_after_the_real_pass_ran():
+    """The 'raise' kind models a mid-pass bug: the real pass's mutation has
+    already happened when the exception surfaces."""
+    plan = FaultPlan([FaultSpec(kind="raise")], seed=0)
+    proc = _proc()
+    ran = []
+    wrapped = plan.wrap("p", "main", lambda proc: ran.append(True))
+    with pytest.raises(InjectedFault):
+        wrapped(proc)
+    assert ran == [True]
+
+
+def test_fuel_kind_raises_fuel_exhausted_with_context():
+    plan = FaultPlan([FaultSpec(kind="fuel")], seed=0)
+    wrapped = plan.wrap("p", "main", lambda proc: None)
+    with pytest.raises(FuelExhausted) as info:
+        wrapped(_proc())
+    assert info.value.proc == "main"
+
+
+def test_drop_branch_removes_one_control_transfer():
+    plan = FaultPlan([FaultSpec(kind="drop-branch")], seed=0)
+    proc = _proc()
+    count = lambda: sum(
+        1
+        for block in proc.blocks
+        for op in block.ops
+        if op.opcode in (Opcode.BRANCH, Opcode.JUMP)
+    )
+    before = count()
+    plan.wrap("p", "main", lambda proc: None)(proc)
+    assert count() == before - 1
+
+
+def test_clobber_pred_keeps_structure_but_rewires_a_branch():
+    plan = FaultPlan([FaultSpec(kind="clobber-pred")], seed=0)
+    proc = _proc()
+    before = _ir(proc)
+    plan.wrap("p", "main", lambda proc: None)(proc)
+    after = _ir(proc)
+    assert after != before
+    # Same op count: the corruption is a rewrite, not a deletion.
+    assert len(after.splitlines()) == len(before.splitlines())
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["drop-branch", "clobber-pred"])
+def test_corruption_is_deterministic_per_seed(kind):
+    results = []
+    for _ in range(2):
+        plan = FaultPlan([FaultSpec(kind=kind)], seed=99)
+        proc = _proc()
+        plan.wrap("icbm", "main", lambda proc: None)(proc)
+        results.append(_ir(proc))
+    assert results[0] == results[1]
+
+
+def test_different_seeds_can_differ_but_stay_deterministic():
+    outcomes = set()
+    for seed in range(6):
+        plan = FaultPlan([FaultSpec(kind="drop-branch")], seed=seed)
+        proc = _proc()
+        plan.wrap("icbm", "main", lambda proc: None)(proc)
+        outcomes.add(_ir(proc))
+    # All outcomes are valid corruptions; at least one distinct result, and
+    # re-running any seed reproduces its member of the set (checked above).
+    assert outcomes

@@ -79,3 +79,106 @@ def test_cli_rejects_unknown_workload():
 
     with pytest.raises(SystemExit):
         main(["evaluate", "not-a-benchmark"])
+
+
+# ----------------------------------------------------------------------
+# Exit codes: one distinct code per failing subsystem
+# ----------------------------------------------------------------------
+def test_budget_exceeded_is_a_transform_error():
+    assert issubclass(errors.BudgetExceeded, errors.TransformError)
+
+
+def test_fuel_exhausted_carries_location_attributes():
+    from repro.sim.interpreter import Interpreter
+    from repro.workloads.registry import get_workload
+
+    program = get_workload("cmp").compile()
+    with pytest.raises(errors.FuelExhausted) as info:
+        Interpreter(program, fuel=10).run(entry="main", args=(4,))
+    exc = info.value
+    assert exc.proc == "main"
+    assert exc.block is not None
+    assert 0 < exc.ops_executed <= 10
+
+
+@pytest.mark.parametrize(
+    "exc,code",
+    [
+        (errors.ParseError("bad token"), 2),
+        (errors.SemanticError("undefined name"), 2),
+        (errors.VerificationError(["dangling target"]), 3),
+        (errors.IRError("malformed op"), 3),
+        (errors.TransformError("broken pass"), 4),
+        (errors.BudgetExceeded("pass ran long"), 4),
+        (errors.SchedulingError("no slot"), 4),
+        (errors.SimulationError("bad memory"), 5),
+        (errors.FuelExhausted("out of fuel"), 5),
+        (errors.ReproError("anything else"), 1),
+    ],
+)
+def test_cli_exit_code_per_subsystem(monkeypatch, capsys, exc, code):
+    import repro.__main__ as cli
+
+    def boom(args):
+        raise exc
+
+    monkeypatch.setattr(cli, "cmd_list", boom)
+    assert cli.main(["list"]) == code
+    err = capsys.readouterr().err
+    # One-line diagnostic naming the exception class, no traceback.
+    assert err.strip().count("\n") == 0
+    assert f"repro: {type(exc).__name__}:" in err
+
+
+def test_cli_strict_flag_accepted(capsys):
+    from repro.__main__ import main
+
+    assert main(["evaluate", "strcpy", "--strict"]) == 0
+    assert "Dbr=" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Divergence localization in the equivalence checker
+# ----------------------------------------------------------------------
+def _result(return_value, stores):
+    from repro.sim.interpreter import ExecutionResult
+
+    return ExecutionResult(
+        return_value=return_value,
+        store_trace=stores,
+        memory={},
+        ops_executed=len(stores),
+        branches_executed=0,
+    )
+
+
+def test_check_equivalent_names_first_divergent_store():
+    from repro.passes import check_equivalent
+
+    reference = [_result(0, [(100, 1), (104, 2), (108, 3)])]
+    rebuilt = [_result(0, [(100, 1), (104, 9), (108, 3)])]
+    with pytest.raises(errors.TransformError) as info:
+        check_equivalent(reference, rebuilt, "stage-x")
+    message = str(info.value)
+    assert "input 0" in message and "stage-x" in message
+    assert "index 1" in message
+    assert "(104, 2)" in message and "(104, 9)" in message
+
+
+def test_check_equivalent_reports_truncated_trace():
+    from repro.passes import check_equivalent
+
+    reference = [_result(7, [(100, 1), (104, 2)])]
+    rebuilt = [_result(7, [(100, 1)])]
+    with pytest.raises(errors.TransformError) as info:
+        check_equivalent(reference, rebuilt, "stage-y")
+    message = str(info.value)
+    assert "2 -> 1 stores" in message
+    assert "index 1" in message and "<end of trace>" in message
+
+
+def test_check_equivalent_accepts_identical_runs():
+    from repro.passes import check_equivalent
+
+    runs = [_result(7, [(100, 1)])]
+    check_equivalent(runs, runs, "stage-z")  # must not raise
