@@ -1,0 +1,105 @@
+"""Build-farm scaling: cold vs parallel vs warm-cache builds.
+
+Measures the same workload set three ways — cold sequential (``jobs=1``,
+no cache), cold parallel (``jobs=4``), and warm (second run against a
+populated cache) — asserts every configuration produces bit-for-bit
+identical results, and reports honest wall-clock numbers for this
+machine. The warm/cold ratio is the acceptance-relevant speedup (the
+evaluation cache skips compilation, every pass, and all interpreter
+sweeps); the parallel/cold ratio depends on how many physical cores the
+host actually has, and is reported alongside ``os.cpu_count()`` so a
+single-core CI box reading ~1.0x is self-explanatory.
+
+Environment knobs (see ``benchmarks/conftest.py``): ``REPRO_BENCH_SUBSET``
+restricts the workload set, ``REPRO_BENCH_SCALE`` grows inputs.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import BENCH_WORKLOADS, SCALE, write_output
+from repro.farm.farm import FarmOptions, build_farm
+
+PARALLEL_JOBS = 4
+
+
+def _options(jobs: int, cache_root=None) -> FarmOptions:
+    return FarmOptions(jobs=jobs, cache_root=cache_root, scale=SCALE)
+
+
+def _timed(names, options):
+    started = time.perf_counter()
+    result = build_farm(names, options)
+    return time.perf_counter() - started, result
+
+
+def test_farm_scaling(benchmark):
+    names = list(BENCH_WORKLOADS)
+    cache_root = tempfile.mkdtemp(prefix="repro-farm-bench-")
+
+    def run():
+        cold_s, cold = _timed(names, _options(jobs=1))
+        parallel_s, parallel = _timed(names, _options(jobs=PARALLEL_JOBS))
+        prime_s, primed = _timed(
+            names, _options(jobs=1, cache_root=cache_root)
+        )
+        warm_s, warm = _timed(
+            names, _options(jobs=1, cache_root=cache_root)
+        )
+        return {
+            "cold_s": cold_s,
+            "parallel_s": parallel_s,
+            "prime_s": prime_s,
+            "warm_s": warm_s,
+            "results": [cold, parallel, primed, warm],
+        }
+
+    try:
+        data = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    cold, parallel, primed, warm = data["results"]
+    # Determinism across every configuration, the farm's core contract.
+    reference = [s.comparable() for s in cold.summaries]
+    for label, other in (
+        (f"jobs={PARALLEL_JOBS}", parallel),
+        ("cache-priming", primed),
+        ("warm-cache", warm),
+    ):
+        assert [s.comparable() for s in other.summaries] == reference, (
+            f"{label} run diverged from the cold sequential build"
+        )
+    assert all(s.from_cache for s in warm.summaries)
+
+    warm_speedup = data["cold_s"] / max(data["warm_s"], 1e-9)
+    parallel_speedup = data["cold_s"] / max(data["parallel_s"], 1e-9)
+    lines = [
+        "Build-farm scaling "
+        f"({len(names)} workloads, scale={SCALE}, "
+        f"cpu_count={os.cpu_count()})",
+        f"{'configuration':<28}{'wall s':>10}{'speedup':>10}",
+        f"{'cold, jobs=1':<28}{data['cold_s']:>10.2f}{1.0:>10.2f}",
+        f"{'cold, jobs=' + str(PARALLEL_JOBS):<28}"
+        f"{data['parallel_s']:>10.2f}{parallel_speedup:>10.2f}",
+        f"{'cache priming, jobs=1':<28}{data['prime_s']:>10.2f}"
+        f"{data['cold_s'] / max(data['prime_s'], 1e-9):>10.2f}",
+        f"{'warm cache, jobs=1':<28}{data['warm_s']:>10.2f}"
+        f"{warm_speedup:>10.2f}",
+        "",
+        "results identical across all configurations: yes",
+        f"warm-cache speedup: {warm_speedup:.1f}x (acceptance floor: 5x)",
+        f"parallel speedup on this host: {parallel_speedup:.2f}x "
+        f"({os.cpu_count()} CPU(s) visible; >=2x requires >=2 cores)",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_output("farm_scaling.txt", text)
+
+    assert warm_speedup >= 5.0, (
+        f"warm rebuild only {warm_speedup:.1f}x faster than cold"
+    )

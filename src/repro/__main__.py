@@ -15,6 +15,15 @@ rollback (the first pass failure then aborts the build). In the default
 resilient mode, any incidents recovered during a build are summarized on
 stderr after the results.
 
+``evaluate``, ``table2`` and ``table3`` run on the build farm
+(:mod:`repro.farm`): ``--jobs N`` (or ``auto``) fans workloads across a
+process pool, ``--cache`` enables the content-addressed pass/evaluation
+cache (``--cache-dir`` overrides its location, default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-farm``), and
+``--metrics-json PATH`` writes the schema-versioned compile-metrics
+document. Results are deterministic: identical across ``--jobs`` values
+and cache states.
+
 Library failures never surface as tracebacks: a one-line diagnostic goes to
 stderr and the process exits with a distinct code per failing subsystem —
 parse/semantic = 2, verify/IR = 3, transform/scheduling = 4,
@@ -24,13 +33,16 @@ simulation = 5, any other library error = 1.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import errors
-from repro.perf.report import build_table2, build_table3, evaluate_workload
+from repro.farm.cache import default_cache_root
+from repro.farm.farm import FarmOptions, build_farm, resolve_jobs
+from repro.perf.report import Table2, Table3
 from repro.pipeline import PipelineOptions, build_workload
 from repro.sim.interpreter import DEFAULT_FUEL
-from repro.workloads.registry import all_names, get_workload
+from repro.workloads.registry import all_names, get_workload, resolve_subset
 
 MACHINES = ("sequential", "narrow", "medium", "wide", "infinite")
 
@@ -54,9 +66,7 @@ def exit_code_for(exc: errors.ReproError) -> int:
 
 
 def _selected(args) -> list:
-    if getattr(args, "subset", None):
-        return [name.strip() for name in args.subset.split(",")]
-    return all_names()
+    return resolve_subset(getattr(args, "subset", ""))
 
 
 def _pipeline_options(args) -> PipelineOptions:
@@ -73,6 +83,30 @@ def _print_incidents(build_report):
         print(build_report.summary(), file=sys.stderr)
 
 
+def _farm_options(args, processors=MACHINES) -> FarmOptions:
+    cache_root = None
+    if getattr(args, "cache", False):
+        cache_root = str(
+            getattr(args, "cache_dir", None) or default_cache_root()
+        )
+    return FarmOptions(
+        jobs=resolve_jobs(getattr(args, "jobs", 1)),
+        cache_root=cache_root,
+        scale=getattr(args, "scale", 1),
+        strict=getattr(args, "strict", False),
+        fuel=getattr(args, "fuel", None),
+        processors=tuple(processors),
+    )
+
+
+def _write_metrics(args, farm_result):
+    path = getattr(args, "metrics_json", None)
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(farm_result.metrics_json(), handle, indent=2)
+            handle.write("\n")
+
+
 def cmd_list(args) -> int:
     for name in all_names():
         workload = get_workload(name)
@@ -82,40 +116,42 @@ def cmd_list(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
-    options = _pipeline_options(args)
-    for name in args.names:
-        result = evaluate_workload(
-            get_workload(name, scale=args.scale), options=options
-        )
+    farm = build_farm(args.names, _farm_options(args))
+    for summary in farm.summaries:
         speedups = "  ".join(
-            f"{machine[:3]}={result.speedup(machine):.2f}"
+            f"{machine[:3]}={summary.speedup(machine):.2f}"
             for machine in MACHINES
         )
-        s_tot, s_br, d_tot, d_br = result.count_ratios()
-        print(f"{name:<14} {speedups}")
+        s_tot, s_br, d_tot, d_br = summary.count_ratios()
+        print(f"{summary.name:<14} {speedups}")
         print(
             f"{'':<14} Stot={s_tot:.2f}  Sbr={s_br:.2f}  "
             f"Dtot={d_tot:.2f}  Dbr={d_br:.2f}"
         )
-        _print_incidents(result.build.build_report)
+        _print_incidents(summary.build_report())
+    _write_metrics(args, farm)
     return 0
 
 
 def cmd_table2(args) -> int:
-    workloads = [get_workload(n, scale=args.scale) for n in _selected(args)]
-    table = build_table2(workloads, options=_pipeline_options(args))
+    farm = build_farm(_selected(args), _farm_options(args))
+    table = Table2(processors=list(MACHINES), rows=farm.summaries)
     print(table.render())
-    for row in table.rows:
-        _print_incidents(row.build.build_report)
+    for summary in farm.summaries:
+        _print_incidents(summary.build_report())
+    _write_metrics(args, farm)
     return 0
 
 
 def cmd_table3(args) -> int:
-    workloads = [get_workload(n, scale=args.scale) for n in _selected(args)]
-    table = build_table3(workloads, options=_pipeline_options(args))
+    farm = build_farm(
+        _selected(args), _farm_options(args, processors=("medium",))
+    )
+    table = Table3(rows=farm.summaries)
     print(table.render())
-    for row in table.rows:
-        _print_incidents(row.build.build_report)
+    for summary in farm.summaries:
+        _print_incidents(summary.build_report())
+    _write_metrics(args, farm)
     return 0
 
 
@@ -158,11 +194,35 @@ def main(argv=None) -> int:
         "--fuel", type=int, default=None,
         help="interpreter operation budget per run",
     )
+    farm_parsers = [p_eval]
 
     for table in ("table2", "table3"):
         p_table = sub.add_parser(table, help=f"regenerate {table}")
         p_table.add_argument("--subset", default="")
         p_table.add_argument("--scale", type=int, default=1)
+        farm_parsers.append(p_table)
+
+    for p_farm in farm_parsers:
+        p_farm.add_argument(
+            "--jobs", default="1", metavar="N",
+            help="worker processes for the build farm "
+                 "(an integer, or 'auto' for the CPU count)",
+        )
+        p_farm.add_argument(
+            "--cache", action=argparse.BooleanOptionalAction, default=False,
+            help="memoize pass transactions and workload evaluations in "
+                 "the content-addressed on-disk cache",
+        )
+        p_farm.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="cache location (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro-farm)",
+        )
+        p_farm.add_argument(
+            "--metrics-json", default=None, metavar="PATH",
+            help="write compile metrics (per-pass wall time, cache "
+                 "hit/miss counters, ops before/after) as JSON",
+        )
 
     p_show = sub.add_parser("show", help="inspect a workload's code")
     p_show.add_argument("name", choices=all_names())
@@ -193,6 +253,10 @@ def main(argv=None) -> int:
     except errors.ReproError as exc:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    except ValueError as exc:
+        # Bad option values (e.g. --jobs garbage) read as usage errors.
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

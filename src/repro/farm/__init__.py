@@ -1,0 +1,69 @@
+"""Parallel build farm with content-addressed pass caching.
+
+The farm turns the repo's serial build/benchmark loop into a production
+build service in miniature:
+
+* :mod:`repro.farm.fingerprint` — stable content hashes of IR, pass
+  configuration, and machine descriptions, composed into cache keys;
+* :mod:`repro.farm.cache` — the on-disk content-addressed store with
+  versioned invalidation (per-pass transaction entries and whole-workload
+  evaluation entries);
+* :mod:`repro.farm.metrics` — compile metrics: per-pass wall time, cache
+  hit/miss counters, ops before/after, per-workload build times;
+* :mod:`repro.farm.farm` — the process-pool driver: fans workload builds
+  out across workers, merges results deterministically (registry order,
+  independent of completion order), and collects per-worker incidents
+  into the usual :class:`~repro.passes.incidents.BuildReport` form.
+"""
+
+from repro.farm.cache import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    PassCache,
+    default_cache_root,
+)
+from repro.farm.farm import (
+    FarmOptions,
+    FarmResult,
+    WorkloadSummary,
+    build_farm,
+)
+from repro.farm.fingerprint import (
+    evaluation_key,
+    operation_signature,
+    options_fingerprint,
+    procedure_signature,
+    program_signature,
+    stable_hash,
+    transaction_key,
+    workload_inputs_key,
+)
+from repro.farm.metrics import (
+    METRICS_SCHEMA,
+    CompileMetrics,
+    PassMetrics,
+    WorkloadMetrics,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "CompileMetrics",
+    "FarmOptions",
+    "FarmResult",
+    "METRICS_SCHEMA",
+    "PassCache",
+    "PassMetrics",
+    "WorkloadMetrics",
+    "WorkloadSummary",
+    "build_farm",
+    "default_cache_root",
+    "evaluation_key",
+    "operation_signature",
+    "options_fingerprint",
+    "procedure_signature",
+    "program_signature",
+    "stable_hash",
+    "transaction_key",
+    "workload_inputs_key",
+]

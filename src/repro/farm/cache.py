@@ -1,0 +1,183 @@
+"""On-disk content-addressed store for build artifacts.
+
+Two entry kinds share one store:
+
+* **transaction entries** (``.txn.pkl``) — the committed procedure and the
+  pass's return value, pickled together so shared references (a report
+  pointing at operations of the procedure) survive;
+* **evaluation entries** (``.eval.json``) — a whole workload's measured
+  summary (cycles, counts, IR digests, incidents), stored as JSON so the
+  warm fast path never touches the IR at all.
+
+Layout: ``<root>/v<CACHE_FORMAT_VERSION>/<key[:2]>/<key>.<kind>``. Writes
+are atomic (temp file + ``os.replace``) so concurrent workers racing on
+the same key simply last-write-win with identical content. Reads treat any
+corrupt or unreadable entry as a miss and delete it.
+
+Invalidation is versioned: bumping :data:`CACHE_FORMAT_VERSION` orphans
+every old entry (they live under the old ``v<N>`` directory and are never
+consulted again). Bump it whenever pass semantics, the IR pickle format,
+or the evaluation summary schema change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.ir.procedure import Procedure
+
+#: Bump on any change to pass semantics or stored payload formats.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment override for the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro-farm``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-farm"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`PassCache` handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        return self
+
+
+class PassCache:
+    """A content-addressed artifact store rooted at one directory."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.base = self.root / f"v{CACHE_FORMAT_VERSION}"
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Raw byte storage
+    # ------------------------------------------------------------------
+    def _path(self, key: str, kind: str) -> Path:
+        return self.base / key[:2] / f"{key}.{kind}"
+
+    def _read(self, key: str, kind: str) -> Optional[bytes]:
+        path = self._path(key, kind)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return data
+
+    def _write(self, key: str, kind: str, data: bytes):
+        path = self._path(key, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def _drop(self, key: str, kind: str):
+        try:
+            os.unlink(self._path(key, kind))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Transaction entries
+    # ------------------------------------------------------------------
+    def get_transaction(
+        self, key: str
+    ) -> Optional[Tuple[Procedure, Any]]:
+        """The committed (procedure, result) for *key*, or None.
+
+        The returned procedure is the pickled artifact verbatim — callers
+        must re-mint uids (see :func:`repro.ir.cloning.adopt_procedure`)
+        before installing it into a program, because the cached uids come
+        from a foreign process and may collide with live side tables.
+        """
+        data = self._read(key, "txn.pkl")
+        if data is None:
+            return None
+        try:
+            proc, result = pickle.loads(data)
+        except Exception:
+            # A corrupt or version-skewed entry is a miss, not an error.
+            self._drop(key, "txn.pkl")
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+        return proc, result
+
+    def put_transaction(self, key: str, proc: Procedure, result: Any):
+        self._write(
+            key,
+            "txn.pkl",
+            pickle.dumps((proc, result), protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation entries
+    # ------------------------------------------------------------------
+    def get_evaluation(self, key: str) -> Optional[dict]:
+        data = self._read(key, "eval.json")
+        if data is None:
+            return None
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._drop(key, "eval.json")
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    def put_evaluation(self, key: str, summary: dict):
+        self._write(
+            key,
+            "eval.json",
+            json.dumps(summary, sort_keys=True).encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear(self):
+        """Remove every entry of the current format version."""
+        if not self.base.exists():
+            return
+        for path in sorted(self.base.rglob("*"), reverse=True):
+            if path.is_file():
+                path.unlink()
+            else:
+                path.rmdir()
+
+    def entry_count(self, kind: Optional[str] = None) -> int:
+        if not self.base.exists():
+            return 0
+        pattern = f"*.{kind}" if kind else "*.*"
+        return sum(1 for _ in self.base.rglob(pattern))

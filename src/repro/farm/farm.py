@@ -1,0 +1,380 @@
+"""The parallel build farm: fan workload builds out, merge deterministically.
+
+:func:`build_farm` is the one entry point. It takes workload names (in any
+order), evaluates each one — in-process for ``jobs == 1``, across a
+``concurrent.futures`` process pool otherwise — and returns a
+:class:`FarmResult` whose summaries are ordered exactly as requested,
+independent of worker completion order. Each worker:
+
+1. checks the evaluation cache (warm fast path: one JSON read, no IR);
+2. otherwise compiles and builds with the per-pass transaction cache and
+   a local :class:`~repro.farm.metrics.CompileMetrics` recorder;
+3. returns a JSON-safe summary (cycles, counts, IR digests, the full
+   :class:`~repro.passes.incidents.BuildReport` as a dict) plus metrics.
+
+Library errors raised inside a worker are shipped back by type name and
+re-raised in the parent, so CLI exit codes (2/3/4/5) are identical with
+and without ``--jobs``.
+
+Determinism contract: for fixed workloads and options, the summaries —
+schedule-bearing IR digests, cycle counts, counts, incidents — are
+bit-for-bit identical across ``jobs`` values and cache states (cold, pass
+-cache warm, evaluation-cache warm). ``benchmarks/bench_farm_scaling.py``
+and ``tests/farm/test_cache_correctness.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import errors
+from repro.farm.cache import CACHE_FORMAT_VERSION, PassCache
+from repro.farm.fingerprint import (
+    evaluation_key,
+    options_fingerprint,
+    program_signature,
+    stable_hash,
+    workload_inputs_key,
+)
+from repro.farm.metrics import CompileMetrics
+from repro.machine.processor import PAPER_PROCESSORS, processor_by_name
+from repro.passes.incidents import BuildReport
+from repro.perf.report import measure_build
+from repro.pipeline import PipelineOptions, build_workload
+from repro.sim.interpreter import DEFAULT_FUEL
+from repro.workloads.registry import get_workload
+
+#: Machine names evaluated by default (the paper's Table 2 set).
+DEFAULT_PROCESSOR_NAMES = tuple(p.name for p in PAPER_PROCESSORS)
+
+_COUNT_FIELDS = (
+    "static_total", "static_branches", "dynamic_total", "dynamic_branches",
+)
+
+
+@dataclass
+class FarmOptions:
+    """Build-farm knobs, all picklable (they cross process boundaries)."""
+
+    jobs: int = 1
+    cache_root: Optional[str] = None  # None = caching disabled
+    scale: int = 1
+    strict: bool = False
+    fuel: Optional[int] = None
+    processors: Sequence[str] = DEFAULT_PROCESSOR_NAMES
+    estimate_mode: str = "exit-aware"
+
+    def pipeline_options(self) -> PipelineOptions:
+        return PipelineOptions(
+            resilient=not self.strict,
+            fuel=DEFAULT_FUEL if self.fuel is None else self.fuel,
+        )
+
+
+@dataclass
+class WorkloadSummary:
+    """One workload's measured results in JSON-safe form.
+
+    Exposes the same query surface as
+    :class:`~repro.perf.report.WorkloadResult` (``name``, ``category``,
+    ``speedup``, ``count_ratios``), so the Table 2 / Table 3 renderers
+    accept summaries unchanged.
+    """
+
+    name: str
+    category: str
+    cycles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    ir_digests: Dict[str, str] = field(default_factory=dict)
+    report: dict = field(default_factory=dict)
+    icbm: dict = field(default_factory=dict)
+    from_cache: bool = False
+    wall_s: float = 0.0
+
+    def speedup(self, processor_name: str) -> float:
+        cell = self.cycles[processor_name]
+        if cell["transformed"] == 0:
+            return float("nan")
+        return cell["baseline"] / cell["transformed"]
+
+    def count_ratios(self) -> Tuple[float, float, float, float]:
+        """(S tot, S br, D tot, D br) transformed/baseline ratios."""
+        baseline = self.counts["baseline"]
+        transformed = self.counts["transformed"]
+
+        def ratio(key):
+            if not baseline[key]:
+                return float("nan")
+            return transformed[key] / baseline[key]
+
+        return tuple(ratio(key) for key in _COUNT_FIELDS)
+
+    def build_report(self) -> BuildReport:
+        return BuildReport.from_dict(self.report)
+
+    def comparable(self) -> dict:
+        """The determinism-relevant content: everything but timings."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "cycles": self.cycles,
+            "counts": self.counts,
+            "ir_digests": self.ir_digests,
+            "report": self.report,
+            "icbm": self.icbm,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, **extra) -> "WorkloadSummary":
+        return cls(**data, **extra)
+
+
+@dataclass
+class FarmResult:
+    """Everything one farm run produced, in deterministic order."""
+
+    summaries: List[WorkloadSummary]
+    metrics: CompileMetrics
+    jobs: int = 1
+    cache_enabled: bool = False
+    cache_root: Optional[str] = None
+
+    def summary_for(self, name: str) -> WorkloadSummary:
+        for summary in self.summaries:
+            if summary.name == name:
+                return summary
+        raise KeyError(name)
+
+    def metrics_json(self) -> dict:
+        return self.metrics.to_json_dict(
+            jobs=self.jobs,
+            cache_enabled=self.cache_enabled,
+            cache_root=self.cache_root,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _summarize(build, category: str, processor_names, estimate_mode) -> dict:
+    processors = [processor_by_name(n) for n in processor_names]
+    result = measure_build(
+        build,
+        category=category,
+        processors=processors,
+        estimate_mode=estimate_mode,
+    )
+    counts = {}
+    for label, oc in (
+        ("baseline", result.baseline_counts),
+        ("transformed", result.transformed_counts),
+    ):
+        counts[label] = {key: getattr(oc, key) for key in _COUNT_FIELDS}
+    return {
+        "name": build.name,
+        "category": category,
+        "cycles": {
+            name: {
+                "baseline": result.baseline_cycles[name],
+                "transformed": result.transformed_cycles[name],
+            }
+            for name in processor_names
+        },
+        "counts": counts,
+        "ir_digests": {
+            "baseline": stable_hash(program_signature(build.baseline)),
+            "transformed": stable_hash(
+                program_signature(build.transformed)
+            ),
+        },
+        "report": build.build_report.to_dict(),
+        "icbm": {
+            "transformed_cpr_blocks":
+                build.icbm_report.transformed_cpr_blocks,
+            "total_cpr_blocks": build.icbm_report.total_cpr_blocks,
+            "dce_removed": build.icbm_report.dce_removed,
+            "skipped_blocks": list(build.icbm_report.skipped_blocks),
+        },
+    }
+
+
+def _evaluate_task(task: dict) -> dict:
+    """Evaluate one workload; runs in a worker process (or in-process).
+
+    Must stay a module-level function: the process pool pickles it by
+    reference. Returns ``{"summary", "metrics", "wall_s", "from_cache"}``
+    or ``{"error": {"type", "message"}}`` for library failures.
+    """
+    started = time.perf_counter()
+    task = dict(task)
+    name = task.pop("_workload")
+    options = FarmOptions(**task)
+    metrics = CompileMetrics()
+    cache = (
+        PassCache(options.cache_root) if options.cache_root else None
+    )
+    try:
+        return _evaluate_workload(name, options, metrics, cache, started)
+    except errors.ReproError as exc:
+        return {
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+            }
+        }
+
+
+def _evaluate_workload(name, options, metrics, cache, started) -> dict:
+    workload = get_workload(name, scale=options.scale)
+    pipeline_options = options.pipeline_options()
+    options_fp = options_fingerprint(pipeline_options)
+    eval_key = evaluation_key(
+        CACHE_FORMAT_VERSION,
+        workload.name,
+        options.scale,
+        workload.source,
+        workload.entry,
+        options_fp,
+        list(options.processors),
+        options.estimate_mode,
+    )
+    if cache is not None:
+        summary = cache.get_evaluation(eval_key)
+        if summary is not None:
+            wall = time.perf_counter() - started
+            metrics.record_workload(
+                workload.name,
+                wall,
+                from_cache=True,
+                transactions=summary["report"].get("transactions", 0),
+                incidents=len(summary["report"].get("incidents", [])),
+            )
+            metrics.record_cache_stats(cache.stats)
+            return {
+                "summary": summary,
+                "metrics": metrics.to_dict(),
+                "wall_s": wall,
+                "from_cache": True,
+            }
+    program = workload.compile()
+    inputs_key = workload_inputs_key(
+        workload.name, options.scale, workload.source, workload.entry
+    )
+    build = build_workload(
+        workload.name,
+        program,
+        workload.inputs,
+        pipeline_options,
+        entry=workload.entry,
+        cache=cache,
+        metrics=metrics,
+        inputs_key=inputs_key,
+    )
+    summary = _summarize(
+        build, workload.category, options.processors, options.estimate_mode
+    )
+    if cache is not None:
+        cache.put_evaluation(eval_key, summary)
+    wall = time.perf_counter() - started
+    metrics.record_workload(
+        workload.name,
+        wall,
+        from_cache=False,
+        transactions=build.build_report.transactions,
+        incidents=len(build.build_report.incidents),
+    )
+    if cache is not None:
+        metrics.record_cache_stats(cache.stats)
+    return {
+        "summary": summary,
+        "metrics": metrics.to_dict(),
+        "wall_s": wall,
+        "from_cache": False,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs) -> int:
+    """'auto'/0/None -> cpu count; otherwise the positive int given."""
+    import os
+
+    if jobs in (None, 0, "auto"):
+        return os.cpu_count() or 1
+    try:
+        count = int(jobs)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"jobs must be a positive integer or 'auto', got {jobs!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(
+            f"jobs must be a positive integer or 'auto', got {jobs!r}"
+        )
+    return count
+
+
+def _task(name: str, options: FarmOptions) -> dict:
+    task = {
+        "jobs": 1,  # workers never nest pools
+        "cache_root": options.cache_root,
+        "scale": options.scale,
+        "strict": options.strict,
+        "fuel": options.fuel,
+        "processors": list(options.processors),
+        "estimate_mode": options.estimate_mode,
+    }
+    task["_workload"] = name
+    return task
+
+
+def _raise_worker_error(error: dict):
+    exc_class = getattr(errors, error["type"], errors.ReproError)
+    if not (
+        isinstance(exc_class, type)
+        and issubclass(exc_class, errors.ReproError)
+    ):
+        exc_class = errors.ReproError
+    if exc_class is errors.VerificationError:
+        raise exc_class([error["message"]])
+    raise exc_class(error["message"])
+
+
+def build_farm(
+    names: Sequence[str],
+    options: Optional[FarmOptions] = None,
+) -> FarmResult:
+    """Evaluate *names* across the farm and merge results in input order."""
+    options = options or FarmOptions()
+    jobs = resolve_jobs(options.jobs)
+    tasks = [_task(name, options) for name in names]
+    if jobs <= 1 or len(tasks) <= 1:
+        raw = [_evaluate_task(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            raw = list(pool.map(_evaluate_task, tasks))
+
+    metrics = CompileMetrics()
+    summaries = []
+    for outcome in raw:
+        if "error" in outcome:
+            _raise_worker_error(outcome["error"])
+        metrics.merge(CompileMetrics.from_dict(outcome["metrics"]))
+        summaries.append(
+            WorkloadSummary.from_dict(
+                outcome["summary"],
+                from_cache=outcome["from_cache"],
+                wall_s=outcome["wall_s"],
+            )
+        )
+    return FarmResult(
+        summaries=summaries,
+        metrics=metrics,
+        jobs=jobs,
+        cache_enabled=options.cache_root is not None,
+        cache_root=options.cache_root,
+    )

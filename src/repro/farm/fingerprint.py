@@ -1,0 +1,178 @@
+"""Stable content hashes for cache keys.
+
+Every cache key the farm uses is composed here, from four ingredients:
+
+1. **IR content** — :func:`procedure_signature` / :func:`program_signature`
+   walk blocks and operations and serialize everything that affects a
+   pass's output: labels, fall-through edges, the formatted operation
+   text, and the operation attrs (``region``, ``callee``, ``target``, ...)
+   that the textual form omits. Operation uids are deliberately *excluded*:
+   they are process-local and two structurally identical procedures must
+   hash equal across processes.
+2. **Pass configuration** — :func:`options_fingerprint` covers every
+   :class:`~repro.pipeline.PipelineOptions` knob that steers a pass
+   (superblock heuristics, CPR thresholds, transaction policy, fuel).
+   The configs are plain dataclasses, so their reprs are stable.
+3. **Machine description** — processor and latency model reprs, included
+   wherever schedules or cycle estimates are cached.
+4. **Profile provenance** — the workload inputs key: profiles are a pure
+   function of (program, inputs), so hashing the deterministic input
+   recipe (workload name, scale, source, entry) pins them without
+   hashing the input closures themselves.
+
+Key composition (documented contract, see also DESIGN.md):
+
+* transaction key = ``H(version, context, pass, proc name, proc
+  signature, policy)`` where ``context = H(original program signature,
+  inputs key, options fingerprint)``;
+* evaluation key = ``H(version, workload name, scale, source, entry,
+  options fingerprint, processor fingerprints, estimate mode)``.
+
+Invalidation is versioned: bump
+:data:`repro.farm.cache.CACHE_FORMAT_VERSION` whenever pass semantics or
+the stored payloads change; old entries are simply never looked at again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+from repro.ir.procedure import Procedure, Program
+
+
+def stable_hash(*parts) -> str:
+    """SHA-256 over the string forms of *parts*, NUL-separated."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(str(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def operation_signature(op) -> str:
+    """One operation's content: formatted text plus sorted attrs.
+
+    The textual form (:meth:`Operation.format`) omits analysis attrs like
+    ``region``; they change dependence results, so they are part of the
+    content. Uids are excluded on purpose.
+    """
+    attrs = ",".join(
+        f"{key}={op.attrs[key]}" for key in sorted(op.attrs)
+    )
+    return f"{op.format()}|{attrs}"
+
+
+def procedure_signature(proc: Procedure) -> str:
+    """Deterministic, uid-free serialization of one procedure."""
+    lines = [
+        f"proc {proc.name}({', '.join(str(p) for p in proc.params)})"
+    ]
+    for block in proc.blocks:
+        lines.append(f"{block.label.name}: ft={block.fallthrough}")
+        lines.extend(operation_signature(op) for op in block.ops)
+    return "\n".join(lines)
+
+
+def program_signature(program: Program) -> str:
+    """Deterministic serialization of a whole program (segments + procs)."""
+    parts = []
+    for segment in program.segments.values():
+        parts.append(
+            f"data {segment.name}[{segment.size}]={segment.initial}"
+        )
+    parts.extend(
+        procedure_signature(proc) for proc in program.procedures.values()
+    )
+    return "\n\n".join(parts)
+
+
+def options_fingerprint(options) -> str:
+    """Every :class:`PipelineOptions` knob that steers pass output.
+
+    ``fault_plan`` is excluded because cached transactions are never taken
+    from (or stored by) fault-injected builds; ``resilient`` is excluded
+    because it changes failure *handling*, not the committed IR of a
+    successful transaction.
+    """
+    return "|".join(
+        [
+            repr(options.superblock),
+            repr(options.cpr),
+            repr(options.if_convert),
+            repr(options.if_convert_config),
+            repr(options.verify_equivalence),
+            repr(options.fuel),
+            repr(options.transaction),
+        ]
+    )
+
+
+def workload_inputs_key(
+    name: str, scale: int, source: str, entry: str
+) -> str:
+    """Pin a workload's deterministic input recipe.
+
+    Inputs are closures, so they cannot be hashed directly; but every
+    registered workload derives its input data deterministically from
+    (name, scale, source) via the fixed-seed :class:`Lcg`, so this tuple
+    identifies the profile the pipeline will observe.
+    """
+    return stable_hash("inputs", name, scale, source, entry)
+
+
+def transaction_context(
+    program: Program, options, inputs_key: str
+) -> str:
+    """The per-build salt shared by all of one build's transaction keys."""
+    return stable_hash(
+        "context",
+        program_signature(program),
+        options_fingerprint(options),
+        inputs_key,
+    )
+
+
+def transaction_key(
+    version: int,
+    context: str,
+    pass_name: str,
+    proc: Procedure,
+    policy,
+) -> str:
+    """Content address of one per-procedure pass transaction."""
+    return stable_hash(
+        "txn",
+        version,
+        context,
+        pass_name,
+        proc.name,
+        procedure_signature(proc),
+        repr(policy),
+    )
+
+
+def evaluation_key(
+    version: int,
+    name: str,
+    scale: int,
+    source: str,
+    entry: str,
+    options_fp: str,
+    processors: Iterable,
+    estimate_mode: str,
+    extra: Optional[str] = None,
+) -> str:
+    """Content address of one whole-workload evaluation."""
+    return stable_hash(
+        "eval",
+        version,
+        name,
+        scale,
+        source,
+        entry,
+        options_fp,
+        ";".join(repr(p) for p in processors),
+        estimate_mode,
+        extra or "",
+    )

@@ -1,0 +1,210 @@
+"""Compile metrics: where build wall-clock actually goes.
+
+The farm records, per pass: invocation count, cache hits/misses, total
+wall time, and static op counts before/after; per workload: build wall
+time, whether it was served from the evaluation cache, and the build
+report counters. Metrics merge associatively, so per-worker recordings
+combine into one farm-wide report regardless of completion order.
+
+The JSON form (``--metrics-json``) is schema-versioned
+(:data:`METRICS_SCHEMA`) and covered by a golden CLI test; extend it by
+adding keys, never by repurposing existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+METRICS_SCHEMA = "repro.farm.metrics/v1"
+
+
+@dataclass
+class PassMetrics:
+    """Aggregated measurements for one named pass."""
+
+    calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0
+    ops_before: int = 0
+    ops_after: int = 0
+
+    def merge(self, other: "PassMetrics") -> "PassMetrics":
+        self.calls += other.calls
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.wall_s += other.wall_s
+        self.ops_before += other.ops_before
+        self.ops_after += other.ops_after
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_s": self.wall_s,
+            "ops_before": self.ops_before,
+            "ops_after": self.ops_after,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PassMetrics":
+        return cls(**data)
+
+
+@dataclass
+class WorkloadMetrics:
+    """Measurements for one workload's build."""
+
+    wall_s: float = 0.0
+    from_cache: bool = False
+    transactions: int = 0
+    incidents: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "from_cache": self.from_cache,
+            "transactions": self.transactions,
+            "incidents": self.incidents,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadMetrics":
+        return cls(**data)
+
+
+@dataclass
+class CompileMetrics:
+    """Mergeable farm-wide compile metrics."""
+
+    passes: Dict[str, PassMetrics] = field(default_factory=dict)
+    workloads: Dict[str, WorkloadMetrics] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called from the pass manager and the farm driver)
+    # ------------------------------------------------------------------
+    def record_pass(
+        self,
+        name: str,
+        wall_s: float,
+        ops_before: int,
+        ops_after: int,
+        cache_hit: Optional[bool] = None,
+    ):
+        entry = self.passes.setdefault(name, PassMetrics())
+        entry.calls += 1
+        entry.wall_s += wall_s
+        entry.ops_before += ops_before
+        entry.ops_after += ops_after
+        if cache_hit is True:
+            entry.cache_hits += 1
+        elif cache_hit is False:
+            entry.cache_misses += 1
+
+    def record_workload(
+        self,
+        name: str,
+        wall_s: float,
+        from_cache: bool = False,
+        transactions: int = 0,
+        incidents: int = 0,
+    ):
+        self.workloads[name] = WorkloadMetrics(
+            wall_s=wall_s,
+            from_cache=from_cache,
+            transactions=transactions,
+            incidents=incidents,
+        )
+
+    def record_cache_stats(self, stats):
+        """Fold a :class:`~repro.farm.cache.CacheStats` into the totals."""
+        self.cache_hits += stats.hits
+        self.cache_misses += stats.misses
+        self.cache_stores += stats.stores
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "CompileMetrics") -> "CompileMetrics":
+        for name, entry in other.passes.items():
+            self.passes.setdefault(name, PassMetrics()).merge(entry)
+        self.workloads.update(other.workloads)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_stores += other.cache_stores
+        return self
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(w.wall_s for w in self.workloads.values())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "passes": {
+                name: entry.to_dict()
+                for name, entry in sorted(self.passes.items())
+            },
+            "workloads": {
+                name: entry.to_dict()
+                for name, entry in sorted(self.workloads.items())
+            },
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileMetrics":
+        metrics = cls(
+            cache_hits=data.get("cache_hits", 0),
+            cache_misses=data.get("cache_misses", 0),
+            cache_stores=data.get("cache_stores", 0),
+        )
+        for name, entry in data.get("passes", {}).items():
+            metrics.passes[name] = PassMetrics.from_dict(entry)
+        for name, entry in data.get("workloads", {}).items():
+            metrics.workloads[name] = WorkloadMetrics.from_dict(entry)
+        return metrics
+
+    def to_json_dict(
+        self,
+        jobs: int = 1,
+        cache_enabled: bool = False,
+        cache_root: Optional[str] = None,
+    ) -> dict:
+        """The schema-versioned ``--metrics-json`` document."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "jobs": jobs,
+            "cache": {
+                "enabled": cache_enabled,
+                "root": cache_root,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "stores": self.cache_stores,
+            },
+            "totals": {
+                "wall_s": self.total_wall_s,
+                "workloads": len(self.workloads),
+                "pass_invocations": sum(
+                    p.calls for p in self.passes.values()
+                ),
+            },
+            "passes": {
+                name: entry.to_dict()
+                for name, entry in sorted(self.passes.items())
+            },
+            "workloads": {
+                name: entry.to_dict()
+                for name, entry in sorted(self.workloads.items())
+            },
+        }

@@ -57,6 +57,29 @@ def restore_procedure(proc: Procedure, snapshot: Procedure) -> Procedure:
     return proc
 
 
+def adopt_procedure(proc: Procedure, replacement: Procedure) -> Procedure:
+    """Replace *proc*'s body in place with a fresh-uid clone of *replacement*.
+
+    The dual of :func:`restore_procedure`, for installing a procedure that
+    came from *outside* the current process (a cache entry): the clone
+    mints fresh uids from this process's counter, so the adopted ops can
+    never alias uid-keyed side tables populated by other procedures.
+    Profile data collected *before* the adoption no longer applies to the
+    adopted ops; callers that feed a pre-adoption profile into a later
+    pass must re-profile first.
+    """
+    fresh = clone_procedure(replacement, preserve_uids=False)
+    proc.params = fresh.params
+    proc.blocks = fresh.blocks
+    proc._by_label = fresh._by_label
+    proc._next_reg = fresh._next_reg
+    proc._next_pred = fresh._next_pred
+    proc._next_btr = fresh._next_btr
+    proc._next_freg = fresh._next_freg
+    proc._next_label = fresh._next_label
+    return proc
+
+
 def clone_program(program: Program) -> Program:
     copy = Program(program.name)
     for segment in program.segments.values():

@@ -104,3 +104,17 @@ INFINITE = _paper_machine("infinite", 75, 25, 25, 25)
 
 #: The five machines of the paper's Table 2, in presentation order.
 PAPER_PROCESSORS = (SEQUENTIAL, NARROW, MEDIUM, WIDE, INFINITE)
+
+#: Name -> config, for callers (the build farm's worker processes) that
+#: must ship machine selections across process boundaries by name.
+PROCESSORS_BY_NAME = {p.name: p for p in PAPER_PROCESSORS}
+
+
+def processor_by_name(name: str) -> ProcessorConfig:
+    try:
+        return PROCESSORS_BY_NAME[name]
+    except KeyError:
+        raise MachineConfigError(
+            f"unknown processor {name!r}; "
+            f"known: {', '.join(PROCESSORS_BY_NAME)}"
+        ) from None

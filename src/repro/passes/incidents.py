@@ -48,6 +48,23 @@ class Incident:
             f"rung={self.rung})"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe form, for cross-process incident collection."""
+        return {
+            "pass_name": self.pass_name,
+            "proc_name": self.proc_name,
+            "severity": self.severity,
+            "error_type": self.error_type,
+            "message": self.message,
+            "action": self.action,
+            "rung": self.rung,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Incident":
+        return cls(**data)
+
 
 @dataclass
 class BuildReport:
@@ -95,6 +112,28 @@ class BuildReport:
         self.degraded += other.degraded
         self.rolled_back += other.rolled_back
         return self
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: counters plus every incident, in order."""
+        return {
+            "transactions": self.transactions,
+            "committed": self.committed,
+            "degraded": self.degraded,
+            "rolled_back": self.rolled_back,
+            "incidents": [i.to_dict() for i in self.incidents],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BuildReport":
+        report = cls(
+            transactions=data.get("transactions", 0),
+            committed=data.get("committed", 0),
+            degraded=data.get("degraded", 0),
+            rolled_back=data.get("rolled_back", 0),
+        )
+        for incident in data.get("incidents", []):
+            report.record(Incident.from_dict(incident))
+        return report
 
     def summary(self) -> str:
         if not self.incidents:

@@ -23,11 +23,16 @@ all-or-nothing behaviour.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import BudgetExceeded, ReproError, TransformError
-from repro.ir.cloning import restore_procedure, snapshot_procedure
+from repro.ir.cloning import (
+    adopt_procedure,
+    restore_procedure,
+    snapshot_procedure,
+)
 from repro.ir.procedure import Procedure, Program
 from repro.ir.verify import verify_procedure
 from repro.passes.incidents import (
@@ -155,6 +160,9 @@ class PassManager:
         entry: str = "main",
         reference: Optional[List] = None,
         fuel: int = DEFAULT_FUEL,
+        cache=None,
+        metrics=None,
+        context_key: Optional[str] = None,
     ):
         self.program = program
         self.report = report if report is not None else BuildReport()
@@ -165,6 +173,17 @@ class PassManager:
         self.entry = entry
         self.reference = reference
         self.fuel = fuel
+        #: Content-addressed transaction cache (:class:`repro.farm.cache
+        #: .PassCache`) plus the per-build context salt; both must be set
+        #: for memoization to engage, and fault-injected builds never
+        #: consult or populate the cache (their outcomes are sabotaged).
+        self.cache = cache
+        self.context_key = context_key
+        self.metrics = metrics
+        #: Transactions restored from the cache (used by the pipeline to
+        #: decide when a pre-pass profile has gone stale: adopted
+        #: procedures carry fresh op uids).
+        self.cache_restores = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -210,6 +229,21 @@ class PassManager:
         differential: Optional[bool],
     ):
         proc = self.program.procedures[proc_name]
+        started = time.perf_counter()
+        ops_before = proc.op_count()
+        key = self._cache_key(pass_name, proc)
+        if key is not None:
+            cached = self.cache.get_transaction(key)
+            if cached is not None:
+                replacement, result = cached
+                adopt_procedure(proc, replacement)
+                self.cache_restores += 1
+                self.report.transactions += 1
+                self.report.committed += 1
+                self._note(
+                    pass_name, started, ops_before, proc, cache_hit=True
+                )
+                return result
         snapshot = snapshot_procedure(proc)
         do_differential = (
             self.policy.differential if differential is None else differential
@@ -234,6 +268,20 @@ class PassManager:
             # Committed. A commit on a fallback rung is still an incident —
             # the build is degraded, just not incorrect.
             self.report.committed += 1
+            if key is not None and not failures:
+                # Only clean first-rung commits are memoized: a degraded
+                # commit's incident trail is not part of the cached value,
+                # and replaying it from cache would hide the degradation.
+                self.cache.put_transaction(
+                    key, snapshot_procedure(proc), result
+                )
+            self._note(
+                pass_name,
+                started,
+                ops_before,
+                proc,
+                cache_hit=False if key is not None else None,
+            )
             if failures:
                 self.report.degraded += 1
                 _, first_error = failures[0]
@@ -251,6 +299,7 @@ class PassManager:
                 )
             return result
         # Every rung failed: the procedure sits at its pre-pass snapshot.
+        self._note(pass_name, started, ops_before, proc, cache_hit=None)
         self.report.rolled_back += 1
         last_rung, last_error = failures[-1]
         self.report.record(
@@ -266,6 +315,47 @@ class PassManager:
             )
         )
         return _FAILED
+
+    def _cache_key(self, pass_name: str, proc: Procedure) -> Optional[str]:
+        """The transaction's content address, or None when caching is off.
+
+        Fault-injected builds never use the cache: their transactions are
+        deliberately sabotaged, so neither their outcomes nor the clean
+        outcome they would shadow may be memoized or replayed.
+        """
+        if (
+            self.cache is None
+            or self.context_key is None
+            or self.fault_plan is not None
+        ):
+            return None
+        from repro.farm.cache import CACHE_FORMAT_VERSION
+        from repro.farm.fingerprint import transaction_key
+
+        return transaction_key(
+            CACHE_FORMAT_VERSION,
+            self.context_key,
+            pass_name,
+            proc,
+            self.policy,
+        )
+
+    def _note(
+        self,
+        pass_name: str,
+        started: float,
+        ops_before: int,
+        proc: Procedure,
+        cache_hit,
+    ):
+        if self.metrics is not None:
+            self.metrics.record_pass(
+                pass_name,
+                time.perf_counter() - started,
+                ops_before,
+                proc.op_count(),
+                cache_hit=cache_hit,
+            )
 
     def _check(self, pass_name: str, proc: Procedure):
         if self.policy.verify:

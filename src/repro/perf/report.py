@@ -43,19 +43,15 @@ class WorkloadResult:
         return self.transformed_counts.ratios_against(self.baseline_counts)
 
 
-def evaluate_workload(
-    workload: Workload,
+def measure_build(
+    build: WorkloadBuild,
+    category: str = "util",
     processors: Sequence[ProcessorConfig] = PAPER_PROCESSORS,
-    options: Optional[PipelineOptions] = None,
     estimate_mode: str = "exit-aware",
 ) -> WorkloadResult:
-    """Build baseline + height-reduced code and measure both."""
-    build = build_workload(
-        workload.name, workload.compile(), workload.inputs,
-        options, entry=workload.entry,
-    )
+    """Measure an already-completed build on the given processors."""
     result = WorkloadResult(
-        name=workload.name, category=workload.category, build=build
+        name=build.name, category=category, build=build
     )
     for processor in processors:
         result.baseline_cycles[processor.name] = estimate_program_cycles(
@@ -73,6 +69,29 @@ def evaluate_workload(
         build.transformed, build.transformed_profile
     )
     return result
+
+
+def evaluate_workload(
+    workload: Workload,
+    processors: Sequence[ProcessorConfig] = PAPER_PROCESSORS,
+    options: Optional[PipelineOptions] = None,
+    estimate_mode: str = "exit-aware",
+    cache=None,
+    metrics=None,
+    inputs_key=None,
+) -> WorkloadResult:
+    """Build baseline + height-reduced code and measure both."""
+    build = build_workload(
+        workload.name, workload.compile(), workload.inputs,
+        options, entry=workload.entry,
+        cache=cache, metrics=metrics, inputs_key=inputs_key,
+    )
+    return measure_build(
+        build,
+        category=workload.category,
+        processors=processors,
+        estimate_mode=estimate_mode,
+    )
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -119,6 +119,9 @@ def _make_manager(
     inputs,
     entry: str,
     reference,
+    cache=None,
+    metrics=None,
+    context_key=None,
 ) -> PassManager:
     return PassManager(
         program,
@@ -130,7 +133,26 @@ def _make_manager(
         entry=entry,
         reference=reference,
         fuel=options.fuel,
+        cache=cache,
+        metrics=metrics,
+        context_key=context_key,
     )
+
+
+def _context_key(program: Program, options: PipelineOptions, inputs_key):
+    """The per-build transaction-cache salt; None disables memoization.
+
+    The salt pins everything a pass transaction's outcome may depend on
+    beyond the procedure's own IR: the whole original program (profiles
+    see cross-procedure execution), the pass configuration, and the
+    deterministic input recipe. Without an ``inputs_key`` the profile
+    provenance is unknown, so caching stays off.
+    """
+    if inputs_key is None:
+        return None
+    from repro.farm.fingerprint import transaction_context
+
+    return transaction_context(program, options, inputs_key)
 
 
 def _stage_fallback(
@@ -161,6 +183,9 @@ def build_baseline(
     options: Optional[PipelineOptions] = None,
     entry: str = "main",
     report: Optional[BuildReport] = None,
+    cache=None,
+    metrics=None,
+    inputs_key: Optional[str] = None,
 ) -> Tuple[Program, ProfileData]:
     """Produce the classically optimized superblock baseline."""
     options = options or PipelineOptions()
@@ -174,7 +199,9 @@ def build_baseline(
         baseline, inputs=inputs, entry=entry, fuel=options.fuel
     )
     manager = _make_manager(
-        baseline, options, report, inputs, entry, reference
+        baseline, options, report, inputs, entry, reference,
+        cache=cache, metrics=metrics,
+        context_key=_context_key(program, options, inputs_key),
     )
     if options.if_convert:
         manager.run_pass(
@@ -183,6 +210,13 @@ def build_baseline(
                 proc, seed_profile, options.if_convert_config
             ),
         )
+        if manager.cache_restores:
+            # Cache-restored procedures carry fresh op uids, so the
+            # uid-keyed branch statistics of the pre-pass profile no
+            # longer apply; re-profile before the profile-guided pass.
+            seed_profile = profile_program(
+                baseline, inputs=inputs, entry=entry, fuel=options.fuel
+            )
     manager.run_pass(
         "superblock",
         lambda proc: form_superblocks(proc, seed_profile, options.superblock),
@@ -227,6 +261,9 @@ def apply_control_cpr(
     options: Optional[PipelineOptions] = None,
     entry: str = "main",
     report: Optional[BuildReport] = None,
+    cache=None,
+    metrics=None,
+    inputs_key: Optional[str] = None,
 ) -> Tuple[Program, ProfileData, ICBMReport]:
     """FRP-convert the baseline and apply ICBM."""
     options = options or PipelineOptions()
@@ -248,7 +285,9 @@ def apply_control_cpr(
                 block.fallthrough,
             )
     manager = _make_manager(
-        transformed, options, report, inputs, entry, reference
+        transformed, options, report, inputs, entry, reference,
+        cache=cache, metrics=metrics,
+        context_key=_context_key(baseline, options, inputs_key),
     )
     frp_committed = manager.run_pass("frp", frp_convert_procedure)
     verify_program(transformed)
@@ -335,15 +374,27 @@ def build_workload(
     inputs,
     options: Optional[PipelineOptions] = None,
     entry: str = "main",
+    cache=None,
+    metrics=None,
+    inputs_key: Optional[str] = None,
 ) -> WorkloadBuild:
-    """Run the full two-build methodology for one workload."""
+    """Run the full two-build methodology for one workload.
+
+    ``cache`` (a :class:`repro.farm.cache.PassCache`) plus ``inputs_key``
+    (see :func:`repro.farm.fingerprint.workload_inputs_key`) enable
+    content-addressed memoization of every pass transaction; ``metrics``
+    (a :class:`repro.farm.metrics.CompileMetrics`) collects per-pass wall
+    time and cache counters.
+    """
     options = options or PipelineOptions()
     report = BuildReport()
     baseline, baseline_profile = build_baseline(
-        program, inputs, options, entry, report=report
+        program, inputs, options, entry, report=report,
+        cache=cache, metrics=metrics, inputs_key=inputs_key,
     )
     transformed, transformed_profile, icbm_report = apply_control_cpr(
-        baseline, inputs, options, entry, report=report
+        baseline, inputs, options, entry, report=report,
+        cache=cache, metrics=metrics, inputs_key=inputs_key,
     )
     return WorkloadBuild(
         name=name,

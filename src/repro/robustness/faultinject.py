@@ -19,12 +19,21 @@ reproducible (seeded) way:
 Fault selection is a pure function of the plan's seed, the pass name, the
 procedure name, and the per-spec firing count — no global randomness — so a
 failing injection test replays bit-for-bit.
+
+Parallel builders (the build farm, ``smoke --jobs``) must not share one
+plan across workloads: the mutable per-spec ``fired`` counters would then
+depend on completion order. :meth:`FaultPlan.derive` mints a fresh,
+independent plan per scope (workload name) whose seed — and therefore
+every RNG stream — depends only on ``(seed, scope)``, never on worker
+spawn order, process identity, or how many builds another derived plan
+already served.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import FuelExhausted, TransformError
@@ -78,6 +87,24 @@ class FaultPlan:
         self.seed = seed
         #: Every fault actually fired, as (pass_name, proc_name, kind).
         self.log: List[Tuple[str, str, str]] = []
+
+    def derive(self, scope: str) -> "FaultPlan":
+        """A fresh plan for *scope*, independent of this plan's history.
+
+        The derived seed is a stable hash of ``(seed, scope)`` and the
+        spec firing counters start at zero, so the faults injected into
+        one scope are a pure function of ``(seed, scope, pass_name,
+        proc_name, fired)``. Two runs that build the same scopes observe
+        identical faults regardless of build order or which worker
+        process handles which scope.
+        """
+        digest = hashlib.sha256(
+            f"{self.seed}:{scope}".encode("utf-8")
+        ).digest()
+        return FaultPlan(
+            [replace(spec, fired=0) for spec in self.specs],
+            seed=int.from_bytes(digest[:8], "big"),
+        )
 
     def wrap(self, pass_name: str, proc_name: str, fn):
         """Return *fn* wrapped to inject the first matching spec, if any."""

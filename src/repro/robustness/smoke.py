@@ -5,12 +5,18 @@ and asserts the resilience contract end to end: the build completes, the
 differential equivalence check passes (it runs inside ``build_workload``),
 and every fired fault is accounted for by at least one structured incident.
 Designed to finish in well under a minute so CI can run it on every push.
+
+``--jobs N`` fans the scenarios across a process pool. Each scenario
+derives its own :class:`FaultPlan` via :meth:`FaultPlan.derive`, so the
+injected faults — and the printed report, which follows scenario order,
+not completion order — are identical for every ``--jobs`` value.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.pipeline import PipelineOptions, build_workload
 from repro.robustness.faultinject import KINDS, FaultPlan, FaultSpec
@@ -19,37 +25,56 @@ from repro.workloads.registry import get_workload
 DEFAULT_WORKLOADS = ("strcpy", "cmp")
 
 
-def run_smoke(seed: int = 0, names=DEFAULT_WORKLOADS, out=sys.stdout) -> int:
+def _run_scenario(task) -> dict:
+    """One (workload, fault kind) build; must stay picklable by reference."""
+    name, kind, seed = task
+    workload = get_workload(name)
+    base = FaultPlan([FaultSpec(pass_name="icbm", kind=kind)], seed=seed)
+    plan = base.derive(f"{name}:{kind}")
+    build = build_workload(
+        workload.name,
+        workload.compile(),
+        workload.inputs,
+        PipelineOptions(fault_plan=plan),
+        entry=workload.entry,
+    )
+    report = build.build_report
+    return {
+        "name": name,
+        "kind": kind,
+        "fired": len(plan.log),
+        "incidents": len(report.incidents),
+        "degraded": report.degraded,
+        "rolled_back": report.rolled_back,
+    }
+
+
+def run_smoke(
+    seed: int = 0, names=DEFAULT_WORKLOADS, out=sys.stdout, jobs: int = 1
+) -> int:
+    tasks = [(name, kind, seed) for name in names for kind in KINDS]
+    if jobs <= 1 or len(tasks) <= 1:
+        results = [_run_scenario(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_run_scenario, tasks))
+
     failures = 0
-    for name in names:
-        for kind in KINDS:
-            workload = get_workload(name)
-            plan = FaultPlan(
-                [FaultSpec(pass_name="icbm", kind=kind)], seed=seed
-            )
-            build = build_workload(
-                workload.name,
-                workload.compile(),
-                workload.inputs,
-                PipelineOptions(fault_plan=plan),
-                entry=workload.entry,
-            )
-            report = build.build_report
-            fired = len(plan.log)
-            ok = fired > 0 and bool(report.incidents)
-            if not ok:
-                failures += 1
-            print(
-                f"{name:<10} {kind:<14} faults={fired:<3} "
-                f"incidents={len(report.incidents):<3} "
-                f"degraded={report.degraded} rolled_back={report.rolled_back} "
-                f"{'ok' if ok else 'FAIL'}",
-                file=out,
-            )
+    for row in results:
+        ok = row["fired"] > 0 and row["incidents"] > 0
+        if not ok:
+            failures += 1
+        print(
+            f"{row['name']:<10} {row['kind']:<14} faults={row['fired']:<3} "
+            f"incidents={row['incidents']:<3} "
+            f"degraded={row['degraded']} rolled_back={row['rolled_back']} "
+            f"{'ok' if ok else 'FAIL'}",
+            file=out,
+        )
     verdict = "SMOKE FAILED" if failures else "smoke ok"
     print(
-        f"{verdict}: {len(names) * len(KINDS) - failures}/"
-        f"{len(names) * len(KINDS)} scenarios recovered",
+        f"{verdict}: {len(tasks) - failures}/{len(tasks)} "
+        "scenarios recovered",
         file=out,
     )
     return 1 if failures else 0
@@ -66,9 +91,13 @@ def main(argv=None) -> int:
         default=",".join(DEFAULT_WORKLOADS),
         help="comma-separated workload names",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the scenario fan-out",
+    )
     args = parser.parse_args(argv)
     names = [name.strip() for name in args.workloads.split(",") if name.strip()]
-    return run_smoke(seed=args.seed, names=names)
+    return run_smoke(seed=args.seed, names=names, jobs=args.jobs)
 
 
 if __name__ == "__main__":

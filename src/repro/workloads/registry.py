@@ -72,6 +72,25 @@ def all_names() -> List[str]:
     return list(FACTORIES)
 
 
+def resolve_subset(spec: str = "") -> List[str]:
+    """Parse a comma-separated subset spec into validated registry names.
+
+    Empty (or ``None``) selects the whole registry in Table 2 order.
+    Unknown names raise :class:`ValueError` so CLI callers can report a
+    usage error instead of a traceback deep inside a farm worker.
+    """
+    if not spec:
+        return all_names()
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [name for name in names if name not in FACTORIES]
+    if unknown:
+        raise ValueError(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"known: {', '.join(FACTORIES)}"
+        )
+    return names
+
+
 def get_workload(name: str, scale: int = 1) -> Workload:
     try:
         factory = FACTORIES[name]

@@ -1,0 +1,94 @@
+"""Cache correctness: warm rebuilds are bit-for-bit identical to cold.
+
+The load-bearing property of the whole caching layer. `comparable()`
+covers everything observable — schedule-bearing IR digests, per-machine
+cycle counts, operation counts, the full BuildReport (incidents included),
+and the ICBM counters — so equality here means a warm rebuild is
+indistinguishable from a cold one.
+"""
+
+import pytest
+
+from repro.farm.cache import PassCache
+from repro.farm.farm import FarmOptions, build_farm
+from repro.farm.fingerprint import workload_inputs_key
+from repro.pipeline import PipelineOptions, build_workload
+from repro.robustness.faultinject import FaultPlan, FaultSpec
+from repro.workloads.registry import all_names, get_workload
+
+
+def _options(tmp_path, **kw):
+    return FarmOptions(
+        cache_root=str(tmp_path / "cache"), processors=("medium",), **kw
+    )
+
+
+def test_warm_rebuild_identical_for_every_registered_workload(tmp_path):
+    """Every workload in the registry: cold build, then warm rebuild from
+    the evaluation cache — identical results, every one a cache hit."""
+    names = all_names()
+    cold = build_farm(names, _options(tmp_path))
+    warm = build_farm(names, _options(tmp_path))
+
+    assert not any(s.from_cache for s in cold.summaries)
+    assert all(s.from_cache for s in warm.summaries)
+    for cold_s, warm_s in zip(cold.summaries, warm.summaries):
+        assert cold_s.comparable() == warm_s.comparable(), cold_s.name
+    assert warm.metrics.cache_misses == 0
+    assert warm.metrics.cache_hits == len(names)
+
+
+def test_pass_cache_alone_reproduces_cold_results(tmp_path):
+    """Delete the evaluation entries so the warm build must replay the
+    pipeline from per-pass transaction hits — results still identical."""
+    names = ["strcpy", "cmp"]
+    cold = build_farm(names, _options(tmp_path))
+
+    cache = PassCache(tmp_path / "cache")
+    assert cache.entry_count("txn.pkl") > 0
+    for path in list(cache.base.rglob("*.eval.json")):
+        path.unlink()
+
+    warm = build_farm(names, _options(tmp_path))
+    assert not any(s.from_cache for s in warm.summaries)
+    assert warm.metrics.cache_hits > 0
+    for name, cold_s, warm_s in zip(names, cold.summaries, warm.summaries):
+        assert cold_s.comparable() == warm_s.comparable(), name
+    # The replayed build commits the same transactions the cold one did.
+    for name in names:
+        assert (
+            warm.metrics.workloads[name].transactions
+            == cold.metrics.workloads[name].transactions
+        )
+
+
+def test_warm_results_identical_across_jobs(tmp_path):
+    names = ["strcpy", "cmp", "wc"]
+    cold = build_farm(names, _options(tmp_path, jobs=1))
+    warm = build_farm(names, _options(tmp_path, jobs=2))
+    assert all(s.from_cache for s in warm.summaries)
+    assert [s.comparable() for s in cold.summaries] == [
+        s.comparable() for s in warm.summaries
+    ]
+
+
+def test_fault_injected_builds_never_touch_the_cache(tmp_path):
+    """A sabotaged build must neither consult nor poison the cache."""
+    cache = PassCache(tmp_path / "cache")
+    workload = get_workload("strcpy")
+    plan = FaultPlan([FaultSpec(pass_name="icbm", kind="raise")], seed=1)
+    build = build_workload(
+        workload.name,
+        workload.compile(),
+        workload.inputs,
+        PipelineOptions(fault_plan=plan),
+        entry=workload.entry,
+        cache=cache,
+        inputs_key=workload_inputs_key(
+            workload.name, 1, workload.source, workload.entry
+        ),
+    )
+    assert plan.log, "fault never fired — test is vacuous"
+    assert build.build_report.incidents
+    assert cache.entry_count() == 0
+    assert cache.stats.hits == 0 and cache.stats.stores == 0

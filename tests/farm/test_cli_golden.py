@@ -1,0 +1,134 @@
+"""Golden-file CLI tests: metrics-JSON schema, --jobs, exit codes.
+
+The metrics document is compared *structurally* (every leaf replaced by
+its JSON type name) against a checked-in golden file, so timings and
+machine-local paths do not churn the golden while any schema drift —
+a renamed key, a type change, a dropped section — fails loudly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import errors
+from repro.__main__ import main
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def canon(value):
+    """Replace every JSON leaf with its type name; keep the key tree."""
+    if isinstance(value, dict):
+        return {key: canon(item) for key, item in value.items()}
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "null"
+    return type(value).__name__
+
+
+# ----------------------------------------------------------------------
+# --metrics-json schema
+# ----------------------------------------------------------------------
+def test_metrics_json_matches_golden_schema(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    code = main([
+        "evaluate", "strcpy",
+        "--cache", "--cache-dir", str(tmp_path / "cache"),
+        "--metrics-json", str(metrics_path),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    document = json.loads(metrics_path.read_text())
+    golden = json.loads((GOLDEN / "metrics_schema.json").read_text())
+    assert canon(document) == golden
+    # A few value-level invariants the type-only golden cannot see.
+    assert document["schema"] == "repro.farm.metrics/v1"
+    assert document["cache"]["enabled"] is True
+    assert document["cache"]["stores"] > 0
+    assert document["totals"]["workloads"] == 1
+
+
+def test_metrics_json_without_cache(tmp_path, capsys):
+    """--metrics-json works with caching off; the cache section reports
+    disabled with a null root (golden schema says "str" — checked here)."""
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["evaluate", "wc", "--metrics-json", str(metrics_path)]) == 0
+    capsys.readouterr()
+    document = json.loads(metrics_path.read_text())
+    assert document["cache"]["enabled"] is False
+    assert document["cache"]["root"] is None
+    assert document["jobs"] == 1
+
+
+# ----------------------------------------------------------------------
+# --jobs: identical output, golden table
+# ----------------------------------------------------------------------
+def test_table2_matches_golden_for_every_jobs_value(capsys):
+    golden = (GOLDEN / "table2_strcpy_cmp.txt").read_text()
+    for jobs in ("1", "2"):
+        code = main(["table2", "--subset", "strcpy,cmp", "--jobs", jobs])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out == golden, f"--jobs {jobs} diverged from golden"
+
+
+def test_warm_cache_output_identical_to_cold(tmp_path, capsys):
+    args = [
+        "table2", "--subset", "strcpy,cmp",
+        "--cache", "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+
+
+# ----------------------------------------------------------------------
+# Exit codes
+# ----------------------------------------------------------------------
+def test_exit_2_on_bad_usage(capsys):
+    assert main(["table2", "--jobs", "many"]) == 2
+    assert "jobs" in capsys.readouterr().err
+    assert main(["table2", "--subset", "strcpy,doesnotexist"]) == 2
+    assert "doesnotexist" in capsys.readouterr().err
+
+
+def test_exit_5_on_fuel_exhaustion(capsys):
+    assert main(["evaluate", "strcpy", "--fuel", "3"]) == 5
+    assert "FuelExhausted" in capsys.readouterr().err
+
+
+def test_exit_5_survives_the_process_pool(capsys):
+    """The worker's FuelExhausted crosses the pool boundary by type name
+    and still maps to exit code 5 in the parent."""
+    assert main([
+        "evaluate", "strcpy", "cmp", "--fuel", "3", "--jobs", "2",
+    ]) == 5
+    assert "FuelExhausted" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "raised,expected",
+    [
+        (errors.VerificationError(["bad op"]), 3),
+        (errors.TransformError("broken"), 4),
+        (errors.ParseError("syntax"), 2),
+        (errors.SchedulingError("no slot"), 4),
+    ],
+)
+def test_exit_codes_per_subsystem(monkeypatch, capsys, raised, expected):
+    def boom(names, options):
+        raise raised
+
+    monkeypatch.setattr("repro.__main__.build_farm", boom)
+    assert main(["evaluate", "strcpy"]) == expected
+    capsys.readouterr()

@@ -1,0 +1,108 @@
+"""The build-farm driver: fan-out, merging, determinism, errors."""
+
+import math
+
+import pytest
+
+from repro import errors
+from repro.farm.farm import (
+    FarmOptions,
+    WorkloadSummary,
+    build_farm,
+    resolve_jobs,
+)
+from repro.perf.report import evaluate_workload
+from repro.workloads.registry import get_workload
+
+PAIR = ["strcpy", "cmp"]
+
+
+def test_resolve_jobs():
+    assert resolve_jobs("auto") >= 1
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+    assert resolve_jobs("3") == 3
+    assert resolve_jobs(2) == 2
+    with pytest.raises(ValueError):
+        resolve_jobs("-1")
+    with pytest.raises(ValueError):
+        resolve_jobs("many")
+
+
+def test_farm_matches_legacy_evaluation():
+    """The farm's summaries must report exactly what the sequential
+    evaluator reports — same cycles, same ratios."""
+    farm = build_farm(["strcpy"], FarmOptions())
+    summary = farm.summaries[0]
+    legacy = evaluate_workload(get_workload("strcpy"))
+    for machine in ("sequential", "medium", "infinite"):
+        assert summary.speedup(machine) == legacy.speedup(machine)
+    assert summary.count_ratios() == legacy.count_ratios()
+    assert summary.category == "util"
+    assert not summary.from_cache
+
+
+def test_farm_result_order_follows_request_order():
+    options = FarmOptions(processors=("medium",))
+    forward = build_farm(PAIR, options)
+    backward = build_farm(list(reversed(PAIR)), options)
+    assert [s.name for s in forward.summaries] == PAIR
+    assert [s.name for s in backward.summaries] == list(reversed(PAIR))
+    assert (
+        forward.summary_for("cmp").comparable()
+        == backward.summary_for("cmp").comparable()
+    )
+
+
+def test_jobs_do_not_change_results():
+    options1 = FarmOptions(jobs=1, processors=("medium",))
+    options2 = FarmOptions(jobs=2, processors=("medium",))
+    sequential = build_farm(PAIR, options1)
+    parallel = build_farm(PAIR, options2)
+    assert parallel.jobs == 2
+    assert [s.comparable() for s in sequential.summaries] == [
+        s.comparable() for s in parallel.summaries
+    ]
+    # Metrics merge across workers: both runs saw the same transactions.
+    assert (
+        sequential.metrics.to_json_dict()["totals"]["pass_invocations"]
+        == parallel.metrics.to_json_dict()["totals"]["pass_invocations"]
+    )
+
+
+def test_worker_errors_reraise_with_original_type():
+    """FuelExhausted inside a worker must surface as FuelExhausted in the
+    parent — across the process pool — so CLI exit codes are stable."""
+    with pytest.raises(errors.FuelExhausted):
+        build_farm(["strcpy"], FarmOptions(fuel=3))
+    with pytest.raises(errors.SimulationError):
+        build_farm(PAIR, FarmOptions(jobs=2, fuel=3))
+
+
+def test_summary_comparable_excludes_timing():
+    summary = WorkloadSummary(
+        name="w", category="util", wall_s=1.5, from_cache=True
+    )
+    comparable = summary.comparable()
+    assert "wall_s" not in comparable and "from_cache" not in comparable
+
+
+def test_metrics_json_document():
+    farm = build_farm(["strcpy"], FarmOptions(processors=("medium",)))
+    doc = farm.metrics_json()
+    assert doc["jobs"] == 1
+    assert doc["cache"] == {
+        "enabled": False, "root": None, "hits": 0, "misses": 0, "stores": 0,
+    }
+    assert doc["totals"]["workloads"] == 1
+    assert doc["totals"]["pass_invocations"] > 0
+    assert doc["workloads"]["strcpy"]["from_cache"] is False
+
+
+def test_speedup_nan_on_zero_cycles():
+    summary = WorkloadSummary(
+        name="w",
+        category="util",
+        cycles={"medium": {"baseline": 10, "transformed": 0}},
+    )
+    assert math.isnan(summary.speedup("medium"))

@@ -1,0 +1,188 @@
+"""Content hashing and the on-disk cache store."""
+
+import pytest
+
+from repro.farm.cache import CACHE_FORMAT_VERSION, CacheStats, PassCache
+from repro.farm.fingerprint import (
+    evaluation_key,
+    operation_signature,
+    options_fingerprint,
+    procedure_signature,
+    program_signature,
+    stable_hash,
+    transaction_context,
+    transaction_key,
+    workload_inputs_key,
+)
+from repro.ir import clone_procedure
+from repro.pipeline import PipelineOptions
+from repro.robustness.faultinject import FaultPlan, FaultSpec
+
+from tests.conftest import build_strcpy_program
+
+
+# ----------------------------------------------------------------------
+# stable_hash
+# ----------------------------------------------------------------------
+def test_stable_hash_deterministic_and_order_sensitive():
+    assert stable_hash("a", "b") == stable_hash("a", "b")
+    assert stable_hash("a", "b") != stable_hash("b", "a")
+    # Part boundaries matter: ("ab", "") must not collide with ("a", "b").
+    assert stable_hash("ab", "") != stable_hash("a", "b")
+
+
+# ----------------------------------------------------------------------
+# IR signatures
+# ----------------------------------------------------------------------
+def test_procedure_signature_is_uid_free():
+    """Two independently built (hence differently uid'd) copies of the
+    same program hash equal — the property that makes cache keys valid
+    across worker processes."""
+    first = build_strcpy_program().procedures["main"]
+    second = build_strcpy_program().procedures["main"]
+    uids = {op.uid for op in first.blocks[0].ops}
+    assert uids != {op.uid for op in second.blocks[0].ops}
+    assert procedure_signature(first) == procedure_signature(second)
+
+
+def test_procedure_signature_survives_cloning():
+    proc = build_strcpy_program().procedures["main"]
+    assert procedure_signature(proc) == procedure_signature(
+        clone_procedure(proc)
+    )
+
+
+def test_signature_sees_attrs_the_text_form_omits():
+    """`region` never appears in Operation.format() but changes
+    dependence analysis, so it must change the signature."""
+    program = build_strcpy_program()
+    proc = program.procedures["main"]
+    before = procedure_signature(proc)
+    load = next(
+        op for op in proc.blocks[1].ops if "region" in op.attrs
+    )
+    load.attrs["region"] = "ELSEWHERE"
+    assert procedure_signature(proc) != before
+    assert "ELSEWHERE" in operation_signature(load)
+
+
+def test_program_signature_covers_segments():
+    program = build_strcpy_program()
+    before = program_signature(program)
+    program.segments["A"].size *= 2
+    assert program_signature(program) != before
+
+
+# ----------------------------------------------------------------------
+# Option fingerprints and key composition
+# ----------------------------------------------------------------------
+def test_options_fingerprint_tracks_pass_steering_knobs():
+    base = options_fingerprint(PipelineOptions())
+    assert options_fingerprint(PipelineOptions(fuel=7)) != base
+    assert options_fingerprint(PipelineOptions(if_convert=True)) != base
+
+
+def test_options_fingerprint_ignores_failure_handling_knobs():
+    """`resilient` and `fault_plan` change failure handling, never the
+    committed IR of a successful transaction — same fingerprint."""
+    base = options_fingerprint(PipelineOptions())
+    assert options_fingerprint(PipelineOptions(resilient=False)) == base
+    plan = FaultPlan([FaultSpec(kind="raise")], seed=3)
+    assert options_fingerprint(PipelineOptions(fault_plan=plan)) == base
+
+
+def test_transaction_key_separates_passes_and_content():
+    program = build_strcpy_program()
+    proc = program.procedures["main"]
+    options = PipelineOptions()
+    inputs = workload_inputs_key("w", 1, "src", "main")
+    context = transaction_context(program, options, inputs)
+    key = transaction_key(CACHE_FORMAT_VERSION, context, "dce", proc, None)
+    assert key != transaction_key(
+        CACHE_FORMAT_VERSION, context, "copyprop", proc, None
+    )
+    assert key != transaction_key(
+        CACHE_FORMAT_VERSION + 1, context, "dce", proc, None
+    )
+    other_context = transaction_context(
+        program, options, workload_inputs_key("w", 2, "src", "main")
+    )
+    assert key != transaction_key(
+        CACHE_FORMAT_VERSION, other_context, "dce", proc, None
+    )
+
+
+def test_evaluation_key_covers_machines_and_estimate_mode():
+    def key(processors=("medium",), mode="exit-aware", scale=1):
+        return evaluation_key(
+            CACHE_FORMAT_VERSION, "w", scale, "src", "main", "fp",
+            processors, mode,
+        )
+
+    assert key() == key()
+    assert key(processors=("medium", "wide")) != key()
+    assert key(mode="simple") != key()
+    assert key(scale=2) != key()
+
+
+# ----------------------------------------------------------------------
+# PassCache store
+# ----------------------------------------------------------------------
+def test_transaction_roundtrip(tmp_path):
+    cache = PassCache(tmp_path)
+    proc = build_strcpy_program().procedures["main"]
+    cache.put_transaction("ab" + "0" * 62, proc, {"removed": 3})
+    restored, result = cache.get_transaction("ab" + "0" * 62)
+    assert result == {"removed": 3}
+    assert procedure_signature(restored) == procedure_signature(proc)
+    assert cache.stats == CacheStats(hits=1, misses=0, stores=1)
+
+
+def test_evaluation_roundtrip_and_miss(tmp_path):
+    cache = PassCache(tmp_path)
+    key = "cd" + "1" * 62
+    assert cache.get_evaluation(key) is None
+    cache.put_evaluation(key, {"cycles": {"medium": 12}})
+    assert cache.get_evaluation(key) == {"cycles": {"medium": 12}}
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+def test_corrupt_entries_count_as_misses_and_are_deleted(tmp_path):
+    cache = PassCache(tmp_path)
+    key = "ef" + "2" * 62
+    cache.put_evaluation(key, {"ok": True})
+    cache._path(key, "eval.json").write_bytes(b"not json{")
+    assert cache.get_evaluation(key) is None
+    assert cache.stats.hits == 0 and cache.stats.misses == 1
+    assert not cache._path(key, "eval.json").exists()
+
+    cache.put_transaction(key, build_strcpy_program().procedures["main"], 1)
+    cache._path(key, "txn.pkl").write_bytes(b"\x80garbage")
+    assert cache.get_transaction(key) is None
+    assert not cache._path(key, "txn.pkl").exists()
+
+
+def test_version_bump_orphans_old_entries(tmp_path, monkeypatch):
+    cache = PassCache(tmp_path)
+    key = "0a" + "3" * 62
+    cache.put_evaluation(key, {"v": CACHE_FORMAT_VERSION})
+    monkeypatch.setattr(
+        "repro.farm.cache.CACHE_FORMAT_VERSION", CACHE_FORMAT_VERSION + 1
+    )
+    bumped = PassCache(tmp_path)
+    assert bumped.get_evaluation(key) is None
+    # The old entry still exists on disk, just under the old version dir.
+    assert cache.entry_count("eval.json") == 1
+    assert bumped.entry_count("eval.json") == 0
+
+
+def test_clear_and_entry_count(tmp_path):
+    cache = PassCache(tmp_path)
+    cache.put_evaluation("11" + "4" * 62, {})
+    cache.put_transaction(
+        "22" + "5" * 62, build_strcpy_program().procedures["main"], None
+    )
+    assert cache.entry_count() == 2
+    assert cache.entry_count("eval.json") == 1
+    cache.clear()
+    assert cache.entry_count() == 0

@@ -1,0 +1,69 @@
+"""Compile-metrics recording, merging, and the JSON document."""
+
+from repro.farm.cache import CacheStats
+from repro.farm.metrics import (
+    METRICS_SCHEMA,
+    CompileMetrics,
+    PassMetrics,
+    WorkloadMetrics,
+)
+
+
+def test_record_pass_tristate_cache_accounting():
+    metrics = CompileMetrics()
+    metrics.record_pass("dce", 0.5, 10, 8, cache_hit=True)
+    metrics.record_pass("dce", 0.25, 8, 8, cache_hit=False)
+    metrics.record_pass("dce", 0.25, 8, 8, cache_hit=None)  # uncached run
+    entry = metrics.passes["dce"]
+    assert entry.calls == 3
+    assert entry.cache_hits == 1 and entry.cache_misses == 1
+    assert entry.wall_s == 1.0
+    assert entry.ops_before == 26 and entry.ops_after == 24
+
+
+def test_merge_combines_workers_regardless_of_order():
+    def worker(name, wall):
+        m = CompileMetrics()
+        m.record_pass("icbm", wall, 5, 4, cache_hit=False)
+        m.record_workload(name, wall, transactions=2)
+        m.record_cache_stats(CacheStats(hits=1, misses=2, stores=2))
+        return m
+
+    ab = CompileMetrics()
+    ab.merge(worker("a", 1.0)).merge(worker("b", 2.0))
+    ba = CompileMetrics()
+    ba.merge(worker("b", 2.0)).merge(worker("a", 1.0))
+    assert ab.to_dict() == ba.to_dict()
+    assert ab.passes["icbm"].calls == 2
+    assert ab.total_wall_s == 3.0
+    assert ab.cache_misses == 4
+
+
+def test_dict_roundtrip():
+    metrics = CompileMetrics()
+    metrics.record_pass("frp", 0.125, 7, 9, cache_hit=True)
+    metrics.record_workload("w", 0.5, from_cache=True, incidents=1)
+    metrics.record_cache_stats(CacheStats(hits=3, misses=1, stores=1))
+    restored = CompileMetrics.from_dict(metrics.to_dict())
+    assert restored.to_dict() == metrics.to_dict()
+    assert isinstance(restored.passes["frp"], PassMetrics)
+    assert isinstance(restored.workloads["w"], WorkloadMetrics)
+    assert restored.workloads["w"].from_cache is True
+
+
+def test_json_document_shape():
+    metrics = CompileMetrics()
+    metrics.record_pass("dce", 0.25, 4, 3, cache_hit=False)
+    metrics.record_workload("w", 0.25, transactions=1)
+    doc = metrics.to_json_dict(
+        jobs=4, cache_enabled=True, cache_root="/tmp/c"
+    )
+    assert doc["schema"] == METRICS_SCHEMA
+    assert doc["jobs"] == 4
+    assert doc["cache"]["enabled"] is True
+    assert doc["cache"]["root"] == "/tmp/c"
+    assert doc["totals"] == {
+        "wall_s": 0.25, "workloads": 1, "pass_invocations": 1,
+    }
+    assert set(doc["passes"]) == {"dce"}
+    assert set(doc["workloads"]) == {"w"}
