@@ -24,6 +24,12 @@ cache (``--cache-dir`` overrides its location, default
 document. Results are deterministic: identical across ``--jobs`` values
 and cache states.
 
+``--sanitize[=fast|full]`` arms the semantic sanitizer battery
+(:mod:`repro.sanitize`) inside every pass transaction; findings roll the
+transaction back and are shrunk by the delta-debugging reducer into
+self-contained bundles under ``--repro-dir`` (default
+``repro-bundles/``).
+
 Library failures never surface as tracebacks: a one-line diagnostic goes to
 stderr and the process exits with a distinct code per failing subsystem —
 parse/semantic = 2, verify/IR = 3, transform/scheduling = 4,
@@ -96,6 +102,12 @@ def _farm_options(args, processors=MACHINES) -> FarmOptions:
         strict=getattr(args, "strict", False),
         fuel=getattr(args, "fuel", None),
         processors=tuple(processors),
+        sanitize=getattr(args, "sanitize", None),
+        repro_dir=(
+            getattr(args, "repro_dir", None)
+            if getattr(args, "sanitize", None)
+            else None
+        ),
     )
 
 
@@ -222,6 +234,20 @@ def main(argv=None) -> int:
             "--metrics-json", default=None, metavar="PATH",
             help="write compile metrics (per-pass wall time, cache "
                  "hit/miss counters, ops before/after) as JSON",
+        )
+        p_farm.add_argument(
+            "--sanitize", nargs="?", const="fast", default=None,
+            choices=("fast", "full"), metavar="TIER",
+            help="run the semantic sanitizer battery inside every pass "
+                 "transaction ('fast': IR checks only; 'full' adds "
+                 "profile-flow and schedule-legality checks); findings "
+                 "roll the transaction back and emit a minimized repro "
+                 "bundle",
+        )
+        p_farm.add_argument(
+            "--repro-dir", default="repro-bundles", metavar="PATH",
+            help="where --sanitize writes delta-debugged repro bundles "
+                 "for its findings",
         )
 
     p_show = sub.add_parser("show", help="inspect a workload's code")

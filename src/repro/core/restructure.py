@@ -98,6 +98,8 @@ def restructure_cpr_block(
         Opcode.PRED_SET, dests=[on_pred], srcs=[init_source]
     )
     off_init = Operation(Opcode.PRED_CLEAR, dests=[off_pred], srcs=[])
+    on_init.attrs["cpr_init"] = True
+    off_init.attrs["cpr_init"] = True
     first_compare = cpr.compares[0]
     block.insert_before(first_compare, on_init)
     block.insert_before(first_compare, off_init)
@@ -156,6 +158,7 @@ def restructure_cpr_block(
         comp_block.append(trap)
         btr = proc.new_btr()
         pbr = Operation(Opcode.PBR, dests=[btr], srcs=[comp_label])
+        pbr.attrs["cpr_bypass"] = True
         bypass = Operation(Opcode.BRANCH, srcs=[off_pred, btr])
         bypass.attrs["target"] = comp_label
         bypass.attrs["cpr_bypass"] = True

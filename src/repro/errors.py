@@ -30,6 +30,19 @@ class VerificationError(IRError):
         super().__init__(summary)
 
 
+class SanitizerError(IRError):
+    """The semantic sanitizer battery flagged one or more findings.
+
+    Carries the structured :class:`~repro.sanitize.findings.Finding`
+    objects in :attr:`findings` (empty when reconstructed from a bare
+    message, e.g. across a process-pool boundary).
+    """
+
+    def __init__(self, message, findings=None):
+        self.findings = list(findings) if findings else []
+        super().__init__(message)
+
+
 class ParseError(ReproError):
     """Raised by the frontend lexer/parser and the IR assembly parser."""
 

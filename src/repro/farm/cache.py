@@ -33,7 +33,9 @@ from typing import Any, Optional, Tuple
 from repro.ir.procedure import Procedure
 
 #: Bump on any change to pass semantics or stored payload formats.
-CACHE_FORMAT_VERSION = 1
+#: v2: sanitizer battery (entries produced before the battery existed
+#: were never sanitized; ICBM also tags its inserted bookkeeping ops).
+CACHE_FORMAT_VERSION = 2
 
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -140,6 +142,11 @@ class PassCache:
             "txn.pkl",
             pickle.dumps((proc, result), protocol=pickle.HIGHEST_PROTOCOL),
         )
+
+    def drop_transaction(self, key: str):
+        """Invalidate one transaction entry (e.g. it failed the
+        post-adoption sanitizer); mirrors the corrupt-entry handling."""
+        self._drop(key, "txn.pkl")
 
     # ------------------------------------------------------------------
     # Evaluation entries

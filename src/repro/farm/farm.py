@@ -66,11 +66,15 @@ class FarmOptions:
     fuel: Optional[int] = None
     processors: Sequence[str] = DEFAULT_PROCESSOR_NAMES
     estimate_mode: str = "exit-aware"
+    sanitize: Optional[str] = None  # None | "fast" | "full"
+    repro_dir: Optional[str] = None
 
     def pipeline_options(self) -> PipelineOptions:
         return PipelineOptions(
             resilient=not self.strict,
             fuel=DEFAULT_FUEL if self.fuel is None else self.fuel,
+            sanitize=self.sanitize,
+            repro_dir=self.repro_dir,
         )
 
 
@@ -327,6 +331,8 @@ def _task(name: str, options: FarmOptions) -> dict:
         "fuel": options.fuel,
         "processors": list(options.processors),
         "estimate_mode": options.estimate_mode,
+        "sanitize": options.sanitize,
+        "repro_dir": options.repro_dir,
     }
     task["_workload"] = name
     return task

@@ -93,7 +93,10 @@ def options_fingerprint(options) -> str:
     ``fault_plan`` is excluded because cached transactions are never taken
     from (or stored by) fault-injected builds; ``resilient`` is excluded
     because it changes failure *handling*, not the committed IR of a
-    successful transaction.
+    successful transaction. ``sanitize`` is included: a sanitized build
+    can roll transactions back (different committed IR), so its entries
+    must not alias unsanitized ones. ``repro_dir`` only steers artifact
+    output and is excluded.
     """
     return "|".join(
         [
@@ -104,6 +107,7 @@ def options_fingerprint(options) -> str:
             repr(options.verify_equivalence),
             repr(options.fuel),
             repr(options.transaction),
+            repr(getattr(options, "sanitize", None)),
         ]
     )
 

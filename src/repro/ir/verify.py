@@ -6,6 +6,9 @@ Checks structural invariants every pass must preserve:
 * every ``branch`` has a predicate source, a BTR source, and a resolved
   target label consistent with its defining ``pbr`` when that is local;
 * ``cmpp`` shape rules (enforced at construction, re-checked here);
+* control never passes an unconditional transfer: no operations after an
+  unguarded ``jump``/``return``, and at most one unguarded terminator
+  per block (guarded early returns are fine — they are conditional);
 * the final block does not fall off the end of the procedure;
 * every ``call`` names a known procedure (when a Program context is given).
 
@@ -37,8 +40,28 @@ def check_procedure(
 
     for block in proc.blocks:
         pbr_targets = {}
+        terminated = None  # first unguarded jump/return seen
         for op in block.ops:
             where = f"{proc.name}/{block.label}/uid={op.uid}"
+            unconditional_exit = (
+                op.opcode in (Opcode.JUMP, Opcode.RETURN)
+                and not op.is_guarded
+            )
+            if terminated is not None:
+                if unconditional_exit:
+                    problems.append(
+                        f"{where}: second unconditional "
+                        f"{op.opcode.name.lower()} in block (after "
+                        f"uid={terminated.uid})"
+                    )
+                else:
+                    problems.append(
+                        f"{where}: unreachable op after unconditional "
+                        f"{terminated.opcode.name.lower()} "
+                        f"uid={terminated.uid}"
+                    )
+            elif unconditional_exit:
+                terminated = op
             if op.opcode is Opcode.PBR:
                 target = op.branch_target()
                 if target is None:

@@ -21,6 +21,8 @@ SEVERITIES = ("info", "warning", "error")
 ACTION_DEGRADED = "degraded"          # a later ladder rung committed
 ACTION_ROLLED_BACK = "rolled-back"    # every rung failed; snapshot restored
 ACTION_RESTORED_BASELINE = "restored-baseline"  # stage-level fallback
+ACTION_FLAGGED = "flagged"            # sanitizer finding outside a rung
+#                                       (pipeline audit / cache adoption)
 
 
 @dataclass
@@ -35,18 +37,24 @@ class Incident:
     action: str = ACTION_ROLLED_BACK
     rung: str = "full"
     retries: int = 1
+    #: Path of the minimized repro bundle the reducer emitted for this
+    #: incident, when ``--sanitize`` ran with a repro directory.
+    bundle: Optional[str] = None
 
     def __post_init__(self):
         if self.severity not in SEVERITIES:
             raise ValueError(f"unknown severity {self.severity!r}")
 
     def format(self) -> str:
-        return (
+        text = (
             f"[{self.severity}] {self.pass_name}/{self.proc_name}: "
             f"{self.error_type}: {self.message} "
             f"({self.action} after {self.retries} attempt(s), "
             f"rung={self.rung})"
         )
+        if self.bundle:
+            text += f" [bundle: {self.bundle}]"
+        return text
 
     def to_dict(self) -> dict:
         """JSON-safe form, for cross-process incident collection."""
@@ -59,6 +67,7 @@ class Incident:
             "action": self.action,
             "rung": self.rung,
             "retries": self.retries,
+            "bundle": self.bundle,
         }
 
     @classmethod

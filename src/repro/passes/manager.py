@@ -27,7 +27,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.errors import BudgetExceeded, ReproError, TransformError
+from repro.errors import (
+    BudgetExceeded,
+    ReproError,
+    SanitizerError,
+    TransformError,
+)
 from repro.ir.cloning import (
     adopt_procedure,
     restore_procedure,
@@ -37,10 +42,12 @@ from repro.ir.procedure import Procedure, Program
 from repro.ir.verify import verify_procedure
 from repro.passes.incidents import (
     ACTION_DEGRADED,
+    ACTION_FLAGGED,
     ACTION_ROLLED_BACK,
     BuildReport,
     Incident,
 )
+from repro.sanitize.battery import format_findings, run_battery
 from repro.sim.interpreter import DEFAULT_FUEL, Interpreter
 
 #: Sentinel distinguishing "transaction failed on every rung" from a pass
@@ -163,6 +170,8 @@ class PassManager:
         cache=None,
         metrics=None,
         context_key: Optional[str] = None,
+        sanitize: Optional[str] = None,
+        repro_dir: Optional[str] = None,
     ):
         self.program = program
         self.report = report if report is not None else BuildReport()
@@ -184,6 +193,14 @@ class PassManager:
         #: decide when a pre-pass profile has gone stale: adopted
         #: procedures carry fresh op uids).
         self.cache_restores = 0
+        #: Sanitizer tier ("fast"/"full") or None; when set, the battery
+        #: runs inside every transaction check and after cache adoption.
+        self.sanitize = sanitize
+        #: Where reduced repro bundles land; None disables emission.
+        self.repro_dir = repro_dir
+        #: Profile the pipeline sets before profile-guided passes so
+        #: emitted bundles can include the procedure's profile slice.
+        self.bundle_profile = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -236,33 +253,78 @@ class PassManager:
             cached = self.cache.get_transaction(key)
             if cached is not None:
                 replacement, result = cached
+                pre_adopt = snapshot_procedure(proc)
                 adopt_procedure(proc, replacement)
-                self.cache_restores += 1
-                self.report.transactions += 1
-                self.report.committed += 1
-                self._note(
-                    pass_name, started, ops_before, proc, cache_hit=True
+                findings = []
+                if self.sanitize:
+                    # Re-sanitize after fresh-uid adoption: a poisoned
+                    # entry (corrupt pickle that still unpickles, or one
+                    # written by an older battery) must not ship.
+                    findings = run_battery(
+                        proc,
+                        tier=self.sanitize,
+                        before=pre_adopt,
+                        pass_name=pass_name,
+                    )
+                if not findings:
+                    self.cache_restores += 1
+                    self.report.transactions += 1
+                    self.report.committed += 1
+                    self._note(
+                        pass_name, started, ops_before, proc,
+                        cache_hit=True,
+                    )
+                    return result
+                # Drop the poisoned entry and fall through to a fresh
+                # run from the pre-adoption state.
+                restore_procedure(proc, pre_adopt)
+                self.cache.drop_transaction(key)
+                self.report.record(
+                    Incident(
+                        pass_name=pass_name,
+                        proc_name=proc_name,
+                        severity="warning",
+                        error_type="SanitizerError",
+                        message="cached transaction failed the "
+                                "sanitizer after adoption; entry "
+                                "dropped: "
+                                + format_findings(findings),
+                        action=ACTION_FLAGGED,
+                    )
                 )
-                return result
         snapshot = snapshot_procedure(proc)
         do_differential = (
             self.policy.differential if differential is None else differential
         )
         self.report.transactions += 1
         failures = []
+        corrupted = None  # (rung name, findings, corrupted clone)
         for rung in ladder:
             fn = rung.fn
             if self.fault_plan is not None:
                 fn = self.fault_plan.wrap(pass_name, proc_name, fn)
             try:
                 result = fn(proc)
-                self._check(pass_name, proc)
+                self._check(pass_name, proc, snapshot)
                 if do_differential:
                     self._differential_check(pass_name, proc_name)
             except ReproError as exc:
                 if not self.resilient:
                     raise
                 failures.append((rung, exc))
+                if (
+                    corrupted is None
+                    and isinstance(exc, SanitizerError)
+                    and exc.findings
+                    and self.repro_dir is not None
+                ):
+                    # Keep the corrupted IR for the reducer before the
+                    # rollback below erases it.
+                    corrupted = (
+                        rung.name,
+                        exc.findings,
+                        snapshot_procedure(proc),
+                    )
                 restore_procedure(proc, snapshot)
                 continue
             # Committed. A commit on a fallback rung is still an incident —
@@ -295,6 +357,7 @@ class PassManager:
                         action=ACTION_DEGRADED,
                         rung=rung.name,
                         retries=len(failures) + 1,
+                        bundle=self._emit_bundle(pass_name, corrupted),
                     )
                 )
             return result
@@ -312,9 +375,28 @@ class PassManager:
                 action=ACTION_ROLLED_BACK,
                 rung=last_rung.name,
                 retries=len(failures),
+                bundle=self._emit_bundle(pass_name, corrupted),
             )
         )
         return _FAILED
+
+    def _emit_bundle(self, pass_name: str, corrupted) -> Optional[str]:
+        """Minimize a sanitizer-corrupted procedure into a repro bundle."""
+        if corrupted is None or self.repro_dir is None:
+            return None
+        from repro.reduce.bundle import reduce_and_bundle
+
+        rung_name, findings, proc = corrupted
+        return reduce_and_bundle(
+            self.repro_dir,
+            proc,
+            findings,
+            pass_name,
+            rung=rung_name,
+            tier=self.sanitize or "fast",
+            policy=self.policy,
+            profile=self.bundle_profile,
+        )
 
     def _cache_key(self, pass_name: str, proc: Procedure) -> Optional[str]:
         """The transaction's content address, or None when caching is off.
@@ -357,7 +439,12 @@ class PassManager:
                 cache_hit=cache_hit,
             )
 
-    def _check(self, pass_name: str, proc: Procedure):
+    def _check(
+        self,
+        pass_name: str,
+        proc: Procedure,
+        snapshot: Optional[Procedure] = None,
+    ):
         if self.policy.verify:
             verify_procedure(proc, self.program)
         budget = self.policy.step_budget
@@ -366,6 +453,15 @@ class PassManager:
                 f"{pass_name} grew {proc.name} to {proc.op_count()} ops "
                 f"(step budget {budget})"
             )
+        if self.sanitize:
+            findings = run_battery(
+                proc,
+                tier=self.sanitize,
+                before=snapshot,
+                pass_name=pass_name,
+            )
+            if findings:
+                raise SanitizerError(format_findings(findings), findings)
 
     def _differential_check(self, pass_name: str, proc_name: str):
         if self.reference is None or self.inputs is None:

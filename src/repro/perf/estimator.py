@@ -56,15 +56,19 @@ def estimate_procedure_cycles(
             continue
         # Exit-aware: charge taken exits their completion cycle; the
         # remainder pays until the terminating jump/return takes effect
-        # (in-flight latencies overlap the successor block), or the full
-        # schedule length on a plain fall-through.
+        # (in-flight latencies overlap the successor block — the cycle
+        # simulator measures exactly this), or the full schedule length
+        # on a plain fall-through.
         remaining = entry_count
         cycles = 0.0
         for op in block.ops:
             if op.opcode is not Opcode.BRANCH:
                 continue
             taken = profile.branch_profile(proc.name, op).taken
-            taken = min(taken, remaining)
+            # A stale or inconsistent profile can claim more taken exits
+            # than entries remain; never let the remainder go negative
+            # (the sanitizer's profile-flow check flags the root cause).
+            taken = max(0, min(taken, remaining))
             if taken:
                 cycles += taken * max(schedule.exit_cycle(op), 1)
                 remaining -= taken

@@ -35,7 +35,7 @@ from repro.core.icbm import (
     apply_icbm,
     apply_icbm_isolated,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, SanitizerError
 from repro.ir.procedure import Program
 from repro.ir.verify import verify_program
 from repro.opt.copyprop import propagate_copies
@@ -45,6 +45,7 @@ from repro.opt.ifconvert import IfConvertConfig, if_convert_procedure
 from repro.opt.rename import rename_procedure_registers
 from repro.opt.superblock import SuperblockConfig, form_superblocks
 from repro.passes.incidents import (
+    ACTION_FLAGGED,
     ACTION_RESTORED_BASELINE,
     BuildReport,
     Incident,
@@ -76,6 +77,15 @@ class PipelineOptions:
     per-transaction differential check for ICBM so silent IR corruption is
     caught and rolled back per procedure. ``transaction`` carries the
     per-transaction verification/budget policy.
+
+    ``sanitize`` arms the semantic sanitizer battery
+    (:mod:`repro.sanitize`) inside every pass transaction: ``"fast"`` runs
+    the IR-only checks (def-before-use, CPR invariants, exit ordering,
+    on-trace growth), ``"full"`` additionally checks profile flow
+    conservation after each profiling sweep and schedule legality on the
+    final programs. Findings roll the transaction back like any other pass
+    failure and, when ``repro_dir`` is set, the failing procedure is
+    delta-debugged down to a minimal repro bundle there.
     """
 
     superblock: SuperblockConfig = field(default_factory=SuperblockConfig)
@@ -87,6 +97,8 @@ class PipelineOptions:
     resilient: bool = True
     fault_plan: Optional[object] = None
     transaction: TransactionPolicy = field(default_factory=TransactionPolicy)
+    sanitize: Optional[str] = None
+    repro_dir: Optional[str] = None
 
 
 @dataclass
@@ -136,6 +148,8 @@ def _make_manager(
         cache=cache,
         metrics=metrics,
         context_key=context_key,
+        sanitize=options.sanitize,
+        repro_dir=options.repro_dir,
     )
 
 
@@ -171,6 +185,66 @@ def _stage_fallback(
     )
 
 
+def _record_sanitizer_findings(
+    options: PipelineOptions,
+    report: BuildReport,
+    stage: str,
+    findings,
+):
+    """Turn stage-level sanitizer findings into an incident (or raise)."""
+    if not findings:
+        return
+    from repro.sanitize.battery import format_findings
+
+    exc = SanitizerError(format_findings(findings), findings)
+    if not options.resilient:
+        raise exc
+    report.record(
+        Incident(
+            pass_name=stage,
+            proc_name=findings[0].proc if findings else "*",
+            severity="error",
+            error_type="SanitizerError",
+            message=str(exc),
+            action=ACTION_FLAGGED,
+        )
+    )
+
+
+def _sanitize_profile(
+    program: Program,
+    profile: ProfileData,
+    options: PipelineOptions,
+    report: BuildReport,
+    stage: str,
+):
+    """Full-tier check: profile counts must conserve control flow."""
+    if options.sanitize != "full":
+        return
+    from repro.sanitize.profilecheck import profile_findings
+
+    _record_sanitizer_findings(
+        options, report, stage, profile_findings(program, profile)
+    )
+
+
+def _sanitize_schedule(
+    program: Program,
+    options: PipelineOptions,
+    report: BuildReport,
+    stage: str,
+):
+    """Full-tier check: final programs must schedule legally (MEDIUM)."""
+    if options.sanitize != "full":
+        return
+    from repro.machine.processor import MEDIUM
+    from repro.sanitize.schedcheck import schedule_findings
+
+    _record_sanitizer_findings(
+        options, report, stage, schedule_findings(program, MEDIUM)
+    )
+
+
 def _dce_pass(proc) -> int:
     removed = eliminate_dead_code(proc)
     removed += remove_unreachable_blocks(proc)
@@ -203,6 +277,8 @@ def build_baseline(
         cache=cache, metrics=metrics,
         context_key=_context_key(program, options, inputs_key),
     )
+    manager.bundle_profile = seed_profile
+    _sanitize_profile(baseline, seed_profile, options, report, "profile-seed")
     if options.if_convert:
         manager.run_pass(
             "if-convert",
@@ -217,6 +293,7 @@ def build_baseline(
             seed_profile = profile_program(
                 baseline, inputs=inputs, entry=entry, fuel=options.fuel
             )
+            manager.bundle_profile = seed_profile
     manager.run_pass(
         "superblock",
         lambda proc: form_superblocks(proc, seed_profile, options.superblock),
@@ -240,6 +317,9 @@ def build_baseline(
 
     profile = profile_program(
         baseline, inputs=inputs, entry=entry, fuel=options.fuel
+    )
+    _sanitize_profile(
+        baseline, profile, options, report, "profile-baseline"
     )
     return baseline, profile
 
@@ -295,6 +375,10 @@ def apply_control_cpr(
     # operations of exactly this program.
     frp_profile = profile_program(
         transformed, inputs=inputs, entry=entry, fuel=options.fuel
+    )
+    manager.bundle_profile = frp_profile
+    _sanitize_profile(
+        transformed, frp_profile, options, report, "profile-frp"
     )
     conservative = _conservative_config(options.cpr)
     ladder = [
@@ -365,6 +449,9 @@ def apply_control_cpr(
     final_profile = profile_program(
         transformed, inputs=inputs, entry=entry, fuel=options.fuel
     )
+    _sanitize_profile(
+        transformed, final_profile, options, report, "profile-cpr"
+    )
     return transformed, final_profile, combined
 
 
@@ -396,6 +483,8 @@ def build_workload(
         baseline, inputs, options, entry, report=report,
         cache=cache, metrics=metrics, inputs_key=inputs_key,
     )
+    _sanitize_schedule(baseline, options, report, "schedule-baseline")
+    _sanitize_schedule(transformed, options, report, "schedule-cpr")
     return WorkloadBuild(
         name=name,
         baseline=baseline,

@@ -1,0 +1,33 @@
+"""Delta-debugging reduction and repro-bundle emission.
+
+When ``--sanitize`` flags a miscompile, this package shrinks the
+failing procedure to a minimal reproducer (:mod:`repro.reduce.reducer`)
+and packages it with its pass configuration, profile slice, and machine
+descriptions as a self-contained bundle (:mod:`repro.reduce.bundle`).
+"""
+
+from repro.reduce.bundle import (
+    DEFAULT_REPRO_ROOT,
+    bundle_name,
+    emit_repro_bundle,
+    load_bundle_procedure,
+    reduce_and_bundle,
+    verify_bundle,
+)
+from repro.reduce.reducer import (
+    ddmin,
+    reduce_procedure,
+    sanitizer_oracle,
+)
+
+__all__ = [
+    "DEFAULT_REPRO_ROOT",
+    "bundle_name",
+    "ddmin",
+    "emit_repro_bundle",
+    "load_bundle_procedure",
+    "reduce_and_bundle",
+    "reduce_procedure",
+    "sanitizer_oracle",
+    "verify_bundle",
+]

@@ -1,0 +1,250 @@
+"""Self-contained repro bundles for sanitizer findings.
+
+A bundle is one directory under the repro root (``repro-bundles/`` by
+default), named ``<pass>-<proc>-<sig8>`` after the failing pass, the
+procedure, and a stable hash of the finding signatures. It contains
+everything needed to reproduce the finding without the failing build:
+
+* ``procedure.ir``   — the *minimized* procedure, printable IR text;
+* ``attrs.json``     — operation attributes the text format does not
+  carry (region tags, CPR markers), keyed by block label and op index,
+  so :func:`load_bundle_procedure` restores the exact IR;
+* ``finding.json``   — the findings, their signatures, and whether the
+  text round-trip re-triggers them;
+* ``pass.json``      — pass name, rung, transaction policy, sanitize
+  tier;
+* ``profile.json``   — the procedure's slice of the profile that drove
+  the failing build (block entry counts), when one was in scope;
+* ``machine.json``   — the paper's processor configurations;
+* ``README.md``      — a how-to-reproduce walkthrough.
+
+Bundle emission must never break a build: :func:`reduce_and_bundle`
+swallows its own failures and returns ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.farm.fingerprint import stable_hash
+from repro.ir.parser import parse_program
+from repro.ir.procedure import Procedure
+from repro.machine.processor import PAPER_PROCESSORS
+from repro.reduce.reducer import reduce_procedure, sanitizer_oracle
+from repro.sanitize.battery import run_battery
+from repro.sanitize.findings import Finding
+
+DEFAULT_REPRO_ROOT = "repro-bundles"
+
+#: Operation attributes the printable IR format already carries; they
+#: are re-derived by the parser and excluded from ``attrs.json``.
+_FORMAT_CARRIED_ATTRS = ("target", "callee")
+
+
+def _json_safe(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _collect_attrs(proc: Procedure) -> dict:
+    collected: dict = {}
+    for block in proc:
+        per_block = {}
+        for index, op in enumerate(block.ops):
+            attrs = {
+                key: _json_safe(value)
+                for key, value in sorted(op.attrs.items())
+                if key not in _FORMAT_CARRIED_ATTRS
+            }
+            if attrs:
+                per_block[str(index)] = attrs
+        if per_block:
+            collected[block.label.name] = per_block
+    return collected
+
+
+def bundle_name(pass_name: str, proc_name: str, signatures) -> str:
+    digest = stable_hash(
+        [f"{check}|{detail}" for check, detail in sorted(signatures)]
+    )
+    return f"{pass_name}-{proc_name}-{digest[:8]}"
+
+
+def emit_repro_bundle(
+    root: str,
+    proc: Procedure,
+    findings: List[Finding],
+    pass_name: str,
+    rung: str = "full",
+    tier: str = "fast",
+    policy=None,
+    profile=None,
+) -> str:
+    """Write one bundle directory; returns its path."""
+    signatures = sorted({f.signature() for f in findings})
+    path = os.path.join(root, bundle_name(pass_name, proc.name, signatures))
+    os.makedirs(path, exist_ok=True)
+
+    ir_text = proc.format()
+    _write(path, "procedure.ir", ir_text)
+    _write_json(path, "attrs.json", _collect_attrs(proc))
+
+    reparsed = load_bundle_procedure(path)
+    survivors = {f.signature() for f in run_battery(reparsed, tier="fast")}
+    reproduces = any(tuple(sig) in survivors for sig in signatures)
+    _write_json(path, "finding.json", {
+        "pass": pass_name,
+        "rung": rung,
+        "tier": tier,
+        "findings": [f.to_dict() for f in findings],
+        "signatures": [list(sig) for sig in signatures],
+        "reproduces_from_text": reproduces,
+    })
+    _write_json(path, "pass.json", {
+        "pass_name": pass_name,
+        "rung": rung,
+        "sanitize": tier,
+        "policy": None if policy is None else {
+            "verify": policy.verify,
+            "differential": policy.differential,
+            "step_budget": policy.step_budget,
+        },
+    })
+    profile_slice = {"available": False}
+    if profile is not None:
+        profile_slice = {
+            "available": True,
+            "runs": profile.runs,
+            "block_counts": {
+                label: count
+                for (name, label), count in
+                sorted(profile.block_counts.items())
+                if name == proc.name
+            },
+        }
+    _write_json(path, "profile.json", profile_slice)
+    _write_json(path, "machine.json", {
+        "processors": [
+            {
+                "name": p.name,
+                "units": {
+                    k: v for k, v in p.unit_counts.items()
+                },
+                "issue_width": p.issue_width,
+            }
+            for p in PAPER_PROCESSORS
+        ],
+    })
+    _write(path, "README.md", _readme(pass_name, proc, findings))
+    return path
+
+
+def load_bundle_procedure(path: str) -> Procedure:
+    """Parse ``procedure.ir`` and re-apply ``attrs.json``."""
+    with open(os.path.join(path, "procedure.ir")) as handle:
+        program = parse_program(handle.read())
+    proc = next(iter(program.procedures.values()))
+    attrs_path = os.path.join(path, "attrs.json")
+    if os.path.exists(attrs_path):
+        with open(attrs_path) as handle:
+            stored = json.load(handle)
+        for block in proc:
+            for index, attrs in stored.get(block.label.name, {}).items():
+                block.ops[int(index)].attrs.update(attrs)
+    return proc
+
+
+def verify_bundle(path: str) -> bool:
+    """Does re-running the battery on the bundle's IR re-trigger it?"""
+    with open(os.path.join(path, "finding.json")) as handle:
+        finding = json.load(handle)
+    proc = load_bundle_procedure(path)
+    found = {f.signature() for f in run_battery(proc, tier="fast")}
+    return any(
+        tuple(sig) in found for sig in finding["signatures"]
+    )
+
+
+def reduce_and_bundle(
+    root: str,
+    proc: Procedure,
+    findings: List[Finding],
+    pass_name: str,
+    rung: str = "full",
+    tier: str = "fast",
+    policy=None,
+    profile=None,
+) -> Optional[str]:
+    """Minimize *proc* against its findings and emit a bundle.
+
+    Returns the bundle path, or ``None`` when the findings do not
+    reproduce standalone (e.g. differential-only context) or emission
+    fails for any reason — a repro artifact is best-effort and must
+    never take the build down with it.
+    """
+    try:
+        oracle = sanitizer_oracle(
+            [f.signature() for f in findings], tier="fast"
+        )
+        if not oracle(proc):
+            return None
+        minimized = reduce_procedure(proc, oracle)
+        return emit_repro_bundle(
+            root,
+            minimized,
+            findings,
+            pass_name,
+            rung=rung,
+            tier=tier,
+            policy=policy,
+            profile=profile,
+        )
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
+def _write(path: str, name: str, content: str):
+    with open(os.path.join(path, name), "w") as handle:
+        handle.write(content if content.endswith("\n") else content + "\n")
+
+
+def _write_json(path: str, name: str, payload):
+    with open(os.path.join(path, name), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _readme(pass_name: str, proc: Procedure, findings) -> str:
+    lines = [
+        f"# Repro bundle: {pass_name} on {proc.name}",
+        "",
+        "Minimized by the delta-debugging reducer; the sanitizer "
+        "findings below still trigger on `procedure.ir`.",
+        "",
+        "## Findings",
+        "",
+    ]
+    lines.extend(f"- {f.format()}" for f in findings)
+    lines.extend([
+        "",
+        "## Reproduce",
+        "",
+        "```python",
+        "from repro.reduce.bundle import load_bundle_procedure",
+        "from repro.sanitize import run_battery",
+        "",
+        f"proc = load_bundle_procedure({os.curdir!r})  "
+        "# path of this directory",
+        "for finding in run_battery(proc):",
+        "    print(finding.format())",
+        "```",
+        "",
+        "`attrs.json` restores op attributes (CPR tags, memory regions) "
+        "the text format drops; `pass.json` and `profile.json` record "
+        "the transaction context of the original failure.",
+    ])
+    return "\n".join(lines)

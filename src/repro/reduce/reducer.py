@@ -1,0 +1,158 @@
+"""Delta-debugging reduction of failing procedures.
+
+Classic ddmin (Zeller & Hildebrandt) specialized to IR: given a
+procedure and an *oracle* (``Procedure -> bool``, True when the failure
+still reproduces), shrink the procedure by removing whole blocks, then
+individual operations (which removes hyperblock members op by op),
+iterating to a fixed point. Every step is deterministic — chunk
+splitting, iteration order, and variant construction are pure functions
+of the input — so the same failing procedure always minimizes to the
+same artifact.
+
+The oracle never sees the procedure being reduced: every candidate is a
+fresh clone, so a throwing or mutating oracle cannot corrupt the
+reduction state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.ir.block import Block
+from repro.ir.cloning import clone_procedure
+from repro.ir.procedure import Procedure
+from repro.sanitize.battery import run_battery
+
+Oracle = Callable[[Procedure], bool]
+
+
+# ----------------------------------------------------------------------
+# Generic ddmin
+# ----------------------------------------------------------------------
+def _split(items: Sequence, n: int) -> List[List]:
+    """*items* in n contiguous chunks, sizes differing by at most one."""
+    chunks = []
+    start = 0
+    for i in range(n):
+        size = (len(items) - start + (n - i - 1)) // (n - i)
+        chunks.append(list(items[start:start + size]))
+        start += size
+    return [chunk for chunk in chunks if chunk]
+
+
+def ddmin(items: Sequence, test: Callable[[List], bool]) -> List:
+    """Minimal sublist of *items* for which *test* still holds.
+
+    *test* must hold on the full list. The result is 1-minimal: removing
+    any single remaining element makes *test* fail.
+    """
+    items = list(items)
+    if not test(items):
+        raise ValueError("ddmin: test does not hold on the full input")
+    n = 2
+    while len(items) >= 2:
+        chunks = _split(items, n)
+        reduced = False
+        for chunk in chunks:
+            if test(chunk):
+                items = chunk
+                n = 2
+                reduced = True
+                break
+        if not reduced and n > 2:
+            for skip in range(len(chunks)):
+                complement = [
+                    item
+                    for j, chunk in enumerate(chunks)
+                    if j != skip
+                    for item in chunk
+                ]
+                if test(complement):
+                    items = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if n >= len(items):
+            break
+        n = min(len(items), n * 2)
+    return items
+
+
+# ----------------------------------------------------------------------
+# IR-shaped reduction
+# ----------------------------------------------------------------------
+def _with_blocks(proc: Procedure, blocks: Sequence[Block]) -> Procedure:
+    variant = Procedure(proc.name, params=list(proc.params))
+    for block in blocks:
+        variant.add_block(block.clone(block.label, preserve_uids=True))
+    return variant
+
+
+def _with_ops(proc: Procedure, items: Sequence[Tuple]) -> Procedure:
+    kept = {id(op) for _, op in items}
+    variant = Procedure(proc.name, params=list(proc.params))
+    for block in proc:
+        replacement = Block(
+            label=block.label, fallthrough=block.fallthrough
+        )
+        for op in block.ops:
+            if id(op) in kept:
+                replacement.append(op.clone(preserve_uid=True))
+        variant.add_block(replacement)
+    return variant
+
+
+def reduce_procedure(proc: Procedure, oracle: Oracle) -> Procedure:
+    """Shrink *proc* while *oracle* keeps reproducing the failure."""
+    current = clone_procedure(proc, preserve_uids=True)
+    if not oracle(current):
+        raise ValueError(
+            "reduce_procedure: oracle does not hold on the input"
+        )
+    changed = True
+    while changed:
+        changed = False
+        blocks = list(current)
+        if len(blocks) > 1:
+            kept = ddmin(
+                blocks, lambda bs: oracle(_with_blocks(current, bs))
+            )
+            if len(kept) < len(blocks):
+                current = _with_blocks(current, kept)
+                changed = True
+        items = [
+            (block.label, op) for block in current for op in block.ops
+        ]
+        if len(items) > 1:
+            kept = ddmin(
+                items, lambda its: oracle(_with_ops(current, its))
+            )
+            if len(kept) < len(items):
+                current = _with_ops(current, kept)
+                changed = True
+    return current
+
+
+def sanitizer_oracle(signatures, tier: str = "fast") -> Oracle:
+    """Oracle reproducing any of the given sanitizer finding signatures.
+
+    Signatures are the uid-free ``(check, detail)`` pairs of
+    :meth:`repro.sanitize.findings.Finding.signature`. Variants that
+    crash any analysis count as "not reproducing" — reduction never
+    propagates a new failure mode.
+    """
+    targets = {tuple(signature) for signature in signatures}
+
+    def oracle(candidate: Procedure) -> bool:
+        try:
+            found = {
+                finding.signature()
+                for finding in run_battery(candidate, tier=tier)
+            }
+        except Exception:
+            return False
+        return bool(targets & found)
+
+    return oracle

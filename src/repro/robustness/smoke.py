@@ -27,7 +27,7 @@ DEFAULT_WORKLOADS = ("strcpy", "cmp")
 
 def _run_scenario(task) -> dict:
     """One (workload, fault kind) build; must stay picklable by reference."""
-    name, kind, seed = task
+    name, kind, seed, sanitize = task
     workload = get_workload(name)
     base = FaultPlan([FaultSpec(pass_name="icbm", kind=kind)], seed=seed)
     plan = base.derive(f"{name}:{kind}")
@@ -35,7 +35,7 @@ def _run_scenario(task) -> dict:
         workload.name,
         workload.compile(),
         workload.inputs,
-        PipelineOptions(fault_plan=plan),
+        PipelineOptions(fault_plan=plan, sanitize=sanitize),
         entry=workload.entry,
     )
     report = build.build_report
@@ -50,9 +50,12 @@ def _run_scenario(task) -> dict:
 
 
 def run_smoke(
-    seed: int = 0, names=DEFAULT_WORKLOADS, out=sys.stdout, jobs: int = 1
+    seed: int = 0, names=DEFAULT_WORKLOADS, out=sys.stdout, jobs: int = 1,
+    sanitize=None,
 ) -> int:
-    tasks = [(name, kind, seed) for name in names for kind in KINDS]
+    tasks = [
+        (name, kind, seed, sanitize) for name in names for kind in KINDS
+    ]
     if jobs <= 1 or len(tasks) <= 1:
         results = [_run_scenario(task) for task in tasks]
     else:
@@ -95,9 +98,18 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=1,
         help="worker processes for the scenario fan-out",
     )
+    parser.add_argument(
+        "--sanitize", nargs="?", const="fast", default=None,
+        choices=("fast", "full"), metavar="TIER",
+        help="arm the semantic sanitizer battery inside every pass "
+             "transaction during the sweep",
+    )
     args = parser.parse_args(argv)
     names = [name.strip() for name in args.workloads.split(",") if name.strip()]
-    return run_smoke(seed=args.seed, names=names, jobs=args.jobs)
+    return run_smoke(
+        seed=args.seed, names=names, jobs=args.jobs,
+        sanitize=args.sanitize,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,44 @@
+"""Semantic IR sanitizers: the correctness net behind ``--sanitize``.
+
+The structural verifier (:mod:`repro.ir.verify`) checks labels and
+branch shapes; this package checks *meaning* — definitions reaching
+uses under implying predicates, CPR's wired-OR invariant, exit
+ordering, on-trace growth, profile flow conservation, and schedule
+legality. Findings are structured (:class:`Finding`) so the pass
+manager can turn them into incidents and the delta-debugging reducer
+(:mod:`repro.reduce`) can shrink whatever triggered them.
+"""
+
+from repro.sanitize.battery import (
+    GROWTH_CHECKED_PASSES,
+    TIERS,
+    format_findings,
+    run_battery,
+    sanitize_procedure,
+)
+from repro.sanitize.cprlint import (
+    CPR_INSERTED_TAGS,
+    exit_ordering_findings,
+    growth_findings,
+    wired_or_findings,
+)
+from repro.sanitize.defuse import def_before_use_findings
+from repro.sanitize.findings import Finding
+from repro.sanitize.profilecheck import profile_findings
+from repro.sanitize.schedcheck import schedule_findings
+
+__all__ = [
+    "CPR_INSERTED_TAGS",
+    "Finding",
+    "GROWTH_CHECKED_PASSES",
+    "TIERS",
+    "def_before_use_findings",
+    "exit_ordering_findings",
+    "format_findings",
+    "growth_findings",
+    "profile_findings",
+    "run_battery",
+    "sanitize_procedure",
+    "schedule_findings",
+    "wired_or_findings",
+]

@@ -1,0 +1,75 @@
+"""The sanitizer battery front-end: run checks, raise on findings.
+
+Two tiers:
+
+* ``fast`` — per-procedure IR-local checks, cheap enough to run inside
+  every pass transaction: def-before-use (flow-sensitive and
+  predicate-aware), the CPR wired-OR lint, exit-ordering irredundancy,
+  and (when the transaction provides a pre-pass snapshot of an ICBM
+  run) on-trace op-count non-increase.
+* ``full`` — everything in ``fast``, plus the whole-program checks the
+  pipeline runs where the needed context exists: CFG/profile flow
+  conservation after each profiling run and schedule legality on the
+  final programs. Those live in :func:`profile_findings` and
+  :func:`schedule_findings` and are invoked from ``repro.pipeline``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SanitizerError
+from repro.ir.procedure import Procedure
+from repro.sanitize.cprlint import (
+    exit_ordering_findings,
+    growth_findings,
+    wired_or_findings,
+)
+from repro.sanitize.defuse import def_before_use_findings
+from repro.sanitize.findings import Finding
+
+TIERS = ("fast", "full")
+
+#: Passes whose transactions are subject to the on-trace growth check.
+GROWTH_CHECKED_PASSES = ("icbm",)
+
+
+def run_battery(
+    proc: Procedure,
+    tier: str = "fast",
+    before: Optional[Procedure] = None,
+    pass_name: str = "",
+) -> List[Finding]:
+    """All findings for *proc*; *before* enables the growth check."""
+    if tier not in TIERS:
+        raise ValueError(f"unknown sanitize tier {tier!r}")
+    findings: List[Finding] = []
+    findings.extend(def_before_use_findings(proc))
+    findings.extend(wired_or_findings(proc))
+    if before is not None:
+        # Differential checks need the pre-pass snapshot; standalone
+        # battery runs (reducer oracle, final program audit) skip them.
+        findings.extend(exit_ordering_findings(proc, before))
+        if any(name in pass_name for name in GROWTH_CHECKED_PASSES):
+            findings.extend(growth_findings(proc, before))
+    return findings
+
+
+def sanitize_procedure(
+    proc: Procedure,
+    tier: str = "fast",
+    before: Optional[Procedure] = None,
+    pass_name: str = "",
+) -> None:
+    """Raise :class:`SanitizerError` when the battery finds anything."""
+    findings = run_battery(proc, tier=tier, before=before,
+                           pass_name=pass_name)
+    if findings:
+        raise SanitizerError(format_findings(findings), findings)
+
+
+def format_findings(findings: List[Finding]) -> str:
+    summary = "; ".join(f.format() for f in findings[:4])
+    if len(findings) > 4:
+        summary += f" ... ({len(findings)} findings total)"
+    return summary

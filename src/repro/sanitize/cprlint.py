@@ -1,0 +1,244 @@
+"""CPR-invariant lint: wired-OR shape, exit ordering, on-trace growth.
+
+Re-checks the invariants the paper's correctness argument rests on,
+*after* ICBM has run, independently of the transformation code:
+
+* **Wired-OR shape** — every lookahead compare group must accumulate
+  into exactly one on-trace FRP (AC action) and one off-trace FRP (ON
+  action), share a single root guard, be preceded by a ``pred_set`` /
+  ``pred_clear`` initialization pair, and no foreign operation may
+  write either FRP (the ``pg0 & (bc1 | ... | bcn)`` shape).
+* **Exit-ordering irredundancy** — no exit branch may be provably
+  unreachable given the earlier exits in the same block (its residual
+  taken condition, conjoined with every earlier exit's negation, must
+  not be identically false unless the branch itself is dead).
+* **On-trace op-count non-increase** — ICBM may add bookkeeping ops
+  (lookaheads, FRP inits, the bypass pair, split clones), but net of
+  those, a surviving on-trace block must not have grown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.predtrack import PredicateTracker
+from repro.ir.block import Block
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import PredReg
+from repro.ir.procedure import Procedure
+from repro.sanitize.findings import Finding
+
+#: Attribute tags marking operations ICBM/full-CPR legitimately insert
+#: on-trace; they are excluded from the growth accounting.
+CPR_INSERTED_TAGS = (
+    "cpr_lookahead", "cpr_bypass", "cpr_init", "cpr_split", "full_cpr",
+)
+
+
+def _is_inserted(op) -> bool:
+    return any(op.attrs.get(tag) for tag in CPR_INSERTED_TAGS)
+
+
+# ----------------------------------------------------------------------
+# Wired-OR / wired-AND shape
+# ----------------------------------------------------------------------
+def wired_or_findings(proc: Procedure) -> List[Finding]:
+    """Check each FRP accumulated by lookahead compares.
+
+    An FRP is grouped by the *action kind* its lookaheads use: AC (the
+    wired-AND on-trace FRP) or ON (the wired-OR off-trace FRP). DCE may
+    trim the unused side in the taken variation, so a lookahead with a
+    single surviving target is legal — but a target with any other
+    action, a mix of actions on one FRP, a missing initialization, or a
+    foreign writer is not.
+    """
+    findings: List[Finding] = []
+    for block in proc:
+        lookaheads = [
+            op for op in block.ops if op.attrs.get("cpr_lookahead")
+        ]
+        if not lookaheads:
+            continue
+        label = block.label.name
+        frp_groups: Dict[PredReg, Dict[str, List]] = {}
+        for op in lookaheads:
+            for target in op.pred_targets():
+                name = target.action.name
+                if name not in ("AC", "ON"):
+                    findings.append(Finding(
+                        check="cpr-wired-or",
+                        proc=proc.name,
+                        block=label,
+                        detail=f"{label}: lookahead uses {name} on "
+                               f"{target.reg}",
+                        message="lookahead targets must be AC "
+                                "(on-trace) or ON (off-trace)",
+                    ))
+                    continue
+                group = frp_groups.setdefault(target.reg, {})
+                group.setdefault(name, []).append(op)
+        for frp, by_action in sorted(
+            frp_groups.items(), key=lambda item: str(item[0])
+        ):
+            findings.extend(
+                _check_frp(proc, block, frp, by_action)
+            )
+    return findings
+
+
+#: Required initializer opcode per lookahead action kind: the wired-AND
+#: FRP starts true-under-root (pred_set), the wired-OR FRP starts false.
+_INIT_FOR_ACTION = {"AC": Opcode.PRED_SET, "ON": Opcode.PRED_CLEAR}
+
+
+def _check_frp(proc, block, frp, by_action) -> List[Finding]:
+    findings: List[Finding] = []
+    label = block.label.name
+    if len(by_action) > 1:
+        findings.append(Finding(
+            check="cpr-wired-or",
+            proc=proc.name,
+            block=label,
+            detail=f"{label}: FRP {frp} accumulated with mixed "
+                   f"actions",
+            message=f"actions: {sorted(by_action)}",
+        ))
+        return findings
+    action, ops = next(iter(by_action.items()))
+    guards = {op.guard for op in ops}
+    if len(guards) > 1:
+        findings.append(Finding(
+            check="cpr-wired-or",
+            proc=proc.name,
+            block=label,
+            detail=f"{label}: lookahead group for {frp} mixes root "
+                   f"guards",
+            message=f"guards: {sorted(str(g) for g in guards)}",
+        ))
+    first_index = min(block.index_of(op) for op in ops)
+    init_opcode = _INIT_FOR_ACTION[action]
+    has_init = any(
+        op.opcode is init_opcode and op.dests and op.dests[0] == frp
+        for op in block.ops[:first_index]
+    )
+    if not has_init:
+        findings.append(Finding(
+            check="cpr-wired-or",
+            proc=proc.name,
+            block=label,
+            detail=f"{label}: FRP {frp} missing "
+                   f"{init_opcode.name.lower()} init before first "
+                   f"lookahead",
+        ))
+    # No foreign writes to the FRP anywhere in the block.
+    group_uids = {op.uid for op in ops}
+    for op in block.ops:
+        if op.uid in group_uids:
+            continue
+        if op.opcode is init_opcode and op.dests and op.dests[0] == frp:
+            continue
+        if frp in set(op.dest_registers()):
+            findings.append(Finding(
+                check="cpr-wired-or",
+                proc=proc.name,
+                block=label,
+                detail=f"{label}: foreign {op.opcode.name.lower()} "
+                       f"writes FRP {frp}",
+                message="only the init and the group's lookaheads "
+                        "may write a lookahead FRP",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Exit-ordering irredundancy
+# ----------------------------------------------------------------------
+def _redundant_exits(proc: Procedure) -> List[Tuple[str, str, str]]:
+    """(block label, target label, source pred) of every exit branch
+    whose taken condition is provably subsumed by earlier exits in its
+    block (and is not itself identically false)."""
+    redundant = []
+    for block in proc:
+        exits = block.exit_branches()
+        if len(exits) < 2:
+            continue
+        tracker = PredicateTracker(block)
+        prefix = tracker.universe.true()  # "no earlier exit taken"
+        for op in exits:
+            taken = tracker.taken_expr.get(op.uid)
+            if taken is None or prefix is None:
+                prefix = None  # saturated: stop proving anything
+                continue
+            if (prefix & taken).is_false() and not taken.is_false():
+                target = op.branch_target()
+                where = target.name if target is not None else "?"
+                redundant.append(
+                    (block.label.name, where, str(op.srcs[0]))
+                )
+            prefix = prefix & ~taken
+    return redundant
+
+
+def exit_ordering_findings(
+    proc: Procedure, before: Procedure
+) -> List[Finding]:
+    """Redundant exits *introduced* relative to the pre-pass snapshot.
+
+    Source programs may legitimately carry redundant exit chains
+    (correct, merely suboptimal), so redundancy is only a miscompile
+    signal when a pass created it. Suppression is by (block, target)
+    pair; for blocks the pass created (tail duplicates, compensation
+    blocks) any target already redundant somewhere in the snapshot is
+    also suppressed, since moved or cloned branches keep their targets.
+    """
+    baseline = _redundant_exits(before)
+    by_block = {(label, target) for label, target, _ in baseline}
+    by_target = {target for _, target, _ in baseline}
+    before_labels = {block.label.name for block in before}
+    findings: List[Finding] = []
+    for label, target, source in _redundant_exits(proc):
+        if (label, target) in by_block:
+            continue
+        if label not in before_labels and target in by_target:
+            continue
+        findings.append(Finding(
+            check="exit-redundant",
+            proc=proc.name,
+            block=label,
+            detail=f"{label}: exit on {source} -> {target} is "
+                   f"redundant",
+            message="taken condition is subsumed by earlier exits in "
+                    "the block",
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# On-trace op-count non-increase
+# ----------------------------------------------------------------------
+def _organic_op_count(block: Block) -> int:
+    return sum(1 for op in block.ops if not _is_inserted(op))
+
+
+def growth_findings(proc: Procedure, before: Procedure) -> List[Finding]:
+    """Blocks surviving ICBM (same label before and after) must not have
+    grown, net of tagged bookkeeping insertions."""
+    findings: List[Finding] = []
+    before_counts = {
+        block.label: len(block.ops) for block in before
+    }
+    for block in proc:
+        if block.label not in before_counts:
+            continue  # new (compensation) block: off-trace by design
+        organic = _organic_op_count(block)
+        original = before_counts[block.label]
+        if organic > original:
+            findings.append(Finding(
+                check="on-trace-growth",
+                proc=proc.name,
+                block=block.label.name,
+                detail=f"{block.label.name}: on-trace op count grew",
+                message=f"{organic} organic ops after ICBM vs "
+                        f"{original} before (bookkeeping excluded)",
+            ))
+    return findings

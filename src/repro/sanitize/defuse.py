@@ -1,0 +1,207 @@
+"""Def-before-use sanitizers over registers, predicates, and BTRs.
+
+Three layers, from absolute to refined:
+
+1. A flow-sensitive **may-defined** forward dataflow over the CFG. A
+   predicate or branch-target register read at a point where *no* path
+   from entry carries a definition is an absolute violation: the
+   interpreter would silently default it (False / None), which is
+   exactly the shape of the clobbered-predicate miscompile the
+   fault-injection harness plants. General/float registers are exempt
+   from the flow-sensitive rule — workloads legitimately read
+   zero-default accumulators before the first in-loop definition.
+2. A weak whole-procedure rule for general/float registers: a read of a
+   register with no definition *anywhere* in the procedure and not a
+   parameter can never observe anything but the default.
+3. A **predicate-aware** in-block refinement: a use guarded by ``p``
+   needs a reaching definition under a condition implying ``p``
+   (ISSUE/paper terminology). Only predicates whose first definition is
+   inside the block are checked — entry-reaching definitions make the
+   use conservatively covered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.predtrack import PredicateTracker
+from repro.analysis.predexpr import conservative_implies
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import BTR, FReg, PredReg, Reg, TRUE_PRED
+from repro.ir.procedure import Procedure
+from repro.sanitize.findings import Finding
+
+#: Register classes under the strict flow-sensitive rule.
+_STRICT = (PredReg, BTR)
+
+
+def _may_defined_in(proc: Procedure, cfg: ControlFlowGraph) -> Dict:
+    """May-defined register sets at each reachable block's entry."""
+    entry_facts: Set = set(proc.params) | {TRUE_PRED}
+    block_defs = {
+        block.label: {
+            reg for op in block.ops for reg in op.dest_registers()
+        }
+        for block in proc
+    }
+    order = cfg.reverse_postorder()
+    may_in: Dict = {label: set() for label in order}
+    may_in[cfg.entry] = set(entry_facts)
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            incoming = set(entry_facts) if label == cfg.entry else set()
+            for pred_label in cfg.predecessors(label):
+                if pred_label in may_in:
+                    incoming |= may_in[pred_label]
+                    incoming |= block_defs[pred_label]
+            if not incoming <= may_in[label]:
+                may_in[label] |= incoming
+                changed = True
+    return may_in
+
+
+def _use_sites(op):
+    """(register, kind) pairs the interpreter actually reads for *op*."""
+    sites = []
+    if op.guard != TRUE_PRED:
+        sites.append((op.guard, "guard"))
+    if op.opcode is Opcode.BRANCH:
+        if isinstance(op.srcs[0], PredReg):
+            sites.append((op.srcs[0], "src"))
+        if len(op.srcs) > 1 and isinstance(op.srcs[1], BTR):
+            sites.append((op.srcs[1], "btr"))
+        return sites
+    for src in op.srcs:
+        if isinstance(src, (Reg, FReg, PredReg, BTR)):
+            sites.append((src, "src"))
+    return sites
+
+
+def def_before_use_findings(proc: Procedure) -> List[Finding]:
+    findings: List[Finding] = []
+    if not proc.blocks:
+        return findings
+    cfg = ControlFlowGraph(proc)
+    may_in = _may_defined_in(proc, cfg)
+    blocks = {block.label: block for block in proc}
+
+    # Weak whole-procedure rule for Reg/FReg.
+    all_defs: Set = set(proc.params)
+    for block in proc:
+        for op in block.ops:
+            all_defs.update(op.dest_registers())
+
+    for label in cfg.reverse_postorder():
+        block = blocks[label]
+        defined = set(may_in[label])
+        for op in block.ops:
+            for reg, kind in _use_sites(op):
+                if reg == TRUE_PRED:
+                    continue
+                name = op.opcode.name.lower()
+                if isinstance(reg, _STRICT) and reg not in defined:
+                    findings.append(Finding(
+                        check="def-before-use",
+                        proc=proc.name,
+                        block=label.name,
+                        detail=f"{label.name}: {name} reads "
+                               f"undefined {reg}",
+                        message=f"no definition of {reg} reaches this "
+                                f"{kind} use on any path from entry",
+                    ))
+                elif isinstance(reg, (Reg, FReg)) and reg not in all_defs:
+                    findings.append(Finding(
+                        check="def-before-use",
+                        proc=proc.name,
+                        block=label.name,
+                        detail=f"{label.name}: {name} reads "
+                               f"never-defined {reg}",
+                        message=f"{reg} has no definition anywhere in "
+                                f"{proc.name} and is not a parameter",
+                    ))
+            defined.update(op.dest_registers())
+
+    findings.extend(_predicate_aware_findings(proc, may_in))
+    return findings
+
+
+def _predicate_aware_findings(proc: Procedure, may_in) -> List[Finding]:
+    """In-block refinement: use under ``p`` needs a def implying ``p``."""
+    findings: List[Finding] = []
+    for block in proc:
+        label = block.label
+        if label not in may_in:
+            continue  # unreachable
+        tracker = PredicateTracker(block)
+        universe = tracker.universe
+        true_expr = universe.true()
+        # coverage[p]: condition under which p holds a written value.
+        coverage: Dict[PredReg, object] = {}
+        for reg in may_in[label]:
+            if isinstance(reg, PredReg):
+                coverage[reg] = true_expr
+        for op in block.ops:
+            guard_expr = tracker.guard_expr.get(op.uid)
+            if op.opcode is Opcode.BRANCH and isinstance(
+                op.srcs[0], PredReg
+            ):
+                reg = op.srcs[0]
+                if reg != TRUE_PRED:
+                    have = coverage.get(reg)
+                    need = guard_expr
+                    covered = (
+                        have is not None
+                        and conservative_implies(need, have)
+                    )
+                    if not covered and need is not None:
+                        findings.append(Finding(
+                            check="def-before-use",
+                            proc=proc.name,
+                            block=label.name,
+                            detail=f"{label.name}: branch reads {reg} "
+                                   f"without a covering definition",
+                            message="no reaching definition under a "
+                                    "condition implying the use guard",
+                        ))
+            # Record this op's predicate writes into the coverage map.
+            for target in op.pred_targets():
+                if target.action.kind == "U":
+                    coverage[target.reg] = true_expr
+                else:
+                    # O/A-kind targets conditionally update; they only
+                    # *extend* coverage when the old value was covered,
+                    # which the |= below conservatively under-approximates
+                    # by the guard condition.
+                    prior = coverage.get(target.reg)
+                    term = guard_expr
+                    if prior is None:
+                        coverage[target.reg] = term
+                    elif term is not None:
+                        coverage[target.reg] = prior | term
+            if op.opcode in (Opcode.PRED_SET, Opcode.PRED_CLEAR):
+                dest = op.dests[0]
+                if op.guard == TRUE_PRED:
+                    coverage[dest] = true_expr
+                else:
+                    prior = coverage.get(dest)
+                    if prior is not None and guard_expr is not None:
+                        coverage[dest] = prior | guard_expr
+                    elif guard_expr is not None:
+                        coverage[dest] = guard_expr
+                continue
+            for dest in op.dest_registers():
+                if isinstance(dest, PredReg) and not any(
+                    t.reg == dest for t in op.pred_targets()
+                ):
+                    if op.guard == TRUE_PRED:
+                        coverage[dest] = true_expr
+                    elif guard_expr is not None:
+                        prior = coverage.get(dest)
+                        coverage[dest] = (
+                            prior | guard_expr
+                            if prior is not None else guard_expr
+                        )
+    return findings

@@ -1,0 +1,59 @@
+"""Structured sanitizer findings.
+
+A :class:`Finding` is one violated invariant, localized to a procedure
+and block. The :meth:`Finding.signature` tuple is deliberately uid-free
+— it names the check, the block label, and the operands involved — so
+the same miscompile produces the same signature after cloning, delta
+reduction, and a round-trip through the IR text parser. The reducer's
+oracle and the repro-bundle verifier both match on signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer violation.
+
+    ``check``    short check name (``def-before-use``, ``cpr-wired-or``,
+                 ``exit-redundant``, ``on-trace-growth``,
+                 ``profile-flow``, ``sched-latency``, ``sched-resource``).
+    ``proc``     procedure name.
+    ``block``    block label ("" for procedure-wide findings).
+    ``detail``   stable, uid-free description of the violating shape;
+                 two findings with equal (check, detail) are "the same
+                 bug" for reduction/reproduction purposes.
+    ``message``  human-oriented elaboration (may mention counts etc.).
+    """
+
+    check: str
+    proc: str
+    block: str
+    detail: str
+    message: str = ""
+
+    def signature(self) -> Tuple[str, str]:
+        return (self.check, self.detail)
+
+    def format(self) -> str:
+        where = f"{self.proc}/{self.block}" if self.block else self.proc
+        text = f"[{self.check}] {where}: {self.detail}"
+        if self.message:
+            text += f" ({self.message})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "proc": self.proc,
+            "block": self.block,
+            "detail": self.detail,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(**data)

@@ -1,0 +1,103 @@
+"""CFG/profile consistency: flow conservation between counters.
+
+The profiler counts block entries, op executions, and branch outcomes
+independently; on a correct (program, profile) pair they must conserve
+flow:
+
+* a branch cannot execute more often than control reached it — its
+  ``taken + not_taken`` is bounded by the block's entry count minus
+  every earlier exit's taken count;
+* a terminating ``jump`` must execute exactly as often as the flow
+  remaining after the side exits;
+* every non-entry block's entry count must equal the flow its
+  predecessors send it (branch taken counts, jump executions, and
+  fall-through remainders).
+
+Entry blocks are excluded from the inflow equation (calls and the
+initial transfer enter there), and procedures never profiled (zero
+entries everywhere) trivially conserve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.opcodes import Opcode
+from repro.ir.procedure import Program
+from repro.sanitize.findings import Finding
+
+
+def profile_findings(program: Program, profile) -> List[Finding]:
+    findings: List[Finding] = []
+    for proc in program.procedures.values():
+        findings.extend(_check_procedure(proc, profile))
+    return findings
+
+
+def _check_procedure(proc, profile) -> List[Finding]:
+    findings: List[Finding] = []
+    inflow: Dict = {}  # label -> flow sent by predecessors
+
+    def add_flow(target, amount):
+        if target is not None and amount:
+            inflow[target] = inflow.get(target, 0) + amount
+
+    for block in proc:
+        label = block.label.name
+        entry = profile.block_count(proc.name, block.label)
+        remaining = entry
+        for op in block.ops:
+            if op.opcode is not Opcode.BRANCH:
+                continue
+            bp = profile.branch_profile(proc.name, op)
+            if bp.executed > remaining:
+                target = op.branch_target()
+                where = target.name if target is not None else "?"
+                findings.append(Finding(
+                    check="profile-flow",
+                    proc=proc.name,
+                    block=label,
+                    detail=f"{label}: branch -> {where} over-executes",
+                    message=f"executed {bp.executed} times but only "
+                            f"{remaining} entries remain after earlier "
+                            f"exits",
+                ))
+                remaining = 0
+                continue
+            add_flow(op.branch_target(), bp.taken)
+            remaining -= bp.taken
+        terminator = block.terminator()
+        if terminator is None:
+            add_flow(block.fallthrough, remaining)
+        elif terminator.opcode is Opcode.JUMP:
+            executed = profile.op_count(proc.name, terminator)
+            if executed != remaining:
+                findings.append(Finding(
+                    check="profile-flow",
+                    proc=proc.name,
+                    block=label,
+                    detail=f"{label}: jump count disagrees with "
+                           f"remaining flow",
+                    message=f"jump executed {executed} times, "
+                            f"{remaining} entries remained",
+                ))
+            add_flow(terminator.branch_target(), executed)
+        # RETURN: flow leaves the procedure.
+
+    entry_label = proc.entry.label if proc.blocks else None
+    for block in proc:
+        if block.label == entry_label:
+            continue
+        expected = inflow.get(block.label, 0)
+        entry = profile.block_count(proc.name, block.label)
+        if entry != expected:
+            findings.append(Finding(
+                check="profile-flow",
+                proc=proc.name,
+                block=block.label.name,
+                detail=f"{block.label.name}: entry count breaks flow "
+                       f"conservation",
+                message=f"counted {entry} entries, predecessors sent "
+                        f"{expected}",
+            ))
+    return findings

@@ -1,0 +1,103 @@
+"""Schedule-legality checker: independent re-validation of schedules.
+
+Re-derives the dependence graph and resource table for every block and
+checks the scheduler's output against them — placements must respect
+every dependence edge's latency and never oversubscribe a functional
+unit class or the issue width in any cycle. The checker shares no state
+with the list scheduler's placement loop, so a scheduler bug (or a
+hand-edited schedule) is caught rather than reproduced.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.analysis.dependence import DependenceGraph
+from repro.analysis.liveness import LivenessAnalysis
+from repro.ir.procedure import Program
+from repro.machine.processor import ProcessorConfig
+from repro.sanitize.findings import Finding
+from repro.sched.list_scheduler import schedule_block
+
+
+def schedule_findings(
+    program: Program, processor: ProcessorConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for proc in program.procedures.values():
+        liveness = LivenessAnalysis(proc)
+        for block in proc:
+            findings.extend(
+                _check_block(proc, block, processor, liveness)
+            )
+    return findings
+
+
+def _check_block(proc, block, processor, liveness) -> List[Finding]:
+    findings: List[Finding] = []
+    label = block.label.name
+    latencies = processor.latencies
+    graph = DependenceGraph(block, latencies, liveness=liveness)
+    schedule = schedule_block(block, processor, graph=graph)
+    ops = graph.ops
+
+    missing = [op for op in ops if op.uid not in schedule.cycles]
+    for op in missing:
+        findings.append(Finding(
+            check="sched-resource",
+            proc=proc.name,
+            block=label,
+            detail=f"{label}: {op.opcode.name.lower()} left unplaced",
+        ))
+    if missing:
+        return findings
+
+    # Latency legality: every dependence edge must have elapsed.
+    for edge in graph.edges:
+        src, dst = ops[edge.src], ops[edge.dst]
+        issued = schedule.cycles[src.uid]
+        needed = issued + edge.latency
+        if schedule.cycles[dst.uid] < needed:
+            findings.append(Finding(
+                check="sched-latency",
+                proc=proc.name,
+                block=label,
+                detail=f"{label}: {dst.opcode.name.lower()} issues "
+                       f"before its {edge.kind} dependence on "
+                       f"{src.opcode.name.lower()} resolves",
+                message=f"issued at cycle {schedule.cycles[dst.uid]}, "
+                        f"legal from {needed}",
+            ))
+
+    # Resource legality: per-cycle unit usage and total issue width.
+    unit_counts = processor.unit_counts
+    by_cycle: Counter = Counter()
+    unit_by_cycle: Counter = Counter()
+    for op in ops:
+        cycle = schedule.cycles[op.uid]
+        by_cycle[cycle] += 1
+        unit_by_cycle[(cycle, op.opcode.unit_class())] += 1
+    if processor.issue_width is not None:
+        for cycle, used in sorted(by_cycle.items()):
+            if used > processor.issue_width:
+                findings.append(Finding(
+                    check="sched-resource",
+                    proc=proc.name,
+                    block=label,
+                    detail=f"{label}: issue width exceeded",
+                    message=f"{used} ops in cycle {cycle}, width "
+                            f"{processor.issue_width}",
+                ))
+    for (cycle, unit), used in sorted(unit_by_cycle.items()):
+        capacity = unit_counts.get(unit)
+        if capacity is not None and used > capacity:
+            findings.append(Finding(
+                check="sched-resource",
+                proc=proc.name,
+                block=label,
+                detail=f"{label}: unit class {unit} oversubscribed",
+                message=f"{used} ops in cycle {cycle}, {capacity} "
+                        f"units",
+            ))
+    return findings

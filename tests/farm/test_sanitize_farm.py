@@ -1,0 +1,43 @@
+"""--sanitize on the build farm: clean runs, determinism, key salting."""
+
+from repro.__main__ import main
+from repro.farm.farm import FarmOptions, build_farm
+from repro.farm.fingerprint import options_fingerprint
+
+
+def test_sanitized_clean_run_matches_unsanitized_results():
+    plain = build_farm(["strcpy"], FarmOptions())
+    sanitized = build_farm(["strcpy"], FarmOptions(sanitize="full"))
+    # Zero findings on a clean build: identical IR, cycles, and counts,
+    # and no incidents introduced by the battery.
+    assert (
+        plain.summaries[0].comparable()
+        == sanitized.summaries[0].comparable()
+    )
+    assert sanitized.summaries[0].report.get("incidents", []) == []
+
+
+def test_sanitize_salts_the_options_fingerprint():
+    # A sanitized build can commit different IR (rollbacks), so its cache
+    # entries must never alias an unsanitized build's.
+    fingerprints = {
+        options_fingerprint(
+            FarmOptions(sanitize=tier).pipeline_options()
+        )
+        for tier in (None, "fast", "full")
+    }
+    assert len(fingerprints) == 3
+
+
+def test_repro_dir_does_not_affect_the_fingerprint():
+    assert options_fingerprint(
+        FarmOptions(sanitize="fast", repro_dir="a").pipeline_options()
+    ) == options_fingerprint(
+        FarmOptions(sanitize="fast", repro_dir="b").pipeline_options()
+    )
+
+
+def test_cli_accepts_bare_sanitize_flag(capsys):
+    assert main(["evaluate", "strcpy", "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    assert "strcpy" in out

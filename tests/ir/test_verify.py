@@ -5,6 +5,7 @@ import pytest
 from repro.errors import VerificationError
 from repro.ir import (
     BTR,
+    Cond,
     Block,
     IRBuilder,
     Label,
@@ -117,3 +118,29 @@ def test_verification_error_lists_problems():
     with pytest.raises(VerificationError) as info:
         verify_procedure(proc)
     assert info.value.problems
+
+
+def test_op_after_unguarded_return_rejected():
+    proc = minimal_proc()
+    dead = Operation(Opcode.ADD, dests=[Reg(3)], srcs=[Reg(1), Reg(2)])
+    proc.block("E").ops.append(dead)
+    problems = check_procedure(proc)
+    assert any("unreachable op after unconditional return" in p
+               for p in problems)
+
+
+def test_second_unconditional_terminator_rejected():
+    proc = minimal_proc()
+    proc.block("E").ops.append(Operation(Opcode.RETURN, srcs=[]))
+    problems = check_procedure(proc)
+    assert any("second unconditional return" in p for p in problems)
+
+
+def test_guarded_early_return_is_fine():
+    proc = Procedure("f", params=[Reg(1)])
+    b = IRBuilder(proc)
+    b.start_block("E")
+    taken = b.cmpp1(Cond.EQ, Reg(1), 0)
+    b.emit(Operation(Opcode.RETURN, srcs=[], guard=taken))
+    b.ret()
+    assert check_procedure(proc) == []

@@ -1,0 +1,185 @@
+"""Sanitizer battery wired into the transactional pass manager.
+
+Covers the miscompile-to-bundle path end to end (a fault-injected
+clobbered predicate must be flagged, rolled back, and shrunk to a
+minimal repro bundle) and the cache-safety rules: a cache-restored
+procedure is re-sanitized after adoption, a poisoned entry is dropped
+rather than shipped, and a sanitizer failure is never memoized.
+"""
+
+import pytest
+
+from repro.errors import SanitizerError
+from repro.farm.cache import PassCache
+from repro.ir.cloning import clone_procedure
+from repro.ir.operands import PredReg
+from repro.passes import BuildReport, PassManager
+from repro.passes.incidents import (
+    ACTION_FLAGGED,
+    ACTION_ROLLED_BACK,
+)
+from repro.pipeline import PipelineOptions, build_workload
+from repro.reduce import load_bundle_procedure, verify_bundle
+from repro.robustness import FaultPlan, FaultSpec
+from repro.workloads.registry import get_workload
+
+
+def _op_count(proc) -> int:
+    return sum(len(block.ops) for block in proc)
+
+
+def _clobber_guard(proc):
+    """A pass that reads an undefined predicate: the planted miscompile."""
+    target = proc.blocks[0].ops[0]
+    target.guard = PredReg(77)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Planted miscompile -> incident -> rollback -> bundle
+# ----------------------------------------------------------------------
+def test_clobbered_predicate_is_flagged_rolled_back_and_bundled(tmp_path):
+    workload = get_workload("strcpy")
+    plan = FaultPlan(
+        [FaultSpec(pass_name="icbm", kind="clobber-pred")], seed=3
+    )
+    options = PipelineOptions(
+        sanitize="fast", repro_dir=str(tmp_path), fault_plan=plan
+    )
+    build = build_workload(
+        workload.name,
+        workload.compile(),
+        workload.inputs,
+        options,
+        entry=workload.entry,
+    )
+    report = build.build_report
+    flagged = [
+        i for i in report.incidents if i.error_type == "SanitizerError"
+    ]
+    assert flagged, report.incidents
+    incident = flagged[0]
+    assert incident.action == ACTION_ROLLED_BACK
+    assert incident.bundle is not None
+    # The bundle is minimal and re-triggers the identical finding after a
+    # round-trip through the IR text parser.
+    assert _op_count(load_bundle_procedure(incident.bundle)) <= 5
+    assert verify_bundle(incident.bundle)
+    # The round-trip survives Incident serialization too.
+    rebuilt = BuildReport.from_dict(report.to_dict())
+    assert rebuilt.incidents[0].bundle == incident.bundle
+
+
+def test_strict_mode_raises_sanitizer_error():
+    workload = get_workload("strcpy")
+    plan = FaultPlan(
+        [FaultSpec(pass_name="icbm", kind="clobber-pred")], seed=3
+    )
+    options = PipelineOptions(
+        sanitize="fast", fault_plan=plan, resilient=False
+    )
+    with pytest.raises(SanitizerError):
+        build_workload(
+            workload.name,
+            workload.compile(),
+            workload.inputs,
+            options,
+            entry=workload.entry,
+        )
+
+
+# ----------------------------------------------------------------------
+# Cache safety
+# ----------------------------------------------------------------------
+def test_sanitizer_failure_is_never_memoized(tmp_path):
+    program = get_workload("cmp").compile()
+    cache = PassCache(tmp_path / "cache")
+    manager = PassManager(
+        program,
+        report=BuildReport(),
+        cache=cache,
+        context_key="ctx",
+        sanitize="fast",
+    )
+    results = manager.run_pass("bad-pass", _clobber_guard)
+    assert results == {}  # rolled back everywhere
+    assert manager.report.rolled_back == len(program.procedures)
+    assert cache.entry_count("txn.pkl") == 0
+
+
+def test_poisoned_cache_entry_is_resanitized_and_dropped(tmp_path):
+    cache = PassCache(tmp_path / "cache")
+
+    def nop(proc):
+        return 7
+
+    # Populate the cache with a clean committed transaction.
+    first = get_workload("cmp").compile()
+    PassManager(
+        first, report=BuildReport(), cache=cache, context_key="ctx",
+        sanitize="fast",
+    ).run_pass("nop", nop)
+    assert cache.entry_count("txn.pkl") == 1
+
+    # Poison it in place: same key, corrupted payload.
+    fresh = get_workload("cmp").compile()
+    proc = fresh.procedures["main"]
+    key = PassManager(
+        fresh, report=BuildReport(), cache=cache, context_key="ctx",
+        sanitize="fast",
+    )._cache_key("nop", proc)
+    assert key is not None
+    poisoned = clone_procedure(proc, preserve_uids=True)
+    poisoned.blocks[0].ops[0].guard = PredReg(77)
+    cache.put_transaction(key, poisoned, 7)
+
+    # A warm run must re-sanitize after adoption, drop the entry, record
+    # the flag, and fall through to a clean fresh run.
+    before_ir = proc.format()
+    report = BuildReport()
+    manager = PassManager(
+        fresh, report=report, cache=cache, context_key="ctx",
+        sanitize="fast",
+    )
+    results = manager.run_pass("nop", nop)
+    assert results["main"] == 7
+    assert proc.format() == before_ir  # the poison never shipped
+    flagged = [i for i in report.incidents if i.action == ACTION_FLAGGED]
+    assert flagged and flagged[0].severity == "warning"
+    # The fresh run re-stored a clean entry under the same key.
+    replacement, _ = cache.get_transaction(key)
+    from repro.sanitize import run_battery
+
+    assert run_battery(replacement) == []
+
+
+def test_unsanitized_run_would_have_shipped_the_poison(tmp_path):
+    # Control experiment for the test above: without --sanitize the
+    # adoption path trusts the cache, which is exactly the hole the
+    # re-sanitize closes.
+    cache = PassCache(tmp_path / "cache")
+
+    def nop(proc):
+        return 7
+
+    first = get_workload("cmp").compile()
+    PassManager(
+        first, report=BuildReport(), cache=cache, context_key="ctx",
+    ).run_pass("nop", nop)
+    fresh = get_workload("cmp").compile()
+    proc = fresh.procedures["main"]
+    key = PassManager(
+        fresh, report=BuildReport(), cache=cache, context_key="ctx",
+    )._cache_key("nop", proc)
+    poisoned = clone_procedure(proc, preserve_uids=True)
+    poisoned.blocks[0].ops[0].guard = PredReg(77)
+    cache.put_transaction(key, poisoned, 7)
+
+    manager = PassManager(
+        fresh, report=BuildReport(), cache=cache, context_key="ctx",
+    )
+    manager.run_pass("nop", nop)
+    assert manager.cache_restores == 1
+    from repro.sanitize import run_battery
+
+    assert run_battery(proc)  # the poison is live in the program

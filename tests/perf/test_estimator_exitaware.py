@@ -1,0 +1,122 @@
+"""Exit-aware estimator: clamp guard and block-weighted degeneration.
+
+Regression for the over-taken guard (a stale profile claiming more taken
+exits than block entries must not drive the remainder negative) and the
+defining property of the refinement: on a single-exit block — no taken
+side exits and no trailing unconditional transfer — exit-aware charges
+exactly what the paper's block-weighted mode charges, and it never
+charges more than block-weighted anywhere (a trailing jump/return can
+only overlap its in-flight latencies with the successor).
+"""
+
+from repro.ir import Cond, IRBuilder, Procedure, Program, Reg, verify_program
+from repro.ir.opcodes import Opcode
+from repro.machine.processor import MEDIUM, WIDE
+from repro.perf.estimator import estimate_procedure_cycles
+from repro.sched.list_scheduler import schedule_procedure
+from repro.sim.profiler import BranchProfile, ProfileData, profile_program
+from repro.workloads.registry import get_workload
+
+
+def _side_exit_program():
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Entry", fallthrough="Exit")
+    b.add(Reg(1), 1, dest=Reg(3))
+    p = b.cmpp1(Cond.EQ, Reg(3), 0)
+    branch = b.branch_to("Out", p)
+    b.add(Reg(3), 2, dest=Reg(4))
+    b.start_block("Out")
+    b.ret(1)
+    b.start_block("Exit")
+    b.ret(0)
+    verify_program(program)
+    return program, proc, branch
+
+
+def _profile(proc, branch, entries: int, taken: int) -> ProfileData:
+    profile = ProfileData()
+    profile.block_counts[(proc.name, "Entry")] = entries
+    profile.branches[(proc.name, branch.uid)] = BranchProfile(
+        taken=taken, not_taken=max(0, entries - taken)
+    )
+    return profile
+
+
+def test_over_taken_branch_is_clamped_to_entries():
+    _, proc, branch = _side_exit_program()
+    overcooked = estimate_procedure_cycles(
+        proc, MEDIUM, _profile(proc, branch, entries=10, taken=50)
+    )
+    exact = estimate_procedure_cycles(
+        proc, MEDIUM, _profile(proc, branch, entries=10, taken=10)
+    )
+    assert overcooked.total == exact.total
+    assert all(c >= 0 for c in overcooked.per_block.values())
+
+
+def test_negative_taken_count_is_ignored():
+    _, proc, branch = _side_exit_program()
+    corrupt = estimate_procedure_cycles(
+        proc, MEDIUM, _profile(proc, branch, entries=10, taken=-5)
+    )
+    clean = estimate_procedure_cycles(
+        proc, MEDIUM, _profile(proc, branch, entries=10, taken=0)
+    )
+    assert corrupt.total == clean.total
+
+
+def _blocks_without_taken_exits(proc, profile):
+    for block in proc.blocks:
+        if profile.block_count(proc.name, block.label) == 0:
+            continue
+        taken = any(
+            profile.branch_profile(proc.name, op).taken > 0
+            for op in block.ops
+            if op.opcode is Opcode.BRANCH
+        )
+        if not taken:
+            yield block
+
+
+def test_exit_aware_matches_block_weighted_without_taken_exits():
+    checked = 0
+    for name in ("strcpy", "cmp"):
+        workload = get_workload(name)
+        program = workload.compile()
+        profile = profile_program(
+            program, inputs=workload.inputs, entry=workload.entry
+        )
+        for processor in (MEDIUM, WIDE):
+            for proc in program.procedures.values():
+                aware = estimate_procedure_cycles(
+                    proc, processor, profile, "exit-aware"
+                )
+                weighted = estimate_procedure_cycles(
+                    proc, processor, profile, "block-weighted"
+                )
+                schedules = schedule_procedure(proc, processor)
+                for block in _blocks_without_taken_exits(proc, profile):
+                    label = block.label.name
+                    schedule = schedules.for_block(block.label)
+                    terminator = block.terminator()
+                    if terminator is None:
+                        # Single-exit fall-through: degenerates exactly to
+                        # the paper's block-weighted charge.
+                        assert aware.per_block[label] == (
+                            weighted.per_block[label]
+                        )
+                    else:
+                        # A trailing jump/return is charged at the cycle
+                        # control actually leaves, never past the length.
+                        entries = profile.block_count(proc.name, block.label)
+                        tail = max(schedule.exit_cycle(terminator), 1)
+                        assert aware.per_block[label] == entries * tail
+                        assert tail <= max(schedule.length, 1)
+                    checked += 1
+                # Exits can only shorten a block's stay, never extend it.
+                for label, cycles in aware.per_block.items():
+                    assert cycles <= weighted.per_block[label]
+    assert checked  # the property must actually have been exercised

@@ -1,0 +1,153 @@
+"""Delta-debugging reducer and repro-bundle round-trip tests.
+
+The seeded known-bad procedure plants an undefined-predicate branch in a
+haystack of legitimate code; the reducer must shrink it to a handful of
+operations, deterministically, and the emitted bundle must re-trigger
+the identical finding after a round-trip through the IR text parser.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.ir import Cond, IRBuilder, Procedure, Program, Reg
+from repro.ir.operands import PredReg
+from repro.reduce import (
+    ddmin,
+    load_bundle_procedure,
+    reduce_and_bundle,
+    reduce_procedure,
+    sanitizer_oracle,
+    verify_bundle,
+)
+from repro.sanitize import run_battery
+
+
+def _op_count(proc: Procedure) -> int:
+    return sum(len(block.ops) for block in proc)
+
+
+def _planted_bug_proc() -> Procedure:
+    """~20 ops of working code around one undefined-predicate branch."""
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1), Reg(2)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Entry", fallthrough="Mid")
+    value = b.load(Reg(1), region="A")
+    total = b.add(value, 3)
+    for i in range(6):
+        total = b.add(total, i)
+    p = b.cmpp1(Cond.EQ, total, 0)
+    b.branch_to("Out", p)
+    b.start_block("Mid", fallthrough="Exit")
+    scaled = b.add(Reg(2), 5)
+    for i in range(5):
+        scaled = b.add(scaled, i)
+    b.store(Reg(1), scaled, region="A")
+    b.branch_to("Out", PredReg(40))  # the planted miscompile
+    b.start_block("Out")
+    b.ret(1)
+    b.start_block("Exit")
+    b.ret(0)
+    return proc
+
+
+# ----------------------------------------------------------------------
+# Generic ddmin
+# ----------------------------------------------------------------------
+def test_ddmin_finds_minimal_subset():
+    items = list(range(20))
+    result = ddmin(items, lambda xs: {3, 11} <= set(xs))
+    assert result == [3, 11]
+
+
+def test_ddmin_single_element():
+    assert ddmin(list(range(10)), lambda xs: 7 in xs) == [7]
+
+
+def test_ddmin_rejects_non_failing_input():
+    with pytest.raises(ValueError):
+        ddmin([1, 2, 3], lambda xs: 99 in xs)
+
+
+# ----------------------------------------------------------------------
+# Procedure reduction
+# ----------------------------------------------------------------------
+def test_planted_bug_minimizes_to_few_ops():
+    proc = _planted_bug_proc()
+    findings = run_battery(proc)
+    assert findings, "the planted bug must trigger the battery"
+    oracle = sanitizer_oracle([f.signature() for f in findings])
+    minimized = reduce_procedure(proc, oracle)
+    assert _op_count(minimized) <= 5
+    assert oracle(minimized)
+    # The input procedure is never mutated by reduction.
+    assert _op_count(proc) > 5
+
+
+def test_reduction_is_deterministic():
+    first = reduce_procedure(
+        _planted_bug_proc(),
+        sanitizer_oracle(
+            [f.signature() for f in run_battery(_planted_bug_proc())]
+        ),
+    )
+    second = reduce_procedure(
+        _planted_bug_proc(),
+        sanitizer_oracle(
+            [f.signature() for f in run_battery(_planted_bug_proc())]
+        ),
+    )
+    assert first.format() == second.format()
+
+
+def test_reduction_rejects_non_reproducing_oracle():
+    with pytest.raises(ValueError):
+        reduce_procedure(
+            _planted_bug_proc(), sanitizer_oracle([("no-such", "sig")])
+        )
+
+
+# ----------------------------------------------------------------------
+# Bundles
+# ----------------------------------------------------------------------
+def test_bundle_round_trips_and_reproduces(tmp_path):
+    proc = _planted_bug_proc()
+    findings = run_battery(proc)
+    path = reduce_and_bundle(
+        str(tmp_path / "bundles"), proc, findings, "icbm", rung="full"
+    )
+    assert path is not None
+    for name in (
+        "procedure.ir", "finding.json", "pass.json",
+        "profile.json", "machine.json", "README.md",
+    ):
+        assert os.path.exists(os.path.join(path, name)), name
+
+    loaded = load_bundle_procedure(path)
+    assert _op_count(loaded) <= 5
+    assert verify_bundle(path)
+
+    with open(os.path.join(path, "finding.json")) as handle:
+        stored = json.load(handle)
+    assert stored["reproduces_from_text"] is True
+    assert stored["pass"] == "icbm"
+    stored_sigs = {tuple(sig) for sig in stored["signatures"]}
+    found = {f.signature() for f in run_battery(loaded)}
+    assert stored_sigs & found
+
+
+def test_bundle_emission_never_raises(tmp_path):
+    # Findings that do not reproduce standalone yield None, not an error.
+    proc = _planted_bug_proc()
+    from repro.sanitize.findings import Finding
+
+    phantom = Finding(
+        check="on-trace-growth", proc="main", block="Entry",
+        detail="Entry: on-trace op count grew",
+    )
+    assert reduce_and_bundle(
+        str(tmp_path / "bundles"), proc, [phantom], "icbm"
+    ) is None

@@ -1,0 +1,293 @@
+"""Unit tests for the semantic sanitizer battery.
+
+Each check gets a positive case (a planted violation it must flag) and a
+negative case (legitimate IR it must stay silent on, including the real
+pipeline output for strcpy — the battery's false-positive budget is
+zero on clean builds).
+"""
+
+import copy
+
+import pytest
+
+from repro.errors import SanitizerError
+from repro.ir import Cond, IRBuilder, Procedure, Program, Reg
+from repro.ir.cloning import clone_procedure
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, PredReg
+from repro.ir.operation import Operation
+from repro.machine.processor import MEDIUM
+from repro.pipeline import PipelineOptions, build_workload
+from repro.sanitize import (
+    def_before_use_findings,
+    exit_ordering_findings,
+    format_findings,
+    growth_findings,
+    profile_findings,
+    run_battery,
+    sanitize_procedure,
+    schedule_findings,
+    wired_or_findings,
+)
+from repro.workloads.registry import get_workload
+
+
+def _proc(body) -> Procedure:
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1), Reg(2)])
+    program.add_procedure(proc)
+    body(IRBuilder(proc))
+    return proc
+
+
+@pytest.fixture(scope="module")
+def strcpy_build():
+    workload = get_workload("strcpy")
+    return build_workload(
+        workload.name,
+        workload.compile(),
+        workload.inputs,
+        PipelineOptions(),
+        entry=workload.entry,
+    )
+
+
+# ----------------------------------------------------------------------
+# Def-before-use
+# ----------------------------------------------------------------------
+def test_branch_on_undefined_predicate_is_flagged():
+    def body(b):
+        b.start_block("Entry", fallthrough="Exit")
+        b.branch_to("Out", PredReg(9))
+        b.start_block("Out")
+        b.ret(1)
+        b.start_block("Exit")
+        b.ret(0)
+
+    findings = def_before_use_findings(_proc(body))
+    assert any(
+        f.check == "def-before-use" and "p9" in f.detail for f in findings
+    )
+
+
+def test_branch_on_defined_predicate_is_clean():
+    def body(b):
+        b.start_block("Entry", fallthrough="Exit")
+        taken = b.cmpp1(Cond.EQ, Reg(1), 0)
+        b.branch_to("Out", taken)
+        b.start_block("Out")
+        b.ret(1)
+        b.start_block("Exit")
+        b.ret(0)
+
+    assert def_before_use_findings(_proc(body)) == []
+
+
+def test_guarded_def_does_not_cover_unguarded_branch():
+    # p3 is written only when p2 holds, but the branch reads p3
+    # unconditionally: on the !p2 path the predicate is garbage.
+    def body(b):
+        b.start_block("Entry", fallthrough="Exit")
+        p2 = b.cmpp1(Cond.EQ, Reg(1), 0)
+        b.pred_set(1, dest=PredReg(3), guard=p2)
+        b.branch_to("Out", PredReg(3))
+        b.start_block("Out")
+        b.ret(1)
+        b.start_block("Exit")
+        b.ret(0)
+
+    findings = def_before_use_findings(_proc(body))
+    assert any(
+        f.check == "def-before-use" and "covering definition" in f.message
+        or "covering definition" in f.detail
+        for f in findings
+    ), findings
+
+
+def test_guarded_use_with_matching_guard_is_covered():
+    def body(b):
+        b.start_block("Entry", fallthrough="Exit")
+        p2 = b.cmpp1(Cond.EQ, Reg(1), 0)
+        b.pred_set(1, dest=PredReg(3), guard=p2)
+        branch = b.branch_to("Out", PredReg(3))
+        branch.guard = p2
+        b.start_block("Out")
+        b.ret(1)
+        b.start_block("Exit")
+        b.ret(0)
+
+    assert def_before_use_findings(_proc(body)) == []
+
+
+# ----------------------------------------------------------------------
+# Wired-OR lint
+# ----------------------------------------------------------------------
+def test_transformed_strcpy_passes_full_battery(strcpy_build):
+    for program in (strcpy_build.baseline, strcpy_build.transformed):
+        for proc in program.procedures.values():
+            assert run_battery(proc) == []
+
+
+def test_foreign_frp_writer_is_flagged(strcpy_build):
+    proc = clone_procedure(
+        strcpy_build.transformed.procedures["main"], preserve_uids=True
+    )
+    block = next(
+        b for b in proc
+        if any(op.attrs.get("cpr_lookahead") for op in b.ops)
+    )
+    lookahead = next(
+        op for op in block.ops if op.attrs.get("cpr_lookahead")
+    )
+    target = next(
+        t for t in lookahead.pred_targets()
+        if t.action.name in ("AC", "ON")
+    )
+    # The opposite of the group's legitimate init opcode is foreign.
+    if target.action.name == "AC":
+        foreign = Operation(Opcode.PRED_CLEAR, dests=[target.reg], srcs=[])
+    else:
+        foreign = Operation(
+            Opcode.PRED_SET, dests=[target.reg], srcs=[Imm(1)]
+        )
+    block.ops.insert(0, foreign)
+    findings = wired_or_findings(proc)
+    assert any(
+        f.check == "cpr-wired-or" and "foreign" in f.detail
+        for f in findings
+    ), findings
+
+
+def test_missing_frp_init_is_flagged(strcpy_build):
+    proc = clone_procedure(
+        strcpy_build.transformed.procedures["main"], preserve_uids=True
+    )
+    block = next(
+        b for b in proc
+        if any(op.attrs.get("cpr_lookahead") for op in b.ops)
+    )
+    block.ops = [op for op in block.ops if not op.attrs.get("cpr_init")]
+    findings = wired_or_findings(proc)
+    assert any(
+        f.check == "cpr-wired-or" and "init" in f.detail for f in findings
+    ), findings
+
+
+# ----------------------------------------------------------------------
+# Exit-ordering (differential)
+# ----------------------------------------------------------------------
+def _double_exit_proc(duplicate: bool) -> Procedure:
+    def body(b):
+        b.start_block("Entry", fallthrough="Exit")
+        p = b.cmpp1(Cond.EQ, Reg(1), 0)
+        b.branch_to("Out", p)
+        if duplicate:
+            b.branch_to("Out", p)  # provably dead: p already tested
+        b.start_block("Out")
+        b.ret(1)
+        b.start_block("Exit")
+        b.ret(0)
+
+    return _proc(body)
+
+
+def test_introduced_redundant_exit_is_flagged():
+    before = _double_exit_proc(duplicate=False)
+    after = _double_exit_proc(duplicate=True)
+    findings = exit_ordering_findings(after, before)
+    assert any(f.check == "exit-redundant" for f in findings), findings
+
+
+def test_preexisting_redundant_exit_is_suppressed():
+    bad = _double_exit_proc(duplicate=True)
+    same = _double_exit_proc(duplicate=True)
+    assert exit_ordering_findings(bad, same) == []
+
+
+# ----------------------------------------------------------------------
+# On-trace growth (differential, ICBM only)
+# ----------------------------------------------------------------------
+def _straightline_proc() -> Procedure:
+    def body(b):
+        b.start_block("Entry")
+        b.add(Reg(1), 1, dest=Reg(3))
+        b.add(Reg(3), 2, dest=Reg(4))
+        b.ret(Reg(4))
+
+    return _proc(body)
+
+
+def test_untagged_growth_is_flagged_for_icbm():
+    before = _straightline_proc()
+    after = clone_procedure(before, preserve_uids=False)
+    grown = Operation(Opcode.ADD, dests=[Reg(9)], srcs=[Reg(1), Imm(1)])
+    after.blocks[0].ops.insert(0, grown)
+    assert growth_findings(after, before)
+    assert any(
+        f.check == "on-trace-growth"
+        for f in run_battery(after, before=before, pass_name="icbm")
+    )
+    # Growth accounting only applies to ICBM transactions.
+    assert not any(
+        f.check == "on-trace-growth"
+        for f in run_battery(after, before=before, pass_name="superblock")
+    )
+
+
+def test_tagged_bookkeeping_is_not_growth():
+    before = _straightline_proc()
+    after = clone_procedure(before, preserve_uids=False)
+    init = Operation(
+        Opcode.PRED_SET, dests=[PredReg(30)], srcs=[Imm(1)]
+    )
+    init.attrs["cpr_init"] = True
+    after.blocks[0].ops.insert(0, init)
+    assert growth_findings(after, before) == []
+
+
+# ----------------------------------------------------------------------
+# Profile flow conservation (full tier)
+# ----------------------------------------------------------------------
+def test_real_profile_conserves_flow(strcpy_build):
+    assert profile_findings(
+        strcpy_build.baseline, strcpy_build.baseline_profile
+    ) == []
+
+
+def test_corrupted_block_count_is_flagged(strcpy_build):
+    profile = copy.deepcopy(strcpy_build.baseline_profile)
+    key = max(profile.block_counts, key=profile.block_counts.get)
+    profile.block_counts[key] += 1000
+    findings = profile_findings(strcpy_build.baseline, profile)
+    assert any(f.check == "profile-flow" for f in findings), findings
+
+
+# ----------------------------------------------------------------------
+# Schedule legality (full tier)
+# ----------------------------------------------------------------------
+def test_final_programs_schedule_legally(strcpy_build):
+    assert schedule_findings(strcpy_build.baseline, MEDIUM) == []
+    assert schedule_findings(strcpy_build.transformed, MEDIUM) == []
+
+
+# ----------------------------------------------------------------------
+# Front-end
+# ----------------------------------------------------------------------
+def test_sanitize_procedure_raises_with_findings():
+    def body(b):
+        b.start_block("Entry", fallthrough="Exit")
+        b.branch_to("Out", PredReg(9))
+        b.start_block("Out")
+        b.ret(1)
+        b.start_block("Exit")
+        b.ret(0)
+
+    with pytest.raises(SanitizerError) as info:
+        sanitize_procedure(_proc(body))
+    assert info.value.findings
+    assert format_findings(info.value.findings)
+
+
+def test_unknown_tier_is_rejected():
+    with pytest.raises(ValueError):
+        run_battery(_straightline_proc(), tier="paranoid")
