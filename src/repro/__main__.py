@@ -8,7 +8,11 @@ Commands:
 * ``table2`` / ``table3`` — regenerate the paper's tables
   (``--subset a,b,c`` restricts, ``--scale N`` grows inputs);
 * ``show NAME --stage {source,ir,baseline,cpr}`` — inspect a workload at
-  any pipeline stage.
+  any pipeline stage;
+* ``trace NAME`` — build one workload with span tracing armed and print
+  the pipeline span tree, the CPR decision ledger, and the observability
+  counters (``--chrome PATH`` exports a Chrome ``trace_event`` document,
+  ``--json PATH`` the raw trace, ``--kind K`` filters ledger entries).
 
 Build commands accept ``--strict`` to disable transactional per-procedure
 rollback (the first pass failure then aborts the build). In the default
@@ -21,8 +25,9 @@ process pool, ``--cache`` enables the content-addressed pass/evaluation
 cache (``--cache-dir`` overrides its location, default
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-farm``), and
 ``--metrics-json PATH`` writes the schema-versioned compile-metrics
-document. Results are deterministic: identical across ``--jobs`` values
-and cache states.
+document, and ``--trace PATH`` arms span tracing in every worker and
+writes the merged Chrome ``trace_event`` document. Results are
+deterministic: identical across ``--jobs`` values and cache states.
 
 ``--sanitize[=fast|full]`` arms the semantic sanitizer battery
 (:mod:`repro.sanitize`) inside every pass transaction; findings roll the
@@ -45,6 +50,7 @@ import sys
 from repro import errors
 from repro.farm.cache import default_cache_root
 from repro.farm.farm import FarmOptions, build_farm, resolve_jobs
+from repro.obs import Tracer
 from repro.perf.report import Table2, Table3
 from repro.pipeline import PipelineOptions, build_workload
 from repro.sim.interpreter import DEFAULT_FUEL
@@ -108,6 +114,7 @@ def _farm_options(args, processors=MACHINES) -> FarmOptions:
             if getattr(args, "sanitize", None)
             else None
         ),
+        trace=bool(getattr(args, "trace", None)),
     )
 
 
@@ -116,6 +123,14 @@ def _write_metrics(args, farm_result):
     if path:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(farm_result.metrics_json(), handle, indent=2)
+            handle.write("\n")
+
+
+def _write_trace(args, farm_result):
+    path = getattr(args, "trace", None)
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(farm_result.chrome_trace(), handle, indent=2)
             handle.write("\n")
 
 
@@ -129,6 +144,7 @@ def cmd_list(args) -> int:
 
 def cmd_evaluate(args) -> int:
     farm = build_farm(args.names, _farm_options(args))
+    _write_trace(args, farm)
     for summary in farm.summaries:
         speedups = "  ".join(
             f"{machine[:3]}={summary.speedup(machine):.2f}"
@@ -147,6 +163,7 @@ def cmd_evaluate(args) -> int:
 
 def cmd_table2(args) -> int:
     farm = build_farm(_selected(args), _farm_options(args))
+    _write_trace(args, farm)
     table = Table2(processors=list(MACHINES), rows=farm.summaries)
     print(table.render())
     for summary in farm.summaries:
@@ -159,11 +176,56 @@ def cmd_table3(args) -> int:
     farm = build_farm(
         _selected(args), _farm_options(args, processors=("medium",))
     )
+    _write_trace(args, farm)
     table = Table3(rows=farm.summaries)
     print(table.render())
     for summary in farm.summaries:
         _print_incidents(summary.build_report())
     _write_metrics(args, farm)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Build one workload fully instrumented and print what happened."""
+    options = FarmOptions(
+        jobs=1,
+        scale=args.scale,
+        strict=args.strict,
+        fuel=args.fuel,
+        processors=tuple(MACHINES),
+        trace=True,
+    )
+    farm = build_farm([args.name], options)
+    summary = farm.summaries[0]
+    tracer = Tracer.from_dict(farm.traces[summary.name])
+    tracer.counters = farm.metrics.counters
+    ledger = summary.build_report().ledger
+
+    print(tracer.summary())
+    print()
+    entries = ledger.entries
+    if args.kind:
+        entries = [e for e in entries if e.kind == args.kind]
+    header = f"decision ledger ({len(entries)} entries"
+    header += f", kind={args.kind})" if args.kind else ")"
+    print(header)
+    for entry in entries:
+        print("  " + entry.render())
+    if not args.kind:
+        print()
+        print("by kind:")
+        for line in ledger.summary().splitlines():
+            print("  " + line)
+
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(farm.chrome_trace(), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(farm.traces[summary.name], handle, indent=2)
+            handle.write("\n")
+    _print_incidents(summary.build_report())
     return 0
 
 
@@ -249,6 +311,36 @@ def main(argv=None) -> int:
             help="where --sanitize writes delta-debugged repro bundles "
                  "for its findings",
         )
+        p_farm.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="arm span tracing in every worker and write the merged "
+                 "Chrome trace_event document (open in about://tracing "
+                 "or Perfetto)",
+        )
+
+    p_trace = sub.add_parser(
+        "trace", help="build one workload and print its span tree, "
+                      "decision ledger, and counters",
+    )
+    p_trace.add_argument("name", choices=all_names())
+    p_trace.add_argument("--scale", type=int, default=1)
+    p_trace.add_argument(
+        "--fuel", type=int, default=None,
+        help="interpreter operation budget per run",
+    )
+    p_trace.add_argument(
+        "--kind", default=None, metavar="KIND",
+        help="only print ledger entries of this kind "
+             "(e.g. match-accept, cpr-transform, estimator-clamp)",
+    )
+    p_trace.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="also write a Chrome trace_event JSON document",
+    )
+    p_trace.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the raw span-tree JSON (repro.obs.trace/v1)",
+    )
 
     p_show = sub.add_parser("show", help="inspect a workload's code")
     p_show.add_argument("name", choices=all_names())
@@ -273,6 +365,7 @@ def main(argv=None) -> int:
         "table2": cmd_table2,
         "table3": cmd_table3,
         "show": cmd_show,
+        "trace": cmd_trace,
     }[args.command]
     try:
         return handler(args)

@@ -35,7 +35,10 @@ from repro.ir.cloning import restore_procedure, snapshot_procedure
 from repro.ir.procedure import Procedure, Program
 from repro.ir.verify import verify_procedure
 from repro.machine.latency import LatencyModel, PAPER_LATENCIES
+from repro.machine.processor import MEDIUM
+from repro.obs import current_ledger
 from repro.opt.dce import eliminate_dead_code
+from repro.sched.list_scheduler import schedule_block
 from repro.sim.profiler import ProfileData
 
 
@@ -105,6 +108,25 @@ def apply_icbm_to_block(
             op is cpr.branches[0] for op in current_block.ops
         ):
             continue  # displaced by an earlier failure; leave untouched
+        ledger = current_ledger()
+        claim_executed = claim_taken = None
+        if profile is not None:
+            stats = [
+                profile.branch_profile(proc.name, b) for b in cpr.branches
+            ]
+            # The bypass branch of the restructured code executes once per
+            # region entry. Its taken count is the wired-OR of the merged
+            # exits (fall-through variation) or — because the lookahead
+            # chain accumulates by and-complement — exactly the final
+            # branch's original taken count (taken variation).
+            claim_executed = stats[0].executed
+            if cpr.taken_variation:
+                claim_taken = stats[-1].taken
+            else:
+                claim_taken = sum(s.taken for s in stats)
+        sched_before = None
+        if ledger is not None:
+            sched_before = _ledger_schedule_length(proc, current_block)
         context = restructure_cpr_block(proc, current_block, cpr)
         # Liveness changed (new blocks/ops); recompute for motion.
         motion_liveness = LivenessAnalysis(proc)
@@ -112,10 +134,53 @@ def apply_icbm_to_block(
         report.transformed += 1
         report.moved_ops += motion.moved
         report.split_ops += motion.split
+        if ledger is not None:
+            exits = current_block.exit_branches()
+            bypass_index = next(
+                (i for i, op in enumerate(exits) if op is context.bypass),
+                -1,
+            )
+            attrs = {
+                "variation": (
+                    "taken" if cpr.taken_variation else "fall-through"
+                ),
+                "size": cpr.size,
+                "bypass_exit_index": bypass_index,
+                "comp_block": context.comp_block.label.name,
+                "moved_ops": motion.moved,
+                "split_ops": motion.split,
+                "sched_len_before": sched_before,
+                "sched_len_after": _ledger_schedule_length(
+                    proc, current_block
+                ),
+            }
+            if claim_executed is not None:
+                attrs["claim_executed"] = claim_executed
+                attrs["claim_taken"] = claim_taken
+            ledger.record(
+                "cpr-transform",
+                proc.name,
+                current_block.label.name,
+                **attrs,
+            )
         if cpr.taken_variation:
             report.taken_variations += 1
             current_block = context.comp_block
     return report
+
+
+def _ledger_schedule_length(proc: Procedure, block: Block):
+    """The block's MEDIUM schedule length, for ledger bookkeeping only.
+
+    Recorded before and after each restructure so a trace can attribute
+    height changes to individual CPR blocks; any scheduling failure is the
+    transaction checker's business, not the ledger's, so it reads as None.
+    """
+    try:
+        liveness = LivenessAnalysis(proc)
+        return schedule_block(block, MEDIUM, liveness=liveness).length
+    except ReproError:
+        return None
 
 
 def apply_icbm(

@@ -46,6 +46,7 @@ from repro.ir.opcodes import Opcode
 from repro.ir.operands import PredReg, TRUE_PRED
 from repro.ir.operation import Operation
 from repro.ir.semantics import Action
+from repro.obs import ledger_record
 from repro.sim.profiler import ProfileData
 
 
@@ -236,14 +237,23 @@ def match_cpr_blocks(
     (the paper's Figure 5 algorithm)."""
     matcher = _Matcher(proc_name, block, graph, profile, config)
     branches = matcher.branches
+    label = block.label.name
     result: List[CPRBlock] = []
     index = 0
     total = len(branches)
     while index < total:
         seed_branch = branches[index]
+        seed_index = index
         cpr = matcher.seed(seed_branch)
         if cpr is None:
             # Unsuitable seed: it forms an untransformable unit block.
+            ledger_record(
+                "match-seed",
+                proc_name,
+                label,
+                exit_index=index,
+                reason="no-suitable-compare",
+            )
             result.append(
                 CPRBlock(branches=[seed_branch], compares=[])
             )
@@ -258,19 +268,19 @@ def match_cpr_blocks(
         index += 1
         while not pred_taken_flag and index < total:
             candidate = branches[index]
+            stop_test = None
             if (
                 config.max_branches is not None
                 and cpr.size >= config.max_branches
             ):
-                break
-            if not matcher.suitability_ok(candidate):
-                break
-            if not matcher.separability_ok(candidate):
-                break
-            if not matcher.guarded_region_ok(cpr.branches[-1], candidate):
-                break
-            is_likely_taken = matcher.predict_taken(candidate)
-            if is_likely_taken:
+                stop_test = "max-branches"
+            elif not matcher.suitability_ok(candidate):
+                stop_test = "suitability"
+            elif not matcher.separability_ok(candidate):
+                stop_test = "separability"
+            elif not matcher.guarded_region_ok(cpr.branches[-1], candidate):
+                stop_test = "guarded-region"
+            elif matcher.predict_taken(candidate):
                 # Predict-taken takes priority over exit-weight: the likely
                 # exit joins the CPR block as its final branch and selects
                 # the taken restructure variation.
@@ -278,10 +288,33 @@ def match_cpr_blocks(
                     matcher.append(cpr, candidate)
                     cpr.taken_variation = True
                     index += 1
-                break
-            if not matcher.exit_weight_ok(candidate):
+                    break
+                stop_test = "predict-taken"
+            elif not matcher.exit_weight_ok(candidate):
+                stop_test = "exit-weight"
+            if stop_test is not None:
+                ledger_record(
+                    "match-reject",
+                    proc_name,
+                    label,
+                    exit_index=index,
+                    test=stop_test,
+                    cpr_size=cpr.size,
+                )
                 break
             matcher.append(cpr, candidate)
             index += 1
+        # A CPR block of n branches replaces them with one bypass branch
+        # on-trace: the estimated branch-height saving is n - 1.
+        ledger_record(
+            "match-accept",
+            proc_name,
+            label,
+            first_exit_index=seed_index,
+            size=cpr.size,
+            taken_variation=cpr.taken_variation,
+            trivial=cpr.is_trivial(config),
+            est_height_saved=max(0, cpr.size - 1),
+        )
         result.append(cpr)
     return result

@@ -40,6 +40,7 @@ from repro.ir.block import Block
 from repro.ir.opcodes import Opcode
 from repro.ir.operands import TRUE_PRED
 from repro.ir.procedure import Procedure
+from repro.obs import ledger_record
 
 _NEVER_PROMOTE = frozenset(
     {
@@ -90,6 +91,15 @@ def speculate_block(
             continue
         if not promotion_is_legal(op, needed_after[index], tracker):
             continue
+        ledger_record(
+            "speculate-promote",
+            proc.name,
+            block.label.name,
+            op_index=index,
+            opcode=op.opcode.name,
+            guard=str(op.guard),
+            justification="dest-dead-when-guard-false",
+        )
         report.original_guards[op.uid] = op.guard
         op.guard = TRUE_PRED
         report.promoted += 1
@@ -132,6 +142,15 @@ def speculate_block(
         latest_input = max(input_positions, default=-1)
         if guard_position <= latest_input:
             # Restoring the guard costs no height: demote.
+            ledger_record(
+                "speculate-demote",
+                proc.name,
+                block.label.name,
+                op_index=index,
+                opcode=op.opcode.name,
+                guard=str(original),
+                justification="guard-ready-by-last-input",
+            )
             op.guard = original
             del report.original_guards[op.uid]
             report.promoted -= 1

@@ -28,14 +28,17 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.ir.procedure import Procedure
+from repro.obs.ledger import LedgerEntry
 
 #: Bump on any change to pass semantics or stored payload formats.
 #: v2: sanitizer battery (entries produced before the battery existed
 #: were never sanitized; ICBM also tags its inserted bookkeeping ops).
-CACHE_FORMAT_VERSION = 2
+#: v3: transaction entries carry the committed rung's decision-ledger
+#: entries, replayed on restore so warm builds report identically.
+CACHE_FORMAT_VERSION = 3
 
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -115,32 +118,43 @@ class PassCache:
     # ------------------------------------------------------------------
     def get_transaction(
         self, key: str
-    ) -> Optional[Tuple[Procedure, Any]]:
-        """The committed (procedure, result) for *key*, or None.
+    ) -> Optional[Tuple[Procedure, Any, List[LedgerEntry]]]:
+        """The committed (procedure, result, ledger entries) for *key*.
 
         The returned procedure is the pickled artifact verbatim — callers
         must re-mint uids (see :func:`repro.ir.cloning.adopt_procedure`)
         before installing it into a program, because the cached uids come
-        from a foreign process and may collide with live side tables.
+        from a foreign process and may collide with live side tables. The
+        ledger entries are uid-free by construction, so they are replayed
+        as-is after adoption.
         """
         data = self._read(key, "txn.pkl")
         if data is None:
             return None
         try:
-            proc, result = pickle.loads(data)
+            proc, result, entries = pickle.loads(data)
         except Exception:
             # A corrupt or version-skewed entry is a miss, not an error.
             self._drop(key, "txn.pkl")
             self.stats.hits -= 1
             self.stats.misses += 1
             return None
-        return proc, result
+        return proc, result, entries
 
-    def put_transaction(self, key: str, proc: Procedure, result: Any):
+    def put_transaction(
+        self,
+        key: str,
+        proc: Procedure,
+        result: Any,
+        entries: Optional[List[LedgerEntry]] = None,
+    ):
         self._write(
             key,
             "txn.pkl",
-            pickle.dumps((proc, result), protocol=pickle.HIGHEST_PROTOCOL),
+            pickle.dumps(
+                (proc, result, list(entries or [])),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ),
         )
 
     def drop_transaction(self, key: str):

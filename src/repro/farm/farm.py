@@ -41,6 +41,14 @@ from repro.farm.fingerprint import (
 )
 from repro.farm.metrics import CompileMetrics
 from repro.machine.processor import PAPER_PROCESSORS, processor_by_name
+from repro.obs import (
+    CounterSet,
+    Tracer,
+    activate_counters,
+    activate_tracer,
+    chrome_trace_document,
+    trace_span,
+)
 from repro.passes.incidents import BuildReport
 from repro.perf.report import measure_build
 from repro.pipeline import PipelineOptions, build_workload
@@ -68,6 +76,11 @@ class FarmOptions:
     estimate_mode: str = "exit-aware"
     sanitize: Optional[str] = None  # None | "fast" | "full"
     repro_dir: Optional[str] = None
+    #: Collect a per-workload span tree (shipped back as JSON; see
+    #: :meth:`FarmResult.chrome_trace`). Counters are always collected —
+    #: they cost one dict update per sample — tracing is opt-in because
+    #: it timestamps every pass transaction.
+    trace: bool = False
 
     def pipeline_options(self) -> PipelineOptions:
         return PipelineOptions(
@@ -145,12 +158,18 @@ class FarmResult:
     jobs: int = 1
     cache_enabled: bool = False
     cache_root: Optional[str] = None
+    #: Per-workload serialized span trees, present when tracing was on.
+    traces: Dict[str, dict] = field(default_factory=dict)
 
     def summary_for(self, name: str) -> WorkloadSummary:
         for summary in self.summaries:
             if summary.name == name:
                 return summary
         raise KeyError(name)
+
+    def chrome_trace(self) -> dict:
+        """All workload traces as one Chrome ``trace_event`` document."""
+        return chrome_trace_document(self.traces)
 
     def metrics_json(self) -> dict:
         return self.metrics.to_json_dict(
@@ -220,8 +239,13 @@ def _evaluate_task(task: dict) -> dict:
     cache = (
         PassCache(options.cache_root) if options.cache_root else None
     )
+    tracer = Tracer() if options.trace else None
+    counters = CounterSet()
     try:
-        return _evaluate_workload(name, options, metrics, cache, started)
+        with activate_counters(counters), activate_tracer(tracer):
+            outcome = _evaluate_workload(
+                name, options, metrics, cache, started
+            )
     except errors.ReproError as exc:
         return {
             "error": {
@@ -229,6 +253,14 @@ def _evaluate_task(task: dict) -> dict:
                 "message": str(exc),
             }
         }
+    # Counters accumulated during the build are part of the metrics
+    # payload (schema v2); fold them in after the recording window closes
+    # so the serialized dict is complete.
+    metrics.counters = metrics.counters.merge(counters)
+    outcome["metrics"] = metrics.to_dict()
+    if tracer is not None:
+        outcome["trace"] = tracer.to_dict()
+    return outcome
 
 
 def _evaluate_workload(name, options, metrics, cache, started) -> dict:
@@ -248,6 +280,10 @@ def _evaluate_workload(name, options, metrics, cache, started) -> dict:
     if cache is not None:
         summary = cache.get_evaluation(eval_key)
         if summary is not None:
+            # The warm fast path builds nothing, so the trace shows one
+            # flat workload span attributed to the evaluation cache.
+            with trace_span(f"workload:{name}", kind="workload") as span:
+                span.set_attr("cache", "eval-hit")
             wall = time.perf_counter() - started
             metrics.record_workload(
                 workload.name,
@@ -333,6 +369,7 @@ def _task(name: str, options: FarmOptions) -> dict:
         "estimate_mode": options.estimate_mode,
         "sanitize": options.sanitize,
         "repro_dir": options.repro_dir,
+        "trace": options.trace,
     }
     task["_workload"] = name
     return task
@@ -366,21 +403,27 @@ def build_farm(
 
     metrics = CompileMetrics()
     summaries = []
+    traces: Dict[str, dict] = {}
     for outcome in raw:
         if "error" in outcome:
             _raise_worker_error(outcome["error"])
         metrics.merge(CompileMetrics.from_dict(outcome["metrics"]))
-        summaries.append(
-            WorkloadSummary.from_dict(
-                outcome["summary"],
-                from_cache=outcome["from_cache"],
-                wall_s=outcome["wall_s"],
-            )
+        summary = WorkloadSummary.from_dict(
+            outcome["summary"],
+            from_cache=outcome["from_cache"],
+            wall_s=outcome["wall_s"],
         )
+        summaries.append(summary)
+        if "trace" in outcome:
+            traces[summary.name] = outcome["trace"]
+    # The submission queue's high-water mark: every task is enqueued
+    # before the first worker drains one.
+    metrics.counters.add("farm.task_queue_depth", len(tasks))
     return FarmResult(
         summaries=summaries,
         metrics=metrics,
         jobs=jobs,
         cache_enabled=options.cache_root is not None,
         cache_root=options.cache_root,
+        traces=traces,
     )

@@ -9,6 +9,11 @@ combine into one farm-wide report regardless of completion order.
 The JSON form (``--metrics-json``) is schema-versioned
 (:data:`METRICS_SCHEMA`) and covered by a golden CLI test; extend it by
 adding keys, never by repurposing existing ones.
+
+v2 adds the ``counters`` section: observability counters/gauges
+(:mod:`repro.obs.stats`) sampled in the list scheduler, the estimator,
+and the farm itself (queue depth, cache restore latency), merged across
+workers like every other metric.
 """
 
 from __future__ import annotations
@@ -16,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-METRICS_SCHEMA = "repro.farm.metrics/v1"
+from repro.obs.stats import CounterSet
+
+METRICS_SCHEMA = "repro.farm.metrics/v2"
 
 
 @dataclass
@@ -85,6 +92,7 @@ class CompileMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    counters: CounterSet = field(default_factory=CounterSet)
 
     # ------------------------------------------------------------------
     # Recording (called from the pass manager and the farm driver)
@@ -138,6 +146,7 @@ class CompileMetrics:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_stores += other.cache_stores
+        self.counters = self.counters.merge(other.counters)
         return self
 
     @property
@@ -160,6 +169,7 @@ class CompileMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_stores": self.cache_stores,
+            "counters": self.counters.to_dict(),
         }
 
     @classmethod
@@ -173,6 +183,7 @@ class CompileMetrics:
             metrics.passes[name] = PassMetrics.from_dict(entry)
         for name, entry in data.get("workloads", {}).items():
             metrics.workloads[name] = WorkloadMetrics.from_dict(entry)
+        metrics.counters = CounterSet.from_dict(data.get("counters", {}))
         return metrics
 
     def to_json_dict(
@@ -207,4 +218,5 @@ class CompileMetrics:
                 name: entry.to_dict()
                 for name, entry in sorted(self.workloads.items())
             },
+            "counters": self.counters.to_dict(),
         }

@@ -1,0 +1,62 @@
+"""Always-available, zero-dependency pipeline observability.
+
+Three cooperating layers, each context-activated and free when off:
+
+* :mod:`repro.obs.tracer` — hierarchical span tracing (workload →
+  stage → pass → procedure → phase) with Chrome ``trace_event`` export;
+* :mod:`repro.obs.ledger` — the CPR decision ledger recording every
+  Match accept/reject, speculation promote/demote, and restructure,
+  uid-free so it survives cache adoption and farm fan-out bit-identically;
+* :mod:`repro.obs.stats` — counters/gauges for the list scheduler,
+  estimator, and farm, folded into ``repro.farm.metrics/v2``.
+"""
+
+from repro.obs.ledger import (
+    DecisionLedger,
+    LedgerEntry,
+    activate_ledger,
+    current_ledger,
+    ledger_record,
+    ledger_record_unique,
+)
+from repro.obs.stats import (
+    CounterSet,
+    CounterStat,
+    activate_counters,
+    current_counters,
+    record_counter,
+)
+from repro.obs.tracer import (
+    CHROME_EVENT_FIELDS,
+    NULL_SPAN,
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    activate_tracer,
+    chrome_trace_document,
+    current_tracer,
+    trace_span,
+)
+
+__all__ = [
+    "CHROME_EVENT_FIELDS",
+    "CounterSet",
+    "CounterStat",
+    "DecisionLedger",
+    "LedgerEntry",
+    "NULL_SPAN",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "activate_counters",
+    "activate_ledger",
+    "activate_tracer",
+    "chrome_trace_document",
+    "current_counters",
+    "current_ledger",
+    "current_tracer",
+    "ledger_record",
+    "ledger_record_unique",
+    "record_counter",
+    "trace_span",
+]

@@ -1,0 +1,244 @@
+"""The CPR decision ledger: every accept/reject the optimizer makes.
+
+The paper's ICBM algorithm takes dozens of small, individually invisible
+decisions per procedure — which branch seeds a CPR block, which of the
+four Match tests stops its growth, which compare operands get promoted
+above their guard, which CPR block survives restructuring. The ledger
+records each one as a :class:`LedgerEntry` with enough *uid-free* detail
+to audit it after the fact: block labels, exit-branch indices, dynamic
+branch counts, schedule lengths. Being uid-free is load-bearing twice
+over — cache restores re-mint every uid (``adopt_procedure``), and the
+farm's determinism contract demands bit-identical reports cold vs. warm
+and across ``--jobs`` values, so nothing process-local may leak in.
+
+Rollback safety: the transactional pass manager brackets each rung with
+:meth:`DecisionLedger.mark` and, when the rung is rolled back, discards
+the entries it wrote with :meth:`DecisionLedger.rewind` — the ledger only
+ever describes transforms that actually survived. Committed entries are
+carried in the transaction cache and :meth:`replay`\\ ed on restore, so a
+warm build's ledger matches the cold build's exactly.
+
+Entry kinds currently emitted:
+
+========================  =====================================================
+``match-seed``            a branch was rejected as a CPR seed (why)
+``match-reject``          growth past a branch stopped (which test failed)
+``match-accept``          a CPR block was accepted (branch count, est. height)
+``speculate-promote``     a compare input op was promoted above its guard
+``speculate-demote``      a promoted op was demoted back (liveness reason)
+``cpr-transform``         a CPR block was restructured (branch/schedule deltas)
+``estimator-clamp``       the exit-aware estimator clamped an over-taken count
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Entry kinds, in display order for summaries.
+ENTRY_KINDS = (
+    "match-seed",
+    "match-reject",
+    "match-accept",
+    "speculate-promote",
+    "speculate-demote",
+    "cpr-transform",
+    "estimator-clamp",
+)
+
+_ACTIVE: ContextVar[Optional["DecisionLedger"]] = ContextVar(
+    "repro_obs_ledger", default=None
+)
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One optimizer decision. Immutable, uid-free, JSON-serializable."""
+
+    kind: str
+    proc: str
+    block: str
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, proc: str, block: str, **attrs) -> "LedgerEntry":
+        return cls(
+            kind=kind,
+            proc=proc,
+            block=block,
+            attrs=tuple(sorted(attrs.items())),
+        )
+
+    def get(self, key: str, default=None):
+        for name, value in self.attrs:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def signature(self) -> str:
+        """A stable, uid-free content hash (sanitizer-finding idiom)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "proc": self.proc,
+            "block": self.block,
+            "attrs": {name: value for name, value in self.attrs},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LedgerEntry":
+        return cls.make(
+            data["kind"], data["proc"], data["block"], **data.get("attrs", {})
+        )
+
+    def render(self) -> str:
+        detail = "  ".join(f"{k}={v}" for k, v in self.attrs)
+        return f"{self.kind:<18} {self.proc}/{self.block}  {detail}".rstrip()
+
+
+class DecisionLedger:
+    """An append-only log of optimizer decisions, with rung rollback."""
+
+    def __init__(self):
+        self.entries: List[LedgerEntry] = []
+        self._unique: set = set()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, proc: str, block: str, **attrs) -> LedgerEntry:
+        entry = LedgerEntry.make(kind, proc, block, **attrs)
+        self.entries.append(entry)
+        return entry
+
+    def record_unique(
+        self, kind: str, proc: str, block: str, **attrs
+    ) -> Optional[LedgerEntry]:
+        """Record, unless an identical entry is already present.
+
+        The estimator runs once per processor configuration; a clamp on a
+        stale profile would otherwise be reported five times over.
+        """
+        entry = LedgerEntry.make(kind, proc, block, **attrs)
+        if entry in self._unique:
+            return None
+        self._unique.add(entry)
+        self.entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Transaction support (rollback + cache replay)
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """Checkpoint before a rung; pass to rewind()/entries_since()."""
+        return len(self.entries)
+
+    def rewind(self, mark: int):
+        """Discard entries recorded since *mark* (the rung rolled back)."""
+        dropped = self.entries[mark:]
+        del self.entries[mark:]
+        self._unique.difference_update(dropped)
+
+    def entries_since(self, mark: int) -> List[LedgerEntry]:
+        return list(self.entries[mark:])
+
+    def replay(self, entries: Iterable[LedgerEntry]):
+        """Re-append cached entries (cache hit restoring a transaction)."""
+        for entry in entries:
+            self.entries.append(entry)
+
+    def drop(self, predicate) -> int:
+        """Remove entries matching *predicate*; returns how many.
+
+        Used by the pipeline's untransformed-block restore: a speculation
+        entry on a block that was put back to its pre-FRP form describes
+        an edit that no longer exists in the shipped program.
+        """
+        dropped = [entry for entry in self.entries if predicate(entry)]
+        if dropped:
+            self.entries = [
+                entry for entry in self.entries if not predicate(entry)
+            ]
+            self._unique.difference_update(dropped)
+        return len(dropped)
+
+    # ------------------------------------------------------------------
+    # Queries / serialization
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[LedgerEntry]:
+        return [entry for entry in self.entries if entry.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.kind] = counts.get(entry.kind, 0) + 1
+        return counts
+
+    def merge(self, other: "DecisionLedger") -> "DecisionLedger":
+        merged = DecisionLedger()
+        merged.entries = self.entries + other.entries
+        return merged
+
+    def to_dict(self) -> dict:
+        return {"entries": [entry.to_dict() for entry in self.entries]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionLedger":
+        ledger = cls()
+        ledger.entries = [
+            LedgerEntry.from_dict(entry) for entry in data.get("entries", [])
+        ]
+        return ledger
+
+    def summary(self) -> str:
+        counts = self.counts()
+        lines = [
+            f"{kind:<18} {counts[kind]}"
+            for kind in ENTRY_KINDS
+            if kind in counts
+        ]
+        for kind in sorted(set(counts) - set(ENTRY_KINDS)):
+            lines.append(f"{kind:<18} {counts[kind]}")
+        return "\n".join(lines) if lines else "(empty ledger)"
+
+
+# ----------------------------------------------------------------------
+# Context plumbing
+# ----------------------------------------------------------------------
+def current_ledger() -> Optional[DecisionLedger]:
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate_ledger(ledger: Optional[DecisionLedger]):
+    """Make *ledger* the context's ledger (None deactivates recording)."""
+    token = _ACTIVE.set(ledger)
+    try:
+        yield ledger
+    finally:
+        _ACTIVE.reset(token)
+
+
+def ledger_record(kind: str, proc: str, block: str, **attrs):
+    """Record into the active ledger; a silent no-op when none is active."""
+    ledger = _ACTIVE.get()
+    if ledger is None:
+        return None
+    return ledger.record(kind, proc, block, **attrs)
+
+
+def ledger_record_unique(kind: str, proc: str, block: str, **attrs):
+    """record_unique() into the active ledger; no-op when inactive."""
+    ledger = _ACTIVE.get()
+    if ledger is None:
+        return None
+    return ledger.record_unique(kind, proc, block, **attrs)

@@ -1,0 +1,126 @@
+"""Counters and gauges: cheap numeric telemetry beside the span tree.
+
+A :class:`CounterSet` accumulates named statistics — each tracks the
+number of samples, their sum, and their maximum, which covers both pure
+counters (``record_counter("sched.ops_scheduled", n)``) and gauges where
+the high-water mark matters (``sched.ready_queue_depth``,
+``farm.cache_restore_latency_s``). Like the tracer and the ledger, the
+hooks are context-activated no-ops by default, so the list scheduler and
+estimator pay one context-variable read per call site when nothing is
+listening.
+
+Counter values are folded into the compile-metrics document under the
+``repro.farm.metrics/v2`` schema (see :mod:`repro.farm.metrics`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+_ACTIVE: ContextVar[Optional["CounterSet"]] = ContextVar(
+    "repro_obs_counters", default=None
+)
+
+
+@dataclass
+class CounterStat:
+    """Samples of one named statistic: count, total, and maximum."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def add(self, value: float):
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total": self.total, "max": self.max}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CounterStat":
+        return cls(
+            count=data.get("count", 0),
+            total=data.get("total", 0.0),
+            max=data.get("max", 0.0),
+        )
+
+
+class CounterSet:
+    """A bag of named counters, mergeable across farm workers."""
+
+    def __init__(self):
+        self.counters: Dict[str, CounterStat] = {}
+
+    def add(self, name: str, value: float = 1.0):
+        stat = self.counters.get(name)
+        if stat is None:
+            stat = self.counters[name] = CounterStat()
+        stat.add(value)
+
+    def get(self, name: str) -> CounterStat:
+        return self.counters.get(name, CounterStat())
+
+    def merge(self, other: "CounterSet") -> "CounterSet":
+        merged = CounterSet()
+        for source in (self, other):
+            for name, stat in source.counters.items():
+                into = merged.counters.get(name)
+                if into is None:
+                    into = merged.counters[name] = CounterStat()
+                into.count += stat.count
+                into.total += stat.total
+                if stat.max > into.max:
+                    into.max = stat.max
+        return merged
+
+    def to_dict(self) -> dict:
+        return {
+            name: stat.to_dict()
+            for name, stat in sorted(self.counters.items())
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CounterSet":
+        counters = cls()
+        for name, stat in data.items():
+            counters.counters[name] = CounterStat.from_dict(stat)
+        return counters
+
+    def format_lines(self) -> List[str]:
+        lines = []
+        for name, stat in sorted(self.counters.items()):
+            lines.append(
+                f"{name:<36} count={stat.count}"
+                f"  total={stat.total:g}  max={stat.max:g}"
+            )
+        return lines
+
+
+# ----------------------------------------------------------------------
+# Context plumbing
+# ----------------------------------------------------------------------
+def current_counters() -> Optional[CounterSet]:
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate_counters(counters: Optional[CounterSet]):
+    """Make *counters* the context's counter set (None deactivates)."""
+    token = _ACTIVE.set(counters)
+    try:
+        yield counters
+    finally:
+        _ACTIVE.reset(token)
+
+
+def record_counter(name: str, value: float = 1.0):
+    """Add a sample to the active counter set; no-op when inactive."""
+    counters = _ACTIVE.get()
+    if counters is not None:
+        counters.add(name, value)

@@ -1,0 +1,284 @@
+"""Hierarchical span tracing: where build wall-clock goes, structurally.
+
+A :class:`Tracer` records a tree of :class:`Span`\\ s — workload → stage →
+pass → procedure → phase — each with wall time and free-form attributes
+(op counts before/after, cache hit/miss attribution, transaction actions).
+Tracing is *opt-in and zero-dependency*: instrumentation sites call
+:func:`trace_span`, which returns a shared no-op span unless a tracer has
+been activated for the current context, so an untraced build pays one
+context-variable read per site and nothing else.
+
+Two export forms:
+
+* :meth:`Tracer.summary` — an indented terminal tree with durations and
+  the load-bearing attributes, for ``repro trace``;
+* :func:`chrome_trace_document` — Chrome ``trace_event`` JSON (complete
+  ``"X"`` events plus ``"M"`` process-name metadata), loadable in
+  ``chrome://tracing`` / Perfetto. Span names are uid-free by
+  construction (pass names, procedure names, block labels), so traces of
+  the same build are structurally identical across processes and runs.
+
+The span tree is JSON-serializable (:meth:`Tracer.to_dict` /
+:meth:`Tracer.from_dict`) so farm workers can ship traces back to the
+driver across process boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: The stable Chrome trace_event field set for complete ("X") events.
+CHROME_EVENT_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+#: Schema tag for the ``repro trace --json`` document.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+_ACTIVE: ContextVar[Optional["Tracer"]] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+@dataclass
+class Span:
+    """One traced region: a name, a kind, wall time, and attributes."""
+
+    name: str
+    kind: str = "phase"
+    start_s: float = 0.0  # relative to the tracer's epoch
+    duration_s: float = 0.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def set_attr(self, key: str, value):
+        self.attrs[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            kind=data.get("kind", "phase"),
+            start_s=data.get("start_s", 0.0),
+            duration_s=data.get("duration_s", 0.0),
+            attrs=dict(data.get("attrs", {})),
+            children=[
+                cls.from_dict(child) for child in data.get("children", [])
+            ],
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attr(self, key: str, value):
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens one span on the tracer's stack."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self.tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self.tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Collects one build's span tree (and optionally its counters)."""
+
+    def __init__(self):
+        self.epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        #: Optional :class:`repro.obs.stats.CounterSet` attached by the
+        #: driver so the terminal summary can show counters alongside spans.
+        self.counters = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, kind: str = "phase", **attrs) -> _SpanContext:
+        span = Span(
+            name=name,
+            kind=kind,
+            start_s=time.perf_counter() - self.epoch,
+            attrs=dict(attrs),
+        )
+        return _SpanContext(self, span)
+
+    def _push(self, span: Span):
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span):
+        span.duration_s = (time.perf_counter() - self.epoch) - span.start_s
+        # Tolerate exceptions unwinding through enclosing spans: pop up to
+        # and including *span* so the stack never leaks closed spans.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": TRACE_SCHEMA,
+            "spans": [root.to_dict() for root in self.roots],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Tracer":
+        tracer = cls()
+        tracer.roots = [
+            Span.from_dict(span) for span in data.get("spans", [])
+        ]
+        return tracer
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def chrome_events(self, pid: int = 1, tid: int = 1) -> List[dict]:
+        """Complete ("X") trace_event records, one per span."""
+        events = []
+        for span in self.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": round(span.start_s * 1e6, 3),
+                    "dur": round(span.duration_s * 1e6, 3),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": dict(span.attrs),
+                }
+            )
+        return events
+
+    def summary(self) -> str:
+        """The indented terminal tree with durations and key attributes."""
+        lines: List[str] = []
+        for root in self.roots:
+            _summarize_span(root, 0, lines)
+        if self.counters is not None and getattr(
+            self.counters, "counters", None
+        ):
+            lines.append("counters:")
+            lines.extend("  " + line for line in self.counters.format_lines())
+        return "\n".join(lines)
+
+
+def _summarize_span(span: Span, depth: int, lines: List[str]):
+    label = "  " * depth + span.name
+    notes = [f"{span.duration_s * 1e3:.1f}ms"]
+    attrs = span.attrs
+    if "ops_before" in attrs and "ops_after" in attrs:
+        notes.append(f"ops {attrs['ops_before']}->{attrs['ops_after']}")
+    elif "ops_begin" in attrs and "ops_end" in attrs:
+        notes.append(f"ops {attrs['ops_begin']}->{attrs['ops_end']}")
+    if attrs.get("cache") is not None:
+        notes.append(f"cache={attrs['cache']}")
+    if attrs.get("action"):
+        notes.append(str(attrs["action"]))
+    lines.append(f"{label:<46} {'  '.join(notes)}")
+    for child in span.children:
+        _summarize_span(child, depth + 1, lines)
+
+
+# ----------------------------------------------------------------------
+# Context plumbing
+# ----------------------------------------------------------------------
+def current_tracer() -> Optional[Tracer]:
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate_tracer(tracer: Optional[Tracer]):
+    """Make *tracer* the context's tracer (None deactivates tracing)."""
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def trace_span(name: str, kind: str = "phase", **attrs):
+    """Open a span on the active tracer, or a shared no-op when untraced."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, kind, **attrs)
+
+
+def chrome_trace_document(traces: Dict[str, dict]) -> dict:
+    """Merge per-workload trace dicts into one Chrome trace JSON document.
+
+    Each workload gets its own pid (with a process-name metadata record),
+    so a farm run renders as parallel process tracks. Workload clocks are
+    independent (each tracer's epoch is its own creation time), which is
+    exactly what a fan-out build looks like.
+    """
+    events: List[dict] = []
+    for pid, name in enumerate(sorted(traces), start=1):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        events.extend(Tracer.from_dict(traces[name]).chrome_events(pid=pid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.obs.ledger import DecisionLedger
+
 #: Incident severities, mildest first.
 SEVERITIES = ("info", "warning", "error")
 
@@ -84,6 +86,12 @@ class BuildReport:
     committed: int = 0
     degraded: int = 0
     rolled_back: int = 0
+    #: The CPR decision ledger for this build — every Match accept/reject,
+    #: speculation promote/demote, and restructure that survived its
+    #: transaction (rolled-back rungs are rewound out; cache restores
+    #: replay the committed entries). Uid-free, so it serializes
+    #: bit-identically cold vs. warm and across farm workers.
+    ledger: DecisionLedger = field(default_factory=DecisionLedger)
 
     def record(self, incident: Incident) -> Incident:
         self.incidents.append(incident)
@@ -120,6 +128,7 @@ class BuildReport:
         self.committed += other.committed
         self.degraded += other.degraded
         self.rolled_back += other.rolled_back
+        self.ledger = self.ledger.merge(other.ledger)
         return self
 
     def to_dict(self) -> dict:
@@ -130,6 +139,7 @@ class BuildReport:
             "degraded": self.degraded,
             "rolled_back": self.rolled_back,
             "incidents": [i.to_dict() for i in self.incidents],
+            "ledger": self.ledger.to_dict(),
         }
 
     @classmethod
@@ -142,6 +152,7 @@ class BuildReport:
         )
         for incident in data.get("incidents", []):
             report.record(Incident.from_dict(incident))
+        report.ledger = DecisionLedger.from_dict(data.get("ledger", {}))
         return report
 
     def summary(self) -> str:

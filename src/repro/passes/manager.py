@@ -40,6 +40,7 @@ from repro.ir.cloning import (
 )
 from repro.ir.procedure import Procedure, Program
 from repro.ir.verify import verify_procedure
+from repro.obs import activate_ledger, record_counter, trace_span
 from repro.passes.incidents import (
     ACTION_DEGRADED,
     ACTION_FLAGGED,
@@ -245,14 +246,32 @@ class PassManager:
         ladder: Sequence[Rung],
         differential: Optional[bool],
     ):
+        with trace_span(
+            f"{pass_name}:{proc_name}", kind="transaction"
+        ) as span:
+            return self._transact_body(
+                pass_name, proc_name, ladder, differential, span
+            )
+
+    def _transact_body(
+        self,
+        pass_name: str,
+        proc_name: str,
+        ladder: Sequence[Rung],
+        differential: Optional[bool],
+        span,
+    ):
         proc = self.program.procedures[proc_name]
         started = time.perf_counter()
         ops_before = proc.op_count()
+        span.set_attr("ops_before", ops_before)
+        ledger = self.report.ledger
+        txn_mark = ledger.mark()
         key = self._cache_key(pass_name, proc)
         if key is not None:
             cached = self.cache.get_transaction(key)
             if cached is not None:
-                replacement, result = cached
+                replacement, result, entries = cached
                 pre_adopt = snapshot_procedure(proc)
                 adopt_procedure(proc, replacement)
                 findings = []
@@ -270,6 +289,18 @@ class PassManager:
                     self.cache_restores += 1
                     self.report.transactions += 1
                     self.report.committed += 1
+                    # Replay the committed transaction's ledger entries so
+                    # a warm build reports the same decisions as a cold
+                    # one (the entries are uid-free, so adoption's fresh
+                    # uids don't invalidate them).
+                    ledger.replay(entries)
+                    record_counter(
+                        "farm.cache_restore_latency_s",
+                        time.perf_counter() - started,
+                    )
+                    span.set_attr("ops_after", proc.op_count())
+                    span.set_attr("ops_delta", proc.op_count() - ops_before)
+                    span.set_attr("cache", "hit")
                     self._note(
                         pass_name, started, ops_before, proc,
                         cache_hit=True,
@@ -303,13 +334,17 @@ class PassManager:
             fn = rung.fn
             if self.fault_plan is not None:
                 fn = self.fault_plan.wrap(pass_name, proc_name, fn)
+            rung_mark = ledger.mark()
             try:
-                result = fn(proc)
+                with trace_span(f"rung:{rung.name}", kind="rung"), \
+                        activate_ledger(ledger):
+                    result = fn(proc)
                 self._check(pass_name, proc, snapshot)
                 if do_differential:
                     self._differential_check(pass_name, proc_name)
             except ReproError as exc:
                 if not self.resilient:
+                    ledger.rewind(rung_mark)
                     raise
                 failures.append((rung, exc))
                 if (
@@ -326,6 +361,9 @@ class PassManager:
                         snapshot_procedure(proc),
                     )
                 restore_procedure(proc, snapshot)
+                # The ledger must only describe surviving transforms:
+                # drop everything this rung recorded along with its IR.
+                ledger.rewind(rung_mark)
                 continue
             # Committed. A commit on a fallback rung is still an incident —
             # the build is degraded, just not incorrect.
@@ -335,8 +373,17 @@ class PassManager:
                 # commit's incident trail is not part of the cached value,
                 # and replaying it from cache would hide the degradation.
                 self.cache.put_transaction(
-                    key, snapshot_procedure(proc), result
+                    key,
+                    snapshot_procedure(proc),
+                    result,
+                    ledger.entries_since(txn_mark),
                 )
+            span.set_attr("ops_after", proc.op_count())
+            span.set_attr("ops_delta", proc.op_count() - ops_before)
+            if key is not None:
+                span.set_attr("cache", "miss")
+            if failures:
+                span.set_attr("action", f"degraded:{rung.name}")
             self._note(
                 pass_name,
                 started,
@@ -362,6 +409,9 @@ class PassManager:
                 )
             return result
         # Every rung failed: the procedure sits at its pre-pass snapshot.
+        span.set_attr("ops_after", proc.op_count())
+        span.set_attr("ops_delta", proc.op_count() - ops_before)
+        span.set_attr("action", "rolled-back")
         self._note(pass_name, started, ops_before, proc, cache_hit=None)
         self.report.rolled_back += 1
         last_rung, last_error = failures[-1]

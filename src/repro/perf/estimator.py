@@ -19,6 +19,7 @@ from typing import Dict
 from repro.ir.opcodes import Opcode
 from repro.ir.procedure import Procedure, Program
 from repro.machine.processor import ProcessorConfig
+from repro.obs import ledger_record_unique, record_counter
 from repro.sched.list_scheduler import schedule_procedure
 from repro.sim.profiler import ProfileData
 
@@ -61,14 +62,29 @@ def estimate_procedure_cycles(
         # on a plain fall-through.
         remaining = entry_count
         cycles = 0.0
-        for op in block.ops:
-            if op.opcode is not Opcode.BRANCH:
-                continue
+        for exit_index, op in enumerate(
+            o for o in block.ops if o.opcode is Opcode.BRANCH
+        ):
             taken = profile.branch_profile(proc.name, op).taken
             # A stale or inconsistent profile can claim more taken exits
             # than entries remain; never let the remainder go negative
             # (the sanitizer's profile-flow check flags the root cause).
-            taken = max(0, min(taken, remaining))
+            # The clamp used to be silent — the estimate quietly stopped
+            # charging real exits — so it now leaves a ledger warning
+            # (deduplicated: the estimator runs once per processor).
+            clamped = max(0, min(taken, remaining))
+            if clamped != taken:
+                ledger_record_unique(
+                    "estimator-clamp",
+                    proc.name,
+                    block.label.name,
+                    exit_index=exit_index,
+                    taken=taken,
+                    remaining=remaining,
+                    entry_count=entry_count,
+                )
+                record_counter("perf.estimator_clamps")
+            taken = clamped
             if taken:
                 cycles += taken * max(schedule.exit_cycle(op), 1)
                 remaining -= taken

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import CPRConfig
 from repro.machine.processor import PAPER_PROCESSORS, ProcessorConfig
+from repro.obs import activate_ledger, trace_span
 from repro.perf.counts import OperationCounts, operation_counts
 from repro.perf.estimator import estimate_program_cycles
 from repro.pipeline import PipelineOptions, WorkloadBuild, build_workload
@@ -53,21 +54,30 @@ def measure_build(
     result = WorkloadResult(
         name=build.name, category=category, build=build
     )
-    for processor in processors:
-        result.baseline_cycles[processor.name] = estimate_program_cycles(
-            build.baseline, processor, build.baseline_profile,
-            mode=estimate_mode,
-        ).total
-        result.transformed_cycles[processor.name] = estimate_program_cycles(
-            build.transformed, processor, build.transformed_profile,
-            mode=estimate_mode,
-        ).total
-    result.baseline_counts = operation_counts(
-        build.baseline, build.baseline_profile
-    )
-    result.transformed_counts = operation_counts(
-        build.transformed, build.transformed_profile
-    )
+    # Estimator clamp warnings land in the build's decision ledger (the
+    # estimator dedups them itself: one entry per clamped exit, not one
+    # per processor configuration).
+    with trace_span(f"measure:{build.name}", kind="phase"), \
+            activate_ledger(build.build_report.ledger):
+        for processor in processors:
+            result.baseline_cycles[processor.name] = (
+                estimate_program_cycles(
+                    build.baseline, processor, build.baseline_profile,
+                    mode=estimate_mode,
+                ).total
+            )
+            result.transformed_cycles[processor.name] = (
+                estimate_program_cycles(
+                    build.transformed, processor, build.transformed_profile,
+                    mode=estimate_mode,
+                ).total
+            )
+        result.baseline_counts = operation_counts(
+            build.baseline, build.baseline_profile
+        )
+        result.transformed_counts = operation_counts(
+            build.transformed, build.transformed_profile
+        )
     return result
 
 

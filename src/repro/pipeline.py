@@ -38,6 +38,7 @@ from repro.core.icbm import (
 from repro.errors import ReproError, SanitizerError
 from repro.ir.procedure import Program
 from repro.ir.verify import verify_program
+from repro.obs import trace_span
 from repro.opt.copyprop import propagate_copies
 from repro.opt.dce import eliminate_dead_code, remove_unreachable_blocks
 from repro.opt.frp import frp_convert_procedure
@@ -117,6 +118,10 @@ class WorkloadBuild:
 def _run_all(program: Program, inputs, entry: str, fuel: int):
     """Execute *program* on each input; return the observable results."""
     return run_inputs(program, inputs, entry, fuel)
+
+
+def _program_ops(program: Program) -> int:
+    return sum(proc.op_count() for proc in program.procedures.values())
 
 
 def _check_equivalent(reference: List, rebuilt: List, stage: str):
@@ -264,14 +269,17 @@ def build_baseline(
     """Produce the classically optimized superblock baseline."""
     options = options or PipelineOptions()
     report = report if report is not None else BuildReport()
+    ledger_mark = report.ledger.mark()
     reference = None
     if options.verify_equivalence:
-        reference = _run_all(program, inputs, entry, options.fuel)
+        with trace_span("reference-run"):
+            reference = _run_all(program, inputs, entry, options.fuel)
 
     baseline = program.clone()
-    seed_profile = profile_program(
-        baseline, inputs=inputs, entry=entry, fuel=options.fuel
-    )
+    with trace_span("profile:seed"):
+        seed_profile = profile_program(
+            baseline, inputs=inputs, entry=entry, fuel=options.fuel
+        )
     manager = _make_manager(
         baseline, options, report, inputs, entry, reference,
         cache=cache, metrics=metrics,
@@ -305,19 +313,27 @@ def build_baseline(
 
     if options.verify_equivalence:
         try:
-            rebuilt = _run_all(baseline, inputs, entry, options.fuel)
-            _check_equivalent(reference, rebuilt, "superblock formation")
+            with trace_span("equivalence-check"):
+                rebuilt = _run_all(baseline, inputs, entry, options.fuel)
+                _check_equivalent(reference, rebuilt, "superblock formation")
         except ReproError as exc:
             if not options.resilient:
                 raise
             # Stage-level catch-all: a pass corrupted semantics without
             # structural damage. Ship the unoptimized program instead.
             _stage_fallback(report, "baseline-stage", exc)
-            baseline = program.clone()
+            report.ledger.rewind(ledger_mark)
+            with trace_span("stage-fallback") as span:
+                ops_dropped = _program_ops(baseline)
+                baseline = program.clone()
+                span.set_attr(
+                    "ops_delta", _program_ops(baseline) - ops_dropped
+                )
 
-    profile = profile_program(
-        baseline, inputs=inputs, entry=entry, fuel=options.fuel
-    )
+    with trace_span("profile:baseline"):
+        profile = profile_program(
+            baseline, inputs=inputs, entry=entry, fuel=options.fuel
+        )
     _sanitize_profile(
         baseline, profile, options, report, "profile-baseline"
     )
@@ -348,9 +364,11 @@ def apply_control_cpr(
     """FRP-convert the baseline and apply ICBM."""
     options = options or PipelineOptions()
     report = report if report is not None else BuildReport()
+    ledger_mark = report.ledger.mark()
     reference = None
     if options.verify_equivalence:
-        reference = _run_all(baseline, inputs, entry, options.fuel)
+        with trace_span("reference-run"):
+            reference = _run_all(baseline, inputs, entry, options.fuel)
 
     transformed = baseline.clone()
     # Snapshot every block so hyperblocks where ICBM ends up not firing can
@@ -373,9 +391,10 @@ def apply_control_cpr(
     verify_program(transformed)
     # Profile the FRP-converted build: match's heuristics key on the branch
     # operations of exactly this program.
-    frp_profile = profile_program(
-        transformed, inputs=inputs, entry=entry, fuel=options.fuel
-    )
+    with trace_span("profile:frp"):
+        frp_profile = profile_program(
+            transformed, inputs=inputs, entry=entry, fuel=options.fuel
+        )
     manager.bundle_profile = frp_profile
     _sanitize_profile(
         transformed, frp_profile, options, report, "profile-frp"
@@ -422,33 +441,54 @@ def apply_control_cpr(
     transformed_labels = {
         (b.proc_name, b.label) for b in combined.blocks if b.transformed > 0
     }
-    for proc in transformed.procedures.values():
-        for block in proc.blocks:
-            key = (proc.name, block.label)
-            if key not in snapshots:
-                continue  # new (compensation) block
-            if (proc.name, block.label.name) in transformed_labels:
-                continue
-            ops, fallthrough = snapshots[key]
-            block.ops = [op.clone() for op in ops]
-            block.fallthrough = fallthrough
+    with trace_span("restore-untransformed") as restore_span:
+        ops_at_restore = _program_ops(transformed)
+        restored = set()
+        for proc in transformed.procedures.values():
+            for block in proc.blocks:
+                key = (proc.name, block.label)
+                if key not in snapshots:
+                    continue  # new (compensation) block
+                if (proc.name, block.label.name) in transformed_labels:
+                    continue
+                ops, fallthrough = snapshots[key]
+                block.ops = [op.clone() for op in ops]
+                block.fallthrough = fallthrough
+                restored.add((proc.name, block.label.name))
+        restore_span.set_attr(
+            "ops_delta", _program_ops(transformed) - ops_at_restore
+        )
+    # Speculation entries on restored blocks describe guard edits that the
+    # restore just undid; the ledger must only describe the shipped IR.
+    report.ledger.drop(
+        lambda entry: entry.kind in ("speculate-promote", "speculate-demote")
+        and (entry.proc, entry.block) in restored
+    )
     verify_program(transformed)
 
     if options.verify_equivalence:
         try:
-            rebuilt = _run_all(transformed, inputs, entry, options.fuel)
-            _check_equivalent(reference, rebuilt, "control CPR")
+            with trace_span("equivalence-check"):
+                rebuilt = _run_all(transformed, inputs, entry, options.fuel)
+                _check_equivalent(reference, rebuilt, "control CPR")
         except ReproError as exc:
             if not options.resilient:
                 raise
             # Stage-level catch-all: ship the baseline unchanged.
             _stage_fallback(report, "cpr-stage", exc)
-            transformed = baseline.clone()
-            combined = ICBMReport()
+            report.ledger.rewind(ledger_mark)
+            with trace_span("stage-fallback") as span:
+                ops_dropped = _program_ops(transformed)
+                transformed = baseline.clone()
+                combined = ICBMReport()
+                span.set_attr(
+                    "ops_delta", _program_ops(transformed) - ops_dropped
+                )
 
-    final_profile = profile_program(
-        transformed, inputs=inputs, entry=entry, fuel=options.fuel
-    )
+    with trace_span("profile:cpr"):
+        final_profile = profile_program(
+            transformed, inputs=inputs, entry=entry, fuel=options.fuel
+        )
     _sanitize_profile(
         transformed, final_profile, options, report, "profile-cpr"
     )
@@ -475,16 +515,24 @@ def build_workload(
     """
     options = options or PipelineOptions()
     report = BuildReport()
-    baseline, baseline_profile = build_baseline(
-        program, inputs, options, entry, report=report,
-        cache=cache, metrics=metrics, inputs_key=inputs_key,
-    )
-    transformed, transformed_profile, icbm_report = apply_control_cpr(
-        baseline, inputs, options, entry, report=report,
-        cache=cache, metrics=metrics, inputs_key=inputs_key,
-    )
-    _sanitize_schedule(baseline, options, report, "schedule-baseline")
-    _sanitize_schedule(transformed, options, report, "schedule-cpr")
+    with trace_span(f"workload:{name}", kind="workload"):
+        with trace_span("stage:baseline", kind="stage") as stage:
+            stage.set_attr("ops_begin", _program_ops(program))
+            baseline, baseline_profile = build_baseline(
+                program, inputs, options, entry, report=report,
+                cache=cache, metrics=metrics, inputs_key=inputs_key,
+            )
+            stage.set_attr("ops_end", _program_ops(baseline))
+        with trace_span("stage:cpr", kind="stage") as stage:
+            stage.set_attr("ops_begin", _program_ops(baseline))
+            transformed, transformed_profile, icbm_report = apply_control_cpr(
+                baseline, inputs, options, entry, report=report,
+                cache=cache, metrics=metrics, inputs_key=inputs_key,
+            )
+            stage.set_attr("ops_end", _program_ops(transformed))
+        with trace_span("sanitize:schedule"):
+            _sanitize_schedule(baseline, options, report, "schedule-baseline")
+            _sanitize_schedule(transformed, options, report, "schedule-cpr")
     return WorkloadBuild(
         name=name,
         baseline=baseline,

@@ -23,6 +23,7 @@ from repro.errors import SchedulingError
 from repro.ir.block import Block
 from repro.ir.procedure import Procedure
 from repro.machine.processor import ProcessorConfig
+from repro.obs import record_counter
 from repro.sched.schedule import BlockSchedule, ProcedureSchedule
 
 
@@ -61,8 +62,11 @@ def schedule_block(
     pending = count
     deferred = []
     guard = 0
+    peak_ready = len(ready)
     while pending > 0:
         guard += 1
+        if len(ready) > peak_ready:
+            peak_ready = len(ready)
         if guard > 1_000_000:
             raise SchedulingError(
                 f"scheduler failed to converge on {block.label}"
@@ -101,6 +105,11 @@ def schedule_block(
     schedule.length = max(
         placed[i] + latencies.latency(ops[i].opcode) for i in range(count)
     )
+    # One sample per scheduled block keeps the hooks negligible even on
+    # untraced builds (a single context-variable read each).
+    record_counter("sched.ops_scheduled", count)
+    record_counter("sched.block_cycles", schedule.length)
+    record_counter("sched.ready_queue_depth", peak_ready)
     return schedule
 
 

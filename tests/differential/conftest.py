@@ -1,0 +1,33 @@
+"""Session-wide registry builds for the differential harness.
+
+Every workload in the registry is built once (full pipeline, default
+options) and measured on the medium processor so the decision ledger is
+fully populated — match decisions, speculation moves, CPR transforms,
+and any estimator clamps. The fixture is session-scoped: the harness's
+tests all interrogate the same builds from different angles.
+"""
+
+import pytest
+
+from repro.machine.processor import MEDIUM
+from repro.perf.report import measure_build
+from repro.pipeline import PipelineOptions, build_workload
+from repro.workloads.registry import all_names, get_workload
+
+
+@pytest.fixture(scope="session")
+def registry_results():
+    results = {}
+    for name in all_names():
+        workload = get_workload(name)
+        build = build_workload(
+            workload.name,
+            workload.compile(),
+            workload.inputs,
+            PipelineOptions(),
+            entry=workload.entry,
+        )
+        results[name] = measure_build(
+            build, category=workload.category, processors=[MEDIUM]
+        )
+    return results

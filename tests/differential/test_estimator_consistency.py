@@ -1,0 +1,83 @@
+"""Differential check: ledger schedule claims vs. the estimator.
+
+``cpr-transform`` entries record the medium-processor schedule length of
+the affected block before and after each transform. Within one block the
+claims must telescope (each transform's "after" is the next one's
+"before"), and the final claim must agree with a fresh schedule of the
+shipped block — pinned to a tolerance of 2 cycles, since dead-code
+elimination inside ICBM's commit path may still shave compare setup the
+mid-flight claim included.
+
+Clean registry builds must also produce no ``estimator-clamp`` warnings
+(profiles are freshly measured, so a clamp would mean the estimator and
+the profiler disagree about control flow), and the estimate itself must
+be a pure function of the build.
+"""
+
+from collections import defaultdict
+
+from repro.analysis.liveness import LivenessAnalysis
+from repro.machine.processor import MEDIUM
+from repro.perf.estimator import estimate_program_cycles
+from repro.sched.list_scheduler import schedule_block
+
+SCHED_TOLERANCE = 2
+
+
+def _chains(result):
+    """cpr-transform entries grouped per (proc, block), in ledger order."""
+    chains = defaultdict(list)
+    for entry in result.build.build_report.ledger.of_kind("cpr-transform"):
+        chains[(entry.proc, entry.block)].append(entry)
+    return chains
+
+
+def test_schedule_claims_telescope_per_block(registry_results):
+    for name, result in registry_results.items():
+        for (proc, block), chain in _chains(result).items():
+            for prev, entry in zip(chain, chain[1:]):
+                before = entry.get("sched_len_before")
+                after = prev.get("sched_len_after")
+                if before is None or after is None:
+                    continue
+                assert before == after, (
+                    f"{name} {proc}/{block}: chain broke "
+                    f"({after} -> {before})"
+                )
+
+
+def test_final_schedule_claim_matches_shipped_block(registry_results):
+    checked = 0
+    for name, result in registry_results.items():
+        program = result.build.transformed
+        for (proc_name, label), chain in _chains(result).items():
+            claimed = chain[-1].get("sched_len_after")
+            if claimed is None:
+                continue
+            proc = program.procedures[proc_name]
+            block = next(
+                b for b in proc.blocks if b.label.name == label
+            )
+            liveness = LivenessAnalysis(proc)
+            shipped = schedule_block(block, MEDIUM, liveness=liveness).length
+            assert abs(shipped - claimed) <= SCHED_TOLERANCE, (
+                f"{name} {proc_name}/{label}: claimed {claimed}, "
+                f"shipped schedules to {shipped}"
+            )
+            checked += 1
+    assert checked > 0
+
+
+def test_clean_builds_never_clamp(registry_results):
+    for name, result in registry_results.items():
+        ledger = result.build.build_report.ledger
+        assert ledger.of_kind("estimator-clamp") == [], name
+
+
+def test_estimates_are_reproducible(registry_results):
+    for name, result in registry_results.items():
+        build = result.build
+        again = estimate_program_cycles(
+            build.transformed, MEDIUM, build.transformed_profile
+        ).total
+        assert again == result.transformed_cycles[MEDIUM.name], name

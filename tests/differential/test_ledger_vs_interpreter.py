@@ -1,0 +1,94 @@
+"""Differential check: ledger claims vs. interpreter ground truth.
+
+Every ``cpr-transform`` ledger entry claims the dynamic behaviour of the
+bypass branch it installed — how many times the region was entered
+(``claim_executed``) and how often some original exit fired
+(``claim_taken``), both derived from the *pre-transform* profile. The
+transformed program is independently re-profiled by the interpreter
+during the build, so the two must agree **exactly**: control CPR changes
+branch structure, never observable control flow. Any divergence means
+the restructurer rewired an exit or the ledger recorded the wrong
+branch.
+"""
+
+from repro.ir.opcodes import Opcode
+from repro.workloads.registry import all_names
+
+
+def _cpr_entries(result):
+    return result.build.build_report.ledger.of_kind("cpr-transform")
+
+
+def test_every_cpr_claim_matches_the_interpreter(registry_results):
+    verified = 0
+    for name, result in registry_results.items():
+        build = result.build
+        for entry in _cpr_entries(result):
+            proc = build.transformed.procedures[entry.proc]
+            block = next(
+                b for b in proc.blocks if b.label.name == entry.block
+            )
+            bypass = block.exit_branches()[entry.get("bypass_exit_index")]
+            assert bypass.opcode is Opcode.BRANCH
+            measured = build.transformed_profile.branch_profile(
+                entry.proc, bypass
+            )
+            assert measured.executed == entry.get("claim_executed"), (
+                f"{name}: {entry.render()} vs executed={measured.executed}"
+            )
+            assert measured.taken == entry.get("claim_taken"), (
+                f"{name}: {entry.render()} vs taken={measured.taken}"
+            )
+            verified += 1
+    # The harness is vacuous if nothing transformed.
+    assert verified >= len(registry_results) // 2, (
+        f"only {verified} cpr-transform entries across the registry"
+    )
+
+
+def test_strcpy_records_a_verified_cpr_transform(registry_results):
+    entries = _cpr_entries(registry_results["strcpy"])
+    assert len(entries) >= 1
+    entry = entries[0]
+    assert entry.get("claim_executed") > 0
+    assert entry.get("size") >= 2
+    assert entry.get("comp_block")
+
+
+def test_ledger_entries_reference_live_blocks(registry_results):
+    for name, result in registry_results.items():
+        program = result.build.transformed
+        for entry in result.build.build_report.ledger.entries:
+            assert entry.proc in program.procedures, f"{name}: {entry}"
+            if entry.kind in (
+                "speculate-promote", "speculate-demote", "cpr-transform",
+            ):
+                labels = {
+                    b.label.name
+                    for b in program.procedures[entry.proc].blocks
+                }
+                assert entry.block in labels, f"{name}: {entry}"
+
+
+def test_match_decisions_bound_the_transforms(registry_results):
+    """Every transform traces back to an accepted Match; every accepted
+    non-trivial CPR block claims the paper's height saving (one branch
+    per merged compare-branch pair)."""
+    for name, result in registry_results.items():
+        ledger = result.build.build_report.ledger
+        accepts = ledger.of_kind("match-accept")
+        transforms = _cpr_entries(result)
+        assert len(transforms) <= len(accepts), name
+        for entry in accepts:
+            size = entry.get("size")
+            assert size >= 1
+            assert entry.get("est_height_saved") == max(0, size - 1), entry
+        for entry in ledger.of_kind("match-reject"):
+            assert entry.get("test") in (
+                "suitability", "separability", "exit-weight",
+                "predict-taken", "max-branches", "guarded-region",
+            ), entry
+
+
+def test_registry_fixture_covers_every_workload(registry_results):
+    assert sorted(registry_results) == sorted(all_names())

@@ -62,6 +62,31 @@ def test_pass_cache_alone_reproduces_cold_results(tmp_path):
         )
 
 
+def test_warm_ledger_replays_the_cold_decisions(tmp_path):
+    """The decision ledger survives both warm paths bit-identically: an
+    evaluation hit deserializes it with the report, and a transaction
+    hit replays the entries carried in the v3 cache payload."""
+    cold = build_farm(["strcpy"], _options(tmp_path))
+    cold_ledger = cold.summaries[0].build_report().ledger
+    assert cold_ledger.of_kind("cpr-transform"), "vacuous: no transform"
+
+    warm_eval = build_farm(["strcpy"], _options(tmp_path))
+    assert (
+        warm_eval.summaries[0].build_report().ledger.entries
+        == cold_ledger.entries
+    )
+
+    cache = PassCache(tmp_path / "cache")
+    for path in list(cache.base.rglob("*.eval.json")):
+        path.unlink()
+    warm_txn = build_farm(["strcpy"], _options(tmp_path))
+    assert not warm_txn.summaries[0].from_cache
+    assert (
+        warm_txn.summaries[0].build_report().ledger.entries
+        == cold_ledger.entries
+    )
+
+
 def test_warm_results_identical_across_jobs(tmp_path):
     names = ["strcpy", "cmp", "wc"]
     cold = build_farm(names, _options(tmp_path, jobs=1))

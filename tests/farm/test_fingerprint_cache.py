@@ -15,6 +15,7 @@ from repro.farm.fingerprint import (
     workload_inputs_key,
 )
 from repro.ir import clone_procedure
+from repro.obs import LedgerEntry
 from repro.pipeline import PipelineOptions
 from repro.robustness.faultinject import FaultPlan, FaultSpec
 
@@ -131,11 +132,21 @@ def test_evaluation_key_covers_machines_and_estimate_mode():
 def test_transaction_roundtrip(tmp_path):
     cache = PassCache(tmp_path)
     proc = build_strcpy_program().procedures["main"]
-    cache.put_transaction("ab" + "0" * 62, proc, {"removed": 3})
-    restored, result = cache.get_transaction("ab" + "0" * 62)
+    entry = LedgerEntry.make("match-accept", "main", "entry", size=2)
+    cache.put_transaction("ab" + "0" * 62, proc, {"removed": 3}, [entry])
+    restored, result, entries = cache.get_transaction("ab" + "0" * 62)
     assert result == {"removed": 3}
+    assert entries == [entry]
     assert procedure_signature(restored) == procedure_signature(proc)
     assert cache.stats == CacheStats(hits=1, misses=0, stores=1)
+
+
+def test_transaction_entries_default_to_empty(tmp_path):
+    cache = PassCache(tmp_path)
+    proc = build_strcpy_program().procedures["main"]
+    cache.put_transaction("ab" + "1" * 62, proc, None)
+    _, _, entries = cache.get_transaction("ab" + "1" * 62)
+    assert entries == []
 
 
 def test_evaluation_roundtrip_and_miss(tmp_path):

@@ -7,6 +7,7 @@ from repro.farm.metrics import (
     PassMetrics,
     WorkloadMetrics,
 )
+from repro.obs import CounterSet
 
 
 def test_record_pass_tristate_cache_accounting():
@@ -67,3 +68,49 @@ def test_json_document_shape():
     }
     assert set(doc["passes"]) == {"dce"}
     assert set(doc["workloads"]) == {"w"}
+    assert doc["counters"] == {}
+
+
+# ----------------------------------------------------------------------
+# v2: observability counters
+# ----------------------------------------------------------------------
+def test_schema_is_v2():
+    """v2 added the counters section; bump the tag again rather than ever
+    repurposing it."""
+    assert METRICS_SCHEMA == "repro.farm.metrics/v2"
+
+
+def test_counters_merge_and_roundtrip():
+    a = CompileMetrics()
+    a.counters.add("sched.ops_scheduled", 10)
+    a.counters.add("farm.cache_restore_latency_s", 0.5)
+    b = CompileMetrics()
+    b.counters.add("sched.ops_scheduled", 20)
+    a.merge(b)
+    assert a.counters.get("sched.ops_scheduled").count == 2
+    assert a.counters.get("sched.ops_scheduled").total == 30
+    assert a.counters.get("sched.ops_scheduled").max == 20
+
+    restored = CompileMetrics.from_dict(a.to_dict())
+    assert isinstance(restored.counters, CounterSet)
+    assert restored.to_dict() == a.to_dict()
+
+
+def test_counters_appear_in_the_json_document():
+    metrics = CompileMetrics()
+    metrics.counters.add("farm.task_queue_depth", 3)
+    doc = metrics.to_json_dict()
+    assert doc["counters"] == {
+        "farm.task_queue_depth": {"count": 1, "total": 3.0, "max": 3},
+    }
+
+
+def test_v1_documents_still_deserialize():
+    """A v1 to_dict (no counters key) loads with an empty counter set."""
+    old = {
+        "passes": {}, "workloads": {},
+        "cache_hits": 1, "cache_misses": 2, "cache_stores": 3,
+    }
+    metrics = CompileMetrics.from_dict(old)
+    assert metrics.cache_misses == 2
+    assert metrics.counters.to_dict() == {}

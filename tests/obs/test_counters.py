@@ -1,0 +1,71 @@
+"""Counter/gauge unit tests and their merge semantics."""
+
+from repro.obs import (
+    CounterSet,
+    CounterStat,
+    activate_counters,
+    current_counters,
+    record_counter,
+)
+
+
+def test_stat_tracks_count_total_and_max():
+    stat = CounterStat()
+    for value in (3, 7, 2):
+        stat.add(value)
+    assert stat.count == 3 and stat.total == 12 and stat.max == 7
+
+
+def test_counter_set_accumulates_and_defaults():
+    counters = CounterSet()
+    counters.add("sched.ops_scheduled", 5)
+    counters.add("sched.ops_scheduled", 4)
+    counters.add("farm.task_queue_depth")
+    assert counters.get("sched.ops_scheduled").total == 9
+    assert counters.get("farm.task_queue_depth").count == 1
+    missing = counters.get("not-there")
+    assert missing.count == 0 and missing.total == 0
+
+
+def test_merge_is_associative_across_workers():
+    a = CounterSet()
+    a.add("x", 2)
+    a.add("x", 4)
+    b = CounterSet()
+    b.add("x", 9)
+    b.add("y", 1)
+    merged = a.merge(b)
+    assert merged.get("x").count == 3
+    assert merged.get("x").total == 15
+    assert merged.get("x").max == 9
+    assert merged.get("y").count == 1
+    # Merge builds a fresh set; the inputs are untouched.
+    assert a.get("x").count == 2 and b.get("x").count == 1
+
+
+def test_serialization_roundtrip_sorted():
+    counters = CounterSet()
+    counters.add("zeta", 1)
+    counters.add("alpha", 2)
+    data = counters.to_dict()
+    assert list(data) == ["alpha", "zeta"]
+    rebuilt = CounterSet.from_dict(data)
+    assert rebuilt.to_dict() == data
+
+
+def test_record_counter_is_noop_when_inactive():
+    assert current_counters() is None
+    record_counter("anything", 5)  # swallowed
+    counters = CounterSet()
+    with activate_counters(counters):
+        record_counter("anything", 5)
+    assert current_counters() is None
+    assert counters.get("anything").total == 5
+
+
+def test_format_lines_are_stable():
+    counters = CounterSet()
+    counters.add("sched.block_cycles", 12)
+    (line,) = counters.format_lines()
+    assert line.startswith("sched.block_cycles")
+    assert "count=1" in line and "total=12" in line and "max=12" in line

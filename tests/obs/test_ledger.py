@@ -1,0 +1,138 @@
+"""Decision-ledger unit tests: rollback, replay, uid-free identity."""
+
+import json
+
+from repro.obs import (
+    DecisionLedger,
+    LedgerEntry,
+    activate_ledger,
+    current_ledger,
+    ledger_record,
+    ledger_record_unique,
+)
+
+
+def test_entry_is_immutable_sorted_and_queryable():
+    entry = LedgerEntry.make("match-accept", "main", "entry", size=3, b=1)
+    assert entry.attrs == (("b", 1), ("size", 3))  # sorted, hashable
+    assert entry.get("size") == 3
+    assert entry.get("missing", 42) == 42
+    assert entry == LedgerEntry.make("match-accept", "main", "entry", b=1,
+                                     size=3)
+
+
+def test_signature_is_stable_and_content_addressed():
+    a = LedgerEntry.make("cpr-transform", "main", "loop", size=2)
+    b = LedgerEntry.make("cpr-transform", "main", "loop", size=2)
+    c = LedgerEntry.make("cpr-transform", "main", "loop", size=3)
+    assert a.signature == b.signature
+    assert a.signature != c.signature
+    assert len(a.signature) == 16
+
+
+def test_serialization_roundtrip_through_json():
+    ledger = DecisionLedger()
+    ledger.record("match-seed", "main", "b0", reason="no-suitable-compare")
+    ledger.record("cpr-transform", "main", "b1", size=4, variation="taken")
+    data = json.loads(json.dumps(ledger.to_dict()))
+    rebuilt = DecisionLedger.from_dict(data)
+    assert rebuilt.entries == ledger.entries
+    assert rebuilt.to_dict() == ledger.to_dict()
+
+
+def test_render_and_summary():
+    ledger = DecisionLedger()
+    ledger.record("match-accept", "main", "entry", size=2)
+    ledger.record("match-accept", "main", "loop", size=3)
+    ledger.record("speculate-promote", "main", "loop", op_index=1)
+    assert "match-accept" in ledger.entries[0].render()
+    assert "main/entry" in ledger.entries[0].render()
+    summary = ledger.summary()
+    assert "match-accept" in summary and "2" in summary
+    assert DecisionLedger().summary() == "(empty ledger)"
+
+
+def test_mark_rewind_discards_a_failed_rungs_entries():
+    """The pass-manager discipline: entries from a rolled-back rung must
+    not survive in the ledger."""
+    ledger = DecisionLedger()
+    ledger.record("match-accept", "main", "entry", size=2)
+    mark = ledger.mark()
+    ledger.record("speculate-promote", "main", "loop", op_index=0)
+    ledger.record("cpr-transform", "main", "loop", size=2)
+    ledger.rewind(mark)
+    assert [e.kind for e in ledger.entries] == ["match-accept"]
+    # A rewound unique entry can be recorded again afterwards.
+    mark = ledger.mark()
+    assert ledger.record_unique("estimator-clamp", "main", "b", taken=5)
+    ledger.rewind(mark)
+    assert ledger.record_unique("estimator-clamp", "main", "b", taken=5)
+
+
+def test_record_unique_dedups_identical_entries():
+    ledger = DecisionLedger()
+    assert ledger.record_unique("estimator-clamp", "m", "b", taken=9)
+    assert ledger.record_unique("estimator-clamp", "m", "b", taken=9) is None
+    assert len(ledger.entries) == 1
+
+
+def test_entries_since_and_replay_reproduce_a_transaction():
+    """Cache semantics: the entries a committed rung wrote are carried in
+    the transaction record and replayed verbatim on a warm restore."""
+    cold = DecisionLedger()
+    mark = cold.mark()
+    cold.record("speculate-promote", "main", "loop", op_index=3)
+    cold.record("cpr-transform", "main", "loop", size=2)
+    carried = cold.entries_since(mark)
+
+    warm = DecisionLedger()
+    warm.replay(carried)
+    assert warm.entries == cold.entries
+
+
+def test_drop_removes_matching_entries_and_reports_count():
+    ledger = DecisionLedger()
+    ledger.record("speculate-promote", "main", "gone", op_index=0)
+    ledger.record("speculate-promote", "main", "kept", op_index=1)
+    ledger.record("cpr-transform", "main", "kept", size=2)
+    dropped = ledger.drop(lambda e: e.block == "gone")
+    assert dropped == 1
+    assert all(e.block == "kept" for e in ledger.entries)
+
+
+def test_merge_concatenates_reports():
+    first = DecisionLedger()
+    first.record("match-accept", "a", "b", size=2)
+    second = DecisionLedger()
+    second.record("estimator-clamp", "a", "b", taken=7)
+    merged = first.merge(second)
+    assert [e.kind for e in merged.entries] == [
+        "match-accept", "estimator-clamp",
+    ]
+    assert len(first.entries) == 1 and len(second.entries) == 1
+
+
+def test_of_kind_and_counts():
+    ledger = DecisionLedger()
+    for _ in range(3):
+        ledger.record("speculate-promote", "m", "b", op_index=_)
+    ledger.record("speculate-demote", "m", "b", op_index=9)
+    assert len(ledger.of_kind("speculate-promote")) == 3
+    assert ledger.counts() == {
+        "speculate-promote": 3, "speculate-demote": 1,
+    }
+
+
+def test_context_activation_records_into_the_active_ledger():
+    assert current_ledger() is None
+    ledger_record("match-seed", "m", "b")  # no-op, no error
+    ledger = DecisionLedger()
+    with activate_ledger(ledger):
+        assert current_ledger() is ledger
+        ledger_record("match-seed", "m", "b", reason="x")
+        ledger_record_unique("estimator-clamp", "m", "b", taken=1)
+        ledger_record_unique("estimator-clamp", "m", "b", taken=1)
+    assert current_ledger() is None
+    assert [e.kind for e in ledger.entries] == [
+        "match-seed", "estimator-clamp",
+    ]

@@ -1,0 +1,110 @@
+"""Property-based trace and ledger invariants on random superblocks.
+
+Hypothesis drives the full pipeline over random superblock loops (the
+same generator as the ICBM equivalence property test) with tracing and
+the decision ledger armed, then checks structural invariants that must
+hold for *any* program:
+
+* spans nest (children start/end within their parent) and no span has a
+  negative duration;
+* a stage span's ``ops_begin``/``ops_end`` delta equals the sum of its
+  descendants' ``ops_delta`` attributions — every op the stage added or
+  removed is accounted to exactly one transaction or fallback phase;
+* ledger entries reference live procedures/blocks of the final program;
+* every ``cpr-transform`` entry's claimed bypass branch counts equal the
+  interpreter-measured profile of the transformed program.
+"""
+
+from hypothesis import given, settings
+
+from repro.ir.opcodes import Opcode
+from repro.obs import Tracer, activate_tracer
+from repro.pipeline import PipelineOptions, build_workload
+
+from tests.integration.test_property_random_superblocks import (
+    build_program,
+    superblock_programs,
+)
+
+
+def _traced_build(case):
+    recipe, data = case
+    program = build_program(recipe)
+
+    def setup(interp):
+        interp.poke_array("A", data)
+        return (
+            interp.segment_base("A"),
+            interp.segment_base("B"),
+            max(1, len(data) // 4),
+        )
+
+    tracer = Tracer()
+    with activate_tracer(tracer):
+        build = build_workload("rand", program, [setup], PipelineOptions())
+    return tracer, build
+
+
+@settings(max_examples=15, deadline=None)
+@given(superblock_programs())
+def test_span_nesting_and_durations(case):
+    tracer, _ = _traced_build(case)
+    assert tracer.roots, "a traced build must produce spans"
+    for span in tracer.walk():
+        assert span.duration_s >= 0
+        for child in span.children:
+            assert child.start_s >= span.start_s - 1e-9
+            assert child.end_s <= span.end_s + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(superblock_programs())
+def test_stage_op_deltas_are_fully_attributed(case):
+    tracer, _ = _traced_build(case)
+    stages = [s for s in tracer.walk() if s.kind == "stage"]
+    assert len(stages) == 2  # stage:baseline, stage:cpr
+    for stage in stages:
+        begin = stage.attrs["ops_begin"]
+        end = stage.attrs["ops_end"]
+        attributed = sum(
+            span.attrs["ops_delta"]
+            for span in stage.walk()
+            if span is not stage and "ops_delta" in span.attrs
+        )
+        assert end - begin == attributed, (
+            f"{stage.name}: {end - begin} != attributed {attributed}"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(superblock_programs())
+def test_ledger_entries_reference_live_blocks(case):
+    _, build = _traced_build(case)
+    program = build.transformed
+    for entry in build.build_report.ledger.entries:
+        assert entry.proc in program.procedures, entry
+        if entry.kind in (
+            "speculate-promote", "speculate-demote", "cpr-transform",
+        ):
+            labels = {
+                b.label.name for b in program.procedures[entry.proc].blocks
+            }
+            assert entry.block in labels, entry
+
+
+@settings(max_examples=15, deadline=None)
+@given(superblock_programs())
+def test_cpr_transform_claims_match_the_interpreter(case):
+    _, build = _traced_build(case)
+    for entry in build.build_report.ledger.of_kind("cpr-transform"):
+        proc = build.transformed.procedures[entry.proc]
+        block = next(
+            b for b in proc.blocks if b.label.name == entry.block
+        )
+        bypass = block.exit_branches()[entry.get("bypass_exit_index")]
+        assert bypass.opcode is Opcode.BRANCH
+        measured = build.transformed_profile.branch_profile(
+            entry.proc, bypass
+        )
+        assert measured.executed == entry.get("claim_executed"), entry
+        assert measured.taken == entry.get("claim_taken"), entry

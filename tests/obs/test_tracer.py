@@ -1,0 +1,125 @@
+"""Span tracer unit tests: nesting, the no-op default, export forms."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CHROME_EVENT_FIELDS,
+    NULL_SPAN,
+    TRACE_SCHEMA,
+    CounterSet,
+    Tracer,
+    activate_tracer,
+    chrome_trace_document,
+    current_tracer,
+    trace_span,
+)
+
+
+def test_trace_span_is_noop_without_active_tracer():
+    assert current_tracer() is None
+    span = trace_span("anything", kind="phase")
+    assert span is NULL_SPAN
+    with span as inner:
+        inner.set_attr("ignored", 1)  # swallowed, never raises
+
+
+def test_spans_nest_and_carry_time_and_attrs():
+    tracer = Tracer()
+    with activate_tracer(tracer):
+        with trace_span("outer", kind="workload") as outer:
+            with trace_span("inner") as inner:
+                inner.set_attr("ops_before", 3)
+    assert [s.name for s in tracer.walk()] == ["outer", "inner"]
+    assert tracer.roots == [outer]
+    assert outer.children == [inner]
+    assert outer.kind == "workload" and inner.kind == "phase"
+    assert inner.attrs["ops_before"] == 3
+    # Nesting invariants: child starts after parent, ends within it.
+    assert inner.start_s >= outer.start_s
+    assert inner.end_s <= outer.end_s + 1e-9
+    assert outer.duration_s >= 0 and inner.duration_s >= 0
+
+
+def test_pop_tolerates_exceptions_unwinding_through_spans():
+    tracer = Tracer()
+    with activate_tracer(tracer):
+        with pytest.raises(RuntimeError):
+            with trace_span("outer"):
+                with trace_span("inner"):
+                    raise RuntimeError("boom")
+        # The stack fully unwound: the next span opens at depth zero.
+        with trace_span("after"):
+            pass
+    assert [root.name for root in tracer.roots] == ["outer", "after"]
+
+
+def test_activation_is_scoped():
+    tracer = Tracer()
+    with activate_tracer(tracer):
+        assert current_tracer() is tracer
+        with activate_tracer(None):
+            assert trace_span("x") is NULL_SPAN
+        assert current_tracer() is tracer
+    assert current_tracer() is None
+
+
+def test_serialization_roundtrip_through_json():
+    tracer = Tracer()
+    with activate_tracer(tracer):
+        with trace_span("a", kind="stage", ops_begin=1):
+            with trace_span("b"):
+                pass
+    data = tracer.to_dict()
+    assert data["schema"] == TRACE_SCHEMA
+    rebuilt = Tracer.from_dict(json.loads(json.dumps(data)))
+    assert rebuilt.to_dict() == data
+
+
+def test_chrome_events_have_the_stable_field_set():
+    tracer = Tracer()
+    with activate_tracer(tracer):
+        with trace_span("a"):
+            with trace_span("b"):
+                pass
+    events = tracer.chrome_events(pid=7, tid=2)
+    assert len(events) == 2
+    for event in events:
+        assert tuple(event.keys()) == CHROME_EVENT_FIELDS
+        assert event["ph"] == "X"
+        assert event["pid"] == 7 and event["tid"] == 2
+        assert event["ts"] >= 0 and event["dur"] >= 0
+
+
+def test_chrome_trace_document_gives_each_workload_a_pid():
+    traces = {}
+    for name in ("first", "second"):
+        tracer = Tracer()
+        with activate_tracer(tracer), trace_span(f"workload:{name}"):
+            pass
+        traces[name] = tracer.to_dict()
+    document = chrome_trace_document(traces)
+    assert document["displayTimeUnit"] == "ms"
+    metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in metadata} == {"first", "second"}
+    assert {e["pid"] for e in document["traceEvents"]} == {1, 2}
+
+
+def test_summary_renders_tree_attrs_and_counters():
+    tracer = Tracer()
+    with activate_tracer(tracer):
+        with trace_span("workload:w", kind="workload"):
+            with trace_span("dce:main", kind="transaction") as span:
+                span.set_attr("ops_before", 9)
+                span.set_attr("ops_after", 7)
+                span.set_attr("cache", "miss")
+    counters = CounterSet()
+    counters.add("sched.ops_scheduled", 12)
+    tracer.counters = counters
+    text = tracer.summary()
+    lines = text.splitlines()
+    assert lines[0].startswith("workload:w")
+    assert lines[1].startswith("  dce:main")
+    assert "ops 9->7" in lines[1] and "cache=miss" in lines[1]
+    assert "counters:" in text and "sched.ops_scheduled" in text

@@ -147,7 +147,7 @@ def test_poisoned_cache_entry_is_resanitized_and_dropped(tmp_path):
     flagged = [i for i in report.incidents if i.action == ACTION_FLAGGED]
     assert flagged and flagged[0].severity == "warning"
     # The fresh run re-stored a clean entry under the same key.
-    replacement, _ = cache.get_transaction(key)
+    replacement, _, _ = cache.get_transaction(key)
     from repro.sanitize import run_battery
 
     assert run_battery(replacement) == []

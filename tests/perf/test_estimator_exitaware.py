@@ -12,6 +12,12 @@ only overlap its in-flight latencies with the successor).
 from repro.ir import Cond, IRBuilder, Procedure, Program, Reg, verify_program
 from repro.ir.opcodes import Opcode
 from repro.machine.processor import MEDIUM, WIDE
+from repro.obs import (
+    CounterSet,
+    DecisionLedger,
+    activate_counters,
+    activate_ledger,
+)
 from repro.perf.estimator import estimate_procedure_cycles
 from repro.sched.list_scheduler import schedule_procedure
 from repro.sim.profiler import BranchProfile, ProfileData, profile_program
@@ -66,6 +72,40 @@ def test_negative_taken_count_is_ignored():
         proc, MEDIUM, _profile(proc, branch, entries=10, taken=0)
     )
     assert corrupt.total == clean.total
+
+
+def test_clamp_leaves_a_ledger_warning_deduplicated_across_processors():
+    """Regression: the exit-aware clamp used to be silent — an
+    inconsistent profile quietly stopped charging real exits. It now
+    records one ``estimator-clamp`` ledger entry (deduplicated: the
+    estimator runs once per processor configuration) plus a counter
+    sample per occurrence."""
+    _, proc, branch = _side_exit_program()
+    profile = _profile(proc, branch, entries=10, taken=50)
+    ledger = DecisionLedger()
+    counters = CounterSet()
+    with activate_ledger(ledger), activate_counters(counters):
+        for processor in (MEDIUM, WIDE):
+            estimate_procedure_cycles(proc, processor, profile)
+    clamps = ledger.of_kind("estimator-clamp")
+    assert len(clamps) == 1
+    entry = clamps[0]
+    assert entry.proc == "main" and entry.block == "Entry"
+    assert entry.get("exit_index") == 0
+    assert entry.get("taken") == 50
+    assert entry.get("remaining") == 10
+    assert entry.get("entry_count") == 10
+    assert counters.get("perf.estimator_clamps").count == 2
+
+
+def test_consistent_profile_records_no_clamp():
+    _, proc, branch = _side_exit_program()
+    ledger = DecisionLedger()
+    with activate_ledger(ledger):
+        estimate_procedure_cycles(
+            proc, MEDIUM, _profile(proc, branch, entries=10, taken=10)
+        )
+    assert ledger.of_kind("estimator-clamp") == []
 
 
 def _blocks_without_taken_exits(proc, profile):
