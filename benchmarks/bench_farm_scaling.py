@@ -1,10 +1,12 @@
-"""Build-farm scaling: cold vs parallel vs warm-cache builds.
+"""Build-farm scaling: cold vs parallel vs warm-cache vs supervised.
 
 Measures the same workload set three ways — cold sequential (``jobs=1``,
 no cache), cold parallel (``jobs=4``), and warm (second run against a
 populated cache) — asserts every configuration produces bit-for-bit
 identical results, and reports honest wall-clock numbers for this
-machine. The warm/cold ratio is the acceptance-relevant speedup (the
+machine. A second benchmark prices the supervision layer (heartbeats,
+deadline bookkeeping, the write-ahead journal) against the plain pool on
+a clean run and gates its overhead at 10%. The warm/cold ratio is the acceptance-relevant speedup (the
 evaluation cache skips compilation, every pass, and all interpreter
 sweeps); the parallel/cold ratio depends on how many physical cores the
 host actually has, and is reported alongside ``os.cpu_count()`` so a
@@ -102,4 +104,76 @@ def test_farm_scaling(benchmark):
 
     assert warm_speedup >= 5.0, (
         f"warm rebuild only {warm_speedup:.1f}x faster than cold"
+    )
+
+
+#: Acceptance ceiling for supervised/unsupervised wall-clock on a clean
+#: run: the supervisor may cost at most 10% over the plain pool.
+SUPERVISION_OVERHEAD_CEILING = 1.10
+
+
+def test_supervision_overhead(benchmark, tmp_path):
+    """Supervision must be near-free when nothing goes wrong.
+
+    Heartbeats, deadline bookkeeping, and the fsync-per-record journal
+    all run off the build's critical path; best-of-2 per configuration
+    keeps one scheduler hiccup on a loaded CI box from failing the gate.
+    """
+    from repro.farm.supervisor import SupervisorOptions
+
+    names = list(BENCH_WORKLOADS)
+
+    def supervised_options(run_index: int) -> FarmOptions:
+        return FarmOptions(
+            jobs=PARALLEL_JOBS,
+            scale=SCALE,
+            supervisor=SupervisorOptions(
+                journal_path=str(tmp_path / f"bench-{run_index}.journal"),
+            ),
+        )
+
+    def run():
+        plain_s = min(
+            _timed(names, _options(jobs=PARALLEL_JOBS))[0]
+            for _ in range(2)
+        )
+        timings = []
+        supervised = None
+        for index in range(2):
+            wall_s, supervised = _timed(names, supervised_options(index))
+            timings.append(wall_s)
+        return {
+            "plain_s": plain_s,
+            "supervised_s": min(timings),
+            "plain": _timed(names, _options(jobs=PARALLEL_JOBS))[1],
+            "supervised": supervised,
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    plain, supervised = data["plain"], data["supervised"]
+    assert [s.comparable() for s in supervised.summaries] == [
+        s.comparable() for s in plain.summaries
+    ], "supervised run diverged from the plain pool"
+    assert supervised.quarantined == []
+
+    overhead = data["supervised_s"] / max(data["plain_s"], 1e-9)
+    lines = [
+        "Supervision overhead "
+        f"({len(names)} workloads, scale={SCALE}, jobs={PARALLEL_JOBS}, "
+        "best of 2)",
+        f"{'configuration':<28}{'wall s':>10}",
+        f"{'plain pool':<28}{data['plain_s']:>10.2f}",
+        f"{'supervised + journal':<28}{data['supervised_s']:>10.2f}",
+        "",
+        f"overhead: {overhead:.3f}x "
+        f"(ceiling: {SUPERVISION_OVERHEAD_CEILING:.2f}x)",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_output("supervision_overhead.txt", text)
+
+    assert overhead <= SUPERVISION_OVERHEAD_CEILING, (
+        f"supervision costs {overhead:.3f}x over the plain pool "
+        f"(ceiling {SUPERVISION_OVERHEAD_CEILING:.2f}x)"
     )

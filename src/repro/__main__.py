@@ -35,10 +35,26 @@ transaction back and are shrunk by the delta-debugging reducer into
 self-contained bundles under ``--repro-dir`` (default
 ``repro-bundles/``).
 
+Farm commands can run **supervised** (:mod:`repro.farm.supervisor`):
+``--deadline S`` bounds each workload build, ``--budget S`` bounds the
+whole run's wall clock, ``--retries N`` sets how often a workload is
+re-dispatched after it kills a worker before the crash-loop circuit
+breaker quarantines it, and ``--journal PATH`` writes the write-ahead
+completion journal so an interrupted run (Ctrl-C, SIGTERM, or a blown
+budget) can be continued with ``--journal PATH --resume``, re-running
+only the unfinished workloads. ``--chaos SPEC`` (e.g.
+``strcpy=slow,cmp=kill;slow_s=20``) injects worker misbehaviour for
+testing the supervisor (:mod:`repro.robustness.chaos`).
+
 Library failures never surface as tracebacks: a one-line diagnostic goes to
 stderr and the process exits with a distinct code per failing subsystem —
-parse/semantic = 2, verify/IR = 3, transform/scheduling = 4,
-simulation = 5, any other library error = 1.
+parse/semantic/usage = 2, verify/IR = 3, transform/scheduling = 4,
+simulation = 5, any other library error = 1. Supervised runs add three
+codes: 6 = the run completed but quarantined at least one workload
+(incidents on stderr), 7 = the wall-clock budget expired
+(:class:`~repro.errors.FarmTimeout`), 130 = interrupted by
+SIGINT/SIGTERM after a graceful drain
+(:class:`~repro.errors.FarmInterrupted`).
 """
 
 from __future__ import annotations
@@ -50,6 +66,7 @@ import sys
 from repro import errors
 from repro.farm.cache import default_cache_root
 from repro.farm.farm import FarmOptions, build_farm, resolve_jobs
+from repro.farm.supervisor import SupervisorOptions
 from repro.obs import Tracer
 from repro.perf.report import Table2, Table3
 from repro.pipeline import PipelineOptions, build_workload
@@ -58,15 +75,21 @@ from repro.workloads.registry import all_names, get_workload, resolve_subset
 
 MACHINES = ("sequential", "narrow", "medium", "wide", "infinite")
 
+#: Exit code for a completed farm run that quarantined a workload.
+EXIT_QUARANTINED = 6
+
 #: Exit codes per failing subsystem, checked in order (subclasses first).
 EXIT_CODES = (
     (errors.ParseError, 2),
     (errors.SemanticError, 2),
+    (errors.UsageError, 2),
     (errors.VerificationError, 3),
     (errors.IRError, 3),
     (errors.TransformError, 4),
     (errors.SchedulingError, 4),
     (errors.SimulationError, 5),
+    (errors.FarmInterrupted, 130),
+    (errors.FarmTimeout, 7),
 )
 
 
@@ -95,12 +118,55 @@ def _print_incidents(build_report):
         print(build_report.summary(), file=sys.stderr)
 
 
+def _supervision(args):
+    """(SupervisorOptions, chaos plan) from the CLI flags, or (None, None)
+    when no supervision flag was given (keeps the plain pool path)."""
+    deadline = getattr(args, "deadline", None)
+    budget = getattr(args, "budget", None)
+    retries = getattr(args, "retries", None)
+    journal = getattr(args, "journal", None)
+    resume = bool(getattr(args, "resume", False))
+    chaos_spec = getattr(args, "chaos", None)
+    if resume and not journal:
+        raise errors.UsageError("--resume requires --journal PATH")
+    if retries is not None and retries < 0:
+        raise errors.UsageError(
+            f"--retries must be >= 0, got {retries}"
+        )
+    armed = any(
+        value is not None for value in (deadline, budget, retries, journal)
+    ) or resume or chaos_spec
+    if not armed:
+        return None, None
+    supervisor = SupervisorOptions(
+        deadline_s=deadline,
+        budget_s=budget,
+        retries=2 if retries is None else retries,
+        journal_path=journal,
+        resume=resume,
+    )
+    chaos = None
+    if chaos_spec:
+        from repro.robustness.chaos import parse_spec
+
+        chaos = parse_spec(chaos_spec)
+    return supervisor, chaos
+
+
+def _farm_exit(farm) -> int:
+    """Report quarantined workloads on stderr; their distinct exit code."""
+    for incident in farm.quarantined:
+        print(f"repro: {incident.format()}", file=sys.stderr)
+    return EXIT_QUARANTINED if farm.quarantined else 0
+
+
 def _farm_options(args, processors=MACHINES) -> FarmOptions:
     cache_root = None
     if getattr(args, "cache", False):
         cache_root = str(
             getattr(args, "cache_dir", None) or default_cache_root()
         )
+    supervisor, chaos = _supervision(args)
     return FarmOptions(
         jobs=resolve_jobs(getattr(args, "jobs", 1)),
         cache_root=cache_root,
@@ -115,6 +181,8 @@ def _farm_options(args, processors=MACHINES) -> FarmOptions:
             else None
         ),
         trace=bool(getattr(args, "trace", None)),
+        supervisor=supervisor,
+        chaos=chaos,
     )
 
 
@@ -158,7 +226,7 @@ def cmd_evaluate(args) -> int:
         )
         _print_incidents(summary.build_report())
     _write_metrics(args, farm)
-    return 0
+    return _farm_exit(farm)
 
 
 def cmd_table2(args) -> int:
@@ -169,7 +237,7 @@ def cmd_table2(args) -> int:
     for summary in farm.summaries:
         _print_incidents(summary.build_report())
     _write_metrics(args, farm)
-    return 0
+    return _farm_exit(farm)
 
 
 def cmd_table3(args) -> int:
@@ -182,7 +250,7 @@ def cmd_table3(args) -> int:
     for summary in farm.summaries:
         _print_incidents(summary.build_report())
     _write_metrics(args, farm)
-    return 0
+    return _farm_exit(farm)
 
 
 def cmd_trace(args) -> int:
@@ -316,6 +384,38 @@ def main(argv=None) -> int:
             help="arm span tracing in every worker and write the merged "
                  "Chrome trace_event document (open in about://tracing "
                  "or Perfetto)",
+        )
+        p_farm.add_argument(
+            "--deadline", type=float, default=None, metavar="S",
+            help="supervised mode: kill and retry any workload build "
+                 "exceeding S seconds",
+        )
+        p_farm.add_argument(
+            "--budget", type=float, default=None, metavar="S",
+            help="supervised mode: abort the whole run after S seconds "
+                 "of wall clock (exit 7; resumable with --journal)",
+        )
+        p_farm.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="supervised mode: re-dispatch a workload at most N "
+                 "times after it kills a worker before quarantining it "
+                 "(default 2)",
+        )
+        p_farm.add_argument(
+            "--journal", default=None, metavar="PATH",
+            help="supervised mode: write the write-ahead completion "
+                 "journal to PATH (fsync per record)",
+        )
+        p_farm.add_argument(
+            "--resume", action="store_true",
+            help="replay completed workloads from --journal PATH and "
+                 "run only the unfinished ones",
+        )
+        p_farm.add_argument(
+            "--chaos", default=None, metavar="SPEC",
+            help="inject worker misbehaviour, e.g. "
+                 "'strcpy=slow,cmp=kill;slow_s=20' "
+                 "(actions: kill, hang, stall, slow, poison)",
         )
 
     p_trace = sub.add_parser(

@@ -95,3 +95,50 @@ class BudgetExceeded(TransformError):
 
 class MachineConfigError(ReproError):
     """Raised for inconsistent processor descriptions."""
+
+
+class UsageError(ReproError):
+    """A caller-supplied option or argument value is invalid.
+
+    Raised for bad knob values that argparse cannot catch itself — a
+    non-positive ``--jobs`` count, a garbage ``$REPRO_JOBS`` override,
+    ``--resume`` without a journal. Maps to CLI exit code 2, the same as
+    parse-level usage problems.
+    """
+
+
+class FarmError(ReproError):
+    """Base class for build-farm supervision failures."""
+
+
+class FarmInterrupted(FarmError):
+    """A supervised farm run was stopped by SIGINT/SIGTERM.
+
+    The supervisor drains gracefully: in-flight workers are killed, the
+    completion journal stays valid, and this exception carries what is
+    needed to pick the run back up — :attr:`journal_path` (``None`` when
+    journaling was off), :attr:`completed` workload count, and the
+    :attr:`signal_name` that triggered the drain.
+    """
+
+    def __init__(self, message, journal_path=None, completed=0,
+                 signal_name=None):
+        self.journal_path = journal_path
+        self.completed = completed
+        self.signal_name = signal_name
+        super().__init__(message)
+
+
+class FarmTimeout(FarmError):
+    """A supervised farm run exhausted its global wall-clock budget.
+
+    Workers are killed and the journal (when enabled, :attr:`journal_path`)
+    remains valid, so ``--resume`` re-runs only the unfinished workloads.
+    """
+
+    def __init__(self, message, journal_path=None, completed=0,
+                 budget_s=None):
+        self.journal_path = journal_path
+        self.completed = completed
+        self.budget_s = budget_s
+        super().__init__(message)

@@ -13,7 +13,14 @@ build service in miniature:
 * :mod:`repro.farm.farm` — the process-pool driver: fans workload builds
   out across workers, merges results deterministically (registry order,
   independent of completion order), and collects per-worker incidents
-  into the usual :class:`~repro.passes.incidents.BuildReport` form.
+  into the usual :class:`~repro.passes.incidents.BuildReport` form;
+* :mod:`repro.farm.supervisor` — the supervised twin of the pool driver:
+  worker heartbeats, per-workload deadlines, retry with exponential
+  backoff, the crash-loop circuit breaker (quarantine), a global
+  wall-clock budget, and graceful SIGINT/SIGTERM drains;
+* :mod:`repro.farm.journal` — the write-ahead completion journal
+  (``repro.farm.journal/v1``) that makes interrupted supervised runs
+  resumable with ``--resume``.
 """
 
 from repro.farm.cache import (
@@ -27,6 +34,15 @@ from repro.farm.farm import (
     FarmResult,
     WorkloadSummary,
     build_farm,
+    resolve_jobs,
+)
+from repro.farm.journal import (
+    JOURNAL_SCHEMA,
+    JournalState,
+    JournalWriter,
+    QuarantineIncident,
+    journal_run_key,
+    load_journal,
 )
 from repro.farm.fingerprint import (
     evaluation_key,
@@ -44,6 +60,7 @@ from repro.farm.metrics import (
     PassMetrics,
     WorkloadMetrics,
 )
+from repro.farm.supervisor import SupervisorOptions, run_supervised
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -51,18 +68,27 @@ __all__ = [
     "CompileMetrics",
     "FarmOptions",
     "FarmResult",
+    "JOURNAL_SCHEMA",
+    "JournalState",
+    "JournalWriter",
     "METRICS_SCHEMA",
     "PassCache",
     "PassMetrics",
+    "QuarantineIncident",
+    "SupervisorOptions",
     "WorkloadMetrics",
     "WorkloadSummary",
     "build_farm",
     "default_cache_root",
     "evaluation_key",
+    "journal_run_key",
+    "load_journal",
     "operation_signature",
     "options_fingerprint",
     "procedure_signature",
     "program_signature",
+    "resolve_jobs",
+    "run_supervised",
     "stable_hash",
     "transaction_key",
     "workload_inputs_key",

@@ -52,6 +52,29 @@ def default_cache_root() -> Path:
     return Path.home() / ".cache" / "repro-farm"
 
 
+def atomic_write_bytes(path: Path, data: bytes):
+    """Write *data* to *path* via temp file + ``os.replace``.
+
+    Readers never observe a partial file: they see either the old content
+    or the new content. Shared by the cache store and the completion
+    journal (:mod:`repro.farm.journal`), whose fresh-run header must be
+    whole even if the writer is killed mid-start.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/store counters for one :class:`PassCache` handle."""
@@ -92,19 +115,7 @@ class PassCache:
         return data
 
     def _write(self, key: str, kind: str, data: bytes):
-        path = self._path(key, kind)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_bytes(self._path(key, kind), data)
         self.stats.stores += 1
 
     def _drop(self, key: str, kind: str):

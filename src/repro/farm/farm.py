@@ -13,8 +13,15 @@ independent of worker completion order. Each worker:
    :class:`~repro.passes.incidents.BuildReport` as a dict) plus metrics.
 
 Library errors raised inside a worker are shipped back by type name and
-re-raised in the parent, so CLI exit codes (2/3/4/5) are identical with
-and without ``--jobs``.
+re-raised in the parent — with the worker's formatted traceback and the
+failing workload attached (``exc.worker_traceback`` / ``exc.workload``) —
+so CLI exit codes (2/3/4/5) are identical with and without ``--jobs``.
+
+When supervision is armed (:attr:`FarmOptions.supervisor` or a chaos
+schedule), :func:`build_farm` dispatches to
+:mod:`repro.farm.supervisor` instead of the bare pool: same merged
+results, plus heartbeats, deadlines, retry/backoff, quarantine, and the
+write-ahead completion journal (:mod:`repro.farm.journal`).
 
 Determinism contract: for fixed workloads and options, the summaries —
 schedule-bearing IR digests, cycle counts, counts, incidents — are
@@ -26,6 +33,7 @@ and ``tests/farm/test_cache_correctness.py`` enforce this.
 from __future__ import annotations
 
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -49,11 +57,17 @@ from repro.obs import (
     chrome_trace_document,
     trace_span,
 )
+from repro.farm.journal import QuarantineIncident
+from repro.obs.ledger import DecisionLedger
 from repro.passes.incidents import BuildReport
 from repro.perf.report import measure_build
 from repro.pipeline import PipelineOptions, build_workload
 from repro.sim.interpreter import DEFAULT_FUEL
 from repro.workloads.registry import get_workload
+
+#: Environment override consulted by :func:`resolve_jobs` when no job
+#: count is given. Accepts the same values as ``--jobs``.
+JOBS_ENV = "REPRO_JOBS"
 
 #: Machine names evaluated by default (the paper's Table 2 set).
 DEFAULT_PROCESSOR_NAMES = tuple(p.name for p in PAPER_PROCESSORS)
@@ -81,6 +95,15 @@ class FarmOptions:
     #: they cost one dict update per sample — tracing is opt-in because
     #: it timestamps every pass transaction.
     trace: bool = False
+    #: Arm the supervision layer (:mod:`repro.farm.supervisor`): worker
+    #: heartbeats, per-workload deadlines, retry with backoff, the
+    #: crash-loop circuit breaker, and the write-ahead completion journal.
+    #: ``None`` keeps the plain process-pool path.
+    supervisor: Optional["SupervisorOptions"] = None
+    #: Chaos schedule for the supervised path (duck-typed: anything with
+    #: ``action_for(name, attempt)``; see :mod:`repro.robustness.chaos`).
+    #: Setting this implies supervision.
+    chaos: Optional[object] = None
 
     def pipeline_options(self) -> PipelineOptions:
         return PipelineOptions(
@@ -160,6 +183,16 @@ class FarmResult:
     cache_root: Optional[str] = None
     #: Per-workload serialized span trees, present when tracing was on.
     traces: Dict[str, dict] = field(default_factory=dict)
+    #: Workloads the supervisor's crash-loop circuit breaker gave up on
+    #: (request order). Always empty on the unsupervised path.
+    quarantined: List[QuarantineIncident] = field(default_factory=list)
+    #: Supervision event ledger (worker spawns/kills, retries,
+    #: quarantines, journal replays); ``None`` when unsupervised.
+    supervision: Optional[DecisionLedger] = None
+    #: The write-ahead journal this run appended to, when enabled.
+    journal_path: Optional[str] = None
+    #: How many workload outcomes were replayed from the journal.
+    resumed: int = 0
 
     def summary_for(self, name: str) -> WorkloadSummary:
         for summary in self.summaries:
@@ -251,6 +284,8 @@ def _evaluate_task(task: dict) -> dict:
             "error": {
                 "type": type(exc).__name__,
                 "message": str(exc),
+                "workload": name,
+                "traceback": traceback.format_exc(),
             }
         }
     # Counters accumulated during the build are part of the metrics
@@ -339,21 +374,34 @@ def _evaluate_workload(name, options, metrics, cache, started) -> dict:
 # ----------------------------------------------------------------------
 # Driver side
 # ----------------------------------------------------------------------
-def resolve_jobs(jobs) -> int:
-    """'auto'/0/None -> cpu count; otherwise the positive int given."""
+def resolve_jobs(jobs=None) -> int:
+    """Resolve a worker count: 'auto' -> cpu count, ints validated.
+
+    ``None`` falls back to ``$REPRO_JOBS`` (same grammar) and then to 1.
+    Zero and negative counts are rejected with a
+    :class:`~repro.errors.UsageError` — historically ``0`` silently meant
+    "auto", which hid genuinely broken values coming from the environment.
+    """
     import os
 
-    if jobs in (None, 0, "auto"):
+    source = "jobs"
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env is None or not env.strip():
+            return 1
+        source = JOBS_ENV
+        jobs = env.strip()
+    if jobs == "auto":
         return os.cpu_count() or 1
     try:
         count = int(jobs)
     except (TypeError, ValueError):
-        raise ValueError(
-            f"jobs must be a positive integer or 'auto', got {jobs!r}"
+        raise errors.UsageError(
+            f"{source} must be a positive integer or 'auto', got {jobs!r}"
         ) from None
     if count < 1:
-        raise ValueError(
-            f"jobs must be a positive integer or 'auto', got {jobs!r}"
+        raise errors.UsageError(
+            f"{source} must be a positive integer or 'auto', got {jobs!r}"
         )
     return count
 
@@ -376,6 +424,14 @@ def _task(name: str, options: FarmOptions) -> dict:
 
 
 def _raise_worker_error(error: dict):
+    """Re-raise a worker's shipped error dict in the calling process.
+
+    The exception type and message cross by name; the worker's formatted
+    traceback and the failing workload ride along as
+    ``exc.worker_traceback`` / ``exc.workload`` so a cross-process failure
+    is as debuggable as an in-process one (the CLI prints both with
+    ``--strict``-style diagnostics; tests assert on them directly).
+    """
     exc_class = getattr(errors, error["type"], errors.ReproError)
     if not (
         isinstance(exc_class, type)
@@ -383,26 +439,30 @@ def _raise_worker_error(error: dict):
     ):
         exc_class = errors.ReproError
     if exc_class is errors.VerificationError:
-        raise exc_class([error["message"]])
-    raise exc_class(error["message"])
-
-
-def build_farm(
-    names: Sequence[str],
-    options: Optional[FarmOptions] = None,
-) -> FarmResult:
-    """Evaluate *names* across the farm and merge results in input order."""
-    options = options or FarmOptions()
-    jobs = resolve_jobs(options.jobs)
-    tasks = [_task(name, options) for name in names]
-    if jobs <= 1 or len(tasks) <= 1:
-        raw = [_evaluate_task(task) for task in tasks]
+        exc = exc_class([error["message"]])
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            raw = list(pool.map(_evaluate_task, tasks))
+        exc = exc_class(error["message"])
+    exc.workload = error.get("workload")
+    exc.worker_traceback = error.get("traceback")
+    if hasattr(exc, "add_note"):  # notes are 3.11+; attrs carry regardless
+        if exc.workload:
+            exc.add_note(f"workload: {exc.workload}")
+        if exc.worker_traceback:
+            exc.add_note(
+                "worker traceback:\n" + exc.worker_traceback.rstrip()
+            )
+    raise exc
 
+
+def _merge_outcomes(raw: Sequence[dict]):
+    """Fold ordered worker outcomes into (summaries, metrics, traces).
+
+    Shared by the pool path and the supervisor: both must merge
+    identically for the determinism contract to hold. Raises the original
+    library error when an outcome carries one.
+    """
     metrics = CompileMetrics()
-    summaries = []
+    summaries: List[WorkloadSummary] = []
     traces: Dict[str, dict] = {}
     for outcome in raw:
         if "error" in outcome:
@@ -416,6 +476,34 @@ def build_farm(
         summaries.append(summary)
         if "trace" in outcome:
             traces[summary.name] = outcome["trace"]
+    return summaries, metrics, traces
+
+
+def build_farm(
+    names: Sequence[str],
+    options: Optional[FarmOptions] = None,
+) -> FarmResult:
+    """Evaluate *names* across the farm and merge results in input order.
+
+    With :attr:`FarmOptions.supervisor` (or a chaos schedule) set, the
+    run goes through the supervised path instead of the bare process
+    pool — same results, plus heartbeats, deadlines, retry/backoff,
+    quarantine, and the write-ahead completion journal.
+    """
+    options = options or FarmOptions()
+    if options.supervisor is not None or options.chaos is not None:
+        from repro.farm.supervisor import run_supervised
+
+        return run_supervised(names, options)
+    jobs = resolve_jobs(options.jobs)
+    tasks = [_task(name, options) for name in names]
+    if jobs <= 1 or len(tasks) <= 1:
+        raw = [_evaluate_task(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            raw = list(pool.map(_evaluate_task, tasks))
+
+    summaries, metrics, traces = _merge_outcomes(raw)
     # The submission queue's high-water mark: every task is enqueued
     # before the first worker drains one.
     metrics.counters.add("farm.task_queue_depth", len(tasks))

@@ -1,0 +1,224 @@
+"""The write-ahead completion journal: ``repro.farm.journal/v1``.
+
+A supervised farm run (:mod:`repro.farm.supervisor`) appends one JSON
+line per event to the journal file, flushing and fsyncing after every
+record, so the on-disk state is always a valid prefix of the run:
+
+* ``header`` — schema, the :func:`journal_run_key` binding the journal to
+  its workload list and result-affecting options, and the job count;
+* ``worker-spawn`` / ``worker-kill`` / ``worker-crash`` — supervision
+  events with worker ids and pids (debugging aid, and how the signal
+  tests verify no orphan processes survive a drain);
+* ``complete`` — one workload's full outcome payload (summary, metrics,
+  optional trace), verbatim as the worker returned it;
+* ``quarantine`` — a workload the crash-loop circuit breaker gave up on,
+  with its full attempt history.
+
+Resume contract: ``--resume`` loads the journal, checks the run key, and
+replays every ``complete``/``quarantine`` record into the merge exactly
+as if the worker had just returned it — so a resumed run's summaries,
+decision ledgers, and deterministic metrics (pass invocation counts, op
+counts) are identical to an uninterrupted cold run. Only wall-clock
+timings differ, as they do between any two runs.
+
+Crash safety: a SIGINT/SIGTERM drain closes the file cleanly; a SIGKILL
+can at worst leave one truncated trailing line, which the loader ignores
+(the half-written record's workload simply re-runs on resume). The
+fresh-run header is written atomically (temp file + rename) so even a
+kill at run start never leaves an unparseable journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import UsageError
+from repro.farm.cache import atomic_write_bytes
+from repro.farm.fingerprint import stable_hash
+
+JOURNAL_SCHEMA = "repro.farm.journal/v1"
+
+
+def journal_run_key(names, options) -> str:
+    """Bind a journal to its workload list and result-affecting options.
+
+    Includes every :class:`~repro.farm.farm.FarmOptions` knob that changes
+    what the merged result contains — the request order, scale, strict
+    mode, fuel, processor set, estimate mode, sanitizer tier, and whether
+    traces are collected. Excludes ``jobs`` and the cache configuration:
+    both change how fast results arrive, never what they are, so a run may
+    legitimately resume with a different worker count or cache state.
+    """
+    return stable_hash(
+        "journal",
+        JOURNAL_SCHEMA,
+        ";".join(names),
+        options.scale,
+        options.strict,
+        options.fuel,
+        ";".join(options.processors),
+        options.estimate_mode,
+        options.sanitize,
+        options.trace,
+    )
+
+
+@dataclass
+class QuarantineIncident:
+    """A workload the supervisor gave up on after it killed fresh workers.
+
+    ``history`` holds one record per failed attempt:
+    ``{"attempt", "worker", "kind", "detail"}`` where ``kind`` is one of
+    ``worker-crash``, ``deadline``, ``heartbeat-timeout``, or
+    ``budget-exceeded``.
+    """
+
+    workload: str
+    attempts: int
+    reason: str
+    history: List[dict] = field(default_factory=list)
+
+    def format(self) -> str:
+        trail = "; ".join(
+            f"attempt {h['attempt']} on {h['worker']}: {h['kind']}"
+            for h in self.history
+        )
+        return (
+            f"[quarantined] {self.workload}: {self.reason} after "
+            f"{self.attempts} attempt(s) ({trail})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "history": list(self.history),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantineIncident":
+        return cls(
+            workload=data["workload"],
+            attempts=data["attempts"],
+            reason=data["reason"],
+            history=list(data.get("history", [])),
+        )
+
+
+@dataclass
+class JournalState:
+    """Everything a journal file holds, parsed and keyed for resume."""
+
+    header: dict
+    completions: Dict[str, dict] = field(default_factory=dict)
+    quarantines: Dict[str, dict] = field(default_factory=dict)
+    events: List[dict] = field(default_factory=list)
+    #: True when the file ended in a partial line (SIGKILL mid-append).
+    truncated: bool = False
+
+    @property
+    def run_key(self) -> Optional[str]:
+        return self.header.get("run_key")
+
+    def worker_pids(self) -> List[int]:
+        return [
+            event["pid"]
+            for event in self.events
+            if event.get("kind") == "worker-spawn" and "pid" in event
+        ]
+
+
+def load_journal(path) -> JournalState:
+    """Parse a journal file; raises :class:`UsageError` when unusable."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise UsageError(
+            f"cannot read journal {path}: {exc}"
+        ) from None
+    state: Optional[JournalState] = None
+    truncated = False
+    for line in text.split("\n"):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            # A killed writer can leave one partial trailing line; anything
+            # unparseable after that point is treated the same way.
+            truncated = True
+            break
+        kind = record.get("kind")
+        if kind == "header":
+            if record.get("schema") != JOURNAL_SCHEMA:
+                raise UsageError(
+                    f"journal {path} has schema "
+                    f"{record.get('schema')!r}, expected {JOURNAL_SCHEMA!r}"
+                )
+            state = JournalState(header=record)
+        elif state is None:
+            raise UsageError(f"journal {path} does not start with a header")
+        elif kind == "complete":
+            state.completions[record["name"]] = record["outcome"]
+        elif kind == "quarantine":
+            state.quarantines[record["name"]] = record["incident"]
+        else:
+            state.events.append(record)
+    if state is None:
+        raise UsageError(f"journal {path} does not start with a header")
+    state.truncated = truncated
+    return state
+
+
+class JournalWriter:
+    """Append-only, fsync-per-record writer for one farm run."""
+
+    def __init__(self, path, run_key: str, names, jobs: int,
+                 resume: bool = False):
+        self.path = Path(path)
+        self.run_key = run_key
+        if resume:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        else:
+            header = {
+                "kind": "header",
+                "schema": JOURNAL_SCHEMA,
+                "run_key": run_key,
+                "names": list(names),
+                "jobs": jobs,
+            }
+            line = json.dumps(header, sort_keys=True) + "\n"
+            atomic_write_bytes(self.path, line.encode("utf-8"))
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _append(self, record: dict):
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def complete(self, name: str, outcome: dict):
+        self._append({"kind": "complete", "name": name, "outcome": outcome})
+
+    def quarantine(self, incident: QuarantineIncident):
+        self._append({
+            "kind": "quarantine",
+            "name": incident.workload,
+            "incident": incident.to_dict(),
+        })
+
+    def event(self, kind: str, **fields):
+        record = {"kind": kind}
+        record.update(fields)
+        self._append(record)
+
+    def close(self):
+        try:
+            self._handle.close()
+        except OSError:
+            pass

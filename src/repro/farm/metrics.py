@@ -14,6 +14,14 @@ v2 adds the ``counters`` section: observability counters/gauges
 (:mod:`repro.obs.stats`) sampled in the list scheduler, the estimator,
 and the farm itself (queue depth, cache restore latency), merged across
 workers like every other metric.
+
+Supervised runs (:mod:`repro.farm.supervisor`) contribute
+``farm.supervisor.*`` counters — worker spawns/kills/crashes,
+heartbeats, retries, backoff seconds, deadline and heartbeat-timeout
+kills, journal replays. They describe the *run*, not the program: unlike
+every deterministic metric above, their values legitimately differ
+between a chaotic run and a clean one, so nothing downstream may treat
+them as part of the determinism contract.
 """
 
 from __future__ import annotations

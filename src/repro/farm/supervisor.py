@@ -1,0 +1,635 @@
+"""Supervised farm execution: heartbeats, deadlines, retries, quarantine.
+
+The plain farm (:func:`repro.farm.farm.build_farm`) assumes every worker
+is healthy: a hung worker stalls ``pool.map`` forever and a killed one
+sinks the whole run. This module replaces the process pool with an
+explicitly supervised worker fleet, mirroring the paper's off-trace
+philosophy — pay for rare bad paths with bounded compensation instead of
+collapsing the region:
+
+* every worker owns a duplex pipe to the supervisor (tasks travel down,
+  heartbeats and results travel up — one channel, no shared locks a
+  SIGKILL could orphan) and runs a daemon heartbeat thread;
+* the supervisor enforces a per-workload **deadline** and a per-worker
+  **heartbeat timeout**; violators are SIGKILLed and their workload is
+  requeued onto a surviving worker, excluding the observed-bad one;
+* crashed workers are respawned with **exponential backoff**; a workload
+  that kills ``retries + 1`` fresh workers trips the **crash-loop circuit
+  breaker** and is quarantined with a structured
+  :class:`~repro.farm.journal.QuarantineIncident` instead of retried
+  forever;
+* a global wall-clock **budget** bounds the whole run
+  (:class:`~repro.errors.FarmTimeout`), and SIGINT/SIGTERM drain
+  gracefully (:class:`~repro.errors.FarmInterrupted`): workers are torn
+  down, the write-ahead journal stays valid, and ``--resume`` re-runs
+  only the unfinished workloads.
+
+Determinism: completed summaries merge in request order exactly as in the
+unsupervised farm, retried attempts rebuild from scratch (a killed
+worker's partial metrics die with it), and journal replay feeds recorded
+outcomes back through the same merge — so a resumed run's summaries,
+ledgers, and deterministic metrics match an uninterrupted cold run.
+Supervision telemetry (``farm.supervisor.*`` counters, the supervision
+event ledger) describes the run that actually happened and is kept out of
+the determinism-relevant payloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
+from typing import Deque, Dict, List, Optional, Set
+
+from repro import errors
+from repro.farm.journal import (
+    JournalState,
+    JournalWriter,
+    QuarantineIncident,
+    journal_run_key,
+    load_journal,
+)
+from repro.obs.ledger import DecisionLedger
+from repro.obs.stats import CounterSet
+
+#: How long a worker gets to exit after the polite shutdown message
+#: before it is SIGKILLed during teardown.
+SHUTDOWN_GRACE_S = 1.0
+
+
+@dataclass
+class SupervisorOptions:
+    """Supervision knobs; picklable, like every farm option.
+
+    ``deadline_s`` bounds one workload build (``None`` disables the
+    per-task deadline; the heartbeat timeout still catches dead workers).
+    ``retries`` is the number of *re*-dispatches after a failed attempt,
+    so a workload is tried at most ``retries + 1`` times before the
+    crash-loop circuit breaker quarantines it.
+    """
+
+    deadline_s: Optional[float] = None
+    budget_s: Optional[float] = None
+    retries: int = 2
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 10.0
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    journal_path: Optional[str] = None
+    resume: bool = False
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _apply_chaos(chaos: dict, state: dict):
+    """Misbehave as instructed by the chaos harness (test-only paths)."""
+    action = chaos.get("action")
+    if action in ("kill", "poison"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "hang":
+        # Heartbeats keep flowing, so only the per-task deadline fires.
+        while True:
+            time.sleep(0.25)
+    elif action == "stall":
+        # Go silent long enough to trip the heartbeat timeout, while the
+        # task itself would eventually finish — the slow-heartbeat case.
+        stall_s = float(chaos.get("stall_s", 2.0))
+        state["suppress_until"] = time.monotonic() + stall_s
+        time.sleep(stall_s)
+    elif action == "slow":
+        # Sleep in small slices so a teardown SIGKILL lands promptly.
+        until = time.monotonic() + float(chaos.get("slow_s", 1.0))
+        while time.monotonic() < until:
+            time.sleep(0.05)
+
+
+def _worker_main(conn, heartbeat_interval_s: float):
+    """One supervised worker process: heartbeat thread + evaluate loop."""
+    from repro.farm.farm import _evaluate_task
+
+    # The supervisor owns interrupt handling: a terminal Ctrl-C reaches
+    # the whole process group, and the drain must find workers alive so
+    # it can tear them down (and journal that it did).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    send_lock = threading.Lock()
+    state = {"task": None, "suppress_until": 0.0}
+    stop = threading.Event()
+
+    def _send(message) -> bool:
+        with send_lock:
+            try:
+                conn.send(message)
+                return True
+            except (BrokenPipeError, OSError):
+                return False
+
+    def _beat():
+        while not stop.wait(heartbeat_interval_s):
+            if time.monotonic() < state["suppress_until"]:
+                continue
+            if not _send(("heartbeat", state["task"])):
+                return
+
+    threading.Thread(target=_beat, daemon=True).start()
+    _send(("ready", None))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        name = message["name"]
+        state["task"] = name
+        chaos = message.get("chaos")
+        if chaos:
+            _apply_chaos(chaos, state)
+        outcome = _evaluate_task(dict(message["task"]))
+        ok = _send(("result", name, outcome))
+        state["task"] = None
+        if not ok:
+            break
+    stop.set()
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+class _TaskState:
+    """One workload's dispatch state across attempts."""
+
+    __slots__ = ("name", "task", "attempt", "started_at", "history",
+                 "excluded")
+
+    def __init__(self, name: str, task: dict):
+        self.name = name
+        self.task = task
+        self.attempt = 1
+        self.started_at: Optional[float] = None
+        self.history: List[dict] = []
+        self.excluded: Set[str] = set()
+
+
+class _Slot:
+    """One worker position: a live process, or a backoff timer."""
+
+    __slots__ = ("index", "proc", "conn", "incarnation", "ready", "task",
+                 "last_beat", "crashes", "respawn_at")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.proc = None
+        self.conn = None
+        self.incarnation = 0
+        self.ready = False
+        self.task: Optional[_TaskState] = None
+        self.last_beat = 0.0
+        self.crashes = 0
+        self.respawn_at = 0.0
+
+    @property
+    def worker_id(self) -> str:
+        return f"w{self.index}#{self.incarnation}"
+
+
+class _Supervisor:
+    def __init__(self, names, options, jobs: int):
+        self.names = list(names)
+        self.options = options
+        self.sup: SupervisorOptions = options.supervisor or SupervisorOptions()
+        self.jobs = jobs
+        self.chaos = options.chaos
+        self.counters = CounterSet()
+        self.ledger = DecisionLedger()
+        self.outcomes: Dict[str, dict] = {}
+        self.quarantines: Dict[str, QuarantineIncident] = {}
+        self.pending: Deque[_TaskState] = deque()
+        self.slots: List[_Slot] = []
+        self.journal: Optional[JournalWriter] = None
+        self.replayed = 0
+        self._signal: Optional[int] = None
+        self._fatal_error: Optional[dict] = None
+        self._mp = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        self._tick = min(0.05, self.sup.heartbeat_interval_s)
+
+    # ------------------------------------------------------------------
+    # Setup: journal, replay, signals
+    # ------------------------------------------------------------------
+    def _open_journal(self):
+        run_key = journal_run_key(self.names, self.options)
+        path = self.sup.journal_path
+        if self.sup.resume:
+            if not path:
+                raise errors.UsageError(
+                    "--resume requires a journal path"
+                )
+            state = load_journal(path)
+            if state.run_key != run_key:
+                raise errors.UsageError(
+                    f"journal {path} was written for a different run "
+                    f"(key {state.run_key}, this run {run_key}); "
+                    "refusing to mix results"
+                )
+            self._replay(state)
+            self.journal = JournalWriter(
+                path, run_key, self.names, self.jobs, resume=True
+            )
+        elif path:
+            self.journal = JournalWriter(path, run_key, self.names, self.jobs)
+
+    def _replay(self, state: JournalState):
+        for name, outcome in state.completions.items():
+            if name in self.names:
+                self.outcomes[name] = outcome
+                self.replayed += 1
+        for name, incident in state.quarantines.items():
+            if name in self.names:
+                self.quarantines[name] = QuarantineIncident.from_dict(
+                    incident
+                )
+        if self.replayed:
+            self.counters.add(
+                "farm.supervisor.journal_replayed", self.replayed
+            )
+            self.ledger.record(
+                "journal-replay", "-", "-",
+                completed=self.replayed,
+                quarantined=len(self.quarantines),
+            )
+
+    def _install_signals(self):
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+        previous = {}
+
+        def _on_signal(signum, frame):
+            self._signal = signum
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, _on_signal)
+        return previous
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: _Slot):
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(child_conn, self.sup.heartbeat_interval_s),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        slot.proc = proc
+        slot.conn = parent_conn
+        slot.incarnation += 1
+        slot.ready = False
+        slot.task = None
+        slot.last_beat = time.monotonic()
+        self.counters.add("farm.supervisor.worker_spawns")
+        self.ledger.record(
+            "worker-spawn", "-", slot.worker_id, pid=proc.pid
+        )
+        if self.journal:
+            self.journal.event(
+                "worker-spawn", worker=slot.worker_id, pid=proc.pid
+            )
+
+    def _kill_slot(self, slot: _Slot, *, polite: bool = False):
+        proc, conn = slot.proc, slot.conn
+        slot.proc = None
+        slot.conn = None
+        slot.ready = False
+        if proc is None:
+            return
+        if polite and proc.is_alive():
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            proc.join(SHUTDOWN_GRACE_S)
+        if proc.is_alive():
+            proc.kill()
+        proc.join(5.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _schedule_respawn(self, slot: _Slot, now: float):
+        slot.crashes += 1
+        delay = min(
+            self.sup.backoff_base_s * (2 ** (slot.crashes - 1)),
+            self.sup.backoff_max_s,
+        )
+        slot.respawn_at = now + delay
+        self.counters.add("farm.supervisor.backoff_s", delay)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _fail_task(self, slot: _Slot, kind: str, detail: str = ""):
+        task = slot.task
+        slot.task = None
+        if task is None or task.name in self.outcomes:
+            return
+        task.history.append({
+            "attempt": task.attempt,
+            "worker": slot.worker_id,
+            "kind": kind,
+            "detail": detail,
+        })
+        task.excluded.add(slot.worker_id)
+        self.ledger.record(
+            "task-retry" if task.attempt <= self.sup.retries
+            else "task-quarantine",
+            task.name, slot.worker_id,
+            attempt=task.attempt, failure=kind,
+        )
+        if task.attempt >= self.sup.retries + 1:
+            incident = QuarantineIncident(
+                workload=task.name,
+                attempts=task.attempt,
+                reason=kind,
+                history=task.history,
+            )
+            self.quarantines[task.name] = incident
+            self.counters.add("farm.supervisor.quarantines")
+            if self.journal:
+                self.journal.quarantine(incident)
+        else:
+            task.attempt += 1
+            self.pending.appendleft(task)
+            self.counters.add("farm.supervisor.retries")
+
+    def _handle_dead_worker(self, slot: _Slot, kind: str, detail: str,
+                            now: float, *, kill: bool = False):
+        worker_id = slot.worker_id
+        if kill:
+            self.counters.add("farm.supervisor.worker_kills")
+        else:
+            self.counters.add("farm.supervisor.worker_crashes")
+        self.ledger.record(
+            "worker-kill" if kill else "worker-crash", "-", worker_id,
+            reason=kind,
+        )
+        if self.journal:
+            self.journal.event(
+                "worker-kill" if kill else "worker-crash",
+                worker=worker_id, reason=kind,
+            )
+        self._fail_task(slot, kind, detail)
+        self._kill_slot(slot)
+        self._schedule_respawn(slot, now)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _dispatch(self, now: float):
+        for slot in self.slots:
+            if not self.pending:
+                return
+            if slot.proc is None or not slot.ready or slot.task is not None:
+                continue
+            task = self._next_task_for(slot)
+            if task is None:
+                continue
+            chaos = None
+            if self.chaos is not None:
+                chaos = self.chaos.action_for(task.name, task.attempt)
+            try:
+                slot.conn.send({
+                    "name": task.name,
+                    "task": task.task,
+                    "chaos": chaos,
+                })
+            except (BrokenPipeError, OSError):
+                # The worker died between polls; the reaper will respawn
+                # it, and the task goes back to the head of the queue.
+                self.pending.appendleft(task)
+                continue
+            task.started_at = now
+            slot.task = task
+
+    def _next_task_for(self, slot: _Slot) -> Optional[_TaskState]:
+        for index, task in enumerate(self.pending):
+            if slot.worker_id not in task.excluded:
+                del self.pending[index]
+                return task
+        return None
+
+    def _poll(self, now: float):
+        by_conn = {
+            slot.conn: slot for slot in self.slots if slot.proc is not None
+        }
+        if not by_conn:
+            time.sleep(self._tick)
+            return
+        for conn in connection_wait(list(by_conn), timeout=self._tick):
+            slot = by_conn[conn]
+            try:
+                message = conn.recv()
+            except Exception:
+                # EOF (worker death) or a stream truncated by a SIGKILL
+                # mid-send; either way this incarnation is done.
+                self._handle_dead_worker(
+                    slot, "worker-crash", "result channel closed", now
+                )
+                continue
+            slot.last_beat = now
+            kind = message[0]
+            if kind == "ready":
+                slot.ready = True
+            elif kind == "heartbeat":
+                self.counters.add("farm.supervisor.heartbeats")
+            elif kind == "result":
+                _, name, outcome = message
+                slot.task = None
+                if "error" in outcome:
+                    self._fatal_error = outcome["error"]
+                elif name not in self.outcomes:
+                    self.outcomes[name] = outcome
+                    if self.journal:
+                        self.journal.complete(name, outcome)
+
+    def _reap_dead(self, now: float):
+        for slot in self.slots:
+            if slot.proc is not None and slot.proc.exitcode is not None:
+                self._handle_dead_worker(
+                    slot, "worker-crash",
+                    f"exit code {slot.proc.exitcode}", now,
+                )
+
+    def _enforce_deadlines(self, now: float):
+        for slot in self.slots:
+            if slot.proc is None:
+                continue
+            task = slot.task
+            if (
+                task is not None
+                and self.sup.deadline_s is not None
+                and task.started_at is not None
+                and now - task.started_at > self.sup.deadline_s
+            ):
+                self.counters.add("farm.supervisor.deadline_kills")
+                self._handle_dead_worker(
+                    slot, "deadline",
+                    f"exceeded {self.sup.deadline_s}s", now, kill=True,
+                )
+            elif (
+                (task is not None or not slot.ready)
+                and now - slot.last_beat > self.sup.heartbeat_timeout_s
+            ):
+                self.counters.add("farm.supervisor.heartbeat_timeouts")
+                self._handle_dead_worker(
+                    slot, "heartbeat-timeout",
+                    f"silent for {now - slot.last_beat:.2f}s", now,
+                    kill=True,
+                )
+
+    def _respawn_due(self, now: float):
+        if not self.pending:
+            return
+        for slot in self.slots:
+            if slot.proc is None and slot.respawn_at <= now:
+                self._spawn(slot)
+
+    def _teardown(self):
+        for slot in self.slots:
+            self._kill_slot(slot, polite=True)
+        if self.journal:
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self):
+        from repro.farm.farm import (
+            FarmResult,
+            _merge_outcomes,
+            _raise_worker_error,
+            _task,
+        )
+
+        self._open_journal()
+        for name in self.names:
+            if name in self.outcomes or name in self.quarantines:
+                continue
+            self.pending.append(
+                _TaskState(name, _task(name, self.options))
+            )
+        live_tasks = len(self.pending)
+        started = time.monotonic()
+        previous_signals = self._install_signals()
+        self.slots = [
+            _Slot(index)
+            for index in range(max(1, min(self.jobs, max(live_tasks, 1))))
+        ]
+        try:
+            if live_tasks:
+                for slot in self.slots:
+                    self._spawn(slot)
+            while (
+                self._fatal_error is None
+                and (self.pending or any(s.task for s in self.slots))
+            ):
+                now = time.monotonic()
+                if self._signal is not None:
+                    self._interrupted()
+                if (
+                    self.sup.budget_s is not None
+                    and now - started > self.sup.budget_s
+                ):
+                    self._budget_exhausted()
+                self._poll(now)
+                now = time.monotonic()
+                self._reap_dead(now)
+                self._enforce_deadlines(now)
+                self._respawn_due(now)
+                self._dispatch(now)
+            if self._fatal_error is not None:
+                _raise_worker_error(self._fatal_error)
+        finally:
+            self._teardown()
+            for sig, handler in previous_signals.items():
+                signal.signal(sig, handler)
+
+        raw = [
+            self.outcomes[name]
+            for name in self.names
+            if name in self.outcomes
+        ]
+        summaries, metrics, traces = _merge_outcomes(raw)
+        metrics.counters.add("farm.task_queue_depth", live_tasks)
+        metrics.counters = metrics.counters.merge(self.counters)
+        return FarmResult(
+            summaries=summaries,
+            metrics=metrics,
+            jobs=self.jobs,
+            cache_enabled=self.options.cache_root is not None,
+            cache_root=self.options.cache_root,
+            traces=traces,
+            quarantined=[
+                self.quarantines[name]
+                for name in self.names
+                if name in self.quarantines
+            ],
+            supervision=self.ledger,
+            journal_path=self.sup.journal_path,
+            resumed=self.replayed,
+        )
+
+    def _interrupted(self):
+        signum = self._signal
+        name = signal.Signals(signum).name if signum is not None else "?"
+        self._teardown()
+        raise errors.FarmInterrupted(
+            f"farm run interrupted by {name}: "
+            f"{len(self.outcomes)}/{len(self.names)} workloads complete"
+            + (
+                f"; resume with --journal {self.sup.journal_path} --resume"
+                if self.sup.journal_path else ""
+            ),
+            journal_path=self.sup.journal_path,
+            completed=len(self.outcomes),
+            signal_name=name,
+        )
+
+    def _budget_exhausted(self):
+        self._teardown()
+        raise errors.FarmTimeout(
+            f"farm run exceeded its {self.sup.budget_s}s wall-clock "
+            f"budget: {len(self.outcomes)}/{len(self.names)} workloads "
+            "complete"
+            + (
+                f"; resume with --journal {self.sup.journal_path} --resume"
+                if self.sup.journal_path
+                else " (no journal: completed work is discarded)"
+            ),
+            journal_path=self.sup.journal_path,
+            completed=len(self.outcomes),
+            budget_s=self.sup.budget_s,
+        )
+
+
+def run_supervised(names, options):
+    """Evaluate *names* under supervision; the armed-path twin of
+    :func:`repro.farm.farm.build_farm` (which dispatches here whenever
+    supervision or chaos options are set)."""
+    from repro.farm.farm import resolve_jobs
+
+    jobs = resolve_jobs(options.jobs)
+    return _Supervisor(names, options, jobs).run()

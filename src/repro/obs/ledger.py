@@ -28,7 +28,18 @@ Entry kinds currently emitted:
 ``speculate-demote``      a promoted op was demoted back (liveness reason)
 ``cpr-transform``         a CPR block was restructured (branch/schedule deltas)
 ``estimator-clamp``       the exit-aware estimator clamped an over-taken count
+``worker-spawn``          the farm supervisor started a worker (pid)
+``worker-kill``           the supervisor killed a worker (deadline/heartbeat)
+``worker-crash``          a worker died on its own (exit code / closed pipe)
+``task-retry``            a workload was requeued onto a surviving worker
+``task-quarantine``       the crash-loop circuit breaker gave up on a workload
+``journal-replay``        completed outcomes were replayed from the journal
 ========================  =====================================================
+
+The supervision kinds live in a separate per-run ledger
+(:attr:`repro.farm.farm.FarmResult.supervision`), not in any build's
+report: they describe the run that happened, not the program that was
+built, so they are deliberately outside the determinism contract.
 """
 
 from __future__ import annotations
@@ -49,6 +60,13 @@ ENTRY_KINDS = (
     "speculate-demote",
     "cpr-transform",
     "estimator-clamp",
+    # Farm supervision events (FarmResult.supervision, never in builds).
+    "worker-spawn",
+    "worker-kill",
+    "worker-crash",
+    "task-retry",
+    "task-quarantine",
+    "journal-replay",
 )
 
 _ACTIVE: ContextVar[Optional["DecisionLedger"]] = ContextVar(

@@ -1,10 +1,41 @@
-"""Robustness tooling: deterministic fault injection for rollback testing."""
+"""Robustness tooling: deterministic fault injection and chaos testing.
+
+* :mod:`repro.robustness.faultinject` — seeded mid-pass sabotage for the
+  transactional pass manager's rollback machinery;
+* :mod:`repro.robustness.smoke` — the fault-injection smoke sweep CI runs
+  on every push;
+* :mod:`repro.robustness.chaos` — seeded worker-level chaos (kills,
+  hangs, heartbeat stalls, poison tasks) for the supervised build farm.
+"""
 
 from repro.robustness.faultinject import (
     KINDS,
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    derive_seed,
 )
 
-__all__ = ["KINDS", "FaultPlan", "FaultSpec", "InjectedFault"]
+#: Chaos names re-exported lazily: ``python -m repro.robustness.chaos``
+#: would otherwise import the module twice (once via this package, once
+#: as ``__main__``) and runpy warns about the aliasing.
+_CHAOS_EXPORTS = ("ACTIONS", "ChaosPlan", "parse_spec", "run_chaos")
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "KINDS",
+    "derive_seed",
+    *_CHAOS_EXPORTS,
+]
+
+
+def __getattr__(name):
+    if name in _CHAOS_EXPORTS:
+        from repro.robustness import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,447 @@
+"""Chaos harness for the supervised farm: ``python -m repro.robustness.chaos``.
+
+Injects worker misbehaviour into supervised farm runs on a seeded
+schedule and asserts the supervision contract end to end: **every run
+terminates in one of three states** — a complete
+:class:`~repro.farm.farm.FarmResult`, a structured
+:class:`~repro.farm.journal.QuarantineIncident`, or a resumable journal —
+and never a hang. Completed workloads must match an undisturbed reference
+build bit-for-bit (``comparable()`` summaries), and resuming from the
+journal must reconstruct the same result, so chaos can reorder and retry
+work but never change what gets built.
+
+Actions a :class:`ChaosPlan` can order a worker to take (see
+:func:`repro.farm.supervisor._apply_chaos`):
+
+* ``kill`` — SIGKILL itself once; the supervisor respawns and retries;
+* ``poison`` — SIGKILL itself on *every* attempt, driving the crash-loop
+  circuit breaker to quarantine the workload;
+* ``hang`` — spin forever with heartbeats flowing, so only the per-task
+  deadline can reclaim the worker;
+* ``stall`` — suppress heartbeats and sleep, tripping the heartbeat
+  timeout while the task would eventually have finished;
+* ``slow`` — sleep before building, stretching the run without
+  misbehaving (exercises budget accounting and teardown).
+
+Scheduling follows the spawn-order-independence discipline of
+:meth:`repro.robustness.faultinject.FaultPlan.derive`: each workload's
+action is drawn from an RNG seeded by :func:`derive_seed(seed, scope)
+<repro.robustness.faultinject.derive_seed>`, so the schedule is a pure
+function of ``(seed, workload name)`` — never of worker identity,
+dispatch order, or job count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import FarmInterrupted, FarmTimeout, UsageError
+from repro.robustness.faultinject import derive_seed
+
+#: Recognized chaos actions.
+ACTIONS = ("kill", "hang", "stall", "slow", "poison")
+
+#: Recognized dial parameters (seconds) in a plan or ``--chaos`` spec.
+PARAMS = ("slow_s", "stall_s")
+
+DEFAULT_WORKLOADS = ("strcpy", "cmp", "wc", "grep")
+
+
+@dataclass
+class ChaosPlan:
+    """A per-workload misbehaviour schedule; picklable like all options.
+
+    ``rules`` maps workload names to actions. ``params`` carries the
+    dials (``slow_s``, ``stall_s``). Only the *first* attempt of a
+    workload misbehaves — the retry must be able to succeed — except for
+    ``poison``, which strikes every attempt so the circuit breaker trips.
+    """
+
+    rules: Dict[str, str] = field(default_factory=dict)
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for name, action in self.rules.items():
+            if action not in ACTIONS:
+                raise UsageError(
+                    f"unknown chaos action {action!r} for {name!r}; "
+                    f"expected one of {ACTIONS}"
+                )
+        for key in self.params:
+            if key not in PARAMS:
+                raise UsageError(
+                    f"unknown chaos parameter {key!r}; "
+                    f"expected one of {PARAMS}"
+                )
+
+    def action_for(self, name: str, attempt: int) -> Optional[dict]:
+        """The supervisor's hook: what should *name*'s attempt N do?"""
+        action = self.rules.get(name)
+        if action is None:
+            return None
+        if action != "poison" and attempt > 1:
+            return None
+        event = {"action": action}
+        if action == "slow":
+            event["slow_s"] = float(self.params.get("slow_s", 1.0))
+        elif action == "stall":
+            event["stall_s"] = float(self.params.get("stall_s", 3.0))
+        return event
+
+    @classmethod
+    def schedule(
+        cls,
+        seed: int,
+        names: Sequence[str],
+        rate: float = 0.75,
+        actions: Sequence[str] = ACTIONS,
+        params: Optional[Dict[str, float]] = None,
+    ) -> "ChaosPlan":
+        """A seeded schedule over *names*, spawn-order independent.
+
+        Each workload draws from its own RNG seeded by
+        ``derive_seed(seed, "chaos:<name>")``, so whether (and how) a
+        workload misbehaves depends only on the root seed and its own
+        name — two runs with different ``--jobs`` values or dispatch
+        orders observe the identical schedule.
+        """
+        rules: Dict[str, str] = {}
+        for name in names:
+            rng = random.Random(derive_seed(seed, f"chaos:{name}"))
+            if rng.random() < rate:
+                rules[name] = actions[rng.randrange(len(actions))]
+        return cls(rules, dict(params or {}))
+
+
+def parse_spec(text: str) -> ChaosPlan:
+    """Parse a ``--chaos`` spec: ``name=action[,name=action...][;key=val...]``.
+
+    Example: ``strcpy=slow,cmp=kill;slow_s=20`` — strcpy's first attempt
+    sleeps 20s, cmp's first attempt SIGKILLs its worker. Raises
+    :class:`~repro.errors.UsageError` on malformed input, unknown
+    actions, or unknown parameters.
+    """
+    rules: Dict[str, str] = {}
+    params: Dict[str, float] = {}
+    head, _, tail = text.partition(";")
+    for part in head.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, action = part.partition("=")
+        if not sep or not name.strip() or not action.strip():
+            raise UsageError(
+                f"malformed chaos rule {part!r}; expected name=action"
+            )
+        rules[name.strip()] = action.strip()
+    if tail:
+        for part in tail.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise UsageError(
+                    f"malformed chaos parameter {part!r}; expected key=value"
+                )
+            try:
+                params[key.strip()] = float(value)
+            except ValueError:
+                raise UsageError(
+                    f"chaos parameter {key.strip()!r} needs a number, "
+                    f"got {value!r}"
+                ) from None
+    if not rules:
+        raise UsageError(f"chaos spec {text!r} names no workloads")
+    return ChaosPlan(rules, params)
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosVerdict:
+    """One seed's outcome, as printed and as judged."""
+
+    seed: int
+    outcome: str  # "complete" | "resumable" | "FAILED"
+    completed: int = 0
+    quarantined: int = 0
+    schedule: Dict[str, str] = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in ("complete", "resumable")
+
+    def render(self) -> str:
+        plan = (
+            ",".join(f"{n}={a}" for n, a in sorted(self.schedule.items()))
+            or "(clean)"
+        )
+        return (
+            f"seed {self.seed:<12} {self.outcome:<10} "
+            f"completed={self.completed} quarantined={self.quarantined} "
+            f"[{plan}]{'  ' + self.detail if self.detail else ''}"
+        )
+
+
+def _comparable_map(result) -> Dict[str, dict]:
+    return {s.name: s.comparable() for s in result.summaries}
+
+
+def _check_result(result, names, reference: Dict[str, dict]) -> str:
+    """Assert a terminal FarmResult against the chaos contract.
+
+    Returns an error string ("" = pass): every workload must be accounted
+    for (completed or quarantined, never silently dropped), and every
+    completed summary must match the undisturbed reference exactly.
+    """
+    built = _comparable_map(result)
+    quarantined = {q.workload for q in result.quarantined}
+    missing = [
+        n for n in names if n not in built and n not in quarantined
+    ]
+    if missing:
+        return f"workloads unaccounted for: {missing}"
+    overlap = sorted(set(built) & quarantined)
+    if overlap:
+        return f"workloads both completed and quarantined: {overlap}"
+    diverged = [n for n in built if built[n] != reference[n]]
+    if diverged:
+        return f"completed workloads diverged from reference: {diverged}"
+    return ""
+
+
+def run_chaos_seed(
+    seed: int,
+    names: Sequence[str],
+    jobs: int,
+    out_dir: Path,
+    *,
+    rate: float = 0.75,
+    deadline_s: float = 30.0,
+    budget_s: float = 240.0,
+    retries: int = 1,
+    reference: Optional[Dict[str, dict]] = None,
+    plan: Optional[ChaosPlan] = None,
+) -> ChaosVerdict:
+    """One chaos run: inject, then prove the terminal state is legal.
+
+    Dials are chosen so every action has a deterministic consequence:
+    ``stall_s`` exceeds the heartbeat timeout (the stall *must* trip it)
+    and ``slow_s`` stays well under ``deadline_s`` (slow workers must
+    *not* be killed).
+    """
+    from repro.farm.farm import FarmOptions, build_farm
+    from repro.farm.journal import load_journal
+    from repro.farm.supervisor import SupervisorOptions
+
+    names = list(names)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    base = dict(jobs=jobs, processors=("medium",))
+    if reference is None:
+        reference = _comparable_map(build_farm(names, FarmOptions(**base)))
+    if plan is None:
+        plan = ChaosPlan.schedule(
+            seed, names, rate=rate, params={"slow_s": 1.0, "stall_s": 4.0}
+        )
+    journal = out_dir / f"chaos-{seed}.journal"
+    sup = SupervisorOptions(
+        deadline_s=deadline_s,
+        budget_s=budget_s,
+        retries=retries,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=1.5,
+        backoff_base_s=0.01,
+        journal_path=str(journal),
+    )
+    verdict = ChaosVerdict(seed=seed, outcome="FAILED", schedule=plan.rules)
+
+    def _resume(chaos=None):
+        return build_farm(
+            names,
+            FarmOptions(
+                **base,
+                supervisor=SupervisorOptions(
+                    deadline_s=deadline_s,
+                    budget_s=budget_s,
+                    retries=retries,
+                    heartbeat_interval_s=0.05,
+                    heartbeat_timeout_s=1.5,
+                    backoff_base_s=0.01,
+                    journal_path=str(journal),
+                    resume=True,
+                ),
+                chaos=chaos,
+            ),
+        )
+
+    try:
+        result = build_farm(
+            names, FarmOptions(**base, supervisor=sup, chaos=plan)
+        )
+    except (FarmInterrupted, FarmTimeout) as exc:
+        # Terminal state 3: the run was cut short, so the journal must be
+        # loadable AND actually resumable — prove it by resuming with
+        # chaos disabled and checking the final result.
+        state = load_journal(journal)
+        verdict.completed = len(state.completions)
+        verdict.quarantined = len(state.quarantines)
+        resumed = _resume()
+        error = _check_result(resumed, names, reference)
+        if error:
+            verdict.detail = f"resume after {type(exc).__name__}: {error}"
+            return verdict
+        verdict.outcome = "resumable"
+        verdict.detail = type(exc).__name__
+        return verdict
+    except Exception as exc:  # any other escape is a contract violation
+        verdict.detail = f"{type(exc).__name__}: {exc}"
+        return verdict
+
+    # Terminal states 1/2: complete result, possibly with quarantines.
+    verdict.completed = len(result.summaries)
+    verdict.quarantined = len(result.quarantined)
+    error = _check_result(result, names, reference)
+    if error:
+        verdict.detail = error
+        return verdict
+    if result.quarantined:
+        incident_path = out_dir / f"chaos-{seed}.incidents.json"
+        incident_path.write_text(
+            json.dumps(
+                [q.to_dict() for q in result.quarantined],
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        expected = retries + 1
+        short = [
+            q.workload for q in result.quarantined if q.attempts != expected
+        ]
+        if short:
+            verdict.detail = (
+                f"quarantine without {expected} attempts: {short}"
+            )
+            return verdict
+    # Replay check: resuming the completed journal must reconstruct the
+    # identical result without re-running anything.
+    replayed = _resume()
+    error = _check_result(replayed, names, reference)
+    if error:
+        verdict.detail = f"journal replay: {error}"
+        return verdict
+    if replayed.resumed != len(result.summaries):
+        verdict.detail = (
+            f"replay re-ran work: resumed={replayed.resumed}, "
+            f"expected {len(result.summaries)}"
+        )
+        return verdict
+    verdict.outcome = "complete"
+    return verdict
+
+
+def run_chaos(
+    seeds: Sequence[int],
+    names: Sequence[str] = DEFAULT_WORKLOADS,
+    jobs: int = 2,
+    out_dir="chaos-out",
+    out=sys.stdout,
+    **dials,
+) -> int:
+    """Run the harness over *seeds*; returns a process exit code."""
+    from repro.farm.farm import FarmOptions, build_farm
+
+    names = list(names)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    reference = _comparable_map(
+        build_farm(names, FarmOptions(jobs=jobs, processors=("medium",)))
+    )
+    verdicts: List[ChaosVerdict] = []
+    for seed in seeds:
+        verdict = run_chaos_seed(
+            seed, names, jobs, out_dir, reference=reference, **dials
+        )
+        verdicts.append(verdict)
+        print(verdict.render(), file=out)
+    failures = [v for v in verdicts if not v.ok]
+    print(
+        f"{'CHAOS FAILED' if failures else 'chaos ok'}: "
+        f"{len(verdicts) - len(failures)}/{len(verdicts)} seeds terminated "
+        "legally",
+        file=out,
+    )
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.robustness.chaos",
+        description="seeded chaos harness for the supervised build farm",
+    )
+    parser.add_argument(
+        "--seeds", default="0",
+        help="comma-separated chaos seeds, one harness run each",
+    )
+    parser.add_argument(
+        "--workloads", default=",".join(DEFAULT_WORKLOADS),
+        help="comma-separated workload names",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--out-dir", default="chaos-out",
+        help="where journals and incident reports land",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.75,
+        help="per-workload probability of misbehaving",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=30.0, dest="deadline_s",
+        help="per-workload deadline handed to the supervisor (seconds)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=240.0, dest="budget_s",
+        help="per-seed wall-clock budget (seconds)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="supervisor re-dispatches before quarantine",
+    )
+    args = parser.parse_args(argv)
+    try:
+        seeds = [
+            int(part) for part in args.seeds.split(",") if part.strip()
+        ]
+    except ValueError:
+        raise UsageError(
+            f"--seeds must be comma-separated integers, got {args.seeds!r}"
+        ) from None
+    names = [
+        part.strip() for part in args.workloads.split(",") if part.strip()
+    ]
+    return run_chaos(
+        seeds,
+        names,
+        jobs=args.jobs,
+        out_dir=args.out_dir,
+        rate=args.rate,
+        deadline_s=args.deadline_s,
+        budget_s=args.budget_s,
+        retries=args.retries,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

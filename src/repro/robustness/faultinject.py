@@ -45,6 +45,19 @@ class InjectedFault(TransformError):
     """Raised by a :class:`FaultPlan` to simulate a mid-pass compiler bug."""
 
 
+def derive_seed(seed: int, scope: str) -> int:
+    """A stable sub-seed for *scope*: pure function of ``(seed, scope)``.
+
+    This is the spawn-order-independence discipline shared by
+    :meth:`FaultPlan.derive` and the chaos harness
+    (:mod:`repro.robustness.chaos`): any per-scope RNG stream must depend
+    only on the root seed and the scope name, never on worker identity,
+    dispatch order, or how many scopes were served before this one.
+    """
+    digest = hashlib.sha256(f"{seed}:{scope}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 #: Recognized fault kinds.
 KINDS = ("raise", "fuel", "drop-branch", "clobber-pred")
 
@@ -98,12 +111,9 @@ class FaultPlan:
         identical faults regardless of build order or which worker
         process handles which scope.
         """
-        digest = hashlib.sha256(
-            f"{self.seed}:{scope}".encode("utf-8")
-        ).digest()
         return FaultPlan(
             [replace(spec, fired=0) for spec in self.specs],
-            seed=int.from_bytes(digest[:8], "big"),
+            seed=derive_seed(self.seed, scope),
         )
 
     def wrap(self, pass_name: str, proc_name: str, fn):

@@ -19,14 +19,31 @@ PAIR = ["strcpy", "cmp"]
 
 def test_resolve_jobs():
     assert resolve_jobs("auto") >= 1
-    assert resolve_jobs(None) >= 1
-    assert resolve_jobs(0) >= 1
     assert resolve_jobs("3") == 3
     assert resolve_jobs(2) == 2
-    with pytest.raises(ValueError):
-        resolve_jobs("-1")
-    with pytest.raises(ValueError):
-        resolve_jobs("many")
+
+
+@pytest.mark.parametrize("bad", [0, -1, "-1", "0", "many", "1.5", ""])
+def test_resolve_jobs_rejects_bad_values(bad):
+    """0/negative/garbage raise UsageError naming the offending value."""
+    with pytest.raises(errors.UsageError) as excinfo:
+        resolve_jobs(bad)
+    assert repr(bad) in str(excinfo.value)
+
+
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs(None) == 3
+    assert resolve_jobs(2) == 2  # explicit argument wins over the env
+    monkeypatch.setenv("REPRO_JOBS", "auto")
+    assert resolve_jobs(None) >= 1
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(errors.UsageError) as excinfo:
+        resolve_jobs(None)
+    assert "REPRO_JOBS" in str(excinfo.value)
+    assert "'zero'" in str(excinfo.value)
 
 
 def test_farm_matches_legacy_evaluation():

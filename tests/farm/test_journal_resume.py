@@ -1,0 +1,180 @@
+"""The write-ahead completion journal and checkpoint-resume."""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.farm.farm import FarmOptions, build_farm
+from repro.farm.journal import (
+    JOURNAL_SCHEMA,
+    JournalWriter,
+    QuarantineIncident,
+    journal_run_key,
+    load_journal,
+)
+from repro.farm.supervisor import SupervisorOptions
+
+PAIR = ["strcpy", "cmp"]
+
+
+def _options(journal, resume=False):
+    return FarmOptions(
+        jobs=2,
+        processors=("medium",),
+        supervisor=SupervisorOptions(
+            journal_path=str(journal),
+            resume=resume,
+            heartbeat_interval_s=0.05,
+        ),
+    )
+
+
+def test_journal_records_run(tmp_path):
+    journal = tmp_path / "run.journal"
+    result = build_farm(PAIR, _options(journal))
+    assert result.journal_path == str(journal)
+    state = load_journal(journal)
+    assert state.header["schema"] == JOURNAL_SCHEMA
+    assert state.header["names"] == PAIR
+    assert state.run_key == journal_run_key(PAIR, _options(journal))
+    assert sorted(state.completions) == sorted(PAIR)
+    assert state.quarantines == {}
+    assert not state.truncated
+    # Every spawned worker's pid is journalled (the orphan-check hook).
+    assert len(state.worker_pids()) == 2
+
+
+def test_resume_replays_complete_journal(tmp_path):
+    """Resuming a finished run re-runs nothing and reproduces the result."""
+    journal = tmp_path / "run.journal"
+    cold = build_farm(PAIR, _options(journal))
+    resumed = build_farm(PAIR, _options(journal, resume=True))
+    assert resumed.resumed == 2
+    assert [s.comparable() for s in resumed.summaries] == [
+        s.comparable() for s in cold.summaries
+    ]
+    assert (
+        resumed.metrics.to_json_dict()["totals"]["pass_invocations"]
+        == cold.metrics.to_json_dict()["totals"]["pass_invocations"]
+    )
+    # Replay spawns no workers at all.
+    assert "worker-spawn" not in resumed.supervision.counts()
+    assert resumed.supervision.counts()["journal-replay"] == 1
+
+
+def test_resume_partial_journal_matches_cold_run(tmp_path):
+    """A handcrafted half-finished journal: the completed workload is
+    replayed verbatim, the missing one is rebuilt, and the merged result
+    is indistinguishable from an uninterrupted run."""
+    cold_journal = tmp_path / "cold.journal"
+    cold = build_farm(PAIR, _options(cold_journal))
+    cold_state = load_journal(cold_journal)
+
+    partial = tmp_path / "partial.journal"
+    options = _options(partial, resume=True)
+    with open(partial, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({
+            "kind": "header",
+            "schema": JOURNAL_SCHEMA,
+            "run_key": journal_run_key(PAIR, options),
+            "names": PAIR,
+            "jobs": 2,
+        }) + "\n")
+        handle.write(json.dumps({
+            "kind": "complete",
+            "name": "strcpy",
+            "outcome": cold_state.completions["strcpy"],
+        }) + "\n")
+
+    resumed = build_farm(PAIR, options)
+    assert resumed.resumed == 1
+    assert [s.comparable() for s in resumed.summaries] == [
+        s.comparable() for s in cold.summaries
+    ]
+    # The resumed run appended cmp's completion to the same journal.
+    state = load_journal(partial)
+    assert sorted(state.completions) == sorted(PAIR)
+
+
+def test_resume_preserves_quarantines(tmp_path):
+    """A journalled quarantine stays quarantined on resume — the circuit
+    breaker's verdict is part of the run, not re-litigated."""
+    journal = tmp_path / "run.journal"
+    options = _options(journal, resume=True)
+    incident = QuarantineIncident(
+        workload="cmp", attempts=3, reason="worker-crash",
+        history=[{"attempt": 1, "worker": "w0#1",
+                  "kind": "worker-crash", "detail": ""}],
+    )
+    writer = JournalWriter(
+        journal, journal_run_key(PAIR, options), PAIR, 2
+    )
+    writer.quarantine(incident)
+    writer.close()
+
+    resumed = build_farm(PAIR, options)
+    assert [s.name for s in resumed.summaries] == ["strcpy"]
+    assert len(resumed.quarantined) == 1
+    assert resumed.quarantined[0].workload == "cmp"
+    assert resumed.quarantined[0].attempts == 3
+
+
+def test_truncated_trailing_line_is_tolerated(tmp_path):
+    """A SIGKILL mid-append leaves a partial last line; the loader drops
+    it and resume re-runs that workload."""
+    journal = tmp_path / "run.journal"
+    build_farm(PAIR, _options(journal))
+    text = journal.read_text(encoding="utf-8")
+    lines = text.splitlines(keepends=True)
+    journal.write_text("".join(lines[:-1]) + lines[-1][:17],
+                       encoding="utf-8")
+    state = load_journal(journal)
+    assert state.truncated
+    assert len(state.completions) == 1
+
+
+def test_resume_rejects_run_key_mismatch(tmp_path):
+    """A journal from a different workload list or option set must not
+    contaminate this run's results."""
+    journal = tmp_path / "run.journal"
+    build_farm(PAIR, _options(journal))
+    with pytest.raises(errors.UsageError, match="different run"):
+        build_farm(["strcpy", "wc"], _options(journal, resume=True))
+
+
+def test_resume_rejects_missing_and_malformed_journals(tmp_path):
+    with pytest.raises(errors.UsageError, match="cannot read journal"):
+        build_farm(PAIR, _options(tmp_path / "absent.journal", resume=True))
+    headerless = tmp_path / "headerless.journal"
+    headerless.write_text(
+        json.dumps({"kind": "complete", "name": "strcpy", "outcome": {}})
+        + "\n",
+        encoding="utf-8",
+    )
+    with pytest.raises(errors.UsageError, match="header"):
+        load_journal(headerless)
+    skewed = tmp_path / "skewed.journal"
+    skewed.write_text(
+        json.dumps({"kind": "header", "schema": "repro.farm.journal/v999"})
+        + "\n",
+        encoding="utf-8",
+    )
+    with pytest.raises(errors.UsageError, match="schema"):
+        load_journal(skewed)
+
+
+def test_run_key_ignores_speed_knobs():
+    """jobs and cache configuration change how fast results arrive, never
+    what they are — a run may resume with different values for them."""
+    base = FarmOptions(jobs=2, processors=("medium",))
+    assert journal_run_key(PAIR, base) == journal_run_key(
+        PAIR, FarmOptions(jobs=8, cache_root="/elsewhere",
+                          processors=("medium",))
+    )
+    assert journal_run_key(PAIR, base) != journal_run_key(
+        PAIR, FarmOptions(jobs=2, processors=("wide",))
+    )
+    assert journal_run_key(PAIR, base) != journal_run_key(
+        ["strcpy"], base
+    )

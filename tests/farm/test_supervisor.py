@@ -1,0 +1,181 @@
+"""The supervised farm: heartbeats, deadlines, retries, quarantine.
+
+Timing dials in these tests are tuned for a slow single-CPU CI box: short
+heartbeat intervals so runs finish fast, but generous deadlines so a
+healthy build is never killed by accident.
+"""
+
+import pytest
+
+from repro import errors
+from repro.farm.farm import FarmOptions, build_farm
+from repro.farm.journal import QuarantineIncident
+from repro.farm.supervisor import SupervisorOptions
+
+PAIR = ["strcpy", "cmp"]
+
+
+def _options(tmp_path=None, chaos=None, **sup):
+    sup.setdefault("heartbeat_interval_s", 0.05)
+    sup.setdefault("backoff_base_s", 0.01)
+    if tmp_path is not None:
+        sup.setdefault("journal_path", str(tmp_path / "run.journal"))
+    return FarmOptions(
+        jobs=2,
+        processors=("medium",),
+        supervisor=SupervisorOptions(**sup),
+        chaos=chaos,
+    )
+
+
+class _ChaosOnce:
+    """Misbehave once, on a chosen workload's first attempt only."""
+
+    def __init__(self, name, action, **params):
+        self.name = name
+        self.event = dict(params, action=action)
+
+    def action_for(self, name, attempt):
+        if name == self.name and attempt == 1:
+            return dict(self.event)
+        return None
+
+
+class _PoisonAlways:
+    def __init__(self, name):
+        self.name = name
+
+    def action_for(self, name, attempt):
+        if name == self.name:
+            return {"action": "poison"}
+        return None
+
+
+def test_supervised_matches_unsupervised():
+    """A clean supervised run is invisible in the results: identical
+    summaries and deterministic metrics, plus supervision telemetry."""
+    plain = build_farm(PAIR, FarmOptions(processors=("medium",)))
+    supervised = build_farm(PAIR, _options())
+    assert [s.comparable() for s in supervised.summaries] == [
+        s.comparable() for s in plain.summaries
+    ]
+    plain_totals = plain.metrics.to_json_dict()["totals"]
+    sup_totals = supervised.metrics.to_json_dict()["totals"]
+    assert sup_totals["pass_invocations"] == plain_totals["pass_invocations"]
+    assert supervised.quarantined == []
+    assert supervised.supervision.counts()["worker-spawn"] == 2
+    counters = supervised.metrics.counters
+    assert counters.get("farm.supervisor.worker_spawns").count == 2
+    assert counters.get("farm.supervisor.heartbeats").count > 0
+
+
+def test_killed_worker_is_respawned_and_task_retried(tmp_path):
+    """One SIGKILL mid-build costs a retry, never a result."""
+    plain = build_farm(PAIR, FarmOptions(processors=("medium",)))
+    result = build_farm(
+        PAIR, _options(tmp_path, chaos=_ChaosOnce("cmp", "kill"))
+    )
+    assert [s.comparable() for s in result.summaries] == [
+        s.comparable() for s in plain.summaries
+    ]
+    assert result.quarantined == []
+    counts = result.supervision.counts()
+    assert counts["worker-crash"] == 1
+    assert counts["task-retry"] == 1
+    assert counts["worker-spawn"] >= 3  # 2 initial + >=1 respawn
+    retry = result.supervision.of_kind("task-retry")[0]
+    assert retry.proc == "cmp"
+    assert retry.get("failure") == "worker-crash"
+
+
+def test_poison_task_trips_circuit_breaker(tmp_path):
+    """A workload that kills every fresh worker is quarantined after
+    exactly retries + 1 attempts; the rest of the run is unharmed."""
+    result = build_farm(
+        PAIR, _options(tmp_path, chaos=_PoisonAlways("cmp"), retries=2)
+    )
+    assert [s.name for s in result.summaries] == ["strcpy"]
+    assert len(result.quarantined) == 1
+    incident = result.quarantined[0]
+    assert isinstance(incident, QuarantineIncident)
+    assert incident.workload == "cmp"
+    assert incident.attempts == 3
+    assert len(incident.history) == 3
+    assert {h["kind"] for h in incident.history} == {"worker-crash"}
+    # Three distinct fresh workers died for this workload.
+    assert len({h["worker"] for h in incident.history}) == 3
+    assert "cmp" in incident.format()
+
+
+def test_hung_worker_hits_deadline(tmp_path):
+    """A hang with live heartbeats is only caught by the deadline."""
+    result = build_farm(
+        PAIR,
+        _options(tmp_path, chaos=_ChaosOnce("cmp", "hang"), deadline_s=2.0),
+    )
+    assert sorted(s.name for s in result.summaries) == sorted(PAIR)
+    counts = result.supervision.counts()
+    assert counts["worker-kill"] == 1
+    kill = result.supervision.of_kind("worker-kill")[0]
+    assert kill.get("reason") == "deadline"
+
+
+def test_stalled_heartbeat_triggers_timeout(tmp_path):
+    """Suppressed heartbeats get the worker killed even with no deadline."""
+    result = build_farm(
+        PAIR,
+        _options(
+            tmp_path,
+            chaos=_ChaosOnce("cmp", "stall", stall_s=30.0),
+            heartbeat_timeout_s=1.0,
+        ),
+    )
+    assert sorted(s.name for s in result.summaries) == sorted(PAIR)
+    kill = result.supervision.of_kind("worker-kill")[0]
+    assert kill.get("reason") == "heartbeat-timeout"
+
+
+def test_budget_exhaustion_raises_farm_timeout(tmp_path):
+    """The global wall-clock budget aborts the run with exit-code-7
+    semantics and points at the journal."""
+    journal = tmp_path / "run.journal"
+    with pytest.raises(errors.FarmTimeout) as excinfo:
+        build_farm(
+            PAIR,
+            FarmOptions(
+                jobs=1,
+                processors=("medium",),
+                supervisor=SupervisorOptions(
+                    budget_s=0.05,
+                    heartbeat_interval_s=0.05,
+                    journal_path=str(journal),
+                ),
+            ),
+        )
+    exc = excinfo.value
+    assert exc.budget_s == 0.05
+    assert exc.journal_path == str(journal)
+    assert "--resume" in str(exc)
+    assert journal.exists()
+
+
+def test_worker_library_error_carries_context(monkeypatch):
+    """A deterministic library failure inside a worker surfaces with the
+    workload name and the worker's formatted traceback attached."""
+    import repro.farm.farm as farm_mod
+
+    real = farm_mod._evaluate_workload
+
+    def explode(name, options, metrics, cache, started):
+        if name == "cmp":
+            raise errors.TransformError("synthetic pass failure")
+        return real(name, options, metrics, cache, started)
+
+    monkeypatch.setattr(farm_mod, "_evaluate_workload", explode)
+    with pytest.raises(errors.TransformError) as excinfo:
+        build_farm(PAIR, _options())
+    exc = excinfo.value
+    assert "synthetic pass failure" in str(exc)
+    assert exc.workload == "cmp"
+    assert "TransformError" in exc.worker_traceback
+    assert "explode" in exc.worker_traceback

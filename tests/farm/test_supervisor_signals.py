@@ -1,0 +1,103 @@
+"""SIGINT mid-run: documented exit code, valid journal, no orphans.
+
+Drives the real CLI in a subprocess with a chaos schedule that makes
+every workload sleep long enough for the parent to interrupt it, then
+checks the whole graceful-drain contract from the outside.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.farm.journal import load_journal
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def test_sigint_drains_gracefully(tmp_path):
+    journal = tmp_path / "run.journal"
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "evaluate", "strcpy", "cmp",
+            "--jobs", "2",
+            "--journal", str(journal),
+            "--chaos", "strcpy=slow,cmp=slow;slow_s=120",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # Wait until both workers are journalled as spawned, so the
+        # interrupt lands mid-build with live children to tear down.
+        deadline = time.monotonic() + 60
+        pids = []
+        while time.monotonic() < deadline:
+            if journal.exists():
+                try:
+                    pids = load_journal(journal).worker_pids()
+                except Exception:
+                    pids = []
+                if len(pids) >= 2:
+                    break
+            time.sleep(0.1)
+        assert len(pids) >= 2, "workers never spawned"
+        time.sleep(0.5)
+
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # Documented exit code for an interrupted-but-drained farm run.
+    assert proc.returncode == 130, (stdout, stderr)
+    assert "FarmInterrupted" in stderr
+    assert "--resume" in stderr
+
+    # The journal survived the drain intact and names the signal's
+    # worker fleet, so post-mortems can account for every process.
+    state = load_journal(journal)
+    assert state.header["names"] == ["strcpy", "cmp"]
+    assert not state.truncated
+
+    # No orphans: every journalled worker pid is gone shortly after the
+    # supervisor exits (they are its children; give the kernel a beat).
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline and any(_alive(p) for p in pids):
+        time.sleep(0.1)
+    survivors = [p for p in pids if _alive(p)]
+    assert survivors == [], f"orphaned workers: {survivors}"
+
+    # The journal is genuinely resumable: a clean follow-up run (no
+    # chaos) finishes the interrupted work and exits 0.
+    resume = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "evaluate", "strcpy", "cmp",
+            "--jobs", "2",
+            "--journal", str(journal), "--resume",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert resume.returncode == 0, (resume.stdout, resume.stderr)
+    assert "strcpy" in resume.stdout and "cmp" in resume.stdout
+    final = load_journal(journal)
+    assert sorted(final.completions) == ["cmp", "strcpy"]

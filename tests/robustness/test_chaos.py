@@ -1,0 +1,135 @@
+"""The chaos harness: seeded schedules, spec parsing, contract checks."""
+
+import io
+import json
+
+import pytest
+
+from repro import errors
+from repro.robustness.chaos import (
+    ACTIONS,
+    ChaosPlan,
+    ChaosVerdict,
+    parse_spec,
+    run_chaos,
+    run_chaos_seed,
+)
+
+
+# ----------------------------------------------------------------------
+# Scheduling
+# ----------------------------------------------------------------------
+def test_schedule_is_deterministic_and_order_independent():
+    names = ["strcpy", "cmp", "wc", "grep"]
+    plan = ChaosPlan.schedule(7, names)
+    assert plan.rules == ChaosPlan.schedule(7, names).rules
+    # Spawn-order independence: the schedule is a pure function of
+    # (seed, workload name), so permuting the list changes nothing.
+    assert plan.rules == ChaosPlan.schedule(7, list(reversed(names))).rules
+    # A subset sees exactly the actions it saw in the full list.
+    subset = ChaosPlan.schedule(7, ["wc"])
+    for name, action in subset.rules.items():
+        assert plan.rules[name] == action
+    assert all(action in ACTIONS for action in plan.rules.values())
+
+
+def test_schedule_varies_with_seed():
+    names = [f"w{i}" for i in range(16)]
+    schedules = {
+        tuple(sorted(ChaosPlan.schedule(seed, names).rules.items()))
+        for seed in range(8)
+    }
+    assert len(schedules) > 1
+
+
+def test_action_for_single_strike_vs_poison():
+    plan = ChaosPlan(
+        {"a": "kill", "b": "poison", "c": "slow"}, {"slow_s": 9.0}
+    )
+    assert plan.action_for("a", 1) == {"action": "kill"}
+    assert plan.action_for("a", 2) is None  # the retry must succeed
+    assert plan.action_for("b", 1) == {"action": "poison"}
+    assert plan.action_for("b", 3) == {"action": "poison"}  # every attempt
+    assert plan.action_for("c", 1) == {"action": "slow", "slow_s": 9.0}
+    assert plan.action_for("unlisted", 1) is None
+
+
+def test_plan_validates_actions_and_params():
+    with pytest.raises(errors.UsageError, match="unknown chaos action"):
+        ChaosPlan({"a": "frob"})
+    with pytest.raises(errors.UsageError, match="unknown chaos parameter"):
+        ChaosPlan({"a": "slow"}, {"warp_factor": 9.0})
+
+
+# ----------------------------------------------------------------------
+# --chaos spec parsing
+# ----------------------------------------------------------------------
+def test_parse_spec():
+    plan = parse_spec("strcpy=slow,cmp=kill;slow_s=20")
+    assert plan.rules == {"strcpy": "slow", "cmp": "kill"}
+    assert plan.params == {"slow_s": 20.0}
+
+
+@pytest.mark.parametrize(
+    "bad", ["strcpy", "strcpy=frob", "a=kill;slow_s=x", ";slow_s=1", "=kill"]
+)
+def test_parse_spec_rejects_malformed(bad):
+    with pytest.raises(errors.UsageError):
+        parse_spec(bad)
+
+
+# ----------------------------------------------------------------------
+# The harness itself (small, forced plans — CI runs the seeded sweep)
+# ----------------------------------------------------------------------
+def test_run_chaos_seed_kill_completes(tmp_path):
+    verdict = run_chaos_seed(
+        1, ["strcpy", "cmp"], 2, tmp_path,
+        deadline_s=15.0, budget_s=120.0,
+        plan=ChaosPlan({"cmp": "kill"}),
+    )
+    assert verdict.ok, verdict.render()
+    assert verdict.outcome == "complete"
+    assert verdict.completed == 2
+    assert verdict.quarantined == 0
+    assert (tmp_path / "chaos-1.journal").exists()
+
+
+def test_run_chaos_seed_poison_quarantines(tmp_path):
+    verdict = run_chaos_seed(
+        2, ["strcpy", "cmp"], 2, tmp_path,
+        deadline_s=15.0, budget_s=120.0, retries=1,
+        plan=ChaosPlan({"cmp": "poison"}),
+    )
+    assert verdict.ok, verdict.render()
+    assert verdict.completed == 1
+    assert verdict.quarantined == 1
+    incidents = json.loads(
+        (tmp_path / "chaos-2.incidents.json").read_text(encoding="utf-8")
+    )
+    assert incidents[0]["workload"] == "cmp"
+    assert incidents[0]["attempts"] == 2  # retries + 1
+
+
+def test_run_chaos_clean_schedule_smoke(tmp_path):
+    """End-to-end through run_chaos with a chaos-free plan: exercises the
+    reference build, verdict rendering, and the exit-code contract."""
+    out = io.StringIO()
+    code = run_chaos(
+        [5], names=["strcpy"], jobs=1, out_dir=tmp_path, out=out,
+        rate=0.0, deadline_s=15.0, budget_s=120.0,
+    )
+    text = out.getvalue()
+    assert code == 0, text
+    assert "chaos ok: 1/1" in text
+    assert "(clean)" in text
+
+
+def test_verdict_rendering():
+    verdict = ChaosVerdict(
+        seed=3, outcome="complete", completed=2, quarantined=1,
+        schedule={"cmp": "poison"},
+    )
+    assert verdict.ok
+    line = verdict.render()
+    assert "seed 3" in line and "cmp=poison" in line
+    assert not ChaosVerdict(seed=4, outcome="FAILED").ok

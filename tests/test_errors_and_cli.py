@@ -14,6 +14,25 @@ def test_error_hierarchy():
     assert issubclass(errors.SchedulingError, errors.ReproError)
     assert issubclass(errors.TransformError, errors.ReproError)
     assert issubclass(errors.MachineConfigError, errors.ReproError)
+    assert issubclass(errors.UsageError, errors.ReproError)
+    assert issubclass(errors.FarmError, errors.ReproError)
+    assert issubclass(errors.FarmInterrupted, errors.FarmError)
+    assert issubclass(errors.FarmTimeout, errors.FarmError)
+
+
+def test_farm_errors_carry_resume_context():
+    interrupted = errors.FarmInterrupted(
+        "drained", journal_path="j.journal", completed=3,
+        signal_name="SIGINT",
+    )
+    assert interrupted.journal_path == "j.journal"
+    assert interrupted.completed == 3
+    assert interrupted.signal_name == "SIGINT"
+    timeout = errors.FarmTimeout(
+        "too slow", journal_path=None, completed=1, budget_s=2.5
+    )
+    assert timeout.budget_s == 2.5
+    assert timeout.completed == 1
 
 
 def test_verification_error_summarizes():
@@ -113,6 +132,9 @@ def test_fuel_exhausted_carries_location_attributes():
         (errors.SchedulingError("no slot"), 4),
         (errors.SimulationError("bad memory"), 5),
         (errors.FuelExhausted("out of fuel"), 5),
+        (errors.UsageError("--resume requires --journal"), 2),
+        (errors.FarmInterrupted("drained"), 130),
+        (errors.FarmTimeout("budget blown"), 7),
         (errors.ReproError("anything else"), 1),
     ],
 )
