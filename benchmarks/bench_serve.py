@@ -1,0 +1,204 @@
+"""Serve-daemon latency and backpressure benchmark (plain pytest).
+
+Boots ``repro serve`` as a real subprocess and drives it over HTTP the
+way a client fleet would. Two gates, both hard assertions:
+
+* **Rated load** — a seeded multi-client load at a rate the daemon is
+  provisioned for must produce **zero 5xx** responses; p50/p95/p99
+  latencies are reported to ``benchmarks/out/serve_latency.txt``.
+* **Beyond rated load** — against a deliberately tiny token bucket and
+  queue, overload must surface as **429 + Retry-After** (a positive
+  integer, with a machine-readable reason), never as a 5xx or a hang.
+
+Unlike the experiment benches this file does not use the
+``pytest-benchmark`` fixture: the serve CI job installs only pytest, and
+wall-clock here is measured per-request by the load generator itself.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SERVE_REQUESTS`` — rated-load request count (default 24);
+* ``REPRO_BENCH_SERVE_CLIENTS`` — concurrent client threads (default 4).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from benchmarks.conftest import write_output
+from repro.serve.client import ServeClient
+
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "24"))
+N_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "4"))
+SEED = 20260807
+
+#: Small fast workloads; warmed before the rated phase so the load
+#: measures the serving path, not 24 cold compiles.
+WARM_SET = ("strcpy", "cmp")
+
+
+def _boot(extra_args):
+    """Start a serve subprocess; (proc, client, cache_dir)."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--cache", "--cache-dir", cache_dir,
+    ] + list(extra_args)
+    proc = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=dict(os.environ),
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    assert match, f"no ready line from repro serve, got {line!r}"
+    client = ServeClient(match.group(1), int(match.group(2)), timeout=180.0)
+    client.wait_ready()
+    return proc, client
+
+
+def _stop(proc, client):
+    try:
+        client.drain()
+        proc.wait(timeout=30)
+    except Exception:
+        pass
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait()
+
+
+def _percentiles(latencies):
+    if len(latencies) < 2:
+        value = latencies[0] if latencies else 0.0
+        return value, value, value
+    grid = statistics.quantiles(latencies, n=100, method="inclusive")
+    return grid[49], grid[94], grid[98]
+
+
+def test_serve_rated_load():
+    proc, client = _boot([
+        "--backend-jobs", "2",
+        "--queue-limit", "16",
+        "--rate", "50", "--burst", "100",
+    ])
+    try:
+        # Warm phase: one cold build per workload, outside the clock.
+        for name in WARM_SET:
+            warm = client.compile(workload=name, id=f"warm-{name}",
+                                  client="warm")
+            assert warm.status == 200, warm.body
+        results = []
+        lock = threading.Lock()
+
+        def run_client(index):
+            rng = random.Random(f"{SEED}:{index}")
+            share = N_REQUESTS // N_CLIENTS
+            for i in range(share):
+                name = WARM_SET[rng.randrange(len(WARM_SET))]
+                started = time.perf_counter()
+                response = client.compile(
+                    workload=name,
+                    id=f"load-{index}-{i}",
+                    client=f"client-{index}",
+                )
+                elapsed = time.perf_counter() - started
+                with lock:
+                    results.append((response.status, elapsed))
+                time.sleep(rng.uniform(0.0, 0.02))
+
+        threads = [
+            threading.Thread(target=run_client, args=(index,), daemon=True)
+            for index in range(N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert len(results) == (N_REQUESTS // N_CLIENTS) * N_CLIENTS
+
+        # The gate: a daemon at rated load never answers 5xx.
+        server_errors = [status for status, _ in results if status >= 500]
+        assert not server_errors, (
+            f"5xx under rated load: {server_errors}"
+        )
+        assert all(status == 200 for status, _ in results), (
+            f"non-200 under rated load: "
+            f"{[s for s, _ in results if s != 200]}"
+        )
+
+        latencies = sorted(elapsed for _, elapsed in results)
+        p50, p95, p99 = _percentiles(latencies)
+        metrics = client.metrics().body
+        accepted = metrics["counters"]["serve.accepted"]["count"]
+        report = "\n".join([
+            "serve rated-load latency",
+            f"  requests={len(results)} clients={N_CLIENTS} "
+            f"errors_5xx=0",
+            f"  p50={p50 * 1000:.1f}ms  p95={p95 * 1000:.1f}ms  "
+            f"p99={p99 * 1000:.1f}ms",
+            f"  min={latencies[0] * 1000:.1f}ms  "
+            f"max={latencies[-1] * 1000:.1f}ms",
+            f"  serve.accepted={accepted} "
+            f"shed_level={metrics['serve']['shed_level_name']}",
+        ])
+        write_output("serve_latency.txt", report)
+        print("\n" + report)
+    finally:
+        _stop(proc, client)
+
+
+def test_serve_overload_backpressure():
+    """Beyond rated load: 429 + Retry-After, structured reason, no 5xx."""
+    proc, client = _boot([
+        "--backend-jobs", "1",
+        "--queue-limit", "2",
+        "--rate", "1", "--burst", "2",
+    ])
+    try:
+        statuses = []
+        rejected = []
+        for i in range(10):
+            response = client.compile(
+                workload="strcpy", id=f"burst-{i}", client="greedy"
+            )
+            statuses.append(response.status)
+            if response.status == 429:
+                rejected.append(response)
+        assert not [s for s in statuses if s >= 500], statuses
+        assert rejected, f"no 429 beyond rated load: {statuses}"
+        for response in rejected:
+            retry_after = response.retry_after
+            assert retry_after is not None and retry_after >= 1, (
+                response.headers
+            )
+            error = response.body["error"]
+            assert error["type"] == "ServeRejected"
+            assert error["reason"] in ("throttle", "queue-full", "shed")
+        report = "\n".join([
+            "serve overload backpressure",
+            f"  sent=10 accepted={statuses.count(200)} "
+            f"rejected_429={len(rejected)} errors_5xx=0",
+            f"  retry_after={[r.retry_after for r in rejected]}",
+            f"  reasons="
+            f"{sorted({r.body['error']['reason'] for r in rejected})}",
+        ])
+        write_output("serve_backpressure.txt", report)
+        print("\n" + report)
+    finally:
+        _stop(proc, client)
+
+
+if __name__ == "__main__":
+    test_serve_rated_load()
+    test_serve_overload_backpressure()
+    print("bench_serve: ok")

@@ -12,7 +12,14 @@ Commands:
 * ``trace NAME`` — build one workload with span tracing armed and print
   the pipeline span tree, the CPR decision ledger, and the observability
   counters (``--chrome PATH`` exports a Chrome ``trace_event`` document,
-  ``--json PATH`` the raw trace, ``--kind K`` filters ledger entries).
+  ``--json PATH`` the raw trace, ``--kind K`` filters ledger entries);
+* ``serve`` — run the compile-as-a-service daemon (:mod:`repro.serve`):
+  an HTTP/JSON server that dispatches compile requests onto the
+  supervised farm, with per-client rate limiting, a bounded queue
+  (429 + Retry-After when full), an overload-shedding ladder, and —
+  with ``--journal PATH`` — a write-ahead request journal so a killed
+  daemon restarted with ``--resume`` replays finished answers and
+  explicitly NACKs whatever was in flight.
 
 Build commands accept ``--strict`` to disable transactional per-procedure
 rollback (the first pass failure then aborts the build). In the default
@@ -90,6 +97,7 @@ EXIT_CODES = (
     (errors.SimulationError, 5),
     (errors.FarmInterrupted, 130),
     (errors.FarmTimeout, 7),
+    (errors.FarmQuarantine, EXIT_QUARANTINED),
 )
 
 
@@ -317,6 +325,89 @@ def cmd_show(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the compile-as-a-service daemon until drained or signalled."""
+    import asyncio
+    import signal
+
+    from repro.serve.server import CompileServer, ServeOptions
+
+    cache_root = None
+    if args.cache:
+        cache_root = str(args.cache_dir or default_cache_root())
+    if args.resume and not args.journal:
+        raise errors.UsageError("--resume requires --journal PATH")
+    processors = tuple(
+        name for name in args.processors.split(",") if name
+    )
+    for name in processors:
+        if name not in MACHINES:
+            raise errors.UsageError(
+                f"unknown processor {name!r}; choose from "
+                f"{', '.join(MACHINES)}"
+            )
+    options = ServeOptions(
+        host=args.host,
+        port=args.port,
+        backend_jobs=resolve_jobs(args.backend_jobs),
+        queue_limit=args.queue_limit,
+        rate=args.rate,
+        burst=args.burst,
+        default_deadline_s=args.deadline,
+        retries=2 if args.retries is None else args.retries,
+        scale=args.scale,
+        processors=processors or ("medium",),
+        cache_root=cache_root,
+        journal_path=args.journal,
+        resume=args.resume,
+        priority_floor=args.priority_floor,
+        supervised=not args.no_supervise,
+    )
+    server = CompileServer(options)
+
+    async def _serve():
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        # The ready line is a contract: the chaos harness and benchmark
+        # parse the port out of it, so keep the shape stable.
+        print(
+            f"repro serve: listening on "
+            f"http://{options.host}:{server.port} "
+            f"(queue={options.queue_limit}, jobs={options.backend_jobs})",
+            flush=True,
+        )
+        state = server.recovered_state
+        if state is not None:
+            replayed = sum(
+                1 for value in state.states.values() if value == "done"
+            )
+            print(
+                f"repro serve: recovered {len(state.order)} journalled "
+                f"request(s): {replayed} replayable, "
+                f"{len(server.recovered_nacks)} NACKed",
+                flush=True,
+            )
+        await server._stop.wait()
+        await server._shutdown()
+
+    asyncio.run(_serve())
+    counters = server.counters
+    print(
+        "repro serve: drained; "
+        f"accepted={counters.get('serve.accepted').count} "
+        f"rejected={counters.get('serve.rejected').count} "
+        f"shed={counters.get('serve.shed').count} "
+        f"nacked={counters.get('serve.nacked').count}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -442,6 +533,77 @@ def main(argv=None) -> int:
         help="also write the raw span-tree JSON (repro.obs.trace/v1)",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="run the compile-as-a-service daemon",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one; see the ready line)",
+    )
+    p_serve.add_argument(
+        "--backend-jobs", default="2", metavar="N",
+        help="concurrent backend evaluations (an integer, or 'auto')",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="requests allowed to wait for a backend slot before "
+             "queue-full 429s",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=20.0, metavar="R",
+        help="per-client sustained requests/second (token bucket)",
+    )
+    p_serve.add_argument(
+        "--burst", type=int, default=40, metavar="N",
+        help="per-client burst capacity (token bucket)",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=120.0, metavar="S",
+        help="default per-request deadline for requests without one",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="supervisor retries per request after a worker crash "
+             "(default 2)",
+    )
+    p_serve.add_argument("--scale", type=int, default=1)
+    p_serve.add_argument(
+        "--processors", default="medium", metavar="A,B",
+        help="processor models evaluated per request "
+             f"(comma-separated from: {', '.join(MACHINES)})",
+    )
+    p_serve.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="share the content-addressed pass/evaluation cache across "
+             "requests (required for the cache-only shedding rung)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache location (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-farm)",
+    )
+    p_serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead request journal (fsync per record); makes "
+             "accepted requests survive a daemon crash",
+    )
+    p_serve.add_argument(
+        "--resume", action="store_true",
+        help="replay --journal PATH: finished answers become replayable "
+             "and in-flight requests are explicitly NACKed",
+    )
+    p_serve.add_argument(
+        "--priority-floor", type=int, default=1, metavar="N",
+        help="at the shed-low-priority rung, refuse requests with "
+             "priority below N",
+    )
+    p_serve.add_argument(
+        "--no-supervise", action="store_true",
+        help="run request builds in-process instead of under the farm "
+             "supervisor (faster startup; no crash isolation)",
+    )
+
     p_show = sub.add_parser("show", help="inspect a workload's code")
     p_show.add_argument("name", choices=all_names())
     p_show.add_argument(
@@ -466,6 +628,7 @@ def main(argv=None) -> int:
         "table3": cmd_table3,
         "show": cmd_show,
         "trace": cmd_trace,
+        "serve": cmd_serve,
     }[args.command]
     try:
         return handler(args)

@@ -142,3 +142,35 @@ class FarmTimeout(FarmError):
         self.completed = completed
         self.budget_s = budget_s
         super().__init__(message)
+
+
+class FarmQuarantine(FarmError):
+    """A farm run quarantined a workload the caller needed an answer for.
+
+    The batch CLI reports quarantines on stderr and exits 6 without
+    raising; the serving layer (:mod:`repro.serve`) instead needs an
+    exception carrying the structured
+    :class:`~repro.farm.journal.QuarantineIncident` payloads so they can
+    cross the HTTP boundary intact (:attr:`incidents`, as dicts).
+    """
+
+    def __init__(self, message, incidents=None):
+        self.incidents = list(incidents) if incidents else []
+        super().__init__(message)
+
+
+class ServeRejected(ReproError):
+    """The compile service refused to admit a request (HTTP 429).
+
+    Not a failure of the request itself: the server is protecting its
+    queue. :attr:`reason` is one of ``throttle`` (the client's token
+    bucket is empty), ``queue-full`` (the bounded request queue is at
+    capacity), or ``shed`` (the overload ladder is dropping this class of
+    work). :attr:`retry_after_s` is the server's advice for when to try
+    again, surfaced as the ``Retry-After`` header.
+    """
+
+    def __init__(self, message, reason="queue-full", retry_after_s=1.0):
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(message)

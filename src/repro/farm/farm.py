@@ -298,20 +298,29 @@ def _evaluate_task(task: dict) -> dict:
     return outcome
 
 
-def _evaluate_workload(name, options, metrics, cache, started) -> dict:
-    workload = get_workload(name, scale=options.scale)
-    pipeline_options = options.pipeline_options()
-    options_fp = options_fingerprint(pipeline_options)
-    eval_key = evaluation_key(
+def workload_eval_key(workload, options: FarmOptions) -> str:
+    """The evaluation-cache key for *workload* under *options*.
+
+    Shared by the worker's warm fast path and the serve daemon's
+    cache-only answers (:mod:`repro.serve.backend`), so both paths agree
+    byte-for-byte on what counts as "the same evaluation".
+    """
+    return evaluation_key(
         CACHE_FORMAT_VERSION,
         workload.name,
         options.scale,
         workload.source,
         workload.entry,
-        options_fp,
+        options_fingerprint(options.pipeline_options()),
         list(options.processors),
         options.estimate_mode,
     )
+
+
+def _evaluate_workload(name, options, metrics, cache, started) -> dict:
+    workload = get_workload(name, scale=options.scale)
+    pipeline_options = options.pipeline_options()
+    eval_key = workload_eval_key(workload, options)
     if cache is not None:
         summary = cache.get_evaluation(eval_key)
         if summary is not None:

@@ -22,6 +22,17 @@ kills, journal replays. They describe the *run*, not the program: unlike
 every deterministic metric above, their values legitimately differ
 between a chaotic run and a clean one, so nothing downstream may treat
 them as part of the determinism contract.
+
+v3 adds the serve-daemon family: ``farm.cache.*`` counters (hit/miss/
+store totals, mirrored from the cache-stats section so cross-path
+comparisons — direct farm vs. served — read one namespace), the
+``serve.*`` counters (``repro.serve.*`` family: accepted/rejected/shed/
+retried/recovered/nacked/replayed plus the ``serve.queue_depth``
+high-water gauge and ``serve.shed_transitions``), and an optional
+``serve`` section in the JSON document carrying the daemon's live state
+(shed level, queue depth/limit). The section is present only in
+documents produced by ``repro serve``; farm-only documents are unchanged
+apart from the schema tag.
 """
 
 from __future__ import annotations
@@ -31,7 +42,7 @@ from typing import Dict, Optional
 
 from repro.obs.stats import CounterSet
 
-METRICS_SCHEMA = "repro.farm.metrics/v2"
+METRICS_SCHEMA = "repro.farm.metrics/v3"
 
 
 @dataclass
@@ -139,10 +150,19 @@ class CompileMetrics:
         )
 
     def record_cache_stats(self, stats):
-        """Fold a :class:`~repro.farm.cache.CacheStats` into the totals."""
+        """Fold a :class:`~repro.farm.cache.CacheStats` into the totals.
+
+        Also mirrored into ``farm.cache.*`` counters (as floats, so the
+        counter types are stable whether or not any hits occurred) so the
+        serve daemon and the direct farm path expose cache behaviour
+        under one comparable namespace.
+        """
         self.cache_hits += stats.hits
         self.cache_misses += stats.misses
         self.cache_stores += stats.stores
+        self.counters.add("farm.cache.hits", float(stats.hits))
+        self.counters.add("farm.cache.misses", float(stats.misses))
+        self.counters.add("farm.cache.stores", float(stats.stores))
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -199,9 +219,14 @@ class CompileMetrics:
         jobs: int = 1,
         cache_enabled: bool = False,
         cache_root: Optional[str] = None,
+        serve: Optional[dict] = None,
     ) -> dict:
-        """The schema-versioned ``--metrics-json`` document."""
-        return {
+        """The schema-versioned ``--metrics-json`` document.
+
+        ``serve`` (v3) attaches the serve daemon's live-state section;
+        farm-only documents omit it entirely.
+        """
+        document = {
             "schema": METRICS_SCHEMA,
             "jobs": jobs,
             "cache": {
@@ -228,3 +253,6 @@ class CompileMetrics:
             },
             "counters": self.counters.to_dict(),
         }
+        if serve is not None:
+            document["serve"] = dict(serve)
+        return document

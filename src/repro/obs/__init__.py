@@ -8,7 +8,7 @@ Three cooperating layers, each context-activated and free when off:
   Match accept/reject, speculation promote/demote, and restructure,
   uid-free so it survives cache adoption and farm fan-out bit-identically;
 * :mod:`repro.obs.stats` — counters/gauges for the list scheduler,
-  estimator, and farm, folded into ``repro.farm.metrics/v2``.
+  estimator, and farm, folded into ``repro.farm.metrics/v3``.
 """
 
 from repro.obs.ledger import (

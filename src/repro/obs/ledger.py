@@ -34,12 +34,18 @@ Entry kinds currently emitted:
 ``task-retry``            a workload was requeued onto a surviving worker
 ``task-quarantine``       the crash-loop circuit breaker gave up on a workload
 ``journal-replay``        completed outcomes were replayed from the journal
+``shed-transition``       the serve daemon moved along its overload ladder
+``serve-nack``            the serve daemon explicitly NACKed a request
+``serve-recover``         the serve daemon resolved journalled requests at boot
 ========================  =====================================================
 
 The supervision kinds live in a separate per-run ledger
 (:attr:`repro.farm.farm.FarmResult.supervision`), not in any build's
 report: they describe the run that happened, not the program that was
-built, so they are deliberately outside the determinism contract.
+built, so they are deliberately outside the determinism contract. The
+serve kinds live in the daemon's own ledger (:mod:`repro.serve.server`)
+for the same reason: admission and shedding describe traffic, not
+programs.
 """
 
 from __future__ import annotations
@@ -67,6 +73,10 @@ ENTRY_KINDS = (
     "task-retry",
     "task-quarantine",
     "journal-replay",
+    # Serve-daemon events (the server's own ledger, never in builds).
+    "shed-transition",
+    "serve-nack",
+    "serve-recover",
 )
 
 _ACTIVE: ContextVar[Optional["DecisionLedger"]] = ContextVar(

@@ -10,7 +10,7 @@ estimator pay one context-variable read per call site when nothing is
 listening.
 
 Counter values are folded into the compile-metrics document under the
-``repro.farm.metrics/v2`` schema (see :mod:`repro.farm.metrics`).
+``repro.farm.metrics/v3`` schema (see :mod:`repro.farm.metrics`).
 """
 
 from __future__ import annotations

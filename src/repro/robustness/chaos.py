@@ -29,6 +29,16 @@ action is drawn from an RNG seeded by :func:`derive_seed(seed, scope)
 <repro.robustness.faultinject.derive_seed>`, so the schedule is a pure
 function of ``(seed, workload name)`` — never of worker identity,
 dispatch order, or job count.
+
+``--server-kill`` turns the harness on the serve daemon
+(:mod:`repro.serve`) instead: boot ``repro serve`` with a request
+journal, SIGKILL the *daemon itself* while a seeded victim request is in
+flight (the victim index is ``derive_seed(seed, "server-kill")`` — pure
+seed function again), restart with ``--resume``, and assert the
+recovery contract: every journalled accept is either answered
+identically to an undisturbed direct-farm run or explicitly NACKed
+(410), never silently lost, and re-submitting a NACKed id produces the
+reference answer.
 """
 
 from __future__ import annotations
@@ -385,6 +395,237 @@ def run_chaos(
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# Server-kill: chaos for the serve daemon (--server-kill)
+# ----------------------------------------------------------------------
+#: Workloads for the serve-daemon kill harness (small, fast builds).
+SERVER_KILL_WORKLOADS = ("strcpy", "cmp")
+
+
+def _start_serve(journal: Path, cache_dir: Path, resume: bool):
+    """Boot ``repro serve`` as a subprocess; (proc, host, port)."""
+    import os
+    import re
+    import subprocess
+
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--backend-jobs", "1",
+        "--journal", str(journal),
+        "--cache", "--cache-dir", str(cache_dir),
+    ]
+    if resume:
+        command.append("--resume")
+    proc = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=dict(os.environ),
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    if not match:
+        proc.kill()
+        proc.wait()
+        raise UsageError(
+            f"serve daemon did not announce readiness, got {line!r}"
+        )
+    return proc, match.group(1), int(match.group(2))
+
+
+def _wait_for_accept(journal: Path, request_id: str, timeout_s: float) -> bool:
+    """Poll the serve journal until *request_id*'s accept is durable."""
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            text = journal.read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if (
+                record.get("kind") == "accept"
+                and record.get("id") == request_id
+            ):
+                return True
+        time.sleep(0.01)
+    return False
+
+
+def run_server_kill_seed(
+    seed: int,
+    names: Sequence[str],
+    out_dir: Path,
+    reference: Dict[str, dict],
+) -> ChaosVerdict:
+    """SIGKILL the serve daemon mid-request; prove restart-and-recover.
+
+    The victim request is chosen by ``derive_seed(seed, "server-kill")``
+    — a pure function of the seed, never of timing or pids. The daemon
+    is killed only after the victim's ``accept`` record is durably
+    journalled, so the contract under test is exact: **every accepted
+    request is either answered identically to the undisturbed run or
+    explicitly NACKed (410) after restart — never silently lost** — and
+    a re-submitted NACKed request must then match the reference.
+    """
+    import signal
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.journal import load_serve_journal
+
+    names = list(names)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    journal = out_dir / f"server-kill-{seed}.journal"
+    cache_dir = out_dir / f"server-kill-{seed}.cache"
+    if journal.exists():
+        journal.unlink()
+    victim = derive_seed(seed, "server-kill") % len(names)
+    victim_id = f"req-{victim}"
+    verdict = ChaosVerdict(
+        seed=seed,
+        outcome="FAILED",
+        schedule={names[victim]: "server-kill"},
+    )
+
+    proc, host, port = _start_serve(journal, cache_dir, resume=False)
+    answered: Dict[str, dict] = {}
+    try:
+        client = ServeClient(host, port, timeout=180.0)
+        client.wait_ready()
+        for index in range(victim):
+            response = client.compile(
+                workload=names[index], id=f"req-{index}", client="chaos"
+            )
+            if response.status != 200:
+                verdict.detail = (
+                    f"pre-victim request {names[index]} answered "
+                    f"{response.status}"
+                )
+                return verdict
+            answered[f"req-{index}"] = response.body
+        box: Dict[str, object] = {}
+
+        def _fire():
+            try:
+                box["response"] = client.compile(
+                    workload=names[victim], id=victim_id, client="chaos"
+                )
+            except OSError as exc:
+                box["error"] = exc
+
+        thread = threading.Thread(target=_fire, daemon=True)
+        thread.start()
+        if not _wait_for_accept(journal, victim_id, timeout_s=60.0):
+            verdict.detail = "victim accept never reached the journal"
+            return verdict
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        thread.join(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    proc2, host2, port2 = _start_serve(journal, cache_dir, resume=True)
+    client2 = ServeClient(host2, port2, timeout=180.0)
+    try:
+        client2.wait_ready()
+        state = load_serve_journal(journal)
+        sent = list(answered) + [victim_id]
+        lost = [rid for rid in sent if rid not in state.order]
+        if lost:
+            verdict.detail = f"sent requests missing from journal: {lost}"
+            return verdict
+        replayed = nacked = resubmitted = 0
+        for rid in state.order:
+            workload = state.accepts[rid].get("workload")
+            response = client2.request_status(rid)
+            if response.status == 200:
+                if response.body.get("summary") != reference[workload]:
+                    verdict.detail = f"replayed {rid} diverged from reference"
+                    return verdict
+                replayed += 1
+            elif response.status == 410:
+                nacked += 1
+                retry = client2.compile(
+                    workload=workload, id=rid, client="chaos"
+                )
+                if retry.status != 200:
+                    verdict.detail = (
+                        f"re-submitted {rid} answered {retry.status}"
+                    )
+                    return verdict
+                if retry.body.get("summary") != reference[workload]:
+                    verdict.detail = (
+                        f"re-submitted {rid} diverged from reference"
+                    )
+                    return verdict
+                resubmitted += 1
+            else:
+                verdict.detail = (
+                    f"accepted request {rid} lost: "
+                    f"GET /v1/requests returned {response.status}"
+                )
+                return verdict
+        for rid, body in answered.items():
+            workload = body.get("workload")
+            if body.get("summary") != reference[workload]:
+                verdict.detail = (
+                    f"pre-kill answer {rid} diverged from reference"
+                )
+                return verdict
+        verdict.completed = replayed
+        verdict.quarantined = 0
+        verdict.outcome = "recovered"
+        verdict.detail = f"nacked={nacked} resubmitted={resubmitted}"
+        return verdict
+    finally:
+        try:
+            client2.drain()
+            proc2.wait(timeout=30)
+        except Exception:
+            pass
+        if proc2.poll() is None:
+            proc2.kill()
+            proc2.wait()
+
+
+def run_server_kill(
+    seeds: Sequence[int],
+    names: Sequence[str] = SERVER_KILL_WORKLOADS,
+    out_dir="chaos-out",
+    out=sys.stdout,
+) -> int:
+    """The ``--server-kill`` mode: one daemon kill-and-recover per seed."""
+    from repro.farm.farm import FarmOptions, build_farm
+
+    names = list(names)
+    reference = _comparable_map(
+        build_farm(names, FarmOptions(jobs=1, processors=("medium",)))
+    )
+    verdicts: List[ChaosVerdict] = []
+    for seed in seeds:
+        verdict = run_server_kill_seed(seed, names, Path(out_dir), reference)
+        verdicts.append(verdict)
+        print(verdict.render(), file=out)
+    failures = [v for v in verdicts if v.outcome != "recovered"]
+    print(
+        f"{'SERVER-KILL FAILED' if failures else 'server-kill ok'}: "
+        f"{len(verdicts) - len(failures)}/{len(verdicts)} seeds "
+        "recovered legally",
+        file=out,
+    )
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.robustness.chaos",
@@ -419,6 +660,13 @@ def main(argv=None) -> int:
         "--retries", type=int, default=1,
         help="supervisor re-dispatches before quarantine",
     )
+    parser.add_argument(
+        "--server-kill", action="store_true",
+        help="chaos the serve daemon instead of farm workers: SIGKILL "
+             "it mid-request (victim chosen by the seed), restart with "
+             "--resume, and assert every accepted request is answered "
+             "identically to the undisturbed run or explicitly NACKed",
+    )
     args = parser.parse_args(argv)
     try:
         seeds = [
@@ -431,6 +679,10 @@ def main(argv=None) -> int:
     names = [
         part.strip() for part in args.workloads.split(",") if part.strip()
     ]
+    if args.server_kill:
+        if args.workloads == ",".join(DEFAULT_WORKLOADS):
+            names = list(SERVER_KILL_WORKLOADS)
+        return run_server_kill(seeds, names, out_dir=args.out_dir)
     return run_chaos(
         seeds,
         names,

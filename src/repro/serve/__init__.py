@@ -1,0 +1,58 @@
+"""Compile-as-a-service: the ``repro serve`` daemon and its client.
+
+The daemon (:mod:`repro.serve.server`) accepts compile/evaluate requests
+over HTTP/JSON and dispatches them onto the supervised build farm, with
+admission control, a four-rung overload-shedding ladder, per-request
+deadlines, and a write-ahead request journal
+(:mod:`repro.serve.journal`) that makes accepted work survive — or be
+explicitly NACKed across — a daemon crash. The wire contract lives in
+:mod:`repro.serve.protocol`; :mod:`repro.serve.client` is the stdlib
+client the tests, benchmark, and chaos harness drive it with.
+"""
+
+from repro.serve.client import ServeClient, ServeResponse
+from repro.serve.journal import (
+    SERVE_JOURNAL_SCHEMA,
+    ServeJournal,
+    ServeJournalState,
+    load_serve_journal,
+)
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    SERVE_SCHEMA,
+    CompileRequest,
+    Outcome,
+    error_body,
+    response_body,
+    status_for,
+)
+from repro.serve.server import (
+    SHED_LEVELS,
+    CompileServer,
+    ServeOptions,
+    ServerHandle,
+    TokenBucket,
+    start_in_thread,
+)
+
+__all__ = [
+    "ERROR_STATUS",
+    "SERVE_JOURNAL_SCHEMA",
+    "SERVE_SCHEMA",
+    "SHED_LEVELS",
+    "CompileRequest",
+    "CompileServer",
+    "Outcome",
+    "ServeClient",
+    "ServeJournal",
+    "ServeJournalState",
+    "ServeOptions",
+    "ServeResponse",
+    "ServerHandle",
+    "TokenBucket",
+    "error_body",
+    "load_serve_journal",
+    "response_body",
+    "start_in_thread",
+    "status_for",
+]

@@ -1,0 +1,212 @@
+"""Backend executors for the serve daemon.
+
+:class:`FarmBackend` is the production path: every request becomes a
+one-workload run on the **supervised** build farm
+(:mod:`repro.farm.supervisor`), so a served compile inherits the whole
+reliability substrate for free — worker heartbeats, the per-request
+deadline enforced as the farm deadline, retry-with-backoff through the
+supervisor's requeue-with-exclusion machinery when a worker crashes, and
+the crash-loop circuit breaker. A request that quarantines surfaces as
+:class:`~repro.errors.FarmQuarantine` (HTTP 502) with the incident
+payloads attached; a request whose every attempt died on the deadline
+surfaces as :class:`~repro.errors.FarmTimeout` (HTTP 504).
+
+Inline programs (mini-C ``source`` or IR assembly ``ir``) are compiled
+in-process: they carry no registry fingerprint, so they skip the cache
+and the farm and run under the caller's thread directly.
+
+The daemon's cache-only overload rung calls :meth:`FarmBackend.try_cache`,
+which consults the shared evaluation cache under the *same* key the farm
+workers use (:func:`repro.farm.farm.workload_eval_key`) — a served
+cache answer is byte-identical to what a warm farm run would return.
+
+Any object with ``evaluate(request, deadline_s, want_trace) -> Outcome``
+and ``try_cache(request) -> Outcome | None`` can stand in (the tests use
+stubs with controllable latency).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro import errors
+from repro.farm.cache import PassCache
+from repro.farm.farm import (
+    FarmOptions,
+    _summarize,
+    build_farm,
+    workload_eval_key,
+)
+from repro.farm.metrics import CompileMetrics
+from repro.farm.supervisor import SupervisorOptions
+from repro.obs import CounterSet, Tracer, activate_counters, activate_tracer
+from repro.serve.protocol import CompileRequest, Outcome
+
+
+class FarmBackend:
+    """Dispatch served requests onto the supervised build farm."""
+
+    def __init__(
+        self,
+        cache_root: Optional[str] = None,
+        scale: int = 1,
+        processors: Sequence[str] = ("medium",),
+        estimate_mode: str = "exit-aware",
+        retries: int = 1,
+        supervised: bool = True,
+        heartbeat_timeout_s: float = 10.0,
+    ):
+        self.cache_root = cache_root
+        self.scale = scale
+        self.processors = tuple(processors)
+        self.estimate_mode = estimate_mode
+        self.retries = retries
+        self.supervised = supervised
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+
+    # ------------------------------------------------------------------
+    # Option plumbing
+    # ------------------------------------------------------------------
+    def _farm_options(
+        self, deadline_s: Optional[float], trace: bool
+    ) -> FarmOptions:
+        supervisor = None
+        if self.supervised:
+            supervisor = SupervisorOptions(
+                deadline_s=deadline_s,
+                retries=self.retries,
+                backoff_base_s=0.05,
+                heartbeat_timeout_s=self.heartbeat_timeout_s,
+            )
+        return FarmOptions(
+            jobs=1,
+            cache_root=self.cache_root,
+            scale=self.scale,
+            processors=self.processors,
+            estimate_mode=self.estimate_mode,
+            trace=trace,
+            supervisor=supervisor,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        request: CompileRequest,
+        deadline_s: Optional[float] = None,
+        want_trace: bool = False,
+    ) -> Outcome:
+        if request.workload is not None:
+            return self._evaluate_workload(request, deadline_s, want_trace)
+        return self._evaluate_inline(request, want_trace)
+
+    def _evaluate_workload(self, request, deadline_s, want_trace) -> Outcome:
+        options = self._farm_options(deadline_s, want_trace)
+        result = build_farm([request.workload], options)
+        if result.quarantined:
+            incidents = [q.to_dict() for q in result.quarantined]
+            reasons = {q.reason for q in result.quarantined}
+            if reasons == {"deadline"}:
+                raise errors.FarmTimeout(
+                    f"request {request.id}: workload {request.workload} "
+                    f"exceeded its {deadline_s}s deadline on every attempt",
+                    budget_s=deadline_s,
+                )
+            raise errors.FarmQuarantine(
+                f"request {request.id}: workload {request.workload} "
+                "quarantined by the crash-loop circuit breaker",
+                incidents=incidents,
+            )
+        summary = result.summaries[0]
+        retries = int(
+            result.metrics.counters.get("farm.supervisor.retries").count
+        )
+        return Outcome(
+            summary=summary.comparable(),
+            from_cache=summary.from_cache,
+            wall_s=summary.wall_s,
+            metrics=result.metrics,
+            trace=result.traces.get(summary.name),
+            retries=retries,
+        )
+
+    def _evaluate_inline(self, request, want_trace) -> Outcome:
+        from repro.frontend import compile_source
+        from repro.ir.parser import parse_program
+        from repro.pipeline import PipelineOptions, build_workload
+
+        name = request.program_name
+        started = time.perf_counter()
+        if request.source is not None:
+            program = compile_source(request.source, name=name)
+        else:
+            program = parse_program(request.ir, name=name)
+        args = list(request.args)
+        inputs = [lambda interp: list(args)]
+        metrics = CompileMetrics()
+        counters = CounterSet()
+        tracer = Tracer() if want_trace else None
+        with activate_counters(counters), activate_tracer(tracer):
+            build = build_workload(
+                name,
+                program,
+                inputs,
+                PipelineOptions(),
+                entry=request.entry,
+                metrics=metrics,
+            )
+            summary = _summarize(
+                build, "inline", self.processors, self.estimate_mode
+            )
+        wall = time.perf_counter() - started
+        metrics.record_workload(
+            name,
+            wall,
+            transactions=build.build_report.transactions,
+            incidents=len(build.build_report.incidents),
+        )
+        metrics.counters = metrics.counters.merge(counters)
+        return Outcome(
+            summary=summary,
+            from_cache=False,
+            wall_s=wall,
+            metrics=metrics,
+            trace=tracer.to_dict() if tracer is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache-only fast path (overload rung 2)
+    # ------------------------------------------------------------------
+    def try_cache(self, request: CompileRequest) -> Optional[Outcome]:
+        """A warm evaluation-cache answer, or ``None`` (never builds)."""
+        if self.cache_root is None or request.workload is None:
+            return None
+        from repro.workloads.registry import get_workload
+
+        started = time.perf_counter()
+        workload = get_workload(request.workload, scale=self.scale)
+        key = workload_eval_key(
+            workload, self._farm_options(None, trace=False)
+        )
+        cache = PassCache(self.cache_root)
+        summary = cache.get_evaluation(key)
+        if summary is None:
+            return None
+        wall = time.perf_counter() - started
+        metrics = CompileMetrics()
+        metrics.record_workload(
+            workload.name,
+            wall,
+            from_cache=True,
+            transactions=summary["report"].get("transactions", 0),
+            incidents=len(summary["report"].get("incidents", [])),
+        )
+        metrics.record_cache_stats(cache.stats)
+        return Outcome(
+            summary=summary,
+            from_cache=True,
+            wall_s=wall,
+            metrics=metrics,
+        )

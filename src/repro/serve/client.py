@@ -1,0 +1,117 @@
+"""A minimal stdlib client for the serve daemon.
+
+Used by the tests, the serve benchmark, and the chaos harness; it is
+deliberately thin — ``http.client`` with one connection per request,
+mirroring the daemon's ``Connection: close`` discipline — so what the
+tests exercise is the daemon, not a clever client.
+
+Responses come back as :class:`ServeResponse` (status, headers, decoded
+JSON body); transport-level failures raise the underlying ``OSError``
+so a chaos harness can tell "the server refused/died" apart from "the
+server answered with an error body".
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class ServeResponse:
+    status: int
+    headers: Dict[str, str]
+    body: dict
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> Optional[int]:
+        value = self.headers.get("retry-after")
+        return int(value) if value is not None else None
+
+
+class ServeClient:
+    """Talk to one daemon at ``host:port``; one connection per call."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> ServeResponse:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            lowered = {
+                key.lower(): value for key, value in response.getheaders()
+            }
+            return ServeResponse(
+                status=response.status, headers=lowered, body=decoded
+            )
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def compile(self, **fields) -> ServeResponse:
+        """POST /v1/compile; fields mirror the request schema
+        (``workload``/``source``/``ir``, ``id``, ``client``,
+        ``priority``, ``deadline_s``, ``trace``, ``args``...)."""
+        return self._request("POST", "/v1/compile", fields)
+
+    def request_status(self, request_id: str) -> ServeResponse:
+        return self._request("GET", f"/v1/requests/{request_id}")
+
+    def healthz(self) -> ServeResponse:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> ServeResponse:
+        return self._request("GET", "/v1/metrics")
+
+    def workloads(self) -> ServeResponse:
+        return self._request("GET", "/v1/workloads")
+
+    def drain(self) -> ServeResponse:
+        return self._request("POST", "/v1/drain")
+
+    # ------------------------------------------------------------------
+    # Orchestration helpers
+    # ------------------------------------------------------------------
+    def wait_ready(self, timeout: float = 30.0, interval: float = 0.05):
+        """Poll /v1/healthz until the daemon answers; OSError on timeout."""
+        deadline = time.monotonic() + timeout
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                response = self.healthz()
+                if response.ok:
+                    return response
+            except OSError as exc:
+                last = exc
+            time.sleep(interval)
+        raise OSError(
+            f"serve daemon at {self.host}:{self.port} not ready "
+            f"within {timeout}s: {last}"
+        )

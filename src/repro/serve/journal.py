@@ -1,0 +1,190 @@
+"""The serve daemon's write-ahead request journal: ``repro.serve.journal/v1``.
+
+Same discipline as the farm's completion journal
+(:mod:`repro.farm.journal`): one JSON line per event, flushed and
+fsynced before the daemon acts on it, atomic header, truncated-tail
+tolerance. The records:
+
+* ``header`` — schema and the writing daemon's pid;
+* ``accept`` — a request was admitted; the full validated payload rides
+  along so a recovering daemon knows exactly what was promised;
+* ``respond`` — the request was answered; status and body verbatim, so
+  ``GET /v1/requests/<id>`` replays the identical bytes after a restart;
+* ``nack`` — the request was explicitly abandoned (shed after accept,
+  deadline expiry, or server death), with the reason.
+
+**Recovery contract**: a daemon restarted over an existing journal
+resolves every ``accept`` — answered requests replay their recorded
+response, anything still pending is NACKed with reason
+``server-restart`` — so an accepted request is *never* silently lost: a
+client that saw its connection die re-queries ``GET /v1/requests/<id>``
+and gets either the original answer or an explicit 410.
+
+A request id may be re-submitted after a NACK; the journal is replayed
+in order, so a later ``accept`` supersedes the earlier ``nack`` and the
+final state is whatever happened last.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import UsageError
+from repro.farm.cache import atomic_write_bytes
+
+SERVE_JOURNAL_SCHEMA = "repro.serve.journal/v1"
+
+#: Terminal request states after replaying a journal in order.
+PENDING, DONE, NACKED = "pending", "done", "nacked"
+
+
+@dataclass
+class ServeJournalState:
+    """A journal file parsed and replayed into per-request final states."""
+
+    header: dict
+    #: id -> last accepted payload.
+    accepts: Dict[str, dict] = field(default_factory=dict)
+    #: id -> {"status": int, "body": dict} for the last response.
+    responses: Dict[str, dict] = field(default_factory=dict)
+    #: id -> reason for the last NACK.
+    nacks: Dict[str, str] = field(default_factory=dict)
+    #: id -> PENDING | DONE | NACKED (the record seen last wins).
+    states: Dict[str, str] = field(default_factory=dict)
+    #: Accept order, first occurrence of each id.
+    order: List[str] = field(default_factory=list)
+    #: True when the file ended in a partial line (SIGKILL mid-append).
+    truncated: bool = False
+
+    def unresolved(self) -> List[str]:
+        """Accepted ids whose latest state is still pending."""
+        return [
+            rid for rid in self.order if self.states.get(rid) == PENDING
+        ]
+
+
+def load_serve_journal(path) -> ServeJournalState:
+    """Parse a serve journal; raises :class:`UsageError` when unusable."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise UsageError(f"cannot read serve journal {path}: {exc}") from None
+    state: Optional[ServeJournalState] = None
+    truncated = False
+    for line in text.split("\n"):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            # A SIGKILLed writer leaves at most one partial trailing line;
+            # the half-written record's request simply resolves as pending
+            # and is NACKed on recovery.
+            truncated = True
+            break
+        kind = record.get("kind")
+        if kind == "header":
+            if record.get("schema") != SERVE_JOURNAL_SCHEMA:
+                raise UsageError(
+                    f"serve journal {path} has schema "
+                    f"{record.get('schema')!r}, expected "
+                    f"{SERVE_JOURNAL_SCHEMA!r}"
+                )
+            state = ServeJournalState(header=record)
+        elif state is None:
+            raise UsageError(
+                f"serve journal {path} does not start with a header"
+            )
+        elif kind == "accept":
+            rid = record["id"]
+            state.accepts[rid] = record.get("request", {})
+            if rid not in state.states:
+                state.order.append(rid)
+            state.states[rid] = PENDING
+        elif kind == "respond":
+            rid = record["id"]
+            state.responses[rid] = {
+                "status": record["status"],
+                "body": record["body"],
+            }
+            state.states[rid] = DONE
+        elif kind == "nack":
+            rid = record["id"]
+            state.nacks[rid] = record.get("reason", "")
+            state.states[rid] = NACKED
+    if state is None:
+        raise UsageError(f"serve journal {path} does not start with a header")
+    state.truncated = truncated
+    return state
+
+
+class ServeJournal:
+    """Append-only, fsync-per-record writer for one daemon lifetime."""
+
+    def __init__(self, path, resume: bool = False):
+        self.path = Path(path)
+        if resume and self.path.exists():
+            self._handle = open(self.path, "a", encoding="utf-8")
+        else:
+            header = {
+                "kind": "header",
+                "schema": SERVE_JOURNAL_SCHEMA,
+                "pid": os.getpid(),
+            }
+            line = json.dumps(header, sort_keys=True) + "\n"
+            atomic_write_bytes(self.path, line.encode("utf-8"))
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _append(self, record: dict):
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def accept(self, request_id: str, payload: dict):
+        self._append({"kind": "accept", "id": request_id, "request": payload})
+
+    def respond(self, request_id: str, status: int, body: dict):
+        self._append({
+            "kind": "respond", "id": request_id,
+            "status": status, "body": body,
+        })
+
+    def nack(self, request_id: str, reason: str):
+        self._append({"kind": "nack", "id": request_id, "reason": reason})
+
+    def close(self):
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+def recover(path, resume: bool) -> tuple:
+    """(journal writer, replayed state, newly NACKed ids) for daemon boot.
+
+    With ``resume`` and an existing journal: load it, then append a
+    ``nack`` for every accepted-but-unresolved request so the on-disk
+    state accounts for all promised work before the daemon serves its
+    first new request. Without ``resume`` the journal is truncated fresh
+    (an explicit choice — mixing two daemons' promises in one file would
+    make ``GET /v1/requests`` lie).
+    """
+    path = Path(path)
+    state = None
+    nacked: List[str] = []
+    if resume and path.exists():
+        state = load_serve_journal(path)
+        journal = ServeJournal(path, resume=True)
+        for rid in state.unresolved():
+            journal.nack(rid, "server-restart")
+            state.nacks[rid] = "server-restart"
+            state.states[rid] = NACKED
+            nacked.append(rid)
+    else:
+        journal = ServeJournal(path, resume=False)
+    return journal, state, nacked

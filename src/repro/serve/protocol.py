@@ -1,0 +1,255 @@
+"""Wire protocol for ``repro serve``: requests, responses, error fidelity.
+
+One schema tag (:data:`SERVE_SCHEMA`) covers every JSON body the daemon
+emits. The module owns two contracts the tests pin down:
+
+* **Request validation** — :meth:`CompileRequest.from_json` accepts a
+  workload name *or* inline program text (mini-C ``source`` or IR
+  assembly ``ir``) plus knobs (priority, deadline, extras) and raises
+  :class:`~repro.errors.UsageError` for anything malformed, so bad input
+  is a 400 before it ever touches the queue.
+* **Cross-boundary error fidelity** — :data:`ERROR_STATUS` maps every
+  library exception class to an HTTP status *and* the CLI exit code the
+  same failure produces under ``python -m repro``
+  (2/3/4/5/6/7/130; see :data:`repro.__main__.EXIT_CODES`). The
+  structured error body (:func:`error_body`) carries the existing
+  incident payloads — quarantine histories, worker tracebacks, failing
+  workload names — verbatim, so a service client can debug a failure as
+  well as a CLI user can.
+
+Admission rejections (:class:`~repro.errors.ServeRejected`) are their
+own channel: HTTP 429 plus a ``Retry-After`` header, never a 5xx,
+because the request was refused rather than failed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro import errors
+
+SERVE_SCHEMA = "repro.serve/v1"
+
+#: (exception class, HTTP status, CLI exit code), checked in order —
+#: subclasses strictly before their bases, mirroring
+#: ``repro.__main__.EXIT_CODES``. ``FarmQuarantine`` (exit 6) and the
+#: base ``FarmError`` get statuses of their own so a client can tell
+#: "your input broke the compiler" (500) from "backend workers kept
+#: dying" (502) from "the service is draining" (503) from "your deadline
+#: expired" (504).
+ERROR_STATUS = (
+    (errors.ParseError, 400, 2),
+    (errors.SemanticError, 400, 2),
+    (errors.UsageError, 400, 2),
+    (errors.VerificationError, 422, 3),
+    (errors.IRError, 422, 3),
+    (errors.TransformError, 500, 4),
+    (errors.SchedulingError, 500, 4),
+    (errors.SimulationError, 500, 5),
+    (errors.FarmInterrupted, 503, 130),
+    (errors.FarmTimeout, 504, 7),
+    (errors.FarmQuarantine, 502, 6),
+)
+
+#: Status for admission rejections; carries Retry-After, never 5xx.
+STATUS_REJECTED = 429
+
+#: Status for an explicitly NACKed request queried via GET /v1/requests.
+STATUS_NACKED = 410
+
+
+def status_for(exc: errors.ReproError) -> Tuple[int, int]:
+    """(HTTP status, CLI exit code) for a library failure."""
+    for klass, status, exit_code in ERROR_STATUS:
+        if isinstance(exc, klass):
+            return status, exit_code
+    return 500, 1
+
+
+def error_body(exc: errors.ReproError) -> dict:
+    """The structured JSON error body for *exc*, incidents included."""
+    status, exit_code = status_for(exc)
+    error = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "http_status": status,
+        "exit_code": exit_code,
+    }
+    workload = getattr(exc, "workload", None)
+    if workload:
+        error["workload"] = workload
+    traceback = getattr(exc, "worker_traceback", None)
+    if traceback:
+        error["worker_traceback"] = traceback
+    incidents = getattr(exc, "incidents", None)
+    if incidents:
+        error["incidents"] = list(incidents)
+    if isinstance(exc, errors.VerificationError):
+        error["problems"] = list(exc.problems)
+    if isinstance(exc, errors.ServeRejected):
+        error["reason"] = exc.reason
+        error["retry_after_s"] = exc.retry_after_s
+    return {"schema": SERVE_SCHEMA, "error": error}
+
+
+@dataclass
+class CompileRequest:
+    """One validated compile/evaluate request.
+
+    Exactly one of ``workload`` (registry name), ``source`` (inline
+    mini-C), or ``ir`` (inline IR assembly) names the program. Inline
+    programs take their entry arguments from ``args`` (integers).
+    """
+
+    id: str
+    client: str = "anonymous"
+    workload: Optional[str] = None
+    source: Optional[str] = None
+    ir: Optional[str] = None
+    entry: str = "main"
+    args: Tuple[int, ...] = ()
+    priority: int = 1
+    deadline_s: Optional[float] = None
+    #: Extras: ship the farm worker's span trace and the server-side
+    #: request-lifecycle trace in the response (dropped at shed level 1+).
+    trace: bool = False
+
+    @property
+    def program_name(self) -> str:
+        return self.workload or f"inline:{self.entry}"
+
+    def payload(self) -> dict:
+        """The JSON-safe form journalled on accept (and re-playable)."""
+        data = {
+            "id": self.id,
+            "client": self.client,
+            "entry": self.entry,
+            "args": list(self.args),
+            "priority": self.priority,
+            "trace": self.trace,
+        }
+        if self.workload is not None:
+            data["workload"] = self.workload
+        if self.source is not None:
+            data["source"] = self.source
+        if self.ir is not None:
+            data["ir"] = self.ir
+        if self.deadline_s is not None:
+            data["deadline_s"] = self.deadline_s
+        return data
+
+    @classmethod
+    def from_json(cls, data, default_id: str) -> "CompileRequest":
+        """Validate a decoded request body; UsageError on any bad field."""
+        if not isinstance(data, dict):
+            raise errors.UsageError(
+                f"request body must be a JSON object, got {type(data).__name__}"
+            )
+        programs = [
+            key for key in ("workload", "source", "ir") if data.get(key)
+        ]
+        if len(programs) != 1:
+            raise errors.UsageError(
+                "request must name exactly one of 'workload', 'source', "
+                f"or 'ir' (got {programs or 'none'})"
+            )
+        workload = data.get("workload")
+        if workload is not None:
+            from repro.workloads.registry import all_names
+
+            if workload not in all_names():
+                raise errors.UsageError(
+                    f"unknown workload {workload!r}; see GET /v1/workloads"
+                )
+        request_id = data.get("id", default_id)
+        if not isinstance(request_id, str) or not request_id:
+            raise errors.UsageError("'id' must be a non-empty string")
+        client = data.get("client", "anonymous")
+        if not isinstance(client, str) or not client:
+            raise errors.UsageError("'client' must be a non-empty string")
+        priority = data.get("priority", 1)
+        if not isinstance(priority, int) or isinstance(priority, bool) \
+                or priority < 0:
+            raise errors.UsageError(
+                f"'priority' must be a non-negative integer, got {priority!r}"
+            )
+        deadline_s = data.get("deadline_s")
+        if deadline_s is not None:
+            if not isinstance(deadline_s, (int, float)) \
+                    or isinstance(deadline_s, bool) or deadline_s <= 0:
+                raise errors.UsageError(
+                    f"'deadline_s' must be a positive number, got {deadline_s!r}"
+                )
+            deadline_s = float(deadline_s)
+        args = data.get("args", [])
+        if not isinstance(args, list) or any(
+            not isinstance(a, int) or isinstance(a, bool) for a in args
+        ):
+            raise errors.UsageError("'args' must be a list of integers")
+        entry = data.get("entry", "main")
+        if not isinstance(entry, str) or not entry:
+            raise errors.UsageError("'entry' must be a non-empty string")
+        return cls(
+            id=request_id,
+            client=client,
+            workload=workload,
+            source=data.get("source"),
+            ir=data.get("ir"),
+            entry=entry,
+            args=tuple(args),
+            priority=priority,
+            deadline_s=deadline_s,
+            trace=bool(data.get("trace", False)),
+        )
+
+
+@dataclass
+class Outcome:
+    """What a backend hands back for one executed request.
+
+    ``summary`` is the deterministic payload (the
+    :meth:`~repro.farm.farm.WorkloadSummary.comparable` content);
+    ``metrics`` is that request's :class:`~repro.farm.metrics.CompileMetrics`
+    (folded into the daemon's aggregate); ``trace`` is the optional farm
+    span tree; ``retries`` counts supervisor re-dispatches that happened
+    on the way to this answer.
+    """
+
+    summary: dict
+    from_cache: bool = False
+    wall_s: float = 0.0
+    metrics: Optional[object] = None
+    trace: Optional[dict] = None
+    retries: int = 0
+
+
+def response_body(
+    request: CompileRequest,
+    outcome: Outcome,
+    shed_level: int,
+    server_trace: Optional[dict] = None,
+) -> dict:
+    """The success body. Deterministic fields first; timings are advisory."""
+    body = {
+        "schema": SERVE_SCHEMA,
+        "id": request.id,
+        "client": request.client,
+        "workload": request.program_name,
+        "summary": outcome.summary,
+        "from_cache": outcome.from_cache,
+        "shed_level": shed_level,
+        "wall_s": outcome.wall_s,
+    }
+    if outcome.metrics is not None:
+        body["metrics"] = outcome.metrics.to_dict()
+    if outcome.trace is not None:
+        body["trace"] = outcome.trace
+    if server_trace is not None:
+        body["server_trace"] = server_trace
+    return body
+
+
+def dumps(body: dict) -> bytes:
+    return (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")

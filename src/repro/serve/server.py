@@ -1,0 +1,775 @@
+"""The compile-as-a-service daemon: ``repro serve``.
+
+A single-threaded asyncio HTTP/1.1 server (stdlib only — hand-rolled
+request parsing over :func:`asyncio.start_server`) that accepts
+compile/evaluate requests and dispatches them onto the supervised build
+farm through a small executor pool. Robustness is the point:
+
+* **Admission control.** Requests pass, in order: a per-client token
+  bucket (fairness — one chatty client cannot starve the rest), the
+  overload ladder's gates, and a bounded wait queue. Any refusal is an
+  HTTP 429 with a ``Retry-After`` header and a structured body saying
+  *why* (``throttle`` / ``queue-full`` / ``shed``) — never a 5xx,
+  because nothing failed.
+* **Overload shedding.** A four-rung degradation ladder
+  (:data:`SHED_LEVELS`), mirroring the ICBM ladder's
+  full → degraded → minimal shape: ``full`` answers everything;
+  ``no-extras`` drops span traces from responses; ``cache-only``
+  answers only warm evaluation-cache hits and sheds the rest;
+  ``shed-low-priority`` additionally refuses clients below the priority
+  floor. Transitions are occupancy-driven with hysteresis (sustained
+  pressure to climb, sustained calm to descend) and every transition is
+  a ``shed-transition`` ledger entry plus a counter bump, so a
+  post-incident reading shows exactly when and why quality degraded.
+* **Deadlines.** A request's ``deadline_s`` bounds its whole stay:
+  queue wait burns it down, and the remainder propagates into the farm
+  supervisor's per-attempt deadline. A deadline that expires while
+  queued is answered 504 and journalled as a NACK.
+* **Crash recovery.** Every accepted request is journalled
+  (:mod:`repro.serve.journal`) before it runs and its response is
+  journalled before the client sees it. A daemon restarted with
+  ``--resume`` replays answered requests verbatim from the journal and
+  explicitly NACKs (410) anything that was in flight when it died —
+  an accepted request is never silently lost.
+
+Observability rides the existing substrate: each request gets its own
+:class:`~repro.obs.Tracer` with accept → queue → dispatch → merge →
+respond spans, the daemon keeps a ``serve.*``
+:class:`~repro.obs.CounterSet` (the ``repro.serve.*`` family) and a
+:class:`~repro.obs.DecisionLedger`, and ``GET /v1/metrics`` serves the
+aggregate as a ``repro.farm.metrics/v3`` document with the ``serve``
+section attached.
+
+Endpoints::
+
+    POST /v1/compile        submit a request (workload name or inline
+                            source/ir); blocks until answered
+    GET  /v1/requests/<id>  replay a finished answer (200), report a
+                            NACK (410), pending (202), or unknown (404)
+    GET  /v1/healthz        liveness + shed level + queue depth
+    GET  /v1/metrics        metrics/v3 document with serve section
+    GET  /v1/workloads      registry names a request may use
+    POST /v1/drain          stop accepting, finish in-flight, exit
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import errors
+from repro.farm.metrics import CompileMetrics
+from repro.obs import CounterSet, DecisionLedger, Tracer
+from repro.serve import journal as serve_journal
+from repro.serve.protocol import (
+    SERVE_SCHEMA,
+    STATUS_NACKED,
+    STATUS_REJECTED,
+    CompileRequest,
+    dumps,
+    error_body,
+    response_body,
+    status_for,
+)
+
+#: The degradation ladder, least to most degraded. Documented order;
+#: the shedding test pins transitions to walk it one rung at a time.
+SHED_LEVELS = ("full", "no-extras", "cache-only", "shed-low-priority")
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServeOptions:
+    """Daemon knobs; defaults suit an interactive single-host service."""
+
+    host: str = "127.0.0.1"
+    #: 0 picks a free port; the bound port is announced on the ready line.
+    port: int = 0
+    #: Concurrent backend evaluations (each is a one-workload farm).
+    backend_jobs: int = 2
+    #: Requests allowed to wait for a backend slot before queue-full 429s.
+    queue_limit: int = 16
+    #: Per-client token bucket: sustained requests/second and burst size.
+    rate: float = 20.0
+    burst: int = 40
+    #: Deadline for requests that do not bring their own.
+    default_deadline_s: float = 120.0
+    #: Supervisor retries per request (worker-crash requeues).
+    retries: int = 1
+    scale: int = 1
+    processors: Tuple[str, ...] = ("medium",)
+    cache_root: Optional[str] = None
+    journal_path: Optional[str] = None
+    resume: bool = False
+    #: Ladder hysteresis: climb after `shed_sustain` consecutive
+    #: occupancy samples >= `shed_escalate`, descend after the same
+    #: number <= `shed_deescalate`.
+    shed_escalate: float = 0.8
+    shed_deescalate: float = 0.25
+    shed_sustain: int = 3
+    #: At shed level 3, requests with priority below this are refused.
+    priority_floor: int = 1
+    #: Run request farms under the supervisor (production default).
+    supervised: bool = True
+
+
+class TokenBucket:
+    """Per-client fairness: ``rate`` tokens/s, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "last")
+
+    def __init__(self, rate: float, burst: int, now: float):
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last = now
+
+    def take(self, now: float) -> float:
+        """0.0 when a token was taken, else seconds until one exists."""
+        elapsed = max(0.0, now - self.last)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        if self.rate <= 0:
+            return 60.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class CompileServer:
+    """One daemon instance; single asyncio loop, executor-backed farms."""
+
+    def __init__(self, options: ServeOptions, backend=None, clock=None):
+        self.options = options
+        if backend is None:
+            from repro.serve.backend import FarmBackend
+
+            backend = FarmBackend(
+                cache_root=options.cache_root,
+                scale=options.scale,
+                processors=options.processors,
+                retries=options.retries,
+                supervised=options.supervised,
+            )
+        self.backend = backend
+        self.clock = clock or time.monotonic
+        self.counters = CounterSet()
+        self.ledger = DecisionLedger()
+        self.metrics = CompileMetrics()
+        #: id -> {"state": "pending"} | {"state": "done", "status", "body"}
+        #:       | {"state": "nacked", "reason"}
+        self.requests: Dict[str, dict] = {}
+        self.buckets: Dict[str, TokenBucket] = {}
+        self.shed_level = 0
+        self._over = 0
+        self._under = 0
+        self.waiting = 0
+        self.connections = 0
+        self.port: Optional[int] = None
+        self.journal = None
+        self.recovered_state = None
+        self.recovered_nacks = ()
+        self._seq = itertools.count(1)
+        self._avg_exec: Optional[float] = None
+        self._draining = False
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server = None
+        self._sema: Optional[asyncio.Semaphore] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self):
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._sema = asyncio.Semaphore(self.options.backend_jobs)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.options.backend_jobs,
+            thread_name_prefix="serve-backend",
+        )
+        if self.options.journal_path:
+            self._recover()
+        self._server = await asyncio.start_server(
+            self._handle, self.options.host, self.options.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def _recover(self):
+        journal, state, nacked = serve_journal.recover(
+            self.options.journal_path, self.options.resume
+        )
+        self.journal = journal
+        self.recovered_state = state
+        self.recovered_nacks = tuple(nacked)
+        if state is None:
+            return
+        replayed = 0
+        for rid in state.order:
+            terminal = state.states.get(rid)
+            if terminal == serve_journal.DONE:
+                entry = state.responses[rid]
+                self.requests[rid] = {
+                    "state": "done",
+                    "status": entry["status"],
+                    "body": entry["body"],
+                }
+                replayed += 1
+            elif terminal == serve_journal.NACKED:
+                self.requests[rid] = {
+                    "state": "nacked",
+                    "reason": state.nacks.get(rid, ""),
+                }
+        self.counters.add("serve.recovered", float(len(state.order)))
+        for _ in nacked:
+            self.counters.add("serve.nacked")
+        self.ledger.record(
+            "serve-recover",
+            "-",
+            "-",
+            resolved=len(state.order),
+            replayed=replayed,
+            nacked=len(nacked),
+            truncated_tail=state.truncated,
+        )
+
+    async def run(self, ready: Optional[threading.Event] = None):
+        """Start, signal readiness, serve until stop is requested."""
+        await self.start()
+        if ready is not None:
+            ready.set()
+        await self._stop.wait()
+        await self._shutdown()
+
+    def request_stop(self):
+        """Thread-safe stop request (used by signal handlers and tests)."""
+        loop, stop = self.loop, self._stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed: the daemon is gone anyway
+
+    async def _shutdown(self):
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + 30.0
+        while self.connections and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        if self.journal is not None:
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, target, raw = parsed
+            try:
+                status, body, extra = await self._route(method, target, raw)
+            except errors.ReproError as exc:
+                status, body, extra = self._error(exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                status, extra = 500, {}
+                body = {
+                    "schema": SERVE_SCHEMA,
+                    "error": {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "http_status": 500,
+                        "exit_code": 1,
+                    },
+                }
+            writer.write(_http_bytes(status, body, extra))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            self.connections -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader):
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=30.0
+            )
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return None
+            method, target = parts[0].upper(), parts[1]
+            headers = {}
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("latin-1").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            length = int(headers.get("content-length") or 0)
+            raw = await reader.readexactly(length) if length > 0 else b""
+            return method, target, raw
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            ValueError,
+            UnicodeDecodeError,
+        ):
+            return None
+
+    async def _route(self, method, target, raw):
+        path = target.split("?", 1)[0]
+        if path == "/v1/compile" and method == "POST":
+            return await self._compile(raw)
+        if path.startswith("/v1/requests/") and method == "GET":
+            return self._request_status(path[len("/v1/requests/"):])
+        if path == "/v1/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/v1/metrics" and method == "GET":
+            return 200, self.metrics_document(), {}
+        if path == "/v1/workloads" and method == "GET":
+            from repro.workloads.registry import all_names
+
+            return 200, {
+                "schema": SERVE_SCHEMA,
+                "workloads": list(all_names()),
+            }, {}
+        if path == "/v1/drain" and method == "POST":
+            self._draining = True
+            self.loop.call_later(0.05, self._stop.set)
+            return 200, {"schema": SERVE_SCHEMA, "draining": True}, {}
+        return 404, {
+            "schema": SERVE_SCHEMA,
+            "error": {
+                "type": "NotFound",
+                "message": f"no route for {method} {path}",
+                "http_status": 404,
+                "exit_code": 2,
+            },
+        }, {}
+
+    # ------------------------------------------------------------------
+    # The compile path
+    # ------------------------------------------------------------------
+    async def _compile(self, raw):
+        tracer = Tracer()
+        with tracer.span("request", kind="serve") as root:
+            with tracer.span("accept", kind="serve"):
+                try:
+                    data = json.loads(raw.decode("utf-8")) if raw else {}
+                except (ValueError, UnicodeDecodeError):
+                    return self._error(
+                        errors.UsageError("request body is not valid JSON")
+                    )
+                try:
+                    request = CompileRequest.from_json(
+                        data, default_id=f"r{next(self._seq)}"
+                    )
+                except errors.ReproError as exc:
+                    return self._error(exc)
+                root.set_attr("id", request.id)
+                root.set_attr("client", request.client)
+                replay = self._check_duplicate(request)
+                if replay is not None:
+                    return replay
+                try:
+                    fast = self._admit(request)
+                except errors.ReproError as exc:
+                    return self._reject(exc)
+            return await self._execute(request, fast, tracer)
+
+    def _check_duplicate(self, request):
+        existing = self.requests.get(request.id)
+        if existing is None:
+            return None
+        if existing["state"] == "done":
+            self.counters.add("serve.replayed")
+            return existing["status"], existing["body"], {}
+        if existing["state"] == "pending":
+            exc = errors.UsageError(
+                f"request {request.id} is already pending; poll "
+                f"GET /v1/requests/{request.id}"
+            )
+            body = error_body(exc)
+            body["error"]["http_status"] = 409
+            return 409, body, {}
+        # NACKed ids may be re-submitted; the journal's in-order replay
+        # makes the new accept supersede the old nack.
+        return None
+
+    def _admit(self, request):
+        """Token bucket -> shed gates -> bounded queue; journal on accept.
+
+        Returns a fast-path :class:`Outcome` when the cache-only rung
+        answered from the warm cache, else ``None`` (request must run).
+        Raises :class:`~repro.errors.ServeRejected` (429) or
+        :class:`~repro.errors.FarmInterrupted` (503, draining).
+        """
+        if self._draining:
+            raise errors.FarmInterrupted(
+                "server is draining; resubmit to the replacement instance"
+            )
+        now = self.clock()
+        bucket = self.buckets.get(request.client)
+        if bucket is None:
+            bucket = self.buckets[request.client] = TokenBucket(
+                self.options.rate, self.options.burst, now
+            )
+        self._observe()
+        wait = bucket.take(now)
+        if wait > 0.0:
+            raise errors.ServeRejected(
+                f"client {request.client!r} is over its rate limit "
+                f"({self.options.rate:g}/s, burst {self.options.burst})",
+                reason="throttle",
+                retry_after_s=max(1, math.ceil(wait)),
+            )
+        if (
+            self.shed_level >= 3
+            and request.priority < self.options.priority_floor
+        ):
+            raise errors.ServeRejected(
+                f"shedding priority<{self.options.priority_floor} "
+                f"requests at shed level {self.shed_level} "
+                f"({SHED_LEVELS[self.shed_level]})",
+                reason="shed",
+                retry_after_s=self._retry_after(),
+            )
+        fast = None
+        if self.shed_level >= 2:
+            fast = self.backend.try_cache(request)
+            if fast is None:
+                raise errors.ServeRejected(
+                    f"cache-only at shed level {self.shed_level}; "
+                    f"{request.program_name} is not warm in the cache",
+                    reason="shed",
+                    retry_after_s=self._retry_after(),
+                )
+        if fast is None and self.waiting >= self.options.queue_limit:
+            raise errors.ServeRejected(
+                f"request queue at capacity ({self.options.queue_limit})",
+                reason="queue-full",
+                retry_after_s=self._retry_after(),
+            )
+        self.counters.add("serve.accepted")
+        self.requests[request.id] = {"state": "pending"}
+        if self.journal is not None:
+            self.journal.accept(request.id, request.payload())
+        return fast
+
+    async def _execute(self, request, fast, tracer):
+        deadline_s = request.deadline_s or self.options.default_deadline_s
+        started = self.clock()
+        if fast is not None:
+            self.counters.add("serve.cache_only_hits")
+            outcome = fast
+        else:
+            outcome = await self._run_backend(
+                request, deadline_s, started, tracer
+            )
+            if isinstance(outcome, tuple):
+                # (status, body, headers) — already-answered failure.
+                return outcome
+        with tracer.span("merge", kind="serve"):
+            if outcome.metrics is not None:
+                self.metrics.merge(outcome.metrics)
+            if outcome.retries:
+                self.counters.add("serve.retried", float(outcome.retries))
+            self._track_exec(self.clock() - started)
+            include_extras = request.trace and self.shed_level < 1
+            if request.trace and not include_extras:
+                self.counters.add("serve.extras_dropped")
+        with tracer.span("respond", kind="serve"):
+            server_trace = tracer.to_dict() if include_extras else None
+            body = response_body(
+                request, outcome, self.shed_level, server_trace
+            )
+            self._respond(request, 200, body)
+        return 200, body, {}
+
+    async def _run_backend(self, request, deadline_s, started, tracer):
+        """Queue for a slot, then evaluate off-loop; returns Outcome or
+        an already-built (status, body, headers) failure triple."""
+        with tracer.span("queue", kind="serve") as qspan:
+            self.waiting += 1
+            self.counters.add("serve.queue_depth", float(self.waiting))
+            try:
+                try:
+                    await asyncio.wait_for(
+                        self._sema.acquire(), timeout=deadline_s
+                    )
+                except asyncio.TimeoutError:
+                    self.counters.add("serve.deadline_expired")
+                    self._nack(request, "deadline")
+                    return self._error(errors.FarmTimeout(
+                        f"request {request.id} spent its {deadline_s:g}s "
+                        "deadline waiting for a backend slot",
+                        budget_s=deadline_s,
+                    ))
+            finally:
+                self.waiting -= 1
+            qspan.set_attr("waited_s", round(self.clock() - started, 6))
+        try:
+            with tracer.span("dispatch", kind="serve") as dspan:
+                remaining = max(0.5, deadline_s - (self.clock() - started))
+                want_trace = request.trace and self.shed_level < 1
+                try:
+                    outcome = await self.loop.run_in_executor(
+                        self._executor,
+                        lambda: self.backend.evaluate(
+                            request, remaining, want_trace
+                        ),
+                    )
+                except errors.ReproError as exc:
+                    if isinstance(exc, errors.FarmTimeout):
+                        self.counters.add("serve.deadline_expired")
+                    self._nack(request, f"error:{type(exc).__name__}")
+                    return self._error(exc)
+                dspan.set_attr("from_cache", outcome.from_cache)
+                return outcome
+        finally:
+            self._sema.release()
+            self._observe()
+
+    # ------------------------------------------------------------------
+    # Terminal-state bookkeeping (journal + request map + counters)
+    # ------------------------------------------------------------------
+    def _respond(self, request, status, body):
+        self.requests[request.id] = {
+            "state": "done", "status": status, "body": body,
+        }
+        if self.journal is not None:
+            self.journal.respond(request.id, status, body)
+
+    def _nack(self, request, reason):
+        self.requests[request.id] = {"state": "nacked", "reason": reason}
+        self.counters.add("serve.nacked")
+        self.ledger.record(
+            "serve-nack", "-", "-", id=request.id, reason=reason
+        )
+        if self.journal is not None:
+            self.journal.nack(request.id, reason)
+
+    def _reject(self, exc):
+        self.counters.add("serve.rejected")
+        if isinstance(exc, errors.ServeRejected):
+            self.counters.add(f"serve.rejected.{exc.reason}")
+            if exc.reason == "shed":
+                self.counters.add("serve.shed")
+        return self._error(exc)
+
+    def _error(self, exc):
+        if isinstance(exc, errors.ServeRejected):
+            headers = {
+                "Retry-After": str(int(math.ceil(exc.retry_after_s)))
+            }
+            return STATUS_REJECTED, error_body(exc), headers
+        status, _ = status_for(exc)
+        return status, error_body(exc), {}
+
+    # ------------------------------------------------------------------
+    # The shedding ladder
+    # ------------------------------------------------------------------
+    def _observe(self):
+        """Sample queue occupancy; climb/descend the ladder on sustain."""
+        occupancy = self.waiting / max(1, self.options.queue_limit)
+        if occupancy >= self.options.shed_escalate:
+            self._over += 1
+            self._under = 0
+            if self._over >= self.options.shed_sustain and self.shed_level < 3:
+                self._transition(self.shed_level + 1, occupancy)
+                self._over = 0
+        elif occupancy <= self.options.shed_deescalate:
+            self._under += 1
+            self._over = 0
+            if self._under >= self.options.shed_sustain and self.shed_level:
+                self._transition(self.shed_level - 1, occupancy)
+                self._under = 0
+        else:
+            self._over = 0
+            self._under = 0
+
+    def _transition(self, to_level, occupancy):
+        from_level = self.shed_level
+        self.shed_level = to_level
+        self.counters.add("serve.shed_transitions")
+        self.counters.add("serve.shed_level", float(to_level))
+        self.ledger.record(
+            "shed-transition",
+            "-",
+            "-",
+            from_level=from_level,
+            to_level=to_level,
+            from_name=SHED_LEVELS[from_level],
+            to_name=SHED_LEVELS[to_level],
+            occupancy=round(occupancy, 3),
+        )
+
+    def _retry_after(self) -> int:
+        """Estimated seconds until a slot frees: EWMA exec time scaled
+        by queue depth, clamped to [1, 60]."""
+        avg = self._avg_exec if self._avg_exec is not None else 1.0
+        estimate = avg * (self.waiting + 1) / max(1, self.options.backend_jobs)
+        return int(min(60.0, max(1.0, math.ceil(estimate))))
+
+    def _track_exec(self, wall_s):
+        if self._avg_exec is None:
+            self._avg_exec = wall_s
+        else:
+            self._avg_exec = 0.8 * self._avg_exec + 0.2 * wall_s
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    def _request_status(self, rid):
+        entry = self.requests.get(rid)
+        if entry is None:
+            return 404, {
+                "schema": SERVE_SCHEMA,
+                "error": {
+                    "type": "NotFound",
+                    "message": f"unknown request id {rid!r}",
+                    "http_status": 404,
+                    "exit_code": 2,
+                },
+            }, {}
+        if entry["state"] == "pending":
+            return 202, {
+                "schema": SERVE_SCHEMA, "id": rid, "state": "pending",
+            }, {}
+        if entry["state"] == "nacked":
+            return STATUS_NACKED, {
+                "schema": SERVE_SCHEMA,
+                "id": rid,
+                "state": "nacked",
+                "reason": entry["reason"],
+            }, {}
+        self.counters.add("serve.replayed")
+        return entry["status"], entry["body"], {}
+
+    def _healthz(self):
+        return 200, {
+            "schema": SERVE_SCHEMA,
+            "status": "draining" if self._draining else "ok",
+            "shed_level": self.shed_level,
+            "shed_level_name": SHED_LEVELS[self.shed_level],
+            "queue_depth": self.waiting,
+            "queue_limit": self.options.queue_limit,
+            "accepted": self.counters.get("serve.accepted").count,
+            "rejected": self.counters.get("serve.rejected").count,
+            "nacked": self.counters.get("serve.nacked").count,
+        }, {}
+
+    def metrics_document(self) -> dict:
+        """The aggregate ``repro.farm.metrics/v3`` document with the
+        daemon's ``serve`` section (also what ``GET /v1/metrics`` serves)."""
+        snapshot = CompileMetrics.from_dict(self.metrics.to_dict())
+        snapshot.counters = snapshot.counters.merge(self.counters)
+        return snapshot.to_json_dict(
+            jobs=self.options.backend_jobs,
+            cache_enabled=self.options.cache_root is not None,
+            cache_root=self.options.cache_root,
+            serve={
+                "shed_level": self.shed_level,
+                "shed_level_name": SHED_LEVELS[self.shed_level],
+                "queue_depth": self.waiting,
+                "queue_limit": self.options.queue_limit,
+                "draining": self._draining,
+                "ledger": self.ledger.to_dict(),
+            },
+        )
+
+
+def _http_bytes(status: int, body: dict, headers: dict) -> bytes:
+    payload = dumps(body)
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for key, value in headers.items():
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+
+# ----------------------------------------------------------------------
+# Embedding helpers (tests, benchmarks)
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """An in-thread daemon: the loop runs in a daemon thread, the test
+    talks to it over real sockets."""
+
+    def __init__(self, server: CompileServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.options.host}:{self.server.port}"
+
+    def stop(self, timeout: float = 30.0):
+        self.server.request_stop()
+        self.thread.join(timeout)
+
+
+def start_in_thread(
+    options: ServeOptions, backend=None, clock=None
+) -> ServerHandle:
+    """Boot a :class:`CompileServer` on a daemon thread; returns once
+    the socket is bound."""
+    server = CompileServer(options, backend=backend, clock=clock)
+    ready = threading.Event()
+    failures = []
+
+    def _run():
+        try:
+            asyncio.run(server.run(ready))
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            failures.append(exc)
+            ready.set()
+
+    thread = threading.Thread(
+        target=_run, name="repro-serve", daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout=30.0):
+        raise errors.UsageError("serve daemon failed to start in 30s")
+    if failures:
+        raise failures[0]
+    return ServerHandle(server, thread)

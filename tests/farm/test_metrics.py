@@ -72,12 +72,13 @@ def test_json_document_shape():
 
 
 # ----------------------------------------------------------------------
-# v2: observability counters
+# v2: observability counters; v3: serve section + mirrored cache counters
 # ----------------------------------------------------------------------
-def test_schema_is_v2():
-    """v2 added the counters section; bump the tag again rather than ever
-    repurposing it."""
-    assert METRICS_SCHEMA == "repro.farm.metrics/v2"
+def test_schema_is_v3():
+    """v2 added the counters section, v3 the optional ``serve`` section
+    and the ``farm.cache.*`` counter mirrors; bump the tag again rather
+    than ever repurposing it."""
+    assert METRICS_SCHEMA == "repro.farm.metrics/v3"
 
 
 def test_counters_merge_and_roundtrip():

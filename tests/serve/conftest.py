@@ -1,0 +1,90 @@
+"""Fixtures for the serve-daemon tests.
+
+The daemon under test runs in-process on a daemon thread
+(:func:`repro.serve.server.start_in_thread`) and is driven over real
+sockets with :class:`~repro.serve.client.ServeClient`, so the HTTP
+parsing, admission, and journal paths are all exercised for real. The
+admission/shedding tests swap the farm for :class:`StubBackend`, whose
+latency is a :class:`threading.Event` gate the test controls — overload
+becomes deterministic instead of timing-dependent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import Outcome
+from repro.serve.server import ServeOptions, start_in_thread
+
+
+class StubBackend:
+    """A backend with a controllable gate instead of a compiler.
+
+    ``gate`` starts open; ``hold()`` makes every in-flight and future
+    ``evaluate`` block until ``release()``. ``cache`` maps workload
+    names to ready-made outcomes for the cache-only shedding rung.
+    """
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.gate.set()
+        self.cache = {}
+        self.calls = []
+        self.delay_s = 0.0
+
+    def hold(self):
+        self.gate.clear()
+
+    def release(self):
+        self.gate.set()
+
+    def evaluate(self, request, deadline_s=None, want_trace=False):
+        self.calls.append(request.id)
+        self.gate.wait(timeout=60.0)
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return Outcome(
+            summary={"name": request.program_name, "stub": True},
+            wall_s=0.001,
+        )
+
+    def try_cache(self, request):
+        return self.cache.get(request.workload)
+
+
+@pytest.fixture
+def serve_factory():
+    """Boot in-thread daemons; every one is stopped at teardown."""
+    handles = []
+
+    def boot(backend=None, **overrides):
+        options = ServeOptions(**overrides)
+        handle = start_in_thread(options, backend=backend)
+        handles.append(handle)
+        return handle
+
+    yield boot
+    for handle in handles:
+        if isinstance(handle.server.backend, StubBackend):
+            handle.server.backend.release()
+        handle.stop(timeout=30.0)
+
+
+def client_for(handle, timeout: float = 60.0) -> ServeClient:
+    return ServeClient(
+        handle.server.options.host, handle.server.port, timeout=timeout
+    )
+
+
+def wait_until(predicate, timeout_s: float = 10.0, interval_s: float = 0.01):
+    """Poll *predicate* until truthy; assert on timeout."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError("condition not reached within timeout")

@@ -1,0 +1,145 @@
+"""Admission control: token buckets, bounded queue, deadlines, drain.
+
+All tests use :class:`~tests.serve.conftest.StubBackend` with a
+controllable gate, so "the backend is busy" is a test decision, not a
+timing accident.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from tests.serve.conftest import StubBackend, client_for, wait_until
+
+
+def test_per_client_token_bucket_throttles_fairly(serve_factory):
+    backend = StubBackend()
+    handle = serve_factory(backend=backend, backend_jobs=2, rate=0.001,
+                           burst=2)
+    client = client_for(handle)
+    # Client A spends its burst; the third request is throttled.
+    first = client.compile(workload="strcpy", id="a1", client="alice")
+    second = client.compile(workload="strcpy", id="a2", client="alice")
+    throttled = client.compile(workload="strcpy", id="a3", client="alice")
+    assert (first.status, second.status) == (200, 200)
+    assert throttled.status == 429
+    assert throttled.body["error"]["reason"] == "throttle"
+    assert throttled.retry_after >= 1
+    # Fairness: a different client has its own bucket and still gets in.
+    other = client.compile(workload="strcpy", id="b1", client="bob")
+    assert other.status == 200
+    metrics = client.metrics().body["counters"]
+    assert metrics["serve.accepted"]["count"] == 3
+    assert metrics["serve.rejected"]["count"] == 1
+    assert metrics["serve.rejected.throttle"]["count"] == 1
+
+
+def test_bounded_queue_rejects_queue_full_with_retry_after(serve_factory):
+    backend = StubBackend()
+    backend.hold()
+    handle = serve_factory(backend=backend, backend_jobs=1, queue_limit=2)
+    client = client_for(handle)
+    server = handle.server
+
+    responses = []
+
+    def fire(rid):
+        responses.append(
+            client.compile(workload="strcpy", id=rid, client=f"c-{rid}")
+        )
+
+    threads = []
+    for index in range(3):
+        thread = threading.Thread(
+            target=fire, args=(f"r{index}",), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+        # Serialize admissions: a simultaneous burst may be rejected
+        # conservatively while the first request is still between
+        # admission and grabbing the free backend slot.
+        wait_until(
+            lambda i=index: len(backend.calls) + server.waiting == i + 1
+        )
+    # One request holds the backend slot, two wait in the queue.
+    wait_until(lambda: server.waiting >= 2 and len(backend.calls) == 1)
+    overflow = client.compile(workload="strcpy", id="r9", client="late")
+    assert overflow.status == 429
+    assert overflow.body["error"]["reason"] == "queue-full"
+    assert overflow.retry_after >= 1
+    backend.release()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert sorted(r.status for r in responses) == [200, 200, 200]
+    counters = client.metrics().body["counters"]
+    assert counters["serve.rejected.queue-full"]["count"] == 1
+    # Queue-depth gauge recorded the high-water mark.
+    assert counters["serve.queue_depth"]["max"] >= 2.0
+
+
+def test_deadline_expires_in_queue_as_504_and_journal_nack(
+    serve_factory, tmp_path
+):
+    backend = StubBackend()
+    backend.hold()
+    handle = serve_factory(
+        backend=backend,
+        backend_jobs=1,
+        queue_limit=4,
+        journal_path=str(tmp_path / "serve.journal"),
+    )
+    client = client_for(handle)
+    server = handle.server
+    blocker = threading.Thread(
+        target=lambda: client.compile(
+            workload="strcpy", id="slow", client="a"
+        ),
+        daemon=True,
+    )
+    blocker.start()
+    wait_until(lambda: len(backend.calls) == 1)
+    expired = client.compile(
+        workload="strcpy", id="late", client="b", deadline_s=0.2
+    )
+    assert expired.status == 504
+    assert expired.body["error"]["type"] == "FarmTimeout"
+    assert expired.body["error"]["exit_code"] == 7
+    # The accepted-then-expired request is an explicit NACK, queryable.
+    nacked = client.request_status("late")
+    assert nacked.status == 410
+    assert nacked.body["reason"] == "deadline"
+    counters = client.metrics().body["counters"]
+    assert counters["serve.deadline_expired"]["count"] == 1
+    assert counters["serve.nacked"]["count"] == 1
+    backend.release()
+    blocker.join(timeout=30)
+    assert server.requests["slow"]["state"] == "done"
+
+
+def test_duplicate_pending_id_conflicts(serve_factory):
+    backend = StubBackend()
+    backend.hold()
+    handle = serve_factory(backend=backend, backend_jobs=1)
+    client = client_for(handle)
+    runner = threading.Thread(
+        target=lambda: client.compile(workload="strcpy", id="dup",
+                                      client="a"),
+        daemon=True,
+    )
+    runner.start()
+    wait_until(lambda: len(backend.calls) == 1)
+    conflict = client.compile(workload="strcpy", id="dup", client="a")
+    assert conflict.status == 409
+    backend.release()
+    runner.join(timeout=30)
+
+
+def test_draining_daemon_answers_503(serve_factory):
+    backend = StubBackend()
+    handle = serve_factory(backend=backend)
+    client = client_for(handle)
+    handle.server._draining = True
+    refused = client.compile(workload="strcpy", id="r1", client="a")
+    assert refused.status == 503
+    assert refused.body["error"]["type"] == "FarmInterrupted"
+    assert refused.body["error"]["exit_code"] == 130

@@ -1,0 +1,114 @@
+"""The serve write-ahead journal: durability and recovery semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import UsageError
+from repro.serve.journal import (
+    DONE,
+    NACKED,
+    PENDING,
+    SERVE_JOURNAL_SCHEMA,
+    ServeJournal,
+    load_serve_journal,
+    recover,
+)
+
+
+def _write_basic(path):
+    journal = ServeJournal(path)
+    journal.accept("a", {"workload": "strcpy"})
+    journal.respond("a", 200, {"id": "a", "summary": {"x": 1}})
+    journal.accept("b", {"workload": "cmp"})
+    journal.close()
+    return journal
+
+
+def test_round_trip_states(tmp_path):
+    path = tmp_path / "serve.journal"
+    _write_basic(path)
+    state = load_serve_journal(path)
+    assert state.header["schema"] == SERVE_JOURNAL_SCHEMA
+    assert state.order == ["a", "b"]
+    assert state.states == {"a": DONE, "b": PENDING}
+    assert state.responses["a"]["status"] == 200
+    assert state.unresolved() == ["b"]
+    assert not state.truncated
+
+
+def test_nack_resolves_and_resubmission_supersedes(tmp_path):
+    path = tmp_path / "serve.journal"
+    journal = ServeJournal(path)
+    journal.accept("a", {"workload": "strcpy"})
+    journal.nack("a", "deadline")
+    state = load_serve_journal(path)
+    assert state.states["a"] == NACKED
+    assert state.nacks["a"] == "deadline"
+    # Re-submitting the same id after a NACK: in-order replay makes the
+    # later accept (and its response) the final word.
+    journal.accept("a", {"workload": "strcpy"})
+    journal.respond("a", 200, {"id": "a"})
+    journal.close()
+    state = load_serve_journal(path)
+    assert state.states["a"] == DONE
+    assert state.order == ["a"]
+
+
+def test_truncated_tail_is_tolerated(tmp_path):
+    path = tmp_path / "serve.journal"
+    _write_basic(path)
+    # Simulate SIGKILL mid-append: a half-written record at the tail.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "respond", "id": "b", "stat')
+    state = load_serve_journal(path)
+    assert state.truncated
+    # The half-written response never happened: b is still pending.
+    assert state.states["b"] == PENDING
+    assert state.unresolved() == ["b"]
+
+
+def test_schema_mismatch_and_missing_header_are_usage_errors(tmp_path):
+    bad_schema = tmp_path / "bad.journal"
+    bad_schema.write_text(
+        json.dumps({"kind": "header", "schema": "other/v9"}) + "\n"
+    )
+    with pytest.raises(UsageError):
+        load_serve_journal(bad_schema)
+    headerless = tmp_path / "headerless.journal"
+    headerless.write_text(
+        json.dumps({"kind": "accept", "id": "a", "request": {}}) + "\n"
+    )
+    with pytest.raises(UsageError):
+        load_serve_journal(headerless)
+    with pytest.raises(UsageError):
+        load_serve_journal(tmp_path / "absent.journal")
+
+
+def test_recover_nacks_unresolved_accepts(tmp_path):
+    path = tmp_path / "serve.journal"
+    _write_basic(path)
+    journal, state, nacked = recover(path, resume=True)
+    journal.close()
+    assert nacked == ["b"]
+    assert state.states["b"] == NACKED
+    assert state.nacks["b"] == "server-restart"
+    # The NACKs are durable: a second recovery sees them on disk.
+    journal2, state2, nacked2 = recover(path, resume=True)
+    journal2.close()
+    assert nacked2 == []
+    assert state2.states == {"a": DONE, "b": NACKED}
+    assert state2.responses["a"]["body"]["summary"] == {"x": 1}
+
+
+def test_recover_without_resume_truncates(tmp_path):
+    path = tmp_path / "serve.journal"
+    _write_basic(path)
+    journal, state, nacked = recover(path, resume=False)
+    journal.close()
+    assert state is None and nacked == []
+    fresh = load_serve_journal(path)
+    assert fresh.order == []
+    assert fresh.header["pid"]

@@ -1,0 +1,155 @@
+"""Wire-protocol contracts: error fidelity and request validation.
+
+The table-driven test pins the HTTP-status mapping to the CLI
+exit-code table (``repro.__main__.EXIT_CODES``): the same library
+failure must carry the same exit code whether it surfaces on stderr
+under ``python -m repro`` or in a JSON error body from ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.__main__ import exit_code_for
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    SERVE_SCHEMA,
+    CompileRequest,
+    error_body,
+    status_for,
+)
+
+#: One row per failure class: (exception instance, HTTP, CLI exit code).
+#: 2 = parse/semantic/usage, 3 = verify/IR, 4 = transform/scheduling,
+#: 5 = simulation, 6 = quarantine, 7 = deadline/budget, 130 = interrupt.
+FIDELITY_TABLE = [
+    (errors.ParseError("bad token"), 400, 2),
+    (errors.SemanticError("undeclared"), 400, 2),
+    (errors.UsageError("bad flag"), 400, 2),
+    (errors.VerificationError(["mismatch"]), 422, 3),
+    (errors.IRError("bad operand"), 422, 3),
+    (errors.TransformError("cpr failed"), 500, 4),
+    (errors.SchedulingError("no slot"), 500, 4),
+    (errors.SimulationError("fuel"), 500, 5),
+    (errors.FarmInterrupted("signalled"), 503, 130),
+    (errors.FarmTimeout("budget"), 504, 7),
+    (errors.FarmQuarantine("crash loop"), 502, 6),
+]
+
+
+@pytest.mark.parametrize(
+    "exc,http_status,exit_code",
+    FIDELITY_TABLE,
+    ids=[type(row[0]).__name__ for row in FIDELITY_TABLE],
+)
+def test_error_fidelity_pins_http_to_cli_exit_codes(
+    exc, http_status, exit_code
+):
+    status, code = status_for(exc)
+    assert status == http_status
+    assert code == exit_code
+    # The serve mapping and the CLI mapping must agree, forever.
+    assert code == exit_code_for(exc)
+
+
+def test_every_error_status_row_agrees_with_the_cli_table():
+    for klass, _, exit_code in ERROR_STATUS:
+        exc = klass.__new__(klass)
+        Exception.__init__(exc, "x")
+        assert exit_code_for(exc) == exit_code, klass.__name__
+
+
+def test_unknown_errors_fall_back_to_500_and_exit_1():
+    exc = errors.ReproError("unmapped")
+    assert status_for(exc) == (500, 1)
+    assert exit_code_for(exc) == 1
+
+
+def test_error_body_carries_structured_payloads():
+    exc = errors.FarmQuarantine(
+        "boom", incidents=[{"workload": "strcpy", "attempts": 3}]
+    )
+    body = error_body(exc)
+    assert body["schema"] == SERVE_SCHEMA
+    error = body["error"]
+    assert error["type"] == "FarmQuarantine"
+    assert error["http_status"] == 502
+    assert error["exit_code"] == 6
+    assert error["incidents"] == [{"workload": "strcpy", "attempts": 3}]
+
+
+def test_error_body_carries_verification_problems():
+    exc = errors.VerificationError(["r1 != r2"])
+    body = error_body(exc)
+    assert body["error"]["problems"] == ["r1 != r2"]
+    assert body["error"]["exit_code"] == 3
+
+
+def test_rejection_body_carries_reason_and_retry_after():
+    exc = errors.ServeRejected(
+        "full", reason="queue-full", retry_after_s=7.0
+    )
+    body = error_body(exc)
+    assert body["error"]["reason"] == "queue-full"
+    assert body["error"]["retry_after_s"] == 7.0
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+def test_valid_workload_request_round_trips_through_payload():
+    request = CompileRequest.from_json(
+        {
+            "workload": "strcpy",
+            "client": "alice",
+            "priority": 2,
+            "deadline_s": 5,
+            "trace": True,
+        },
+        default_id="r1",
+    )
+    assert request.id == "r1"
+    assert request.workload == "strcpy"
+    assert request.deadline_s == 5.0
+    rebuilt = CompileRequest.from_json(request.payload(), default_id="x")
+    assert rebuilt == request
+
+
+def test_inline_source_request_accepts_args():
+    request = CompileRequest.from_json(
+        {"source": "int main() { return 0; }", "args": [1, 2]},
+        default_id="r2",
+    )
+    assert request.source is not None
+    assert request.args == (1, 2)
+    assert request.program_name == "inline:main"
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        [],
+        {},
+        {"workload": "strcpy", "source": "int main() {}"},
+        {"workload": "no-such-workload"},
+        {"workload": "strcpy", "id": ""},
+        {"workload": "strcpy", "client": ""},
+        {"workload": "strcpy", "priority": -1},
+        {"workload": "strcpy", "priority": True},
+        {"workload": "strcpy", "deadline_s": 0},
+        {"workload": "strcpy", "deadline_s": "fast"},
+        {"workload": "strcpy", "args": "12"},
+        {"workload": "strcpy", "args": [1, "two"]},
+        {"workload": "strcpy", "entry": ""},
+    ],
+    ids=[
+        "not-an-object", "no-program", "two-programs", "unknown-workload",
+        "empty-id", "empty-client", "negative-priority", "bool-priority",
+        "zero-deadline", "string-deadline", "string-args", "mixed-args",
+        "empty-entry",
+    ],
+)
+def test_malformed_requests_are_usage_errors(payload):
+    with pytest.raises(errors.UsageError):
+        CompileRequest.from_json(payload, default_id="r")

@@ -1,0 +1,136 @@
+"""End-to-end daemon behaviour against the real farm backend.
+
+These tests run the daemon in-process (real sockets, real HTTP parsing)
+with the unsupervised farm backend — same compiler, same cache, same
+deterministic summaries, without per-request process spawns.
+"""
+
+from __future__ import annotations
+
+from repro.farm.farm import FarmOptions, build_farm
+from repro.farm.metrics import METRICS_SCHEMA
+from tests.serve.conftest import client_for
+
+INLINE_SOURCE = """
+int main() {
+  int x;
+  int y;
+  x = 6;
+  y = 7;
+  return x * y;
+}
+"""
+
+
+def _boot_farm_server(serve_factory, tmp_path, **overrides):
+    options = dict(
+        backend_jobs=1,
+        supervised=False,
+        cache_root=str(tmp_path / "cache"),
+        processors=("medium",),
+    )
+    options.update(overrides)
+    return serve_factory(**options)
+
+
+def test_served_compile_matches_direct_farm(serve_factory, tmp_path):
+    handle = _boot_farm_server(serve_factory, tmp_path)
+    client = client_for(handle)
+    response = client.compile(workload="strcpy", id="r1", client="t")
+    assert response.status == 200, response.body
+    direct = build_farm(
+        ["strcpy"], FarmOptions(jobs=1, processors=("medium",))
+    )
+    assert response.body["summary"] == direct.summaries[0].comparable()
+    assert response.body["from_cache"] is False
+    assert response.body["shed_level"] == 0
+
+
+def test_request_replay_and_unknown_id(serve_factory, tmp_path):
+    handle = _boot_farm_server(serve_factory, tmp_path)
+    client = client_for(handle)
+    first = client.compile(workload="cmp", id="r1", client="t")
+    assert first.status == 200
+    # GET replays the identical body; a duplicate POST does too.
+    replayed = client.request_status("r1")
+    assert replayed.status == 200
+    assert replayed.body == first.body
+    reposted = client.compile(workload="cmp", id="r1", client="t")
+    assert reposted.status == 200
+    assert reposted.body == first.body
+    metrics = client.metrics().body
+    assert metrics["counters"]["serve.replayed"]["count"] == 2
+    assert client.request_status("missing").status == 404
+
+
+def test_inline_source_request(serve_factory, tmp_path):
+    handle = _boot_farm_server(serve_factory, tmp_path)
+    client = client_for(handle)
+    response = client.compile(source=INLINE_SOURCE, id="r1", client="t")
+    assert response.status == 200, response.body
+    assert response.body["workload"] == "inline:main"
+    assert response.body["summary"]["category"] == "inline"
+    # Inline parse failures surface as 400 with the parser's message.
+    bad = client.compile(source="int main( {", id="r2", client="t")
+    assert bad.status == 400
+    assert bad.body["error"]["type"] == "ParseError"
+    assert bad.body["error"]["exit_code"] == 2
+
+
+def test_trace_extras_ship_request_lifecycle_spans(
+    serve_factory, tmp_path
+):
+    handle = _boot_farm_server(serve_factory, tmp_path)
+    client = client_for(handle)
+    response = client.compile(
+        workload="strcpy", id="r1", client="t", trace=True
+    )
+    assert response.status == 200
+    server_trace = response.body["server_trace"]
+    root = server_trace["spans"][0]
+    assert root["name"] == "request"
+    phases = [child["name"] for child in root["children"]]
+    assert phases == ["accept", "queue", "dispatch", "merge", "respond"]
+    assert root["attrs"]["id"] == "r1"
+    # The farm's own span tree rides along as "trace".
+    assert "trace" in response.body
+
+
+def test_healthz_and_metrics_document(serve_factory, tmp_path):
+    handle = _boot_farm_server(serve_factory, tmp_path)
+    client = client_for(handle)
+    health = client.healthz().body
+    assert health["status"] == "ok"
+    assert health["shed_level_name"] == "full"
+    client.compile(workload="strcpy", id="r1", client="t")
+    metrics = client.metrics().body
+    assert metrics["schema"] == METRICS_SCHEMA
+    counters = metrics["counters"]
+    assert counters["serve.accepted"]["count"] == 1
+    assert "farm.cache.hits" in counters
+    serve_section = metrics["serve"]
+    assert serve_section["shed_level"] == 0
+    assert serve_section["queue_limit"] == 16
+    assert serve_section["draining"] is False
+    # Per-workload farm metrics merged into the daemon aggregate.
+    assert "strcpy" in metrics["workloads"]
+
+
+def test_workloads_endpoint_and_404_route(serve_factory, tmp_path):
+    handle = _boot_farm_server(serve_factory, tmp_path)
+    client = client_for(handle)
+    listing = client.workloads()
+    assert listing.status == 200
+    assert "strcpy" in listing.body["workloads"]
+    missing = client._request("GET", "/v2/nothing")
+    assert missing.status == 404
+    assert missing.body["error"]["type"] == "NotFound"
+
+
+def test_drain_rejects_new_work_then_exits(serve_factory, tmp_path):
+    handle = _boot_farm_server(serve_factory, tmp_path)
+    client = client_for(handle)
+    drained = client.drain()
+    assert drained.status == 200
+    handle.thread.join(timeout=30.0)
+    assert not handle.thread.is_alive()

@@ -1,0 +1,30 @@
+"""Chaos: SIGKILL the serve daemon mid-request, restart, recover.
+
+Runs the ``--server-kill`` harness (one seed) against a real daemon
+subprocess: the victim request is chosen by the seed, the daemon is
+SIGKILLed only after the victim's accept record is durably journalled,
+and after a ``--resume`` restart every accepted request must be either
+answered identically to an undisturbed direct-farm run or explicitly
+NACKed — and a re-submitted NACK must produce the reference answer.
+"""
+
+from __future__ import annotations
+
+from repro.farm.farm import FarmOptions, build_farm
+from repro.robustness.chaos import (
+    SERVER_KILL_WORKLOADS,
+    _comparable_map,
+    run_server_kill_seed,
+)
+
+
+def test_server_kill_recovers_without_losing_requests(tmp_path):
+    names = list(SERVER_KILL_WORKLOADS)
+    reference = _comparable_map(
+        build_farm(names, FarmOptions(jobs=1, processors=("medium",)))
+    )
+    verdict = run_server_kill_seed(0, names, tmp_path, reference)
+    assert verdict.outcome == "recovered", verdict.render()
+    # The victim was NACKed (or, if the race resolved first, replayed) —
+    # either way its terminal state was explicit, never silent.
+    assert "nacked=" in verdict.detail

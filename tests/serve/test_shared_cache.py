@@ -1,0 +1,81 @@
+"""Satellite: two clients share one warm cache; served == direct farm.
+
+Two clients request the same workload fingerprint: exactly one cold
+build happens, the second answer is a cache hit, and the deterministic
+payload — including the CPR decision ledger inside the build report and
+the ``farm.cache.*`` counters — is bit-identical between the served
+path and a direct farm run against an equivalent cache.
+"""
+
+from __future__ import annotations
+
+from repro.farm.farm import FarmOptions, build_farm
+from tests.serve.conftest import client_for
+
+
+def _direct(cache_root):
+    options = FarmOptions(
+        jobs=1, cache_root=str(cache_root), processors=("medium",)
+    )
+    return build_farm(["strcpy"], options)
+
+
+def _cache_counters(counters: dict) -> dict:
+    return {
+        name: stat
+        for name, stat in counters.items()
+        if name.startswith("farm.cache.")
+    }
+
+
+def test_two_clients_one_cold_build_one_hit(
+    serve_factory, tmp_path
+):
+    handle = serve_factory(
+        backend_jobs=1,
+        supervised=False,
+        cache_root=str(tmp_path / "served-cache"),
+        processors=("medium",),
+    )
+    client = client_for(handle)
+
+    cold = client.compile(workload="strcpy", id="r1", client="alice")
+    warm = client.compile(workload="strcpy", id="r2", client="bob")
+    assert cold.status == 200 and warm.status == 200
+    assert cold.body["from_cache"] is False
+    assert warm.body["from_cache"] is True
+
+    # The deterministic payload is identical cold vs warm...
+    assert cold.body["summary"] == warm.body["summary"]
+
+    # ...and bit-identical to a direct farm run with its own cache.
+    direct_cold = _direct(tmp_path / "direct-cache")
+    direct_warm = _direct(tmp_path / "direct-cache")
+    assert cold.body["summary"] == direct_cold.summaries[0].comparable()
+    assert warm.body["summary"] == direct_warm.summaries[0].comparable()
+
+    # The decision ledger rides inside the report — pin it explicitly:
+    # a served build decides exactly what a direct build decides.
+    served_ledger = cold.body["summary"]["report"]["ledger"]
+    direct_ledger = direct_cold.summaries[0].comparable()["report"]["ledger"]
+    assert served_ledger == direct_ledger
+    assert served_ledger["entries"], "expected a non-empty ledger"
+
+    # farm.cache.* counters: served cold == direct cold, served warm ==
+    # direct warm — the two paths report cache behaviour identically.
+    served_cold = _cache_counters(cold.body["metrics"]["counters"])
+    served_warm = _cache_counters(warm.body["metrics"]["counters"])
+    assert served_cold == _cache_counters(
+        direct_cold.metrics.counters.to_dict()
+    )
+    assert served_warm == _cache_counters(
+        direct_warm.metrics.counters.to_dict()
+    )
+    assert served_warm["farm.cache.hits"]["total"] >= 1.0
+    assert served_cold["farm.cache.hits"]["total"] == 0.0
+
+    # Exactly one cold build: the daemon's aggregate says one miss-path
+    # workload build and one eval-cache hit.
+    metrics = client.metrics().body
+    assert metrics["workloads"]["strcpy"]["from_cache"] is True
+    assert metrics["counters"]["serve.accepted"]["count"] == 2

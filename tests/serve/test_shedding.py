@@ -1,0 +1,122 @@
+"""The overload-shedding ladder: documented order, ledger, recovery.
+
+Drives the daemon into overload with a gated stub backend and asserts
+the ladder climbs ``full -> no-extras -> cache-only ->
+shed-low-priority`` one rung at a time, that each rung degrades exactly
+as documented, that every transition lands in the decision ledger with
+counters, and that sustained calm walks the ladder back down to full
+service.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.protocol import Outcome
+from repro.serve.server import SHED_LEVELS
+from tests.serve.conftest import StubBackend, client_for, wait_until
+
+
+def _transitions(client):
+    entries = client.metrics().body["serve"]["ledger"]["entries"]
+    return [
+        entry["attrs"]["to_level"]
+        for entry in entries
+        if entry["kind"] == "shed-transition"
+    ]
+
+
+def test_ladder_escalates_in_order_and_recovers(serve_factory):
+    backend = StubBackend()
+    backend.cache["strcpy"] = Outcome(
+        summary={"name": "strcpy", "stub": True}, from_cache=True
+    )
+    backend.hold()
+    handle = serve_factory(
+        backend=backend,
+        backend_jobs=1,
+        queue_limit=4,
+        rate=10_000.0,
+        burst=10_000,
+        shed_escalate=0.5,
+        shed_deescalate=0.25,
+        shed_sustain=2,
+    )
+    client = client_for(handle)
+    server = handle.server
+
+    # Fill the backend slot and the queue with uncached work.
+    fillers = []
+    responses = []
+
+    def fire(rid):
+        responses.append(
+            client.compile(workload="cmp", id=rid, client="load")
+        )
+
+    for index in range(5):
+        thread = threading.Thread(
+            target=fire, args=(f"fill-{index}",), daemon=True
+        )
+        thread.start()
+        fillers.append(thread)
+        # Serialize admissions so occupancy samples are deterministic.
+        wait_until(
+            lambda i=index: len(backend.calls) + server.waiting == i + 1
+        )
+    # Sustained pressure has climbed one rung: extras are now dropped.
+    assert server.shed_level == 1
+
+    # Overflow at the full queue: first queue-full, then the ladder
+    # climbs to cache-only and shed rejections take over.
+    overflow = [
+        client.compile(workload="cmp", id=f"over-{i}", client="load")
+        for i in range(4)
+    ]
+    assert [r.status for r in overflow] == [429] * 4
+    reasons = [r.body["error"]["reason"] for r in overflow]
+    assert reasons[0] == "queue-full"
+    assert set(reasons[1:]) == {"shed"}
+    assert server.shed_level == 3
+    assert _transitions(client) == [1, 2, 3]
+
+    # Rung 3: low-priority clients are refused outright...
+    low = client.compile(
+        workload="strcpy", id="low-1", client="low", priority=0
+    )
+    assert low.status == 429
+    assert low.body["error"]["reason"] == "shed"
+    # ...normal-priority warm requests are still answered, cache-only,
+    # with extras dropped.
+    warm = client.compile(
+        workload="strcpy", id="warm-1", client="vip", trace=True
+    )
+    assert warm.status == 200
+    assert warm.body["from_cache"] is True
+    assert "server_trace" not in warm.body
+    counters = client.metrics().body["counters"]
+    assert counters["serve.cache_only_hits"]["count"] == 1
+    assert counters["serve.extras_dropped"]["count"] == 1
+    assert counters["serve.shed"]["count"] >= 4
+
+    # Calm: drain the queue, then sustained low occupancy walks the
+    # ladder back down rung by rung to full service.
+    backend.release()
+    for thread in fillers:
+        thread.join(timeout=30)
+    assert sorted(r.status for r in responses) == [200] * 5
+    probes = 0
+    while server.shed_level > 0 and probes < 12:
+        response = client.compile(
+            workload="strcpy", id=f"probe-{probes}", client="probe"
+        )
+        assert response.status == 200
+        probes += 1
+    assert server.shed_level == 0
+    assert _transitions(client) == [1, 2, 3, 2, 1, 0]
+    final = client.metrics().body["counters"]
+    assert final["serve.shed_transitions"]["count"] == 6
+    # Ladder names are the documented order.
+    assert SHED_LEVELS == (
+        "full", "no-extras", "cache-only", "shed-low-priority"
+    )
