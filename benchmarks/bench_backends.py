@@ -1,0 +1,83 @@
+"""Three-way backend head-to-head: ICBM vs full CPR vs branch melding.
+
+The rival comparison the melding pass exists to answer: over identical
+classical baselines, what does each branch-elimination strategy buy?
+Two corpora, one table each:
+
+* the ablation workload subset from the registry (real benchmark
+  shapes, written to ``out/backends_registry.txt``);
+* a fixed fuzz corpus (generated mini-C programs, written to
+  ``out/backends_fuzz.txt``). The default window, seeds 12:20, is the
+  first one where every backend transforms at least one program —
+  classical baseline optimization already consumes most generated
+  diamonds, so backend-triggering seeds are sparse and the window is
+  pinned rather than sampled.
+
+Columns are :mod:`repro.perf.headtohead`'s: estimated speedup, static
+op growth (S tot), static and dynamic branch ratios (S br / D br), and
+schedule length, with per-backend geometric means.
+
+Environment knobs:
+
+* ``REPRO_BENCH_BACKEND_SEEDS`` — fuzz corpus, 'A:B' (default 12:20).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import ABLATION_WORKLOADS, write_output
+from repro.perf.headtohead import compare_corpus, compare_workloads
+from repro.pipeline import BACKENDS
+from repro.workloads.registry import get_workload
+
+_span = os.environ.get("REPRO_BENCH_BACKEND_SEEDS", "12:20").split(":")
+SEEDS = range(int(_span[0]), int(_span[-1]))
+
+
+def _assert_table_is_complete(table, expected_rows):
+    assert not [row.name for row in table.rows if row.error], (
+        "head-to-head rows errored: "
+        + ", ".join(f"{r.name}: {r.error}" for r in table.rows if r.error)
+    )
+    assert len(table.rows) == expected_rows
+    for row in table.rows:
+        assert set(row.measurements) == set(BACKENDS)
+
+
+def test_backends_over_registry(benchmark):
+    def run():
+        workloads = [get_workload(name) for name in ABLATION_WORKLOADS]
+        return compare_workloads(workloads)
+
+    table = benchmark(run)
+    _assert_table_is_complete(table, len(ABLATION_WORKLOADS))
+    # Full CPR must not lose to conservative ICBM on dynamic branches:
+    # reducing branch height is the whole point of the paper.
+    assert table.gmean("cpr", "dynamic_branch_ratio") <= (
+        table.gmean("icbm", "dynamic_branch_ratio") + 1e-9
+    )
+    write_output("backends_registry.txt", table.render())
+
+
+def test_backends_over_fuzz_corpus(benchmark):
+    def run():
+        return compare_corpus(SEEDS)
+
+    table = benchmark(run)
+    _assert_table_is_complete(table, len(SEEDS))
+    # Every backend must fire somewhere in the window: a zero means the
+    # generator's shapes and that backend's pattern drifted apart.
+    fired = {
+        backend: sum(
+            row.measurements[backend].detail.get(key, 0)
+            for row in table.rows
+        )
+        for backend, key in (
+            ("icbm", "cpr_blocks"),
+            ("cpr", "cpr_blocks"),
+            ("meld", "melds"),
+        )
+    }
+    assert all(count > 0 for count in fired.values()), fired
+    write_output("backends_fuzz.txt", table.render())

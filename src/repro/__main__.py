@@ -13,6 +13,18 @@ Commands:
   the pipeline span tree, the CPR decision ledger, and the observability
   counters (``--chrome PATH`` exports a Chrome ``trace_event`` document,
   ``--json PATH`` the raw trace, ``--kind K`` filters ledger entries);
+* ``fuzz`` — differentially fuzz the rival backends
+  (:mod:`repro.fuzz`) over seeded mini-C programs: every seed is built
+  under each requested backend and checked against the unoptimized
+  interpreter semantics plus the sanitizer battery; divergent seeds are
+  delta-debugged and written as repro bundles (``--bundle-dir``) whose
+  ``generator.json`` regenerates the input from the recorded seed and
+  knobs. Exits 4 when any seed diverges. ``--inject KIND`` arms the
+  fault-injection harness as an oracle self-test;
+* ``compare`` — head-to-head backend table (speedup, static/dynamic
+  branch ratios, code growth, schedule length, geometric means) over
+  the registry (``--subset``) or a fuzz corpus (``--seeds``), every
+  backend transforming one shared baseline per workload;
 * ``serve`` — run the compile-as-a-service daemon (:mod:`repro.serve`):
   an HTTP/JSON server that dispatches compile requests onto the
   supervised farm, with per-client rate limiting, a bounded queue
@@ -325,6 +337,143 @@ def cmd_show(args) -> int:
     return 0
 
 
+#: Exit code when the fuzz oracle observed a divergence or a sanitizer
+#: finding: the same family as TransformError (a transform shipped wrong
+#: code), distinct from infrastructure errors (1) and clean runs (0).
+EXIT_DIVERGENCE = 4
+
+
+def _parse_seeds(args) -> list:
+    """Seeds from ``--seeds`` ('A:B' ranges and comma lists) or --count."""
+    spec = getattr(args, "seeds", None)
+    if not spec:
+        return list(range(getattr(args, "count", 20)))
+    seeds = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if ":" in token:
+            lo, hi = token.split(":", 1)
+            try:
+                seeds.extend(range(int(lo), int(hi)))
+            except ValueError:
+                raise errors.UsageError(
+                    f"bad seed range {token!r}; expected A:B"
+                )
+        else:
+            try:
+                seeds.append(int(token))
+            except ValueError:
+                raise errors.UsageError(
+                    f"bad seed {token!r}; expected an integer"
+                )
+    if not seeds:
+        raise errors.UsageError(f"--seeds {spec!r} selects no seeds")
+    return seeds
+
+
+def _parse_knobs(pairs):
+    """FuzzKnobs from repeated ``--knob NAME=VALUE`` overrides."""
+    from dataclasses import fields
+
+    from repro.fuzz.generator import FuzzKnobs
+
+    defaults = FuzzKnobs()
+    legal = {f.name: type(getattr(defaults, f.name))
+             for f in fields(FuzzKnobs)}
+    overrides = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        name = name.strip().replace("-", "_")
+        if not sep or name not in legal:
+            raise errors.UsageError(
+                f"bad --knob {pair!r}; expected NAME=VALUE with NAME "
+                f"one of {', '.join(sorted(legal))}"
+            )
+        try:
+            overrides[name] = legal[name](value)
+        except ValueError:
+            raise errors.UsageError(
+                f"bad --knob value {pair!r}; expected {legal[name].__name__}"
+            )
+    return FuzzKnobs.from_dict(overrides)
+
+
+def _parse_backends(spec: str):
+    from repro.pipeline import BACKENDS
+
+    backends = tuple(b.strip() for b in spec.split(",") if b.strip())
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise errors.UsageError(
+                f"unknown backend {backend!r}; choose from "
+                f"{', '.join(BACKENDS)}"
+            )
+    return backends or BACKENDS
+
+
+def cmd_fuzz(args) -> int:
+    """Differentially fuzz the backends over a seeded corpus."""
+    from repro.fuzz.oracle import run_corpus
+
+    seeds = _parse_seeds(args)
+    knobs = _parse_knobs(args.knob)
+    backends = _parse_backends(args.backends)
+    sanitize = None if args.sanitize == "none" else args.sanitize
+
+    def progress(result):
+        line = f"seed {result.seed}: {result.status}"
+        if result.backend:
+            line += f" [{result.backend}]"
+        if result.detail:
+            line += f" {result.detail}"
+        if result.bundle:
+            line += f" -> {result.bundle}"
+        print(line, flush=True)
+
+    corpus = run_corpus(
+        seeds,
+        knobs=knobs,
+        backends=backends,
+        sanitize=sanitize,
+        bundle_dir=args.bundle_dir,
+        inject=args.inject,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    divergent = corpus.divergences + corpus.findings
+    print(
+        f"fuzz: {len(corpus.results)} seeds, {corpus.ok} ok, "
+        f"{len(corpus.divergences)} divergence(s), "
+        f"{len(corpus.findings)} finding(s), "
+        f"{len(corpus.errors)} error(s)"
+    )
+    if divergent:
+        return EXIT_DIVERGENCE
+    return 1 if corpus.errors else 0
+
+
+def cmd_compare(args) -> int:
+    """Head-to-head backend comparison over the registry or a corpus."""
+    from repro.perf.headtohead import compare_corpus, compare_workloads
+
+    backends = _parse_backends(args.backends)
+    if args.seeds is not None:
+        table = compare_corpus(
+            _parse_seeds(args), knobs=_parse_knobs(args.knob),
+            backends=backends,
+        )
+    else:
+        workloads = [
+            get_workload(name, scale=args.scale)
+            for name in resolve_subset(args.subset)
+        ]
+        table = compare_workloads(workloads, backends=backends)
+    print(table.render())
+    return 1 if any(row.error for row in table.rows) else 0
+
+
 def cmd_serve(args) -> int:
     """Run the compile-as-a-service daemon until drained or signalled."""
     import asyncio
@@ -604,6 +753,78 @@ def main(argv=None) -> int:
              "supervisor (faster startup; no crash isolation)",
     )
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the backends with seeded mini-C "
+             "programs (exit 4 on divergence)",
+    )
+    p_fuzz.add_argument(
+        "--seeds", default=None, metavar="SPEC",
+        help="seed selection: 'A:B' half-open ranges and comma lists, "
+             "e.g. '0:200' or '3,17,40:50' (default: 0:COUNT)",
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=20, metavar="N",
+        help="number of seeds when --seeds is not given (default 20)",
+    )
+    p_fuzz.add_argument(
+        "--backends", default="icbm,cpr,meld", metavar="A,B",
+        help="comma-separated backends to cross-check "
+             "(from: icbm, cpr, meld)",
+    )
+    p_fuzz.add_argument(
+        "--bundle-dir", default=None, metavar="PATH",
+        help="shrink divergent seeds and write self-contained repro "
+             "bundles under PATH (each records the generator seed and "
+             "knobs for one-command regeneration)",
+    )
+    p_fuzz.add_argument(
+        "--sanitize", default="fast", choices=("fast", "full", "none"),
+        metavar="TIER",
+        help="sanitizer battery tier run over every transformed program "
+             "('none' disables; default fast)",
+    )
+    p_fuzz.add_argument(
+        "--inject", default=None, metavar="KIND",
+        choices=("raise", "fuel", "drop-branch", "clobber-pred"),
+        help="arm the fault-injection harness inside every build "
+             "(robustness self-test: the oracle must catch the "
+             "corruption end-to-end)",
+    )
+    p_fuzz.add_argument(
+        "--knob", action="append", default=None, metavar="NAME=VALUE",
+        help="override a generator knob (repeatable), e.g. "
+             "--knob func_stmts=12 --knob loop_count=3",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report divergences without delta-debugging them first",
+    )
+
+    p_compare = sub.add_parser(
+        "compare",
+        help="head-to-head backend table (speedup, branch ratios, code "
+             "growth) over the registry or a fuzz corpus",
+    )
+    p_compare.add_argument(
+        "--subset", default="",
+        help="registry subset spec (default: every workload)",
+    )
+    p_compare.add_argument(
+        "--seeds", default=None, metavar="SPEC",
+        help="compare over a fuzz corpus instead of the registry "
+             "(same syntax as 'fuzz --seeds')",
+    )
+    p_compare.add_argument(
+        "--backends", default="icbm,cpr,meld", metavar="A,B",
+        help="comma-separated backends (from: icbm, cpr, meld)",
+    )
+    p_compare.add_argument(
+        "--knob", action="append", default=None, metavar="NAME=VALUE",
+        help="generator knob overrides for --seeds corpora",
+    )
+    p_compare.add_argument("--scale", type=int, default=1)
+
     p_show = sub.add_parser("show", help="inspect a workload's code")
     p_show.add_argument("name", choices=all_names())
     p_show.add_argument(
@@ -629,6 +850,8 @@ def main(argv=None) -> int:
         "show": cmd_show,
         "trace": cmd_trace,
         "serve": cmd_serve,
+        "fuzz": cmd_fuzz,
+        "compare": cmd_compare,
     }[args.command]
     try:
         return handler(args)

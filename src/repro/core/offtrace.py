@@ -31,6 +31,7 @@ from typing import Dict, List, Set
 
 from repro.analysis.defuse import DefUseChains
 from repro.analysis.liveness import LivenessAnalysis
+from repro.analysis.memaddr import AddressResolver, may_alias_forms
 from repro.core.restructure import RestructureContext
 from repro.ir.opcodes import Opcode
 from repro.ir.operands import TRUE_PRED
@@ -69,29 +70,96 @@ def move_off_trace(
         context.moved_branches
     )
     set1: Set[int] = set()
-    worklist = list(seeds)
-    while worklist:
-        op = worklist.pop()
-        if op.uid in set1:
-            continue
-        set1.add(op.uid)
-        for user in chains.users_of(op):
-            if user.uid in context.inserted_uids:
-                continue  # lookaheads/bypass/init must remain on-trace
-            if user is context.bypass:
+
+    def grow(worklist: List[Operation]) -> None:
+        while worklist:
+            op = worklist.pop()
+            if op.uid in set1:
                 continue
-            if (
-                not cpr.taken_variation
-                and position[user.uid] > bypass_position
-                and user.guard not in taken_preds
-            ):
-                continue
-            if user.uid not in set1:
-                worklist.append(user)
+            set1.add(op.uid)
+            for user in chains.users_of(op):
+                if user.uid in context.inserted_uids:
+                    continue  # lookaheads/bypass/init must remain on-trace
+                if user is context.bypass:
+                    continue
+                if (
+                    not cpr.taken_variation
+                    and position[user.uid] > bypass_position
+                    and user.guard not in taken_preds
+                ):
+                    continue
+                if user.uid not in set1:
+                    worklist.append(user)
+
+    grow(list(seeds))
 
     if cpr.taken_variation:
         for op in block.ops[bypass_position + 1:]:
             set1.add(op.uid)
+
+    # ------------------------------------------------------------------
+    # Memory dependences. A moved store/call re-enters the on-trace
+    # stream as a split clone below the bypass, which slides it past
+    # every stationary operation between its original position and the
+    # bypass. A promoted load left stationary in that span would then
+    # read memory the store has not written yet. Widen set 1 with each
+    # stationary memory operation that may conflict (same alias test as
+    # the dependence graph: calls are barriers, regions disambiguate,
+    # then linear address forms) with an earlier moved memory op, plus
+    # its users under the same closure rules — clones keep program
+    # order among themselves, so riding along restores the original
+    # load/store order on both paths. Fixpoint: a pulled store puts the
+    # hazard in front of the accesses behind it.
+    # ------------------------------------------------------------------
+    memory_ops = (Opcode.LOAD, Opcode.STORE, Opcode.CALL)
+    resolver = AddressResolver(block)
+    forms: Dict[int, object] = {}
+
+    def address_form(index: int):
+        if index not in forms:
+            forms[index] = resolver.form_for(index, block.ops[index].srcs[0])
+        return forms[index]
+
+    def memory_conflict(index_a: int, index_b: int) -> bool:
+        op_a, op_b = block.ops[index_a], block.ops[index_b]
+        if Opcode.CALL in (op_a.opcode, op_b.opcode):
+            return True
+        if op_a.opcode is Opcode.LOAD and op_b.opcode is Opcode.LOAD:
+            return False
+        region_a = op_a.attrs.get("region")
+        region_b = op_b.attrs.get("region")
+        if (
+            region_a is not None
+            and region_b is not None
+            and region_a != region_b
+        ):
+            return False
+        return may_alias_forms(address_form(index_a), address_form(index_b))
+
+    widened = True
+    while widened:
+        widened = False
+        moved_memory = sorted(
+            position[uid]
+            for uid in set1
+            if block.ops[position[uid]].opcode in memory_ops
+        )
+        if not moved_memory:
+            break
+        for op in block.ops:
+            if op.uid in set1 or op.uid in context.inserted_uids:
+                continue
+            if op.opcode not in memory_ops:
+                continue
+            pos = position[op.uid]
+            if not cpr.taken_variation and pos > bypass_position:
+                continue  # clones land above it: order already preserved
+            if any(
+                moved < pos and memory_conflict(moved, pos)
+                for moved in moved_memory
+            ):
+                grow([op])
+                widened = True
 
     # ------------------------------------------------------------------
     # Set 2: the subset of set 1 needed on-trace (fixpoint: a moved
@@ -107,14 +175,17 @@ def move_off_trace(
             if uid in set2:
                 continue
             op = ops_by_uid[uid]
-            if op.is_branch:
-                continue
+            if op.is_branch and op.opcode is not Opcode.CALL:
+                continue  # control transfers cannot be cloned on-trace
             if op.guard not in on_trace_guards:
                 continue  # guarded by a taken predicate: off-trace only
             if cpr.taken_variation and position[uid] > bypass_position:
                 # The tail past a taken-variation bypass is off-trace only.
                 continue
-            if op.opcode is Opcode.STORE:
+            if op.opcode in (Opcode.STORE, Opcode.CALL):
+                # Side-effecting ops on the fall-through chain would have
+                # executed on-trace; exactly one of {split clone, moved
+                # original} executes dynamically, so both must exist.
                 needed = True
             else:
                 needed = _value_needed_on_trace(

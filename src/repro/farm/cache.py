@@ -38,7 +38,7 @@ from repro.obs.ledger import LedgerEntry
 #: were never sanitized; ICBM also tags its inserted bookkeeping ops).
 #: v3: transaction entries carry the committed rung's decision-ledger
 #: entries, replayed on restore so warm builds report identically.
-CACHE_FORMAT_VERSION = 3
+CACHE_FORMAT_VERSION = 4
 
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

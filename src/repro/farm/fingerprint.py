@@ -104,6 +104,7 @@ def options_fingerprint(options) -> str:
             repr(options.cpr),
             repr(options.if_convert),
             repr(options.if_convert_config),
+            repr(getattr(options, "meld_config", None)),
             repr(options.verify_equivalence),
             repr(options.fuel),
             repr(options.transaction),

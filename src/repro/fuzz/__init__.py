@@ -1,0 +1,33 @@
+"""Seeded differential fuzzing of the rival backends.
+
+:mod:`repro.fuzz.generator` produces deterministic mini-C programs;
+:mod:`repro.fuzz.oracle` builds each one under every backend and checks
+interpreter-observed semantics plus the sanitizer battery, auto-shrinking
+divergences into self-contained repro bundles.
+"""
+
+from repro.fuzz.generator import (
+    FuzzKnobs,
+    fuzz_inputs,
+    generate_source,
+    generate_workload,
+)
+from repro.fuzz.oracle import (
+    CorpusResult,
+    FUZZ_FUEL,
+    SeedResult,
+    run_corpus,
+    run_seed,
+)
+
+__all__ = [
+    "CorpusResult",
+    "FUZZ_FUEL",
+    "FuzzKnobs",
+    "SeedResult",
+    "fuzz_inputs",
+    "generate_source",
+    "generate_workload",
+    "run_corpus",
+    "run_seed",
+]

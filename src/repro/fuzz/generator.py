@@ -1,0 +1,393 @@
+"""Seeded random mini-C program generator.
+
+Programs target the real frontend (lexer -> parser -> sema -> lower) and
+are built to be **boring to execute and interesting to compile**: every
+control shape the grammar offers (nested if/else diamonds, while / do-while
+/ for loops, break/continue, helper calls, global array traffic) with none
+of the undefined behaviour that would make a differential oracle noisy.
+
+Safety invariants (the oracle depends on every one of them):
+
+* **Termination** — every loop is bounded: a dedicated counter register
+  (``i0``, ``i1``, ...) is initialized to zero, tested against a small
+  constant bound, and incremented at the end of the body; the counter is
+  never assigned anywhere else, and ``continue`` is only emitted inside
+  ``for`` loops (whose lowering routes it through the step statement).
+* **Bounded values** — every assignment masks its right-hand side with
+  ``value_mask``, so values never grow without bound across iterations.
+* **Total operations** — shift amounts are masked to ``& 15`` and
+  divisors/moduli are forced nonzero via ``((e & 7) + 1)``, so no
+  generated program can raise in the interpreter.
+* **In-bounds addressing** — array sizes are powers of two and every
+  index is masked with ``& (size - 1)``.
+* **No recursion** — helper ``f<i>`` may only call ``f<j>`` with j < i.
+* **Observability** — a dedicated ``OUT`` array receives stores along the
+  way, so the interpreter's store trace (not just the return value)
+  witnesses divergence.
+
+Determinism: the same ``(seed, knobs)`` pair always yields the
+byte-identical source (``random.Random(seed)`` is the only entropy
+source), which is what lets repro bundles regenerate their input from two
+recorded integers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import List, Tuple
+
+from repro.workloads.base import Workload
+
+#: Comparison / arithmetic operators the expression generator draws from,
+#: weighted roughly toward arithmetic so conditions stay diverse but
+#: values keep moving.
+_BINOPS = (
+    "+", "+", "-", "-", "*", "&", "|", "^",
+    "<", "<=", ">", ">=", "==", "!=", "<<", ">>", "/", "%",
+)
+
+
+@dataclass
+class FuzzKnobs:
+    """Size and shape controls for one generated program."""
+
+    #: Maximum nesting depth of control structures.
+    max_depth: int = 3
+    #: Probability that a statement slot becomes an if/else diamond.
+    branch_density: float = 0.4
+    #: Loops attempted in ``main``'s top-level body.
+    loop_count: int = 2
+    #: Maximum statements per block.
+    max_stmts: int = 6
+    #: Global scratch arrays (read/write), each ``array_size`` wide.
+    num_arrays: int = 2
+    #: Power-of-two length of each global array.
+    array_size: int = 16
+    #: Helper functions callable from expressions.
+    num_helpers: int = 2
+    #: Maximum expression tree depth.
+    expr_depth: int = 3
+    #: Every assignment's right-hand side is masked with this.
+    value_mask: int = 0xFFFF
+    #: Cap on the product of enclosing loop bounds: a loop is only
+    #: emitted while (product of live bounds) * (its bound) stays under
+    #: this, keeping interpreter time per program roughly constant.
+    iter_budget: int = 24
+    #: Total statement budget per function (compound statements count 1
+    #: plus their bodies); bounds static program size.
+    func_stmts: int = 36
+
+    def __post_init__(self):
+        if self.array_size & (self.array_size - 1):
+            raise ValueError("array_size must be a power of two")
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzKnobs":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class _FunctionScope:
+    """Names visible while generating one function body."""
+
+    def __init__(self, params: List[str]):
+        self.params = list(params)
+        self.locals: List[str] = []
+        self.counters: List[str] = []  # loop counters: read-only to stmts
+
+    @property
+    def readable(self) -> List[str]:
+        return self.params + self.locals + self.counters
+
+    @property
+    def assignable(self) -> List[str]:
+        return self.locals
+
+
+class _Generator:
+    def __init__(self, seed: int, knobs: FuzzKnobs):
+        self.rng = random.Random(seed)
+        self.knobs = knobs
+        self.lines: List[str] = []
+        self.indent = 0
+        self.arrays = [f"A{i}" for i in range(knobs.num_arrays)]
+        self.out_array = "OUT"
+        self.counter_id = 0
+        self.out_slot = 0
+        self.loop_factor = 1  # product of enclosing loop bounds
+        self.stmts_left = 0  # per-function statement budget
+
+    # ------------------------------------------------------------------
+    def emit(self, text: str):
+        self.lines.append("    " * self.indent + text)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def expr(self, scope: _FunctionScope, depth: int, helpers: int) -> str:
+        if depth <= 0 or self.rng.random() < 0.3:
+            return self._leaf(scope, helpers)
+        roll = self.rng.random()
+        if roll < 0.12:
+            op = "-" if self.rng.random() < 0.5 else "!"
+            return f"{op}({self.expr(scope, depth - 1, helpers)})"
+        op = self.rng.choice(_BINOPS)
+        left = self.expr(scope, depth - 1, helpers)
+        right = self.expr(scope, depth - 1, helpers)
+        if op in ("<<", ">>"):
+            right = f"(({right}) & 15)"
+        elif op in ("/", "%"):
+            right = f"((({right}) & 7) + 1)"
+        return f"({left} {op} {right})"
+
+    def _leaf(self, scope: _FunctionScope, helpers: int) -> str:
+        choices = ["lit", "var", "array"]
+        if helpers > 0:
+            choices.append("call")
+        kind = self.rng.choice(choices)
+        if kind == "var" and scope.readable:
+            return self.rng.choice(scope.readable)
+        if kind == "array":
+            return self._array_ref(scope)
+        if kind == "call":
+            callee = f"f{self.rng.randrange(helpers)}"
+            args = ", ".join(
+                self._leaf(scope, 0)
+                for _ in range(2)
+            )
+            return f"{callee}({args})"
+        return str(self.rng.randrange(0, 256))
+
+    def _array_ref(self, scope: _FunctionScope) -> str:
+        array = self.rng.choice(self.arrays + [self.out_array])
+        index = self._leaf(scope, 0) if scope.readable else "0"
+        return f"{array}[({index}) & {self.knobs.array_size - 1}]"
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def block(
+        self,
+        scope: _FunctionScope,
+        depth: int,
+        helpers: int,
+        in_loop: bool,
+        in_for: bool,
+        loops_left: int,
+    ):
+        count = self.rng.randint(1, max(1, self.knobs.max_stmts))
+        for _ in range(count):
+            self.statement(
+                scope, depth, helpers, in_loop, in_for, loops_left
+            )
+            if self.stmts_left <= 0:
+                break
+
+    def statement(
+        self,
+        scope: _FunctionScope,
+        depth: int,
+        helpers: int,
+        in_loop: bool,
+        in_for: bool,
+        loops_left: int,
+    ):
+        self.stmts_left -= 1
+        if self.stmts_left <= 0:
+            self._assign(scope, helpers)
+            return
+        roll = self.rng.random()
+        if depth > 0 and roll < self.knobs.branch_density:
+            self._if(scope, depth, helpers, in_loop, in_for, loops_left)
+        elif (
+            depth > 0
+            and loops_left > 0
+            and self.loop_factor * 2 <= self.knobs.iter_budget
+            and roll < self.knobs.branch_density + 0.2
+        ):
+            self._loop(scope, depth, helpers, loops_left)
+        elif in_loop and roll > 0.96:
+            self.emit("break;")
+        elif in_for and roll > 0.93:
+            self.emit("continue;")
+        else:
+            self._assign(scope, helpers)
+
+    def _assign(self, scope: _FunctionScope, helpers: int):
+        value = self.expr(scope, self.knobs.expr_depth, helpers)
+        masked = f"({value}) & {self.knobs.value_mask}"
+        roll = self.rng.random()
+        if roll < 0.25:
+            # Observable store: fixed slot so the trace is informative.
+            slot = self.out_slot % self.knobs.array_size
+            self.out_slot += 1
+            self.emit(f"{self.out_array}[{slot}] = {masked};")
+        elif roll < 0.45:
+            self.emit(f"{self._array_ref(scope)} = {masked};")
+        elif roll < 0.6 and scope.assignable:
+            target = self.rng.choice(scope.assignable)
+            op = self.rng.choice(["+=", "-="])
+            self.emit(f"{target} {op} ({value}) & 255;")
+        elif scope.assignable:
+            target = self.rng.choice(scope.assignable)
+            self.emit(f"{target} = {masked};")
+        else:
+            slot = self.out_slot % self.knobs.array_size
+            self.out_slot += 1
+            self.emit(f"{self.out_array}[{slot}] = {masked};")
+
+    def _if(self, scope, depth, helpers, in_loop, in_for, loops_left):
+        cond = self.expr(scope, self.knobs.expr_depth, helpers)
+        self.emit(f"if ({cond}) {{")
+        self.indent += 1
+        self.block(scope, depth - 1, helpers, in_loop, in_for, loops_left)
+        self.indent -= 1
+        if self.rng.random() < 0.6:
+            self.emit("} else {")
+            self.indent += 1
+            self.block(
+                scope, depth - 1, helpers, in_loop, in_for, loops_left
+            )
+            self.indent -= 1
+        self.emit("}")
+
+    def _loop(self, scope, depth, helpers, loops_left):
+        counter = f"i{self.counter_id}"
+        self.counter_id += 1
+        max_bound = max(2, self.knobs.iter_budget // self.loop_factor)
+        bound = self.rng.randint(2, min(6, max_bound))
+        kind = self.rng.choice(["while", "do", "for"])
+        scope.counters.append(counter)
+        self.loop_factor *= bound
+        if kind == "while":
+            self.emit(f"int {counter} = 0;")
+            self.emit(f"while ({counter} < {bound}) {{")
+            self.indent += 1
+            self.block(
+                scope, depth - 1, helpers, True, False, loops_left - 1
+            )
+            self.emit(f"{counter} += 1;")
+            self.indent -= 1
+            self.emit("}")
+        elif kind == "do":
+            self.emit(f"int {counter} = 0;")
+            self.emit("do {")
+            self.indent += 1
+            self.block(
+                scope, depth - 1, helpers, True, False, loops_left - 1
+            )
+            self.emit(f"{counter} += 1;")
+            self.indent -= 1
+            self.emit(f"}} while ({counter} < {bound});")
+        else:
+            self.emit(f"int {counter};")
+            self.emit(
+                f"for ({counter} = 0; {counter} < {bound}; "
+                f"{counter} += 1) {{"
+            )
+            self.indent += 1
+            self.block(
+                scope, depth - 1, helpers, True, True, loops_left - 1
+            )
+            self.indent -= 1
+            self.emit("}")
+        self.loop_factor //= bound
+
+    # ------------------------------------------------------------------
+    # Declarations and functions
+    # ------------------------------------------------------------------
+    def _array_decl(self, name: str):
+        values = [
+            self.rng.randrange(0, self.knobs.value_mask + 1)
+            for _ in range(self.knobs.array_size)
+        ]
+        body = ", ".join(str(v) for v in values)
+        self.emit(f"int {name}[{self.knobs.array_size}] = {{{body}}};")
+
+    def _helper(self, index: int):
+        name = f"f{index}"
+        params = ["a", "b"]
+        scope = _FunctionScope([f"{name}_{p}" for p in params])
+        self.emit(
+            f"int {name}(int {scope.params[0]}, int {scope.params[1]}) {{"
+        )
+        self.indent += 1
+        for i in range(2):
+            local = f"{name}_v{i}"
+            init = self.expr(scope, 1, index)
+            scope.locals.append(local)
+            self.emit(f"int {local} = ({init}) & {self.knobs.value_mask};")
+        # Helpers stay shallow and loop-free (they may be called from
+        # inside main's loop nest): depth 2, callable helpers < index.
+        self.stmts_left = max(4, self.knobs.func_stmts // 4)
+        self.block(scope, 2, index, False, False, 0)
+        result = self.expr(scope, self.knobs.expr_depth, index)
+        self.emit(f"return ({result}) & {self.knobs.value_mask};")
+        self.indent -= 1
+        self.emit("}")
+        self.emit("")
+
+    def _main(self):
+        scope = _FunctionScope(["n"])
+        self.emit("int main(int n) {")
+        self.indent += 1
+        for i in range(3):
+            local = f"v{i}"
+            init = self.expr(scope, 1, self.knobs.num_helpers)
+            scope.locals.append(local)
+            self.emit(f"int {local} = ({init}) & {self.knobs.value_mask};")
+        self.stmts_left = self.knobs.func_stmts
+        self.block(
+            scope,
+            self.knobs.max_depth,
+            self.knobs.num_helpers,
+            in_loop=False,
+            in_for=False,
+            loops_left=self.knobs.loop_count,
+        )
+        result = self.expr(scope, self.knobs.expr_depth,
+                           self.knobs.num_helpers)
+        self.emit(f"return ({result}) & {self.knobs.value_mask};")
+        self.indent -= 1
+        self.emit("}")
+
+    def generate(self) -> str:
+        for name in self.arrays:
+            self._array_decl(name)
+        self.emit(f"int {self.out_array}[{self.knobs.array_size}];")
+        self.emit("")
+        for i in range(self.knobs.num_helpers):
+            self._helper(i)
+        self._main()
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_source(seed: int, knobs: FuzzKnobs = None) -> str:
+    """The deterministic mini-C source for ``(seed, knobs)``."""
+    return _Generator(seed, knobs or FuzzKnobs()).generate()
+
+
+def fuzz_inputs(seed: int) -> List[Tuple[None, tuple]]:
+    """Three deterministic argument sets for ``main(n)``."""
+    return [
+        (None, (seed % 97,)),
+        (None, ((seed * 7 + 13) % 251,)),
+        (None, (5,)),
+    ]
+
+
+def generate_workload(seed: int, knobs: FuzzKnobs = None) -> Workload:
+    """A registry-shaped :class:`Workload` for one fuzz seed."""
+    knobs = knobs or FuzzKnobs()
+    return Workload(
+        name=f"fuzz-{seed}",
+        source=generate_source(seed, knobs),
+        inputs=fuzz_inputs(seed),
+        description=f"generated program (seed={seed})",
+        category="util",
+        entry="main",
+    )

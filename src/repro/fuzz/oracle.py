@@ -1,0 +1,391 @@
+"""Differential fuzzing oracle over the rival backends.
+
+For each seed the oracle regenerates the program, records the
+**unoptimized interpreter semantics** as ground truth, then builds it
+under every requested backend (``icbm``, full ``cpr``, ``meld``) and
+checks two things per backend:
+
+* **observable equivalence** — return values and the full store trace of
+  every input must match the unoptimized reference exactly
+  (:func:`repro.passes.manager.check_equivalent`);
+* **the sanitizer battery** — every transformed procedure must pass the
+  IR-level checks at the requested tier.
+
+Builds run with ``verify_equivalence=False``: the pipeline's own
+stage-level fallback would silently *repair* a miscompiling backend by
+reverting to the baseline, which is exactly the masking this independent
+oracle exists to see through.
+
+On a divergence the failing seed is **auto-shrunk**: the generated
+program's entry procedure is delta-debugged (:func:`reduce_procedure`)
+against an oracle that splices each candidate into a fresh program,
+rebuilds it under the same backend (re-deriving the same fault plan, so
+injected faults replay bit-for-bit), and re-compares observables —
+candidates that crash or hang do not reproduce and are rejected. The
+minimized procedure is emitted as a self-contained repro bundle whose
+``generator.json`` records the seed and knobs, so the original input can
+be regenerated from two integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import FuelExhausted, ReproError
+from repro.fuzz.generator import FuzzKnobs, generate_workload
+from repro.ir.cloning import clone_procedure
+from repro.passes.manager import (
+    TransactionPolicy,
+    check_equivalent,
+    run_inputs,
+)
+from repro.pipeline import (
+    BACKENDS,
+    PipelineOptions,
+    apply_backend,
+    build_baseline,
+)
+from repro.reduce.bundle import emit_repro_bundle
+from repro.reduce.reducer import reduce_procedure
+from repro.robustness.faultinject import FaultPlan, FaultSpec
+from repro.sanitize.battery import run_battery
+from repro.sanitize.findings import Finding
+from repro.sim.interpreter import DEFAULT_FUEL
+
+#: Interpreter fuel for fuzz runs: generated programs execute a few
+#: thousand operations, so anything that needs more is a hang (e.g. a
+#: reduction candidate that lost its loop increment) and must fail fast.
+FUZZ_FUEL = 500_000
+
+#: Tighter fuel for reduction trials. Generated programs execute a few
+#: thousand operations, so the reference still terminates comfortably,
+#: while hang-reproducing candidates fail ~6x faster than under
+#: :data:`FUZZ_FUEL` — ddmin runs hundreds of trials, so this dominates
+#: shrink latency.
+SHRINK_FUEL = 80_000
+
+
+@dataclass
+class SeedResult:
+    """Outcome of one seed across every requested backend."""
+
+    seed: int
+    status: str  # 'ok' | 'divergence' | 'finding' | 'error'
+    backend: str = ""  # first offending backend, when not 'ok'
+    detail: str = ""
+    bundle: Optional[str] = None
+    #: Per-backend statistics (branches removed, melds, ...).
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _fuzz_options(sanitize: Optional[str], inject: Optional[str],
+                  seed: int, scope: str,
+                  entry: str = "main",
+                  fuel: int = FUZZ_FUEL) -> PipelineOptions:
+    """Build options for one fuzz build.
+
+    ``verify_equivalence`` is always off (see module docstring). When a
+    fault is injected, the transaction-level defenses (verifier,
+    differential re-run, sanitizer) are disarmed too, so the corruption
+    survives to the end-to-end oracle — the point of the exercise is to
+    prove the *oracle* catches what the armored pipeline would normally
+    stop earlier.
+    """
+    options = PipelineOptions(
+        verify_equivalence=False,
+        sanitize=None if inject else sanitize,
+        fuel=fuel,
+    )
+    if inject:
+        # Strike the entry procedure: its hot loops make the corruption
+        # reliably observable on the profiled inputs, where a fault in a
+        # rarely-executed helper could dodge the oracle.
+        plan = FaultPlan(
+            [FaultSpec(kind=inject, times=1, proc_name=entry)], seed=seed
+        ).derive(scope)
+        options.fault_plan = plan
+        options.transaction = TransactionPolicy(
+            verify=False, differential=False
+        )
+    return options
+
+
+def _build_backend(wl, backend, options):
+    """(transformed, baseline, stats) for one backend build of *wl*."""
+    program = wl.compile()
+    baseline, profile = build_baseline(
+        program, wl.inputs, options, wl.entry
+    )
+    transformed, _, icbm_report, meld_report = apply_backend(
+        backend, baseline, wl.inputs, options, wl.entry
+    )
+    stats = {"static_ops": _static_ops(transformed)}
+    if meld_report is not None:
+        stats["melds"] = meld_report.melded_diamonds
+        stats["removed_branches"] = meld_report.removed_branches
+    elif icbm_report is not None:
+        stats["removed_branches"] = getattr(
+            icbm_report, "eliminated_branches", 0
+        )
+    return transformed, baseline, stats
+
+
+def _static_ops(program) -> int:
+    return sum(
+        len(block.ops)
+        for proc in program.procedures.values()
+        for block in proc.blocks
+    )
+
+
+def _battery_findings(program, tier: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for proc in program.procedures.values():
+        findings.extend(run_battery(proc, tier=tier))
+    return findings
+
+
+def divergence_finding(backend: str, entry: str, detail: str) -> Finding:
+    """A synthesized differential finding for bundle emission."""
+    return Finding(
+        check="differential",
+        proc=entry,
+        block="",
+        detail=f"{backend}: observable divergence from reference",
+        message=detail,
+    )
+
+
+def make_divergence_oracle(
+    wl, backend: str, sanitize: Optional[str], inject: Optional[str],
+    seed: int,
+):
+    """The reduction oracle: does *candidate* still miscompile?
+
+    Each candidate replaces the entry procedure of a freshly generated
+    program; the trial is interpreted for new reference semantics, then
+    rebuilt under *backend* (with the same derived fault plan) and
+    compared. Any crash, hang, or build error means "does not
+    reproduce" — the reducer only keeps candidates that still diverge.
+    """
+
+    def oracle(candidate) -> bool:
+        try:
+            trial = wl.compile()
+            trial.procedures[wl.entry] = clone_procedure(candidate)
+            reference = run_inputs(trial, wl.inputs, wl.entry, SHRINK_FUEL)
+        except Exception:
+            return False  # the candidate itself is broken: reject
+        try:
+            options = _fuzz_options(
+                sanitize, inject, seed, wl.name, wl.entry, fuel=SHRINK_FUEL
+            )
+            transformed, _, _ = _build_backend(
+                wl_with(trial, wl), backend, options
+            )
+            results = run_inputs(
+                transformed, wl.inputs, wl.entry, SHRINK_FUEL
+            )
+        except FuelExhausted:
+            return True  # reference terminated, transform hangs: reproduces
+        except Exception:
+            return False
+        try:
+            check_equivalent(reference, results, stage=f"fuzz-{backend}")
+        except ReproError:
+            return True  # still diverges: the bug reproduces
+        return False
+
+    return oracle
+
+
+class _TrialWorkload:
+    """A workload view whose ``compile()`` returns a fixed program."""
+
+    def __init__(self, program, template):
+        self._program = program
+        self.name = template.name
+        self.inputs = template.inputs
+        self.entry = template.entry
+
+    def compile(self):
+        from repro.ir.cloning import clone_program
+
+        return clone_program(self._program)
+
+
+def wl_with(program, template) -> _TrialWorkload:
+    return _TrialWorkload(program, template)
+
+
+def run_seed(
+    seed: int,
+    knobs: Optional[FuzzKnobs] = None,
+    backends: Sequence[str] = BACKENDS,
+    sanitize: Optional[str] = "fast",
+    bundle_dir: Optional[str] = None,
+    inject: Optional[str] = None,
+    shrink: bool = True,
+) -> SeedResult:
+    """Generate, build, and differentially check one seed."""
+    knobs = knobs or FuzzKnobs()
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"expected one of {', '.join(BACKENDS)}"
+            )
+    wl = generate_workload(seed, knobs)
+    try:
+        program = wl.compile()
+        reference = run_inputs(program, wl.inputs, wl.entry, FUZZ_FUEL)
+    except Exception as error:  # generator bug: surface loudly
+        return SeedResult(
+            seed, "error", detail=f"generation failed: {error}"
+        )
+
+    stats: dict = {"baseline_ops": _static_ops(program)}
+    for backend in backends:
+        options = _fuzz_options(sanitize, inject, seed, wl.name, wl.entry)
+        divergence: Optional[str] = None
+        results = None
+        try:
+            transformed, baseline, backend_stats = _build_backend(
+                wl, backend, options
+            )
+            results = run_inputs(
+                transformed, wl.inputs, wl.entry, FUZZ_FUEL
+            )
+            stats[backend] = backend_stats
+        except FuelExhausted as error:
+            # The reference terminated under the same fuel, so a build or
+            # run that exhausts it hangs: an observable miscompile, not an
+            # infrastructure error.
+            divergence = f"fuzz-{backend} hangs: {error}"
+        except Exception as error:
+            return SeedResult(
+                seed, "error", backend=backend,
+                detail=f"build failed: {error}", stats=stats,
+            )
+
+        if divergence is None:
+            try:
+                check_equivalent(
+                    reference, results, stage=f"fuzz-{backend}"
+                )
+            except ReproError as error:
+                divergence = str(error)
+
+        if divergence is None and sanitize and not inject:
+            findings = _battery_findings(transformed, sanitize)
+            if findings:
+                return SeedResult(
+                    seed, "finding", backend=backend,
+                    detail=findings[0].format(), stats=stats,
+                )
+
+        if divergence is not None:
+            bundle = None
+            if shrink and bundle_dir:
+                bundle = _shrink_and_bundle(
+                    wl, backend, divergence, knobs, seed,
+                    sanitize, inject, bundle_dir, backends,
+                )
+            return SeedResult(
+                seed, "divergence", backend=backend,
+                detail=divergence, bundle=bundle, stats=stats,
+            )
+    return SeedResult(seed, "ok", stats=stats)
+
+
+def _shrink_and_bundle(
+    wl, backend, divergence, knobs, seed, sanitize, inject,
+    bundle_dir, backends,
+) -> Optional[str]:
+    """ddmin the generated entry procedure, then emit a repro bundle."""
+    try:
+        oracle = make_divergence_oracle(
+            wl, backend, sanitize, inject, seed
+        )
+        original = wl.compile().procedures[wl.entry]
+        minimized = (
+            reduce_procedure(original, oracle)
+            if oracle(original)
+            else original
+        )
+        finding = divergence_finding(backend, wl.entry, divergence)
+        return emit_repro_bundle(
+            bundle_dir,
+            minimized,
+            [finding],
+            pass_name=f"fuzz-{backend}",
+            tier=sanitize or "fast",
+            generator={
+                "seed": seed,
+                "knobs": knobs.to_dict(),
+                "backends": list(backends),
+                "inject": inject,
+                "entry": wl.entry,
+                "command": (
+                    f"python -m repro fuzz --seeds {seed} "
+                    f"--backends {','.join(backends)}"
+                    + (f" --inject {inject}" if inject else "")
+                ),
+            },
+        )
+    except Exception:
+        return None  # bundles are best-effort, never fail the run
+
+
+@dataclass
+class CorpusResult:
+    """Aggregate of one fuzzing campaign."""
+
+    results: List[SeedResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.results if r.status == "ok")
+
+    @property
+    def divergences(self) -> List[SeedResult]:
+        return [r for r in self.results if r.status == "divergence"]
+
+    @property
+    def findings(self) -> List[SeedResult]:
+        return [r for r in self.results if r.status == "finding"]
+
+    @property
+    def errors(self) -> List[SeedResult]:
+        return [r for r in self.results if r.status == "error"]
+
+    @property
+    def clean(self) -> bool:
+        return len(self.results) == self.ok
+
+
+def run_corpus(
+    seeds: Sequence[int],
+    knobs: Optional[FuzzKnobs] = None,
+    backends: Sequence[str] = BACKENDS,
+    sanitize: Optional[str] = "fast",
+    bundle_dir: Optional[str] = None,
+    inject: Optional[str] = None,
+    shrink: bool = True,
+    progress=None,
+) -> CorpusResult:
+    """Run :func:`run_seed` over *seeds*; ``progress`` gets each result."""
+    corpus = CorpusResult()
+    for seed in seeds:
+        result = run_seed(
+            seed, knobs, backends, sanitize, bundle_dir, inject, shrink
+        )
+        corpus.results.append(result)
+        if progress is not None:
+            progress(result)
+    return corpus

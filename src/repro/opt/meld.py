@@ -1,0 +1,507 @@
+"""Branch melding: eliminate two-sided diamonds by merging rival arms.
+
+A rival to control CPR, modeled on "Eliminate Branches by Melding IR
+Instructions": instead of reducing branch *height* (CPR) or predicating
+whole arms (if-conversion), melding pairs up the corresponding
+operations of a diamond's two arms and merges each pair into a single
+select-style operation. A matched pair ``x = a + 1`` / ``x = b + 1``
+becomes one unguarded ``x = sel + 1`` where ``sel`` is the
+predicate-selected source::
+
+    sel = mov a            if T        # fall-through value
+    sel = mov b            if p_taken  # overridden when the branch takes
+    x   = add (sel, 1)     if T        # the melded operation
+
+Exactly one arm executes in the original diamond, so the melded
+operation — with every divergent operand routed through a select —
+computes the active arm's result unconditionally. Operations with no
+counterpart in the rival arm are simply guarded by their arm's
+predicate, as in classic if-conversion. One-sided diamonds (an empty
+else arm) degenerate to pure predication and are melded too when
+``config.meld_one_sided`` is set.
+
+Every candidate is **cost-gated by the existing machinery**: the
+original diamond's profile-weighted cycle cost (head + taken arm +
+fall-through arm schedule lengths, via the list scheduler on
+``config.processor``) is compared against the melded head's, and the
+meld is rejected unless it is estimated no slower than
+``config.max_cost_ratio`` times the original. Accepts and rejects are
+recorded in the decision ledger as ``meld-accept`` / ``meld-reject``
+entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.defuse import (
+    DefUseChains,
+    branch_complement_pred,
+    guarding_compare,
+)
+from repro.analysis.liveness import LivenessAnalysis
+from repro.ir.block import Block
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import FReg, Label, Reg, TRUE_PRED
+from repro.ir.operation import Operation, PredTarget
+from repro.ir.procedure import Procedure
+from repro.ir.semantics import Action
+from repro.machine.processor import MEDIUM, ProcessorConfig
+from repro.obs import ledger_record, record_counter
+from repro.sched.list_scheduler import schedule_block
+from repro.sim.profiler import ProfileData
+
+
+@dataclass
+class MeldConfig:
+    """Heuristics and the cost gate for diamond melding."""
+
+    #: Arms longer than this are never melded (select chains would bloat).
+    max_arm_ops: int = 12
+    #: Accept a meld only when the melded head's profile-weighted cycle
+    #: estimate is at most this multiple of the original diamond's.
+    max_cost_ratio: float = 1.0
+    #: Meld if-then diamonds with an empty else arm (pure predication).
+    meld_one_sided: bool = True
+    #: Machine model the cost gate schedules candidates on.
+    processor: ProcessorConfig = field(default_factory=lambda: MEDIUM)
+    #: With no profile data, assume this taken ratio for the cost gate.
+    assumed_taken_ratio: float = 0.5
+
+
+@dataclass
+class MeldReport:
+    """What the pass did to one procedure."""
+
+    melded_diamonds: int = 0
+    #: Operation pairs merged into one melded operation.
+    melded_pairs: int = 0
+    #: Select moves inserted to route divergent operands.
+    select_movs: int = 0
+    #: Arm operations predicated without a counterpart.
+    predicated_ops: int = 0
+    removed_branches: int = 0
+    #: Structurally eligible diamonds the cost gate refused.
+    rejected_cost: int = 0
+
+
+def meld_procedure(
+    proc: Procedure,
+    profile: Optional[ProfileData] = None,
+    config: Optional[MeldConfig] = None,
+) -> MeldReport:
+    """Meld eligible diamonds in *proc*, in place, to a fixed point."""
+    config = config or MeldConfig()
+    report = MeldReport()
+    changed = True
+    while changed:
+        changed = False
+        cfg = ControlFlowGraph(proc)
+        for head in list(proc.blocks):
+            if _try_meld(proc, cfg, head, profile, config, report):
+                changed = True
+                break  # CFG changed: recompute and rescan
+    return report
+
+
+# ----------------------------------------------------------------------
+# Diamond recognition (the shapes the frontend's lowering produces)
+# ----------------------------------------------------------------------
+def _arm_body(block: Block) -> List[Operation]:
+    terminator = block.terminator()
+    if terminator is not None and terminator.opcode is Opcode.JUMP:
+        return block.ops[:-1]
+    return list(block.ops)
+
+
+def _arm_join(proc: Procedure, block: Block) -> Optional[Label]:
+    terminator = block.terminator()
+    if terminator is not None and terminator.opcode is Opcode.JUMP:
+        return terminator.branch_target()
+    if terminator is None and block.fallthrough is not None:
+        return block.fallthrough
+    return None
+
+
+def _arm_meldable(block: Block, config: MeldConfig) -> bool:
+    ops = _arm_body(block)
+    if len(ops) > config.max_arm_ops:
+        return False
+    for op in ops:
+        if op.is_branch or op.opcode is Opcode.CALL:
+            return False
+        if op.guard != TRUE_PRED:
+            return False  # would need guard conjunction
+        if op.opcode in (Opcode.CMPP, Opcode.PRED_CLEAR, Opcode.PRED_SET):
+            return False  # predicate definitions must stay unconditional
+    return True
+
+
+def _sole_entry(
+    cfg: ControlFlowGraph, label: Label, head: Block, kind: str
+) -> bool:
+    """True when *label*'s only in-edge is the diamond edge from *head*.
+
+    Counting edges (not distinct predecessor blocks) matters: a
+    superblock head with a side exit can reach the same arm twice, and
+    melding away the arm would orphan the side exit's branch.
+    """
+    edges = cfg.in_edges(label)
+    return (
+        len(edges) == 1
+        and edges[0].src == head.label
+        and edges[0].kind == kind
+    )
+
+
+# ----------------------------------------------------------------------
+# Pairing and meld construction
+# ----------------------------------------------------------------------
+def _meld_key(op: Operation, renameable) -> Tuple:
+    """Two ops are meld candidates when their keys agree.
+
+    Pairs must share the opcode, comparison condition, and operand
+    arities. Destinations that are live out of the diamond must match
+    exactly (the melded op writes them unconditionally, so both arms
+    must write the same register); destinations dead at the join are
+    wildcards — the meld renames them into one fresh register and
+    rewrites the rest of the arm accordingly.
+    """
+    dest_keys = []
+    for dest in op.dests:
+        if renameable(dest):
+            dest_keys.append(("?", type(dest).__name__))
+        else:
+            dest_keys.append(("=", repr(dest)))
+    return (op.opcode, op.cond, len(op.srcs), tuple(dest_keys))
+
+
+def _pair_arms(
+    fall_ops: List[Operation],
+    taken_ops: List[Operation],
+    fall_key,
+    taken_key,
+) -> List[Tuple[Optional[Operation], Optional[Operation]]]:
+    """Longest common subsequence of the two arms under :func:`_meld_key`.
+
+    Returns an ordered list of ``(fall_op, taken_op)`` pairs where one
+    side is ``None`` for unmatched operations. LCS keeps both arms in
+    program order, so melding never reorders an arm's own dependences.
+    """
+    n, m = len(fall_ops), len(taken_ops)
+    fkeys = [fall_key(op) for op in fall_ops]
+    tkeys = [taken_key(op) for op in taken_ops]
+    lcs = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            if fkeys[i] == tkeys[j]:
+                lcs[i][j] = lcs[i + 1][j + 1] + 1
+            else:
+                lcs[i][j] = max(lcs[i + 1][j], lcs[i][j + 1])
+    pairs: List[Tuple[Optional[Operation], Optional[Operation]]] = []
+    i = j = 0
+    while i < n and j < m:
+        if fkeys[i] == tkeys[j]:
+            pairs.append((fall_ops[i], taken_ops[j]))
+            i += 1
+            j += 1
+        elif lcs[i + 1][j] >= lcs[i][j + 1]:
+            pairs.append((fall_ops[i], None))
+            i += 1
+        else:
+            pairs.append((None, taken_ops[j]))
+            j += 1
+    pairs.extend((fall_ops[k], None) for k in range(i, n))
+    pairs.extend((None, taken_ops[k]) for k in range(j, m))
+    return pairs
+
+
+def _mint_like(proc: Procedure, reg):
+    """A fresh register of *reg*'s class for a renamed meld destination."""
+    if isinstance(reg, FReg):
+        return proc.new_freg()
+    return proc.new_reg()
+
+
+def _build_meld(
+    proc: Procedure,
+    pairs,
+    fall_pred,
+    taken_pred,
+) -> Tuple[List[Operation], int, int, int]:
+    """The melded operation stream for the paired arms.
+
+    Returns ``(ops, melded_pairs, select_movs, predicated_ops)``. New
+    operations are built from clones so the caller can gate on a trial
+    block without disturbing the original arms. Each arm carries a
+    rename map (original register -> melded register) that is applied
+    to that arm's later sources and killed whenever a subsequent
+    operation redefines the original register.
+    """
+    ops: List[Operation] = []
+    fall_map: dict = {}
+    taken_map: dict = {}
+    melded = selects = predicated = 0
+    for fall_op, taken_op in pairs:
+        if fall_op is not None and taken_op is not None:
+            fall_srcs = [fall_map.get(s, s) for s in fall_op.srcs]
+            taken_srcs = [taken_map.get(s, s) for s in taken_op.srcs]
+            merged = fall_op.clone()
+            srcs = list(fall_srcs)
+            for position, (a, b) in enumerate(zip(fall_srcs, taken_srcs)):
+                if a == b:
+                    continue
+                sel = proc.new_reg()
+                ops.append(Operation(Opcode.MOV, dests=[sel], srcs=[a]))
+                ops.append(
+                    Operation(
+                        Opcode.MOV, dests=[sel], srcs=[b],
+                        guard=taken_pred,
+                    )
+                )
+                srcs[position] = sel
+                selects += 2
+            merged.srcs = srcs
+            dests = []
+            for f_dest, t_dest in zip(fall_op.dests, taken_op.dests):
+                if f_dest == t_dest:
+                    fall_map.pop(f_dest, None)
+                    taken_map.pop(t_dest, None)
+                    dests.append(f_dest)
+                else:
+                    melded_dest = _mint_like(proc, f_dest)
+                    fall_map[f_dest] = melded_dest
+                    taken_map[t_dest] = melded_dest
+                    dests.append(melded_dest)
+            merged.dests = dests
+            merged.attrs["meld"] = "pair"
+            ops.append(merged)
+            melded += 1
+        else:
+            op = fall_op if fall_op is not None else taken_op
+            arm_map = fall_map if fall_op is not None else taken_map
+            guarded = op.clone()
+            guarded.srcs = [arm_map.get(s, s) for s in guarded.srcs]
+            guarded.guard = fall_pred if fall_op is not None else taken_pred
+            guarded.attrs["meld"] = "guarded"
+            for dest in guarded.dests:
+                arm_map.pop(dest, None)
+            ops.append(guarded)
+            predicated += 1
+    return ops, melded, selects, predicated
+
+
+# ----------------------------------------------------------------------
+# Cost gate (the existing scheduler is the estimator's cycle source)
+# ----------------------------------------------------------------------
+def _schedule_cost(ops: List[Operation], config: MeldConfig) -> int:
+    trial = Block(label=Label("meld_trial"))
+    for op in ops:
+        trial.append(op.clone())
+    return schedule_block(trial, config.processor).length
+
+
+def _diamond_weights(
+    profile, proc_name, branch, config
+) -> Tuple[float, float, float]:
+    """(head, taken-arm, fall-arm) relative execution weights."""
+    if profile is not None:
+        stats = profile.branch_profile(proc_name, branch)
+        if stats.executed > 0:
+            ratio = stats.taken_ratio
+            return 1.0, ratio, 1.0 - ratio
+    ratio = config.assumed_taken_ratio
+    return 1.0, ratio, 1.0 - ratio
+
+
+def _cost_gate(
+    proc: Procedure,
+    head: Block,
+    branch: Operation,
+    arms: List[Tuple[Block, object]],
+    melded_ops: List[Operation],
+    profile,
+    config: MeldConfig,
+) -> Tuple[bool, float, float]:
+    """Profile-weighted cycle estimate before vs. after the meld."""
+    head_w, taken_w, fall_w = _diamond_weights(
+        profile, proc.name, branch, config
+    )
+    arm_weight = {True: taken_w, False: fall_w}
+    before = head_w * schedule_block(head, config.processor).length
+    # Taken control transfers cost the exposed branch latency (the cycle
+    # simulator's model); the melded head falls straight through to the
+    # join, so the diamond branch (taken path) and each arm's jump back
+    # to the join are transfers the meld eliminates.
+    transfer = config.processor.latencies.branch
+    before += taken_w * transfer
+    for arm_block, taken in arms:
+        before += arm_weight[taken] * _schedule_cost(
+            _arm_body(arm_block), config
+        )
+        terminator = arm_block.terminator()
+        if terminator is not None and terminator.opcode is Opcode.JUMP:
+            before += arm_weight[taken] * transfer
+    prefix = [op for op in head.ops if op is not branch]
+    after = head_w * _schedule_cost(prefix + melded_ops, config)
+    return after <= before * config.max_cost_ratio, before, after
+
+
+# ----------------------------------------------------------------------
+# The rewrite
+# ----------------------------------------------------------------------
+def _complement_pred(proc, compare, taken_pred):
+    """The fall-through predicate, minting a UC target when missing."""
+    fall_pred = None
+    for target in compare.pred_targets():
+        if target.reg != taken_pred and target.action in (
+            Action.UN, Action.UC
+        ):
+            fall_pred = target.reg
+    if fall_pred is not None:
+        return fall_pred, False
+    if len(compare.dests) >= 2:
+        return None, False
+    source_action = next(
+        (t.action for t in compare.pred_targets() if t.reg == taken_pred),
+        None,
+    )
+    if source_action not in (Action.UN, Action.UC):
+        return None, False
+    fall_pred = proc.new_pred()
+    complement = Action.UC if source_action is Action.UN else Action.UN
+    compare.dests = list(compare.dests) + [
+        PredTarget(fall_pred, complement)
+    ]
+    return fall_pred, True
+
+
+def _try_meld(proc, cfg, head, profile, config, report) -> bool:
+    if not head.ops or head.ops[-1].opcode is not Opcode.BRANCH:
+        return False
+    branch = head.ops[-1]
+    target = branch.branch_target()
+    if target is None or head.fallthrough is None:
+        return False
+    if not proc.has_block(target):
+        return False
+    chains = DefUseChains.build(head)
+    compare = guarding_compare(head, chains, branch)
+    if compare is None or compare.guard != TRUE_PRED:
+        return False
+    taken_pred = branch.srcs[0]
+    taken_block = proc.block(target)
+    fall_label = head.fallthrough
+
+    # One-sided diamond: the taken arm rejoins at the fall-through.
+    if (
+        _sole_entry(cfg, target, head, "branch")
+        and _arm_join(proc, taken_block) == fall_label
+        and _arm_meldable(taken_block, config)
+    ):
+        if not config.meld_one_sided:
+            return False
+        pairs = [(None, op) for op in _arm_body(taken_block)]
+        return _commit(
+            proc, head, branch, compare, pairs,
+            fall_pred=None, taken_pred=taken_pred,
+            arms=[(taken_block, True)], continuation=fall_label,
+            profile=profile, config=config, report=report,
+        )
+
+    # Two-sided diamond: both arms rejoin at a common label.
+    if not proc.has_block(fall_label):
+        return False
+    fall_block = proc.block(fall_label)
+    join = _arm_join(proc, fall_block)
+    if join is None or _arm_join(proc, taken_block) != join:
+        return False
+    if not (
+        _sole_entry(cfg, target, head, "branch")
+        and _sole_entry(cfg, fall_label, head, "fallthrough")
+        and _arm_meldable(taken_block, config)
+        and _arm_meldable(fall_block, config)
+    ):
+        return False
+    fall_pred = branch_complement_pred(compare, branch)
+    minted = False
+    if fall_pred is None:
+        fall_pred, minted = _complement_pred(proc, compare, taken_pred)
+        if fall_pred is None:
+            return False
+    liveness = LivenessAnalysis(proc)
+    fall_live = liveness.live_out(fall_block.label)
+    taken_live = liveness.live_out(taken_block.label)
+
+    def _renameable(live):
+        return lambda dest: (
+            isinstance(dest, (Reg, FReg)) and dest not in live
+        )
+
+    pairs = _pair_arms(
+        _arm_body(fall_block),
+        _arm_body(taken_block),
+        fall_key=lambda op: _meld_key(op, _renameable(fall_live)),
+        taken_key=lambda op: _meld_key(op, _renameable(taken_live)),
+    )
+    committed = _commit(
+        proc, head, branch, compare, pairs,
+        fall_pred=fall_pred, taken_pred=taken_pred,
+        arms=[(fall_block, False), (taken_block, True)],
+        continuation=join,
+        profile=profile, config=config, report=report,
+    )
+    if not committed and minted:
+        # Undo the freshly minted complement target on rejection.
+        compare.dests = [
+            t for t in compare.dests if t.reg != fall_pred
+        ]
+    return committed
+
+
+def _commit(
+    proc, head, branch, compare, pairs, fall_pred, taken_pred,
+    arms, continuation, profile, config, report,
+) -> bool:
+    melded_ops, melded, selects, predicated = _build_meld(
+        proc, pairs, fall_pred, taken_pred
+    )
+    accepted, before, after = _cost_gate(
+        proc, head, branch, arms, melded_ops, profile, config
+    )
+    kind = "meld-accept" if accepted else "meld-reject"
+    ledger_record(
+        kind, proc.name, head.label.name,
+        arms=len(arms),
+        pairs=melded,
+        selects=selects,
+        predicated=predicated,
+        cost_before=round(before, 3),
+        cost_after=round(after, 3),
+    )
+    record_counter(f"opt.{kind}")
+    if not accepted:
+        report.rejected_cost += 1
+        return False
+
+    head.remove(branch)
+    # Drop the branch's pbr when nothing else reads the BTR.
+    btr = branch.srcs[1] if len(branch.srcs) == 2 else None
+    if btr is not None and not any(btr in op.srcs for op in head.ops):
+        for op in list(head.ops):
+            if op.opcode is Opcode.PBR and op.dests and op.dests[0] == btr:
+                head.remove(op)
+    for op in melded_ops:
+        head.append(op)
+    head.fallthrough = continuation
+    for arm_block, _ in arms:
+        proc.remove_block(arm_block)
+
+    report.melded_diamonds += 1
+    report.melded_pairs += melded
+    report.select_movs += selects
+    report.predicated_ops += predicated
+    report.removed_branches += 1
+    return True

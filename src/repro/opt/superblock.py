@@ -214,9 +214,27 @@ def _remove_side_entrances(
             else:
                 for op in src_block.ops:
                     if op.uid == edge.op_uid:
-                        op.set_branch_target(mapping[label])
+                        _retarget_with_pbr(
+                            src_block, op, mapping[label]
+                        )
         cfg = ControlFlowGraph(proc)
     return trace
+
+
+def _retarget_with_pbr(block: Block, branch: Operation, new_target):
+    """Point *branch* (and the pbr feeding its BTR) at *new_target*.
+
+    A branch's real target lives in the BTR its pbr prepared; updating
+    only the branch's target metadata leaves the two disagreeing, which
+    the verifier rejects.
+    """
+    branch.set_branch_target(new_target)
+    if not branch.srcs or not isinstance(branch.srcs[-1], BTR):
+        return
+    btr = branch.srcs[-1]
+    for op in block.ops:
+        if op.opcode is Opcode.PBR and op.dests and op.dests[0] == btr:
+            op.set_branch_target(new_target)
 
 
 def _layout_successor(proc: Procedure, block: Block) -> Optional[Label]:

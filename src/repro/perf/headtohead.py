@@ -1,0 +1,216 @@
+"""Head-to-head comparison of the rival branch-elimination backends.
+
+One shared baseline per workload (built once with the full classical
+pipeline), then every backend transforms *that* baseline, so the table
+isolates what each backend adds over identical input. Per workload and
+backend the table reports, on the medium machine:
+
+* **speedup** — estimated baseline cycles over transformed cycles;
+* **S br / D br** — static and dynamic branch-count ratios,
+  transformed over baseline (the paper's Table 3 columns);
+* **S tot** — static operation-count ratio, i.e. code growth;
+* **sched** — total transformed schedule length in cycles.
+
+Geometric-mean rows aggregate each backend across the corpus. The same
+machinery measures the registry workloads (``compare_workloads``) and a
+fuzz corpus (``compare_corpus``) — the head-to-head over generated
+programs is how the differential fuzzer's coverage is demonstrated to
+actually exercise all three backends, not just compile under them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.processor import MEDIUM, ProcessorConfig
+from repro.perf.counts import operation_counts
+from repro.perf.estimator import estimate_program_cycles
+from repro.perf.report import geometric_mean
+from repro.pipeline import (
+    BACKENDS,
+    PipelineOptions,
+    apply_backend,
+    build_baseline,
+)
+from repro.workloads.base import Workload
+
+
+@dataclass
+class BackendMeasurement:
+    """One backend's transformed build measured against the baseline."""
+
+    backend: str
+    speedup: float
+    static_ratio: float
+    static_branch_ratio: float
+    dynamic_branch_ratio: float
+    schedule_cycles: float
+    #: Backend-specific counters (melded diamonds, CPR blocks, ...).
+    detail: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadComparison:
+    """All backends' measurements over one shared baseline."""
+
+    name: str
+    category: str
+    baseline_cycles: float
+    measurements: Dict[str, BackendMeasurement] = field(
+        default_factory=dict
+    )
+    error: Optional[str] = None
+
+
+@dataclass
+class HeadToHead:
+    """The corpus-level comparison table."""
+
+    backends: List[str]
+    rows: List[WorkloadComparison] = field(default_factory=list)
+
+    def gmean(self, backend: str, attr: str) -> float:
+        return geometric_mean(
+            getattr(row.measurements[backend], attr)
+            for row in self.rows
+            if backend in row.measurements
+        )
+
+    def render(self) -> str:
+        header = _row(
+            ["Workload", "Backend", "Speedup", "S tot", "S br",
+             "D br", "Sched", "Notes"]
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            if row.error is not None:
+                lines.append(_row([row.name, "-", "error:", row.error]))
+                continue
+            for backend in self.backends:
+                m = row.measurements.get(backend)
+                if m is None:
+                    continue
+                notes = " ".join(
+                    f"{k}={v}" for k, v in sorted(m.detail.items()) if v
+                )
+                lines.append(_row([
+                    row.name, backend,
+                    f"{m.speedup:.2f}", f"{m.static_ratio:.2f}",
+                    f"{m.static_branch_ratio:.2f}",
+                    f"{m.dynamic_branch_ratio:.2f}",
+                    f"{m.schedule_cycles:.0f}", notes,
+                ]))
+        lines.append("-" * len(header))
+        for backend in self.backends:
+            lines.append(_row([
+                "Gmean", backend,
+                f"{self.gmean(backend, 'speedup'):.2f}",
+                f"{self.gmean(backend, 'static_ratio'):.2f}",
+                f"{self.gmean(backend, 'static_branch_ratio'):.2f}",
+                f"{self.gmean(backend, 'dynamic_branch_ratio'):.2f}",
+                f"{self.gmean(backend, 'schedule_cycles'):.0f}", "",
+            ]))
+        return "\n".join(lines)
+
+
+def compare_workload(
+    workload: Workload,
+    backends: Sequence[str] = BACKENDS,
+    options: Optional[PipelineOptions] = None,
+    processor: ProcessorConfig = MEDIUM,
+) -> WorkloadComparison:
+    """Build one shared baseline, then measure every backend against it."""
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"expected one of {', '.join(BACKENDS)}"
+            )
+    options = options or PipelineOptions()
+    program = workload.compile()
+    baseline, base_profile = build_baseline(
+        program, workload.inputs, options, workload.entry
+    )
+    base_cycles = estimate_program_cycles(
+        baseline, processor, base_profile
+    ).total
+    base_counts = operation_counts(baseline, base_profile)
+    comparison = WorkloadComparison(
+        name=workload.name,
+        category=workload.category,
+        baseline_cycles=base_cycles,
+    )
+    for backend in backends:
+        transformed, profile, icbm_report, meld_report = apply_backend(
+            backend, baseline, workload.inputs, options, workload.entry
+        )
+        cycles = estimate_program_cycles(
+            transformed, processor, profile
+        ).total
+        counts = operation_counts(transformed, profile)
+        s_tot, s_br, _d_tot, d_br = counts.ratios_against(base_counts)
+        detail: Dict[str, int] = {}
+        if meld_report is not None:
+            detail["melds"] = meld_report.melded_diamonds
+        elif icbm_report is not None:
+            detail["cpr_blocks"] = icbm_report.transformed_cpr_blocks
+        comparison.measurements[backend] = BackendMeasurement(
+            backend=backend,
+            speedup=base_cycles / cycles if cycles else float("nan"),
+            static_ratio=s_tot,
+            static_branch_ratio=s_br,
+            dynamic_branch_ratio=d_br,
+            schedule_cycles=cycles,
+            detail=detail,
+        )
+    return comparison
+
+
+def compare_workloads(
+    workloads: Sequence[Workload],
+    backends: Sequence[str] = BACKENDS,
+    options: Optional[PipelineOptions] = None,
+    processor: ProcessorConfig = MEDIUM,
+    progress=None,
+) -> HeadToHead:
+    """Head-to-head over a workload corpus; ``progress`` gets each row."""
+    table = HeadToHead(backends=list(backends))
+    for workload in workloads:
+        try:
+            row = compare_workload(workload, backends, options, processor)
+        except Exception as error:  # keep the sweep alive per workload
+            row = WorkloadComparison(
+                name=workload.name,
+                category=workload.category,
+                baseline_cycles=float("nan"),
+                error=str(error),
+            )
+        table.rows.append(row)
+        if progress is not None:
+            progress(row)
+    return table
+
+
+def compare_corpus(
+    seeds: Sequence[int],
+    knobs=None,
+    backends: Sequence[str] = BACKENDS,
+    options: Optional[PipelineOptions] = None,
+    processor: ProcessorConfig = MEDIUM,
+    progress=None,
+) -> HeadToHead:
+    """Head-to-head over a fuzz corpus (one workload per seed)."""
+    from repro.fuzz.generator import generate_workload
+
+    workloads = [generate_workload(seed, knobs) for seed in seeds]
+    return compare_workloads(
+        workloads, backends, options, processor, progress
+    )
+
+
+def _row(cells: List[str]) -> str:
+    widths = [12, 7, 8, 6, 6, 6, 7, 18][: len(cells)]
+    return "  ".join(
+        cell.ljust(width) for cell, width in zip(cells, widths)
+    ).rstrip()

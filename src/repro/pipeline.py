@@ -43,6 +43,7 @@ from repro.opt.copyprop import propagate_copies
 from repro.opt.dce import eliminate_dead_code, remove_unreachable_blocks
 from repro.opt.frp import frp_convert_procedure
 from repro.opt.ifconvert import IfConvertConfig, if_convert_procedure
+from repro.opt.meld import MeldConfig, MeldReport, meld_procedure
 from repro.opt.rename import rename_procedure_registers
 from repro.opt.superblock import SuperblockConfig, form_superblocks
 from repro.passes.incidents import (
@@ -93,6 +94,7 @@ class PipelineOptions:
     cpr: CPRConfig = field(default_factory=lambda: DEFAULT_CONFIG)
     if_convert: bool = False
     if_convert_config: Optional[IfConvertConfig] = None
+    meld_config: Optional[MeldConfig] = None
     verify_equivalence: bool = True
     fuel: int = DEFAULT_FUEL
     resilient: bool = True
@@ -104,7 +106,14 @@ class PipelineOptions:
 
 @dataclass
 class WorkloadBuild:
-    """Both builds of one workload plus their profiles."""
+    """Both builds of one workload plus their profiles.
+
+    ``backend`` names the branch-elimination backend that produced the
+    transformed program: ``"cpr"`` (full control CPR, the default),
+    ``"icbm"`` (the conservative rung-by-rung ICBM configuration), or
+    ``"meld"`` (the rival branch-melding pass). ``meld_report`` is only
+    populated for the meld backend.
+    """
 
     name: str
     baseline: Program
@@ -113,6 +122,8 @@ class WorkloadBuild:
     transformed_profile: ProfileData
     icbm_report: ICBMReport
     build_report: BuildReport = field(default_factory=BuildReport)
+    backend: str = "cpr"
+    meld_report: Optional[MeldReport] = None
 
 
 def _run_all(program: Program, inputs, entry: str, fuel: int):
@@ -495,6 +506,149 @@ def apply_control_cpr(
     return transformed, final_profile, combined
 
 
+def apply_meld(
+    baseline: Program,
+    inputs,
+    options: Optional[PipelineOptions] = None,
+    entry: str = "main",
+    report: Optional[BuildReport] = None,
+    cache=None,
+    metrics=None,
+    inputs_key: Optional[str] = None,
+) -> Tuple[Program, ProfileData, MeldReport]:
+    """Apply the rival branch-melding backend to the baseline.
+
+    The meld pass (:mod:`repro.opt.meld`) eliminates two-sided diamonds
+    by merging the rival arms' corresponding operations under predicate
+    selects, cost-gated by the list scheduler. Like control CPR it runs
+    through the transactional pass manager and the stage-level
+    equivalence check, so a melding bug degrades to the baseline rather
+    than shipping a miscompile.
+    """
+    options = options or PipelineOptions()
+    report = report if report is not None else BuildReport()
+    ledger_mark = report.ledger.mark()
+    reference = None
+    if options.verify_equivalence:
+        with trace_span("reference-run"):
+            reference = _run_all(baseline, inputs, entry, options.fuel)
+
+    transformed = baseline.clone()
+    with trace_span("profile:meld-seed"):
+        seed_profile = profile_program(
+            transformed, inputs=inputs, entry=entry, fuel=options.fuel
+        )
+    manager = _make_manager(
+        transformed, options, report, inputs, entry, reference,
+        cache=cache, metrics=metrics,
+        context_key=_context_key(baseline, options, inputs_key),
+    )
+    manager.bundle_profile = seed_profile
+    _sanitize_profile(
+        transformed, seed_profile, options, report, "profile-meld-seed"
+    )
+    meld_config = options.meld_config or MeldConfig()
+    meld_results = manager.run_pass(
+        "meld",
+        lambda proc: meld_procedure(proc, seed_profile, meld_config),
+    )
+    manager.run_pass("meld-dce", _dce_pass)
+    verify_program(transformed)
+    combined = MeldReport()
+    for partial in meld_results.values():
+        if not isinstance(partial, MeldReport):
+            continue  # rolled-back procedure
+        combined.melded_diamonds += partial.melded_diamonds
+        combined.melded_pairs += partial.melded_pairs
+        combined.select_movs += partial.select_movs
+        combined.predicated_ops += partial.predicated_ops
+        combined.removed_branches += partial.removed_branches
+        combined.rejected_cost += partial.rejected_cost
+
+    if options.verify_equivalence:
+        try:
+            with trace_span("equivalence-check"):
+                rebuilt = _run_all(transformed, inputs, entry, options.fuel)
+                _check_equivalent(reference, rebuilt, "branch melding")
+        except ReproError as exc:
+            if not options.resilient:
+                raise
+            # Stage-level catch-all: ship the baseline unchanged.
+            _stage_fallback(report, "meld-stage", exc)
+            report.ledger.rewind(ledger_mark)
+            with trace_span("stage-fallback") as span:
+                ops_dropped = _program_ops(transformed)
+                transformed = baseline.clone()
+                combined = MeldReport()
+                span.set_attr(
+                    "ops_delta", _program_ops(transformed) - ops_dropped
+                )
+
+    with trace_span("profile:meld"):
+        final_profile = profile_program(
+            transformed, inputs=inputs, entry=entry, fuel=options.fuel
+        )
+    _sanitize_profile(
+        transformed, final_profile, options, report, "profile-meld"
+    )
+    return transformed, final_profile, combined
+
+
+#: The branch-elimination backends a baseline can be pushed through:
+#: ``cpr`` is the paper's full control CPR schema, ``icbm`` the
+#: conservative rung-by-rung ICBM configuration (max two branches per
+#: CPR block, no taken variation, no speculation), and ``meld`` the
+#: rival diamond-melding pass.
+BACKENDS = ("icbm", "cpr", "meld")
+
+
+def backend_options(
+    options: Optional[PipelineOptions], backend: str
+) -> PipelineOptions:
+    """The pipeline options the named backend actually builds under."""
+    options = options or PipelineOptions()
+    if backend == "cpr":
+        return options
+    if backend == "icbm":
+        return replace(options, cpr=_conservative_config(options.cpr))
+    if backend == "meld":
+        return options
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+    )
+
+
+def apply_backend(
+    backend: str,
+    baseline: Program,
+    inputs,
+    options: Optional[PipelineOptions] = None,
+    entry: str = "main",
+    report: Optional[BuildReport] = None,
+    cache=None,
+    metrics=None,
+    inputs_key: Optional[str] = None,
+):
+    """Transform *baseline* under one backend.
+
+    Returns ``(transformed, profile, icbm_report, meld_report)`` where
+    exactly one of the two reports is meaningful for the chosen backend
+    (the other is an empty default).
+    """
+    options = backend_options(options, backend)
+    if backend == "meld":
+        transformed, profile, meld_report = apply_meld(
+            baseline, inputs, options, entry, report=report,
+            cache=cache, metrics=metrics, inputs_key=inputs_key,
+        )
+        return transformed, profile, ICBMReport(), meld_report
+    transformed, profile, icbm_report = apply_control_cpr(
+        baseline, inputs, options, entry, report=report,
+        cache=cache, metrics=metrics, inputs_key=inputs_key,
+    )
+    return transformed, profile, icbm_report, None
+
+
 def build_workload(
     name: str,
     program: Program,
@@ -504,6 +658,7 @@ def build_workload(
     cache=None,
     metrics=None,
     inputs_key: Optional[str] = None,
+    backend: str = "cpr",
 ) -> WorkloadBuild:
     """Run the full two-build methodology for one workload.
 
@@ -511,8 +666,14 @@ def build_workload(
     (see :func:`repro.farm.fingerprint.workload_inputs_key`) enable
     content-addressed memoization of every pass transaction; ``metrics``
     (a :class:`repro.farm.metrics.CompileMetrics`) collects per-pass wall
-    time and cache counters.
+    time and cache counters. ``backend`` selects the branch-elimination
+    backend for the transformed build (one of :data:`BACKENDS`).
     """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; "
+            f"expected one of {', '.join(BACKENDS)}"
+        )
     options = options or PipelineOptions()
     report = BuildReport()
     with trace_span(f"workload:{name}", kind="workload"):
@@ -523,16 +684,21 @@ def build_workload(
                 cache=cache, metrics=metrics, inputs_key=inputs_key,
             )
             stage.set_attr("ops_end", _program_ops(baseline))
-        with trace_span("stage:cpr", kind="stage") as stage:
+        with trace_span(f"stage:{backend}", kind="stage") as stage:
             stage.set_attr("ops_begin", _program_ops(baseline))
-            transformed, transformed_profile, icbm_report = apply_control_cpr(
-                baseline, inputs, options, entry, report=report,
-                cache=cache, metrics=metrics, inputs_key=inputs_key,
+            transformed, transformed_profile, icbm_report, meld_report = (
+                apply_backend(
+                    backend, baseline, inputs, options, entry,
+                    report=report, cache=cache, metrics=metrics,
+                    inputs_key=inputs_key,
+                )
             )
             stage.set_attr("ops_end", _program_ops(transformed))
         with trace_span("sanitize:schedule"):
             _sanitize_schedule(baseline, options, report, "schedule-baseline")
-            _sanitize_schedule(transformed, options, report, "schedule-cpr")
+            _sanitize_schedule(
+                transformed, options, report, f"schedule-{backend}"
+            )
     return WorkloadBuild(
         name=name,
         baseline=baseline,
@@ -541,4 +707,6 @@ def build_workload(
         transformed_profile=transformed_profile,
         icbm_report=icbm_report,
         build_report=report,
+        backend=backend,
+        meld_report=meld_report,
     )

@@ -82,8 +82,15 @@ def emit_repro_bundle(
     tier: str = "fast",
     policy=None,
     profile=None,
+    generator: Optional[dict] = None,
 ) -> str:
-    """Write one bundle directory; returns its path."""
+    """Write one bundle directory; returns its path.
+
+    *generator*, when given, records how to regenerate the bundle's
+    original input from scratch (fuzz seed, knobs, backends, the exact
+    CLI command) in ``generator.json``; :func:`verify_bundle` then
+    re-runs the differential oracle from that recipe.
+    """
     signatures = sorted({f.signature() for f in findings})
     path = os.path.join(root, bundle_name(pass_name, proc.name, signatures))
     os.makedirs(path, exist_ok=True)
@@ -126,6 +133,8 @@ def emit_repro_bundle(
             },
         }
     _write_json(path, "profile.json", profile_slice)
+    if generator is not None:
+        _write_json(path, "generator.json", generator)
     _write_json(path, "machine.json", {
         "processors": [
             {
@@ -158,7 +167,19 @@ def load_bundle_procedure(path: str) -> Procedure:
 
 
 def verify_bundle(path: str) -> bool:
-    """Does re-running the battery on the bundle's IR re-trigger it?"""
+    """Does the bundle's failure still reproduce?
+
+    Sanitizer bundles re-run the battery on the stored IR. Fuzz bundles
+    (those carrying ``generator.json``) instead regenerate the original
+    input from the recorded seed + knobs and re-run the differential
+    oracle — one command reproduces the whole miscompile from two
+    integers.
+    """
+    generator_path = os.path.join(path, "generator.json")
+    if os.path.exists(generator_path):
+        with open(generator_path) as handle:
+            recipe = json.load(handle)
+        return regenerate_and_check(recipe)
     with open(os.path.join(path, "finding.json")) as handle:
         finding = json.load(handle)
     proc = load_bundle_procedure(path)
@@ -166,6 +187,24 @@ def verify_bundle(path: str) -> bool:
     return any(
         tuple(sig) in found for sig in finding["signatures"]
     )
+
+
+def regenerate_and_check(recipe: dict) -> bool:
+    """Re-run the differential oracle from a ``generator.json`` recipe."""
+    # Imported lazily: the fuzz oracle depends on the pipeline, which
+    # must stay importable without dragging reduction in transitively.
+    from repro.fuzz.generator import FuzzKnobs
+    from repro.fuzz.oracle import run_seed
+    from repro.pipeline import BACKENDS
+
+    result = run_seed(
+        recipe["seed"],
+        knobs=FuzzKnobs.from_dict(recipe.get("knobs", {})),
+        backends=recipe.get("backends") or BACKENDS,
+        inject=recipe.get("inject"),
+        shrink=False,
+    )
+    return result.status in ("divergence", "finding")
 
 
 def reduce_and_bundle(

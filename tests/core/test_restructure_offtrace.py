@@ -8,7 +8,7 @@ from repro.core import (
     restructure_cpr_block,
     speculate_block,
 )
-from repro.ir import Action, Opcode, verify_procedure
+from repro.ir import Action, Cond, Opcode, verify_procedure
 from repro.machine import PAPER_LATENCIES
 from repro.opt import frp_convert_block
 from repro.sim.profiler import BranchProfile, ProfileData
@@ -149,6 +149,66 @@ def test_compensation_block_order_is_program_order(strcpy_data):
             assert op.srcs[0] in [
                 t.reg for t in last_compare.pred_targets()
             ]
+
+
+def build_aliasing_store_load_program():
+    """Two-exit superblock with a store and a same-address load between
+    the exits: mem[r1] = 7 must be observed by the reload before the
+    value is written out. Off-trace motion sinks the store's split clone
+    below the bypass; unless the aliasing load rides along, it reads the
+    stale cell."""
+    from repro.ir import DataSegment, IRBuilder, Procedure, Program, Reg
+
+    program = Program("storeload")
+    program.add_segment(DataSegment("A", 16))
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Pre")
+    b.jump("Loop")
+    b.start_block("Loop", fallthrough="Exit")
+    p1 = b.cmpp1(Cond.EQ, Reg(1), 99)
+    b.branch_to("ExitA", p1)
+    b.store(Reg(1), 7, region="A")
+    reloaded = b.load(Reg(1), region="A")
+    bumped = b.add(reloaded, 1)
+    p2 = b.cmpp1(Cond.EQ, Reg(1), 98)
+    b.branch_to("ExitB", p2)
+    b.store(b.add(Reg(1), 1), bumped, region="A")
+    b.start_block("Exit")
+    b.ret(bumped)
+    b.start_block("ExitA")
+    b.ret(1)
+    b.start_block("ExitB")
+    b.ret(2)
+    return program
+
+
+def run_storeload(program):
+    from repro.sim.interpreter import Interpreter
+
+    interp = Interpreter(program)
+    return interp.run(args=[interp.segment_base("A")])
+
+
+def test_aliasing_load_rides_along_with_a_moved_store():
+    reference = run_storeload(build_aliasing_store_load_program())
+    program = build_aliasing_store_load_program()
+    proc, block, contexts = transform(
+        program, [0.01, 0.01], CPRConfig(enable_taken_variation=False)
+    )
+    assert len(contexts) == 1
+    # The load conflicts with the moved store, so its clone must sit
+    # among the split clones (below the bypass), after the store's.
+    split_opcodes = [
+        op.opcode for op in block.ops if op.attrs.get("cpr_split")
+    ]
+    assert Opcode.LOAD in split_opcodes
+    assert split_opcodes.index(Opcode.STORE) < split_opcodes.index(
+        Opcode.LOAD
+    )
+    verify_procedure(proc)
+    assert run_storeload(program).equivalent_to(reference)
 
 
 def test_differential_on_many_inputs():

@@ -1,0 +1,72 @@
+"""Every registry workload, every backend, exact observable agreement.
+
+The table-driven companion to the fuzz oracle: each registry workload is
+built once into the shared classical baseline, then transformed under
+``icbm``, full ``cpr``, and ``meld``, and interpreted on the workload's
+own inputs. Return values and the complete store trace must match the
+*unoptimized* program exactly — all three backends restructure control
+flow, none may change what the program observably does.
+
+Builds run with ``verify_equivalence=False`` so the pipeline's own
+rollback cannot mask a miscompiling backend behind a silent revert to
+the baseline (the same discipline the fuzz oracle uses).
+"""
+
+import pytest
+
+from repro.passes.manager import check_equivalent, run_inputs
+from repro.pipeline import (
+    BACKENDS,
+    PipelineOptions,
+    apply_backend,
+    build_baseline,
+)
+from repro.sim.interpreter import DEFAULT_FUEL
+from repro.workloads.registry import all_names, get_workload
+
+
+@pytest.fixture(scope="module")
+def shared_baselines():
+    """Per-workload (workload, baseline, reference) built at most once."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            workload = get_workload(name)
+            reference = run_inputs(
+                workload.compile(), workload.inputs, workload.entry,
+                DEFAULT_FUEL,
+            )
+            baseline, _ = build_baseline(
+                workload.compile(), workload.inputs,
+                PipelineOptions(verify_equivalence=False),
+                workload.entry,
+            )
+            cache[name] = (workload, baseline, reference)
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", all_names())
+def test_backend_agrees_with_unoptimized_reference(
+    name, backend, shared_baselines
+):
+    workload, baseline, reference = shared_baselines(name)
+    transformed, _, _, _ = apply_backend(
+        backend, baseline, workload.inputs,
+        PipelineOptions(verify_equivalence=False), workload.entry,
+    )
+    results = run_inputs(
+        transformed, workload.inputs, workload.entry, DEFAULT_FUEL
+    )
+    # Raises TransformError, localizing the first mismatching store.
+    check_equivalent(reference, results, stage=f"{backend}:{name}")
+
+
+def test_the_table_covers_the_whole_registry():
+    # 24 workloads x 3 backends: if the registry grows, so does the
+    # parametrization above; this guard documents the current floor.
+    assert len(all_names()) >= 24
+    assert set(BACKENDS) == {"icbm", "cpr", "meld"}

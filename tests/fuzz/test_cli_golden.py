@@ -1,0 +1,141 @@
+"""Golden tests for the ``repro fuzz`` and ``repro compare`` commands.
+
+The fuzzer's whole value is its reporting contract: deterministic
+per-seed lines, a fixed-shape summary, and subsystem exit codes (0
+clean, 4 divergence/finding, 2 usage, 1 infrastructure error). CI and
+the repro-bundle READMEs both parse this surface, so it is pinned here
+byte-for-byte where determinism allows.
+"""
+
+import os
+
+import pytest
+
+from repro.__main__ import EXIT_DIVERGENCE, main
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# ----------------------------------------------------------------------
+# Clean corpora
+# ----------------------------------------------------------------------
+def test_fuzz_clean_seed_range_is_golden(capsys):
+    code, out, _ = run_cli(capsys, ["fuzz", "--seeds", "0:2"])
+    assert code == 0
+    assert out.splitlines() == [
+        "seed 0: ok",
+        "seed 1: ok",
+        "fuzz: 2 seeds, 2 ok, 0 divergence(s), 0 finding(s), 0 error(s)",
+    ]
+
+
+def test_fuzz_count_defaults_seed_selection(capsys):
+    code, out, _ = run_cli(capsys, ["fuzz", "--count", "2"])
+    assert code == 0
+    assert out.splitlines()[:2] == ["seed 0: ok", "seed 1: ok"]
+
+
+def test_fuzz_seed_list_and_backend_subset(capsys):
+    code, out, _ = run_cli(
+        capsys, ["fuzz", "--seeds", "2,5", "--backends", "meld"]
+    )
+    assert code == 0
+    assert out.splitlines() == [
+        "seed 2: ok",
+        "seed 5: ok",
+        "fuzz: 2 seeds, 2 ok, 0 divergence(s), 0 finding(s), 0 error(s)",
+    ]
+
+
+def test_fuzz_output_is_deterministic_across_runs(capsys):
+    argv = ["fuzz", "--seeds", "0:2", "--knob", "func_stmts=24"]
+    _, first, _ = run_cli(capsys, argv)
+    _, second, _ = run_cli(capsys, argv)
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# Divergence: exit 4, bundles on disk
+# ----------------------------------------------------------------------
+def test_fuzz_injected_fault_exits_4(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        ["fuzz", "--seeds", "0", "--inject", "clobber-pred",
+         "--no-shrink"],
+    )
+    assert code == EXIT_DIVERGENCE == 4
+    lines = out.splitlines()
+    assert lines[0].startswith("seed 0: divergence [icbm]")
+    assert lines[-1] == (
+        "fuzz: 1 seeds, 0 ok, 1 divergence(s), 0 finding(s), 0 error(s)"
+    )
+
+
+def test_fuzz_bundle_dir_emits_bundle_and_reports_path(
+    capsys, tmp_path
+):
+    code, out, _ = run_cli(
+        capsys,
+        ["fuzz", "--seeds", "1", "--inject", "drop-branch",
+         "--bundle-dir", str(tmp_path)],
+    )
+    assert code == EXIT_DIVERGENCE
+    first = out.splitlines()[0]
+    assert " -> " in first
+    bundle = first.rsplit(" -> ", 1)[1]
+    assert os.path.isfile(os.path.join(bundle, "generator.json"))
+    assert os.path.isfile(os.path.join(bundle, "procedure.ir"))
+
+
+# ----------------------------------------------------------------------
+# Usage errors: exit 2, nothing fuzzed
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["fuzz", "--seeds", "nope"],
+        ["fuzz", "--seeds", "5:5"],
+        ["fuzz", "--seeds", "0:9x"],
+        ["fuzz", "--backends", "icbm,quantum"],
+        ["fuzz", "--knob", "not_a_knob=3"],
+        ["fuzz", "--knob", "func_stmts=many"],
+        ["compare", "--backends", "quantum"],
+    ],
+)
+def test_bad_arguments_exit_2_without_running(capsys, argv):
+    code, out, err = run_cli(capsys, argv)
+    assert code == 2
+    assert "seed" not in out
+    assert "repro:" in err
+
+
+def test_unknown_inject_kind_is_an_argparse_error():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--inject", "cosmic-ray"])
+
+
+# ----------------------------------------------------------------------
+# compare: head-to-head table
+# ----------------------------------------------------------------------
+def test_compare_registry_subset_renders_table(capsys):
+    code, out, _ = run_cli(capsys, ["compare", "--subset", "wc,cmp"])
+    assert code == 0
+    assert "Workload" in out and "Backend" in out
+    for backend in ("icbm", "cpr", "meld"):
+        assert backend in out
+    assert out.count("Gmean") == 3  # one aggregate row per backend
+    assert "wc" in out and "cmp" in out
+
+
+def test_compare_fuzz_corpus_is_deterministic(capsys):
+    argv = ["compare", "--seeds", "0:2", "--backends", "cpr,meld"]
+    code, first, _ = run_cli(capsys, argv)
+    assert code == 0
+    assert "fuzz-0" in first and "fuzz-1" in first
+    assert "icbm" not in first
+    _, second, _ = run_cli(capsys, argv)
+    assert first == second

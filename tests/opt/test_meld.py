@@ -1,0 +1,208 @@
+"""The branch-melding rival pass: pairing, renaming, gates, semantics."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import Cond, IRBuilder, Procedure, Program, Reg, verify_program
+from repro.ir.opcodes import Opcode
+from repro.opt.meld import MeldConfig, meld_procedure
+from repro.sim.interpreter import Interpreter
+
+
+def compile_main(source):
+    program = compile_source(source)
+    return program, program.procedure("main")
+
+
+def assert_semantics_preserved(program, before, args_list):
+    verify_program(program)
+    for args, reference in zip(args_list, before):
+        assert Interpreter(program).run(args=args).equivalent_to(reference)
+
+
+def run_all(program, args_list):
+    return [Interpreter(program).run(args=args) for args in args_list]
+
+
+TWO_SIDED = """
+int OUT[16];
+int main(int n) {
+    int x = 0;
+    int y = 0;
+    if (n & 1) { x = n + 3; y = x * 2; } else { x = n + 7; y = x * 5; }
+    OUT[0] = x;
+    OUT[1] = y;
+    return x + y;
+}
+"""
+
+ARGS = [(n,) for n in range(8)]
+
+
+def test_two_sided_diamond_melds_into_selects():
+    program, proc = compile_main(TWO_SIDED)
+    before = run_all(program, ARGS)
+    blocks_before = len(proc.blocks)
+
+    report = meld_procedure(proc)
+
+    assert report.melded_diamonds == 1
+    assert report.melded_pairs == 2  # x = n +/- k and y = x * k
+    # Each pair diverges in exactly one source operand: two select movs
+    # (fall-through value, overridden under the taken predicate) apiece.
+    assert report.select_movs == 4
+    assert report.removed_branches == 1
+    assert len(proc.blocks) == blocks_before - 2  # both arms deleted
+    assert_semantics_preserved(program, before, ARGS)
+    # The merged head carries the melded ops, tagged for the ledger.
+    head = proc.blocks[0]
+    assert sum(
+        1 for op in head.ops if op.attrs.get("meld") == "pair"
+    ) == 2
+    assert not any(op.opcode is Opcode.BRANCH for op in head.ops)
+
+
+def test_dead_destinations_are_renamed_across_arms():
+    # t and u are distinct registers, both dead at the join; the meld
+    # must unify them into one fresh destination and rewrite x's source.
+    program, proc = compile_main("""
+    int OUT[4];
+    int main(int n) {
+        int x = 0;
+        if (n & 1) { int t = n + 1; x = t * 2; }
+        else       { int u = n + 5; x = u * 2; }
+        OUT[0] = x;
+        return x;
+    }
+    """)
+    before = run_all(program, ARGS)
+    report = meld_procedure(proc)
+    assert report.melded_diamonds == 1
+    assert report.melded_pairs == 2
+    # Only the t/u producer diverges (n+1 vs n+5); once its destination
+    # is unified, x = <m> * 2 pairs up with identical sources.
+    assert report.select_movs == 2
+    assert_semantics_preserved(program, before, ARGS)
+
+
+def test_one_sided_diamond_degenerates_to_predication():
+    source = """
+    int OUT[4];
+    int main(int n) {
+        int x = 5;
+        if (n > 3) { x = n - 2; }
+        OUT[0] = x;
+        return x;
+    }
+    """
+    program, proc = compile_main(source)
+    before = run_all(program, ARGS)
+    report = meld_procedure(proc)
+    assert report.melded_diamonds == 1
+    assert report.melded_pairs == 0
+    assert report.predicated_ops >= 1
+    assert report.removed_branches == 1
+    assert_semantics_preserved(program, before, ARGS)
+
+    # The same shape is refused when one-sided melding is disabled.
+    program2, proc2 = compile_main(source)
+    report2 = meld_procedure(
+        proc2, config=MeldConfig(meld_one_sided=False)
+    )
+    assert report2.melded_diamonds == 0
+
+
+def test_cost_gate_rejects_and_leaves_the_diamond_intact():
+    program, proc = compile_main(TWO_SIDED)
+    before = run_all(program, ARGS)
+    blocks_before = len(proc.blocks)
+    report = meld_procedure(
+        proc, config=MeldConfig(max_cost_ratio=0.01)
+    )
+    assert report.melded_diamonds == 0
+    assert report.rejected_cost >= 1
+    assert len(proc.blocks) == blocks_before
+    assert_semantics_preserved(program, before, ARGS)
+
+
+def test_long_arms_are_structurally_ineligible():
+    program, proc = compile_main(TWO_SIDED)
+    report = meld_procedure(proc, config=MeldConfig(max_arm_ops=0))
+    # Not even a cost-gate rejection: the arms never become candidates.
+    assert report.melded_diamonds == 0
+    assert report.rejected_cost == 0
+
+
+def test_arms_with_calls_are_not_melded():
+    program, proc = compile_main("""
+    int OUT[4];
+    int f0(int a, int b) { return a + b; }
+    int main(int n) {
+        int x = 0;
+        if (n & 1) { x = f0(n, 3); } else { x = f0(n, 7); }
+        OUT[0] = x;
+        return x;
+    }
+    """)
+    before = run_all(program, ARGS)
+    report = meld_procedure(proc)
+    assert report.melded_diamonds == 0
+    assert_semantics_preserved(program, before, ARGS)
+
+
+def test_arm_with_a_second_entry_is_not_melded():
+    """An arm reachable from outside the diamond must survive.
+
+    ``Taken`` is both the diamond's taken arm and the target of a later
+    branch from ``Join``; deleting it would orphan that branch (the
+    ``_sole_entry`` guard, counting in-edges rather than predecessors).
+    """
+    program = Program("twoentry")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Head", fallthrough="Fall")
+    taken = b.cmpp1(Cond.NE, Reg(1), 0)
+    b.branch_to("Taken", taken)
+    b.start_block("Fall")
+    b.add(Reg(1), 7, dest=Reg(2))
+    b.jump("Join")
+    b.start_block("Taken")
+    b.add(Reg(1), 3, dest=Reg(2))
+    b.jump("Join")
+    b.start_block("Join", fallthrough="Exit")
+    again = b.cmpp1(Cond.GT, Reg(1), 99)
+    b.branch_to("Taken", again)
+    b.start_block("Exit")
+    b.ret(Reg(2))
+    verify_program(program)
+    args_list = [(n,) for n in range(4)]
+    before = run_all(program, args_list)
+
+    report = meld_procedure(proc)
+
+    assert report.melded_diamonds == 0
+    assert proc.has_block(next(
+        blk.label for blk in proc.blocks if blk.label.name == "Taken"
+    ))
+    assert_semantics_preserved(program, before, args_list)
+
+
+def test_meld_runs_to_a_fixed_point_over_nested_diamonds():
+    program, proc = compile_main("""
+    int OUT[8];
+    int main(int n) {
+        int x = 0;
+        int y = 0;
+        if (n & 1) { x = n + 1; } else { x = n + 2; }
+        if (n & 2) { y = x + 3; } else { y = x + 4; }
+        OUT[0] = x;
+        OUT[1] = y;
+        return x + y;
+    }
+    """)
+    before = run_all(program, ARGS)
+    report = meld_procedure(proc)
+    assert report.melded_diamonds == 2
+    assert report.removed_branches == 2
+    assert_semantics_preserved(program, before, ARGS)

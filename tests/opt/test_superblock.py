@@ -115,3 +115,56 @@ def test_cold_code_untouched():
     after = {blk.label.name for blk in program.procedure("main").blocks}
     assert before == after
     assert report.merged_blocks == 0
+
+
+# ----------------------------------------------------------------------
+# Retargeting side entrances keeps the pbr and its branch in sync
+# ----------------------------------------------------------------------
+def _pbr_branch_pair():
+    """A block whose branch reaches 'Old' through a pbr-prepared BTR."""
+    from repro.ir import Cond, IRBuilder, Label, Procedure, Program, Reg
+
+    program = Program("retarget")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Head", fallthrough="Fall")
+    pred = b.cmpp1(Cond.NE, Reg(1), 0)
+    b.branch_to("Old", pred)
+    b.start_block("Fall")
+    b.ret(0)
+    b.start_block("Old")
+    b.ret(1)
+    b.start_block("New")
+    b.ret(2)
+    verify_program(program)
+    head = proc.blocks[0]
+    return program, head, head.ops[-1], Label("New")
+
+
+def test_retarget_with_pbr_updates_branch_and_feeding_pbr():
+    """Regression: tail duplication retargets side-entrance *branches*
+    at the duplicated trace tail; rewriting only the branch's target
+    metadata leaves the BTR's pbr still pointing at the original block,
+    so the interpreter would jump to the stale target."""
+    from repro.opt.superblock import _retarget_with_pbr
+
+    program, head, branch, new_target = _pbr_branch_pair()
+    _retarget_with_pbr(head, branch, new_target)
+    assert branch.branch_target() == new_target
+    pbr = next(op for op in head.ops if op.opcode is Opcode.PBR)
+    assert pbr.branch_target() == new_target
+    verify_program(program)
+    assert Interpreter(program).run(args=(1,)).return_value == 2
+
+
+def test_desynced_pbr_and_branch_is_rejected_by_the_verifier():
+    """The invariant the helper maintains is verifier-enforced."""
+    import pytest
+
+    from repro.errors import VerificationError
+
+    program, head, branch, new_target = _pbr_branch_pair()
+    branch.set_branch_target(new_target)  # pbr left stale on purpose
+    with pytest.raises(VerificationError):
+        verify_program(program)
