@@ -203,6 +203,7 @@ def _farm_options(args, processors=MACHINES) -> FarmOptions:
         trace=bool(getattr(args, "trace", None)),
         supervisor=supervisor,
         chaos=chaos,
+        sched_engine=getattr(args, "sched_engine", "soa"),
     )
 
 
@@ -282,6 +283,7 @@ def cmd_trace(args) -> int:
         fuel=args.fuel,
         processors=tuple(MACHINES),
         trace=True,
+        sched_engine=getattr(args, "sched_engine", "soa"),
     )
     farm = build_farm([args.name], options)
     summary = farm.summaries[0]
@@ -657,6 +659,13 @@ def main(argv=None) -> int:
                  "'strcpy=slow,cmp=kill;slow_s=20' "
                  "(actions: kill, hang, stall, slow, poison)",
         )
+        p_farm.add_argument(
+            "--sched-engine", default="soa", choices=("object", "soa"),
+            dest="sched_engine",
+            help="list-scheduler engine: 'soa' (struct-of-arrays hot "
+                 "path, the default) or 'object' (the reference "
+                 "engine); both produce bit-identical schedules",
+        )
 
     p_trace = sub.add_parser(
         "trace", help="build one workload and print its span tree, "
@@ -680,6 +689,11 @@ def main(argv=None) -> int:
     p_trace.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the raw span-tree JSON (repro.obs.trace/v1)",
+    )
+    p_trace.add_argument(
+        "--sched-engine", default="soa", choices=("object", "soa"),
+        dest="sched_engine",
+        help="list-scheduler engine for the instrumented build",
     )
 
     p_serve = sub.add_parser(

@@ -62,6 +62,7 @@ from repro.obs.ledger import DecisionLedger
 from repro.passes.incidents import BuildReport
 from repro.perf.report import measure_build
 from repro.pipeline import PipelineOptions, build_workload
+from repro.sched import use_engine
 from repro.sim.interpreter import DEFAULT_FUEL
 from repro.workloads.registry import get_workload
 
@@ -104,6 +105,11 @@ class FarmOptions:
     #: ``action_for(name, attempt)``; see :mod:`repro.robustness.chaos`).
     #: Setting this implies supervision.
     chaos: Optional[object] = None
+    #: List-scheduler engine for every build this farm runs: ``"soa"``
+    #: (the struct-of-arrays core, the default) or ``"object"`` (the
+    #: reference engine). The engines are bit-identical, so the choice is
+    #: excluded from cache keys; it only changes compile speed.
+    sched_engine: str = "soa"
 
     def pipeline_options(self) -> PipelineOptions:
         return PipelineOptions(
@@ -275,7 +281,8 @@ def _evaluate_task(task: dict) -> dict:
     tracer = Tracer() if options.trace else None
     counters = CounterSet()
     try:
-        with activate_counters(counters), activate_tracer(tracer):
+        with activate_counters(counters), activate_tracer(tracer), \
+                use_engine(options.sched_engine):
             outcome = _evaluate_workload(
                 name, options, metrics, cache, started
             )
@@ -427,6 +434,7 @@ def _task(name: str, options: FarmOptions) -> dict:
         "sanitize": options.sanitize,
         "repro_dir": options.repro_dir,
         "trace": options.trace,
+        "sched_engine": options.sched_engine,
     }
     task["_workload"] = name
     return task

@@ -14,13 +14,17 @@ methodology is what matters; both modes are exposed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 from repro.ir.opcodes import Opcode
 from repro.ir.procedure import Procedure, Program
 from repro.machine.processor import ProcessorConfig
 from repro.obs import ledger_record_unique, record_counter
-from repro.sched.list_scheduler import schedule_procedure
+from repro.sched.list_scheduler import (
+    schedule_procedure,
+    schedule_procedure_multi,
+)
+from repro.sched.schedule import ProcedureSchedule
 from repro.sim.profiler import ProfileData
 
 
@@ -41,11 +45,17 @@ def estimate_procedure_cycles(
     processor: ProcessorConfig,
     profile: ProfileData,
     mode: str = "exit-aware",
+    schedules: Optional[ProcedureSchedule] = None,
 ) -> CycleEstimate:
-    """Estimate dynamic cycles spent in *proc* under *profile*."""
+    """Estimate dynamic cycles spent in *proc* under *profile*.
+
+    ``schedules`` lets callers that already scheduled *proc* on
+    *processor* (the multi-machine evaluation path) skip rescheduling.
+    """
     if mode not in ("exit-aware", "block-weighted"):
         raise ValueError(f"unknown estimation mode {mode!r}")
-    schedules = schedule_procedure(proc, processor)
+    if schedules is None:
+        schedules = schedule_procedure(proc, processor)
     estimate = CycleEstimate()
     for block in proc.blocks:
         entry_count = profile.block_count(proc.name, block.label)
@@ -103,11 +113,51 @@ def estimate_program_cycles(
     processor: ProcessorConfig,
     profile: ProfileData,
     mode: str = "exit-aware",
+    schedules: Optional[Dict[str, ProcedureSchedule]] = None,
 ) -> CycleEstimate:
-    """Whole-program estimate: the sum over all procedures."""
+    """Whole-program estimate: the sum over all procedures.
+
+    ``schedules`` (procedure name -> :class:`ProcedureSchedule`) skips
+    rescheduling for procedures already scheduled on *processor*.
+    """
     total = CycleEstimate()
     for proc in program.procedures.values():
-        partial = estimate_procedure_cycles(proc, processor, profile, mode)
+        partial = estimate_procedure_cycles(
+            proc, processor, profile, mode,
+            schedules=None if schedules is None else schedules.get(proc.name),
+        )
         for label, cycles in partial.per_block.items():
             total.add(f"{proc.name}/{label}", cycles)
     return total
+
+
+def estimate_program_cycles_multi(
+    program: Program,
+    processors: Sequence[ProcessorConfig],
+    profile: ProfileData,
+    mode: str = "exit-aware",
+) -> Dict[str, CycleEstimate]:
+    """Estimate *program* on several machines; returns name -> estimate.
+
+    The registry evaluation measures every build on all five paper
+    presets. Scheduling dominates that loop, and the presets share one
+    latency model, so :func:`schedule_procedure_multi` lowers each block
+    once and reuses it across machines (under the ``soa`` engine; the
+    ``object`` engine degrades to one independent pass per machine).
+    The per-machine estimates are identical to calling
+    :func:`estimate_program_cycles` once per processor.
+    """
+    by_proc = {
+        proc.name: schedule_procedure_multi(proc, processors)
+        for proc in program.procedures.values()
+    }
+    estimates: Dict[str, CycleEstimate] = {}
+    for processor in processors:
+        estimates[processor.name] = estimate_program_cycles(
+            program, processor, profile, mode,
+            schedules={
+                name: per_machine[processor.name]
+                for name, per_machine in by_proc.items()
+            },
+        )
+    return estimates

@@ -16,7 +16,7 @@ from repro.core.config import CPRConfig
 from repro.machine.processor import PAPER_PROCESSORS, ProcessorConfig
 from repro.obs import activate_ledger, trace_span
 from repro.perf.counts import OperationCounts, operation_counts
-from repro.perf.estimator import estimate_program_cycles
+from repro.perf.estimator import estimate_program_cycles_multi
 from repro.pipeline import PipelineOptions, WorkloadBuild, build_workload
 from repro.workloads.base import Workload
 
@@ -59,18 +59,23 @@ def measure_build(
     # per processor configuration).
     with trace_span(f"measure:{build.name}", kind="phase"), \
             activate_ledger(build.build_report.ledger):
+        # One multi-machine estimate per program: machines sharing a
+        # latency model share one scheduling lowering per block (the SoA
+        # engine), instead of five independent schedule passes.
+        baseline_estimates = estimate_program_cycles_multi(
+            build.baseline, processors, build.baseline_profile,
+            mode=estimate_mode,
+        )
+        transformed_estimates = estimate_program_cycles_multi(
+            build.transformed, processors, build.transformed_profile,
+            mode=estimate_mode,
+        )
         for processor in processors:
             result.baseline_cycles[processor.name] = (
-                estimate_program_cycles(
-                    build.baseline, processor, build.baseline_profile,
-                    mode=estimate_mode,
-                ).total
+                baseline_estimates[processor.name].total
             )
             result.transformed_cycles[processor.name] = (
-                estimate_program_cycles(
-                    build.transformed, processor, build.transformed_profile,
-                    mode=estimate_mode,
-                ).total
+                transformed_estimates[processor.name].total
             )
         result.baseline_counts = operation_counts(
             build.baseline, build.baseline_profile

@@ -1,11 +1,28 @@
-"""EPIC list scheduling."""
+"""EPIC list scheduling (object reference engine + struct-of-arrays core)."""
 
-from repro.sched.list_scheduler import schedule_block, schedule_procedure
+from repro.sched.list_scheduler import (
+    ENGINES,
+    get_default_engine,
+    schedule_block,
+    schedule_procedure,
+    schedule_procedure_multi,
+    set_default_engine,
+    use_engine,
+)
 from repro.sched.schedule import BlockSchedule, ProcedureSchedule
+from repro.sched.soa import BlockSoA, ProcedureLowering, lower_block
 
 __all__ = [
+    "ENGINES",
     "BlockSchedule",
+    "BlockSoA",
+    "ProcedureLowering",
     "ProcedureSchedule",
+    "get_default_engine",
+    "lower_block",
     "schedule_block",
     "schedule_procedure",
+    "schedule_procedure_multi",
+    "set_default_engine",
+    "use_engine",
 ]

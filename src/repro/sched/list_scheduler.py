@@ -9,13 +9,25 @@ by program order) into free functional units.
 Legality of overlapping branches, hoisting speculative operations above
 branches, and reordering guarded operations is entirely encoded in the
 dependence graph (see :mod:`repro.analysis.dependence`), so this module is a
-straightforward engine.
+straightforward engine. Two interchangeable engines implement it:
+
+* ``soa`` (the default) — the struct-of-arrays core in
+  :mod:`repro.sched.soa`: the block is lowered once into flat integer
+  arrays and scheduled with an event-driven cycle advance;
+* ``object`` — the original object-per-operation engine, kept as the
+  reference implementation and escape hatch (``--sched-engine=object``).
+
+Both engines are bit-identical — same per-op cycles, schedule lengths, and
+emitted counters — enforced by the differential property suite. Callers
+pick an engine per call or set the process default via
+:func:`set_default_engine` / :func:`use_engine`.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Optional
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.dependence import DependenceGraph
 from repro.analysis.liveness import LivenessAnalysis
@@ -26,14 +38,59 @@ from repro.machine.processor import ProcessorConfig
 from repro.obs import record_counter
 from repro.sched.schedule import BlockSchedule, ProcedureSchedule
 
+#: The interchangeable scheduling engines.
+ENGINES = ("object", "soa")
 
-def schedule_block(
+_default_engine = "soa"
+
+
+def set_default_engine(name: str):
+    """Set the process-wide default engine (``object`` or ``soa``)."""
+    global _default_engine
+    if name not in ENGINES:
+        raise SchedulingError(
+            f"unknown scheduler engine {name!r}; "
+            f"expected one of {', '.join(ENGINES)}"
+        )
+    _default_engine = name
+
+
+def get_default_engine() -> str:
+    return _default_engine
+
+
+@contextmanager
+def use_engine(name: str):
+    """Temporarily select the default engine (tests, farm workers)."""
+    previous = get_default_engine()
+    set_default_engine(name)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    if engine is None:
+        return _default_engine
+    if engine not in ENGINES:
+        raise SchedulingError(
+            f"unknown scheduler engine {engine!r}; "
+            f"expected one of {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+# ----------------------------------------------------------------------
+# The object-per-operation reference engine
+# ----------------------------------------------------------------------
+def _schedule_block_object(
     block: Block,
     processor: ProcessorConfig,
-    liveness: Optional[LivenessAnalysis] = None,
-    graph: Optional[DependenceGraph] = None,
-) -> BlockSchedule:
-    """Schedule one block; returns per-op issue cycles and the length."""
+    liveness: Optional[LivenessAnalysis],
+    graph: Optional[DependenceGraph],
+) -> Tuple[BlockSchedule, int]:
+    """The original engine; returns ``(schedule, peak_ready)``."""
     latencies = processor.latencies
     if graph is None:
         graph = DependenceGraph(block, latencies, liveness=liveness)
@@ -42,7 +99,7 @@ def schedule_block(
     schedule = BlockSchedule(block=block, branch_latency=latencies.branch)
     if count == 0:
         schedule.length = 1
-        return schedule
+        return schedule, 0
 
     heights = graph.critical_path_height()
     unplaced_preds = {
@@ -57,16 +114,18 @@ def schedule_block(
     for i in range(count):
         if unplaced_preds[i] == 0:
             heapq.heappush(ready, (-heights[i], i))
+    # High-water count of ready-but-unplaced ops, sampled every time an
+    # op *becomes* ready (not once per cycle, which misses the successor
+    # pushes that happen while the inner loop drains the heap).
+    ready_count = len(ready)
+    peak_ready = ready_count
 
     cycle = 0
     pending = count
     deferred = []
     guard = 0
-    peak_ready = len(ready)
     while pending > 0:
         guard += 1
-        if len(ready) > peak_ready:
-            peak_ready = len(ready)
         if guard > 1_000_000:
             raise SchedulingError(
                 f"scheduler failed to converge on {block.label}"
@@ -86,6 +145,7 @@ def schedule_block(
             placed[index] = cycle
             schedule.cycles[ops[index].uid] = cycle
             pending -= 1
+            ready_count -= 1
             progressed = True
             for edge in graph.successors(index):
                 earliest[edge.dst] = max(
@@ -94,35 +154,160 @@ def schedule_block(
                 unplaced_preds[edge.dst] -= 1
                 if unplaced_preds[edge.dst] == 0:
                     heapq.heappush(ready, (-heights[edge.dst], edge.dst))
+                    ready_count += 1
+                    if ready_count > peak_ready:
+                        peak_ready = ready_count
+        if pending > 0 and not progressed:
+            # Deadlock detection must run *before* deferred ops go back
+            # into ``ready`` (the old post-re-push test could never fire,
+            # so genuine deadlocks spun to the iteration guard instead).
+            if not deferred:
+                raise SchedulingError(
+                    f"deadlock scheduling {block.label}: "
+                    f"{pending} ops stuck"
+                )
+            if all(earliest[index] <= cycle for _, index in deferred):
+                # Nothing was placed, so this cycle is empty — yet every
+                # deferred op failed to fit. A fresh cycle can never look
+                # different: no placement is possible and no future event
+                # exists.
+                raise SchedulingError(
+                    f"deadlock scheduling {block.label}: {pending} ops "
+                    "unplaceable (no free unit at an empty cycle and no "
+                    "future event)"
+                )
         for item in deferred:
             heapq.heappush(ready, item)
         cycle += 1
-        if not progressed and not ready and pending > 0:
-            raise SchedulingError(
-                f"deadlock scheduling {block.label}: {pending} ops stuck"
-            )
 
     schedule.length = max(
-        placed[i] + latencies.latency(ops[i].opcode) for i in range(count)
+        max(
+            placed[i] + latencies.latency(ops[i].opcode)
+            for i in range(count)
+        ),
+        1,
     )
-    # One sample per scheduled block keeps the hooks negligible even on
-    # untraced builds (a single context-variable read each).
-    record_counter("sched.ops_scheduled", count)
-    record_counter("sched.block_cycles", schedule.length)
-    record_counter("sched.ready_queue_depth", peak_ready)
-    return schedule
+    return schedule, peak_ready
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def schedule_block(
+    block: Block,
+    processor: ProcessorConfig,
+    liveness: Optional[LivenessAnalysis] = None,
+    graph: Optional[DependenceGraph] = None,
+    engine: Optional[str] = None,
+) -> BlockSchedule:
+    """Schedule one block; returns per-op issue cycles and the length.
+
+    ``engine`` overrides the process default (see :data:`ENGINES`).
+    """
+    engine = _resolve_engine(engine)
+    if engine == "soa":
+        from repro.sched.soa import lower_block, schedule_lowered
+
+        soa = lower_block(
+            block, processor.latencies, liveness=liveness, graph=graph
+        )
+        schedule, peak_ready = schedule_lowered(soa, block, processor)
+    else:
+        schedule, peak_ready = _schedule_block_object(
+            block, processor, liveness, graph
+        )
+    return _emit((schedule, peak_ready))
 
 
 def schedule_procedure(
     proc: Procedure,
     processor: ProcessorConfig,
+    engine: Optional[str] = None,
 ) -> ProcedureSchedule:
     """Schedule every block of *proc* independently (hyperblock scheduling:
     each block is its own scheduling region, as in the paper)."""
-    liveness = LivenessAnalysis(proc)
+    engine = _resolve_engine(engine)
     result = ProcedureSchedule()
+    if engine == "soa":
+        from repro.sched.soa import ProcedureLowering, schedule_lowered
+
+        lowering = ProcedureLowering(proc, processor.latencies)
+        for block in proc.blocks:
+            result.schedules[block.label.name] = _emit(
+                schedule_lowered(
+                    lowering.for_block(block), block, processor
+                )
+            )
+        return result
+    liveness = LivenessAnalysis(proc)
     for block in proc.blocks:
-        result.schedules[block.label.name] = schedule_block(
-            block, processor, liveness=liveness
+        result.schedules[block.label.name] = _emit(
+            _schedule_block_object(block, processor, liveness, None)
         )
     return result
+
+
+def schedule_procedure_multi(
+    proc: Procedure,
+    processors: Sequence[ProcessorConfig],
+    engine: Optional[str] = None,
+) -> Dict[str, ProcedureSchedule]:
+    """Schedule *proc* on several machines; returns name -> schedules.
+
+    This is the registry evaluation hot path (Table 2 measures five
+    presets per build). Under the ``soa`` engine, machines sharing a
+    latency model also share one liveness solve and one lowering per
+    block — the dependence graph does not depend on the resource shape —
+    so the per-machine cost collapses to the array loop alone. The
+    ``object`` engine runs one full independent pass per machine.
+
+    Machine names key the result, so they must be unique (the latency
+    ablations rename nothing — pass such variants one at a time).
+    """
+    names = [processor.name for processor in processors]
+    if len(set(names)) != len(names):
+        raise SchedulingError(
+            f"schedule_procedure_multi needs uniquely named machines, "
+            f"got {names}"
+        )
+    engine = _resolve_engine(engine)
+    if engine != "soa":
+        return {
+            processor.name: schedule_procedure(proc, processor, engine)
+            for processor in processors
+        }
+    from repro.sched.soa import ProcedureLowering, schedule_lowered
+
+    # Group machines by latency model (lowering depends on latencies, not
+    # on unit counts); preserve caller order in the result.
+    lowerings: List[Tuple[object, ProcedureLowering]] = []
+    results: Dict[str, ProcedureSchedule] = {}
+    for processor in processors:
+        lowering = None
+        for latencies, candidate in lowerings:
+            if latencies == processor.latencies:
+                lowering = candidate
+                break
+        if lowering is None:
+            lowering = ProcedureLowering(proc, processor.latencies)
+            lowerings.append((processor.latencies, lowering))
+        schedules = ProcedureSchedule()
+        for block in proc.blocks:
+            schedules.schedules[block.label.name] = _emit(
+                schedule_lowered(
+                    lowering.for_block(block), block, processor
+                )
+            )
+        results[processor.name] = schedules
+    return results
+
+
+def _emit(outcome: Tuple[BlockSchedule, int]) -> BlockSchedule:
+    """Record the per-block counters an engine run produced."""
+    schedule, peak_ready = outcome
+    if not schedule.cycles:
+        return schedule
+    record_counter("sched.ops_scheduled", len(schedule.cycles))
+    record_counter("sched.block_cycles", schedule.length)
+    record_counter("sched.ready_queue_depth", peak_ready)
+    return schedule

@@ -1,0 +1,328 @@
+"""Struct-of-arrays scheduling core: lowering and the event-driven engine.
+
+The object IR (:class:`~repro.ir.operation.Operation` lists hanging off
+:class:`~repro.ir.block.Block`) is the authoring and printing layer; the
+scheduler's hot path does not need any of it. This module lowers one block
+*once* into flat parallel arrays of small integers — a :class:`BlockSoA` —
+and schedules from those arrays with an event-driven cycle advance.
+
+Lowering contract
+-----------------
+``lower_block`` consumes the predicate-aware
+:class:`~repro.analysis.dependence.DependenceGraph` (the single source of
+truth for legality) and freezes it into:
+
+* ``units[i]``   — functional-unit class as an integer index into
+  :data:`UNIT_CLASSES` (``I``/``F``/``M``/``B``);
+* ``latencies[i]`` — the op's visible latency under the lowered
+  :class:`~repro.machine.latency.LatencyModel`;
+* ``pred_counts[i]`` — number of dependence predecessors;
+* ``succ_ptr``/``succ_dst``/``succ_lat`` — CSR-style successor edge lists:
+  the edges leaving op *i* occupy positions ``succ_ptr[i]`` to
+  ``succ_ptr[i + 1]`` of the two payload arrays;
+* ``heights[i]`` — critical-path height, the scheduler's priority
+  (identical recurrence to ``DependenceGraph.critical_path_height``);
+* ``uids[i]`` — the op uid at position *i*, used only to key the
+  resulting :class:`~repro.sched.schedule.BlockSchedule` for callers.
+
+A ``BlockSoA`` depends on the block's operations and the latency model but
+*not* on the machine's resource shape, so one lowering schedules every
+processor preset that shares a latency model (all five paper machines do).
+
+Event-driven advance
+--------------------
+The engine never revisits a past cycle and never places into a future one,
+so the only live resource state is the *current* cycle's usage counters.
+After draining the ready heap at cycle ``c``, the clock jumps directly to
+the next event instead of incrementing:
+
+* if some deferred op was resource-blocked at ``c``, the next event is
+  ``c + 1`` (a fresh cycle always has free units);
+* otherwise it is the minimum ``earliest`` among deferred ops;
+* if neither exists while ops remain, the block can never be scheduled and
+  :class:`~repro.errors.SchedulingError` is raised immediately (no
+  placement is possible and no future event will change that).
+
+The engine is bit-identical to the object engine in
+:mod:`repro.sched.list_scheduler` — same per-op cycles, same lengths, same
+emitted counters — which the differential property suite enforces across
+random hyperblocks and every machine preset.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.dependence import DependenceGraph
+from repro.analysis.liveness import LivenessAnalysis
+from repro.errors import SchedulingError
+from repro.ir.block import Block
+from repro.machine.latency import LatencyModel
+from repro.machine.processor import ProcessorConfig
+from repro.sched.schedule import BlockSchedule
+
+#: Unit-class letters in index order; ``units[i]`` indexes this tuple.
+UNIT_CLASSES = ("I", "F", "M", "B")
+
+_UNIT_INDEX = {letter: i for i, letter in enumerate(UNIT_CLASSES)}
+
+#: Stand-in capacity for "unlimited" unit counts / uncapped issue width.
+_UNLIMITED = 1 << 30
+
+
+class BlockSoA:
+    """One block frozen into parallel integer arrays (see module doc)."""
+
+    __slots__ = (
+        "label",
+        "count",
+        "uids",
+        "units",
+        "latencies",
+        "pred_counts",
+        "succ_ptr",
+        "succ_dst",
+        "succ_lat",
+        "heights",
+    )
+
+    def __init__(
+        self,
+        label,
+        count: int,
+        uids: List[int],
+        units: List[int],
+        latencies: List[int],
+        pred_counts: List[int],
+        succ_ptr: List[int],
+        succ_dst: List[int],
+        succ_lat: List[int],
+        heights: List[int],
+    ):
+        self.label = label
+        self.count = count
+        self.uids = uids
+        self.units = units
+        self.latencies = latencies
+        self.pred_counts = pred_counts
+        self.succ_ptr = succ_ptr
+        self.succ_dst = succ_dst
+        self.succ_lat = succ_lat
+        self.heights = heights
+
+    def successors(self, index: int) -> Sequence[Tuple[int, int]]:
+        """(dst, latency) pairs of the edges leaving *index* (for tests)."""
+        lo, hi = self.succ_ptr[index], self.succ_ptr[index + 1]
+        return list(zip(self.succ_dst[lo:hi], self.succ_lat[lo:hi]))
+
+
+def lower_block(
+    block: Block,
+    latencies: LatencyModel,
+    liveness: Optional[LivenessAnalysis] = None,
+    graph: Optional[DependenceGraph] = None,
+) -> BlockSoA:
+    """Freeze *block* into a :class:`BlockSoA` under *latencies*.
+
+    The dependence graph is built here (the object layer stays the single
+    source of legality) unless the caller already has one.
+    """
+    if graph is None:
+        graph = DependenceGraph(block, latencies, liveness=liveness)
+    ops = graph.ops
+    count = len(ops)
+    uids = [op.uid for op in ops]
+    units = [_UNIT_INDEX[op.opcode.unit_class()] for op in ops]
+    op_lat = [latencies.latency(op.opcode) for op in ops]
+    pred_counts = [len(graph.preds[i]) for i in range(count)]
+
+    succ_ptr = [0] * (count + 1)
+    succ_dst: List[int] = []
+    succ_lat: List[int] = []
+    for i in range(count):
+        for edge in graph.succs[i]:
+            succ_dst.append(edge.dst)
+            succ_lat.append(edge.latency)
+        succ_ptr[i + 1] = len(succ_dst)
+
+    # Critical-path heights: edges always point forward in program order,
+    # so a single reverse sweep is a topological-order relaxation.
+    heights = [0] * count
+    for i in range(count - 1, -1, -1):
+        best = op_lat[i]
+        for e in range(succ_ptr[i], succ_ptr[i + 1]):
+            candidate = succ_lat[e] + heights[succ_dst[e]]
+            if candidate > best:
+                best = candidate
+        heights[i] = best
+
+    return BlockSoA(
+        label=block.label,
+        count=count,
+        uids=uids,
+        units=units,
+        latencies=op_lat,
+        pred_counts=pred_counts,
+        succ_ptr=succ_ptr,
+        succ_dst=succ_dst,
+        succ_lat=succ_lat,
+        heights=heights,
+    )
+
+
+def _capacity_vector(processor: ProcessorConfig) -> Tuple[List[int], int]:
+    """Per-class unit counts (index order of UNIT_CLASSES) + issue width."""
+    counts = processor.unit_counts
+    caps = [
+        _UNLIMITED if counts[letter] is None else counts[letter]
+        for letter in UNIT_CLASSES
+    ]
+    width = (
+        _UNLIMITED if processor.issue_width is None else processor.issue_width
+    )
+    return caps, width
+
+
+def schedule_lowered(
+    soa: BlockSoA,
+    block: Block,
+    processor: ProcessorConfig,
+) -> Tuple[BlockSchedule, int]:
+    """Schedule a lowered block on *processor*.
+
+    Returns ``(schedule, peak_ready)`` where ``peak_ready`` is the
+    high-water count of ready-but-unplaced operations (sampled whenever an
+    operation becomes ready — the counter the dispatcher emits as
+    ``sched.ready_queue_depth``).
+    """
+    count = soa.count
+    schedule = BlockSchedule(
+        block=block, branch_latency=processor.latencies.branch
+    )
+    if count == 0:
+        schedule.length = 1
+        return schedule, 0
+
+    units = soa.units
+    op_lat = soa.latencies
+    heights = soa.heights
+    succ_ptr = soa.succ_ptr
+    succ_dst = soa.succ_dst
+    succ_lat = soa.succ_lat
+    uids = soa.uids
+    caps, width = _capacity_vector(processor)
+
+    unplaced_preds = list(soa.pred_counts)
+    earliest = [0] * count
+    placed = [0] * count
+
+    ready: List[Tuple[int, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    for i in range(count):
+        if unplaced_preds[i] == 0:
+            push(ready, (-heights[i], i))
+    ready_count = len(ready)
+    peak_ready = ready_count
+
+    cycle = 0
+    pending = count
+    used = [0, 0, 0, 0]
+    total_used = 0
+    deferred: List[Tuple[int, int]] = []
+    length = 0
+    while pending > 0:
+        progressed = False
+        deferred.clear()
+        while ready:
+            item = pop(ready)
+            index = item[1]
+            if earliest[index] > cycle:
+                deferred.append(item)
+                continue
+            unit = units[index]
+            if total_used >= width or used[unit] >= caps[unit]:
+                deferred.append(item)
+                continue
+            used[unit] += 1
+            total_used += 1
+            placed[index] = cycle
+            pending -= 1
+            ready_count -= 1
+            progressed = True
+            done = cycle + op_lat[index]
+            if done > length:
+                length = done
+            for e in range(succ_ptr[index], succ_ptr[index + 1]):
+                dst = succ_dst[e]
+                finish = cycle + succ_lat[e]
+                if finish > earliest[dst]:
+                    earliest[dst] = finish
+                unplaced_preds[dst] -= 1
+                if unplaced_preds[dst] == 0:
+                    push(ready, (-heights[dst], dst))
+                    ready_count += 1
+                    if ready_count > peak_ready:
+                        peak_ready = ready_count
+        if pending == 0:
+            break
+        if not deferred:
+            raise SchedulingError(
+                f"deadlock scheduling {soa.label}: {pending} ops stuck"
+            )
+        # Event-driven advance: jump to the next cycle anything can change.
+        next_event = _UNLIMITED
+        blocked_now = False
+        for _, index in deferred:
+            when = earliest[index]
+            if when <= cycle:
+                blocked_now = True
+            elif when < next_event:
+                next_event = when
+        if blocked_now:
+            if not progressed and total_used == 0:
+                # The cycle was empty, yet no deferred op fit: its unit
+                # class can never host it — no future cycle differs.
+                raise SchedulingError(
+                    f"deadlock scheduling {soa.label}: {pending} ops "
+                    "unplaceable (no free unit at an empty cycle and no "
+                    "future event)"
+                )
+            next_event = cycle + 1
+        for item in deferred:
+            push(ready, item)
+        cycle = next_event
+        used[0] = used[1] = used[2] = used[3] = 0
+        total_used = 0
+
+    cycles = schedule.cycles
+    for i in range(count):
+        cycles[uids[i]] = placed[i]
+    schedule.length = max(length, 1)
+    return schedule, peak_ready
+
+
+class ProcedureLowering:
+    """Per-procedure lowering shared across machines with one latency model.
+
+    ``for_block`` lowers lazily and memoizes by block identity; the object
+    lifetime is one scheduling request (no cross-pass caching — passes
+    mutate blocks in place, so lowerings must never outlive the call that
+    created them).
+    """
+
+    def __init__(self, proc, latencies: LatencyModel):
+        self.latencies = latencies
+        self.liveness = LivenessAnalysis(proc)
+        self._lowered: Dict[int, BlockSoA] = {}
+
+    def for_block(self, block: Block) -> BlockSoA:
+        key = id(block)
+        soa = self._lowered.get(key)
+        if soa is None:
+            soa = lower_block(
+                block, self.latencies, liveness=self.liveness
+            )
+            self._lowered[key] = soa
+        return soa

@@ -1,0 +1,168 @@
+"""The struct-of-arrays scheduler core: lowering, dispatch, multi-machine.
+
+The hypothesis differential suite
+(:mod:`tests.integration.test_property_soa_differential`) is the
+bit-identity net; these tests pin the lowering contract and the engine
+plumbing deterministically.
+"""
+
+import pytest
+
+from repro.analysis import DependenceGraph, LivenessAnalysis
+from repro.errors import SchedulingError
+from repro.machine import (
+    INFINITE,
+    MEDIUM,
+    NARROW,
+    PAPER_LATENCIES,
+    SEQUENTIAL,
+    WIDE,
+)
+from repro.obs import CounterSet, activate_counters
+from repro.sched import (
+    ENGINES,
+    get_default_engine,
+    lower_block,
+    schedule_block,
+    schedule_procedure,
+    schedule_procedure_multi,
+    set_default_engine,
+    use_engine,
+)
+from repro.sched.soa import UNIT_CLASSES
+from tests.conftest import build_strcpy_program
+
+ALL_MACHINES = (SEQUENTIAL, NARROW, MEDIUM, WIDE, INFINITE)
+
+
+def _loop_block(unroll=4):
+    program = build_strcpy_program(unroll=unroll)
+    proc = program.procedure("main")
+    return proc, proc.block("Loop")
+
+
+# ----------------------------------------------------------------------
+# Lowering contract
+# ----------------------------------------------------------------------
+def test_lowering_mirrors_dependence_graph():
+    proc, block = _loop_block()
+    liveness = LivenessAnalysis(proc)
+    graph = DependenceGraph(block, PAPER_LATENCIES, liveness=liveness)
+    soa = lower_block(block, PAPER_LATENCIES, liveness=liveness)
+
+    assert soa.count == len(graph.ops)
+    assert soa.uids == [op.uid for op in graph.ops]
+    heights = graph.critical_path_height()
+    assert soa.heights == [heights[i] for i in range(soa.count)]
+    for i, op in enumerate(graph.ops):
+        assert UNIT_CLASSES[soa.units[i]] == op.opcode.unit_class()
+        assert soa.latencies[i] == PAPER_LATENCIES.latency(op.opcode)
+        assert soa.pred_counts[i] == len(graph.predecessors(i))
+        assert soa.successors(i) == [
+            (edge.dst, edge.latency) for edge in graph.successors(i)
+        ]
+    # CSR bookkeeping: the pointer array brackets every edge exactly once.
+    assert soa.succ_ptr[0] == 0
+    assert soa.succ_ptr[-1] == len(soa.succ_dst) == len(graph.edges)
+
+
+def test_lowering_is_machine_independent():
+    """The SoA depends on the latency model, not the resource shape: one
+    lowering schedules every preset to the same result as fresh calls."""
+    proc, block = _loop_block()
+    from repro.sched.soa import schedule_lowered
+
+    liveness = LivenessAnalysis(proc)
+    soa = lower_block(block, PAPER_LATENCIES, liveness=liveness)
+    for machine in ALL_MACHINES:
+        shared, _ = schedule_lowered(soa, block, machine)
+        fresh = schedule_block(
+            block, machine, liveness=liveness, engine="soa"
+        )
+        assert shared.cycles == fresh.cycles
+        assert shared.length == fresh.length
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch
+# ----------------------------------------------------------------------
+def test_engines_bit_identical_on_strcpy():
+    proc, _ = _loop_block(unroll=6)
+    for machine in ALL_MACHINES:
+        by_engine = {}
+        counters_by_engine = {}
+        for engine in ENGINES:
+            counters = CounterSet()
+            with activate_counters(counters):
+                by_engine[engine] = schedule_procedure(
+                    proc, machine, engine=engine
+                )
+            counters_by_engine[engine] = counters.to_dict()
+        obj, soa = by_engine["object"], by_engine["soa"]
+        assert set(obj.schedules) == set(soa.schedules)
+        for label in obj.schedules:
+            assert obj.schedules[label].cycles == soa.schedules[label].cycles
+            assert obj.schedules[label].length == soa.schedules[label].length
+        assert counters_by_engine["object"] == counters_by_engine["soa"]
+
+
+def test_default_engine_plumbing():
+    assert get_default_engine() == "soa"
+    with use_engine("object"):
+        assert get_default_engine() == "object"
+        with use_engine("soa"):
+            assert get_default_engine() == "soa"
+        assert get_default_engine() == "object"
+    assert get_default_engine() == "soa"
+    with pytest.raises(SchedulingError, match="unknown scheduler engine"):
+        set_default_engine("vliw")
+    with pytest.raises(SchedulingError, match="unknown scheduler engine"):
+        proc, block = _loop_block()
+        schedule_block(block, MEDIUM, engine="fast")
+
+
+# ----------------------------------------------------------------------
+# Multi-machine scheduling
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ENGINES)
+def test_multi_matches_single_machine_calls(engine):
+    proc, _ = _loop_block(unroll=4)
+    multi = schedule_procedure_multi(proc, ALL_MACHINES, engine=engine)
+    assert list(multi) == [machine.name for machine in ALL_MACHINES]
+    for machine in ALL_MACHINES:
+        single = schedule_procedure(proc, machine, engine=engine)
+        for label, expected in single.schedules.items():
+            got = multi[machine.name].schedules[label]
+            assert got.cycles == expected.cycles
+            assert got.length == expected.length
+
+
+def test_multi_handles_distinct_latency_models():
+    """Machines with different latency models must not share a lowering."""
+    proc, _ = _loop_block(unroll=4)
+    slow_branch = MEDIUM.with_branch_latency(3)
+    wide = WIDE  # shares PAPER_LATENCIES with nothing else in this list
+    renamed = type(slow_branch)(
+        name="medium-b3",
+        int_units=slow_branch.int_units,
+        float_units=slow_branch.float_units,
+        memory_units=slow_branch.memory_units,
+        branch_units=slow_branch.branch_units,
+        issue_width=slow_branch.issue_width,
+        latencies=slow_branch.latencies,
+    )
+    multi = schedule_procedure_multi(proc, (wide, renamed), engine="soa")
+    expected_wide = schedule_procedure(proc, wide, engine="object")
+    expected_b3 = schedule_procedure(proc, renamed, engine="object")
+    for label, schedule in expected_wide.schedules.items():
+        assert multi["wide"].schedules[label].cycles == schedule.cycles
+    for label, schedule in expected_b3.schedules.items():
+        assert multi["medium-b3"].schedules[label].cycles == schedule.cycles
+
+
+def test_multi_rejects_duplicate_machine_names():
+    proc, _ = _loop_block()
+    with pytest.raises(SchedulingError, match="uniquely named"):
+        schedule_procedure_multi(
+            proc, (MEDIUM, MEDIUM.with_branch_latency(3))
+        )
