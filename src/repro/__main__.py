@@ -204,6 +204,7 @@ def _farm_options(args, processors=MACHINES) -> FarmOptions:
         supervisor=supervisor,
         chaos=chaos,
         sched_engine=getattr(args, "sched_engine", "soa"),
+        interp_engine=getattr(args, "interp_engine", "soa"),
     )
 
 
@@ -284,6 +285,7 @@ def cmd_trace(args) -> int:
         processors=tuple(MACHINES),
         trace=True,
         sched_engine=getattr(args, "sched_engine", "soa"),
+        interp_engine=getattr(args, "interp_engine", "soa"),
     )
     farm = build_farm([args.name], options)
     summary = farm.summaries[0]
@@ -666,6 +668,14 @@ def main(argv=None) -> int:
                  "path, the default) or 'object' (the reference "
                  "engine); both produce bit-identical schedules",
         )
+        p_farm.add_argument(
+            "--interp-engine", default="soa", choices=("object", "soa"),
+            dest="interp_engine",
+            help="interpreter engine for profiling and differential "
+                 "runs: 'soa' (array core, the default) or 'object' "
+                 "(the reference engine); both produce bit-identical "
+                 "profiles",
+        )
 
     p_trace = sub.add_parser(
         "trace", help="build one workload and print its span tree, "
@@ -694,6 +704,11 @@ def main(argv=None) -> int:
         "--sched-engine", default="soa", choices=("object", "soa"),
         dest="sched_engine",
         help="list-scheduler engine for the instrumented build",
+    )
+    p_trace.add_argument(
+        "--interp-engine", default="soa", choices=("object", "soa"),
+        dest="interp_engine",
+        help="interpreter engine for the instrumented build",
     )
 
     p_serve = sub.add_parser(

@@ -64,6 +64,7 @@ from repro.perf.report import measure_build
 from repro.pipeline import PipelineOptions, build_workload
 from repro.sched import use_engine
 from repro.sim.interpreter import DEFAULT_FUEL
+from repro.sim.interpreter import use_engine as use_interp_engine
 from repro.workloads.registry import get_workload
 
 #: Environment override consulted by :func:`resolve_jobs` when no job
@@ -110,6 +111,12 @@ class FarmOptions:
     #: reference engine). The engines are bit-identical, so the choice is
     #: excluded from cache keys; it only changes compile speed.
     sched_engine: str = "soa"
+    #: Interpreter engine for every reference run, profile sweep, and
+    #: differential check this farm performs: ``"soa"`` (the array core,
+    #: the default) or ``"object"`` (the reference engine). Bit-identical
+    #: profiles, so — like ``sched_engine`` — it is excluded from cache
+    #: keys.
+    interp_engine: str = "soa"
 
     def pipeline_options(self) -> PipelineOptions:
         return PipelineOptions(
@@ -282,7 +289,8 @@ def _evaluate_task(task: dict) -> dict:
     counters = CounterSet()
     try:
         with activate_counters(counters), activate_tracer(tracer), \
-                use_engine(options.sched_engine):
+                use_engine(options.sched_engine), \
+                use_interp_engine(options.interp_engine):
             outcome = _evaluate_workload(
                 name, options, metrics, cache, started
             )
@@ -435,6 +443,7 @@ def _task(name: str, options: FarmOptions) -> dict:
         "repro_dir": options.repro_dir,
         "trace": options.trace,
         "sched_engine": options.sched_engine,
+        "interp_engine": options.interp_engine,
     }
     task["_workload"] = name
     return task

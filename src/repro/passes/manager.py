@@ -49,7 +49,11 @@ from repro.passes.incidents import (
     Incident,
 )
 from repro.sanitize.battery import format_findings, run_battery
-from repro.sim.interpreter import DEFAULT_FUEL, Interpreter
+from repro.sim.interpreter import (
+    DEFAULT_FUEL,
+    _resolve_engine,
+    make_interpreter,
+)
 
 #: Sentinel distinguishing "transaction failed on every rung" from a pass
 #: that legitimately returned ``None``.
@@ -64,8 +68,16 @@ def run_inputs(program: Program, inputs, entry: str, fuel: int) -> List:
     protocol as :func:`repro.sim.profiler.profile_program`.
     """
     results = []
+    engine = _resolve_engine(None)
+    lowering = None
+    if engine == "soa":
+        from repro.sim.soa import ProgramLowering
+
+        lowering = ProgramLowering(program)
     for item in inputs:
-        interp = Interpreter(program, fuel=fuel)
+        interp = make_interpreter(
+            program, fuel=fuel, engine=engine, lowering=lowering
+        )
         args = ()
         if item is not None:
             if callable(item):

@@ -1,21 +1,41 @@
-"""Functional simulation: IR interpreter, profiler, and execution traces."""
+"""Functional simulation: IR interpreter, profiler, and execution traces.
+
+Two interpreter engines share one observable contract (see
+:mod:`repro.sim.interpreter` for the dispatch and :mod:`repro.sim.soa` for
+the array core); select one with ``use_engine``/``set_default_engine`` or
+per call via ``make_interpreter``/``run_program(engine=...)``.
+"""
 
 from repro.sim.cycle_sim import (
     CycleSimResult,
     CycleSimulator,
     simulate_scheduled,
 )
-from repro.sim.interpreter import ExecutionResult, Interpreter, run_program
+from repro.sim.interpreter import (
+    ENGINES,
+    ExecutionResult,
+    Interpreter,
+    get_default_engine,
+    make_interpreter,
+    run_program,
+    set_default_engine,
+    use_engine,
+)
 from repro.sim.profiler import BranchProfile, ProfileData, profile_program
 
 __all__ = [
     "BranchProfile",
     "CycleSimResult",
     "CycleSimulator",
+    "ENGINES",
     "ExecutionResult",
     "Interpreter",
     "ProfileData",
+    "get_default_engine",
+    "make_interpreter",
     "profile_program",
     "run_program",
+    "set_default_engine",
     "simulate_scheduled",
+    "use_engine",
 ]

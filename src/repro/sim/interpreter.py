@@ -19,6 +19,7 @@ outcomes (see :mod:`repro.sim.profiler` for the aggregation layer).
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,71 @@ from repro.ir.procedure import Procedure, Program
 
 #: Default operation budget; generous enough for every workload input.
 DEFAULT_FUEL = 20_000_000
+
+#: The two interpreter engines, mirroring the scheduler's dual-engine
+#: dispatch (:mod:`repro.sched.list_scheduler`): ``object`` walks Operation
+#: objects (this module — the reference semantics), ``soa`` runs the lowered
+#: struct-of-arrays core (:mod:`repro.sim.soa`). Both are bit-identical;
+#: the default is the fast one.
+ENGINES = ("object", "soa")
+
+_default_engine = "soa"
+
+
+def set_default_engine(name: str):
+    """Set the process-wide default interpreter engine."""
+    global _default_engine
+    if name not in ENGINES:
+        raise SimulationError(
+            f"unknown interpreter engine {name!r}; "
+            f"expected one of {', '.join(ENGINES)}"
+        )
+    _default_engine = name
+
+
+def get_default_engine() -> str:
+    return _default_engine
+
+
+@contextmanager
+def use_engine(name: str):
+    """Temporarily select the default engine (tests, farm workers)."""
+    previous = get_default_engine()
+    set_default_engine(name)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    if engine is None:
+        return _default_engine
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown interpreter engine {engine!r}; "
+            f"expected one of {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+def make_interpreter(
+    program: "Program",
+    fuel: int = DEFAULT_FUEL,
+    engine: Optional[str] = None,
+    lowering=None,
+):
+    """Construct an interpreter for the selected engine.
+
+    *lowering* (a :class:`repro.sim.soa.ProgramLowering`) lets repeated runs
+    of the same program share one lowering; it is ignored by the object
+    engine.
+    """
+    if _resolve_engine(engine) == "object":
+        return Interpreter(program, fuel=fuel)
+    from repro.sim.soa import SoAInterpreter
+
+    return SoAInterpreter(program, fuel=fuel, lowering=lowering)
 
 
 @dataclass
@@ -372,13 +438,17 @@ def run_program(
     args=(),
     setup=None,
     fuel: int = DEFAULT_FUEL,
+    engine: Optional[str] = None,
+    lowering=None,
 ) -> ExecutionResult:
     """Convenience one-shot run.
 
     *setup*, when given, is called with the interpreter before execution so
-    callers can poke input data into memory.
+    callers can poke input data into memory. *engine* selects the
+    interpreter engine (default: the process-wide engine); *lowering* lets
+    SoA runs of the same program share one lowering.
     """
-    interp = Interpreter(program, fuel=fuel)
+    interp = make_interpreter(program, fuel=fuel, engine=engine, lowering=lowering)
     if setup is not None:
         setup(interp)
     return interp.run(entry=entry, args=args)

@@ -15,7 +15,11 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.ir.operation import Operation
 from repro.ir.procedure import Program
-from repro.sim.interpreter import DEFAULT_FUEL, Interpreter
+from repro.sim.interpreter import (
+    DEFAULT_FUEL,
+    _resolve_engine,
+    make_interpreter,
+)
 
 
 @dataclass
@@ -97,6 +101,7 @@ def profile_program(
     inputs: Optional[Iterable] = None,
     entry: str = "main",
     fuel: int = DEFAULT_FUEL,
+    engine: Optional[str] = None,
 ) -> ProfileData:
     """Run *program* over each input and aggregate profiles.
 
@@ -104,13 +109,24 @@ def profile_program(
     ``setup(interpreter)``, or a tuple ``(setup, args)`` where *args* are the
     entry procedure's arguments. A bare callable may *return* the argument
     tuple (e.g. computed segment base addresses).
+
+    *engine* selects the interpreter engine; with the SoA engine one
+    program lowering is shared across every input of the sweep.
     """
     profile = ProfileData()
     if inputs is None:
         inputs = [None]
+    engine = _resolve_engine(engine)
+    lowering = None
+    if engine == "soa":
+        from repro.sim.soa import ProgramLowering
+
+        lowering = ProgramLowering(program)
     for item in inputs:
         setup, args = _normalize_input(item)
-        interp = Interpreter(program, fuel=fuel)
+        interp = make_interpreter(
+            program, fuel=fuel, engine=engine, lowering=lowering
+        )
         if setup is not None:
             returned = setup(interp)
             if returned is not None and not args:

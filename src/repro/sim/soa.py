@@ -1,0 +1,999 @@
+"""Struct-of-arrays interpreter engine.
+
+The object interpreter (:mod:`repro.sim.interpreter`) walks ``Operation``
+objects and keeps register files as dicts keyed by frozen-dataclass
+operands — architecturally faithful, but every op pays attribute lookups,
+``isinstance`` ladders, and operand hashing. Reference runs, differential
+checks, and the fuzz oracle execute millions of such ops per build, so the
+interpreter inherits the scheduler's recipe (:mod:`repro.sched.soa`):
+
+* **Lower once.** :func:`lower_procedure` flattens a procedure into parallel
+  arrays — opcode dispatch ids, interned register slots (ints, preds, BTRs
+  and fregs each get a dense slot space), immediates and pre-decoded operand
+  ``(mode, arg)`` pairs, CSR tables for cmpp destination actions and call
+  arguments, branch-target encodings, and per-block op ranges.
+* **Run on arrays.** :class:`SoAInterpreter` executes the lowered form with
+  a tight integer dispatch loop: register files are plain lists, BTRs hold
+  pre-resolved block indices, counters are dense per-op hit arrays, and the
+  hot loop touches no ``Operation`` attribute and hashes no operand.
+* **Share the lowering.** A :class:`ProgramLowering` memoizes per-procedure
+  lowerings so profiling sweeps, differential re-runs, and oracle replays of
+  the same program lower each procedure exactly once. Its lifetime is one
+  profiling/differential request: passes mutate IR in place, so lowerings
+  must not outlive the pass pipeline (the same rule as the scheduler's
+  ``ProcedureLowering``).
+
+The engine is **bit-identical** to the object interpreter — same store
+traces, return values, memory images, counters keyed by the same
+``(procedure, uid)`` / ``(procedure, label)`` pairs, the same error
+messages, and the same fuel-exhaustion points — which the lowering-contract
+suite (``tests/sim/test_soa_interp.py``) and the hypothesis differential
+(``tests/integration/test_property_interp_differential.py``) pin down.
+
+One contract difference, by design: operand-kind errors ("unreadable
+operand", "unwritable destination") surface at lowering time here, not at
+first execution. They only fire on IR the verifier rejects anyway — no
+frontend, builder, or pass emits such operands.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FuelExhausted, IRError, SimulationError
+from repro.ir.opcodes import Cond, Opcode
+from repro.ir.operands import BTR, FReg, Imm, Label, PredReg, Reg
+from repro.ir.procedure import Procedure, Program
+from repro.sim.interpreter import (
+    DEFAULT_FUEL,
+    ExecutionResult,
+    _int_div,
+    _int_rem,
+)
+
+# ---------------------------------------------------------------------------
+# Dispatch codes (dense ints; the hot loop switches on these)
+# ---------------------------------------------------------------------------
+OP_ALU = 0
+OP_CMPP = 1
+OP_BRANCH = 2
+OP_LOAD = 3
+OP_STORE = 4
+OP_MOV = 5          # also FMOV: identical runtime behaviour
+OP_JUMP = 6
+OP_RETURN = 7
+OP_CALL = 8
+OP_PBR = 9
+OP_PRED_CLEAR = 10
+OP_PRED_SET = 11
+OP_CVT_IF = 12
+OP_CVT_FI = 13
+
+# Operand (mode, arg) encodings. ``arg`` is a slot index for register modes,
+# the literal value for M_CONST, and the Label object itself for M_LABEL.
+M_NONE = -1
+M_CONST = 0
+M_REG = 1
+M_FREG = 2
+M_PRED = 3
+M_BTR = 4
+M_LABEL = 5
+
+#: ALU dispatch table: C-level operator functions where semantics permit,
+#: the interpreter's own div/rem helpers where error messages matter.
+_ALU_FN = {
+    Opcode.ADD: operator.add,
+    Opcode.SUB: operator.sub,
+    Opcode.MUL: operator.mul,
+    Opcode.DIV: _int_div,
+    Opcode.REM: _int_rem,
+    Opcode.AND: operator.and_,
+    Opcode.OR: operator.or_,
+    Opcode.XOR: operator.xor,
+    Opcode.SHL: operator.lshift,
+    Opcode.SHR: operator.rshift,
+    Opcode.FADD: operator.add,
+    Opcode.FSUB: operator.sub,
+    Opcode.FMUL: operator.mul,
+    Opcode.FDIV: operator.truediv,
+}
+
+_COND_FN = {
+    Cond.EQ: operator.eq,
+    Cond.NE: operator.ne,
+    Cond.LT: operator.lt,
+    Cond.LE: operator.le,
+    Cond.GT: operator.gt,
+    Cond.GE: operator.ge,
+}
+
+#: cmpp action kinds, encoded for the hot loop (complement is a separate bit).
+_KIND_U = 0
+_KIND_O = 1
+_KIND_A = 2
+_KIND_CODE = {"U": _KIND_U, "O": _KIND_O, "A": _KIND_A}
+
+_DISPATCH = {
+    Opcode.CMPP: OP_CMPP,
+    Opcode.BRANCH: OP_BRANCH,
+    Opcode.LOAD: OP_LOAD,
+    Opcode.STORE: OP_STORE,
+    Opcode.MOV: OP_MOV,
+    Opcode.FMOV: OP_MOV,
+    Opcode.JUMP: OP_JUMP,
+    Opcode.RETURN: OP_RETURN,
+    Opcode.CALL: OP_CALL,
+    Opcode.PBR: OP_PBR,
+    Opcode.PRED_CLEAR: OP_PRED_CLEAR,
+    Opcode.PRED_SET: OP_PRED_SET,
+    Opcode.CVT_IF: OP_CVT_IF,
+    Opcode.CVT_FI: OP_CVT_FI,
+}
+
+
+class ProcedureSoA:
+    """One procedure lowered to flat arrays.
+
+    Branch targets are encoded as ints: ``>= 0`` is a block index, ``-1``
+    means "no target" (an unset BTR), and ``<= -2`` indexes ``bad_labels``
+    (a payload that does not name a block — branching through it raises the
+    same :class:`IRError` the object engine gets from ``Procedure.block``).
+    The BTR register file holds these encodings directly, so a taken branch
+    resolves its target without hashing a single operand.
+    """
+
+    __slots__ = (
+        "name",
+        "n_params",
+        "param_slots",
+        "n_regs",
+        "n_fregs",
+        "n_preds",
+        "n_btrs",
+        "reg_slots",
+        "freg_slots",
+        "pred_slots",
+        "btr_slots",
+        "n_ops",
+        "source_ops",
+        "code",
+        "uid",
+        "guard",
+        "a_mode",
+        "a_arg",
+        "b_mode",
+        "b_arg",
+        "d_mode",
+        "d_arg",
+        "fn",
+        "target",
+        "callee",
+        "cmpp_ptr",
+        "cmpp_end",
+        "cmpp_slot",
+        "cmpp_kind",
+        "cmpp_comp",
+        "call_ptr",
+        "call_end",
+        "arg_mode",
+        "arg_val",
+        "br_pred",
+        "br_btr",
+        "n_blocks",
+        "block_start",
+        "block_end",
+        "block_fall",
+        "block_names",
+        "block_strs",
+        "block_labels",
+        "label_to_idx",
+        "bad_labels",
+        "_bad_enc",
+    )
+
+    # ------------------------------------------------------------------
+    # Target encoding
+    # ------------------------------------------------------------------
+    def encode_target(self, payload) -> int:
+        """Encode a runtime BTR payload (Label / None / anything)."""
+        if payload is None:
+            return -1
+        if isinstance(payload, Label):
+            idx = self.label_to_idx.get(payload.name)
+            if idx is not None:
+                return idx
+        enc = self._bad_enc.get(payload)
+        if enc is None:
+            enc = -2 - len(self.bad_labels)
+            self.bad_labels.append(payload)
+            self._bad_enc[payload] = enc
+        return enc
+
+    def decode_target(self, encoded: int):
+        """Inverse of :meth:`encode_target` — what the object engine's BTR
+        register file would hold."""
+        if encoded >= 0:
+            return self.block_labels[encoded]
+        if encoded == -1:
+            return None
+        return self.bad_labels[-2 - encoded]
+
+
+def _intern(table: Dict, operand) -> int:
+    slot = table.get(operand)
+    if slot is None:
+        slot = len(table)
+        table[operand] = slot
+    return slot
+
+
+def lower_procedure(proc: Procedure) -> ProcedureSoA:
+    """Flatten *proc* into a :class:`ProcedureSoA`."""
+    pl = ProcedureSoA()
+    pl.name = proc.name
+
+    regs: Dict[Reg, int] = {}
+    fregs: Dict[FReg, int] = {}
+    preds: Dict[PredReg, int] = {PredReg(0): 0}  # slot 0 = TRUE_PRED
+    btrs: Dict[BTR, int] = {}
+
+    pl.param_slots = [_intern(regs, param) for param in proc.params]
+    pl.n_params = len(proc.params)
+
+    blocks = list(proc.blocks)
+    pl.n_blocks = len(blocks)
+    pl.block_names = [block.label.name for block in blocks]
+    pl.block_strs = [f"{block.label}" for block in blocks]
+    pl.block_labels = [block.label for block in blocks]
+    pl.label_to_idx = {
+        block.label.name: idx for idx, block in enumerate(blocks)
+    }
+    pl.bad_labels = []
+    pl._bad_enc = {}
+
+    code: List[int] = []
+    uid: List[int] = []
+    guard: List[int] = []
+    a_mode: List[int] = []
+    a_arg: List[object] = []
+    b_mode: List[int] = []
+    b_arg: List[object] = []
+    d_mode: List[int] = []
+    d_arg: List[object] = []
+    fn: List[object] = []
+    target: List[int] = []
+    callee: List[Optional[str]] = []
+    cmpp_ptr: List[int] = []
+    cmpp_end: List[int] = []
+    cmpp_slot: List[int] = []
+    cmpp_kind: List[int] = []
+    cmpp_comp: List[bool] = []
+    call_ptr: List[int] = []
+    call_end: List[int] = []
+    arg_mode: List[int] = []
+    arg_val: List[object] = []
+    br_pred: List[int] = []
+    br_btr: List[int] = []
+    source_ops = []
+    block_start: List[int] = []
+    block_end: List[int] = []
+    block_fall: List[int] = []
+
+    def encode_src(src) -> Tuple[int, object]:
+        if isinstance(src, Imm):
+            return M_CONST, src.value
+        if isinstance(src, Reg):
+            return M_REG, _intern(regs, src)
+        if isinstance(src, FReg):
+            return M_FREG, _intern(fregs, src)
+        if isinstance(src, PredReg):
+            return M_PRED, _intern(preds, src)
+        if isinstance(src, BTR):
+            return M_BTR, _intern(btrs, src)
+        if isinstance(src, Label):
+            return M_LABEL, src
+        raise SimulationError(f"unreadable operand {src!r}")
+
+    def encode_dest(dest) -> Tuple[int, object]:
+        if isinstance(dest, Reg):
+            return M_REG, _intern(regs, dest)
+        if isinstance(dest, FReg):
+            return M_FREG, _intern(fregs, dest)
+        if isinstance(dest, PredReg):
+            return M_PRED, _intern(preds, dest)
+        if isinstance(dest, BTR):
+            return M_BTR, _intern(btrs, dest)
+        raise SimulationError(f"unwritable destination {dest!r}")
+
+    for index, block in enumerate(blocks):
+        block_start.append(len(code))
+        for op in block.ops:
+            opcode = op.opcode
+            dispatch = _DISPATCH.get(opcode, OP_ALU)
+            code.append(dispatch)
+            uid.append(op.uid)
+            guard.append(_intern(preds, op.guard))
+            source_ops.append(op)
+
+            am, aa = (M_NONE, 0)
+            bm, ba = (M_NONE, 0)
+            dm, da = (M_NONE, 0)
+            op_fn = None
+            op_target = -1
+            op_callee = None
+            cp = ce = len(cmpp_slot)
+            kp = ke = len(arg_mode)
+            bp = bb = -1
+
+            if dispatch == OP_CMPP:
+                am, aa = encode_src(op.srcs[0])
+                bm, ba = encode_src(op.srcs[1])
+                op_fn = _COND_FN[op.cond]
+                for pt in op.dests:
+                    cmpp_slot.append(_intern(preds, pt.reg))
+                    cmpp_kind.append(_KIND_CODE[pt.action.kind])
+                    cmpp_comp.append(pt.action.complemented)
+                ce = len(cmpp_slot)
+            elif dispatch == OP_BRANCH:
+                src0 = op.srcs[0] if op.srcs else None
+                if isinstance(src0, PredReg):
+                    bp = _intern(preds, src0)
+                src1 = op.srcs[1] if len(op.srcs) > 1 else None
+                if isinstance(src1, BTR):
+                    bb = _intern(btrs, src1)
+                static = op.branch_target()
+                op_target = (
+                    -1 if static is None else pl.encode_target(static)
+                )
+            elif dispatch == OP_JUMP:
+                op_target = pl.encode_target(op.branch_target())
+            elif dispatch == OP_RETURN:
+                if op.srcs:
+                    am, aa = encode_src(op.srcs[0])
+            elif dispatch == OP_CALL:
+                op_callee = op.attrs["callee"]
+                for src in op.srcs:
+                    mode, val = encode_src(src)
+                    arg_mode.append(mode)
+                    arg_val.append(val)
+                ke = len(arg_mode)
+                if op.dests:
+                    dm, da = encode_dest(op.dests[0])
+            elif dispatch == OP_PBR:
+                dm, da = encode_dest(op.dests[0])
+                op_target = pl.encode_target(op.srcs[0])
+            elif dispatch == OP_PRED_CLEAR:
+                dm, da = encode_dest(op.dests[0])
+            elif dispatch == OP_PRED_SET:
+                am, aa = encode_src(op.srcs[0])
+                dm, da = encode_dest(op.dests[0])
+            elif dispatch in (OP_MOV, OP_CVT_IF, OP_CVT_FI, OP_LOAD):
+                am, aa = encode_src(op.srcs[0])
+                dm, da = encode_dest(op.dests[0])
+            elif dispatch == OP_STORE:
+                am, aa = encode_src(op.srcs[0])
+                bm, ba = encode_src(op.srcs[1])
+            else:  # plain binary ALU op
+                am, aa = encode_src(op.srcs[0])
+                bm, ba = encode_src(op.srcs[1])
+                dm, da = encode_dest(op.dests[0])
+                op_fn = _ALU_FN[opcode]
+
+            a_mode.append(am)
+            a_arg.append(aa)
+            b_mode.append(bm)
+            b_arg.append(ba)
+            d_mode.append(dm)
+            d_arg.append(da)
+            fn.append(op_fn)
+            target.append(op_target)
+            callee.append(op_callee)
+            cmpp_ptr.append(cp)
+            cmpp_end.append(ce)
+            call_ptr.append(kp)
+            call_end.append(ke)
+            br_pred.append(bp)
+            br_btr.append(bb)
+
+        block_end.append(len(code))
+        if block.fallthrough is not None:
+            block_fall.append(pl.encode_target(block.fallthrough))
+        elif index + 1 < len(blocks):
+            block_fall.append(index + 1)
+        else:
+            block_fall.append(-1)  # fell off the procedure
+
+    pl.n_regs = len(regs)
+    pl.n_fregs = len(fregs)
+    pl.n_preds = len(preds)
+    pl.n_btrs = len(btrs)
+    pl.reg_slots = regs
+    pl.freg_slots = fregs
+    pl.pred_slots = preds
+    pl.btr_slots = btrs
+    pl.n_ops = len(code)
+    pl.source_ops = source_ops
+    pl.code = code
+    pl.uid = uid
+    pl.guard = guard
+    pl.a_mode = a_mode
+    pl.a_arg = a_arg
+    pl.b_mode = b_mode
+    pl.b_arg = b_arg
+    pl.d_mode = d_mode
+    pl.d_arg = d_arg
+    pl.fn = fn
+    pl.target = target
+    pl.callee = callee
+    pl.cmpp_ptr = cmpp_ptr
+    pl.cmpp_end = cmpp_end
+    pl.cmpp_slot = cmpp_slot
+    pl.cmpp_kind = cmpp_kind
+    pl.cmpp_comp = cmpp_comp
+    pl.call_ptr = call_ptr
+    pl.call_end = call_end
+    pl.arg_mode = arg_mode
+    pl.arg_val = arg_val
+    pl.br_pred = br_pred
+    pl.br_btr = br_btr
+    pl.block_start = block_start
+    pl.block_end = block_end
+    pl.block_fall = block_fall
+    return pl
+
+
+class ProgramLowering:
+    """Lazily lowers procedures, memoized by name.
+
+    Lifetime: one profiling sweep / differential check / oracle replay.
+    Passes mutate IR in place, so a lowering must be discarded as soon as
+    the program may change underneath it.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._procs: Dict[str, ProcedureSoA] = {}
+
+    def procedure(self, name: str) -> ProcedureSoA:
+        pl = self._procs.get(name)
+        if pl is None:
+            pl = lower_procedure(self.program.procedure(name))
+            self._procs[name] = pl
+        return pl
+
+
+class SoAInterpreter:
+    """Array-core interpreter with the same observable surface as
+    :class:`repro.sim.interpreter.Interpreter`."""
+
+    def __init__(
+        self,
+        program: Program,
+        fuel: int = DEFAULT_FUEL,
+        lowering: Optional[ProgramLowering] = None,
+    ):
+        self.program = program
+        self.fuel = fuel
+        self.memory: Dict[int, int] = {}
+        self.store_trace: List[Tuple[int, int]] = []
+        self.ops_executed = 0
+        self.branches_executed = 0
+        self.segment_bases: Dict[str, int] = {}
+        self._lowering = (
+            lowering if lowering is not None else ProgramLowering(program)
+        )
+        # proc name -> (op hits, block hits, taken hits, not-taken hits)
+        self._hits: Dict[str, Tuple[list, list, list, list]] = {}
+        self._load_segments()
+
+    # ------------------------------------------------------------------
+    # Memory image (identical to the object engine)
+    # ------------------------------------------------------------------
+    def _load_segments(self):
+        base = 0x1000
+        for segment in self.program.segments.values():
+            segment.base = base
+            self.segment_bases[segment.name] = base
+            for offset, value in enumerate(segment.initial):
+                self.memory[base + offset] = value
+            base += segment.size + 16  # red zone between segments
+
+    def segment_base(self, name: str) -> int:
+        try:
+            return self.segment_bases[name]
+        except KeyError:
+            raise SimulationError(f"no data segment {name!r}") from None
+
+    def poke(self, address: int, value: int):
+        """Write memory directly (input setup; not part of the store trace)."""
+        self.memory[address] = value
+
+    def poke_array(self, name: str, values):
+        segment = self.program.segment(name)
+        if len(values) > segment.size:
+            raise SimulationError(
+                f"poke_array: {len(values)} values overflow segment "
+                f"{name!r} of size {segment.size}"
+            )
+        base = self.segment_base(name)
+        for offset, value in enumerate(values):
+            self.memory[base + offset] = value
+
+    def peek(self, address: int) -> int:
+        return self.memory.get(address, 0)
+
+    def peek_array(self, name: str, count: int) -> List[int]:
+        base = self.segment_base(name)
+        return [self.memory.get(base + i, 0) for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Counters: dense hit arrays, materialized into the object engine's
+    # Counter shapes on demand (only nonzero entries are emitted, so the
+    # Counters compare equal to the reference engine's).
+    # ------------------------------------------------------------------
+    @property
+    def block_counts(self) -> Counter:
+        counts = Counter()
+        for name, (_, block_hits, _, _) in self._hits.items():
+            names = self._lowering.procedure(name).block_names
+            for idx, hits in enumerate(block_hits):
+                if hits:
+                    counts[(name, names[idx])] = hits
+        return counts
+
+    @property
+    def op_counts(self) -> Counter:
+        return self._materialize(0)
+
+    @property
+    def branch_taken(self) -> Counter:
+        return self._materialize(2)
+
+    @property
+    def branch_not_taken(self) -> Counter:
+        return self._materialize(3)
+
+    def _materialize(self, which: int) -> Counter:
+        counts = Counter()
+        for name, hit_arrays in self._hits.items():
+            uid = self._lowering.procedure(name).uid
+            for idx, hits in enumerate(hit_arrays[which]):
+                if hits:
+                    counts[(name, uid[idx])] = hits
+        return counts
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, entry: str = "main", args=()) -> ExecutionResult:
+        value = self._call(entry, list(args), depth=0)
+        return ExecutionResult(
+            return_value=value,
+            store_trace=list(self.store_trace),
+            memory=dict(self.memory),
+            ops_executed=self.ops_executed,
+            branches_executed=self.branches_executed,
+            block_counts=self.block_counts,
+            op_counts=self.op_counts,
+            branch_taken=self.branch_taken,
+            branch_not_taken=self.branch_not_taken,
+        )
+
+    def _call(self, name: str, args, depth: int) -> Optional[int]:
+        if depth > 200:
+            raise SimulationError(f"call depth exceeded calling {name}")
+        pl = self._lowering.procedure(name)
+        if len(args) != pl.n_params:
+            raise SimulationError(
+                f"{name} expects {pl.n_params} args, got {len(args)}"
+            )
+        return self._exec(pl, args, depth)
+
+    def _read_rare(self, pl, mode, arg, preds, btrs):
+        if mode == M_PRED:
+            return 1 if (arg == 0 or preds[arg]) else 0
+        if mode == M_BTR:
+            return pl.decode_target(btrs[arg])
+        if mode == M_LABEL:
+            return arg
+        raise SimulationError(f"unreadable operand mode {mode}")
+
+    def _write_rare(self, pl, mode, arg, value, preds, btrs):
+        if mode == M_PRED:
+            preds[arg] = bool(value)
+        elif mode == M_BTR:
+            btrs[arg] = pl.encode_target(value)
+        else:
+            raise SimulationError(f"unwritable destination mode {mode}")
+
+    def _exec(self, pl: ProcedureSoA, args, depth: int) -> Optional[int]:
+        hit_arrays = self._hits.get(pl.name)
+        if hit_arrays is None:
+            hit_arrays = (
+                [0] * pl.n_ops,
+                [0] * pl.n_blocks,
+                [0] * pl.n_ops,
+                [0] * pl.n_ops,
+            )
+            self._hits[pl.name] = hit_arrays
+        op_hits, block_hits, taken_hits, nottaken_hits = hit_arrays
+
+        regs: List = [0] * pl.n_regs
+        fregs: List = [0.0] * pl.n_fregs
+        preds: List = [False] * pl.n_preds
+        btrs: List = [-1] * pl.n_btrs
+        for slot, value in zip(pl.param_slots, args):
+            regs[slot] = value
+
+        # Bind every array to a local: the loop below is the hot path.
+        code = pl.code
+        uid = pl.uid
+        guard = pl.guard
+        a_mode = pl.a_mode
+        a_arg = pl.a_arg
+        b_mode = pl.b_mode
+        b_arg = pl.b_arg
+        d_mode = pl.d_mode
+        d_arg = pl.d_arg
+        fn = pl.fn
+        target = pl.target
+        callee = pl.callee
+        cmpp_ptr = pl.cmpp_ptr
+        cmpp_end = pl.cmpp_end
+        cmpp_slot = pl.cmpp_slot
+        cmpp_kind = pl.cmpp_kind
+        cmpp_comp = pl.cmpp_comp
+        call_ptr = pl.call_ptr
+        call_end = pl.call_end
+        arg_mode = pl.arg_mode
+        arg_val = pl.arg_val
+        br_pred = pl.br_pred
+        br_btr = pl.br_btr
+        block_start = pl.block_start
+        block_end = pl.block_end
+        block_fall = pl.block_fall
+        block_strs = pl.block_strs
+        block_names = pl.block_names
+        memory = self.memory
+        trace = self.store_trace
+        segment_bases = self.segment_bases
+        name = pl.name
+
+        fuel = self.fuel
+        ops = self.ops_executed
+        branches = self.branches_executed
+        blk = 0
+        try:
+            while True:
+                block_hits[blk] += 1
+                i = block_start[blk]
+                end = block_end[blk]
+                transferred = False
+                while i < end:
+                    fuel -= 1
+                    if fuel <= 0:
+                        raise FuelExhausted(
+                            f"fuel exhausted in {name}/{block_strs[blk]} "
+                            f"after {ops} operations",
+                            proc=name,
+                            block=block_names[blk],
+                            ops_executed=ops,
+                        )
+                    ops += 1
+                    op_hits[i] += 1
+                    g = guard[i]
+                    gval = True if g == 0 else preds[g]
+                    c = code[i]
+                    if c == 0:  # ALU
+                        if gval:
+                            m = a_mode[i]
+                            x = a_arg[i]
+                            if m == 1:
+                                a = regs[x]
+                            elif m == 0:
+                                a = x
+                            elif m == 2:
+                                a = fregs[x]
+                            else:
+                                a = self._read_rare(pl, m, x, preds, btrs)
+                            m = b_mode[i]
+                            x = b_arg[i]
+                            if m == 1:
+                                b = regs[x]
+                            elif m == 0:
+                                b = x
+                            elif m == 2:
+                                b = fregs[x]
+                            else:
+                                b = self._read_rare(pl, m, x, preds, btrs)
+                            v = fn[i](a, b)
+                            m = d_mode[i]
+                            x = d_arg[i]
+                            if m == 1:
+                                regs[x] = v
+                            elif m == 2:
+                                fregs[x] = v
+                            else:
+                                self._write_rare(pl, m, x, v, preds, btrs)
+                    elif c == 1:  # CMPP: actions fire even on a false guard
+                        m = a_mode[i]
+                        x = a_arg[i]
+                        if m == 1:
+                            a = regs[x]
+                        elif m == 0:
+                            a = x
+                        elif m == 2:
+                            a = fregs[x]
+                        else:
+                            a = self._read_rare(pl, m, x, preds, btrs)
+                        m = b_mode[i]
+                        x = b_arg[i]
+                        if m == 1:
+                            b = regs[x]
+                        elif m == 0:
+                            b = x
+                        elif m == 2:
+                            b = fregs[x]
+                        else:
+                            b = self._read_rare(pl, m, x, preds, btrs)
+                        r = fn[i](a, b)
+                        j = cmpp_ptr[i]
+                        je = cmpp_end[i]
+                        while j < je:
+                            eff = (not r) if cmpp_comp[j] else r
+                            k = cmpp_kind[j]
+                            if k == 0:  # unconditional
+                                preds[cmpp_slot[j]] = bool(gval and eff)
+                            elif gval:
+                                if k == 1:  # wired-or
+                                    if eff:
+                                        preds[cmpp_slot[j]] = True
+                                elif not eff:  # wired-and
+                                    preds[cmpp_slot[j]] = False
+                            j += 1
+                    elif c == 2:  # BRANCH
+                        branches += 1
+                        ps = br_pred[i]
+                        if gval and (ps == 0 or (ps > 0 and preds[ps])):
+                            taken_hits[i] += 1
+                            bs = br_btr[i]
+                            t = btrs[bs] if bs >= 0 else -1
+                            if t == -1:
+                                t = target[i]
+                            if t >= 0:
+                                blk = t
+                                transferred = True
+                                break
+                            if t == -1:
+                                raise SimulationError(
+                                    f"branch uid={uid[i]} through unset BTR"
+                                )
+                            raise IRError(
+                                f"no block {pl.bad_labels[-2 - t]} "
+                                f"in procedure {name}"
+                            )
+                        nottaken_hits[i] += 1
+                    elif c == 3:  # LOAD
+                        if gval:
+                            m = a_mode[i]
+                            x = a_arg[i]
+                            if m == 1:
+                                a = regs[x]
+                            elif m == 0:
+                                a = x
+                            else:
+                                a = self._read_rare(pl, m, x, preds, btrs)
+                            v = memory.get(a, 0)
+                            m = d_mode[i]
+                            x = d_arg[i]
+                            if m == 1:
+                                regs[x] = v
+                            elif m == 2:
+                                fregs[x] = v
+                            else:
+                                self._write_rare(pl, m, x, v, preds, btrs)
+                    elif c == 4:  # STORE
+                        if gval:
+                            m = a_mode[i]
+                            x = a_arg[i]
+                            if m == 1:
+                                a = regs[x]
+                            elif m == 0:
+                                a = x
+                            else:
+                                a = self._read_rare(pl, m, x, preds, btrs)
+                            m = b_mode[i]
+                            x = b_arg[i]
+                            if m == 1:
+                                b = regs[x]
+                            elif m == 0:
+                                b = x
+                            elif m == 2:
+                                b = fregs[x]
+                            else:
+                                b = self._read_rare(pl, m, x, preds, btrs)
+                            memory[a] = b
+                            trace.append((a, b))
+                    elif c == 5:  # MOV / FMOV
+                        if gval:
+                            m = a_mode[i]
+                            x = a_arg[i]
+                            if m == 1:
+                                v = regs[x]
+                            elif m == 0:
+                                v = x
+                            elif m == 2:
+                                v = fregs[x]
+                            elif m == 5:
+                                # mov from a data label materializes the
+                                # segment's address.
+                                segname = x.name
+                                try:
+                                    v = segment_bases[segname]
+                                except KeyError:
+                                    raise SimulationError(
+                                        f"no data segment {segname!r}"
+                                    ) from None
+                            else:
+                                v = self._read_rare(pl, m, x, preds, btrs)
+                                if isinstance(v, Label):
+                                    v = self.segment_base(v.name)
+                            m = d_mode[i]
+                            x = d_arg[i]
+                            if m == 1:
+                                regs[x] = v
+                            elif m == 2:
+                                fregs[x] = v
+                            else:
+                                self._write_rare(pl, m, x, v, preds, btrs)
+                    elif c == 6:  # JUMP ignores its guard
+                        branches += 1
+                        t = target[i]
+                        if t >= 0:
+                            blk = t
+                            transferred = True
+                            break
+                        raise IRError(
+                            f"no block {pl.bad_labels[-2 - t]} "
+                            f"in procedure {name}"
+                        )
+                    elif c == 7:  # RETURN ignores its guard
+                        branches += 1
+                        m = a_mode[i]
+                        if m == -1:
+                            return None
+                        x = a_arg[i]
+                        if m == 1:
+                            return regs[x]
+                        if m == 0:
+                            return x
+                        if m == 2:
+                            return fregs[x]
+                        return self._read_rare(pl, m, x, preds, btrs)
+                    elif c == 8:  # CALL
+                        branches += 1
+                        if gval:
+                            call_args = []
+                            j = call_ptr[i]
+                            je = call_end[i]
+                            while j < je:
+                                m = arg_mode[j]
+                                x = arg_val[j]
+                                if m == 1:
+                                    call_args.append(regs[x])
+                                elif m == 0:
+                                    call_args.append(x)
+                                elif m == 2:
+                                    call_args.append(fregs[x])
+                                else:
+                                    call_args.append(
+                                        self._read_rare(
+                                            pl, m, x, preds, btrs
+                                        )
+                                    )
+                                j += 1
+                            self.fuel = fuel
+                            self.ops_executed = ops
+                            self.branches_executed = branches
+                            try:
+                                v = self._call(
+                                    callee[i], call_args, depth + 1
+                                )
+                            finally:
+                                # Resync even when the callee raises, or the
+                                # enclosing ``finally`` would clobber the
+                                # callee's counters with stale locals.
+                                fuel = self.fuel
+                                ops = self.ops_executed
+                                branches = self.branches_executed
+                            m = d_mode[i]
+                            if m != -1:
+                                x = d_arg[i]
+                                if m == 1:
+                                    regs[x] = v
+                                elif m == 2:
+                                    fregs[x] = v
+                                else:
+                                    self._write_rare(
+                                        pl, m, x, v, preds, btrs
+                                    )
+                    elif c == 9:  # PBR: target pre-encoded at lowering
+                        if gval:
+                            btrs[d_arg[i]] = target[i]
+                    elif c == 10:  # PRED_CLEAR
+                        if gval:
+                            preds[d_arg[i]] = False
+                    elif c == 11:  # PRED_SET
+                        if gval:
+                            m = a_mode[i]
+                            x = a_arg[i]
+                            if m == 1:
+                                v = regs[x]
+                            elif m == 0:
+                                v = x
+                            else:
+                                v = self._read_rare(pl, m, x, preds, btrs)
+                            preds[d_arg[i]] = bool(v)
+                    elif c == 12:  # CVT_IF
+                        if gval:
+                            m = a_mode[i]
+                            x = a_arg[i]
+                            if m == 1:
+                                v = regs[x]
+                            elif m == 0:
+                                v = x
+                            elif m == 2:
+                                v = fregs[x]
+                            else:
+                                v = self._read_rare(pl, m, x, preds, btrs)
+                            v = float(v)
+                            m = d_mode[i]
+                            x = d_arg[i]
+                            if m == 2:
+                                fregs[x] = v
+                            elif m == 1:
+                                regs[x] = v
+                            else:
+                                self._write_rare(pl, m, x, v, preds, btrs)
+                    else:  # CVT_FI
+                        if gval:
+                            m = a_mode[i]
+                            x = a_arg[i]
+                            if m == 1:
+                                v = regs[x]
+                            elif m == 0:
+                                v = x
+                            elif m == 2:
+                                v = fregs[x]
+                            else:
+                                v = self._read_rare(pl, m, x, preds, btrs)
+                            v = int(v)
+                            m = d_mode[i]
+                            x = d_arg[i]
+                            if m == 1:
+                                regs[x] = v
+                            elif m == 2:
+                                fregs[x] = v
+                            else:
+                                self._write_rare(pl, m, x, v, preds, btrs)
+                    i += 1
+                if transferred:
+                    continue
+                f = block_fall[blk]
+                if f >= 0:
+                    blk = f
+                elif f == -1:
+                    raise SimulationError(
+                        f"{name}/{block_strs[blk]}: fell off the procedure"
+                    )
+                else:
+                    raise IRError(
+                        f"no block {pl.bad_labels[-2 - f]} "
+                        f"in procedure {name}"
+                    )
+        finally:
+            self.fuel = fuel
+            self.ops_executed = ops
+            self.branches_executed = branches

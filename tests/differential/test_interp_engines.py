@@ -1,0 +1,55 @@
+"""The differential harness itself must be engine-independent.
+
+The harness (this directory plus the fuzz oracle) trusts interpreter
+observations — profiles, ledger claims, store traces. Those observations
+now come from the SoA engine by default, so the harness's own foundation
+needs pinning: a full pipeline build (baseline profiling, CPR transform
+verification, re-profiling) must produce bit-identical profiles and
+decision ledgers under either engine.
+"""
+
+from repro.pipeline import PipelineOptions, build_workload
+from repro.sim import use_engine
+from repro.workloads.registry import get_workload
+
+
+def _build(name, engine):
+    workload = get_workload(name)
+    with use_engine(engine):
+        return build_workload(
+            workload.name,
+            workload.compile(),
+            workload.inputs,
+            PipelineOptions(),
+            entry=workload.entry,
+        )
+
+
+def _profile_key(profile):
+    """A uid-free projection: each ``_build`` compiles fresh IR, so op
+    uids differ between builds even though the programs are identical.
+    Block labels, totals, and the branch-outcome multiset are stable."""
+    return (
+        profile.block_counts,
+        sorted(profile.op_counts.values()),
+        sorted((v.taken, v.not_taken) for v in profile.branches.values()),
+        profile.runs,
+        profile.total_ops,
+        profile.total_branches,
+    )
+
+
+def test_pipeline_profiles_and_ledger_are_engine_independent():
+    reference = _build("strcpy", "object")
+    fast = _build("strcpy", "soa")
+    assert _profile_key(fast.baseline_profile) == _profile_key(
+        reference.baseline_profile
+    )
+    assert _profile_key(fast.transformed_profile) == _profile_key(
+        reference.transformed_profile
+    )
+    ref_ledger = reference.build_report.ledger
+    fast_ledger = fast.build_report.ledger
+    assert [e.to_dict() for e in fast_ledger.entries] == [
+        e.to_dict() for e in ref_ledger.entries
+    ]

@@ -1,0 +1,109 @@
+"""Differential property test: the SoA interpreter is bit-identical to the
+object interpreter.
+
+Random mini-C programs from the fuzz generator (the same corpus the
+differential oracle replays) run under both engines across the fuzz
+argument sets and across fuel budgets from "plenty" down to "starves
+mid-block". Everything observable must match exactly: block/edge profiles
+(block entries, per-op executions, branch taken/not-taken counters), the
+OUT-array observations the oracle keys on, store traces, memory images,
+return values, and — when the budget runs dry — the FuelExhausted point
+(message, procedure, block, op count) plus the partial counters collected
+up to it. This is the hang-classification contract: the oracle treats
+``FUZZ_FUEL`` exhaustion as divergence-relevant state, so both engines
+must starve at the same op or hangs would classify differently per engine.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FuelExhausted
+from repro.frontend import compile_source
+from repro.fuzz.generator import fuzz_inputs, generate_workload
+from repro.fuzz.oracle import FUZZ_FUEL
+from repro.sim.interpreter import make_interpreter
+from repro.sim.soa import ProgramLowering
+
+RESULT_FIELDS = (
+    "return_value",
+    "store_trace",
+    "memory",
+    "ops_executed",
+    "branches_executed",
+    "block_counts",
+    "op_counts",
+    "branch_taken",
+    "branch_not_taken",
+)
+
+#: Live interpreter state compared even when a run dies of fuel
+#: exhaustion (an ExecutionResult never materializes then).
+LIVE_FIELDS = (
+    "store_trace",
+    "memory",
+    "ops_executed",
+    "branches_executed",
+    "block_counts",
+    "op_counts",
+    "branch_taken",
+    "branch_not_taken",
+    "fuel",
+)
+
+
+def execute(program, engine, args, fuel, lowering=None):
+    """Run one input; return (outcome, interpreter, OUT observation)."""
+    interp = make_interpreter(
+        program, fuel=fuel, engine=engine, lowering=lowering
+    )
+    try:
+        result = interp.run(entry="main", args=args)
+        outcome = ("ok",) + tuple(
+            getattr(result, name) for name in RESULT_FIELDS
+        )
+    except FuelExhausted as exc:
+        outcome = ("fuel", str(exc), exc.proc, exc.block, exc.ops_executed)
+    out = interp.peek_array("OUT", 8) if "OUT" in interp.segment_bases else None
+    return outcome, interp, out
+
+
+@settings(max_examples=220, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    input_index=st.integers(min_value=0, max_value=2),
+    fuel=st.sampled_from((FUZZ_FUEL, 5_000, 311, 23)),
+)
+def test_engines_bit_identical_on_generated_programs(
+    seed, input_index, fuel
+):
+    workload = generate_workload(seed)
+    program = compile_source(workload.source)
+    lowering = ProgramLowering(program)
+    _, args = fuzz_inputs(seed)[input_index]
+
+    obj_outcome, obj_interp, obj_out = execute(program, "object", args, fuel)
+    soa_outcome, soa_interp, soa_out = execute(
+        program, "soa", args, fuel, lowering=lowering
+    )
+
+    assert soa_outcome == obj_outcome
+    assert soa_out == obj_out
+    for name in LIVE_FIELDS:
+        assert getattr(soa_interp, name) == getattr(obj_interp, name), name
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_hang_budget_classification_matches(seed):
+    """Under the oracle's FUZZ_FUEL budget both engines agree on *whether*
+    a program hangs, not just where — the oracle's hang-as-divergence rule
+    depends on the classification alone."""
+    workload = generate_workload(seed)
+    program = compile_source(workload.source)
+    lowering = ProgramLowering(program)
+    for _, args in workload.inputs:
+        obj_outcome, _, _ = execute(program, "object", args, FUZZ_FUEL)
+        soa_outcome, _, _ = execute(
+            program, "soa", args, FUZZ_FUEL, lowering=lowering
+        )
+        assert (soa_outcome[0] == "fuel") == (obj_outcome[0] == "fuel")
+        assert soa_outcome == obj_outcome

@@ -57,3 +57,120 @@ def test_annotate_blocks_copies_counts():
     profile = profile_program(program, inputs=[(None, (7,))])
     annotate_blocks(program, profile)
     assert program.procedure("main").block("Loop").entry_count == 7
+
+
+# ----------------------------------------------------------------------
+# Direct edge/exit counter coverage (previously only exercised through
+# the pipeline suites)
+# ----------------------------------------------------------------------
+def while_loop():
+    """A test-at-top loop: zero-trip inputs never enter the body."""
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Test", fallthrough="Out")
+    p = b.cmpp1(Cond.GT, Reg(1), 0)
+    branch = b.branch_to("Body", p)
+    b.start_block("Body")
+    b.add(Reg(1), -1, dest=Reg(1))
+    back = b.jump("Test")
+    b.start_block("Out")
+    b.ret(0)
+    return program, branch, back
+
+
+def test_zero_trip_loop_edge_counters():
+    program, branch, _ = while_loop()
+    profile = profile_program(program, inputs=[(None, (0,))])
+    stats = profile.branch_profile("main", branch)
+    # The exit test runs exactly once and the loop edge is never taken.
+    assert stats.executed == 1
+    assert stats.taken == 0
+    assert stats.not_taken == 1
+    assert stats.taken_ratio == 0.0
+    # Edge counters conserve flow: the body sees exactly the taken count,
+    # the exit sees exactly the not-taken count.
+    assert profile.block_count("main", "Test") == 1
+    assert profile.block_count("main", "Body") == stats.taken == 0
+    assert profile.block_count("main", "Out") == stats.not_taken == 1
+
+
+def test_loop_edge_counters_conserve_flow():
+    program, branch, back = while_loop()
+    profile = profile_program(program, inputs=[(None, (3,)), (None, (0,))])
+    stats = profile.branch_profile("main", branch)
+    assert stats.taken == 3
+    assert stats.not_taken == 2
+    # Header entries = initial entries + executed back edges.
+    assert profile.block_count("main", "Test") == profile.runs + \
+        profile.op_count("main", back)
+    assert profile.op_count("main", back) == stats.taken
+    assert profile.block_count("main", "Body") == stats.taken
+    assert profile.block_count("main", "Out") == stats.not_taken
+
+
+def multi_exit_block():
+    """A superblock-shaped entry: two side exits, then a fallthrough."""
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Entry", fallthrough="C")
+    p1 = b.cmpp1(Cond.EQ, Reg(1), 1)
+    exit1 = b.branch_to("A", p1)
+    p2 = b.cmpp1(Cond.EQ, Reg(1), 2)
+    exit2 = b.branch_to("B", p2)
+    b.start_block("A")
+    b.ret(10)
+    b.start_block("B")
+    b.ret(20)
+    b.start_block("C")
+    b.ret(30)
+    return program, exit1, exit2
+
+
+def test_multi_exit_counters_partition_block_flow():
+    program, exit1, exit2 = multi_exit_block()
+    inputs = [(None, (n,)) for n in (1, 1, 2, 3, 5)]
+    profile = profile_program(program, inputs=inputs)
+    s1 = profile.branch_profile("main", exit1)
+    s2 = profile.branch_profile("main", exit2)
+    entry = profile.block_count("main", "Entry")
+    assert entry == 5
+    # Exit 1 sees all of the block's flow; exit 2 only what survives it.
+    assert s1.executed == entry
+    assert s2.executed == s1.not_taken == 3
+    assert (s1.taken, s2.taken) == (2, 1)
+    # Side-exit taken counts and the fallthrough remainder partition the
+    # entry count, and each successor's entry count is exactly its edge.
+    assert profile.block_count("main", "A") == s1.taken
+    assert profile.block_count("main", "B") == s2.taken
+    fallthrough = entry - s1.taken - s2.taken
+    assert profile.block_count("main", "C") == fallthrough == 2
+
+
+def test_unexecuted_branch_has_empty_profile():
+    program, _, exit2 = multi_exit_block()
+    profile = profile_program(program, inputs=[(None, (1,))])
+    # Exit 1 always takes for n=1, so exit 2 never executes: its profile
+    # must be the empty default, not a KeyError and not a stale entry.
+    stats = profile.branch_profile("main", exit2)
+    assert (stats.taken, stats.not_taken, stats.executed) == (0, 0, 0)
+    assert stats.taken_ratio == 0.0
+    assert ("main", exit2.uid) not in profile.branches
+
+
+def test_zero_trip_profiles_identical_across_engines():
+    program, _, _ = while_loop()
+    inputs = [(None, (0,)), (None, (4,))]
+    reference = profile_program(program, inputs=inputs, engine="object")
+    fast = profile_program(program, inputs=inputs, engine="soa")
+    assert fast.block_counts == reference.block_counts
+    assert fast.op_counts == reference.op_counts
+    assert fast.total_ops == reference.total_ops
+    assert fast.total_branches == reference.total_branches
+    assert set(fast.branches) == set(reference.branches)
+    for key, stats in reference.branches.items():
+        assert (fast.branches[key].taken, fast.branches[key].not_taken) \
+            == (stats.taken, stats.not_taken)

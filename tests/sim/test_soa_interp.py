@@ -1,0 +1,392 @@
+"""Lowering contract for the struct-of-arrays interpreter engine.
+
+Four angles, per the engine contract in ``repro/sim/soa.py``:
+
+* the lowered arrays mirror the object IR field by field,
+* register interning round-trips (dense slots, params first, T at slot 0),
+* one :class:`ProgramLowering` is shared across repeated runs,
+* engine-parity goldens for one workload per family (spec92 / spec95 /
+  util) and for the error/fuel paths.
+"""
+
+import pytest
+
+from repro.errors import FuelExhausted, SimulationError
+from repro.frontend import compile_source
+from repro.ir import Cond, IRBuilder, Procedure, Program, Reg
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import BTR, Imm, Label, PredReg, TRUE_PRED
+from repro.ir.operation import Operation
+from repro.sim.interpreter import (
+    ENGINES,
+    Interpreter,
+    get_default_engine,
+    make_interpreter,
+    run_program,
+    set_default_engine,
+    use_engine,
+)
+from repro.sim.soa import (
+    M_BTR,
+    M_CONST,
+    M_LABEL,
+    M_NONE,
+    M_PRED,
+    M_REG,
+    OP_ALU,
+    OP_BRANCH,
+    OP_CALL,
+    OP_CMPP,
+    OP_JUMP,
+    OP_PBR,
+    OP_RETURN,
+    OP_STORE,
+    ProgramLowering,
+    SoAInterpreter,
+    lower_procedure,
+)
+from repro.workloads.registry import all_workloads
+
+RESULT_FIELDS = (
+    "return_value",
+    "store_trace",
+    "memory",
+    "ops_executed",
+    "branches_executed",
+    "block_counts",
+    "op_counts",
+    "branch_taken",
+    "branch_not_taken",
+)
+
+
+def sample_program():
+    """A little of everything: loop, call, cmpp pair, pbr/branch, store."""
+    program = Program("t")
+    main = Procedure("main", params=[Reg(1)])
+    program.add_procedure(main)
+    b = IRBuilder(main)
+    b.start_block("Entry")
+    b.mov(0, dest=Reg(2))
+    b.start_block("Loop", fallthrough="Out")
+    b.call("double", [Reg(2)], dest=Reg(2))
+    b.add(Reg(1), -1, dest=Reg(1))
+    p = b.cmpp1(Cond.GT, Reg(1), 0)
+    b.branch_to("Loop", p)
+    b.start_block("Out")
+    b.store(Imm(0x4000), Reg(2))
+    b.ret(Reg(2))
+
+    helper = Procedure("double", params=[Reg(1)])
+    program.add_procedure(helper)
+    hb = IRBuilder(helper)
+    hb.start_block("H")
+    hb.add(Reg(1), 7, dest=Reg(2))
+    hb.ret(Reg(2))
+    return program
+
+
+def decode_src(pl, mode, arg):
+    """Map a lowered (mode, arg) source back to the object operand."""
+    if mode == M_CONST:
+        return Imm(arg)
+    if mode == M_REG:
+        return next(r for r, s in pl.reg_slots.items() if s == arg)
+    if mode == M_PRED:
+        return next(p for p, s in pl.pred_slots.items() if s == arg)
+    if mode == M_BTR:
+        return next(t for t, s in pl.btr_slots.items() if s == arg)
+    if mode == M_LABEL:
+        return arg
+    raise AssertionError(f"unexpected source mode {mode}")
+
+
+# ----------------------------------------------------------------------
+# Field-by-field mirror of the object IR
+# ----------------------------------------------------------------------
+def test_lowering_mirrors_object_ir():
+    program = sample_program()
+    proc = program.procedure("main")
+    pl = lower_procedure(proc)
+
+    flat_ops = [op for block in proc.blocks for op in block.ops]
+    assert pl.n_ops == len(flat_ops)
+    assert pl.source_ops == flat_ops
+    assert pl.uid == [op.uid for op in flat_ops]
+    assert pl.n_blocks == len(proc.blocks)
+    assert pl.block_names == [blk.label.name for blk in proc.blocks]
+
+    # Per-block op ranges tile the flat array in layout order.
+    cursor = 0
+    for idx, block in enumerate(proc.blocks):
+        assert pl.block_start[idx] == cursor
+        cursor += len(block.ops)
+        assert pl.block_end[idx] == cursor
+    assert cursor == pl.n_ops
+
+    for i, op in enumerate(flat_ops):
+        # Guards round-trip through the predicate slot table.
+        assert decode_src(pl, M_PRED, pl.guard[i]) == op.guard
+        if op.opcode is Opcode.CMPP:
+            assert pl.code[i] == OP_CMPP
+            targets = list(
+                zip(
+                    pl.cmpp_slot[pl.cmpp_ptr[i]:pl.cmpp_end[i]],
+                    pl.cmpp_comp[pl.cmpp_ptr[i]:pl.cmpp_end[i]],
+                )
+            )
+            assert len(targets) == len(op.dests)
+            for (slot, comp), pt in zip(targets, op.dests):
+                assert decode_src(pl, M_PRED, slot) == pt.reg
+                assert comp == pt.action.complemented
+        elif op.opcode is Opcode.BRANCH:
+            assert pl.code[i] == OP_BRANCH
+            assert decode_src(pl, M_PRED, pl.br_pred[i]) == op.srcs[0]
+            assert decode_src(pl, M_BTR, pl.br_btr[i]) == op.srcs[1]
+            static = op.branch_target()
+            assert pl.decode_target(pl.target[i]) == static
+        elif op.opcode is Opcode.CALL:
+            assert pl.code[i] == OP_CALL
+            assert pl.callee[i] == op.attrs["callee"]
+            span = range(pl.call_ptr[i], pl.call_end[i])
+            assert len(span) == len(op.srcs)
+            for j, src in zip(span, op.srcs):
+                got = decode_src(pl, pl.arg_mode[j], pl.arg_val[j])
+                assert got == src
+        elif op.opcode is Opcode.PBR:
+            assert pl.code[i] == OP_PBR
+            assert pl.decode_target(pl.target[i]) == op.srcs[0]
+        elif op.opcode is Opcode.RETURN:
+            assert pl.code[i] == OP_RETURN
+            if op.srcs:
+                got = decode_src(pl, pl.a_mode[i], pl.a_arg[i])
+                assert got == op.srcs[0]
+            else:
+                assert pl.a_mode[i] == M_NONE
+        elif op.opcode is Opcode.STORE:
+            assert pl.code[i] == OP_STORE
+            assert decode_src(pl, pl.a_mode[i], pl.a_arg[i]) == op.srcs[0]
+            assert decode_src(pl, pl.b_mode[i], pl.b_arg[i]) == op.srcs[1]
+        elif op.opcode in (Opcode.ADD, Opcode.MOV):
+            assert pl.code[i] == OP_ALU or op.opcode is Opcode.MOV
+
+
+def test_branch_targets_resolve_to_block_indices():
+    program = sample_program()
+    pl = lower_procedure(program.procedure("main"))
+    loop_idx = pl.block_names.index("Loop")
+    out_idx = pl.block_names.index("Out")
+    # The pbr's pre-encoded payload is the Loop block's index.
+    pbr = next(i for i in range(pl.n_ops) if pl.code[i] == OP_PBR)
+    assert pl.target[pbr] == loop_idx
+    # Loop's explicit fallthrough resolves to Out.
+    assert pl.block_fall[loop_idx] == out_idx
+    # Entry falls through by layout order.
+    assert pl.block_fall[pl.block_names.index("Entry")] == loop_idx
+    # The last block has nothing to fall into.
+    assert pl.block_fall[out_idx] == -1
+
+
+# ----------------------------------------------------------------------
+# Register interning
+# ----------------------------------------------------------------------
+def test_register_interning_round_trip():
+    program = sample_program()
+    proc = program.procedure("main")
+    pl = lower_procedure(proc)
+
+    # Dense slot spaces: bijections onto range(n).
+    for table, count in (
+        (pl.reg_slots, pl.n_regs),
+        (pl.pred_slots, pl.n_preds),
+        (pl.btr_slots, pl.n_btrs),
+        (pl.freg_slots, pl.n_fregs),
+    ):
+        assert sorted(table.values()) == list(range(count))
+
+    # Params occupy the first integer slots, in declaration order.
+    assert pl.param_slots == [pl.reg_slots[p] for p in proc.params]
+    assert pl.n_params == len(proc.params)
+    # The true predicate is pinned at slot 0.
+    assert pl.pred_slots[TRUE_PRED] == 0
+
+    # Every register mentioned by the IR is interned.
+    for block in proc.blocks:
+        for op in block.ops:
+            for reg in op.source_registers() + op.dest_registers():
+                if isinstance(reg, Reg):
+                    assert reg in pl.reg_slots
+                elif isinstance(reg, PredReg):
+                    assert reg in pl.pred_slots
+                elif isinstance(reg, BTR):
+                    assert reg in pl.btr_slots
+
+
+# ----------------------------------------------------------------------
+# Shared lowering across repeated runs
+# ----------------------------------------------------------------------
+def test_program_lowering_is_memoized():
+    program = sample_program()
+    lowering = ProgramLowering(program)
+    first = lowering.procedure("main")
+    assert lowering.procedure("main") is first
+    assert lowering.procedure("double") is lowering.procedure("double")
+
+
+def test_shared_lowering_across_interpreters():
+    program = sample_program()
+    lowering = ProgramLowering(program)
+    results = []
+    for _ in range(3):
+        interp = SoAInterpreter(program, lowering=lowering)
+        results.append(interp.run(args=(5,)))
+    # Repeated runs are independent (fresh counters per interpreter) and
+    # deterministic.
+    for result in results[1:]:
+        for name in RESULT_FIELDS:
+            assert getattr(result, name) == getattr(results[0], name)
+    # ... and identical to a run that lowered privately.
+    private = SoAInterpreter(program).run(args=(5,))
+    for name in RESULT_FIELDS:
+        assert getattr(private, name) == getattr(results[0], name)
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch
+# ----------------------------------------------------------------------
+def test_engine_dispatch_and_default():
+    program = sample_program()
+    assert ENGINES == ("object", "soa")
+    assert get_default_engine() == "soa"
+    assert isinstance(make_interpreter(program), SoAInterpreter)
+    assert isinstance(
+        make_interpreter(program, engine="object"), Interpreter
+    )
+    with use_engine("object"):
+        assert get_default_engine() == "object"
+        assert isinstance(make_interpreter(program), Interpreter)
+    assert get_default_engine() == "soa"
+    with pytest.raises(SimulationError):
+        set_default_engine("vectorized")
+    with pytest.raises(SimulationError):
+        make_interpreter(program, engine="vectorized")
+
+
+# ----------------------------------------------------------------------
+# Engine parity: one golden workload per family
+# ----------------------------------------------------------------------
+def family_goldens():
+    chosen = {}
+    for workload in all_workloads():
+        chosen.setdefault(workload.category, workload)
+    return sorted(chosen.values(), key=lambda w: w.category)
+
+
+@pytest.mark.parametrize(
+    "workload", family_goldens(), ids=lambda w: f"{w.category}:{w.name}"
+)
+def test_engine_parity_golden(workload):
+    program = compile_source(workload.source)
+    for item in workload.inputs:
+        setup, args = (
+            (None, ())
+            if item is None
+            else ((item, ()) if callable(item) else item)
+        )
+        runs = {}
+        for engine in ENGINES:
+            interp = make_interpreter(program, engine=engine)
+            run_args = tuple(args)
+            if setup is not None:
+                returned = setup(interp)
+                if returned is not None and not run_args:
+                    run_args = tuple(returned)
+            runs[engine] = interp.run(entry=workload.entry, args=run_args)
+        for name in RESULT_FIELDS:
+            assert getattr(runs["soa"], name) == getattr(
+                runs["object"], name
+            ), f"{workload.name}: {name} diverged"
+
+
+# ----------------------------------------------------------------------
+# Engine parity: error and fuel paths
+# ----------------------------------------------------------------------
+def both_engines(program, entry="main", args=(), fuel=100):
+    outcomes = []
+    for engine in ENGINES:
+        interp = make_interpreter(program, fuel=fuel, engine=engine)
+        try:
+            result = interp.run(entry=entry, args=args)
+            outcomes.append(("ok", result.return_value))
+        except FuelExhausted as exc:
+            outcomes.append(
+                ("fuel", str(exc), exc.proc, exc.block, exc.ops_executed)
+            )
+        except Exception as exc:  # noqa: BLE001 - parity check
+            outcomes.append((type(exc).__name__, str(exc)))
+    return outcomes
+
+
+def test_fuel_exhaustion_point_is_identical():
+    program = sample_program()
+    obj, soa = both_engines(program, args=(10**9,), fuel=1234)
+    assert obj[0] == "fuel"
+    assert soa == obj
+
+
+def test_error_paths_are_identical():
+    def build(populate):
+        program = Program("t")
+        proc = Procedure("main", params=[])
+        program.add_procedure(proc)
+        populate(IRBuilder(proc), program)
+        return program
+
+    def unset_btr(b, _):
+        b.start_block("Entry")
+        b.emit(Operation(Opcode.BRANCH, srcs=[TRUE_PRED, BTR(1)]))
+        b.ret(0)
+
+    def bad_jump(b, _):
+        b.start_block("Entry")
+        b.jump(Label("Gone"))
+
+    def fell_off(b, _):
+        b.start_block("Entry")
+        b.add(Reg(1), 1, dest=Reg(1))
+
+    def div_zero(b, _):
+        b.start_block("Entry")
+        b.div(Reg(1), 0, dest=Reg(2))
+
+    def missing_segment(b, _):
+        b.start_block("Entry")
+        b.mov(Label("nosuch"), dest=Reg(1))
+        b.ret(Reg(1))
+
+    def unbounded_recursion(b, _):
+        b.start_block("Entry")
+        b.call("main", [], dest=Reg(1))
+        b.ret(Reg(1))
+
+    for populate in (
+        unset_btr,
+        bad_jump,
+        fell_off,
+        div_zero,
+        missing_segment,
+        unbounded_recursion,
+    ):
+        program = build(populate)
+        obj, soa = both_engines(program, fuel=100_000)
+        assert obj[0] != "ok", populate.__name__
+        assert soa == obj, populate.__name__
+
+
+def test_run_program_engine_override():
+    program = sample_program()
+    fast = run_program(program, args=(4,))
+    reference = run_program(program, args=(4,), engine="object")
+    assert fast.return_value == reference.return_value
+    assert fast.store_trace == reference.store_trace
+    assert fast.op_counts == reference.op_counts
