@@ -1,0 +1,123 @@
+"""Storage-integrity overhead: what does verify-on-every-read cost?
+
+Since cache format v5 every entry carries a sha256 digest checked on
+every read (:mod:`repro.farm.cache`). The check runs on the warm fast
+path — the one place the cache is supposed to be saving time — so this
+bench prices it directly: warm rebuilds against one primed cache, with
+``cache_verify=True`` (the default) vs ``cache_verify=False`` (header
+stripped, digest skipped; results are identical either way). Best-of-N
+per configuration keeps one scheduler hiccup from failing the gate.
+
+The acceptance gate: checksummed warm reads may cost at most 5% over
+unverified ones (:data:`VERIFY_OVERHEAD_CEILING`). sha256 over a few KB
+of JSON/pickle is tens of microseconds against a multi-millisecond
+workload evaluation, so a breach means the integrity layer grew a real
+hot-path bug, not that hashing got slow.
+
+Environment knobs (see ``benchmarks/conftest.py``): ``REPRO_BENCH_SUBSET``
+restricts the workload set, ``REPRO_BENCH_SCALE`` grows inputs.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import BENCH_WORKLOADS, SCALE, write_output
+from repro.farm.cache import PassCache
+from repro.farm.farm import FarmOptions, build_farm
+
+#: Acceptance ceiling: warm-cache checksum verification may cost at most
+#: 5% of warm wall-clock.
+VERIFY_OVERHEAD_CEILING = 1.05
+
+#: Absolute slack under the ratio gate: with a small workload subset the
+#: whole warm rebuild takes a few milliseconds, and 5% of that is below
+#: scheduler jitter. The gate is ``verified <= max(trusting * ceiling,
+#: trusting + slack)`` — tight on real timings, immune to micro-noise.
+ABS_SLACK_S = 0.05
+
+#: Best-of-N warm runs per configuration.
+ROUNDS = 3
+
+
+def _options(cache_root: str, verify: bool) -> FarmOptions:
+    return FarmOptions(
+        jobs=1, cache_root=cache_root, cache_verify=verify, scale=SCALE,
+    )
+
+
+def _timed(names, options):
+    started = time.perf_counter()
+    result = build_farm(names, options)
+    return time.perf_counter() - started, result
+
+
+def test_warm_cache_verify_overhead(benchmark):
+    names = list(BENCH_WORKLOADS)
+    cache_root = tempfile.mkdtemp(prefix="repro-storage-bench-")
+
+    def run():
+        prime_s, primed = _timed(names, _options(cache_root, verify=True))
+        verified_s = min(
+            _timed(names, _options(cache_root, verify=True))[0]
+            for _ in range(ROUNDS)
+        )
+        trusting_s = min(
+            _timed(names, _options(cache_root, verify=False))[0]
+            for _ in range(ROUNDS)
+        )
+        verified = _timed(names, _options(cache_root, verify=True))[1]
+        trusting = _timed(names, _options(cache_root, verify=False))[1]
+        return {
+            "prime_s": prime_s,
+            "verified_s": verified_s,
+            "trusting_s": trusting_s,
+            "results": [primed, verified, trusting],
+        }
+
+    try:
+        data = benchmark.pedantic(run, rounds=1, iterations=1)
+        entries = PassCache(cache_root).entry_count()
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    primed, verified, trusting = data["results"]
+    reference = [s.comparable() for s in primed.summaries]
+    for label, other in (("verify=True", verified), ("verify=False", trusting)):
+        assert [s.comparable() for s in other.summaries] == reference, (
+            f"warm {label} run diverged from the priming build"
+        )
+    assert all(s.from_cache for s in verified.summaries)
+    storage = verified.metrics.to_json_dict()["storage"]
+    assert storage["verified_reads"] >= len(names)
+    assert storage["checksum_failures"] == 0
+
+    overhead = data["verified_s"] / max(data["trusting_s"], 1e-9)
+    ceiling_s = max(
+        data["trusting_s"] * VERIFY_OVERHEAD_CEILING,
+        data["trusting_s"] + ABS_SLACK_S,
+    )
+    lines = [
+        "Warm-cache checksum overhead "
+        f"({len(names)} workloads, scale={SCALE}, {entries} cache "
+        f"entries, best of {ROUNDS})",
+        f"{'configuration':<28}{'wall s':>10}",
+        f"{'prime (cold, verify on)':<28}{data['prime_s']:>10.2f}",
+        f"{'warm, verify on':<28}{data['verified_s']:>10.2f}",
+        f"{'warm, verify off':<28}{data['trusting_s']:>10.2f}",
+        "",
+        f"verified reads (warm run): {storage['verified_reads']}",
+        f"overhead: {overhead:.3f}x "
+        f"(gate: {VERIFY_OVERHEAD_CEILING:.2f}x or "
+        f"+{ABS_SLACK_S * 1000:.0f}ms, whichever is larger)",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_output("storage_verify_overhead.txt", text)
+
+    assert data["verified_s"] <= ceiling_s, (
+        f"checksum verification costs {overhead:.3f}x on the warm path "
+        f"({data['verified_s']:.3f}s vs gate {ceiling_s:.3f}s)"
+    )

@@ -73,7 +73,12 @@ codes: 6 = the run completed but quarantined at least one workload
 (incidents on stderr), 7 = the wall-clock budget expired
 (:class:`~repro.errors.FarmTimeout`), 130 = interrupted by
 SIGINT/SIGTERM after a graceful drain
-(:class:`~repro.errors.FarmInterrupted`).
+(:class:`~repro.errors.FarmInterrupted`). Durable-storage failures that
+would void a recovery promise — a write-ahead journal append that
+cannot be made durable — exit 8
+(:class:`~repro.errors.JournalWriteError`); recoverable storage
+trouble (a corrupt cache entry, a full disk under the cache) degrades
+gracefully and never changes the exit code.
 """
 
 from __future__ import annotations
@@ -97,6 +102,10 @@ MACHINES = ("sequential", "narrow", "medium", "wide", "infinite")
 #: Exit code for a completed farm run that quarantined a workload.
 EXIT_QUARANTINED = 6
 
+#: Exit code for a durable-storage failure that would void a recovery
+#: promise (journal append not durable; :class:`~repro.errors.StorageError`).
+EXIT_STORAGE = 8
+
 #: Exit codes per failing subsystem, checked in order (subclasses first).
 EXIT_CODES = (
     (errors.ParseError, 2),
@@ -110,6 +119,7 @@ EXIT_CODES = (
     (errors.FarmInterrupted, 130),
     (errors.FarmTimeout, 7),
     (errors.FarmQuarantine, EXIT_QUARANTINED),
+    (errors.StorageError, EXIT_STORAGE),
 )
 
 
@@ -190,6 +200,7 @@ def _farm_options(args, processors=MACHINES) -> FarmOptions:
     return FarmOptions(
         jobs=resolve_jobs(getattr(args, "jobs", 1)),
         cache_root=cache_root,
+        cache_verify=getattr(args, "cache_verify", True),
         scale=getattr(args, "scale", 1),
         strict=getattr(args, "strict", False),
         fuel=getattr(args, "fuel", None),
@@ -603,6 +614,14 @@ def main(argv=None) -> int:
             "--cache-dir", default=None, metavar="PATH",
             help="cache location (default: $REPRO_CACHE_DIR or "
                  "~/.cache/repro-farm)",
+        )
+        p_farm.add_argument(
+            "--cache-verify", action=argparse.BooleanOptionalAction,
+            default=True,
+            help="verify every cache entry's checksum on read and "
+                 "quarantine mismatches (on by default; --no-cache-verify "
+                 "is for benchmarking against trusted caches only — "
+                 "results are identical either way)",
         )
         p_farm.add_argument(
             "--metrics-json", default=None, metavar="PATH",

@@ -159,6 +159,31 @@ class FarmQuarantine(FarmError):
         super().__init__(message)
 
 
+class StorageError(ReproError):
+    """Base class for durable-storage integrity failures.
+
+    Raised only where continuing would *lose* state the caller was
+    promised (see :mod:`repro.storage`). Recoverable storage trouble —
+    a corrupt cache entry, a flipped bit in a journal record — never
+    raises: it is detected, quarantined or skipped, and reported as a
+    :class:`~repro.storage.incidents.StorageIncident`.
+    """
+
+
+class JournalWriteError(StorageError):
+    """A write-ahead journal append could not be made durable.
+
+    The journals' crash-recovery contract is "journalled before acted
+    on"; continuing past a failed append would silently break resume
+    and replay, so the run aborts with its own exit code (8) instead.
+    Carries the journal :attr:`path`.
+    """
+
+    def __init__(self, message, path=None):
+        self.path = path
+        super().__init__(message)
+
+
 class ServeRejected(ReproError):
     """The compile service refused to admit a request (HTTP 429).
 

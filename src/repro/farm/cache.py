@@ -10,38 +10,74 @@ Two entry kinds share one store:
   warm fast path never touches the IR at all.
 
 Layout: ``<root>/v<CACHE_FORMAT_VERSION>/<key[:2]>/<key>.<kind>``. Writes
-are atomic (temp file + ``os.replace``) so concurrent workers racing on
-the same key simply last-write-win with identical content. Reads treat any
-corrupt or unreadable entry as a miss and delete it.
+are durable and atomic (:func:`repro.storage.atomic.atomic_write_bytes`)
+so concurrent workers racing on the same key simply last-write-win with
+identical content.
+
+Every entry is **self-verifying** (format v5): the payload is prefixed
+with a one-line header carrying a magic tag and the payload's sha256
+digest, checked on every read *before* the bytes reach ``pickle.loads``
+or ``json.loads``. A mismatch — a flipped bit, a torn write that
+happened to stay loadable — is moved to a ``quarantine/`` subdirectory
+beside the entries and reported as a
+:class:`~repro.storage.incidents.StorageIncident`; the read is a miss.
+
+Degradation contract: a cache IO *error* (disk full, EIO) can never
+abort a build. The first such error flips the handle to ``disabled`` —
+every later read misses and every later write is a no-op — records an
+incident, and bumps the ``storage.degraded_to_off`` counter. A missing
+entry (``FileNotFoundError``) is the normal miss path, not an error.
 
 Invalidation is versioned: bumping :data:`CACHE_FORMAT_VERSION` orphans
 every old entry (they live under the old ``v<N>`` directory and are never
 consulted again). Bump it whenever pass semantics, the IR pickle format,
-or the evaluation summary schema change.
+the entry header, or the evaluation summary schema change.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, List, Optional, Tuple
 
 from repro.ir.procedure import Procedure
 from repro.obs.ledger import LedgerEntry
+from repro.obs.stats import record_counter
+from repro.obs.tracer import trace_span
+from repro.storage.atomic import atomic_write_bytes, sweep_tmp_litter
+from repro.storage.faults import corrupt_bytes, fault_error, storage_fault
+from repro.storage.incidents import StorageIncident
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "PassCache",
+    "atomic_write_bytes",
+    "default_cache_root",
+]
 
 #: Bump on any change to pass semantics or stored payload formats.
 #: v2: sanitizer battery (entries produced before the battery existed
 #: were never sanitized; ICBM also tags its inserted bookkeeping ops).
 #: v3: transaction entries carry the committed rung's decision-ledger
 #: entries, replayed on restore so warm builds report identically.
-CACHE_FORMAT_VERSION = 4
+#: v5: self-verifying entry header (magic + payload sha256), checked on
+#: every read; mismatches are quarantined, never unpickled.
+CACHE_FORMAT_VERSION = 5
 
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: First header field of every entry; bump with the header layout.
+ENTRY_MAGIC = b"repro-store/1"
+
+#: Subdirectory (under the version root) holding checksum-failed entries.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_root() -> Path:
@@ -52,27 +88,10 @@ def default_cache_root() -> Path:
     return Path.home() / ".cache" / "repro-farm"
 
 
-def atomic_write_bytes(path: Path, data: bytes):
-    """Write *data* to *path* via temp file + ``os.replace``.
-
-    Readers never observe a partial file: they see either the old content
-    or the new content. Shared by the cache store and the completion
-    journal (:mod:`repro.farm.journal`), whose fresh-run header must be
-    whole even if the writer is killed mid-start.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp, path)
-    except OSError:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+def _seal(payload: bytes) -> bytes:
+    """``<magic> <sha256(payload)>\\n<payload>`` — the stored entry."""
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return ENTRY_MAGIC + b" " + digest + b"\n" + payload
 
 
 @dataclass
@@ -91,12 +110,64 @@ class CacheStats:
 
 
 class PassCache:
-    """A content-addressed artifact store rooted at one directory."""
+    """A content-addressed artifact store rooted at one directory.
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    ``verify=False`` skips the digest check on reads (the header is
+    still stripped); it exists for the storage benchmark's baseline and
+    must never be used where the cache contents are not already
+    trusted.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 verify: bool = True):
         self.root = Path(root) if root is not None else default_cache_root()
         self.base = self.root / f"v{CACHE_FORMAT_VERSION}"
         self.stats = CacheStats()
+        self.verify = verify
+        #: Set after the first cache IO error; all later ops are no-ops.
+        self.disabled = False
+        self.disabled_reason: Optional[str] = None
+        self.incidents: List[StorageIncident] = []
+
+    # ------------------------------------------------------------------
+    # Incident plumbing
+    # ------------------------------------------------------------------
+    def _incident(self, kind: str, op: str, path, detail: str, action: str):
+        incident = StorageIncident(
+            kind=kind, op=op, path=str(path), detail=detail, action=action
+        )
+        self.incidents.append(incident)
+        with trace_span(
+            "storage.incident", kind="storage",
+            incident=kind, action=action, path=str(path),
+        ):
+            pass
+        return incident
+
+    def _degrade(self, op: str, path, exc):
+        """First IO error wins: flip to cache-off, never abort the build."""
+        if not self.disabled:
+            self.disabled = True
+            self.disabled_reason = f"{op} failed on {path}: {exc}"
+            self._incident("io-error", op, path, str(exc), "cache-off")
+            record_counter("storage.degraded_to_off")
+
+    def _quarantine(self, path: Path, detail: str):
+        """Move a checksum-failed entry aside; it is never loaded again."""
+        target_dir = self.base / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+            action = "quarantined"
+        except OSError as exc:
+            action = f"quarantine-failed: {exc}"
+        self._incident("checksum-mismatch", "cache-read", path, detail, action)
+        record_counter("storage.checksum_failures")
+        record_counter("storage.quarantines")
+
+    def sweep_litter(self) -> int:
+        """Remove stale temp files orphaned by killed writers."""
+        return sweep_tmp_litter(self.base, recursive=True)
 
     # ------------------------------------------------------------------
     # Raw byte storage
@@ -104,18 +175,70 @@ class PassCache:
     def _path(self, key: str, kind: str) -> Path:
         return self.base / key[:2] / f"{key}.{kind}"
 
+    def _unseal(self, path: Path, data: bytes) -> Optional[bytes]:
+        """Header-verified payload, or ``None`` (entry quarantined)."""
+        header, sep, payload = data.partition(b"\n")
+        if not sep or not header.startswith(ENTRY_MAGIC + b" "):
+            self._quarantine(path, "missing or malformed entry header")
+            return None
+        if self.verify:
+            expected = header[len(ENTRY_MAGIC) + 1:]
+            actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+            if actual != expected:
+                self._quarantine(
+                    path,
+                    f"payload digest {actual.decode()} != header "
+                    f"{expected.decode()!r}",
+                )
+                return None
+        return payload
+
     def _read(self, key: str, kind: str) -> Optional[bytes]:
-        path = self._path(key, kind)
-        try:
-            data = path.read_bytes()
-        except OSError:
+        if self.disabled:
             self.stats.misses += 1
             return None
+        path = self._path(key, kind)
+        fault = storage_fault("cache-read", path)
+        if fault is not None and fault[0] in ("enospc", "eio"):
+            self._degrade(
+                "cache-read", path, fault_error(fault[0], "cache-read", path)
+            )
+            self.stats.misses += 1
+            return None
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self._degrade("cache-read", path, exc)
+            self.stats.misses += 1
+            return None
+        if fault is not None:
+            data = corrupt_bytes(data, fault[0], fault[1])
+        payload = self._unseal(path, data)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        record_counter("storage.verified_reads")
         self.stats.hits += 1
-        return data
+        return payload
 
     def _write(self, key: str, kind: str, data: bytes):
-        atomic_write_bytes(self._path(key, kind), data)
+        if self.disabled:
+            return
+        path = self._path(key, kind)
+        fault = storage_fault("cache-write", path)
+        if fault is not None and fault[0] in ("enospc", "eio"):
+            self._degrade(
+                "cache-write", path, fault_error(fault[0], "cache-write", path)
+            )
+            return
+        try:
+            atomic_write_bytes(path, _seal(data))
+        except OSError as exc:
+            self._degrade("cache-write", path, exc)
+            return
         self.stats.stores += 1
 
     def _drop(self, key: str, kind: str):
@@ -137,7 +260,8 @@ class PassCache:
         before installing it into a program, because the cached uids come
         from a foreign process and may collide with live side tables. The
         ledger entries are uid-free by construction, so they are replayed
-        as-is after adoption.
+        as-is after adoption. The payload digest was verified by
+        :meth:`_read` before any bytes reach ``pickle.loads``.
         """
         data = self._read(key, "txn.pkl")
         if data is None:
@@ -145,7 +269,7 @@ class PassCache:
         try:
             proc, result, entries = pickle.loads(data)
         except Exception:
-            # A corrupt or version-skewed entry is a miss, not an error.
+            # Digest-valid but unloadable: version skew, not corruption.
             self._drop(key, "txn.pkl")
             self.stats.hits -= 1
             self.stats.misses += 1
@@ -212,4 +336,14 @@ class PassCache:
         if not self.base.exists():
             return 0
         pattern = f"*.{kind}" if kind else "*.*"
-        return sum(1 for _ in self.base.rglob(pattern))
+        return sum(
+            1
+            for path in self.base.rglob(pattern)
+            if QUARANTINE_DIR not in path.parts
+        )
+
+    def quarantine_count(self) -> int:
+        quarantine = self.base / QUARANTINE_DIR
+        if not quarantine.exists():
+            return 0
+        return sum(1 for _ in quarantine.iterdir())

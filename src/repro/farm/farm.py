@@ -117,6 +117,12 @@ class FarmOptions:
     #: profiles, so — like ``sched_engine`` — it is excluded from cache
     #: keys.
     interp_engine: str = "soa"
+    #: Verify cache-entry payload digests on every read (see
+    #: :class:`~repro.farm.cache.PassCache`). Entries are identical
+    #: either way, so — like the engine knobs — this is excluded from
+    #: cache keys and the journal run key; ``False`` exists for the
+    #: storage benchmark's baseline only.
+    cache_verify: bool = True
 
     def pipeline_options(self) -> PipelineOptions:
         return PipelineOptions(
@@ -283,7 +289,8 @@ def _evaluate_task(task: dict) -> dict:
     options = FarmOptions(**task)
     metrics = CompileMetrics()
     cache = (
-        PassCache(options.cache_root) if options.cache_root else None
+        PassCache(options.cache_root, verify=options.cache_verify)
+        if options.cache_root else None
     )
     tracer = Tracer() if options.trace else None
     counters = CounterSet()
@@ -444,6 +451,7 @@ def _task(name: str, options: FarmOptions) -> dict:
         "trace": options.trace,
         "sched_engine": options.sched_engine,
         "interp_engine": options.interp_engine,
+        "cache_verify": options.cache_verify,
     }
     task["_workload"] = name
     return task
@@ -517,6 +525,10 @@ def build_farm(
     quarantine, and the write-ahead completion journal.
     """
     options = options or FarmOptions()
+    if options.cache_root is not None:
+        # Once per run, in the driver: clear out temp litter orphaned by
+        # writers that were killed between mkstemp and replace.
+        PassCache(options.cache_root).sweep_litter()
     if options.supervisor is not None or options.chaos is not None:
         from repro.farm.supervisor import run_supervised
 

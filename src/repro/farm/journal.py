@@ -1,11 +1,17 @@
-"""The write-ahead completion journal: ``repro.farm.journal/v1``.
+"""The write-ahead completion journal: ``repro.farm.journal/v2``.
 
-A supervised farm run (:mod:`repro.farm.supervisor`) appends one JSON
-line per event to the journal file, flushing and fsyncing after every
-record, so the on-disk state is always a valid prefix of the run:
+A supervised farm run (:mod:`repro.farm.supervisor`) appends one line
+per event to the journal file, flushing and fsyncing after every
+record, so the on-disk state is always a valid prefix of the run. Since
+v2 every appended line is a checksummed envelope
+(:mod:`repro.storage.framing`): the record rides with a sha256 digest
+of its canonical serialization, so a flipped bit that keeps the line
+parseable is *detected*, not replayed into a merge. The records:
 
 * ``header`` — schema, the :func:`journal_run_key` binding the journal to
-  its workload list and result-affecting options, and the job count;
+  its workload list and result-affecting options, and the job count
+  (written atomically and unframed, so schema detection never depends
+  on the integrity machinery it selects);
 * ``worker-spawn`` / ``worker-kill`` / ``worker-crash`` — supervision
   events with worker ids and pids (debugging aid, and how the signal
   tests verify no orphan processes survive a drain);
@@ -21,11 +27,21 @@ decision ledgers, and deterministic metrics (pass invocation counts, op
 counts) are identical to an uninterrupted cold run. Only wall-clock
 timings differ, as they do between any two runs.
 
-Crash safety: a SIGINT/SIGTERM drain closes the file cleanly; a SIGKILL
-can at worst leave one truncated trailing line, which the loader ignores
-(the half-written record's workload simply re-runs on resume). The
-fresh-run header is written atomically (temp file + rename) so even a
-kill at run start never leaves an unparseable journal.
+Corruption contract: a record that fails its checksum (or cannot be
+parsed in the interior of the file) is **skipped and counted**
+(:attr:`JournalState.corrupt`), never merged and never used as an
+excuse to drop the records after it — a corrupt ``complete`` costs
+exactly one workload's re-run on resume. Only an unparseable *final*
+line is a truncated tail (:attr:`JournalState.truncated`), the one
+corruption an fsync-per-record appender can legitimately produce when
+SIGKILLed mid-append. v1 journals (bare JSON records) still load; a
+resumed run appends v2 envelopes to them, which the loader also
+accepts in v1 mode.
+
+Durability contract: a failed append raises
+:class:`~repro.errors.JournalWriteError` (CLI exit code 8) — the
+journal's whole point is "journalled before acted on", so continuing
+past a failed append would silently void the resume guarantee.
 """
 
 from __future__ import annotations
@@ -36,11 +52,24 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.errors import UsageError
-from repro.farm.cache import atomic_write_bytes
+from repro.errors import JournalWriteError, UsageError
 from repro.farm.fingerprint import stable_hash
+from repro.storage.atomic import atomic_write_bytes
+from repro.storage.faults import corrupt_bytes, fault_error, storage_fault
+from repro.storage.framing import (
+    TRUNCATED,
+    VALID,
+    canonical_json,
+    classify_lines,
+    frame_record,
+)
 
-JOURNAL_SCHEMA = "repro.farm.journal/v1"
+JOURNAL_SCHEMA = "repro.farm.journal/v2"
+JOURNAL_SCHEMA_V1 = "repro.farm.journal/v1"
+
+#: Schemas the loader accepts, mapped to whether their body lines are
+#: checksummed envelopes (v2) or bare records (v1).
+_KNOWN_SCHEMAS = {JOURNAL_SCHEMA: True, JOURNAL_SCHEMA_V1: False}
 
 
 def journal_run_key(names, options) -> str:
@@ -52,10 +81,14 @@ def journal_run_key(names, options) -> str:
     traces are collected. Excludes ``jobs`` and the cache configuration:
     both change how fast results arrive, never what they are, so a run may
     legitimately resume with a different worker count or cache state.
+
+    Hashed over the v1 schema tag on purpose: the v2 framing changes how
+    records are protected, not what a run computes, so a v1 journal may
+    resume under a v2 writer.
     """
     return stable_hash(
         "journal",
-        JOURNAL_SCHEMA,
+        JOURNAL_SCHEMA_V1,
         ";".join(names),
         options.scale,
         options.strict,
@@ -120,6 +153,11 @@ class JournalState:
     events: List[dict] = field(default_factory=list)
     #: True when the file ended in a partial line (SIGKILL mid-append).
     truncated: bool = False
+    #: Records that parsed (header excluded) and passed their checksum.
+    valid: int = 0
+    #: Interior records that failed parse or checksum — detected
+    #: corruption, each costing exactly its own record on resume.
+    corrupt: int = 0
 
     @property
     def run_key(self) -> Optional[str]:
@@ -137,42 +175,46 @@ def load_journal(path) -> JournalState:
     """Parse a journal file; raises :class:`UsageError` when unusable."""
     path = Path(path)
     try:
-        text = path.read_text(encoding="utf-8")
+        text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as exc:
         raise UsageError(
             f"cannot read journal {path}: {exc}"
         ) from None
-    state: Optional[JournalState] = None
-    truncated = False
-    for line in text.split("\n"):
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            # A killed writer can leave one partial trailing line; anything
-            # unparseable after that point is treated the same way.
-            truncated = True
+    lines = [line for line in text.split("\n") if line]
+    if not lines:
+        raise UsageError(f"journal {path} does not start with a header")
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        raise UsageError(
+            f"journal {path} does not start with a header"
+        ) from None
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise UsageError(f"journal {path} does not start with a header")
+    schema = header.get("schema")
+    if schema not in _KNOWN_SCHEMAS:
+        raise UsageError(
+            f"journal {path} has schema "
+            f"{schema!r}, expected {JOURNAL_SCHEMA!r}"
+        )
+    state = JournalState(header=header)
+    for record, status in classify_lines(
+        lines[1:], framed=_KNOWN_SCHEMAS[schema]
+    ):
+        if status == TRUNCATED:
+            state.truncated = True
             break
+        if status != VALID:
+            state.corrupt += 1
+            continue
+        state.valid += 1
         kind = record.get("kind")
-        if kind == "header":
-            if record.get("schema") != JOURNAL_SCHEMA:
-                raise UsageError(
-                    f"journal {path} has schema "
-                    f"{record.get('schema')!r}, expected {JOURNAL_SCHEMA!r}"
-                )
-            state = JournalState(header=record)
-        elif state is None:
-            raise UsageError(f"journal {path} does not start with a header")
-        elif kind == "complete":
+        if kind == "complete":
             state.completions[record["name"]] = record["outcome"]
         elif kind == "quarantine":
             state.quarantines[record["name"]] = record["incident"]
         else:
             state.events.append(record)
-    if state is None:
-        raise UsageError(f"journal {path} does not start with a header")
-    state.truncated = truncated
     return state
 
 
@@ -183,9 +225,7 @@ class JournalWriter:
                  resume: bool = False):
         self.path = Path(path)
         self.run_key = run_key
-        if resume:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        else:
+        if not resume:
             header = {
                 "kind": "header",
                 "schema": JOURNAL_SCHEMA,
@@ -193,14 +233,39 @@ class JournalWriter:
                 "names": list(names),
                 "jobs": jobs,
             }
-            line = json.dumps(header, sort_keys=True) + "\n"
-            atomic_write_bytes(self.path, line.encode("utf-8"))
-            self._handle = open(self.path, "a", encoding="utf-8")
+            line = canonical_json(header) + "\n"
+            try:
+                atomic_write_bytes(self.path, line.encode("utf-8"))
+            except OSError as exc:
+                raise JournalWriteError(
+                    f"cannot start journal {self.path}: {exc}",
+                    path=str(self.path),
+                ) from exc
+        self._handle = open(self.path, "ab")
 
     def _append(self, record: dict):
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        data = (frame_record(record) + "\n").encode("utf-8")
+        fault = storage_fault("journal-append", self.path)
+        if fault is not None:
+            kind, rng = fault
+            if kind in ("enospc", "eio"):
+                raise JournalWriteError(
+                    f"cannot append to journal {self.path}: "
+                    f"{fault_error(kind, 'journal-append', self.path)}",
+                    path=str(self.path),
+                )
+            if kind == "lost-fsync":
+                return
+            data = corrupt_bytes(data, kind, rng)
+        try:
+            self._handle.write(data)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise JournalWriteError(
+                f"cannot append to journal {self.path}: {exc}",
+                path=str(self.path),
+            ) from exc
 
     def complete(self, name: str, outcome: dict):
         self._append({"kind": "complete", "name": name, "outcome": outcome})

@@ -33,6 +33,13 @@ high-water gauge and ``serve.shed_transitions``), and an optional
 (shed level, queue depth/limit). The section is present only in
 documents produced by ``repro serve``; farm-only documents are unchanged
 apart from the schema tag.
+
+v4 adds the ``storage`` section: durable-storage integrity totals
+derived from the ``storage.*`` counters (verified cache reads, checksum
+failures, quarantined entries, degraded-to-cache-off transitions; see
+:mod:`repro.storage`). Like the supervision counters these describe the
+*run*, not the program — a faulted disk legitimately changes them — so
+they are excluded from the determinism contract.
 """
 
 from __future__ import annotations
@@ -42,7 +49,15 @@ from typing import Dict, Optional
 
 from repro.obs.stats import CounterSet
 
-METRICS_SCHEMA = "repro.farm.metrics/v3"
+METRICS_SCHEMA = "repro.farm.metrics/v4"
+
+#: ``storage`` section keys -> the counter each total is drawn from.
+_STORAGE_COUNTERS = (
+    ("verified_reads", "storage.verified_reads"),
+    ("checksum_failures", "storage.checksum_failures"),
+    ("quarantines", "storage.quarantines"),
+    ("degraded_to_off", "storage.degraded_to_off"),
+)
 
 
 @dataclass
@@ -252,6 +267,10 @@ class CompileMetrics:
                 for name, entry in sorted(self.workloads.items())
             },
             "counters": self.counters.to_dict(),
+            "storage": {
+                key: int(self.counters.get(counter).total)
+                for key, counter in _STORAGE_COUNTERS
+            },
         }
         if serve is not None:
             document["serve"] = dict(serve)

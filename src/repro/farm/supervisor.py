@@ -235,6 +235,18 @@ class _Supervisor:
                     "--resume requires a journal path"
                 )
             state = load_journal(path)
+            if state.corrupt:
+                # Detected (not merged) corruption: each bad record cost
+                # exactly its own workload, which re-runs below.
+                self.counters.add(
+                    "farm.supervisor.journal_corrupt", state.corrupt
+                )
+                self.ledger.record(
+                    "journal-corrupt", "-", "-",
+                    records=state.corrupt,
+                    valid=state.valid,
+                    truncated=state.truncated,
+                )
             if state.run_key != run_key:
                 raise errors.UsageError(
                     f"journal {path} was written for a different run "

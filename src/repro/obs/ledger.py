@@ -73,6 +73,10 @@ ENTRY_KINDS = (
     "task-retry",
     "task-quarantine",
     "journal-replay",
+    # Storage-integrity events (supervision/server ledgers, never in
+    # builds): detected journal corruption, cache quarantines/degrades.
+    "journal-corrupt",
+    "storage-incident",
     # Serve-daemon events (the server's own ledger, never in builds).
     "shed-transition",
     "serve-nack",

@@ -20,12 +20,21 @@ everything needed to reproduce the finding without the failing build:
 
 Bundle emission must never break a build: :func:`reduce_and_bundle`
 swallows its own failures and returns ``None``.
+
+Emission is **atomic**: every file is written into a hidden temp
+directory beside the repro root which is renamed into place only once
+complete, so a crash mid-shrink never leaves a half-bundle for
+:func:`verify_bundle` or a CI artifact sweep to choke on. Stale temp
+directories orphaned by crashed writers are swept on the next emission.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
+import time
 from typing import List, Optional
 
 from repro.farm.fingerprint import stable_hash
@@ -35,6 +44,7 @@ from repro.machine.processor import PAPER_PROCESSORS
 from repro.reduce.reducer import reduce_procedure, sanitizer_oracle
 from repro.sanitize.battery import run_battery
 from repro.sanitize.findings import Finding
+from repro.storage.atomic import fsync_dir
 
 DEFAULT_REPRO_ROOT = "repro-bundles"
 
@@ -73,6 +83,36 @@ def bundle_name(pass_name: str, proc_name: str, signatures) -> str:
     return f"{pass_name}-{proc_name}-{digest[:8]}"
 
 
+#: Prefix of in-progress bundle directories (hidden, so scanners and
+#: artifact sweeps skip them by default).
+_BUNDLE_TMP_PREFIX = ".tmp-bundle-"
+
+#: In-progress directories younger than this may belong to a live
+#: writer; older ones were orphaned by a crash and are swept.
+_BUNDLE_TMP_MAX_AGE_S = 3600.0
+
+
+def sweep_bundle_litter(root: str, max_age_s: float = _BUNDLE_TMP_MAX_AGE_S,
+                        now: Optional[float] = None) -> int:
+    """Delete stale in-progress bundle directories; returns the count."""
+    if not os.path.isdir(root):
+        return 0
+    if now is None:
+        now = time.time()
+    removed = 0
+    for name in sorted(os.listdir(root)):
+        if not name.startswith(_BUNDLE_TMP_PREFIX):
+            continue
+        stale = os.path.join(root, name)
+        try:
+            if now - os.stat(stale).st_mtime >= max_age_s:
+                shutil.rmtree(stale)
+                removed += 1
+        except OSError:
+            continue
+    return removed
+
+
 def emit_repro_bundle(
     root: str,
     proc: Procedure,
@@ -92,8 +132,12 @@ def emit_repro_bundle(
     re-runs the differential oracle from that recipe.
     """
     signatures = sorted({f.signature() for f in findings})
-    path = os.path.join(root, bundle_name(pass_name, proc.name, signatures))
-    os.makedirs(path, exist_ok=True)
+    final = os.path.join(root, bundle_name(pass_name, proc.name, signatures))
+    os.makedirs(root, exist_ok=True)
+    sweep_bundle_litter(root)
+    # Stage the whole bundle in a hidden temp directory, then rename it
+    # into place: readers see a complete bundle or none at all.
+    path = tempfile.mkdtemp(prefix=_BUNDLE_TMP_PREFIX, dir=root)
 
     ir_text = proc.format()
     _write(path, "procedure.ir", ir_text)
@@ -148,7 +192,14 @@ def emit_repro_bundle(
         ],
     })
     _write(path, "README.md", _readme(pass_name, proc, findings))
-    return path
+    try:
+        os.rename(path, final)
+    except OSError:
+        # The bundle already exists (names are content-addressed, so the
+        # published copy is equivalent); discard the staged duplicate.
+        shutil.rmtree(path, ignore_errors=True)
+    fsync_dir(root)
+    return final
 
 
 def load_bundle_procedure(path: str) -> Procedure:

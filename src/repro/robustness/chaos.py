@@ -39,6 +39,15 @@ recovery contract: every journalled accept is either answered
 identically to an undisturbed direct-farm run or explicitly NACKed
 (410), never silently lost, and re-submitting a NACKed id produces the
 reference answer.
+
+``--storage`` turns the harness on the durable-storage layer instead
+(:mod:`repro.robustness.storagechaos`): seeded IO faults — bit flips,
+torn writes, ENOSPC, EIO, lost fsyncs — are injected into the pass
+cache and both write-ahead journals, asserting the degradation
+contracts: corrupted state is detected and quarantined or skipped
+(never replayed into a merge, warm restore, or serve response), a full
+disk under the cache degrades the run to cache-off without aborting,
+and results stay bit-identical to an unfaulted reference.
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import FarmInterrupted, FarmTimeout, UsageError
 from repro.robustness.faultinject import derive_seed
+from repro.storage.framing import parse_record_line
 
 #: Recognized chaos actions.
 ACTIONS = ("kill", "hang", "stall", "slow", "poison")
@@ -445,9 +455,9 @@ def _wait_for_accept(journal: Path, request_id: str, timeout_s: float) -> bool:
         except OSError:
             text = ""
         for line in text.splitlines():
-            try:
-                record = json.loads(line)
-            except ValueError:
+            # framed=False accepts both v2 envelopes and bare v1 records.
+            record, status = parse_record_line(line, framed=False)
+            if record is None:
                 continue
             if (
                 record.get("kind") == "accept"
@@ -667,6 +677,15 @@ def main(argv=None) -> int:
              "--resume, and assert every accepted request is answered "
              "identically to the undisturbed run or explicitly NACKed",
     )
+    parser.add_argument(
+        "--storage", action="store_true",
+        help="chaos the durable-storage layer instead of farm workers: "
+             "inject seeded IO faults (bit flips, torn writes, ENOSPC, "
+             "EIO, lost fsyncs) into the pass cache and both write-ahead "
+             "journals and assert corruption is detected, quarantined, "
+             "and never replayed, while results match the unfaulted "
+             "reference",
+    )
     args = parser.parse_args(argv)
     try:
         seeds = [
@@ -679,6 +698,12 @@ def main(argv=None) -> int:
     names = [
         part.strip() for part in args.workloads.split(",") if part.strip()
     ]
+    if args.storage:
+        from repro.robustness.storagechaos import run_storage_sweep
+
+        if args.workloads == ",".join(DEFAULT_WORKLOADS):
+            names = list(SERVER_KILL_WORKLOADS)
+        return run_storage_sweep(seeds, names, out_dir=args.out_dir)
     if args.server_kill:
         if args.workloads == ",".join(DEFAULT_WORKLOADS):
             names = list(SERVER_KILL_WORKLOADS)

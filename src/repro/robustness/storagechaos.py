@@ -1,0 +1,374 @@
+"""Seeded IO-fault sweep over the durable-storage layer (``--storage``).
+
+The storage integrity contracts (DESIGN.md §16) are promises about what
+happens when the disk misbehaves; this harness makes the disk misbehave
+on a seeded schedule (:mod:`repro.storage.faults`) and checks every
+promise end to end, per seed:
+
+* **Cache leg** — builds run with bit flips and torn writes injected
+  into cache reads, EIO into cache IO, and a permanently full disk
+  under cache writes. Every build must complete with summaries
+  bit-identical to an unfaulted reference: corrupt entries are
+  quarantined (never unpickled into a warm build), IO errors degrade
+  the run to cache-off (``storage.degraded_to_off``), and nothing
+  aborts.
+* **Farm journal leg** — a supervised, journalled run is corrupted
+  offline: one ``complete`` record's checksum is broken while the line
+  stays valid JSON (the corruption JSON parsing alone can never catch).
+  The resumed run must detect it (``JournalState.corrupt``), re-run
+  exactly that workload, and merge a result bit-identical to the
+  reference — the corrupt outcome is never replayed. A separate run
+  proves ENOSPC on a journal append aborts with
+  :class:`~repro.errors.JournalWriteError` (exit code 8) instead of
+  continuing unjournaled.
+* **Serve journal leg** — a request journal is written with a seeded
+  bit flip injected into one ``respond`` append. Recovery must skip the
+  corrupt response, NACK its request (the client gets an honest 410,
+  never corrupted bytes), and replay intact responses verbatim.
+
+Everything is a pure function of the seed: fault positions come from
+``derive_seed``, so a failing sweep replays exactly. Verdicts, fault
+logs, and incident artifacts land in ``--out-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro import errors
+from repro.farm.farm import FarmOptions, build_farm
+from repro.farm.journal import load_journal
+from repro.farm.supervisor import SupervisorOptions
+from repro.robustness.chaos import _comparable_map
+from repro.robustness.faultinject import derive_seed
+from repro.serve import journal as serve_journal
+from repro.storage.faults import (
+    StorageFaultPlan,
+    StorageFaultSpec,
+    activate_storage_faults,
+)
+from repro.storage.framing import frame_record, parse_record_line
+
+#: Small, fast workloads — the sweep runs several builds per seed.
+STORAGE_WORKLOADS = ("strcpy", "cmp")
+
+
+@dataclass
+class StorageVerdict:
+    """One seed's sweep outcome, as printed and as judged."""
+
+    seed: int
+    outcome: str = "FAILED"  # "survived" | "FAILED"
+    checks: List[str] = field(default_factory=list)
+    faults_fired: int = 0
+    corrupt_detected: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "survived"
+
+    def render(self) -> str:
+        return (
+            f"seed {self.seed:<12} {self.outcome:<9} "
+            f"checks={len(self.checks)} faults={self.faults_fired} "
+            f"corrupt-detected={self.corrupt_detected} {self.detail}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "checks": list(self.checks),
+            "faults_fired": self.faults_fired,
+            "corrupt_detected": self.corrupt_detected,
+            "detail": self.detail,
+        }
+
+
+def _options(names, cache_root=None, supervisor=None) -> FarmOptions:
+    return FarmOptions(
+        jobs=1,
+        processors=("medium",),
+        cache_root=None if cache_root is None else str(cache_root),
+        supervisor=supervisor,
+    )
+
+
+def _storage_counter(result, name: str) -> int:
+    return int(result.metrics.counters.get(f"storage.{name}").total)
+
+
+# ----------------------------------------------------------------------
+# Cache leg
+# ----------------------------------------------------------------------
+def _cache_leg(seed: int, names, reference, work: Path, verdict) -> str:
+    """'' on success, else the failed contract. Runs three builds."""
+    # 1. Warm build under read corruption: prime a clean cache, then
+    #    read it back with seeded bit flips and torn reads injected.
+    cache = work / "cache-corrupt"
+    cold = build_farm(names, _options(names, cache_root=cache))
+    if _comparable_map(cold) != reference:
+        return "clean cold build diverged from reference"
+    plan = StorageFaultPlan(
+        [
+            StorageFaultSpec("bit-flip", op="cache-read", times=2),
+            StorageFaultSpec("torn-write", op="cache-read", times=1, skip=2),
+        ],
+        seed=derive_seed(seed, "cache-corrupt"),
+    )
+    with activate_storage_faults(plan):
+        warm = build_farm(names, _options(names, cache_root=cache))
+    verdict.faults_fired += plan.fired
+    if _comparable_map(warm) != reference:
+        return "warm build under cache corruption diverged from reference"
+    detected = (
+        _storage_counter(warm, "checksum_failures")
+        + _storage_counter(warm, "degraded_to_off")
+    )
+    if plan.fired and not detected:
+        return (
+            f"{plan.fired} cache faults fired but no checksum failure "
+            "or degrade was recorded"
+        )
+    verdict.corrupt_detected += _storage_counter(warm, "checksum_failures")
+    verdict.checks.append("cache-read-corruption")
+
+    # 2. Full disk under cache writes: the build must finish cache-off.
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("enospc", op="cache-write", times=0)],
+        seed=derive_seed(seed, "cache-enospc"),
+    )
+    with activate_storage_faults(plan):
+        result = build_farm(
+            names, _options(names, cache_root=work / "cache-full")
+        )
+    verdict.faults_fired += plan.fired
+    if _comparable_map(result) != reference:
+        return "build under cache ENOSPC diverged from reference"
+    if _storage_counter(result, "degraded_to_off") < 1:
+        return "cache ENOSPC did not degrade the run to cache-off"
+    verdict.checks.append("cache-enospc-degrade")
+
+    # 3. EIO on cache reads of a warm cache: degrade, never abort.
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("eio", op="cache-read", times=1)],
+        seed=derive_seed(seed, "cache-eio"),
+    )
+    with activate_storage_faults(plan):
+        result = build_farm(names, _options(names, cache_root=cache))
+    verdict.faults_fired += plan.fired
+    if _comparable_map(result) != reference:
+        return "build under cache EIO diverged from reference"
+    verdict.checks.append("cache-eio-degrade")
+    return ""
+
+
+# ----------------------------------------------------------------------
+# Farm journal leg
+# ----------------------------------------------------------------------
+def _corrupt_one_complete(path: Path, seed: int) -> str:
+    """Break one ``complete`` record's checksum, keeping its JSON valid.
+
+    Returns the corrupted workload's name. This is the corruption JSON
+    parsing alone cannot catch — exactly what the v2 framing exists for.
+    """
+    lines = path.read_text(encoding="utf-8").split("\n")
+    completes = []
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        record, status = parse_record_line(line, framed=False)
+        if record is not None and record.get("kind") == "complete":
+            completes.append((index, record))
+    if not completes:
+        raise AssertionError("journal holds no complete records")
+    index, record = completes[derive_seed(seed, "victim") % len(completes)]
+    # Perturb one outcome field under the *original* digest: the line
+    # stays valid JSON, the checksum is provably wrong.
+    envelope = json.loads(frame_record(record))
+    envelope["r"]["outcome"]["wall_s"] = -1.0
+    lines[index] = json.dumps(envelope, sort_keys=True)
+    path.write_text("\n".join(lines), encoding="utf-8")
+    return record["name"]
+
+
+def _farm_journal_leg(seed: int, names, reference, work: Path, verdict) -> str:
+    journal = work / "farm.wal"
+    first = build_farm(
+        names,
+        _options(
+            names,
+            supervisor=SupervisorOptions(journal_path=str(journal)),
+        ),
+    )
+    if _comparable_map(first) != reference:
+        return "journalled supervised run diverged from reference"
+    victim = _corrupt_one_complete(journal, seed)
+    state = load_journal(journal)
+    if state.corrupt != 1:
+        return (
+            f"corrupt complete record not classified: "
+            f"corrupt={state.corrupt} truncated={state.truncated}"
+        )
+    if victim in state.completions:
+        return f"corrupt complete for {victim} was replayed into resume state"
+    verdict.corrupt_detected += state.corrupt
+    resumed = build_farm(
+        names,
+        _options(
+            names,
+            supervisor=SupervisorOptions(
+                journal_path=str(journal), resume=True
+            ),
+        ),
+    )
+    if _comparable_map(resumed) != reference:
+        return "resumed run after journal corruption diverged from reference"
+    if resumed.resumed != len(names) - 1:
+        return (
+            f"expected {len(names) - 1} replayed outcomes after one "
+            f"corrupt record, got {resumed.resumed}"
+        )
+    verdict.checks.append("journal-corrupt-complete-reruns")
+
+    # ENOSPC on a journal append must abort with exit-code-8 semantics,
+    # not continue unjournaled.
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("enospc", op="journal-append", times=0)],
+        seed=derive_seed(seed, "journal-enospc"),
+    )
+    try:
+        with activate_storage_faults(plan):
+            build_farm(
+                names,
+                _options(
+                    names,
+                    supervisor=SupervisorOptions(
+                        journal_path=str(work / "farm-enospc.wal")
+                    ),
+                ),
+            )
+    except errors.JournalWriteError:
+        verdict.faults_fired += plan.fired
+        verdict.checks.append("journal-enospc-aborts")
+        return ""
+    except Exception as exc:  # noqa: BLE001 - harness verdict, not flow
+        return (
+            "journal ENOSPC surfaced as "
+            f"{type(exc).__name__}, expected JournalWriteError"
+        )
+    return "journal ENOSPC did not abort the run"
+
+
+# ----------------------------------------------------------------------
+# Serve journal leg
+# ----------------------------------------------------------------------
+def _serve_journal_leg(seed: int, work: Path, verdict) -> str:
+    path = work / "serve.wal"
+    answer_a = {"status": 200, "body": {"id": "a", "summary": {"ok": 1}}}
+    answer_b = {"status": 200, "body": {"id": "b", "summary": {"ok": 2}}}
+    # Appends: accept a (1), respond a (2), accept b (3), respond b (4).
+    # skip=3 lands the bit flip on respond b.
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("bit-flip", op="journal-append", times=1, skip=3)],
+        seed=derive_seed(seed, "serve-respond"),
+    )
+    with activate_storage_faults(plan):
+        journal = serve_journal.ServeJournal(path)
+        journal.accept("a", {"workload": "strcpy"})
+        journal.respond("a", answer_a["status"], answer_a["body"])
+        journal.accept("b", {"workload": "cmp"})
+        journal.respond("b", answer_b["status"], answer_b["body"])
+        journal.close()
+    verdict.faults_fired += plan.fired
+    recovered, state, nacked = serve_journal.recover(path, resume=True)
+    recovered.close()
+    if state.corrupt < 1 and not state.truncated:
+        # A flip landing on the record's own newline legitimately reads
+        # as a truncated tail; either way the record must not replay.
+        return "flipped respond record was not classified corrupt"
+    verdict.corrupt_detected += state.corrupt
+    if state.responses.get("a") != answer_a:
+        return "intact serve response was not replayed verbatim"
+    if "b" in state.responses and state.responses["b"] == answer_b:
+        return "corrupted respond record was replayed to the client"
+    if state.states.get("b") != serve_journal.NACKED or "b" not in nacked:
+        return (
+            "request with corrupted response was not NACKed on recovery "
+            f"(state={state.states.get('b')!r})"
+        )
+    verdict.checks.append("serve-corrupt-respond-nacked")
+    return ""
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_storage_seed(
+    seed: int,
+    names: Sequence[str],
+    out_dir: Path,
+    reference: Dict[str, dict],
+) -> StorageVerdict:
+    verdict = StorageVerdict(seed=seed)
+    work = Path(tempfile.mkdtemp(prefix=f"storage-chaos-{seed}-"))
+    try:
+        for leg in (_cache_leg, _farm_journal_leg):
+            failure = leg(seed, list(names), reference, work, verdict)
+            if failure:
+                verdict.detail = failure
+                return verdict
+        failure = _serve_journal_leg(seed, work, verdict)
+        if failure:
+            verdict.detail = failure
+            return verdict
+        verdict.outcome = "survived"
+        return verdict
+    except Exception as exc:  # noqa: BLE001 - "zero unhandled exceptions"
+        verdict.detail = f"unhandled {type(exc).__name__}: {exc}"
+        return verdict
+    finally:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"seed-{seed}.json").write_text(
+            json.dumps(verdict.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        # Preserve quarantined cache entries as artifacts before the
+        # scratch tree goes away — they are the sweep's evidence trail.
+        for quarantine in sorted(work.rglob("quarantine")):
+            if quarantine.is_dir() and any(quarantine.iterdir()):
+                target = out_dir / f"seed-{seed}-{quarantine.parent.parent.name}-quarantine"
+                shutil.copytree(quarantine, target, dirs_exist_ok=True)
+        shutil.rmtree(work, ignore_errors=True)
+
+
+def run_storage_sweep(
+    seeds: Sequence[int],
+    names: Sequence[str] = STORAGE_WORKLOADS,
+    out_dir="storage-chaos-out",
+    out=sys.stdout,
+) -> int:
+    """The ``--storage`` mode: the full fault sweep, one pass per seed."""
+    names = list(names)
+    reference = _comparable_map(build_farm(names, _options(names)))
+    verdicts: List[StorageVerdict] = []
+    for seed in seeds:
+        verdict = run_storage_seed(seed, names, Path(out_dir), reference)
+        verdicts.append(verdict)
+        print(verdict.render(), file=out)
+    failures = [v for v in verdicts if not v.ok]
+    print(
+        f"{'STORAGE-CHAOS FAILED' if failures else 'storage-chaos ok'}: "
+        f"{len(verdicts) - len(failures)}/{len(verdicts)} seeds survived, "
+        f"{sum(v.faults_fired for v in verdicts)} faults fired, "
+        f"{sum(v.corrupt_detected for v in verdicts)} corruptions detected",
+        file=out,
+    )
+    return 1 if failures else 0

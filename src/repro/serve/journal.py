@@ -1,9 +1,11 @@
-"""The serve daemon's write-ahead request journal: ``repro.serve.journal/v1``.
+"""The serve daemon's write-ahead request journal: ``repro.serve.journal/v2``.
 
 Same discipline as the farm's completion journal
-(:mod:`repro.farm.journal`): one JSON line per event, flushed and
-fsynced before the daemon acts on it, atomic header, truncated-tail
-tolerance. The records:
+(:mod:`repro.farm.journal`): one line per event, flushed and fsynced
+before the daemon acts on it, atomic unframed header, truncated-tail
+tolerance — and, since v2, every appended line is a checksummed
+envelope (:mod:`repro.storage.framing`) so interior bit flips are
+detected instead of replayed to clients. The records:
 
 * ``header`` — schema and the writing daemon's pid;
 * ``accept`` — a request was admitted; the full validated payload rides
@@ -20,9 +22,21 @@ response, anything still pending is NACKed with reason
 client that saw its connection die re-queries ``GET /v1/requests/<id>``
 and gets either the original answer or an explicit 410.
 
+**Corruption contract**: a record failing its checksum (or unparseable
+in the file's interior) is skipped and counted
+(:attr:`ServeJournalState.corrupt`), never replayed. A corrupt
+``respond`` therefore leaves its request pending, and recovery NACKs it
+— the client gets an honest 410, never the corrupted response bytes.
+Only an unparseable *final* line is a truncated tail. v1 journals (bare
+records) still load; a resumed daemon appends v2 envelopes to them,
+which the loader also accepts in v1 mode.
+
 A request id may be re-submitted after a NACK; the journal is replayed
 in order, so a later ``accept`` supersedes the earlier ``nack`` and the
 final state is whatever happened last.
+
+A failed append raises :class:`~repro.errors.JournalWriteError` — the
+daemon must not promise (or answer) work it cannot journal.
 """
 
 from __future__ import annotations
@@ -33,10 +47,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.errors import UsageError
-from repro.farm.cache import atomic_write_bytes
+from repro.errors import JournalWriteError, UsageError
+from repro.storage.atomic import atomic_write_bytes
+from repro.storage.faults import corrupt_bytes, fault_error, storage_fault
+from repro.storage.framing import (
+    TRUNCATED,
+    VALID,
+    canonical_json,
+    classify_lines,
+    frame_record,
+)
 
-SERVE_JOURNAL_SCHEMA = "repro.serve.journal/v1"
+SERVE_JOURNAL_SCHEMA = "repro.serve.journal/v2"
+SERVE_JOURNAL_SCHEMA_V1 = "repro.serve.journal/v1"
+
+#: Accepted schemas -> whether body lines are checksummed envelopes.
+_KNOWN_SCHEMAS = {SERVE_JOURNAL_SCHEMA: True, SERVE_JOURNAL_SCHEMA_V1: False}
 
 #: Terminal request states after replaying a journal in order.
 PENDING, DONE, NACKED = "pending", "done", "nacked"
@@ -59,6 +85,11 @@ class ServeJournalState:
     order: List[str] = field(default_factory=list)
     #: True when the file ended in a partial line (SIGKILL mid-append).
     truncated: bool = False
+    #: Records that parsed (header excluded) and passed their checksum.
+    valid: int = 0
+    #: Interior records failing parse or checksum — skipped, counted,
+    #: never replayed to a client.
+    corrupt: int = 0
 
     def unresolved(self) -> List[str]:
         """Accepted ids whose latest state is still pending."""
@@ -71,36 +102,46 @@ def load_serve_journal(path) -> ServeJournalState:
     """Parse a serve journal; raises :class:`UsageError` when unusable."""
     path = Path(path)
     try:
-        text = path.read_text(encoding="utf-8")
+        text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as exc:
         raise UsageError(f"cannot read serve journal {path}: {exc}") from None
-    state: Optional[ServeJournalState] = None
-    truncated = False
-    for line in text.split("\n"):
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            # A SIGKILLed writer leaves at most one partial trailing line;
-            # the half-written record's request simply resolves as pending
-            # and is NACKed on recovery.
-            truncated = True
+    lines = [line for line in text.split("\n") if line]
+    if not lines:
+        raise UsageError(
+            f"serve journal {path} does not start with a header"
+        )
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        raise UsageError(
+            f"serve journal {path} does not start with a header"
+        ) from None
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise UsageError(
+            f"serve journal {path} does not start with a header"
+        )
+    schema = header.get("schema")
+    if schema not in _KNOWN_SCHEMAS:
+        raise UsageError(
+            f"serve journal {path} has schema "
+            f"{schema!r}, expected {SERVE_JOURNAL_SCHEMA!r}"
+        )
+    state = ServeJournalState(header=header)
+    for record, status in classify_lines(
+        lines[1:], framed=_KNOWN_SCHEMAS[schema]
+    ):
+        if status == TRUNCATED:
+            # A SIGKILLed writer leaves at most one partial trailing
+            # line; the half-written record's request simply resolves as
+            # pending and is NACKed on recovery.
+            state.truncated = True
             break
+        if status != VALID:
+            state.corrupt += 1
+            continue
+        state.valid += 1
         kind = record.get("kind")
-        if kind == "header":
-            if record.get("schema") != SERVE_JOURNAL_SCHEMA:
-                raise UsageError(
-                    f"serve journal {path} has schema "
-                    f"{record.get('schema')!r}, expected "
-                    f"{SERVE_JOURNAL_SCHEMA!r}"
-                )
-            state = ServeJournalState(header=record)
-        elif state is None:
-            raise UsageError(
-                f"serve journal {path} does not start with a header"
-            )
-        elif kind == "accept":
+        if kind == "accept":
             rid = record["id"]
             state.accepts[rid] = record.get("request", {})
             if rid not in state.states:
@@ -117,9 +158,6 @@ def load_serve_journal(path) -> ServeJournalState:
             rid = record["id"]
             state.nacks[rid] = record.get("reason", "")
             state.states[rid] = NACKED
-    if state is None:
-        raise UsageError(f"serve journal {path} does not start with a header")
-    state.truncated = truncated
     return state
 
 
@@ -128,22 +166,45 @@ class ServeJournal:
 
     def __init__(self, path, resume: bool = False):
         self.path = Path(path)
-        if resume and self.path.exists():
-            self._handle = open(self.path, "a", encoding="utf-8")
-        else:
+        if not (resume and self.path.exists()):
             header = {
                 "kind": "header",
                 "schema": SERVE_JOURNAL_SCHEMA,
                 "pid": os.getpid(),
             }
-            line = json.dumps(header, sort_keys=True) + "\n"
-            atomic_write_bytes(self.path, line.encode("utf-8"))
-            self._handle = open(self.path, "a", encoding="utf-8")
+            line = canonical_json(header) + "\n"
+            try:
+                atomic_write_bytes(self.path, line.encode("utf-8"))
+            except OSError as exc:
+                raise JournalWriteError(
+                    f"cannot start serve journal {self.path}: {exc}",
+                    path=str(self.path),
+                ) from exc
+        self._handle = open(self.path, "ab")
 
     def _append(self, record: dict):
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        data = (frame_record(record) + "\n").encode("utf-8")
+        fault = storage_fault("journal-append", self.path)
+        if fault is not None:
+            kind, rng = fault
+            if kind in ("enospc", "eio"):
+                raise JournalWriteError(
+                    f"cannot append to serve journal {self.path}: "
+                    f"{fault_error(kind, 'journal-append', self.path)}",
+                    path=str(self.path),
+                )
+            if kind == "lost-fsync":
+                return
+            data = corrupt_bytes(data, kind, rng)
+        try:
+            self._handle.write(data)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise JournalWriteError(
+                f"cannot append to serve journal {self.path}: {exc}",
+                path=str(self.path),
+            ) from exc
 
     def accept(self, request_id: str, payload: dict):
         self._append({"kind": "accept", "id": request_id, "request": payload})
@@ -170,9 +231,11 @@ def recover(path, resume: bool) -> tuple:
     With ``resume`` and an existing journal: load it, then append a
     ``nack`` for every accepted-but-unresolved request so the on-disk
     state accounts for all promised work before the daemon serves its
-    first new request. Without ``resume`` the journal is truncated fresh
-    (an explicit choice — mixing two daemons' promises in one file would
-    make ``GET /v1/requests`` lie).
+    first new request. Because a corrupt ``respond`` record leaves its
+    request pending, corrupted answers are NACKed here too — replayed
+    garbage is structurally impossible. Without ``resume`` the journal
+    is truncated fresh (an explicit choice — mixing two daemons'
+    promises in one file would make ``GET /v1/requests`` lie).
     """
     path = Path(path)
     state = None

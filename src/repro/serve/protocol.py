@@ -11,7 +11,7 @@ emits. The module owns two contracts the tests pin down:
 * **Cross-boundary error fidelity** — :data:`ERROR_STATUS` maps every
   library exception class to an HTTP status *and* the CLI exit code the
   same failure produces under ``python -m repro``
-  (2/3/4/5/6/7/130; see :data:`repro.__main__.EXIT_CODES`). The
+  (2/3/4/5/6/7/8/130; see :data:`repro.__main__.EXIT_CODES`). The
   structured error body (:func:`error_body`) carries the existing
   incident payloads — quarantine histories, worker tracebacks, failing
   workload names — verbatim, so a service client can debug a failure as
@@ -51,6 +51,7 @@ ERROR_STATUS = (
     (errors.FarmInterrupted, 503, 130),
     (errors.FarmTimeout, 504, 7),
     (errors.FarmQuarantine, 502, 6),
+    (errors.StorageError, 500, 8),
 )
 
 #: Status for admission rejections; carries Retry-After, never 5xx.

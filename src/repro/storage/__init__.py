@@ -1,0 +1,71 @@
+"""Self-verifying durable storage shared by cache, journals, bundles.
+
+The crash-recovery features (farm ``--resume``, serve replay-or-NACK,
+repro bundles) all rest on durable state; this package makes that state
+self-verifying instead of blindly trusted:
+
+* :mod:`repro.storage.atomic` — durable atomic writes (temp file +
+  fsync + replace + directory fsync) and temp-litter sweeping;
+* :mod:`repro.storage.framing` — per-record checksummed journal lines
+  (format v2) with valid/corrupt/truncated classification;
+* :mod:`repro.storage.faults` — the seeded IO-fault shim (ENOSPC, EIO,
+  torn writes, bit flips, lost fsyncs, crash-between-tmp-and-replace);
+* :mod:`repro.storage.incidents` — structured incident records.
+
+Degradation contracts (see DESIGN.md §16): cache IO failure degrades a
+run to cache-off and never aborts it; a corrupt cache entry is
+quarantined, never unpickled; a corrupt journal record is skipped and
+reported, costing exactly that record's work on resume; a failed
+journal append aborts with :class:`~repro.errors.JournalWriteError`
+(exit code 8) rather than continuing unjournaled.
+"""
+
+from repro.storage.atomic import (
+    atomic_write_bytes,
+    fsync_dir,
+    sweep_tmp_litter,
+)
+from repro.storage.faults import (
+    FAULT_KINDS,
+    FAULT_OPS,
+    StorageFaultPlan,
+    StorageFaultSpec,
+    activate_storage_faults,
+    corrupt_bytes,
+    fault_error,
+    storage_fault,
+)
+from repro.storage.framing import (
+    CORRUPT,
+    TRUNCATED,
+    VALID,
+    canonical_json,
+    classify_lines,
+    frame_record,
+    parse_record_line,
+    record_digest,
+)
+from repro.storage.incidents import StorageIncident
+
+__all__ = [
+    "atomic_write_bytes",
+    "fsync_dir",
+    "sweep_tmp_litter",
+    "FAULT_KINDS",
+    "FAULT_OPS",
+    "StorageFaultPlan",
+    "StorageFaultSpec",
+    "activate_storage_faults",
+    "corrupt_bytes",
+    "fault_error",
+    "storage_fault",
+    "CORRUPT",
+    "TRUNCATED",
+    "VALID",
+    "canonical_json",
+    "classify_lines",
+    "frame_record",
+    "parse_record_line",
+    "record_digest",
+    "StorageIncident",
+]

@@ -1,0 +1,119 @@
+"""Durable atomic file primitives: temp file, fsync, replace, fsync dir.
+
+The original ``atomic_write_bytes`` (born in :mod:`repro.farm.cache`)
+gave *atomicity* — readers see old content or new content, never a mix
+— but not *durability*: it never fsynced the temp file before
+``os.replace`` (a crash could surface a zero-length or partial file at
+the final name) nor the parent directory after (the rename itself could
+be lost). This module owns the corrected primitive, shared by the cache
+store, both write-ahead journals' headers, and repro bundles, plus the
+litter sweeper for temp files orphaned by writers killed between
+``mkstemp`` and ``replace``.
+
+Every IO step consults the storage-fault shim
+(:mod:`repro.storage.faults`), so the chaos harness can prove the
+callers' degradation contracts instead of trusting them.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.storage.faults import corrupt_bytes, fault_error, storage_fault
+
+#: Temp litter younger than this is presumed to belong to a live writer
+#: and is left alone; anything older was orphaned by a crash.
+TMP_LITTER_MAX_AGE_S = 3600.0
+
+
+def fsync_dir(path):
+    """Flush a directory's entries (makes a rename durable). Best-effort:
+    some filesystems refuse fsync on directories; that restores exactly
+    the old behaviour rather than failing a write that did succeed."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path, data: bytes):
+    """Write *data* to *path* durably and atomically.
+
+    Temp file in the same directory -> write -> flush -> fsync ->
+    ``os.replace`` -> fsync the parent directory. Readers never observe
+    a partial file, and once this returns the new content survives a
+    power cut. Raises ``OSError`` (e.g. ``ENOSPC``) on failure, with the
+    temp file cleaned up.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fault = storage_fault("atomic-write", path)
+    if fault is not None:
+        kind, rng = fault
+        if kind in ("enospc", "eio"):
+            raise fault_error(kind, "atomic-write", path)
+        if kind in ("torn-write", "bit-flip"):
+            data = corrupt_bytes(data, kind, rng)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if fault is not None and fault[0] == "crash-replace":
+            # The writer "died" between mkstemp and replace: the
+            # destination keeps its old content and the temp file stays
+            # behind as litter for sweep_tmp_litter to find.
+            return
+        if fault is not None and fault[0] == "lost-fsync":
+            # The page cache "lost" the write before it reached the
+            # platter: the destination keeps its old content, no litter.
+            os.unlink(tmp)
+            return
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+
+
+def sweep_tmp_litter(
+    directory,
+    max_age_s: float = TMP_LITTER_MAX_AGE_S,
+    recursive: bool = False,
+    now: float = None,
+) -> int:
+    """Delete stale ``*.tmp`` files under *directory*; returns the count.
+
+    Litter accumulates when writers are killed inside the mkstemp ->
+    replace window (or when the ``crash-replace`` fault fires). Only
+    files older than *max_age_s* are removed, so a concurrent writer's
+    live temp file is never swept out from under it.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    if now is None:
+        now = time.time()
+    removed = 0
+    pattern = "**/*.tmp" if recursive else "*.tmp"
+    for litter in sorted(directory.glob(pattern)):
+        try:
+            if now - litter.stat().st_mtime >= max_age_s:
+                litter.unlink()
+                removed += 1
+        except OSError:
+            continue
+    return removed

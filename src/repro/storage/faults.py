@@ -1,0 +1,169 @@
+"""Seeded storage-fault injection: the disk misbehaves on schedule.
+
+The shim sits at the four IO sites of the durable-storage layer
+(:data:`FAULT_OPS`) and injects the failure modes real disks and
+kernels exhibit (:data:`FAULT_KINDS`). Like the pass-level fault
+harness (:mod:`repro.robustness.faultinject`) it is seeded through
+:func:`~repro.robustness.faultinject.derive_seed`, so a storage-chaos
+run is a pure function of its seed: the same faults corrupt the same
+bytes on every machine, and a failing sweep replays exactly.
+
+Activation is a ContextVar (:func:`activate_storage_faults`), matching
+the tracer/counters/ledger discipline: production code pays one context
+read per IO call and the shim is a no-op unless a chaos harness or test
+armed it.
+
+Fault kinds:
+
+* ``enospc`` / ``eio`` — the write (or read) raises ``OSError`` with
+  the matching errno;
+* ``torn-write`` — only a seeded prefix of the payload reaches the
+  file, yet the call "succeeds" (power loss after a partial write);
+* ``bit-flip`` — one seeded bit of the payload is inverted (media rot,
+  bad RAM on the way to the platter);
+* ``lost-fsync`` — the call succeeds but the data never becomes
+  durable (the page cache lied; the record simply is not there later);
+* ``crash-replace`` — the writer dies between ``mkstemp`` and
+  ``os.replace``: the destination is never updated and the temp file
+  stays behind as litter.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.robustness.faultinject import derive_seed
+
+#: Every injectable failure mode.
+FAULT_KINDS = (
+    "enospc", "eio", "torn-write", "bit-flip", "lost-fsync", "crash-replace",
+)
+
+#: Instrumented IO sites. ``atomic-write`` covers every
+#: :func:`repro.storage.atomic.atomic_write_bytes` caller (cache
+#: entries, journal headers, bundle files); ``journal-append`` and
+#: ``cache-read``/``cache-write`` target those paths specifically.
+FAULT_OPS = ("atomic-write", "journal-append", "cache-read", "cache-write")
+
+
+@dataclass
+class StorageFaultSpec:
+    """One scheduled fault: which kind fires at which IO site.
+
+    ``op`` may be ``"*"`` (any site) or one of :data:`FAULT_OPS`;
+    ``path_substr`` restricts the spec to paths containing it;
+    ``times`` bounds how often it fires (0 = every match); ``skip``
+    lets that many matching calls through first, so a test can corrupt
+    e.g. the third append instead of the first.
+    """
+
+    kind: str
+    op: str = "*"
+    path_substr: str = ""
+    times: int = 1
+    skip: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown storage fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.op != "*" and self.op not in FAULT_OPS:
+            raise ValueError(
+                f"unknown storage fault op {self.op!r}; "
+                f"expected '*' or one of {FAULT_OPS}"
+            )
+
+
+class StorageFaultPlan:
+    """A seeded schedule of storage faults, matched at each IO site.
+
+    ``match`` returns ``(kind, rng)`` when a spec fires — the RNG is
+    derived from ``(seed, kind, op, spec index, firing count)`` so the
+    corrupted byte/bit positions are reproducible and independent of
+    call interleaving across unrelated paths. Every firing is appended
+    to :attr:`log` for the chaos harness's artifact files.
+    """
+
+    def __init__(self, specs, seed: int = 0):
+        self.specs: List[StorageFaultSpec] = list(specs)
+        self.seed = seed
+        self._seen = [0] * len(self.specs)
+        self._fired = [0] * len(self.specs)
+        self.log: List[dict] = []
+
+    def derive(self, scope: str) -> "StorageFaultPlan":
+        """A fresh plan with a sub-seed for *scope* (same spec list)."""
+        return StorageFaultPlan(self.specs, seed=derive_seed(self.seed, scope))
+
+    @property
+    def fired(self) -> int:
+        return sum(self._fired)
+
+    def match(self, op: str, path) -> Optional[Tuple[str, random.Random]]:
+        for index, spec in enumerate(self.specs):
+            if spec.op != "*" and spec.op != op:
+                continue
+            if spec.path_substr and spec.path_substr not in str(path):
+                continue
+            if spec.times and self._fired[index] >= spec.times:
+                continue
+            self._seen[index] += 1
+            if self._seen[index] <= spec.skip:
+                continue
+            self._fired[index] += 1
+            rng = random.Random(derive_seed(
+                self.seed,
+                f"{spec.kind}:{op}:{index}:{self._fired[index]}",
+            ))
+            self.log.append({"op": op, "path": str(path), "kind": spec.kind})
+            return spec.kind, rng
+        return None
+
+
+_ACTIVE: ContextVar[Optional[StorageFaultPlan]] = ContextVar(
+    "repro_storage_faults", default=None
+)
+
+
+@contextmanager
+def activate_storage_faults(plan: Optional[StorageFaultPlan]):
+    """Make *plan* the context's fault schedule (None disarms)."""
+    token = _ACTIVE.set(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE.reset(token)
+
+
+def storage_fault(op: str, path) -> Optional[Tuple[str, random.Random]]:
+    """The armed fault for this IO call, or ``None`` (the common case)."""
+    plan = _ACTIVE.get()
+    if plan is None:
+        return None
+    return plan.match(op, path)
+
+
+def fault_error(kind: str, op: str, path) -> OSError:
+    """The ``OSError`` an ``enospc``/``eio`` fault surfaces as."""
+    code = errno.ENOSPC if kind == "enospc" else errno.EIO
+    return OSError(code, f"injected {kind} during {op}", str(path))
+
+
+def corrupt_bytes(data: bytes, kind: str, rng: random.Random) -> bytes:
+    """*data* after a ``torn-write`` or ``bit-flip`` fault (seeded)."""
+    if not data:
+        return data
+    if kind == "torn-write":
+        return data[: rng.randrange(0, len(data))]
+    if kind == "bit-flip":
+        position = rng.randrange(len(data))
+        flipped = data[position] ^ (1 << rng.randrange(8))
+        return data[:position] + bytes([flipped]) + data[position + 1:]
+    return data

@@ -1,0 +1,103 @@
+"""Per-record checksummed framing for the v2 journal formats.
+
+A v1 journal line is a bare JSON record; JSON parsing is the only
+integrity check, so a flipped bit that keeps the line parseable (a
+digit in a cycle count, a character in a digest) replays silently into
+a merge. A v2 line wraps the record in an envelope carrying a sha256
+digest of its canonical serialization::
+
+    {"r": {<record>}, "s": "<sha256(canonical(record))[:16]>"}
+
+Readers classify every line into one of three states:
+
+* :data:`VALID` — well-formed and (when framed) digest-verified;
+* :data:`CORRUPT` — parseable-but-wrong (bad digest, non-envelope line
+  in a framed file) *or* unparseable in the interior of the file;
+* :data:`TRUNCATED` — unparseable and *final*: the signature of a
+  writer killed mid-append, the one corruption append-only fsync'd
+  writers can legitimately produce.
+
+Only the final-line rule distinguishes truncation from corruption —
+an interior unparseable line cannot be a torn tail, so it is reported,
+never used as an excuse to drop everything after it.
+
+Mixed files are legal: a run resumed over a v1 journal appends v2
+envelopes, so v1-mode parsing also accepts (and verifies) envelopes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterator, List, Optional, Tuple
+
+#: Line classifications (see module docstring).
+VALID, CORRUPT, TRUNCATED = "valid", "corrupt", "truncated"
+
+_ENVELOPE_KEYS = frozenset(("r", "s"))
+
+
+def canonical_json(record: dict) -> str:
+    """The serialization the digest covers: sorted keys, no whitespace."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def record_digest(record: dict) -> str:
+    return hashlib.sha256(
+        canonical_json(record).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def frame_record(record: dict) -> str:
+    """One v2 journal line (no trailing newline)."""
+    return json.dumps(
+        {"r": record, "s": record_digest(record)}, sort_keys=True
+    )
+
+
+def parse_record_line(
+    line: str, framed: bool = True
+) -> Tuple[Optional[dict], str]:
+    """``(record, status)`` for one journal line.
+
+    ``framed`` (v2): only a digest-verified envelope is VALID. Unframed
+    (v1): a bare JSON object is VALID, and an envelope is *also*
+    accepted and verified, because resumed runs append v2 lines to v1
+    files. An unparseable line is reported CORRUPT here — the caller
+    owns the only-the-final-line-is-truncation rule
+    (:func:`classify_lines`).
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None, CORRUPT
+    if isinstance(payload, dict) and set(payload) == _ENVELOPE_KEYS:
+        record = payload["r"]
+        if not isinstance(record, dict):
+            return None, CORRUPT
+        if record_digest(record) != payload["s"]:
+            return None, CORRUPT
+        return record, VALID
+    if framed or not isinstance(payload, dict):
+        return None, CORRUPT
+    return payload, VALID
+
+
+def classify_lines(
+    lines: List[str], framed: bool
+) -> Iterator[Tuple[Optional[dict], str]]:
+    """Yield ``(record, status)`` per line, reclassifying the tail.
+
+    An unparseable *final* line becomes TRUNCATED; a parseable final
+    line with a bad digest stays CORRUPT (torn writes cannot produce
+    valid JSON with a wrong checksum — only bit rot can).
+    """
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        record, status = parse_record_line(line, framed=framed)
+        if record is None and status == CORRUPT and index == last:
+            try:
+                json.loads(line)
+            except ValueError:
+                status = TRUNCATED
+        yield record, status

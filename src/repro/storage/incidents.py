@@ -1,0 +1,58 @@
+"""Structured records for storage-integrity events.
+
+A :class:`StorageIncident` is the storage layer's analogue of the pass
+manager's :class:`~repro.passes.incidents.Incident`: a JSON-safe record
+of something that went wrong with durable state and what the layer did
+about it. Incidents describe the *run*, not the program — like the
+``farm.supervisor.*`` counters they legitimately differ between a
+faulted run and a clean one, so they are surfaced through counters,
+metrics, and artifact files, never through the deterministic
+:class:`~repro.passes.incidents.BuildReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StorageIncident:
+    """One detected storage fault and the action taken.
+
+    ``kind`` is what was detected (``checksum-mismatch``, ``io-error``,
+    ``journal-corrupt``); ``op`` is the IO site (``cache-read``,
+    ``cache-write``, ``journal-append``, ``journal-load``); ``action``
+    is the recovery taken (``quarantined``, ``cache-off``,
+    ``record-skipped``, ``quarantine-failed``).
+    """
+
+    kind: str
+    op: str
+    path: str
+    detail: str = ""
+    action: str = ""
+
+    def format(self) -> str:
+        return (
+            f"[storage] {self.kind} during {self.op} on {self.path}: "
+            f"{self.detail or 'no detail'} -> {self.action or 'no action'}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "path": self.path,
+            "detail": self.detail,
+            "action": self.action,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StorageIncident":
+        return cls(
+            kind=data["kind"],
+            op=data["op"],
+            path=data["path"],
+            detail=data.get("detail", ""),
+            action=data.get("action", ""),
+        )

@@ -50,7 +50,7 @@ def test_metrics_json_matches_golden_schema(tmp_path, capsys):
     golden = json.loads((GOLDEN / "metrics_schema.json").read_text())
     assert canon(document) == golden
     # A few value-level invariants the type-only golden cannot see.
-    assert document["schema"] == "repro.farm.metrics/v3"
+    assert document["schema"] == "repro.farm.metrics/v4"
     assert document["cache"]["enabled"] is True
     assert document["cache"]["stores"] > 0
     assert document["totals"]["workloads"] == 1

@@ -158,7 +158,10 @@ def test_evaluation_roundtrip_and_miss(tmp_path):
     assert cache.stats.misses == 1 and cache.stats.hits == 1
 
 
-def test_corrupt_entries_count_as_misses_and_are_deleted(tmp_path):
+def test_corrupt_entries_count_as_misses_and_are_quarantined(tmp_path):
+    """Headerless bytes (pre-v5 writers, truncation to garbage) are moved
+    to quarantine/ and count as misses; see test_storage_integrity.py for
+    the digest-mismatch paths."""
     cache = PassCache(tmp_path)
     key = "ef" + "2" * 62
     cache.put_evaluation(key, {"ok": True})
@@ -171,6 +174,7 @@ def test_corrupt_entries_count_as_misses_and_are_deleted(tmp_path):
     cache._path(key, "txn.pkl").write_bytes(b"\x80garbage")
     assert cache.get_transaction(key) is None
     assert not cache._path(key, "txn.pkl").exists()
+    assert cache.quarantine_count() == 2
 
 
 def test_version_bump_orphans_old_entries(tmp_path, monkeypatch):

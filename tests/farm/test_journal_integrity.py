@@ -1,0 +1,164 @@
+"""Journal v2 framing: corruption containment, v1 compat, append faults.
+
+The resume suite (test_journal_resume.py) covers the happy paths; this
+file covers the corruption contract — a checksum-failed ``complete``
+record costs exactly one workload's re-run, a v1 journal still resumes,
+and a failed append is a :class:`JournalWriteError` (exit code 8), not
+a silently voided resume guarantee.
+"""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.__main__ import exit_code_for
+from repro.farm.farm import FarmOptions, build_farm
+from repro.farm.journal import (
+    JOURNAL_SCHEMA_V1,
+    JournalWriter,
+    journal_run_key,
+    load_journal,
+)
+from repro.farm.supervisor import SupervisorOptions
+from repro.storage.faults import (
+    StorageFaultPlan,
+    StorageFaultSpec,
+    activate_storage_faults,
+)
+
+PAIR = ["strcpy", "cmp"]
+
+
+def _options(journal, resume=False):
+    return FarmOptions(
+        jobs=1,
+        processors=("medium",),
+        supervisor=SupervisorOptions(
+            journal_path=str(journal), resume=resume,
+        ),
+    )
+
+
+def _corrupt_complete(journal, name):
+    """Rot *name*'s complete record: still valid JSON, digest now wrong."""
+    lines = journal.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines[1:], start=1):
+        envelope = json.loads(line)
+        record = envelope.get("r", {})
+        if record.get("kind") == "complete" and record.get("name") == name:
+            record["outcome"]["summary"]["wall_s"] = -1.0
+            lines[index] = json.dumps(envelope, sort_keys=True)
+            break
+    else:
+        raise AssertionError(f"no complete record for {name}")
+    journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def test_corrupt_complete_costs_exactly_one_rerun(tmp_path):
+    journal = tmp_path / "run.journal"
+    cold = build_farm(PAIR, _options(journal))
+    _corrupt_complete(journal, "strcpy")
+
+    state = load_journal(journal)
+    assert state.corrupt == 1
+    assert sorted(state.completions) == ["cmp"]  # rot detected, skipped
+    assert not state.truncated
+
+    resumed = build_farm(PAIR, _options(journal, resume=True))
+    assert resumed.resumed == 1  # only cmp replayed; strcpy recomputed
+    assert [s.comparable() for s in resumed.summaries] == [
+        s.comparable() for s in cold.summaries
+    ]
+    # The supervisor surfaced the rot in its ledger.
+    assert resumed.supervision.counts().get("journal-corrupt") == 1
+
+
+def test_interior_garbage_does_not_drop_later_records(tmp_path):
+    journal = tmp_path / "run.journal"
+    writer = JournalWriter(journal, "key", PAIR, 1)
+    writer.event("worker-spawn", worker="w0", pid=1)
+    writer.complete("strcpy", {"ok": 1})
+    writer.complete("cmp", {"ok": 2})
+    writer.close()
+    lines = journal.read_text(encoding="utf-8").splitlines()
+    lines[2] = "}{互斥 not json"  # rot the first complete, keep the rest
+    journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    state = load_journal(journal)
+    assert state.corrupt == 1
+    assert not state.truncated
+    assert sorted(state.completions) == ["cmp"]
+    assert state.events  # the spawn before the rot also survived
+
+
+def test_v1_journal_resumes_under_v2_writer(tmp_path):
+    """A journal written before the framing change still resumes; the
+    resumed run appends v2 envelopes to it, and the mixed file loads."""
+    cold_journal = tmp_path / "cold.journal"
+    cold = build_farm(PAIR, _options(cold_journal))
+    cold_state = load_journal(cold_journal)
+
+    v1 = tmp_path / "v1.journal"
+    options = _options(v1, resume=True)
+    with open(v1, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({
+            "kind": "header",
+            "schema": JOURNAL_SCHEMA_V1,
+            "run_key": journal_run_key(PAIR, options),
+            "names": PAIR,
+            "jobs": 1,
+        }) + "\n")
+        handle.write(json.dumps({
+            "kind": "complete",
+            "name": "strcpy",
+            "outcome": cold_state.completions["strcpy"],
+        }) + "\n")
+
+    resumed = build_farm(PAIR, options)
+    assert resumed.resumed == 1
+    assert [s.comparable() for s in resumed.summaries] == [
+        s.comparable() for s in cold.summaries
+    ]
+    mixed = load_journal(v1)
+    assert sorted(mixed.completions) == sorted(PAIR)
+    assert mixed.corrupt == 0
+    # The bare v1 record and the framed v2 appends all counted as valid.
+    assert mixed.valid >= 2
+
+
+def test_v1_rejects_nothing_it_used_to_accept(tmp_path):
+    """Pure-v1 files load with zero corrupt records — compat is exact."""
+    v1 = tmp_path / "v1.journal"
+    with open(v1, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(
+            {"kind": "header", "schema": JOURNAL_SCHEMA_V1, "run_key": "k"}
+        ) + "\n")
+        for name in PAIR:
+            handle.write(json.dumps(
+                {"kind": "complete", "name": name, "outcome": {"n": name}}
+            ) + "\n")
+    state = load_journal(v1)
+    assert state.corrupt == 0 and state.valid == 2
+    assert sorted(state.completions) == sorted(PAIR)
+
+
+def test_failed_append_raises_exit_code_8(tmp_path):
+    writer = JournalWriter(tmp_path / "run.journal", "key", PAIR, 1)
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("enospc", op="journal-append", times=0)]
+    )
+    with activate_storage_faults(plan):
+        with pytest.raises(errors.JournalWriteError) as caught:
+            writer.complete("strcpy", {"ok": 1})
+    writer.close()
+    assert isinstance(caught.value, errors.StorageError)
+    assert exit_code_for(caught.value) == 8
+
+
+def test_header_write_failure_raises_journal_write_error(tmp_path):
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("enospc", op="atomic-write", times=0)]
+    )
+    with activate_storage_faults(plan):
+        with pytest.raises(errors.JournalWriteError, match="cannot start"):
+            JournalWriter(tmp_path / "run.journal", "key", PAIR, 1)

@@ -13,6 +13,7 @@ from repro.farm.journal import (
     journal_run_key,
     load_journal,
 )
+from repro.storage.framing import frame_record
 from repro.farm.supervisor import SupervisorOptions
 
 PAIR = ["strcpy", "cmp"]
@@ -81,7 +82,7 @@ def test_resume_partial_journal_matches_cold_run(tmp_path):
             "names": PAIR,
             "jobs": 2,
         }) + "\n")
-        handle.write(json.dumps({
+        handle.write(frame_record({
             "kind": "complete",
             "name": "strcpy",
             "outcome": cold_state.completions["strcpy"],

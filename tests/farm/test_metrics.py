@@ -72,13 +72,14 @@ def test_json_document_shape():
 
 
 # ----------------------------------------------------------------------
-# v2: observability counters; v3: serve section + mirrored cache counters
+# v2: counters; v3: serve section + cache mirrors; v4: storage section
 # ----------------------------------------------------------------------
-def test_schema_is_v3():
+def test_schema_is_v4():
     """v2 added the counters section, v3 the optional ``serve`` section
-    and the ``farm.cache.*`` counter mirrors; bump the tag again rather
-    than ever repurposing it."""
-    assert METRICS_SCHEMA == "repro.farm.metrics/v3"
+    and the ``farm.cache.*`` counter mirrors, v4 the ``storage``
+    integrity section; bump the tag again rather than ever repurposing
+    it."""
+    assert METRICS_SCHEMA == "repro.farm.metrics/v4"
 
 
 def test_counters_merge_and_roundtrip():

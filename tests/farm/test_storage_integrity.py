@@ -1,0 +1,191 @@
+"""Self-verifying cache entries: quarantine, cache-off degradation, and
+the storage section of the merged metrics.
+
+The contract under test (DESIGN §16): a corrupted cache entry is
+*detected* (digest mismatch), *contained* (quarantined, never fed to
+``pickle.loads``/``json.loads``), and *absorbed* (the read is a miss —
+the workload recomputes and the build result is bit-identical to an
+uncached run). A cache IO *error* is absorbed differently: the handle
+flips to cache-off and the build finishes without the cache.
+"""
+
+import json
+
+from repro.farm.cache import ENTRY_MAGIC, PassCache
+from repro.farm.farm import FarmOptions, build_farm
+from repro.farm.journal import journal_run_key
+from repro.storage.faults import (
+    StorageFaultPlan,
+    StorageFaultSpec,
+    activate_storage_faults,
+)
+
+from tests.conftest import build_strcpy_program
+
+PAIR = ["strcpy", "cmp"]
+
+
+def _flip_payload_bit(path):
+    """Flip one bit inside the sealed payload (headers stay intact)."""
+    data = bytearray(path.read_bytes())
+    header_end = data.index(ord("\n"))
+    data[header_end + 3] ^= 0x01
+    path.write_bytes(bytes(data))
+
+
+def _options(tmp_path, **extra):
+    return FarmOptions(
+        jobs=1, processors=("medium",),
+        cache_root=str(tmp_path / "cache"), **extra,
+    )
+
+
+def _comparable(result):
+    return [s.comparable() for s in result.summaries]
+
+
+# ----------------------------------------------------------------------
+# PassCache handle level
+# ----------------------------------------------------------------------
+def test_flipped_bit_in_eval_entry_is_quarantined(tmp_path):
+    cache = PassCache(tmp_path)
+    key = "ab" + "0" * 62
+    cache.put_evaluation(key, {"cycles": {"medium": 12}})
+    _flip_payload_bit(cache._path(key, "eval.json"))
+    assert cache.get_evaluation(key) is None
+    assert cache.stats == cache.stats.__class__(hits=0, misses=1, stores=1)
+    # Moved aside, not deleted — the evidence survives for forensics.
+    assert not cache._path(key, "eval.json").exists()
+    assert cache.quarantine_count() == 1
+    [incident] = cache.incidents
+    assert incident.kind == "checksum-mismatch"
+    assert incident.action == "quarantined"
+    assert not cache.disabled  # corruption degrades the entry, not the cache
+
+
+def test_flipped_bit_in_txn_entry_never_reaches_pickle(tmp_path):
+    cache = PassCache(tmp_path)
+    key = "cd" + "1" * 62
+    cache.put_transaction(key, build_strcpy_program().procedures["main"], 7)
+    _flip_payload_bit(cache._path(key, "txn.pkl"))
+    assert cache.get_transaction(key) is None
+    assert cache.quarantine_count() == 1
+    assert cache.incidents[0].kind == "checksum-mismatch"
+
+
+def test_verify_off_strips_header_without_digest_check(tmp_path):
+    """The benchmark baseline: same entry layout, no sha256 per read."""
+    trusting = PassCache(tmp_path, verify=False)
+    key = "ef" + "2" * 62
+    trusting.put_evaluation(key, {"ok": 1})
+    # Forge a wrong digest; only a verifying handle notices.
+    path = trusting._path(key, "eval.json")
+    payload = path.read_bytes().partition(b"\n")[2]
+    path.write_bytes(ENTRY_MAGIC + b" " + b"0" * 64 + b"\n" + payload)
+    assert trusting.get_evaluation(key) == {"ok": 1}
+    assert PassCache(tmp_path).get_evaluation(key) is None
+
+
+def test_io_error_on_write_degrades_to_cache_off(tmp_path):
+    cache = PassCache(tmp_path)
+    plan = StorageFaultPlan([StorageFaultSpec("enospc", op="cache-write")])
+    with activate_storage_faults(plan):
+        cache.put_evaluation("ab" + "3" * 62, {"x": 1})  # must not raise
+    assert cache.disabled
+    assert "enospc" in cache.disabled_reason.lower() or \
+        "No space" in cache.disabled_reason
+    [incident] = cache.incidents
+    assert incident.kind == "io-error" and incident.action == "cache-off"
+    # Everything after the flip is a silent miss / no-op.
+    cache.put_evaluation("ab" + "4" * 62, {"y": 2})
+    assert cache.get_evaluation("ab" + "4" * 62) is None
+    assert cache.stats.stores == 0
+
+
+def test_missing_entry_is_a_miss_not_a_degrade(tmp_path):
+    cache = PassCache(tmp_path)
+    assert cache.get_evaluation("aa" + "5" * 62) is None
+    assert not cache.disabled
+    assert cache.incidents == []
+
+
+# ----------------------------------------------------------------------
+# Build level
+# ----------------------------------------------------------------------
+def test_corrupt_warm_entry_recomputes_bit_identically(tmp_path):
+    """A flipped bit in a warm entry costs one recompute, nothing else."""
+    reference = build_farm(PAIR, FarmOptions(jobs=1, processors=("medium",)))
+    options = _options(tmp_path)
+    cold = build_farm(PAIR, options)
+    assert _comparable(cold) == _comparable(reference)
+
+    cache = PassCache(options.cache_root)
+    [entry] = [
+        p for p in cache.base.rglob("*.eval.json")
+        if "quarantine" not in p.parts
+    ][:1] or [None]
+    assert entry is not None
+    _flip_payload_bit(entry)
+
+    warm = build_farm(PAIR, options)
+    assert _comparable(warm) == _comparable(reference)
+    storage = warm.metrics.to_json_dict()["storage"]
+    assert storage["checksum_failures"] >= 1
+    assert storage["quarantines"] >= 1
+    assert PassCache(options.cache_root).quarantine_count() >= 1
+
+
+def test_disk_full_during_build_degrades_to_cache_off(tmp_path):
+    """ENOSPC on every cache write: the build completes, uncached, with
+    identical results — a full disk never aborts a build."""
+    reference = build_farm(PAIR, FarmOptions(jobs=1, processors=("medium",)))
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("enospc", op="cache-write", times=0)]
+    )
+    with activate_storage_faults(plan):
+        result = build_farm(PAIR, _options(tmp_path))
+    assert _comparable(result) == _comparable(reference)
+    assert result.metrics.to_json_dict()["storage"]["degraded_to_off"] >= 1
+    assert plan.fired >= 1
+
+
+def test_warm_metrics_report_verified_reads(tmp_path):
+    options = _options(tmp_path)
+    build_farm(PAIR, options)
+    warm = build_farm(PAIR, options)
+    storage = warm.metrics.to_json_dict()["storage"]
+    assert storage["verified_reads"] >= 2
+    assert storage["checksum_failures"] == 0
+    assert storage["quarantines"] == 0
+    assert storage["degraded_to_off"] == 0
+
+
+def test_cache_verify_is_a_speed_knob_not_a_run_knob(tmp_path):
+    """cache_verify changes integrity checking, never results: it is
+    excluded from the resume run key, and a verify-off warm read returns
+    the same summary."""
+    assert journal_run_key(PAIR, FarmOptions(processors=("medium",))) == \
+        journal_run_key(
+            PAIR, FarmOptions(processors=("medium",), cache_verify=False)
+        )
+    options = _options(tmp_path)
+    cold = build_farm(PAIR, options)
+    warm = build_farm(PAIR, _options(tmp_path, cache_verify=False))
+    assert _comparable(warm) == _comparable(cold)
+
+
+def test_quarantined_entries_round_trip_as_json(tmp_path):
+    """Quarantined files keep their sealed bytes verbatim — an operator
+    can inspect exactly what the reader refused."""
+    cache = PassCache(tmp_path)
+    key = "ab" + "6" * 62
+    cache.put_evaluation(key, {"cycles": 9})
+    entry_path = cache._path(key, "eval.json")
+    sealed = entry_path.read_bytes()
+    _flip_payload_bit(entry_path)
+    flipped = entry_path.read_bytes()
+    assert cache.get_evaluation(key) is None
+    quarantined = cache.base / "quarantine" / entry_path.name
+    assert quarantined.read_bytes() == flipped != sealed
+    # The payload is still inspectable (one flipped bit in a JSON text).
+    assert json.loads(sealed.partition(b"\n")[2]) == {"cycles": 9}

@@ -1,0 +1,109 @@
+"""Atomic bundle emission: a crash mid-shrink never publishes a half-bundle."""
+
+import os
+
+import pytest
+
+from repro.ir import Cond, IRBuilder, Procedure, Program, Reg
+from repro.ir.operands import PredReg
+from repro.reduce.bundle import (
+    emit_repro_bundle,
+    sweep_bundle_litter,
+)
+from repro.sanitize import run_battery
+
+
+def _bug_proc() -> Procedure:
+    program = Program("t")
+    proc = Procedure("main", params=[Reg(1), Reg(2)])
+    program.add_procedure(proc)
+    b = IRBuilder(proc)
+    b.start_block("Entry", fallthrough="Out")
+    total = b.add(b.load(Reg(1), region="A"), 3)
+    p = b.cmpp1(Cond.EQ, total, 0)
+    b.branch_to("Out", p)
+    b.branch_to("Out", PredReg(40))  # undefined predicate
+    b.start_block("Out")
+    b.ret(1)
+    return proc
+
+
+def _visible_entries(root):
+    return sorted(
+        name for name in os.listdir(root) if not name.startswith(".")
+    )
+
+
+def test_successful_emit_leaves_no_staging_litter(tmp_path):
+    root = tmp_path / "bundles"
+    proc = _bug_proc()
+    path = emit_repro_bundle(str(root), proc, run_battery(proc), "icbm")
+    assert os.path.isdir(path)
+    assert _visible_entries(root) == [os.path.basename(path)]
+    assert not [n for n in os.listdir(root) if n.startswith(".tmp-bundle-")]
+
+
+def test_crash_mid_emit_publishes_nothing(tmp_path, monkeypatch):
+    """Die after some files are staged: readers see zero bundles, and the
+    partial work is a hidden temp directory, not a half-bundle."""
+    root = tmp_path / "bundles"
+    proc = _bug_proc()
+    findings = run_battery(proc)
+
+    import repro.reduce.bundle as bundle_mod
+    real_write_json = bundle_mod._write_json
+
+    def dying_write_json(path, name, payload):
+        if name == "machine.json":  # late: most files already staged
+            raise RuntimeError("simulated crash mid-emit")
+        return real_write_json(path, name, payload)
+
+    monkeypatch.setattr(bundle_mod, "_write_json", dying_write_json)
+    with pytest.raises(RuntimeError):
+        emit_repro_bundle(str(root), proc, findings, "icbm")
+    assert _visible_entries(root) == []
+    staged = [n for n in os.listdir(root) if n.startswith(".tmp-bundle-")]
+    assert len(staged) == 1
+    # The stage holds the partial work — proof the crash was mid-emit.
+    assert "procedure.ir" in os.listdir(root / staged[0])
+
+
+def test_next_emission_sweeps_stale_staging_dirs(tmp_path):
+    root = tmp_path / "bundles"
+    root.mkdir()
+    stale = root / ".tmp-bundle-dead"
+    stale.mkdir()
+    (stale / "procedure.ir").write_text("partial\n")
+    os.utime(stale, (0, 0))
+    fresh = root / ".tmp-bundle-live"
+    fresh.mkdir()
+
+    proc = _bug_proc()
+    path = emit_repro_bundle(str(root), proc, run_battery(proc), "icbm")
+    assert not stale.exists()  # orphan swept
+    assert fresh.exists()  # young enough to be a live writer
+    assert os.path.isdir(path)
+
+
+def test_duplicate_emit_discards_staged_copy(tmp_path):
+    """Bundle names are content-addressed: re-emitting the same finding
+    keeps the published copy and discards the staged duplicate."""
+    root = tmp_path / "bundles"
+    proc = _bug_proc()
+    findings = run_battery(proc)
+    first = emit_repro_bundle(str(root), proc, findings, "icbm")
+    second = emit_repro_bundle(str(root), proc, findings, "icbm")
+    assert first == second
+    assert _visible_entries(root) == [os.path.basename(first)]
+    assert not [n for n in os.listdir(root) if n.startswith(".tmp-bundle-")]
+
+
+def test_sweep_bundle_litter_counts_and_tolerates_missing_root(tmp_path):
+    assert sweep_bundle_litter(str(tmp_path / "absent")) == 0
+    root = tmp_path / "bundles"
+    root.mkdir()
+    for name in (".tmp-bundle-a", ".tmp-bundle-b"):
+        stale = root / name
+        stale.mkdir()
+        os.utime(stale, (0, 0))
+    assert sweep_bundle_litter(str(root), max_age_s=3600) == 2

@@ -112,3 +112,91 @@ def test_recover_without_resume_truncates(tmp_path):
     fresh = load_serve_journal(path)
     assert fresh.order == []
     assert fresh.header["pid"]
+
+
+# ----------------------------------------------------------------------
+# v2 framing: corruption containment and v1 compat
+# ----------------------------------------------------------------------
+def _corrupt_record(path, kind, rid):
+    """Rot the matching record: still valid JSON, digest now wrong."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines[1:], start=1):
+        envelope = json.loads(line)
+        record = envelope.get("r", {})
+        if record.get("kind") == kind and record.get("id") == rid:
+            record["body"] = {"id": rid, "summary": {"x": 999}}
+            lines[index] = json.dumps(envelope, sort_keys=True)
+            break
+    else:
+        raise AssertionError(f"no {kind} record for {rid}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def test_corrupt_respond_is_nacked_never_replayed(tmp_path):
+    """A flipped bit in a recorded response: the client gets an honest
+    410, never the rotted bytes."""
+    path = tmp_path / "serve.journal"
+    journal = ServeJournal(path)
+    journal.accept("a", {"workload": "strcpy"})
+    journal.respond("a", 200, {"id": "a", "summary": {"x": 1}})
+    journal.accept("b", {"workload": "cmp"})
+    journal.respond("b", 200, {"id": "b", "summary": {"x": 2}})
+    journal.close()
+    _corrupt_record(path, "respond", "b")
+
+    state = load_serve_journal(path)
+    assert state.corrupt == 1
+    assert state.states["b"] == PENDING  # the rotted answer never happened
+    assert "b" not in state.responses
+
+    journal2, recovered, nacked = recover(path, resume=True)
+    journal2.close()
+    assert nacked == ["b"]
+    assert recovered.states == {"a": DONE, "b": NACKED}
+    # The intact response replays verbatim.
+    assert recovered.responses["a"]["body"]["summary"] == {"x": 1}
+
+
+def test_v1_serve_journal_loads_and_takes_v2_appends(tmp_path):
+    path = tmp_path / "serve.journal"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({
+            "kind": "header",
+            "schema": "repro.serve.journal/v1",
+            "pid": 1234,
+        }) + "\n")
+        handle.write(json.dumps({
+            "kind": "accept", "id": "a", "request": {"workload": "strcpy"},
+        }) + "\n")
+        handle.write(json.dumps({
+            "kind": "respond", "id": "a", "status": 200, "body": {"id": "a"},
+        }) + "\n")
+    state = load_serve_journal(path)
+    assert state.corrupt == 0 and state.valid == 2
+    assert state.states == {"a": DONE}
+
+    # A resumed daemon appends framed records; the mixed file still loads.
+    journal = ServeJournal(path, resume=True)
+    journal.accept("b", {"workload": "cmp"})
+    journal.close()
+    mixed = load_serve_journal(path)
+    assert mixed.states == {"a": DONE, "b": PENDING}
+    assert mixed.corrupt == 0 and mixed.valid == 3
+
+
+def test_append_fault_raises_journal_write_error(tmp_path):
+    from repro.errors import JournalWriteError
+    from repro.storage.faults import (
+        StorageFaultPlan,
+        StorageFaultSpec,
+        activate_storage_faults,
+    )
+
+    journal = ServeJournal(tmp_path / "serve.journal")
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("eio", op="journal-append", times=0)]
+    )
+    with activate_storage_faults(plan):
+        with pytest.raises(JournalWriteError):
+            journal.accept("a", {"workload": "strcpy"})
+    journal.close()

@@ -1,0 +1,99 @@
+"""Durable atomic writes, crash-window litter, and the sweeper."""
+
+import os
+
+import pytest
+
+from repro.storage.atomic import (
+    atomic_write_bytes,
+    fsync_dir,
+    sweep_tmp_litter,
+)
+from repro.storage.faults import (
+    StorageFaultPlan,
+    StorageFaultSpec,
+    activate_storage_faults,
+)
+
+
+def test_write_creates_parents_and_replaces(tmp_path):
+    target = tmp_path / "deep" / "nested" / "file.bin"
+    atomic_write_bytes(target, b"one")
+    assert target.read_bytes() == b"one"
+    atomic_write_bytes(target, b"two")
+    assert target.read_bytes() == b"two"
+    # No temp litter is left behind by a successful write.
+    assert list(target.parent.glob("*.tmp")) == []
+
+
+def test_enospc_fault_raises_and_leaves_old_content(tmp_path):
+    target = tmp_path / "file.bin"
+    atomic_write_bytes(target, b"old")
+    plan = StorageFaultPlan([StorageFaultSpec("enospc", op="atomic-write")])
+    with activate_storage_faults(plan):
+        with pytest.raises(OSError):
+            atomic_write_bytes(target, b"new")
+    assert target.read_bytes() == b"old"
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_crash_replace_keeps_old_content_and_leaves_litter(tmp_path):
+    """A writer killed between mkstemp and replace: destination intact,
+    temp file left for the sweeper."""
+    target = tmp_path / "file.bin"
+    atomic_write_bytes(target, b"old")
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("crash-replace", op="atomic-write")]
+    )
+    with activate_storage_faults(plan):
+        atomic_write_bytes(target, b"new")
+    assert target.read_bytes() == b"old"
+    litter = list(tmp_path.glob("*.tmp"))
+    assert len(litter) == 1
+    assert litter[0].read_bytes() == b"new"
+
+
+def test_lost_fsync_keeps_old_content_without_litter(tmp_path):
+    target = tmp_path / "file.bin"
+    atomic_write_bytes(target, b"old")
+    plan = StorageFaultPlan(
+        [StorageFaultSpec("lost-fsync", op="atomic-write")]
+    )
+    with activate_storage_faults(plan):
+        atomic_write_bytes(target, b"new")
+    assert target.read_bytes() == b"old"
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_sweep_removes_only_stale_litter(tmp_path):
+    stale = tmp_path / "dead-writer.tmp"
+    fresh = tmp_path / "live-writer.tmp"
+    keeper = tmp_path / "entry.json"
+    for path in (stale, fresh, keeper):
+        path.write_bytes(b"x")
+    old = os.stat(stale).st_mtime - 7200
+    os.utime(stale, (old, old))
+    removed = sweep_tmp_litter(tmp_path, max_age_s=3600)
+    assert removed == 1
+    assert not stale.exists()
+    assert fresh.exists()  # young enough to belong to a live writer
+    assert keeper.exists()  # not *.tmp
+
+
+def test_sweep_recursive_covers_shard_directories(tmp_path):
+    shard = tmp_path / "ab"
+    shard.mkdir()
+    litter = shard / "orphan.tmp"
+    litter.write_bytes(b"x")
+    os.utime(litter, (0, 0))
+    assert sweep_tmp_litter(tmp_path, max_age_s=3600) == 0
+    assert sweep_tmp_litter(tmp_path, max_age_s=3600, recursive=True) == 1
+    assert not litter.exists()
+
+
+def test_sweep_missing_directory_is_a_noop(tmp_path):
+    assert sweep_tmp_litter(tmp_path / "absent") == 0
+
+
+def test_fsync_dir_tolerates_missing_path(tmp_path):
+    fsync_dir(tmp_path / "absent")  # must not raise

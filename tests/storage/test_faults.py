@@ -1,0 +1,93 @@
+"""The seeded storage-fault shim: matching, determinism, corruption."""
+
+import errno
+import random
+
+import pytest
+
+from repro.storage.faults import (
+    StorageFaultPlan,
+    StorageFaultSpec,
+    activate_storage_faults,
+    corrupt_bytes,
+    fault_error,
+    storage_fault,
+)
+
+
+def test_spec_validates_kind_and_op():
+    with pytest.raises(ValueError, match="kind"):
+        StorageFaultSpec("gremlins")
+    with pytest.raises(ValueError, match="op"):
+        StorageFaultSpec("eio", op="teleport")
+
+
+def test_shim_is_noop_when_unarmed():
+    assert storage_fault("cache-read", "/anywhere") is None
+
+
+def test_match_respects_op_path_times_and_skip():
+    plan = StorageFaultPlan([
+        StorageFaultSpec("bit-flip", op="cache-read",
+                         path_substr="eval", times=1, skip=1),
+    ])
+    assert plan.match("cache-write", "x.eval.json") is None  # wrong op
+    assert plan.match("cache-read", "x.sched.json") is None  # wrong path
+    assert plan.match("cache-read", "x.eval.json") is None   # skipped
+    hit = plan.match("cache-read", "y.eval.json")
+    assert hit is not None and hit[0] == "bit-flip"
+    assert plan.match("cache-read", "z.eval.json") is None   # times spent
+    assert plan.fired == 1
+    assert [entry["path"] for entry in plan.log] == ["y.eval.json"]
+
+
+def test_times_zero_fires_every_match():
+    plan = StorageFaultPlan([StorageFaultSpec("enospc", times=0)])
+    for _ in range(5):
+        assert plan.match("atomic-write", "f")[0] == "enospc"
+    assert plan.fired == 5
+
+
+def test_same_seed_corrupts_same_bytes():
+    data = bytes(range(256)) * 4
+    first = StorageFaultPlan([StorageFaultSpec("bit-flip")], seed=7)
+    second = StorageFaultPlan([StorageFaultSpec("bit-flip")], seed=7)
+    other = StorageFaultPlan([StorageFaultSpec("bit-flip")], seed=8)
+    results = []
+    for plan in (first, second, other):
+        kind, rng = plan.match("cache-read", "entry")
+        results.append(corrupt_bytes(data, kind, rng))
+    assert results[0] == results[1]
+    assert results[0] != results[2]
+    assert results[0] != data
+
+
+def test_derive_gives_independent_subseeds():
+    base = StorageFaultPlan([StorageFaultSpec("torn-write")], seed=3)
+    a, b = base.derive("leg-a"), base.derive("leg-b")
+    assert a.seed != b.seed
+    assert a.specs == base.specs
+
+
+def test_corrupt_bytes_shapes():
+    rng = random.Random(0)
+    data = b"hello durable world"
+    torn = corrupt_bytes(data, "torn-write", random.Random(1))
+    assert len(torn) < len(data) and data.startswith(torn)
+    flipped = corrupt_bytes(data, "bit-flip", rng)
+    assert len(flipped) == len(data)
+    assert sum(a != b for a, b in zip(flipped, data)) == 1
+    assert corrupt_bytes(b"", "bit-flip", rng) == b""
+    assert corrupt_bytes(data, "lost-fsync", rng) == data
+
+
+def test_fault_error_errnos():
+    assert fault_error("enospc", "cache-write", "p").errno == errno.ENOSPC
+    assert fault_error("eio", "cache-read", "p").errno == errno.EIO
+
+
+def test_activation_is_scoped():
+    plan = StorageFaultPlan([StorageFaultSpec("eio", times=0)])
+    with activate_storage_faults(plan):
+        assert storage_fault("cache-read", "f") is not None
+    assert storage_fault("cache-read", "f") is None

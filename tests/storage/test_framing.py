@@ -1,0 +1,82 @@
+"""Per-record checksummed framing: roundtrip and classification."""
+
+import json
+
+from repro.storage.framing import (
+    CORRUPT,
+    TRUNCATED,
+    VALID,
+    canonical_json,
+    classify_lines,
+    frame_record,
+    parse_record_line,
+    record_digest,
+)
+
+RECORD = {"kind": "complete", "name": "strcpy", "outcome": {"cycles": 42}}
+
+
+def test_frame_roundtrip():
+    record, status = parse_record_line(frame_record(RECORD))
+    assert status == VALID
+    assert record == RECORD
+
+
+def test_digest_covers_canonical_form():
+    """Key order and whitespace do not change the digest — only content."""
+    shuffled = {"outcome": {"cycles": 42}, "name": "strcpy",
+                "kind": "complete"}
+    assert record_digest(RECORD) == record_digest(shuffled)
+    assert canonical_json(RECORD) == canonical_json(shuffled)
+
+
+def test_parseable_line_with_bad_digest_is_corrupt():
+    """A flipped digit that keeps the JSON valid must not replay."""
+    envelope = json.loads(frame_record(RECORD))
+    envelope["r"]["outcome"]["cycles"] = 43  # rot under the old digest
+    record, status = parse_record_line(json.dumps(envelope))
+    assert record is None
+    assert status == CORRUPT
+
+
+def test_bare_record_valid_only_unframed():
+    """v1 files accept bare records; under a v2 header they are CORRUPT."""
+    line = json.dumps(RECORD)
+    assert parse_record_line(line, framed=False) == (RECORD, VALID)
+    assert parse_record_line(line, framed=True) == (None, CORRUPT)
+
+
+def test_v1_file_accepts_appended_envelopes():
+    """A resumed run appends v2 envelopes to a v1 journal; unframed
+    parsing verifies them rather than treating them as garbage."""
+    record, status = parse_record_line(frame_record(RECORD), framed=False)
+    assert status == VALID
+    assert record == RECORD
+
+
+def test_only_final_unparseable_line_is_truncated():
+    lines = [
+        frame_record({"kind": "a"}),
+        frame_record({"kind": "b"})[:11],  # interior torn line
+        frame_record({"kind": "c"}),
+        frame_record({"kind": "d"})[:9],  # torn tail
+    ]
+    statuses = [status for _, status in classify_lines(lines, framed=True)]
+    assert statuses == [VALID, CORRUPT, VALID, TRUNCATED]
+
+
+def test_final_parseable_bad_digest_stays_corrupt():
+    """Torn writes cannot yield valid JSON with a wrong checksum, so a
+    parseable-but-mismatched tail is corruption, not truncation."""
+    envelope = json.loads(frame_record(RECORD))
+    envelope["s"] = "0" * 16
+    lines = [frame_record({"kind": "a"}), json.dumps(envelope)]
+    statuses = [status for _, status in classify_lines(lines, framed=True)]
+    assert statuses == [VALID, CORRUPT]
+
+
+def test_non_dict_payloads_are_corrupt():
+    for line in ("[1, 2]", '"string"', "17", json.dumps({"r": 3, "s": "x"})):
+        record, status = parse_record_line(line, framed=False)
+        assert record is None
+        assert status == CORRUPT
